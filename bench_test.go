@@ -1,0 +1,477 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation (§V), plus
+// ablation benches for the design choices DESIGN.md calls out. Each
+// bench reports, besides ns/op, the simulated distributed runtime
+// (sim-ms/op: wall time + modeled network time) and the network volume
+// (msgMB/op), which are the two columns of the paper's tables.
+//
+//	BenchmarkTable4/*   — Table IV  (pregel vs channel, 6 algorithms)
+//	BenchmarkTable5/*   — Table V   (the three optimized channels)
+//	BenchmarkTable6/*   — Table VI  (S-V channel combinations)
+//	BenchmarkTable7/*   — Table VII (Min-Label SCC)
+//	BenchmarkAblation*  — design-choice ablations
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/channel"
+	"repro/internal/comm"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/partition"
+	"repro/internal/pregel"
+	"repro/internal/ser"
+)
+
+var (
+	dsOnce sync.Once
+	ds     *harness.Datasets
+)
+
+// benchData generates moderate-size datasets once (between ScaleTest
+// and ScaleBench, sized so the full -bench=. sweep completes on a
+// laptop core).
+func benchData() *harness.Datasets {
+	dsOnce.Do(func() {
+		ds = &harness.Datasets{
+			Wiki:     graph.RMAT(11, 8, 101, graph.RMATOptions{NoSelfLoops: true}),
+			WebUK:    graph.RMAT(12, 10, 102, graph.RMATOptions{NoSelfLoops: true}),
+			Facebook: graph.SocialRMAT(11, 2, 103),
+			Twitter:  graph.SocialRMAT(10, 16, 104),
+			Chain:    graph.Chain(20000),
+			Tree:     graph.RandomTree(20000, 105),
+			Road:     graph.Grid(80, 80, 1000, 106),
+			RMATW:    graph.Undirectify(graph.RMAT(10, 8, 107, graph.RMATOptions{Weighted: true, MaxWeight: 1000, NoSelfLoops: true})),
+		}
+	})
+	return ds
+}
+
+func opts(p *partition.Partition) algorithms.Options {
+	return algorithms.Options{Part: p, MaxSupersteps: 200000}
+}
+
+func reportC(b *testing.B, m engine.Metrics, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(m.SimTime().Milliseconds()), "sim-ms/op")
+	b.ReportMetric(float64(m.Comm.NetworkBytes)/1e6, "msgMB/op")
+	b.ReportMetric(float64(m.Supersteps), "steps/op")
+}
+
+func reportP(b *testing.B, m pregel.Metrics, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(m.SimTime().Milliseconds()), "sim-ms/op")
+	b.ReportMetric(float64(m.Comm.NetworkBytes)/1e6, "msgMB/op")
+	b.ReportMetric(float64(m.Supersteps), "steps/op")
+}
+
+const prIters = 30
+
+// --- Table IV: basic implementations, pregel vs channel ---
+
+func BenchmarkTable4(b *testing.B) {
+	d := benchData()
+	und := graph.Undirectify(d.Wiki)
+	b.Run("PR/pregel", func(b *testing.B) {
+		p := harness.HashPart(d.WebUK)
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.PageRankPregel(d.WebUK, opts(p), prIters)
+			reportP(b, m, err)
+		}
+	})
+	b.Run("PR/channel", func(b *testing.B) {
+		p := harness.HashPart(d.WebUK)
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.PageRankChannel(d.WebUK, opts(p), prIters)
+			reportC(b, m, err)
+		}
+	})
+	b.Run("WCC/pregel", func(b *testing.B) {
+		p := harness.HashPart(und)
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.WCCPregel(und, opts(p))
+			reportP(b, m, err)
+		}
+	})
+	b.Run("WCC/channel", func(b *testing.B) {
+		p := harness.HashPart(und)
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.WCCChannel(und, opts(p))
+			reportC(b, m, err)
+		}
+	})
+	b.Run("PJ/pregel", func(b *testing.B) {
+		p := harness.HashPart(d.Chain)
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.PointerJumpPregel(d.Chain, opts(p))
+			reportP(b, m, err)
+		}
+	})
+	b.Run("PJ/channel", func(b *testing.B) {
+		p := harness.HashPart(d.Chain)
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.PointerJumpChannel(d.Chain, opts(p))
+			reportC(b, m, err)
+		}
+	})
+	b.Run("SV/pregel", func(b *testing.B) {
+		p := harness.HashPart(d.Facebook)
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.SVPregel(d.Facebook, opts(p))
+			reportP(b, m, err)
+		}
+	})
+	b.Run("SV/channel", func(b *testing.B) {
+		p := harness.HashPart(d.Facebook)
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.SVChannel(d.Facebook, opts(p))
+			reportC(b, m, err)
+		}
+	})
+	b.Run("MSF/pregel", func(b *testing.B) {
+		p := harness.HashPart(d.Road)
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.MSFPregel(d.Road, opts(p))
+			reportP(b, m, err)
+		}
+	})
+	b.Run("MSF/channel", func(b *testing.B) {
+		p := harness.HashPart(d.Road)
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.MSFChannel(d.Road, opts(p))
+			reportC(b, m, err)
+		}
+	})
+	b.Run("SCC/pregel", func(b *testing.B) {
+		p := harness.HashPart(d.Wiki)
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.SCCPregel(d.Wiki, opts(p))
+			reportP(b, m, err)
+		}
+	})
+	b.Run("SCC/channel", func(b *testing.B) {
+		p := harness.HashPart(d.Wiki)
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.SCCChannel(d.Wiki, opts(p))
+			reportC(b, m, err)
+		}
+	})
+}
+
+// --- Table V: the three optimized channels ---
+
+func BenchmarkTable5(b *testing.B) {
+	d := benchData()
+	b.Run("ScatterCombine/pregel-basic", func(b *testing.B) {
+		p := harness.HashPart(d.Wiki)
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.PageRankPregel(d.Wiki, opts(p), prIters)
+			reportP(b, m, err)
+		}
+	})
+	b.Run("ScatterCombine/pregel-ghost", func(b *testing.B) {
+		p := harness.HashPart(d.Wiki)
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.PageRankPregelGhost(d.Wiki, opts(p), prIters)
+			reportP(b, m, err)
+		}
+	})
+	b.Run("ScatterCombine/channel-basic", func(b *testing.B) {
+		p := harness.HashPart(d.Wiki)
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.PageRankChannel(d.Wiki, opts(p), prIters)
+			reportC(b, m, err)
+		}
+	})
+	b.Run("ScatterCombine/channel-scatter", func(b *testing.B) {
+		p := harness.HashPart(d.Wiki)
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.PageRankScatter(d.Wiki, opts(p), prIters)
+			reportC(b, m, err)
+		}
+	})
+	b.Run("RequestRespond/pregel-basic", func(b *testing.B) {
+		p := harness.HashPart(d.Tree)
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.PointerJumpPregel(d.Tree, opts(p))
+			reportP(b, m, err)
+		}
+	})
+	b.Run("RequestRespond/pregel-reqresp", func(b *testing.B) {
+		p := harness.HashPart(d.Tree)
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.PointerJumpPregelReqResp(d.Tree, opts(p))
+			reportP(b, m, err)
+		}
+	})
+	b.Run("RequestRespond/channel-basic", func(b *testing.B) {
+		p := harness.HashPart(d.Tree)
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.PointerJumpChannel(d.Tree, opts(p))
+			reportC(b, m, err)
+		}
+	})
+	b.Run("RequestRespond/channel-reqresp", func(b *testing.B) {
+		p := harness.HashPart(d.Tree)
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.PointerJumpReqResp(d.Tree, opts(p))
+			reportC(b, m, err)
+		}
+	})
+
+	und := graph.Undirectify(d.Wiki)
+	hash := harness.HashPart(und)
+	greedy := harness.GreedyPart(und)
+	for _, t := range []struct {
+		name string
+		p    *partition.Partition
+	}{{"hash", hash}, {"partitioned", greedy}} {
+		p := t.p
+		b.Run("Propagation/"+t.name+"/pregel-basic", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, m, err := algorithms.WCCPregel(und, opts(p))
+				reportP(b, m, err)
+			}
+		})
+		b.Run("Propagation/"+t.name+"/blogel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, m, err := algorithms.WCCBlogel(und, opts(p))
+				reportC(b, m, err)
+			}
+		})
+		b.Run("Propagation/"+t.name+"/channel-basic", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, m, err := algorithms.WCCChannel(und, opts(p))
+				reportC(b, m, err)
+			}
+		})
+		b.Run("Propagation/"+t.name+"/channel-prop", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, m, err := algorithms.WCCPropagation(und, opts(p))
+				reportC(b, m, err)
+			}
+		})
+	}
+}
+
+// --- Table VI: S-V channel combinations ---
+
+func BenchmarkTable6(b *testing.B) {
+	d := benchData()
+	for _, t := range []struct {
+		name string
+		g    *graph.Graph
+	}{{"Facebook", d.Facebook}, {"Twitter", d.Twitter}} {
+		g := t.g
+		p := harness.HashPart(g)
+		b.Run(t.name+"/1-pregel-reqresp", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, m, err := algorithms.SVPregelReqResp(g, opts(p))
+				reportP(b, m, err)
+			}
+		})
+		b.Run(t.name+"/2-channel-basic", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, m, err := algorithms.SVChannel(g, opts(p))
+				reportC(b, m, err)
+			}
+		})
+		b.Run(t.name+"/3-channel-reqresp", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, m, err := algorithms.SVReqResp(g, opts(p))
+				reportC(b, m, err)
+			}
+		})
+		b.Run(t.name+"/4-channel-scatter", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, m, err := algorithms.SVScatter(g, opts(p))
+				reportC(b, m, err)
+			}
+		})
+		b.Run(t.name+"/5-channel-both", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, m, err := algorithms.SVBoth(g, opts(p))
+				reportC(b, m, err)
+			}
+		})
+	}
+}
+
+// --- Table VII: Min-Label SCC ---
+
+func BenchmarkTable7(b *testing.B) {
+	d := benchData()
+	hash := harness.HashPart(d.Wiki)
+	greedy := harness.GreedyPart(d.Wiki)
+	for _, t := range []struct {
+		name string
+		p    *partition.Partition
+	}{{"hash", hash}, {"partitioned", greedy}} {
+		p := t.p
+		b.Run(t.name+"/1-pregel-basic", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, m, err := algorithms.SCCPregel(d.Wiki, opts(p))
+				reportP(b, m, err)
+			}
+		})
+		b.Run(t.name+"/2-channel-basic", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, m, err := algorithms.SCCChannel(d.Wiki, opts(p))
+				reportC(b, m, err)
+			}
+		})
+		b.Run(t.name+"/3-channel-prop", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, m, err := algorithms.SCCPropagation(d.Wiki, opts(p))
+				reportC(b, m, err)
+			}
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationCombinePath compares receiver-side dense combining
+// (ScatterCombine's in-array) against hash-map combining
+// (CombinedMessage) for the same static traffic: PageRank's inner loop.
+func BenchmarkAblationCombinePath(b *testing.B) {
+	d := benchData()
+	p := harness.HashPart(d.Wiki)
+	b.Run("hashmap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.PageRankChannel(d.Wiki, opts(p), 10)
+			reportC(b, m, err)
+		}
+	})
+	b.Run("presorted-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.PageRankScatter(d.Wiki, opts(p), 10)
+			reportC(b, m, err)
+		}
+	})
+}
+
+// BenchmarkAblationReplyFormat quantifies the §V-B2 reply-format trick:
+// the channel's ordered bare-value replies vs Pregel+'s (id, value)
+// pairs, on the hub-heavy tree workload.
+func BenchmarkAblationReplyFormat(b *testing.B) {
+	d := benchData()
+	p := harness.HashPart(d.Tree)
+	b.Run("value-only-replies", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.PointerJumpReqResp(d.Tree, opts(p))
+			reportC(b, m, err)
+		}
+	})
+	b.Run("id-value-replies", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.PointerJumpPregelReqResp(d.Tree, opts(p))
+			reportP(b, m, err)
+		}
+	})
+}
+
+// BenchmarkAblationMirrorChannel compares the Mirror extension channel
+// (ghost mode as a channel) against the engine-level ghost mode and the
+// plain scatter channel on the hub-heavy web graph.
+func BenchmarkAblationMirrorChannel(b *testing.B) {
+	d := benchData()
+	p := harness.HashPart(d.Wiki)
+	b.Run("mirror-channel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.PageRankMirror(d.Wiki, opts(p), 10)
+			reportC(b, m, err)
+		}
+	})
+	b.Run("pregel-ghost-mode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.PageRankPregelGhost(d.Wiki, opts(p), 10)
+			reportP(b, m, err)
+		}
+	})
+	b.Run("scatter-channel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.PageRankScatter(d.Wiki, opts(p), 10)
+			reportC(b, m, err)
+		}
+	})
+}
+
+// BenchmarkAblationPropagationRounds compares the in-superstep
+// multi-round propagation against its block-centric restriction (one
+// exchange per superstep) — the design choice that separates the
+// Propagation channel from a Blogel block program.
+func BenchmarkAblationPropagationRounds(b *testing.B) {
+	d := benchData()
+	und := graph.Undirectify(d.Wiki)
+	p := harness.GreedyPart(und)
+	b.Run("multi-round", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.WCCPropagation(und, opts(p))
+			reportC(b, m, err)
+		}
+	})
+	b.Run("one-round-per-step", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, m, err := algorithms.WCCBlogel(und, opts(p))
+			reportC(b, m, err)
+		}
+	})
+}
+
+// BenchmarkAblationCostModel shows the raw in-process wall time next to
+// the simulated distributed time for one representative workload, so
+// readers can see how much of the reported runtime is modeled network.
+func BenchmarkAblationCostModel(b *testing.B) {
+	d := benchData()
+	p := harness.HashPart(d.Facebook)
+	for _, t := range []struct {
+		name string
+		cost comm.CostModel
+	}{
+		{"750Mbps", comm.CostModel{}},
+		{"10Gbps", comm.CostModel{BytesPerSecond: 1.25e9}},
+	} {
+		cost := t.cost
+		b.Run(t.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				states := algorithms.Options{Part: p, MaxSupersteps: 200000}
+				_ = states
+				m, err := engine.Run(engine.Config{Part: p, Cost: cost, MaxSupersteps: 200000}, svSetup(d.Facebook, p))
+				reportC(b, m, err)
+			}
+		})
+	}
+}
+
+// svSetup builds a neighborhood-scatter kernel (10 supersteps of
+// combined float messages) for the cost-model ablation.
+func svSetup(g *graph.Graph, p *partition.Partition) func(w *engine.Worker) {
+	return func(w *engine.Worker) {
+		vals := make([]float64, w.LocalCount())
+		msg := channel.NewCombinedMessage[float64](w, ser.Float64Codec{},
+			func(a, b float64) float64 { return a + b })
+		w.Compute = func(li int) {
+			if w.Superstep() == 1 {
+				vals[li] = 1
+			}
+			if w.Superstep() <= 10 {
+				for _, v := range g.Neighbors(w.GlobalID(li)) {
+					msg.SendMessage(v, vals[li])
+				}
+			} else {
+				w.VoteToHalt()
+			}
+		}
+	}
+}

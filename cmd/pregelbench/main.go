@@ -1,0 +1,63 @@
+// Command pregelbench regenerates the paper's result tables (IV, V, VI,
+// VII) on the synthetic stand-in datasets and prints them in the
+// paper's runtime/message format.
+//
+// Usage:
+//
+//	pregelbench [-scale test|bench] [-table 4|5|6|7|all]
+//
+// Runtime columns are simulated distributed seconds (measured compute
+// wall time plus network time under the 750 Mbps cost model); msg(MB)
+// counts bytes crossing worker boundaries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "bench", "dataset scale: test or bench")
+	tableFlag := flag.String("table", "all", "table to run: 4, 5, 6, 7 or all")
+	flag.Parse()
+
+	var scale harness.Scale
+	switch *scaleFlag {
+	case "test":
+		scale = harness.ScaleTest
+	case "bench":
+		scale = harness.ScaleBench
+	default:
+		fmt.Fprintf(os.Stderr, "pregelbench: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	d := harness.Load(scale)
+	run := func(name string) bool { return *tableFlag == "all" || *tableFlag == name }
+	any := false
+	if run("4") {
+		harness.PrintTable(os.Stdout, "Table IV: basic implementations, pregel vs channel", harness.Table4(d))
+		any = true
+	}
+	if run("5") {
+		harness.PrintTable(os.Stdout, "Table V (top): scatter-combine channel using PR", harness.Table5ScatterCombine(d))
+		harness.PrintTable(os.Stdout, "Table V (middle): request-respond channel using PJ", harness.Table5RequestRespond(d))
+		harness.PrintTable(os.Stdout, "Table V (bottom): propagation channel using WCC", harness.Table5Propagation(d))
+		any = true
+	}
+	if run("6") {
+		harness.PrintTable(os.Stdout, "Table VI: S-V with channel combinations", harness.Table6(d))
+		any = true
+	}
+	if run("7") {
+		harness.PrintTable(os.Stdout, "Table VII: Min-Label SCC", harness.Table7(d))
+		any = true
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "pregelbench: unknown table %q\n", *tableFlag)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,8 @@
+// Package repro reproduces "Composing Optimization Techniques for
+// Vertex-Centric Graph Processing via Communication Channels" (Zhang &
+// Hu, IPDPS 2019). The library lives under internal/: core is the
+// channel-based system (the paper's contribution), pregel and blogel
+// behaviours provide the baselines, algorithms implements the paper's
+// evaluation programs, and harness regenerates Tables IV-VII. The
+// top-level bench_test.go maps each table to a testing.B benchmark.
+package repro

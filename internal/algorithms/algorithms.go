@@ -1,0 +1,72 @@
+// Package algorithms implements the six algorithms of the paper's
+// evaluation (§V): PageRank, Pointer-Jumping, WCC (HCC), the S-V
+// connected-components algorithm, Min-Label SCC and Boruvka MSF — each
+// in the channel-based engine (with the channel choices the paper
+// studies) and in the baseline monolithic-message engine. SSSP is
+// included as an additional example of the scatter/propagation channels.
+//
+// Every function returns the per-vertex result assembled into a global
+// slice plus the engine metrics, so the harness can print the paper's
+// table rows and the tests can compare against internal/seq oracles.
+package algorithms
+
+import (
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/pregel"
+)
+
+// gather assembles per-worker slices (indexed by local index) into one
+// global slice indexed by vertex id.
+func gather[T any](part *partition.Partition, states [][]T) []T {
+	out := make([]T, part.NumVertices())
+	for w := 0; w < part.NumWorkers(); w++ {
+		for li, v := range states[w] {
+			out[part.GlobalID(w, li)] = v
+		}
+	}
+	return out
+}
+
+// minU32 is the min combiner for uint32 labels.
+func minU32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// orBool is the logical-or combiner used for convergence detection.
+func orBool(a, b bool) bool { return a || b }
+
+// sumF64 is the float sum combiner.
+func sumF64(a, b float64) float64 { return a + b }
+
+// sumI64 is the integer sum combiner.
+func sumI64(a, b int64) int64 { return a + b }
+
+// minI64 is the min combiner for int64 distances.
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Options bundles the common run parameters of all algorithm variants.
+type Options struct {
+	Part *partition.Partition
+	// MaxSupersteps caps the run (0 = engine default).
+	MaxSupersteps int
+}
+
+// ChannelMetrics is a light alias so callers do not import engine just
+// for the metrics type.
+type ChannelMetrics = engine.Metrics
+
+// PregelMetrics aliases the baseline engine metrics.
+type PregelMetrics = pregel.Metrics
+
+// degreeList returns the out-neighbors of the vertex with global id id.
+func degreeList(g *graph.Graph, id graph.VertexID) []graph.VertexID { return g.Neighbors(id) }

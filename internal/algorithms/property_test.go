@@ -1,0 +1,343 @@
+package algorithms
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/seq"
+)
+
+// Property-based tests: every distributed algorithm equals its
+// sequential oracle on randomly generated graphs, across random worker
+// counts.
+
+func randomUndirected(rng *rand.Rand) *graph.Graph {
+	n := 2 + rng.Intn(60)
+	m := rng.Intn(4 * n)
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		u := graph.VertexID(rng.Intn(n))
+		v := graph.VertexID(rng.Intn(n))
+		w := 1 + rng.Int31n(40)
+		edges = append(edges, graph.Edge{Src: u, Dst: v, Weight: w})
+	}
+	return graph.Undirectify(graph.FromEdges(n, edges, true))
+}
+
+func randomParts(rng *rand.Rand, n int) *partition.Partition {
+	return partition.Hash(n, 1+rng.Intn(6))
+}
+
+func TestPropertySVEqualsUnionFind(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomUndirected(rng)
+		want := seq.ConnectedComponents(g)
+		o := Options{Part: randomParts(rng, g.NumVertices()), MaxSupersteps: 100000}
+		variant := rng.Intn(4)
+		var got []graph.VertexID
+		var err error
+		switch variant {
+		case 0:
+			got, _, err = SVChannel(g, o)
+		case 1:
+			got, _, err = SVReqResp(g, o)
+		case 2:
+			got, _, err = SVScatter(g, o)
+		default:
+			got, _, err = SVBoth(g, o)
+		}
+		if err != nil {
+			t.Logf("seed %d variant %d: %v", seed, variant, err)
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Logf("seed %d variant %d: vertex %d got %d want %d", seed, variant, i, got[i], want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyWCCEqualsUnionFind(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomUndirected(rng)
+		want := seq.ConnectedComponents(g)
+		o := Options{Part: randomParts(rng, g.NumVertices()), MaxSupersteps: 100000}
+		var got []graph.VertexID
+		var err error
+		if rng.Intn(2) == 0 {
+			got, _, err = WCCPropagation(g, o)
+		} else {
+			got, _, err = WCCBlogel(g, o)
+		}
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPJFindsRoots(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(300)
+		k := 1 + int(kRaw)%5
+		if k > n {
+			k = n
+		}
+		g := graph.Forest(n, k, seed)
+		want := seq.TreeRoots(g)
+		o := Options{Part: randomParts(rng, n), MaxSupersteps: 100000}
+		var got []graph.VertexID
+		var err error
+		if rng.Intn(2) == 0 {
+			got, _, err = PointerJumpChannel(g, o)
+		} else {
+			got, _, err = PointerJumpReqResp(g, o)
+		}
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySCCEqualsTarjan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		m := rng.Intn(4 * n)
+		g := graph.RandomDigraph(n, m, seed)
+		want := seq.SCC(g)
+		o := Options{Part: randomParts(rng, n), MaxSupersteps: 100000}
+		var got []graph.VertexID
+		var err error
+		if rng.Intn(2) == 0 {
+			got, _, err = SCCChannel(g, o)
+		} else {
+			got, _, err = SCCPropagation(g, o)
+		}
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Logf("seed %d: vertex %d got %d want %d", seed, i, got[i], want[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMSFEqualsKruskal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomUndirected(rng)
+		wantW, wantCnt := seq.MSFWeight(g)
+		o := Options{Part: randomParts(rng, g.NumVertices()), MaxSupersteps: 100000}
+		res, _, err := MSFChannel(g, o)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if res.Weight != wantW || len(res.Edges) != wantCnt {
+			t.Logf("seed %d: weight=%d count=%d want %d %d", seed, res.Weight, len(res.Edges), wantW, wantCnt)
+			return false
+		}
+		// forest check
+		uf := seq.NewUnionFind(g.NumVertices())
+		for _, e := range res.Edges {
+			if !uf.Union(int(e.Src), int(e.Dst)) {
+				t.Logf("seed %d: cycle", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySSSPEqualsDijkstra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomUndirected(rng)
+		src := graph.VertexID(rng.Intn(g.NumVertices()))
+		want := seq.Dijkstra(g, src)
+		o := Options{Part: randomParts(rng, g.NumVertices()), MaxSupersteps: 100000}
+		var got []int64
+		var err error
+		if rng.Intn(2) == 0 {
+			got, _, err = SSSPChannel(g, src, o)
+		} else {
+			got, _, err = SSSPPropagation(g, src, o)
+		}
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The MSF candidate combiner must be a total order selection:
+// commutative, associative, idempotent.
+func TestPropertyMSFCandCombinerLaws(t *testing.T) {
+	gen := func(rng *rand.Rand) msfCandMsg {
+		if rng.Intn(5) == 0 {
+			return msfCandMsg{}
+		}
+		return msfCandMsg{
+			W:     rng.Int31n(5),
+			U:     graph.VertexID(rng.Intn(6)),
+			V:     graph.VertexID(rng.Intn(6)),
+			C2:    graph.VertexID(rng.Intn(6)),
+			Valid: true,
+		}
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := gen(rng), gen(rng), gen(rng)
+		ab := msfCandMin(a, b)
+		ba := msfCandMin(b, a)
+		// commutative up to tie-equivalence under the total order
+		if ab.Valid != ba.Valid {
+			return false
+		}
+		if ab.Valid && (msfCandLess(ab, ba) || msfCandLess(ba, ab)) {
+			return false
+		}
+		// associative
+		l := msfCandMin(msfCandMin(a, b), c)
+		r := msfCandMin(a, msfCandMin(b, c))
+		if l.Valid != r.Valid {
+			return false
+		}
+		if l.Valid && (msfCandLess(l, r) || msfCandLess(r, l)) {
+			return false
+		}
+		// idempotent
+		aa := msfCandMin(a, a)
+		if aa != a {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Single-worker degeneracy: every algorithm must work with M=1 (all
+// loopback traffic).
+func TestSingleWorkerDegeneracy(t *testing.T) {
+	g := graph.SocialRMAT(6, 3, 13)
+	o := Options{Part: partition.Hash(g.NumVertices(), 1), MaxSupersteps: 100000}
+	want := seq.ConnectedComponents(g)
+	for _, tc := range []struct {
+		name string
+		run  func() ([]graph.VertexID, error)
+	}{
+		{"sv-both", func() ([]graph.VertexID, error) { v, _, e := SVBoth(g, o); return v, e }},
+		{"wcc-prop", func() ([]graph.VertexID, error) { v, _, e := WCCPropagation(g, o); return v, e }},
+	} {
+		got, err := tc.run()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: vertex %d", tc.name, i)
+			}
+		}
+	}
+	dg := graph.RandomDigraph(40, 120, 3)
+	wantSCC := seq.SCC(dg)
+	oD := Options{Part: partition.Hash(dg.NumVertices(), 1), MaxSupersteps: 100000}
+	gotSCC, _, err := SCCPropagation(dg, oD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantSCC {
+		if gotSCC[i] != wantSCC[i] {
+			t.Fatalf("scc: vertex %d", i)
+		}
+	}
+}
+
+// More workers than vertices: some workers are empty everywhere.
+func TestMoreWorkersThanVertices(t *testing.T) {
+	g := graph.Undirectify(graph.Chain(5))
+	o := Options{Part: partition.Hash(5, 8), MaxSupersteps: 1000}
+	got, _, err := SVBoth(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != 0 {
+			t.Fatalf("vertex %d -> %d", i, got[i])
+		}
+	}
+}
+
+// Empty graph edge case.
+func TestEmptyGraph(t *testing.T) {
+	g := graph.FromEdges(4, nil, false)
+	g.Undirected = true
+	o := Options{Part: partition.Hash(4, 2), MaxSupersteps: 1000}
+	got, _, err := WCCPropagation(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range got {
+		if int(c) != i {
+			t.Errorf("isolated vertex %d labeled %d", i, c)
+		}
+	}
+	res, _, err := MSFChannel(graph.FromEdges(4, nil, true), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 0 || len(res.Edges) != 0 {
+		t.Errorf("empty MSF: %v", res)
+	}
+}

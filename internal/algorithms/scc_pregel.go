@@ -1,0 +1,248 @@
+package algorithms
+
+import (
+	"repro/internal/graph"
+	"repro/internal/pregel"
+	"repro/internal/ser"
+)
+
+// SCCPregel runs Min-Label SCC on the baseline engine. The monolithic
+// message type must carry the fattest payload of any phase (sender id +
+// label pair), every message pays for a kind tag, and no combiner is
+// possible because the kinds need different semantics (counts are
+// summed, labels are min'd) — the §II-B costs the channel version
+// avoids, visible in Table IV's SCC message sizes.
+
+type sccMTag = uint8
+
+const (
+	sccMDecIn  sccMTag = 1
+	sccMDecOut sccMTag = 2
+	sccMPairO  sccMTag = 3 // pair broadcast to out-neighbors
+	sccMPairI  sccMTag = 4 // pair broadcast to in-neighbors
+	sccMFwd    sccMTag = 5
+	sccMBwd    sccMTag = 6
+)
+
+// sccMMsg is the monolithic fat message: tag + three words.
+type sccMMsg struct {
+	Tag     sccMTag
+	A, B, C uint32
+}
+
+type sccMMsgCodec struct{}
+
+func (sccMMsgCodec) Encode(b *ser.Buffer, m sccMMsg) {
+	b.WriteUint8(m.Tag)
+	b.WriteUint32(m.A)
+	b.WriteUint32(m.B)
+	b.WriteUint32(m.C)
+}
+
+func (sccMMsgCodec) Decode(b *ser.Buffer) sccMMsg {
+	return sccMMsg{Tag: b.ReadUint8(), A: b.ReadUint32(), B: b.ReadUint32(), C: b.ReadUint32()}
+}
+
+// sccAgg carries (activity, newly-done) counts through the single
+// global aggregator of the baseline engine.
+type sccAgg struct{ Act, Done int64 }
+
+type sccAggCodec struct{}
+
+func (sccAggCodec) Encode(b *ser.Buffer, v sccAgg) {
+	b.WriteVarint(v.Act)
+	b.WriteVarint(v.Done)
+}
+
+func (sccAggCodec) Decode(b *ser.Buffer) sccAgg {
+	return sccAgg{Act: b.ReadVarint(), Done: b.ReadVarint()}
+}
+
+func sccAggSum(a, b sccAgg) sccAgg { return sccAgg{Act: a.Act + b.Act, Done: a.Done + b.Done} }
+
+// SCCPregel runs the baseline Min-Label SCC.
+func SCCPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, error) {
+	gr := g.Reverse()
+	part := opts.Part
+	states := make([][]graph.VertexID, part.NumWorkers())
+	cfg := pregel.Config[sccMMsg, struct{}, sccAgg]{
+		Part:          part,
+		MaxSupersteps: opts.MaxSupersteps,
+		MsgCodec:      sccMMsgCodec{},
+		AggCombine:    sccAggSum,
+		AggCodec:      sccAggCodec{},
+	}
+	met, err := pregel.Run(cfg, func(w *pregel.Worker[sccMMsg, struct{}, sccAgg]) {
+		n := w.LocalCount()
+		scc := make([]graph.VertexID, n)
+		done := make([]bool, n)
+		liveIn := make([]int32, n)
+		liveOut := make([]int32, n)
+		pairF := make([]uint32, n)
+		pairB := make([]uint32, n)
+		f := make([]uint32, n)
+		b := make([]uint32, n)
+		sameOut := make([][]graph.VertexID, n)
+		sameIn := make([][]graph.VertexID, n)
+		states[w.WorkerID()] = scc
+
+		phase := sccTrim
+		phaseStart := 1
+		phaseStep := 0
+		var doneTotal int64
+
+		evalPhase := func() {
+			step := w.Superstep()
+			if phaseStep == step {
+				return
+			}
+			phaseStep = step
+			res := w.AggResult()
+			doneTotal += res.Done
+			if doneTotal >= int64(w.NumVertices()) {
+				w.RequestStop()
+				return
+			}
+			enter := func(p sccPhase) { phase, phaseStart = p, step }
+			switch phase {
+			case sccTrim:
+				if step > phaseStart && res.Act == 0 {
+					enter(sccPair)
+				}
+			case sccPair:
+				enter(sccFwd)
+			case sccFwd:
+				if step >= phaseStart+2 && res.Act == 0 {
+					enter(sccBwd)
+				}
+			case sccBwd:
+				if step >= phaseStart+2 && res.Act == 0 {
+					enter(sccRecog)
+				}
+			case sccRecog:
+				enter(sccTrim)
+			}
+		}
+
+		remove := func(li int, sccID graph.VertexID) {
+			id := w.GlobalID(li)
+			done[li] = true
+			scc[li] = sccID
+			for _, v := range g.Neighbors(id) {
+				w.Send(v, sccMMsg{Tag: sccMDecIn})
+			}
+			for _, v := range gr.Neighbors(id) {
+				w.Send(v, sccMMsg{Tag: sccMDecOut})
+			}
+			w.VoteToHalt()
+		}
+
+		w.Compute = func(li int, msgs []sccMMsg) {
+			evalPhase()
+			step := w.Superstep()
+			if step == 1 {
+				id := w.GlobalID(li)
+				liveIn[li] = int32(len(gr.Neighbors(id)))
+				liveOut[li] = int32(len(g.Neighbors(id)))
+			}
+			if done[li] && phase != sccTrim {
+				w.VoteToHalt()
+				return
+			}
+			id := w.GlobalID(li)
+			switch phase {
+			case sccTrim:
+				for _, m := range msgs {
+					switch m.Tag {
+					case sccMDecIn:
+						liveIn[li]--
+					case sccMDecOut:
+						liveOut[li]--
+					}
+				}
+				if done[li] {
+					w.VoteToHalt()
+					return
+				}
+				if liveIn[li] == 0 || liveOut[li] == 0 {
+					remove(li, id)
+					w.Aggregate(sccAgg{Act: 1, Done: 1})
+				}
+			case sccPair:
+				m := sccMMsg{A: uint32(id), B: pairF[li], C: pairB[li]}
+				m.Tag = sccMPairO
+				for _, v := range g.Neighbors(id) {
+					w.Send(v, m)
+				}
+				m.Tag = sccMPairI
+				for _, v := range gr.Neighbors(id) {
+					w.Send(v, m)
+				}
+			case sccFwd:
+				if step == phaseStart {
+					sameOut[li] = sameOut[li][:0]
+					sameIn[li] = sameIn[li][:0]
+					for _, m := range msgs {
+						if m.B != pairF[li] || m.C != pairB[li] {
+							continue
+						}
+						switch m.Tag {
+						case sccMPairI: // sender is an out-neighbor
+							sameOut[li] = append(sameOut[li], m.A)
+						case sccMPairO: // sender is an in-neighbor
+							sameIn[li] = append(sameIn[li], m.A)
+						}
+					}
+					f[li] = uint32(id)
+					for _, v := range sameOut[li] {
+						w.Send(v, sccMMsg{Tag: sccMFwd, A: f[li]})
+					}
+					return
+				}
+				changedF := false
+				for _, m := range msgs {
+					if m.Tag == sccMFwd && m.A < f[li] {
+						f[li] = m.A
+						changedF = true
+					}
+				}
+				if changedF {
+					w.Aggregate(sccAgg{Act: 1})
+					for _, v := range sameOut[li] {
+						w.Send(v, sccMMsg{Tag: sccMFwd, A: f[li]})
+					}
+				}
+			case sccBwd:
+				if step == phaseStart {
+					b[li] = uint32(id)
+					for _, v := range sameIn[li] {
+						w.Send(v, sccMMsg{Tag: sccMBwd, A: b[li]})
+					}
+					return
+				}
+				changed := false
+				for _, m := range msgs {
+					if m.Tag == sccMBwd && m.A < b[li] {
+						b[li] = m.A
+						changed = true
+					}
+				}
+				if changed {
+					w.Aggregate(sccAgg{Act: 1})
+					for _, v := range sameIn[li] {
+						w.Send(v, sccMMsg{Tag: sccMBwd, A: b[li]})
+					}
+				}
+			case sccRecog:
+				if f[li] == b[li] {
+					remove(li, graph.VertexID(f[li]))
+					w.Aggregate(sccAgg{Act: 1, Done: 1})
+				} else {
+					pairF[li] = f[li]
+					pairB[li] = b[li]
+				}
+			}
+		}
+	})
+	return gather(part, states), met, err
+}

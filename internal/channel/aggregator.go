@@ -1,0 +1,106 @@
+package channel
+
+import (
+	"repro/internal/engine"
+	"repro/internal/ser"
+)
+
+// Aggregator is the global-communication channel (paper Table I, right
+// column): vertices add values during a superstep, the values are
+// reduced with the combiner, and the global result is readable by every
+// vertex in the next superstep.
+//
+// It is implemented with two exchange rounds, exercising the channel
+// mechanism's multi-round support (again()): round 1 gathers per-worker
+// partials to worker 0, round 2 broadcasts the reduced result.
+type Aggregator[M any] struct {
+	w       *engine.Worker
+	codec   ser.Codec[M]
+	combine Combiner[M]
+	zero    M
+
+	curr    M    // partial being accumulated by this worker's vertices
+	currSet bool // any Add this superstep
+	result  M    // global result of the previous superstep
+	round   int
+	// worker 0 only: gathered partials
+	gathered    M
+	gatheredSet bool
+}
+
+// NewAggregator creates and registers an Aggregator channel. zero is the
+// identity of combine and is the result when no vertex adds a value.
+func NewAggregator[M any](w *engine.Worker, codec ser.Codec[M], combine Combiner[M], zero M) *Aggregator[M] {
+	c := &Aggregator[M]{w: w, codec: codec, combine: combine, zero: zero, curr: zero, result: zero, gathered: zero}
+	w.Register(c)
+	return c
+}
+
+// Add contributes v to the aggregation of the current superstep.
+func (c *Aggregator[M]) Add(v M) {
+	if c.currSet {
+		c.curr = c.combine(c.curr, v)
+	} else {
+		c.curr = v
+		c.currSet = true
+	}
+}
+
+// Result returns the aggregate of all values added in the previous
+// superstep (zero if none).
+func (c *Aggregator[M]) Result() M { return c.result }
+
+// Initialize implements engine.Channel.
+func (c *Aggregator[M]) Initialize() {}
+
+// AfterCompute implements engine.Channel.
+func (c *Aggregator[M]) AfterCompute() {
+	c.round = 0
+	c.gathered = c.zero
+	c.gatheredSet = false
+}
+
+// Serialize implements engine.Channel.
+func (c *Aggregator[M]) Serialize(dst int, buf *ser.Buffer) {
+	switch c.round {
+	case 0:
+		// Gather: every worker sends its partial to worker 0 (loopback
+		// for worker 0 itself).
+		if dst == 0 && c.currSet {
+			c.codec.Encode(buf, c.curr)
+		}
+	case 1:
+		// Broadcast: worker 0 sends the reduced result everywhere.
+		if c.w.WorkerID() == 0 {
+			c.codec.Encode(buf, c.gathered)
+		}
+	}
+}
+
+// Deserialize implements engine.Channel.
+func (c *Aggregator[M]) Deserialize(src int, buf *ser.Buffer) {
+	switch c.round {
+	case 0:
+		v := c.codec.Decode(buf)
+		if c.gatheredSet {
+			c.gathered = c.combine(c.gathered, v)
+		} else {
+			c.gathered = v
+			c.gatheredSet = true
+		}
+	case 1:
+		c.result = c.codec.Decode(buf)
+	}
+}
+
+// Again implements engine.Channel: request the broadcast round.
+func (c *Aggregator[M]) Again() bool {
+	c.round++
+	if c.round == 1 {
+		// reset the per-superstep partial; round 2 will deliver the result
+		c.curr = c.zero
+		c.currSet = false
+		return true
+	}
+	return false
+}

@@ -1,0 +1,146 @@
+package channel
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/partition"
+	"repro/internal/ser"
+)
+
+// Microbenchmarks for the individual channel primitives: these isolate
+// the per-message costs behind the table-level results (hash-map
+// staging in CombinedMessage vs the presorted scan in ScatterCombine,
+// request dedup in RequestRespond, local traversal in Propagation).
+
+const (
+	microVertices = 4096
+	microWorkers  = 4
+	microSteps    = 8
+)
+
+func benchRun(b *testing.B, setup func(w *engine.Worker)) {
+	b.Helper()
+	part := partition.Hash(microVertices, microWorkers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(engine.Config{Part: part, MaxSupersteps: 100}, setup); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDirectMessageRing(b *testing.B) {
+	benchRun(b, func(w *engine.Worker) {
+		ch := NewDirectMessage[uint32](w, ser.Uint32Codec{})
+		w.Compute = func(li int) {
+			id := w.GlobalID(li)
+			if w.Superstep() <= microSteps {
+				ch.SendMessage((id+1)%microVertices, id)
+			} else {
+				w.VoteToHalt()
+			}
+		}
+	})
+}
+
+func BenchmarkCombinedMessageFanIn(b *testing.B) {
+	benchRun(b, func(w *engine.Worker) {
+		ch := NewCombinedMessage[uint32](w, ser.Uint32Codec{}, sumU32)
+		w.Compute = func(li int) {
+			id := w.GlobalID(li)
+			if w.Superstep() <= microSteps {
+				ch.SendMessage(id%64, 1) // 64 hot receivers
+				ch.SendMessage((id+1)%microVertices, 1)
+			} else {
+				w.VoteToHalt()
+			}
+		}
+	})
+}
+
+func BenchmarkScatterCombineRing(b *testing.B) {
+	benchRun(b, func(w *engine.Worker) {
+		ch := NewScatterCombine[uint32](w, ser.Uint32Codec{}, sumU32)
+		w.Compute = func(li int) {
+			id := w.GlobalID(li)
+			if w.Superstep() == 1 {
+				ch.AddEdge((id + 1) % microVertices)
+				ch.AddEdge((id + 7) % microVertices)
+			}
+			if w.Superstep() <= microSteps {
+				ch.SetMessage(id)
+			} else {
+				w.VoteToHalt()
+			}
+		}
+	})
+}
+
+func BenchmarkAggregatorSum(b *testing.B) {
+	benchRun(b, func(w *engine.Worker) {
+		agg := NewAggregator[int64](w, ser.Int64Codec{}, func(a, c int64) int64 { return a + c }, 0)
+		w.Compute = func(li int) {
+			if w.Superstep() <= microSteps {
+				agg.Add(1)
+			} else {
+				w.VoteToHalt()
+			}
+		}
+	})
+}
+
+func BenchmarkRequestRespondHub(b *testing.B) {
+	benchRun(b, func(w *engine.Worker) {
+		vals := make([]uint32, w.LocalCount())
+		rr := NewRequestRespond[uint32](w, ser.Uint32Codec{}, func(li int) uint32 { return vals[li] })
+		w.Compute = func(li int) {
+			id := w.GlobalID(li)
+			if w.Superstep() <= microSteps {
+				rr.AddRequest(id % 16) // 16 hubs
+			} else {
+				w.VoteToHalt()
+			}
+		}
+	})
+}
+
+func BenchmarkPropagationPath(b *testing.B) {
+	benchRun(b, func(w *engine.Worker) {
+		prop := NewPropagation[uint32](w, ser.Uint32Codec{}, minU32)
+		w.Compute = func(li int) {
+			id := w.GlobalID(li)
+			if w.Superstep() == 1 {
+				// 16 disjoint paths of 256 vertices: every hop crosses a
+				// worker under hash placement, bounding the round count
+				if id+1 < microVertices && (id+1)%256 != 0 {
+					prop.AddEdge(id + 1)
+				}
+				prop.SetValue(id)
+				return
+			}
+			w.VoteToHalt()
+		}
+	})
+}
+
+func BenchmarkMirrorHubBroadcast(b *testing.B) {
+	benchRun(b, func(w *engine.Worker) {
+		mr := NewMirror[uint32](w, ser.Uint32Codec{}, sumU32, 16)
+		w.Compute = func(li int) {
+			id := w.GlobalID(li)
+			if w.Superstep() == 1 && id < 8 {
+				for v := uint32(0); v < microVertices; v += 4 {
+					mr.AddEdge(v)
+				}
+			}
+			if w.Superstep() <= microSteps {
+				if id < 8 {
+					mr.SetMessage(id)
+				}
+			} else {
+				w.VoteToHalt()
+			}
+		}
+	})
+}

@@ -1,0 +1,44 @@
+// Package channel provides the communication-channel library of the
+// paper: the standard channels of Table I (DirectMessage,
+// CombinedMessage, Aggregator) and the optimized channels of Table II
+// (ScatterCombine, RequestRespond, Propagation). Channels are the only
+// communication mechanism of the engine; an algorithm composes whichever
+// channels match its communication patterns, which is how different
+// optimizations coexist in one program (the paper's core contribution,
+// demonstrated on S-V in §III-C).
+//
+// All channels are generic over the message type, taking a ser.Codec for
+// wire encoding; combining channels additionally take a Combiner.
+package channel
+
+// Combiner merges two message values addressed to the same destination
+// (paper §II-A). It must be commutative and associative: the engine makes
+// no ordering promises across workers.
+type Combiner[M any] func(a, b M) M
+
+// epoch tagging: several channels stamp per-vertex slots with the
+// superstep that wrote them instead of clearing arrays between
+// supersteps. A slot is fresh iff its stamp matches the expected step.
+type stamped[T any] struct {
+	val   []T
+	epoch []int32
+}
+
+func newStamped[T any](n int) stamped[T] {
+	return stamped[T]{val: make([]T, n), epoch: make([]int32, n)}
+}
+
+func (s *stamped[T]) set(i int, v T, e int32) {
+	s.val[i] = v
+	s.epoch[i] = e
+}
+
+func (s *stamped[T]) get(i int, e int32) (T, bool) {
+	if s.epoch[i] == e {
+		return s.val[i], true
+	}
+	var zero T
+	return zero, false
+}
+
+func (s *stamped[T]) fresh(i int, e int32) bool { return s.epoch[i] == e }

@@ -1,0 +1,94 @@
+package channel
+
+import (
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/ser"
+)
+
+// DirectMessage is the standard point-to-point message channel
+// (paper Table I, first column): send_message(dst, m) during compute,
+// and in the next superstep the receiver iterates the messages that
+// arrived. No combining is performed.
+type DirectMessage[M any] struct {
+	w     *engine.Worker
+	codec ser.Codec[M]
+
+	// outgoing staging, one slice per destination worker
+	out [][]outMsg[M]
+	// inbox: per local vertex, filled during exchange, consumed next
+	// superstep; touched tracks which slots to clear lazily.
+	inbox   [][]M
+	touched []int
+}
+
+type outMsg[M any] struct {
+	dst graph.VertexID
+	m   M
+}
+
+// NewDirectMessage creates and registers a DirectMessage channel.
+func NewDirectMessage[M any](w *engine.Worker, codec ser.Codec[M]) *DirectMessage[M] {
+	c := &DirectMessage[M]{w: w, codec: codec}
+	w.Register(c)
+	return c
+}
+
+// SendMessage sends m to vertex dst; it is readable by dst in the next
+// superstep.
+func (c *DirectMessage[M]) SendMessage(dst graph.VertexID, m M) {
+	o := c.w.Owner(dst)
+	c.out[o] = append(c.out[o], outMsg[M]{dst: dst, m: m})
+}
+
+// Messages returns the messages delivered to local vertex li in the
+// previous superstep. The slice is valid only during the current compute
+// call.
+func (c *DirectMessage[M]) Messages(li int) []M { return c.inbox[li] }
+
+// Initialize implements engine.Channel.
+func (c *DirectMessage[M]) Initialize() {
+	c.out = make([][]outMsg[M], c.w.NumWorkers())
+	c.inbox = make([][]M, c.w.LocalCount())
+}
+
+// AfterCompute implements engine.Channel: the inbox the vertices just
+// read is retired.
+func (c *DirectMessage[M]) AfterCompute() {
+	for _, li := range c.touched {
+		c.inbox[li] = c.inbox[li][:0]
+	}
+	c.touched = c.touched[:0]
+}
+
+// Serialize implements engine.Channel.
+func (c *DirectMessage[M]) Serialize(dst int, buf *ser.Buffer) {
+	msgs := c.out[dst]
+	if len(msgs) == 0 {
+		return
+	}
+	buf.WriteUvarint(uint64(len(msgs)))
+	for _, om := range msgs {
+		buf.WriteUint32(om.dst)
+		c.codec.Encode(buf, om.m)
+	}
+	c.out[dst] = msgs[:0]
+}
+
+// Deserialize implements engine.Channel.
+func (c *DirectMessage[M]) Deserialize(src int, buf *ser.Buffer) {
+	n := int(buf.ReadUvarint())
+	for i := 0; i < n; i++ {
+		id := buf.ReadUint32()
+		m := c.codec.Decode(buf)
+		li := c.w.LocalIndex(id)
+		if len(c.inbox[li]) == 0 {
+			c.touched = append(c.touched, li)
+		}
+		c.inbox[li] = append(c.inbox[li], m)
+		c.w.ActivateLocal(li)
+	}
+}
+
+// Again implements engine.Channel: one round is always enough.
+func (c *DirectMessage[M]) Again() bool { return false }

@@ -1,0 +1,283 @@
+package channel
+
+import (
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/ser"
+)
+
+// Mirror is an extension channel (not in the paper's Table II) that
+// demonstrates the paper's claim that the channel interface lets experts
+// package further optimizations as channels: it implements Pregel+'s
+// ghost/mirroring technique — sender-side message combining for
+// high-degree vertices — as a composable channel. A vertex whose
+// registered degree reaches the threshold sends one message per worker
+// holding mirrors of it, and the receiving worker fans the value out to
+// the local neighbors; low-degree vertices fall back to ordinary
+// receiver-combined sends. In Pregel+ the equivalent ghost mode is an
+// engine-wide switch that cannot coexist with the reqresp mode (§VI);
+// here it is just another channel.
+//
+// The mirror fan-out tables are built with an extra handshake exchange
+// round in the superstep where the edges are registered, using the
+// channel mechanism's again() facility — no out-of-band preprocessing.
+// Every frame starts with a phase tag so receivers need no shared
+// phase state.
+type Mirror[M any] struct {
+	w         *engine.Worker
+	codec     ser.Codec[M]
+	combine   Combiner[M]
+	threshold int
+
+	// registration (one superstep)
+	building []scEdge
+	prepared bool
+
+	// sender side, after preparation: all edges grouped by source
+	bySrc    []scEdge
+	srcStart []int32 // len n+1
+	// hubs: local vertices with degree >= threshold
+	hubSlot    []int32   // local vertex -> hub slot or -1
+	hubWorkers [][]int32 // hub slot -> workers with mirrors
+
+	// receiver side: fanout tables hubID -> local neighbor indices
+	fanout map[graph.VertexID][]int32
+
+	srcVal   stamped[M]
+	setEpoch int32
+	in       stamped[M]
+
+	handshake bool // this worker still owes the handshake frame
+}
+
+const (
+	mirrorFrameHandshake = 0
+	mirrorFrameBroadcast = 1
+)
+
+// NewMirror creates and registers a Mirror channel with the given
+// hub-degree threshold (the paper's experiments use 16 for Pregel+'s
+// ghost mode).
+func NewMirror[M any](w *engine.Worker, codec ser.Codec[M], combine Combiner[M], threshold int) *Mirror[M] {
+	if threshold < 1 {
+		threshold = 1
+	}
+	c := &Mirror[M]{w: w, codec: codec, combine: combine, threshold: threshold}
+	w.Register(c)
+	return c
+}
+
+// AddEdge registers an outgoing edge of the vertex currently computing.
+// All edges must be registered in one superstep.
+func (c *Mirror[M]) AddEdge(dst graph.VertexID) {
+	if c.prepared {
+		panic("channel: Mirror.AddEdge after preparation")
+	}
+	c.building = append(c.building, scEdge{owner: c.w.Owner(dst), dst: dst, src: int32(c.w.CurrentLocal())})
+}
+
+// SetMessage sets the value the current vertex broadcasts to all its
+// registered neighbors this superstep.
+func (c *Mirror[M]) SetMessage(m M) {
+	c.setEpoch = int32(c.w.Superstep())
+	c.srcVal.set(c.w.CurrentLocal(), m, c.setEpoch)
+}
+
+// Message returns the combined value delivered to local vertex li in
+// the previous superstep.
+func (c *Mirror[M]) Message(li int) (M, bool) {
+	return c.in.get(li, int32(c.w.Superstep()-1))
+}
+
+// Initialize implements engine.Channel.
+func (c *Mirror[M]) Initialize() {
+	n := c.w.LocalCount()
+	c.srcVal = newStamped[M](n)
+	c.in = newStamped[M](n)
+	c.fanout = make(map[graph.VertexID][]int32)
+}
+
+func (c *Mirror[M]) prepare() {
+	n := c.w.LocalCount()
+	c.srcStart = make([]int32, n+1)
+	for _, e := range c.building {
+		c.srcStart[e.src+1]++
+	}
+	for i := 1; i <= n; i++ {
+		c.srcStart[i] += c.srcStart[i-1]
+	}
+	c.bySrc = make([]scEdge, len(c.building))
+	fill := make([]int32, n)
+	copy(fill, c.srcStart[:n])
+	for _, e := range c.building {
+		c.bySrc[fill[e.src]] = e
+		fill[e.src]++
+	}
+	c.building = nil
+
+	c.hubSlot = make([]int32, n)
+	for li := 0; li < n; li++ {
+		c.hubSlot[li] = -1
+		deg := int(c.srcStart[li+1] - c.srcStart[li])
+		if deg < c.threshold {
+			continue
+		}
+		seen := make([]bool, c.w.NumWorkers())
+		var lst []int32
+		for _, e := range c.bySrc[c.srcStart[li]:c.srcStart[li+1]] {
+			if !seen[e.owner] {
+				seen[e.owner] = true
+				lst = append(lst, int32(e.owner))
+			}
+		}
+		c.hubSlot[li] = int32(len(c.hubWorkers))
+		c.hubWorkers = append(c.hubWorkers, lst)
+	}
+	c.prepared = true
+	c.handshake = true
+}
+
+// AfterCompute implements engine.Channel.
+func (c *Mirror[M]) AfterCompute() {
+	if !c.prepared && len(c.building) > 0 {
+		c.prepare()
+	}
+}
+
+// Serialize implements engine.Channel. The handshake frame ships each
+// hub's per-worker neighbor lists; broadcast frames ship one
+// (hub, value) per mirrored hub plus combined low-degree messages.
+func (c *Mirror[M]) Serialize(dst int, buf *ser.Buffer) {
+	if !c.prepared {
+		return
+	}
+	if c.handshake {
+		buf.WriteUint8(mirrorFrameHandshake)
+		countPos := buf.Len()
+		buf.WriteUint32(0)
+		hubs := uint32(0)
+		for li, slot := range c.hubSlot {
+			if slot < 0 {
+				continue
+			}
+			seg := c.bySrc[c.srcStart[li]:c.srcStart[li+1]]
+			cnt := 0
+			for _, e := range seg {
+				if e.owner == dst {
+					cnt++
+				}
+			}
+			if cnt == 0 {
+				continue
+			}
+			buf.WriteUint32(c.w.GlobalID(li))
+			buf.WriteUvarint(uint64(cnt))
+			for _, e := range seg {
+				if e.owner == dst {
+					buf.WriteUint32(e.dst)
+				}
+			}
+			hubs++
+		}
+		buf.PatchUint32(countPos, hubs)
+		return
+	}
+	e := int32(c.w.Superstep())
+	if c.setEpoch != e {
+		return
+	}
+	buf.WriteUint8(mirrorFrameBroadcast)
+	// section 1: hub broadcasts (one per hub with a mirror on dst)
+	hubPos := buf.Len()
+	buf.WriteUint32(0)
+	hubs := uint32(0)
+	// section 2 staging: combined low-degree messages for dst
+	staged := make(map[graph.VertexID]M)
+	for li, slot := range c.hubSlot {
+		v, ok := c.srcVal.get(li, e)
+		if !ok {
+			continue
+		}
+		if slot >= 0 {
+			for _, wk := range c.hubWorkers[slot] {
+				if int(wk) == dst {
+					buf.WriteUint32(c.w.GlobalID(li))
+					c.codec.Encode(buf, v)
+					hubs++
+					break
+				}
+			}
+			continue
+		}
+		for _, edge := range c.bySrc[c.srcStart[li]:c.srcStart[li+1]] {
+			if edge.owner != dst {
+				continue
+			}
+			if old, ok := staged[edge.dst]; ok {
+				staged[edge.dst] = c.combine(old, v)
+			} else {
+				staged[edge.dst] = v
+			}
+		}
+	}
+	buf.PatchUint32(hubPos, hubs)
+	buf.WriteUvarint(uint64(len(staged)))
+	for id, v := range staged {
+		buf.WriteUint32(id)
+		c.codec.Encode(buf, v)
+	}
+}
+
+// Deserialize implements engine.Channel: dispatch on the frame tag.
+func (c *Mirror[M]) Deserialize(src int, buf *ser.Buffer) {
+	switch buf.ReadUint8() {
+	case mirrorFrameHandshake:
+		hubs := int(buf.ReadUint32())
+		for i := 0; i < hubs; i++ {
+			hub := buf.ReadUint32()
+			n := int(buf.ReadUvarint())
+			lst := make([]int32, 0, n)
+			for j := 0; j < n; j++ {
+				lst = append(lst, int32(c.w.LocalIndex(buf.ReadUint32())))
+			}
+			c.fanout[hub] = append(c.fanout[hub], lst...)
+		}
+	case mirrorFrameBroadcast:
+		e := int32(c.w.Superstep())
+		deliver := func(li int32, m M) {
+			if old, ok := c.in.get(int(li), e); ok {
+				c.in.set(int(li), c.combine(old, m), e)
+			} else {
+				c.in.set(int(li), m, e)
+			}
+			c.w.ActivateLocal(int(li))
+		}
+		hubs := int(buf.ReadUint32())
+		for i := 0; i < hubs; i++ {
+			hub := buf.ReadUint32()
+			m := c.codec.Decode(buf)
+			for _, li := range c.fanout[hub] {
+				deliver(li, m)
+			}
+		}
+		n := int(buf.ReadUvarint())
+		for i := 0; i < n; i++ {
+			id := buf.ReadUint32()
+			m := c.codec.Decode(buf)
+			deliver(int32(c.w.LocalIndex(id)), m)
+		}
+	default:
+		panic("channel: Mirror: unknown frame tag")
+	}
+}
+
+// Again implements engine.Channel: one extra round after the handshake
+// so a SetMessage issued in the registration superstep still reaches
+// its receivers through the freshly built tables.
+func (c *Mirror[M]) Again() bool {
+	if c.handshake {
+		c.handshake = false
+		return c.setEpoch == int32(c.w.Superstep())
+	}
+	return false
+}

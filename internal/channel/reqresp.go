@@ -1,0 +1,205 @@
+package channel
+
+import (
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/ser"
+)
+
+// RequestRespond is the optimized channel for the request-respond
+// conversation pattern (paper §IV-C2, Fig. 6): in one superstep a vertex
+// requests an attribute of any other vertex, and in the next superstep
+// the value is available. Two optimizations from the paper are
+// implemented:
+//
+//   - requests to the same destination are deduplicated per worker
+//     (sorted unique ID list), which removes the load imbalance caused by
+//     high-degree vertices in the respond phase;
+//   - the responder replies with a bare value list in exactly the order
+//     of the request list, omitting the vertex IDs Pregel+ retransmits —
+//     the "particular trick" of §V-B2 behind the constant 33% reply-size
+//     reduction.
+//
+// The conversation takes two exchange rounds inside one superstep:
+// requests travel in round 1, responses in round 2.
+type RequestRespond[R any] struct {
+	w       *engine.Worker
+	codec   ser.Codec[R]
+	respond func(li int) R
+
+	// requester side. staging receives AddRequest calls during compute;
+	// AfterCompute dedups it into pending, which stays alive through the
+	// next superstep's compute so Respond can match values to requests.
+	reqOf     stamped[graph.VertexID] // per local vertex: the dst it asked for
+	staging   [][]graph.VertexID      // per owner worker: raw requests this superstep
+	pending   [][]graph.VertexID      // per owner worker: sorted unique requests sent
+	resp      [][]R                   // per owner worker: values aligned with pending
+	gotResp   []bool
+	respEpoch int32 // superstep whose responses are stored
+
+	// responder side: request lists received in round 1, per source worker
+	asked [][]graph.VertexID
+
+	round       int
+	sentReq     bool
+	receivedReq bool
+}
+
+// NewRequestRespond creates and registers a RequestRespond channel.
+// respond produces the response value from the local index of a
+// requested vertex (paper: function<RespT(VertexT)> — the closure
+// captures the algorithm's vertex state).
+func NewRequestRespond[R any](w *engine.Worker, codec ser.Codec[R], respond func(li int) R) *RequestRespond[R] {
+	c := &RequestRespond[R]{w: w, codec: codec, respond: respond}
+	w.Register(c)
+	return c
+}
+
+// AddRequest asks for the attribute of vertex dst on behalf of the
+// vertex currently computing (paper: add_request(dst)). The response is
+// available via Respond in the next superstep. A vertex may request at
+// most one destination per superstep (as in the paper's API, where the
+// respond value is keyed by the requester).
+func (c *RequestRespond[R]) AddRequest(dst graph.VertexID) {
+	li := c.w.CurrentLocal()
+	c.reqOf.set(li, dst, int32(c.w.Superstep()))
+	o := c.w.Owner(dst)
+	c.staging[o] = append(c.staging[o], dst)
+}
+
+// Respond returns the value for the destination the current vertex
+// requested in the previous superstep.
+func (c *RequestRespond[R]) Respond() (R, bool) {
+	li := c.w.CurrentLocal()
+	dst, ok := c.reqOf.get(li, int32(c.w.Superstep()-1))
+	if !ok {
+		var zero R
+		return zero, false
+	}
+	return c.RespondFor(dst)
+}
+
+// RespondFor returns the response value for an explicitly named
+// destination requested in the previous superstep by any vertex of this
+// worker. It lets several vertices share one deduplicated request.
+func (c *RequestRespond[R]) RespondFor(dst graph.VertexID) (R, bool) {
+	var zero R
+	if c.respEpoch != int32(c.w.Superstep()-1) {
+		return zero, false
+	}
+	o := c.w.Owner(dst)
+	lst := c.pending[o]
+	if !c.gotResp[o] {
+		return zero, false
+	}
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= dst })
+	if i >= len(lst) || lst[i] != dst {
+		return zero, false
+	}
+	return c.resp[o][i], true
+}
+
+// Initialize implements engine.Channel.
+func (c *RequestRespond[R]) Initialize() {
+	m := c.w.NumWorkers()
+	c.reqOf = newStamped[graph.VertexID](c.w.LocalCount())
+	c.staging = make([][]graph.VertexID, m)
+	c.pending = make([][]graph.VertexID, m)
+	c.resp = make([][]R, m)
+	c.gotResp = make([]bool, m)
+	c.asked = make([][]graph.VertexID, m)
+	c.respEpoch = -1
+}
+
+// AfterCompute implements engine.Channel: retire the previous
+// superstep's request/response state (the vertices consumed it during
+// compute) and deduplicate this superstep's requests.
+func (c *RequestRespond[R]) AfterCompute() {
+	c.round = 0
+	c.sentReq = false
+	c.receivedReq = false
+	for o := range c.staging {
+		c.resp[o] = c.resp[o][:0]
+		c.gotResp[o] = false
+		c.asked[o] = c.asked[o][:0]
+		// swap generations, reusing backing arrays
+		c.pending[o], c.staging[o] = c.staging[o], c.pending[o][:0]
+		lst := c.pending[o]
+		if len(lst) == 0 {
+			continue
+		}
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		// dedup in place
+		k := 1
+		for i := 1; i < len(lst); i++ {
+			if lst[i] != lst[i-1] {
+				lst[k] = lst[i]
+				k++
+			}
+		}
+		c.pending[o] = lst[:k]
+		c.sentReq = true
+	}
+}
+
+// Serialize implements engine.Channel.
+func (c *RequestRespond[R]) Serialize(dst int, buf *ser.Buffer) {
+	switch c.round {
+	case 0:
+		// request phase: send the deduplicated ID list
+		lst := c.pending[dst]
+		if len(lst) == 0 {
+			return
+		}
+		buf.WriteUvarint(uint64(len(lst)))
+		for _, id := range lst {
+			buf.WriteUint32(id)
+		}
+	case 1:
+		// respond phase: bare values, in the order of the request list
+		ids := c.asked[dst]
+		if len(ids) == 0 {
+			return
+		}
+		buf.WriteUvarint(uint64(len(ids)))
+		for _, id := range ids {
+			c.codec.Encode(buf, c.respond(c.w.LocalIndex(id)))
+		}
+	}
+}
+
+// Deserialize implements engine.Channel.
+func (c *RequestRespond[R]) Deserialize(src int, buf *ser.Buffer) {
+	n := int(buf.ReadUvarint())
+	switch c.round {
+	case 0:
+		ids := c.asked[src][:0]
+		for i := 0; i < n; i++ {
+			ids = append(ids, buf.ReadUint32())
+		}
+		c.asked[src] = ids
+		c.receivedReq = true
+	case 1:
+		vals := c.resp[src][:0]
+		for i := 0; i < n; i++ {
+			vals = append(vals, c.codec.Decode(buf))
+		}
+		c.resp[src] = vals
+		c.gotResp[src] = true
+	}
+}
+
+// Again implements engine.Channel: ask for the respond round if this
+// worker sent or received any request.
+func (c *RequestRespond[R]) Again() bool {
+	c.round++
+	if c.round == 1 {
+		if c.sentReq || c.receivedReq {
+			c.respEpoch = int32(c.w.Superstep())
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,204 @@
+package channel
+
+import (
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/ser"
+)
+
+// ScatterCombine is the optimized channel for the static messaging
+// pattern (paper §IV-C1, Fig. 5): every vertex sends one value to all of
+// its registered neighbors each superstep, and the receiver needs only
+// the combined value. The edge list is sorted by destination once, at
+// initialization; from then on each superstep produces the combined
+// per-destination messages with a single linear scan — no hashing, no
+// per-message routing, and vertex identifiers are transmitted once per
+// unique destination instead of once per edge (the source of both the
+// 3x runtime gain and the message-size reduction in Table V).
+type ScatterCombine[M any] struct {
+	w       *engine.Worker
+	codec   ser.Codec[M]
+	combine Combiner[M]
+
+	// edge registration (superstep 1): (src local index, dst id)
+	edges    []scEdge
+	prepared bool
+	// after preparation: edges sorted by (owner(dst), dst, src); seg[d]
+	// is the subrange destined to worker d.
+	segStart []int
+	segEnd   []int
+
+	// per-superstep source values, epoch-stamped by SetMessage
+	srcVal stamped[M]
+	// setEpoch is the superstep of the latest SetMessage; supersteps in
+	// which no local vertex scatters skip the edge scan entirely (in a
+	// multi-phase algorithm like S-V most supersteps do not scatter).
+	setEpoch int32
+	// receiver side: dense slot per local vertex
+	in stamped[M]
+}
+
+type scEdge struct {
+	owner int
+	dst   graph.VertexID
+	src   int32 // local index of the source vertex
+}
+
+// NewScatterCombine creates and registers a ScatterCombine channel.
+func NewScatterCombine[M any](w *engine.Worker, codec ser.Codec[M], combine Combiner[M]) *ScatterCombine[M] {
+	c := &ScatterCombine[M]{w: w, codec: codec, combine: combine}
+	w.Register(c)
+	return c
+}
+
+// AddEdge registers an outgoing edge of the vertex currently computing
+// (paper: add_edge(dst)). All edges must be added before the first
+// superstep in which SetMessage is called; adding later panics.
+func (c *ScatterCombine[M]) AddEdge(dst graph.VertexID) {
+	if c.prepared {
+		panic("channel: ScatterCombine.AddEdge after first send")
+	}
+	c.edges = append(c.edges, scEdge{owner: c.w.Owner(dst), dst: dst, src: int32(c.w.CurrentLocal())})
+}
+
+// SetMessage sets the value the current vertex scatters to all its
+// registered neighbors this superstep. A vertex that does not call
+// SetMessage sends nothing.
+func (c *ScatterCombine[M]) SetMessage(m M) {
+	c.setEpoch = int32(c.w.Superstep())
+	c.srcVal.set(c.w.CurrentLocal(), m, c.setEpoch)
+}
+
+// Message returns the combined value delivered to local vertex li in the
+// previous superstep.
+func (c *ScatterCombine[M]) Message(li int) (M, bool) {
+	return c.in.get(li, int32(c.w.Superstep()-1))
+}
+
+// Initialize implements engine.Channel.
+func (c *ScatterCombine[M]) Initialize() {
+	c.srcVal = newStamped[M](c.w.LocalCount())
+	c.in = newStamped[M](c.w.LocalCount())
+}
+
+// prepare sorts the registered edges by (destination worker,
+// destination) and records the per-worker segments — the
+// pre-calculation of Fig. 5. The sort is a 3-pass LSD radix (two
+// 16-bit digits of dst, then owner), which is what keeps the one-time
+// preprocessing cheap relative to a comparison sort.
+func (c *ScatterCombine[M]) prepare() {
+	radixSortEdges(c.edges)
+	m := c.w.NumWorkers()
+	c.segStart = make([]int, m)
+	c.segEnd = make([]int, m)
+	i := 0
+	for d := 0; d < m; d++ {
+		c.segStart[d] = i
+		for i < len(c.edges) && c.edges[i].owner == d {
+			i++
+		}
+		c.segEnd[d] = i
+	}
+	c.prepared = true
+}
+
+// radixSortEdges sorts edges by (owner, dst) with a stable LSD radix
+// sort: low 16 bits of dst, high 16 bits of dst, then owner.
+func radixSortEdges(edges []scEdge) {
+	if len(edges) < 2 {
+		return
+	}
+	buf := make([]scEdge, len(edges))
+	pass := func(src, dst []scEdge, key func(e scEdge) int, buckets int) {
+		count := make([]int, buckets+1)
+		for _, e := range src {
+			count[key(e)+1]++
+		}
+		for i := 1; i <= buckets; i++ {
+			count[i] += count[i-1]
+		}
+		for _, e := range src {
+			k := key(e)
+			dst[count[k]] = e
+			count[k]++
+		}
+	}
+	pass(edges, buf, func(e scEdge) int { return int(e.dst & 0xFFFF) }, 1<<16)
+	pass(buf, edges, func(e scEdge) int { return int(e.dst >> 16) }, 1<<16)
+	maxOwner := 0
+	for _, e := range edges {
+		if e.owner > maxOwner {
+			maxOwner = e.owner
+		}
+	}
+	pass(edges, buf, func(e scEdge) int { return e.owner }, maxOwner+1)
+	copy(edges, buf)
+}
+
+// AfterCompute implements engine.Channel.
+func (c *ScatterCombine[M]) AfterCompute() {
+	if !c.prepared && len(c.edges) > 0 {
+		c.prepare()
+	}
+}
+
+// Serialize implements engine.Channel: one linear scan of the sorted
+// segment for dst, combining runs of equal destination on the fly.
+func (c *ScatterCombine[M]) Serialize(dst int, buf *ser.Buffer) {
+	e := int32(c.w.Superstep())
+	if !c.prepared || c.setEpoch != e {
+		return
+	}
+	i, end := c.segStart[dst], c.segEnd[dst]
+	countPos := -1
+	count := uint32(0)
+	for i < end {
+		d := c.edges[i].dst
+		var acc M
+		have := false
+		for ; i < end && c.edges[i].dst == d; i++ {
+			v, ok := c.srcVal.get(int(c.edges[i].src), e)
+			if !ok {
+				continue
+			}
+			if have {
+				acc = c.combine(acc, v)
+			} else {
+				acc, have = v, true
+			}
+		}
+		if !have {
+			continue
+		}
+		if countPos < 0 {
+			countPos = buf.Len()
+			buf.WriteUint32(0) // patched below
+		}
+		buf.WriteUint32(d)
+		c.codec.Encode(buf, acc)
+		count++
+	}
+	if countPos >= 0 {
+		buf.PatchUint32(countPos, count)
+	}
+}
+
+// Deserialize implements engine.Channel.
+func (c *ScatterCombine[M]) Deserialize(src int, buf *ser.Buffer) {
+	n := int(buf.ReadUint32())
+	e := int32(c.w.Superstep())
+	for i := 0; i < n; i++ {
+		id := buf.ReadUint32()
+		m := c.codec.Decode(buf)
+		li := c.w.LocalIndex(id)
+		if old, ok := c.in.get(li, e); ok {
+			c.in.set(li, c.combine(old, m), e)
+		} else {
+			c.in.set(li, m, e)
+		}
+		c.w.ActivateLocal(li)
+	}
+}
+
+// Again implements engine.Channel.
+func (c *ScatterCombine[M]) Again() bool { return false }

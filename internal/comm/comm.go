@@ -1,0 +1,170 @@
+// Package comm implements the simulated cluster transport. The paper runs
+// on an 8-node EC2 cluster with 750 Mbps links; here workers live in one
+// process and exchange binary buffers pairwise, exactly as in the paper's
+// architecture (Fig. 2): worker k holds one outgoing buffer per peer, and
+// after a synchronization point every worker reads the buffers addressed
+// to it.
+//
+// Two things make this an adequate substrate for reproducing the paper's
+// numbers (see DESIGN.md §2): every message really is serialized to bytes
+// (so the CPU cost of message handling — the hashing vs. linear-scan
+// distinction the optimized channels exploit — is genuinely paid), and
+// every byte that crosses a worker boundary is counted and charged to a
+// configurable bandwidth/latency model, producing a simulated network
+// time comparable across engine variants.
+package comm
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ser"
+)
+
+// CostModel converts per-round communication volume into simulated
+// network time. The defaults model the paper's cluster: 750 Mbps
+// full-duplex per node pair and a synchronization latency per exchange
+// round.
+type CostModel struct {
+	// BytesPerSecond is the per-worker outbound bandwidth. Zero selects
+	// the default (750 Mbps ≈ 93.75 MB/s).
+	BytesPerSecond float64
+	// RoundLatency is the fixed synchronization cost charged per
+	// exchange round (barrier + RPC setup). Zero selects 1 ms.
+	RoundLatency time.Duration
+}
+
+func (c CostModel) withDefaults() CostModel {
+	if c.BytesPerSecond == 0 {
+		c.BytesPerSecond = 750e6 / 8
+	}
+	if c.RoundLatency == 0 {
+		c.RoundLatency = time.Millisecond
+	}
+	return c
+}
+
+// RoundTime returns the simulated duration of one exchange round in
+// which the busiest worker sent maxBytes bytes off-node.
+func (c CostModel) RoundTime(maxBytes int64) time.Duration {
+	c = c.withDefaults()
+	return c.RoundLatency + time.Duration(float64(maxBytes)/c.BytesPerSecond*float64(time.Second))
+}
+
+// Stats accumulates communication statistics over a run.
+type Stats struct {
+	// NetworkBytes counts bytes sent between distinct workers.
+	NetworkBytes int64
+	// LocalBytes counts loopback bytes (worker to itself). The paper's
+	// "message (GB)" columns count network traffic; local bytes are
+	// reported separately.
+	LocalBytes int64
+	// Rounds counts buffer-exchange rounds (≥ 1 per superstep).
+	Rounds int64
+	// SimNetTime is the simulated network time under the cost model.
+	SimNetTime time.Duration
+}
+
+// Exchanger owns the M×M buffer matrix. Out[s][d] is worker s's outgoing
+// buffer for worker d; after a barrier, worker d reads In(d, s) == Out[s][d].
+// The engine provides the synchronization; Exchanger provides storage and
+// accounting.
+type Exchanger struct {
+	m         int
+	out       [][]*ser.Buffer
+	roundSent []int64 // per-source bytes in the current round (off-node only)
+	cost      CostModel
+
+	netBytes   atomic.Int64
+	localBytes atomic.Int64
+	rounds     int64
+	simNet     time.Duration
+}
+
+// NewExchanger creates the buffer matrix for m workers.
+func NewExchanger(m int, cost CostModel) *Exchanger {
+	e := &Exchanger{
+		m:         m,
+		out:       make([][]*ser.Buffer, m),
+		roundSent: make([]int64, m),
+		cost:      cost.withDefaults(),
+	}
+	for s := 0; s < m; s++ {
+		e.out[s] = make([]*ser.Buffer, m)
+		for d := 0; d < m; d++ {
+			e.out[s][d] = ser.NewBuffer(1024)
+		}
+	}
+	return e
+}
+
+// NumWorkers returns the worker count.
+func (e *Exchanger) NumWorkers() int { return e.m }
+
+// Out returns worker src's outgoing buffer for dst. Only worker src may
+// write it, and only between the post-deserialize barrier and the
+// pre-deserialize barrier of the next round.
+func (e *Exchanger) Out(src, dst int) *ser.Buffer { return e.out[src][dst] }
+
+// In returns the buffer worker src sent to dst this round. Only worker
+// dst may read it, after the serialize barrier.
+func (e *Exchanger) In(dst, src int) *ser.Buffer { return e.out[src][dst] }
+
+// FinishSerialize is called by worker src after it has written all its
+// outgoing buffers for the round; it accounts the bytes.
+func (e *Exchanger) FinishSerialize(src int) {
+	var net, local int64
+	for d := 0; d < e.m; d++ {
+		n := int64(e.out[src][d].Len())
+		if d == src {
+			local += n
+		} else {
+			net += n
+		}
+	}
+	e.roundSent[src] = net
+	e.netBytes.Add(net)
+	e.localBytes.Add(local)
+}
+
+// FinishRound is called exactly once per round (by one worker, between
+// the serialize barrier and the reset barrier); it charges the cost
+// model using the busiest worker's outbound volume and clears the
+// per-round counters.
+func (e *Exchanger) FinishRound() {
+	var mx int64
+	for s := 0; s < e.m; s++ {
+		if e.roundSent[s] > mx {
+			mx = e.roundSent[s]
+		}
+		e.roundSent[s] = 0
+	}
+	e.rounds++
+	e.simNet += e.cost.RoundTime(mx)
+}
+
+// ResetRow rewinds and clears worker src's outgoing buffers. Called by
+// worker src after every peer has consumed the round's data.
+func (e *Exchanger) ResetRow(src int) {
+	for d := 0; d < e.m; d++ {
+		e.out[src][d].Reset()
+	}
+}
+
+// RewindRow rewinds the read cursors of the buffers addressed to dst so
+// they can be parsed. Called by worker dst before deserializing.
+func (e *Exchanger) RewindRow(dst int) {
+	for s := 0; s < e.m; s++ {
+		e.out[s][dst].Rewind()
+	}
+}
+
+// Stats returns the accumulated statistics.
+func (e *Exchanger) Stats() Stats {
+	return Stats{
+		NetworkBytes: e.netBytes.Load(),
+		LocalBytes:   e.localBytes.Load(),
+		Rounds:       e.rounds,
+		SimNetTime:   e.simNet,
+	}
+}

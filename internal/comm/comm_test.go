@@ -1,0 +1,100 @@
+package comm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExchangerAccounting(t *testing.T) {
+	e := NewExchanger(3, CostModel{})
+	// worker 0 sends 4 bytes to 1, 8 to 2, 2 to itself
+	e.Out(0, 1).WriteUint32(1)
+	e.Out(0, 2).WriteUint64(1)
+	e.Out(0, 0).WriteUint8(1)
+	e.Out(0, 0).WriteUint8(2)
+	e.FinishSerialize(0)
+	e.FinishSerialize(1)
+	e.FinishSerialize(2)
+	e.FinishRound()
+	s := e.Stats()
+	if s.NetworkBytes != 12 {
+		t.Errorf("net=%d want 12", s.NetworkBytes)
+	}
+	if s.LocalBytes != 2 {
+		t.Errorf("local=%d want 2", s.LocalBytes)
+	}
+	if s.Rounds != 1 {
+		t.Errorf("rounds=%d", s.Rounds)
+	}
+	if s.SimNetTime <= 0 {
+		t.Errorf("simnet=%v", s.SimNetTime)
+	}
+}
+
+func TestExchangerInOutAliasing(t *testing.T) {
+	e := NewExchanger(2, CostModel{})
+	e.Out(0, 1).WriteUint32(99)
+	in := e.In(1, 0)
+	if got := in.ReadUint32(); got != 99 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func TestResetRow(t *testing.T) {
+	e := NewExchanger(2, CostModel{})
+	e.Out(0, 1).WriteUint32(5)
+	e.ResetRow(0)
+	if e.Out(0, 1).Len() != 0 {
+		t.Errorf("buffer not reset")
+	}
+}
+
+func TestCostModelRoundTime(t *testing.T) {
+	c := CostModel{BytesPerSecond: 1000, RoundLatency: time.Millisecond}
+	got := c.RoundTime(500)
+	want := time.Millisecond + 500*time.Millisecond
+	if got != want {
+		t.Errorf("got %v want %v", got, want)
+	}
+	// defaults fill in
+	var d CostModel
+	if d.RoundTime(0) != time.Millisecond {
+		t.Errorf("default latency wrong: %v", d.RoundTime(0))
+	}
+}
+
+func TestCostChargesBusiestWorker(t *testing.T) {
+	cost := CostModel{BytesPerSecond: 100, RoundLatency: 0}
+	e := NewExchanger(2, cost)
+	e.Out(0, 1).WriteUint64(0) // 8 bytes
+	e.Out(1, 0).WriteUint32(0) // 4 bytes
+	e.FinishSerialize(0)
+	e.FinishSerialize(1)
+	e.FinishRound()
+	s := e.Stats()
+	// busiest worker sent 8 bytes at 100 B/s = 80ms... plus default latency
+	// (RoundLatency 0 selects the default 1ms)
+	want := time.Millisecond + 80*time.Millisecond
+	if s.SimNetTime != want {
+		t.Errorf("simnet=%v want %v", s.SimNetTime, want)
+	}
+}
+
+func TestMultipleRounds(t *testing.T) {
+	e := NewExchanger(2, CostModel{})
+	for r := 0; r < 3; r++ {
+		e.Out(0, 1).WriteUint32(uint32(r))
+		e.FinishSerialize(0)
+		e.FinishSerialize(1)
+		e.FinishRound()
+		e.ResetRow(0)
+		e.ResetRow(1)
+	}
+	s := e.Stats()
+	if s.Rounds != 3 {
+		t.Errorf("rounds=%d", s.Rounds)
+	}
+	if s.NetworkBytes != 12 {
+		t.Errorf("net=%d", s.NetworkBytes)
+	}
+}

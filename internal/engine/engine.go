@@ -1,0 +1,380 @@
+// Package engine implements the channel-based BSP runtime — the system
+// the paper proposes. A Job runs M workers (goroutines standing in for
+// cluster nodes), each owning a disjoint set of vertices. Computation
+// proceeds in supersteps; within a superstep, after the per-vertex
+// compute calls, the registered channels run one or more buffer-exchange
+// rounds (paper Fig. 4) until no channel on any worker asks for another
+// round. Channels are the only communication mechanism; the engine knows
+// nothing about message semantics.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/ser"
+)
+
+// Channel is the interface every communication channel implements — the
+// Go rendering of the paper's base class (Fig. 3): initialize(),
+// serialize(), deserialize(), again(). AfterCompute is an explicit hook
+// the C++ system hides inside its superstep driver; channels use it to
+// retire the inbox the vertices just consumed and to stage the outbox.
+type Channel interface {
+	// Initialize is called once on every worker before superstep 1.
+	Initialize()
+	// AfterCompute is called after the worker finishes its local compute
+	// calls, before the first exchange round of the superstep.
+	AfterCompute()
+	// Serialize appends this channel's outgoing data for worker dst to
+	// buf. It is called once per destination per round while the channel
+	// is active, in increasing dst order (dst == own worker id is the
+	// local loopback).
+	Serialize(dst int, buf *ser.Buffer)
+	// Deserialize consumes one frame previously written by this
+	// channel on worker src.
+	Deserialize(src int, buf *ser.Buffer)
+	// Again is called exactly once per exchange round on every
+	// registered channel (active or not) after all Deserialize calls;
+	// returning true requests another round (paper: again()).
+	Again() bool
+}
+
+// Config configures a Job.
+type Config struct {
+	Part *partition.Partition
+	Cost comm.CostModel
+	// MaxSupersteps aborts runaway jobs; 0 means 10_000.
+	MaxSupersteps int
+	// MaxRoundsPerStep aborts a superstep whose channels never stop
+	// asking for another exchange round (a buggy Again implementation);
+	// 0 means 1_000_000.
+	MaxRoundsPerStep int
+}
+
+// Metrics summarizes a finished run. RunTime is the measured wall time
+// of the in-process simulation; SimTime adds the simulated network time
+// from the cost model, which is the number comparable to the paper's
+// distributed runtimes.
+type Metrics struct {
+	Supersteps int
+	Comm       comm.Stats
+	WallTime   time.Duration
+}
+
+// SimTime returns wall time plus simulated network time.
+func (m Metrics) SimTime() time.Duration { return m.WallTime + m.Comm.SimNetTime }
+
+// Worker is the per-node runtime handle. Algorithms receive one Worker
+// in their setup function, register channels on it, allocate per-worker
+// vertex state (slices indexed by local index), and install Compute.
+type Worker struct {
+	id   int
+	part *partition.Partition
+	job  *job
+
+	channels []Channel
+	chActive []bool
+
+	active      []bool
+	activeCount int
+	current     int
+	superstep   int
+
+	// Compute is invoked once per active local vertex per superstep
+	// with the vertex's local index. Installed by the algorithm's setup
+	// function.
+	Compute func(li int)
+}
+
+// WorkerID returns this worker's id in [0, NumWorkers).
+func (w *Worker) WorkerID() int { return w.id }
+
+// NumWorkers returns the number of workers in the job.
+func (w *Worker) NumWorkers() int { return w.part.NumWorkers() }
+
+// NumVertices returns the total number of vertices in the graph.
+func (w *Worker) NumVertices() int { return w.part.NumVertices() }
+
+// LocalCount returns the number of vertices owned by this worker.
+func (w *Worker) LocalCount() int { return w.part.LocalCount(w.id) }
+
+// GlobalID returns the vertex id at local index li.
+func (w *Worker) GlobalID(li int) graph.VertexID { return w.part.GlobalID(w.id, li) }
+
+// Owner returns the worker owning vertex v.
+func (w *Worker) Owner(v graph.VertexID) int { return w.part.Owner(v) }
+
+// LocalIndex returns v's local index on its owner.
+func (w *Worker) LocalIndex(v graph.VertexID) int { return w.part.LocalIndex(v) }
+
+// Part returns the partition.
+func (w *Worker) Part() *partition.Partition { return w.part }
+
+// Superstep returns the current superstep number, starting at 1
+// (paper: step_num()).
+func (w *Worker) Superstep() int { return w.superstep }
+
+// CurrentLocal returns the local index of the vertex whose Compute call
+// is in progress. Channels use it to attribute sends and edge
+// registrations to the calling vertex (paper: the implicit "this vertex"
+// of the channel APIs).
+func (w *Worker) CurrentLocal() int { return w.current }
+
+// VoteToHalt deactivates the vertex currently computing. It is
+// reactivated when a channel delivers it a message.
+func (w *Worker) VoteToHalt() { w.DeactivateLocal(w.current) }
+
+// DeactivateLocal halts the vertex at local index li.
+func (w *Worker) DeactivateLocal(li int) {
+	if w.active[li] {
+		w.active[li] = false
+		w.activeCount--
+	}
+}
+
+// ActivateLocal wakes the vertex at local index li. Channels call this
+// on message delivery; it takes effect at the next superstep.
+func (w *Worker) ActivateLocal(li int) {
+	if !w.active[li] {
+		w.active[li] = true
+		w.activeCount++
+	}
+}
+
+// IsActiveLocal reports whether local vertex li is currently active.
+func (w *Worker) IsActiveLocal(li int) bool { return w.active[li] }
+
+// Register adds a channel to the worker and returns its channel id.
+// All workers must register the same channels in the same order.
+func (w *Worker) Register(c Channel) int {
+	w.channels = append(w.channels, c)
+	w.chActive = append(w.chActive, false)
+	return len(w.channels) - 1
+}
+
+// job is the shared coordination state.
+type job struct {
+	cfg     Config
+	ex      *comm.Exchanger
+	bar     *barrier
+	anyChan []bool // per-worker: any channel wants another round
+	actives []int  // per-worker active vertex counts
+	halt    []bool // per-worker: algorithm requested early stop
+}
+
+// barrier is a reusable counting barrier for M goroutines.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// RequestStop asks the engine to terminate after the current superstep,
+// regardless of remaining active vertices. Any worker may call it during
+// compute (e.g. when an aggregator shows convergence).
+func (w *Worker) RequestStop() { w.job.halt[w.id] = true }
+
+// Run executes a job. setup is called once per worker, concurrently,
+// before superstep 1; it must register the same channel sequence on
+// every worker and install w.Compute. Run returns when no vertex is
+// active on any worker, when a worker calls RequestStop, or when
+// MaxSupersteps is hit (which is reported as an error).
+func Run(cfg Config, setup func(w *Worker)) (Metrics, error) {
+	if cfg.Part == nil {
+		return Metrics{}, fmt.Errorf("engine: Config.Part is required")
+	}
+	maxSteps := cfg.MaxSupersteps
+	if maxSteps == 0 {
+		maxSteps = 10000
+	}
+	m := cfg.Part.NumWorkers()
+	j := &job{
+		cfg:     cfg,
+		ex:      comm.NewExchanger(m, cfg.Cost),
+		bar:     newBarrier(m),
+		anyChan: make([]bool, m),
+		actives: make([]int, m),
+		halt:    make([]bool, m),
+	}
+	workers := make([]*Worker, m)
+	for i := 0; i < m; i++ {
+		workers[i] = &Worker{id: i, part: cfg.Part, job: j, current: -1}
+	}
+
+	start := time.Now()
+	errs := make([]error, m)
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			errs[w.id] = w.run(setup, maxSteps)
+		}(workers[i])
+	}
+	wg.Wait()
+
+	met := Metrics{
+		Supersteps: workers[0].superstep,
+		Comm:       j.ex.Stats(),
+		WallTime:   time.Since(start),
+	}
+	for _, err := range errs {
+		if err != nil {
+			return met, err
+		}
+	}
+	return met, nil
+}
+
+func (w *Worker) run(setup func(w *Worker), maxSteps int) error {
+	j := w.job
+	m := w.NumWorkers()
+
+	// Per-worker setup: allocate state, register channels, set Compute.
+	setup(w)
+	if w.Compute == nil {
+		return fmt.Errorf("engine: worker %d: setup did not install Compute", w.id)
+	}
+	// All vertices start active (paper Fig. 4 line 3).
+	w.active = make([]bool, w.LocalCount())
+	for i := range w.active {
+		w.active[i] = true
+	}
+	w.activeCount = len(w.active)
+
+	j.bar.wait() // all workers finished setup (channel registration complete)
+	for _, c := range w.channels {
+		c.Initialize()
+	}
+	j.bar.wait()
+
+	for {
+		w.superstep++
+		if w.superstep > maxSteps {
+			return fmt.Errorf("engine: exceeded MaxSupersteps=%d", maxSteps)
+		}
+
+		// Compute phase: every active local vertex.
+		for li := 0; li < len(w.active); li++ {
+			if w.active[li] {
+				w.current = li
+				w.Compute(li)
+			}
+		}
+		w.current = -1
+		for _, c := range w.channels {
+			c.AfterCompute()
+		}
+
+		// Exchange rounds (paper Fig. 4 lines 6-14). Every superstep has
+		// at least one round; rounds continue while any channel on any
+		// worker asks again.
+		for ci := range w.chActive {
+			w.chActive[ci] = true
+		}
+		maxRounds := j.cfg.MaxRoundsPerStep
+		if maxRounds == 0 {
+			maxRounds = 1_000_000
+		}
+		round := 0
+		for {
+			round++
+			if round > maxRounds {
+				return fmt.Errorf("engine: superstep %d exceeded MaxRoundsPerStep=%d", w.superstep, maxRounds)
+			}
+			for ci, c := range w.channels {
+				if !w.chActive[ci] {
+					continue
+				}
+				for dst := 0; dst < m; dst++ {
+					buf := j.ex.Out(w.id, dst)
+					mark := buf.Len()
+					buf.WriteUvarint(uint64(ci))
+					frame := buf.BeginFrame()
+					c.Serialize(dst, buf)
+					buf.EndFrame(frame)
+					if buf.Len() == frame+4 {
+						buf.Truncate(mark) // nothing written: drop the empty frame
+					}
+				}
+			}
+			j.ex.FinishSerialize(w.id)
+			j.bar.wait() // serialize barrier: all outgoing buffers final
+
+			if w.id == 0 {
+				j.ex.FinishRound()
+			}
+			for src := 0; src < m; src++ {
+				in := j.ex.In(w.id, src)
+				for in.Remaining() > 0 {
+					ci := int(in.ReadUvarint())
+					if ci < 0 || ci >= len(w.channels) {
+						return fmt.Errorf("engine: worker %d: bad channel id %d from worker %d", w.id, ci, src)
+					}
+					sub := in.ReadFrame()
+					w.channels[ci].Deserialize(src, sub)
+				}
+			}
+			any := false
+			for ci, c := range w.channels {
+				w.chActive[ci] = c.Again()
+				any = any || w.chActive[ci]
+			}
+			j.anyChan[w.id] = any
+			j.bar.wait() // deserialize barrier: all inputs consumed, flags posted
+
+			j.ex.ResetRow(w.id)
+			global := false
+			for i := 0; i < m; i++ {
+				global = global || j.anyChan[i]
+			}
+			j.bar.wait() // reset barrier: safe to write next round
+			if !global {
+				break
+			}
+		}
+
+		// Global termination check.
+		j.actives[w.id] = w.activeCount
+		j.bar.wait()
+		total := 0
+		stop := false
+		for i := 0; i < m; i++ {
+			total += j.actives[i]
+			stop = stop || j.halt[i]
+		}
+		j.bar.wait() // all workers have read the counts
+		if total == 0 || stop {
+			return nil
+		}
+	}
+}

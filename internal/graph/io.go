@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g as a text edge list: first line "n m [w]",
+// then one "src dst [weight]" line per directed edge. This is the
+// interchange format of cmd/graphgen.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	flag := ""
+	if g.Weighted() {
+		flag = " w"
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d%s\n", g.NumVertices(), g.NumEdges(), flag); err != nil {
+		return err
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		nbrs := g.Neighbors(VertexID(u))
+		var ws []int32
+		if g.Weighted() {
+			ws = g.NeighborWeights(VertexID(u))
+		}
+		for i, v := range nbrs {
+			var err error
+			if ws != nil {
+				_, err = fmt.Fprintf(bw, "%d %d %d\n", u, v, ws[i])
+			} else {
+				_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: empty edge list")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) < 2 {
+		return nil, fmt.Errorf("graph: bad header %q", sc.Text())
+	}
+	n, err := strconv.Atoi(header[0])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad vertex count: %w", err)
+	}
+	m, err := strconv.Atoi(header[1])
+	if err != nil {
+		return nil, fmt.Errorf("graph: bad edge count: %w", err)
+	}
+	weighted := len(header) >= 3 && header[2] == "w"
+	edges := make([]Edge, 0, m)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("graph: bad edge line %q", line)
+		}
+		src, err := strconv.ParseUint(f[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad src in %q: %w", line, err)
+		}
+		dst, err := strconv.ParseUint(f[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad dst in %q: %w", line, err)
+		}
+		e := Edge{Src: VertexID(src), Dst: VertexID(dst)}
+		if weighted {
+			if len(f) < 3 {
+				return nil, fmt.Errorf("graph: missing weight in %q", line)
+			}
+			w, err := strconv.ParseInt(f[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: bad weight in %q: %w", line, err)
+			}
+			e.Weight = int32(w)
+		}
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(edges) != m {
+		return nil, fmt.Errorf("graph: header claims %d edges, found %d", m, len(edges))
+	}
+	return FromEdges(n, edges, weighted), nil
+}

@@ -1,0 +1,116 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func checkBijection(t *testing.T, p *Partition) {
+	t.Helper()
+	n := p.NumVertices()
+	seen := make([]bool, n)
+	total := 0
+	for w := 0; w < p.NumWorkers(); w++ {
+		total += p.LocalCount(w)
+		for li := 0; li < p.LocalCount(w); li++ {
+			id := p.GlobalID(w, li)
+			if seen[id] {
+				t.Fatalf("vertex %d appears twice", id)
+			}
+			seen[id] = true
+			if p.Owner(id) != w {
+				t.Fatalf("owner(%d)=%d want %d", id, p.Owner(id), w)
+			}
+			if p.LocalIndex(id) != li {
+				t.Fatalf("local(%d)=%d want %d", id, p.LocalIndex(id), li)
+			}
+		}
+	}
+	if total != n {
+		t.Fatalf("total locals %d want %d", total, n)
+	}
+}
+
+func TestHashPartition(t *testing.T) {
+	p := Hash(103, 4)
+	if p.NumWorkers() != 4 || p.NumVertices() != 103 {
+		t.Fatalf("basic shape wrong")
+	}
+	checkBijection(t, p)
+	// balance within 1
+	min, max := 1<<30, 0
+	for w := 0; w < 4; w++ {
+		c := p.LocalCount(w)
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("imbalance: min=%d max=%d", min, max)
+	}
+}
+
+func TestGreedyPartition(t *testing.T) {
+	g := graph.Grid(20, 20, 5, 1)
+	p := Greedy(g, 4)
+	checkBijection(t, p)
+	// near-balanced
+	for w := 0; w < 4; w++ {
+		c := p.LocalCount(w)
+		if c < 80 || c > 120 {
+			t.Errorf("worker %d has %d vertices", w, c)
+		}
+	}
+	// locality: greedy cut must be far below hash cut on a grid
+	hashCut := EdgeCut(g, Hash(g.NumVertices(), 4))
+	greedyCut := EdgeCut(g, p)
+	if greedyCut > hashCut/3 {
+		t.Errorf("greedy cut %.3f not much better than hash cut %.3f", greedyCut, hashCut)
+	}
+}
+
+func TestGreedyCoversDisconnected(t *testing.T) {
+	// graph with isolated vertices and several components
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}, {Src: 5, Dst: 6}, {Src: 6, Dst: 5}}
+	g := graph.FromEdges(10, edges, false)
+	p := Greedy(g, 3)
+	checkBijection(t, p)
+}
+
+func TestSingleWorker(t *testing.T) {
+	p := Hash(10, 1)
+	checkBijection(t, p)
+	if EdgeCut(graph.Chain(10), p) != 0 {
+		t.Errorf("single worker should have zero cut")
+	}
+}
+
+func TestEdgeCutEmptyGraph(t *testing.T) {
+	g := graph.FromEdges(5, nil, false)
+	if EdgeCut(g, Hash(5, 2)) != 0 {
+		t.Error("empty graph cut should be 0")
+	}
+}
+
+func TestHashPartitionProperty(t *testing.T) {
+	f := func(nRaw, wRaw uint8) bool {
+		n := int(nRaw)%500 + 1
+		w := int(wRaw)%8 + 1
+		p := Hash(n, w)
+		for v := 0; v < n; v++ {
+			id := graph.VertexID(v)
+			if p.GlobalID(p.Owner(id), p.LocalIndex(id)) != id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

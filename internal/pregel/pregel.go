@@ -1,0 +1,339 @@
+// Package pregel implements the baseline the paper compares against: a
+// classic Pregel engine with a monolithic message-passing interface, in
+// the style of Pregel+. One global message type serves every
+// communication in the program (the root cause of the problems §II-B
+// describes), a single optional global combiner applies to all messages
+// or none, and two optional special modes extend the engine the way
+// Pregel+ does:
+//
+//   - reqresp mode: vertices may request an attribute of any vertex;
+//     requests are merged per worker, but — as in Pregel+ and unlike the
+//     paper's RequestRespond channel — each response carries the
+//     requested vertex ID alongside the value (§V-B2 measures this
+//     difference as a constant 33% reply-size overhead);
+//   - ghost (mirroring) mode: vertices whose degree reaches the
+//     threshold broadcast to neighbors via per-worker mirrors, sending
+//     one message per worker instead of one per neighbor (sender-side
+//     combining, §V-B1).
+//
+// The engine shares the partition, serialization, and simulated
+// transport with the channel engine, so runtimes and byte counts are
+// directly comparable.
+package pregel
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/ser"
+)
+
+// Config configures a baseline job. M is the single global message type,
+// R the reqresp response type and A the aggregator type (use struct{}
+// and nil codecs for unused facilities).
+type Config[M, R, A any] struct {
+	Part *partition.Partition
+	Cost comm.CostModel
+	// MaxSupersteps aborts runaway jobs; 0 means 10_000.
+	MaxSupersteps int
+
+	// MsgCodec encodes the global message type.
+	MsgCodec ser.Codec[M]
+	// Combiner, if non-nil, is the single global combiner applied to all
+	// messages (Pregel's rule: one combiner for the whole program).
+	Combiner func(a, b M) M
+
+	// Responder enables reqresp mode: it produces the response for a
+	// requested local vertex. RespCodec must be set with it.
+	Responder func(w *Worker[M, R, A], li int) R
+	RespCodec ser.Codec[R]
+
+	// AggCombine enables the aggregator; AggCodec must be set with it.
+	AggCombine func(a, b A) A
+	AggCodec   ser.Codec[A]
+	AggZero    A
+
+	// GhostThreshold enables ghost (mirroring) mode for SendToNbrs when
+	// > 0: vertices with at least this many out-edges broadcast via
+	// mirrors (the paper uses threshold 16). Adjacency is required for
+	// SendToNbrs in any case.
+	GhostThreshold int
+	Adjacency      *graph.Graph
+}
+
+// Metrics mirrors engine.Metrics for the baseline engine.
+type Metrics struct {
+	Supersteps int
+	Comm       comm.Stats
+	WallTime   time.Duration
+}
+
+// SimTime returns wall time plus simulated network time.
+func (m Metrics) SimTime() time.Duration { return m.WallTime + m.Comm.SimNetTime }
+
+// Worker is the per-node handle passed to the algorithm.
+type Worker[M, R, A any] struct {
+	id  int
+	cfg *Config[M, R, A]
+	job *job[M, R, A]
+
+	active      []bool
+	activeCount int
+	current     int
+	superstep   int
+
+	// Compute is invoked for every active local vertex each superstep
+	// with the combined/collected messages from the previous superstep.
+	Compute func(li int, msgs []M)
+
+	// outgoing message staging
+	outDirect [][]dmsg[M]            // basic mode: per dst worker
+	outComb   []map[graph.VertexID]M // combiner mode: per dst worker
+	outGhost  [][]dmsg[M]            // ghost broadcasts: per dst worker (dst = hub id)
+	// ghost tables
+	hubWorkers [][]int32                  // per local hub slot: worker ids with mirrors
+	hubSlot    []int32                    // per local vertex: index into hubWorkers or -1
+	ghostAdj   map[graph.VertexID][]int32 // hub id -> local neighbor indices on this worker
+
+	// inbox (delivered last superstep)
+	inboxList [][]M
+	touched   []int
+	inComb    []M
+	inCombSet []int32 // epoch stamps
+	scratch   []M
+
+	// reqresp state
+	reqStaging [][]graph.VertexID
+	reqPending [][]graph.VertexID
+	asked      [][]graph.VertexID
+	respVals   []map[graph.VertexID]R
+	reqOf      []graph.VertexID
+	reqEpoch   []int32
+
+	// aggregator state
+	aggCurr     A
+	aggCurrSet  bool
+	aggResult   A
+	aggGathered A
+	aggGathSet  bool
+}
+
+type dmsg[M any] struct {
+	dst graph.VertexID
+	m   M
+}
+
+type job[M, R, A any] struct {
+	cfg     *Config[M, R, A]
+	ex      *comm.Exchanger
+	bar     *barrier
+	actives []int
+	halt    []bool
+}
+
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// --- Worker API used by algorithm closures ---
+
+// WorkerID returns this worker's id.
+func (w *Worker[M, R, A]) WorkerID() int { return w.id }
+
+// NumWorkers returns the worker count.
+func (w *Worker[M, R, A]) NumWorkers() int { return w.cfg.Part.NumWorkers() }
+
+// NumVertices returns the global vertex count.
+func (w *Worker[M, R, A]) NumVertices() int { return w.cfg.Part.NumVertices() }
+
+// LocalCount returns the number of local vertices.
+func (w *Worker[M, R, A]) LocalCount() int { return w.cfg.Part.LocalCount(w.id) }
+
+// GlobalID returns the vertex id at local index li.
+func (w *Worker[M, R, A]) GlobalID(li int) graph.VertexID { return w.cfg.Part.GlobalID(w.id, li) }
+
+// LocalIndex returns v's local index on its owner.
+func (w *Worker[M, R, A]) LocalIndex(v graph.VertexID) int { return w.cfg.Part.LocalIndex(v) }
+
+// Owner returns the worker owning v.
+func (w *Worker[M, R, A]) Owner(v graph.VertexID) int { return w.cfg.Part.Owner(v) }
+
+// Superstep returns the current superstep, starting at 1.
+func (w *Worker[M, R, A]) Superstep() int { return w.superstep }
+
+// VoteToHalt halts the current vertex until a message reactivates it.
+func (w *Worker[M, R, A]) VoteToHalt() {
+	if w.active[w.current] {
+		w.active[w.current] = false
+		w.activeCount--
+	}
+}
+
+// ActivateLocal wakes local vertex li.
+func (w *Worker[M, R, A]) ActivateLocal(li int) {
+	if !w.active[li] {
+		w.active[li] = true
+		w.activeCount++
+	}
+}
+
+// RequestStop terminates the job after this superstep.
+func (w *Worker[M, R, A]) RequestStop() { w.job.halt[w.id] = true }
+
+// Send sends m to vertex dst, delivered next superstep.
+func (w *Worker[M, R, A]) Send(dst graph.VertexID, m M) {
+	o := w.Owner(dst)
+	if w.cfg.Combiner != nil {
+		if old, ok := w.outComb[o][dst]; ok {
+			w.outComb[o][dst] = w.cfg.Combiner(old, m)
+		} else {
+			w.outComb[o][dst] = m
+		}
+		return
+	}
+	w.outDirect[o] = append(w.outDirect[o], dmsg[M]{dst: dst, m: m})
+}
+
+// SendToNbrs broadcasts m along the out-edges of the current vertex.
+// With ghost mode enabled and the vertex above the threshold, one
+// message per mirror worker is sent instead of one per neighbor.
+func (w *Worker[M, R, A]) SendToNbrs(m M) {
+	g := w.cfg.Adjacency
+	if g == nil {
+		panic("pregel: SendToNbrs requires Config.Adjacency")
+	}
+	id := w.GlobalID(w.current)
+	if slot := w.hubSlot; slot != nil && slot[w.current] >= 0 {
+		for _, wk := range w.hubWorkers[slot[w.current]] {
+			w.outGhost[wk] = append(w.outGhost[wk], dmsg[M]{dst: id, m: m})
+		}
+		return
+	}
+	for _, v := range g.Neighbors(id) {
+		w.Send(v, m)
+	}
+}
+
+// Request asks for vertex dst's attribute (reqresp mode); the response
+// is available next superstep via Resp.
+func (w *Worker[M, R, A]) Request(dst graph.VertexID) {
+	if w.cfg.Responder == nil {
+		panic("pregel: Request requires Config.Responder")
+	}
+	w.reqOf[w.current] = dst
+	w.reqEpoch[w.current] = int32(w.superstep)
+	o := w.Owner(dst)
+	w.reqStaging[o] = append(w.reqStaging[o], dst)
+}
+
+// Resp returns the response for the destination the current vertex
+// requested in the previous superstep.
+func (w *Worker[M, R, A]) Resp() (R, bool) {
+	var zero R
+	if w.reqEpoch[w.current] != int32(w.superstep-1) {
+		return zero, false
+	}
+	return w.RespFor(w.reqOf[w.current])
+}
+
+// RespFor returns the response for an explicit destination requested in
+// the previous superstep by any vertex of this worker.
+func (w *Worker[M, R, A]) RespFor(dst graph.VertexID) (R, bool) {
+	v, ok := w.respVals[w.Owner(dst)][dst]
+	return v, ok
+}
+
+// Aggregate contributes a to this superstep's aggregation.
+func (w *Worker[M, R, A]) Aggregate(a A) {
+	if w.cfg.AggCombine == nil {
+		panic("pregel: Aggregate requires Config.AggCombine")
+	}
+	if w.aggCurrSet {
+		w.aggCurr = w.cfg.AggCombine(w.aggCurr, a)
+	} else {
+		w.aggCurr = a
+		w.aggCurrSet = true
+	}
+}
+
+// AggResult returns the aggregate of the previous superstep.
+func (w *Worker[M, R, A]) AggResult() A { return w.aggResult }
+
+// Run executes a baseline job. setup is called once per worker to
+// allocate state and install Compute.
+func Run[M, R, A any](cfg Config[M, R, A], setup func(w *Worker[M, R, A])) (Metrics, error) {
+	if cfg.Part == nil {
+		return Metrics{}, fmt.Errorf("pregel: Config.Part is required")
+	}
+	if cfg.MsgCodec == nil {
+		return Metrics{}, fmt.Errorf("pregel: Config.MsgCodec is required")
+	}
+	maxSteps := cfg.MaxSupersteps
+	if maxSteps == 0 {
+		maxSteps = 10000
+	}
+	m := cfg.Part.NumWorkers()
+	j := &job[M, R, A]{
+		cfg:     &cfg,
+		ex:      comm.NewExchanger(m, cfg.Cost),
+		bar:     newBarrier(m),
+		actives: make([]int, m),
+		halt:    make([]bool, m),
+	}
+	workers := make([]*Worker[M, R, A], m)
+	for i := 0; i < m; i++ {
+		workers[i] = &Worker[M, R, A]{id: i, cfg: &cfg, job: j, current: -1}
+	}
+	start := time.Now()
+	errs := make([]error, m)
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(w *Worker[M, R, A]) {
+			defer wg.Done()
+			errs[w.id] = w.run(setup, maxSteps)
+		}(workers[i])
+	}
+	wg.Wait()
+	met := Metrics{
+		Supersteps: workers[0].superstep,
+		Comm:       j.ex.Stats(),
+		WallTime:   time.Since(start),
+	}
+	for _, err := range errs {
+		if err != nil {
+			return met, err
+		}
+	}
+	return met, nil
+}

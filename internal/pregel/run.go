@@ -1,0 +1,376 @@
+package pregel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/ser"
+)
+
+// run is the per-worker superstep loop of the baseline engine. The wire
+// protocol is fixed by the configuration: round 1 carries messages,
+// ghost broadcasts, requests and aggregator partials; round 2 (present
+// iff reqresp or an aggregator is configured) carries responses and the
+// aggregator result.
+func (w *Worker[M, R, A]) run(setup func(*Worker[M, R, A]), maxSteps int) error {
+	j := w.job
+	cfg := w.cfg
+	m := w.NumWorkers()
+
+	// allocate engine state
+	n := w.LocalCount()
+	w.outDirect = make([][]dmsg[M], m)
+	w.outComb = make([]map[graph.VertexID]M, m)
+	for i := range w.outComb {
+		w.outComb[i] = make(map[graph.VertexID]M)
+	}
+	if cfg.Combiner != nil {
+		w.inComb = make([]M, n)
+		w.inCombSet = make([]int32, n)
+		w.scratch = make([]M, 1)
+	} else {
+		w.inboxList = make([][]M, n)
+	}
+	if cfg.Responder != nil {
+		if cfg.RespCodec == nil {
+			return fmt.Errorf("pregel: Responder requires RespCodec")
+		}
+		w.reqStaging = make([][]graph.VertexID, m)
+		w.reqPending = make([][]graph.VertexID, m)
+		w.asked = make([][]graph.VertexID, m)
+		w.respVals = make([]map[graph.VertexID]R, m)
+		for i := range w.respVals {
+			w.respVals[i] = make(map[graph.VertexID]R)
+		}
+		w.reqOf = make([]graph.VertexID, n)
+		w.reqEpoch = make([]int32, n)
+	}
+	if cfg.AggCombine != nil && cfg.AggCodec == nil {
+		return fmt.Errorf("pregel: AggCombine requires AggCodec")
+	}
+	w.aggResult = cfg.AggZero
+	if cfg.GhostThreshold > 0 {
+		if cfg.Adjacency == nil {
+			return fmt.Errorf("pregel: GhostThreshold requires Adjacency")
+		}
+		w.buildGhostTables()
+		w.outGhost = make([][]dmsg[M], m)
+	}
+
+	setup(w)
+	if w.Compute == nil {
+		return fmt.Errorf("pregel: worker %d: setup did not install Compute", w.id)
+	}
+	w.active = make([]bool, n)
+	for i := range w.active {
+		w.active[i] = true
+	}
+	w.activeCount = n
+	j.bar.wait()
+
+	twoRounds := cfg.Responder != nil || cfg.AggCombine != nil
+
+	for {
+		w.superstep++
+		if w.superstep > maxSteps {
+			return fmt.Errorf("pregel: exceeded MaxSupersteps=%d", maxSteps)
+		}
+
+		// compute phase
+		for li := 0; li < n; li++ {
+			if !w.active[li] {
+				continue
+			}
+			w.current = li
+			w.Compute(li, w.messagesFor(li))
+		}
+		w.current = -1
+		w.afterCompute()
+
+		// round 1
+		for dst := 0; dst < m; dst++ {
+			w.serializeRound1(dst, j.ex.Out(w.id, dst))
+		}
+		j.ex.FinishSerialize(w.id)
+		j.bar.wait()
+		if w.id == 0 {
+			j.ex.FinishRound()
+		}
+		for src := 0; src < m; src++ {
+			w.deserializeRound1(src, j.ex.In(w.id, src))
+		}
+		j.bar.wait()
+		j.ex.ResetRow(w.id)
+		j.bar.wait()
+
+		if twoRounds {
+			for dst := 0; dst < m; dst++ {
+				w.serializeRound2(dst, j.ex.Out(w.id, dst))
+			}
+			j.ex.FinishSerialize(w.id)
+			j.bar.wait()
+			if w.id == 0 {
+				j.ex.FinishRound()
+			}
+			for src := 0; src < m; src++ {
+				w.deserializeRound2(src, j.ex.In(w.id, src))
+			}
+			j.bar.wait()
+			j.ex.ResetRow(w.id)
+			j.bar.wait()
+		}
+
+		// termination check
+		j.actives[w.id] = w.activeCount
+		j.bar.wait()
+		total := 0
+		stop := false
+		for i := 0; i < m; i++ {
+			total += j.actives[i]
+			stop = stop || j.halt[i]
+		}
+		j.bar.wait()
+		if total == 0 || stop {
+			return nil
+		}
+	}
+}
+
+// messagesFor returns the messages delivered to li last superstep.
+func (w *Worker[M, R, A]) messagesFor(li int) []M {
+	if w.cfg.Combiner != nil {
+		if w.inCombSet[li] == int32(w.superstep-1) {
+			w.scratch[0] = w.inComb[li]
+			return w.scratch[:1]
+		}
+		return nil
+	}
+	return w.inboxList[li]
+}
+
+// afterCompute retires consumed inboxes and dedups requests.
+func (w *Worker[M, R, A]) afterCompute() {
+	if w.cfg.Combiner == nil {
+		for _, li := range w.touched {
+			w.inboxList[li] = w.inboxList[li][:0]
+		}
+		w.touched = w.touched[:0]
+	}
+	if w.cfg.Responder != nil {
+		for o := range w.reqStaging {
+			w.reqPending[o], w.reqStaging[o] = w.reqStaging[o], w.reqPending[o][:0]
+			for k := range w.respVals[o] {
+				delete(w.respVals[o], k)
+			}
+			w.asked[o] = w.asked[o][:0]
+			lst := w.reqPending[o]
+			if len(lst) == 0 {
+				continue
+			}
+			sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+			k := 1
+			for i := 1; i < len(lst); i++ {
+				if lst[i] != lst[i-1] {
+					lst[k] = lst[i]
+					k++
+				}
+			}
+			w.reqPending[o] = lst[:k]
+		}
+	}
+	if w.cfg.AggCombine != nil {
+		w.aggGathered = w.cfg.AggZero
+		w.aggGathSet = false
+	}
+}
+
+func (w *Worker[M, R, A]) serializeRound1(dst int, buf *ser.Buffer) {
+	cfg := w.cfg
+	// messages
+	if cfg.Combiner != nil {
+		staged := w.outComb[dst]
+		buf.WriteUvarint(uint64(len(staged)))
+		for id, msg := range staged {
+			buf.WriteUint32(id)
+			cfg.MsgCodec.Encode(buf, msg)
+			delete(staged, id)
+		}
+	} else {
+		staged := w.outDirect[dst]
+		buf.WriteUvarint(uint64(len(staged)))
+		for _, dm := range staged {
+			buf.WriteUint32(dm.dst)
+			cfg.MsgCodec.Encode(buf, dm.m)
+		}
+		w.outDirect[dst] = staged[:0]
+	}
+	// ghost broadcasts
+	if cfg.GhostThreshold > 0 {
+		staged := w.outGhost[dst]
+		buf.WriteUvarint(uint64(len(staged)))
+		for _, dm := range staged {
+			buf.WriteUint32(dm.dst)
+			cfg.MsgCodec.Encode(buf, dm.m)
+		}
+		w.outGhost[dst] = staged[:0]
+	}
+	// requests
+	if cfg.Responder != nil {
+		lst := w.reqPending[dst]
+		buf.WriteUvarint(uint64(len(lst)))
+		for _, id := range lst {
+			buf.WriteUint32(id)
+		}
+	}
+	// aggregator partial (to worker 0 only); the partial is consumed by
+	// serializing it — the next superstep starts a fresh aggregation
+	if cfg.AggCombine != nil && dst == 0 {
+		buf.WriteBool(w.aggCurrSet)
+		if w.aggCurrSet {
+			cfg.AggCodec.Encode(buf, w.aggCurr)
+		}
+		w.aggCurr = cfg.AggZero
+		w.aggCurrSet = false
+	}
+}
+
+func (w *Worker[M, R, A]) deserializeRound1(src int, buf *ser.Buffer) {
+	cfg := w.cfg
+	// messages
+	nmsg := int(buf.ReadUvarint())
+	for i := 0; i < nmsg; i++ {
+		id := buf.ReadUint32()
+		msg := cfg.MsgCodec.Decode(buf)
+		w.deliver(w.LocalIndex(id), msg)
+	}
+	// ghost broadcasts
+	if cfg.GhostThreshold > 0 {
+		ng := int(buf.ReadUvarint())
+		for i := 0; i < ng; i++ {
+			hub := buf.ReadUint32()
+			msg := cfg.MsgCodec.Decode(buf)
+			for _, li := range w.ghostAdj[hub] {
+				w.deliver(int(li), msg)
+			}
+		}
+	}
+	// requests
+	if cfg.Responder != nil {
+		nr := int(buf.ReadUvarint())
+		ids := w.asked[src][:0]
+		for i := 0; i < nr; i++ {
+			ids = append(ids, buf.ReadUint32())
+		}
+		w.asked[src] = ids
+	}
+	// aggregator partial (worker 0 only receives)
+	if cfg.AggCombine != nil && w.id == 0 {
+		if buf.ReadBool() {
+			v := cfg.AggCodec.Decode(buf)
+			if w.aggGathSet {
+				w.aggGathered = cfg.AggCombine(w.aggGathered, v)
+			} else {
+				w.aggGathered = v
+				w.aggGathSet = true
+			}
+		}
+	}
+}
+
+func (w *Worker[M, R, A]) serializeRound2(dst int, buf *ser.Buffer) {
+	cfg := w.cfg
+	if cfg.Responder != nil {
+		ids := w.asked[dst]
+		buf.WriteUvarint(uint64(len(ids)))
+		// Pregel+ reply format: (vertex id, value) pairs — the id is
+		// retransmitted with every response.
+		for _, id := range ids {
+			buf.WriteUint32(id)
+			cfg.RespCodec.Encode(buf, cfg.Responder(w, w.LocalIndex(id)))
+		}
+	}
+	if cfg.AggCombine != nil && w.id == 0 {
+		cfg.AggCodec.Encode(buf, w.aggGathered)
+	}
+}
+
+func (w *Worker[M, R, A]) deserializeRound2(src int, buf *ser.Buffer) {
+	cfg := w.cfg
+	if cfg.Responder != nil {
+		nr := int(buf.ReadUvarint())
+		for i := 0; i < nr; i++ {
+			id := buf.ReadUint32()
+			v := cfg.RespCodec.Decode(buf)
+			w.respVals[src][id] = v
+		}
+	}
+	if cfg.AggCombine != nil && src == 0 {
+		w.aggResult = cfg.AggCodec.Decode(buf)
+	}
+}
+
+// deliver routes one incoming message to local vertex li.
+func (w *Worker[M, R, A]) deliver(li int, msg M) {
+	if w.cfg.Combiner != nil {
+		e := int32(w.superstep)
+		if w.inCombSet[li] == e {
+			w.inComb[li] = w.cfg.Combiner(w.inComb[li], msg)
+		} else {
+			w.inComb[li] = msg
+			w.inCombSet[li] = e
+		}
+	} else {
+		if len(w.inboxList[li]) == 0 {
+			w.touched = append(w.touched, li)
+		}
+		w.inboxList[li] = append(w.inboxList[li], msg)
+	}
+	w.ActivateLocal(li)
+}
+
+// buildGhostTables precomputes, for each hub vertex (degree >=
+// threshold), the set of workers holding mirrors, and on the receiving
+// side the hub's local neighbor lists. In the real system this is a
+// preprocessing exchange; here both sides are derived from the shared
+// graph, charging only the (real) CPU time.
+func (w *Worker[M, R, A]) buildGhostTables() {
+	g := w.cfg.Adjacency
+	part := w.cfg.Part
+	thr := w.cfg.GhostThreshold
+	n := w.LocalCount()
+	w.hubSlot = make([]int32, n)
+	for i := range w.hubSlot {
+		w.hubSlot[i] = -1
+	}
+	w.ghostAdj = make(map[graph.VertexID][]int32)
+	// own hubs: worker lists
+	for li := 0; li < n; li++ {
+		id := w.GlobalID(li)
+		if g.OutDegree(id) < thr {
+			continue
+		}
+		seen := make(map[int32]struct{})
+		var lst []int32
+		for _, v := range g.Neighbors(id) {
+			o := int32(part.Owner(v))
+			if _, ok := seen[o]; !ok {
+				seen[o] = struct{}{}
+				lst = append(lst, o)
+			}
+		}
+		w.hubSlot[li] = int32(len(w.hubWorkers))
+		w.hubWorkers = append(w.hubWorkers, lst)
+	}
+	// mirror adjacency: any hub in the graph with neighbors here
+	for u := 0; u < g.NumVertices(); u++ {
+		if g.OutDegree(graph.VertexID(u)) < thr {
+			continue
+		}
+		for _, v := range g.Neighbors(graph.VertexID(u)) {
+			if part.Owner(v) == w.id {
+				w.ghostAdj[graph.VertexID(u)] = append(w.ghostAdj[graph.VertexID(u)], int32(part.LocalIndex(v)))
+			}
+		}
+	}
+}

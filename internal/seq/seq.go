@@ -1,0 +1,324 @@
+// Package seq provides single-threaded reference implementations used as
+// oracles by the test suite: every distributed algorithm in
+// internal/algorithms is checked against the corresponding sequential
+// result on randomly generated graphs.
+package seq
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// ConnectedComponents returns, for every vertex, the smallest vertex ID
+// in its (weakly) connected component. Edges are treated as undirected.
+func ConnectedComponents(g *graph.Graph) []graph.VertexID {
+	n := g.NumVertices()
+	uf := NewUnionFind(n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(graph.VertexID(u)) {
+			uf.Union(u, int(v))
+		}
+	}
+	// min id per component
+	minID := make([]graph.VertexID, n)
+	for i := range minID {
+		minID[i] = math.MaxUint32
+	}
+	for v := 0; v < n; v++ {
+		r := uf.Find(v)
+		if graph.VertexID(v) < minID[r] {
+			minID[r] = graph.VertexID(v)
+		}
+	}
+	out := make([]graph.VertexID, n)
+	for v := 0; v < n; v++ {
+		out[v] = minID[uf.Find(v)]
+	}
+	return out
+}
+
+// UnionFind is a classic disjoint-set structure with path compression
+// and union by size.
+type UnionFind struct {
+	parent []int32
+	size   []int32
+}
+
+// NewUnionFind returns n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{parent: make([]int32, n), size: make([]int32, n)}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x int) int {
+	r := int32(x)
+	for uf.parent[r] != r {
+		uf.parent[r] = uf.parent[uf.parent[r]]
+		r = uf.parent[r]
+	}
+	return int(r)
+}
+
+// Union merges the sets of a and b and reports whether they were
+// distinct.
+func (uf *UnionFind) Union(a, b int) bool {
+	ra, rb := uf.Find(a), uf.Find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = int32(ra)
+	uf.size[ra] += uf.size[rb]
+	return true
+}
+
+// PageRank runs the paper's PageRank formulation sequentially: damping
+// 0.85, uniform 0.15/N teleport, dead-end mass redistributed uniformly
+// through a sink term, for the given number of iterations.
+func PageRank(g *graph.Graph, iterations int) []float64 {
+	n := g.NumVertices()
+	pr := make([]float64, n)
+	next := make([]float64, n)
+	for i := range pr {
+		pr[i] = 1.0 / float64(n)
+	}
+	for it := 0; it < iterations; it++ {
+		sink := 0.0
+		for i := range next {
+			next[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			d := g.OutDegree(graph.VertexID(u))
+			if d == 0 {
+				sink += pr[u]
+				continue
+			}
+			share := pr[u] / float64(d)
+			for _, v := range g.Neighbors(graph.VertexID(u)) {
+				next[v] += share
+			}
+		}
+		s := sink / float64(n)
+		for i := range next {
+			next[i] = 0.15/float64(n) + 0.85*(next[i]+s)
+		}
+		pr, next = next, pr
+	}
+	return pr
+}
+
+// Dijkstra returns the shortest distance from src to every vertex
+// (math.MaxInt64 for unreachable vertices). Weights must be
+// non-negative.
+func Dijkstra(g *graph.Graph, src graph.VertexID) []int64 {
+	n := g.NumVertices()
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = math.MaxInt64
+	}
+	dist[src] = 0
+	pq := &distHeap{{v: src, d: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		ws := g.NeighborWeights(it.v)
+		for i, v := range g.Neighbors(it.v) {
+			nd := it.d + int64(ws[i])
+			if nd < dist[v] {
+				dist[v] = nd
+				heap.Push(pq, distItem{v: v, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distItem struct {
+	v graph.VertexID
+	d int64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// SCC returns, for every vertex, the smallest vertex ID in its strongly
+// connected component, computed with Tarjan's algorithm (iterative).
+func SCC(g *graph.Graph) []graph.VertexID {
+	n := g.NumVertices()
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	comp := make([]graph.VertexID, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var stack []int32
+	next := int32(0)
+
+	type frame struct {
+		v  int32
+		ei uint64
+	}
+	var callStack []frame
+
+	for s := 0; s < n; s++ {
+		if index[s] != unvisited {
+			continue
+		}
+		callStack = append(callStack[:0], frame{v: int32(s)})
+		index[s] = next
+		low[s] = next
+		next++
+		stack = append(stack, int32(s))
+		onStack[s] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			u := f.v
+			adv := false
+			for f.ei < g.Offsets[u+1]-g.Offsets[u] {
+				v := int32(g.Adj[g.Offsets[u]+f.ei])
+				f.ei++
+				if index[v] == unvisited {
+					index[v] = next
+					low[v] = next
+					next++
+					stack = append(stack, v)
+					onStack[v] = true
+					callStack = append(callStack, frame{v: v})
+					adv = true
+					break
+				} else if onStack[v] && index[v] < low[u] {
+					low[u] = index[v]
+				}
+			}
+			if adv {
+				continue
+			}
+			// u finished
+			if low[u] == index[u] {
+				// pop component, label with min id
+				minID := graph.VertexID(math.MaxUint32)
+				top := len(stack)
+				i := top
+				for {
+					i--
+					w := stack[i]
+					if graph.VertexID(w) < minID {
+						minID = graph.VertexID(w)
+					}
+					if w == u {
+						break
+					}
+				}
+				for j := i; j < top; j++ {
+					w := stack[j]
+					onStack[w] = false
+					comp[w] = minID
+				}
+				stack = stack[:i]
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := callStack[len(callStack)-1].v
+				if low[u] < low[p] {
+					low[p] = low[u]
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// MSFWeight returns the total weight of a minimum spanning forest of the
+// undirected weighted graph g (Kruskal), along with the number of
+// forest edges.
+func MSFWeight(g *graph.Graph) (int64, int) {
+	type we struct {
+		w    int32
+		u, v graph.VertexID
+	}
+	edges := make([]we, 0, g.NumEdges()/2)
+	for u := 0; u < g.NumVertices(); u++ {
+		ws := g.NeighborWeights(graph.VertexID(u))
+		for i, v := range g.Neighbors(graph.VertexID(u)) {
+			if graph.VertexID(u) < v { // each undirected edge once
+				edges = append(edges, we{w: ws[i], u: graph.VertexID(u), v: v})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].w < edges[j].w })
+	uf := NewUnionFind(g.NumVertices())
+	var total int64
+	count := 0
+	for _, e := range edges {
+		if uf.Union(int(e.u), int(e.v)) {
+			total += int64(e.w)
+			count++
+		}
+	}
+	return total, count
+}
+
+// TreeRoots returns, for a parent-pointer forest (each vertex has out-
+// degree <= 1 pointing to its parent; roots have out-degree 0 or a
+// self-loop), the root of every vertex.
+func TreeRoots(g *graph.Graph) []graph.VertexID {
+	n := g.NumVertices()
+	roots := make([]graph.VertexID, n)
+	state := make([]uint8, n) // 0 unvisited, 1 in progress, 2 done
+	var path []graph.VertexID
+	for s := 0; s < n; s++ {
+		if state[s] == 2 {
+			continue
+		}
+		path = path[:0]
+		u := graph.VertexID(s)
+		for {
+			if state[u] == 2 {
+				break
+			}
+			state[u] = 1
+			nbrs := g.Neighbors(u)
+			if len(nbrs) == 0 || nbrs[0] == u {
+				roots[u] = u
+				state[u] = 2
+				break
+			}
+			path = append(path, u)
+			u = nbrs[0]
+			if state[u] == 1 {
+				panic("seq: cycle in parent-pointer forest")
+			}
+		}
+		r := roots[u]
+		for _, v := range path {
+			roots[v] = r
+			state[v] = 2
+		}
+	}
+	return roots
+}

@@ -1,0 +1,202 @@
+package seq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind(5)
+	if !uf.Union(0, 1) {
+		t.Error("first union failed")
+	}
+	if uf.Union(1, 0) {
+		t.Error("repeat union succeeded")
+	}
+	uf.Union(2, 3)
+	if uf.Find(0) != uf.Find(1) || uf.Find(2) != uf.Find(3) {
+		t.Error("find inconsistent")
+	}
+	if uf.Find(0) == uf.Find(2) {
+		t.Error("separate sets merged")
+	}
+	if uf.Find(4) != 4 {
+		t.Error("singleton moved")
+	}
+}
+
+func TestConnectedComponentsSmall(t *testing.T) {
+	// components {0,1,2}, {3,4}, {5}
+	g := graph.FromEdges(6, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 3, Dst: 4}}, false)
+	cc := ConnectedComponents(g)
+	want := []graph.VertexID{0, 0, 0, 3, 3, 5}
+	for i := range want {
+		if cc[i] != want[i] {
+			t.Errorf("cc[%d]=%d want %d", i, cc[i], want[i])
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g := graph.RMAT(7, 4, 1, graph.RMATOptions{})
+	pr := PageRank(g, 20)
+	sum := 0.0
+	for _, v := range pr {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("pagerank sum=%v", sum)
+	}
+}
+
+func TestPageRankStar(t *testing.T) {
+	// hub 0 pointed to by 1..4: hub must outrank leaves
+	edges := []graph.Edge{{Src: 1, Dst: 0}, {Src: 2, Dst: 0}, {Src: 3, Dst: 0}, {Src: 4, Dst: 0}}
+	g := graph.FromEdges(5, edges, false)
+	pr := PageRank(g, 30)
+	for i := 1; i < 5; i++ {
+		if pr[0] <= pr[i] {
+			t.Errorf("hub rank %v <= leaf rank %v", pr[0], pr[i])
+		}
+	}
+}
+
+func TestDijkstraLine(t *testing.T) {
+	// 0 -2-> 1 -3-> 2, plus shortcut 0 -10-> 2
+	edges := []graph.Edge{{Src: 0, Dst: 1, Weight: 2}, {Src: 1, Dst: 2, Weight: 3}, {Src: 0, Dst: 2, Weight: 10}}
+	g := graph.FromEdges(4, edges, true)
+	d := Dijkstra(g, 0)
+	if d[0] != 0 || d[1] != 2 || d[2] != 5 {
+		t.Errorf("distances %v", d[:3])
+	}
+	if d[3] != math.MaxInt64 {
+		t.Errorf("unreachable distance %d", d[3])
+	}
+}
+
+func TestSCCSmall(t *testing.T) {
+	// cycle 0-1-2, cycle 3-4, vertex 5 bridging
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0},
+		{Src: 3, Dst: 4}, {Src: 4, Dst: 3},
+		{Src: 2, Dst: 3}, {Src: 4, Dst: 5},
+	}
+	g := graph.FromEdges(6, edges, false)
+	scc := SCC(g)
+	want := []graph.VertexID{0, 0, 0, 3, 3, 5}
+	for i := range want {
+		if scc[i] != want[i] {
+			t.Errorf("scc[%d]=%d want %d", i, scc[i], want[i])
+		}
+	}
+}
+
+// brute-force SCC by reachability for cross-checking Tarjan
+func bruteSCC(g *graph.Graph) []graph.VertexID {
+	n := g.NumVertices()
+	reach := make([][]bool, n)
+	for s := 0; s < n; s++ {
+		reach[s] = make([]bool, n)
+		stack := []graph.VertexID{graph.VertexID(s)}
+		reach[s][s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.Neighbors(u) {
+				if !reach[s][v] {
+					reach[s][v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	out := make([]graph.VertexID, n)
+	for v := 0; v < n; v++ {
+		min := graph.VertexID(v)
+		for u := 0; u < n; u++ {
+			if reach[v][u] && reach[u][v] && graph.VertexID(u) < min {
+				min = graph.VertexID(u)
+			}
+		}
+		out[v] = min
+	}
+	return out
+}
+
+func TestSCCAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		m := rng.Intn(3 * n)
+		g := graph.RandomDigraph(n, m, seed)
+		got := SCC(g)
+		want := bruteSCC(g)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMSFWeightTriangle(t *testing.T) {
+	// triangle with weights 1,2,3: MST takes 1+2
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 0, Weight: 1},
+		{Src: 1, Dst: 2, Weight: 2}, {Src: 2, Dst: 1, Weight: 2},
+		{Src: 0, Dst: 2, Weight: 3}, {Src: 2, Dst: 0, Weight: 3},
+	}
+	g := graph.FromEdges(3, edges, true)
+	w, cnt := MSFWeight(g)
+	if w != 3 || cnt != 2 {
+		t.Errorf("msf weight=%d count=%d", w, cnt)
+	}
+}
+
+func TestMSFWeightForest(t *testing.T) {
+	// two disjoint edges
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1, Weight: 5}, {Src: 1, Dst: 0, Weight: 5},
+		{Src: 2, Dst: 3, Weight: 7}, {Src: 3, Dst: 2, Weight: 7},
+	}
+	g := graph.FromEdges(5, edges, true)
+	w, cnt := MSFWeight(g)
+	if w != 12 || cnt != 2 {
+		t.Errorf("msf weight=%d count=%d", w, cnt)
+	}
+}
+
+func TestTreeRoots(t *testing.T) {
+	g := graph.RandomTree(300, 5)
+	roots := TreeRoots(g)
+	for i, r := range roots {
+		if r != 0 {
+			t.Errorf("vertex %d root %d", i, r)
+		}
+	}
+	f := graph.Forest(120, 4, 9)
+	roots = TreeRoots(f)
+	for i := 4; i < 120; i++ {
+		if int(roots[i]) != (i-4)%4 {
+			t.Errorf("forest vertex %d root %d", i, roots[i])
+		}
+	}
+}
+
+func TestTreeRootsChain(t *testing.T) {
+	g := graph.Chain(1000)
+	roots := TreeRoots(g)
+	for i, r := range roots {
+		if r != 0 {
+			t.Fatalf("chain vertex %d root %d", i, r)
+		}
+	}
+}

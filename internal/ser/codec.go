@@ -1,0 +1,95 @@
+package ser
+
+// Codec describes how a message value of type T is encoded into and
+// decoded from a Buffer. Channels are generic over the message type and
+// take a Codec at construction, mirroring the paper's C++ templates where
+// the message type parameterizes each channel.
+//
+// Encode and Decode must be inverses: Decode(buf) after Encode(buf, v)
+// yields a value equal to v, and must consume exactly the bytes Encode
+// produced.
+type Codec[T any] interface {
+	Encode(b *Buffer, v T)
+	Decode(b *Buffer) T
+}
+
+// FuncCodec adapts a pair of functions to a Codec.
+type FuncCodec[T any] struct {
+	Enc func(b *Buffer, v T)
+	Dec func(b *Buffer) T
+}
+
+// Encode implements Codec.
+func (c FuncCodec[T]) Encode(b *Buffer, v T) { c.Enc(b, v) }
+
+// Decode implements Codec.
+func (c FuncCodec[T]) Decode(b *Buffer) T { return c.Dec(b) }
+
+// Uint32Codec encodes uint32 values fixed-width.
+type Uint32Codec struct{}
+
+func (Uint32Codec) Encode(b *Buffer, v uint32) { b.WriteUint32(v) }
+func (Uint32Codec) Decode(b *Buffer) uint32    { return b.ReadUint32() }
+
+// Uint64Codec encodes uint64 values fixed-width.
+type Uint64Codec struct{}
+
+func (Uint64Codec) Encode(b *Buffer, v uint64) { b.WriteUint64(v) }
+func (Uint64Codec) Decode(b *Buffer) uint64    { return b.ReadUint64() }
+
+// Int64Codec encodes int64 values as zig-zag varints.
+type Int64Codec struct{}
+
+func (Int64Codec) Encode(b *Buffer, v int64) { b.WriteVarint(v) }
+func (Int64Codec) Decode(b *Buffer) int64    { return b.ReadVarint() }
+
+// Float64Codec encodes float64 values fixed-width.
+type Float64Codec struct{}
+
+func (Float64Codec) Encode(b *Buffer, v float64) { b.WriteFloat64(v) }
+func (Float64Codec) Decode(b *Buffer) float64    { return b.ReadFloat64() }
+
+// Float32Codec encodes float32 values fixed-width.
+type Float32Codec struct{}
+
+func (Float32Codec) Encode(b *Buffer, v float32) { b.WriteFloat32(v) }
+func (Float32Codec) Decode(b *Buffer) float32    { return b.ReadFloat32() }
+
+// BoolCodec encodes bool values as one byte.
+type BoolCodec struct{}
+
+func (BoolCodec) Encode(b *Buffer, v bool) { b.WriteBool(v) }
+func (BoolCodec) Decode(b *Buffer) bool    { return b.ReadBool() }
+
+// Pair holds two values; PairCodec composes two codecs. Used for e.g.
+// (distance, parent) messages in weighted algorithms.
+type Pair[A, B any] struct {
+	First  A
+	Second B
+}
+
+// PairCodec encodes a Pair by concatenating its element encodings.
+type PairCodec[A, B any] struct {
+	A Codec[A]
+	B Codec[B]
+}
+
+func (c PairCodec[A, B]) Encode(b *Buffer, v Pair[A, B]) {
+	c.A.Encode(b, v.First)
+	c.B.Encode(b, v.Second)
+}
+
+func (c PairCodec[A, B]) Decode(b *Buffer) Pair[A, B] {
+	a := c.A.Decode(b)
+	s := c.B.Decode(b)
+	return Pair[A, B]{First: a, Second: s}
+}
+
+// SizeOf returns the encoded size of v under codec c. Used by channels
+// that need the size of one message ahead of writing (e.g. for capacity
+// planning); it encodes into a scratch buffer.
+func SizeOf[T any](c Codec[T], v T) int {
+	var b Buffer
+	c.Encode(&b, v)
+	return b.Len()
+}

@@ -1,0 +1,77 @@
+package ser
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func roundtrip[T comparable](t *testing.T, c Codec[T], v T) {
+	t.Helper()
+	b := NewBuffer(0)
+	c.Encode(b, v)
+	if got := c.Decode(b); got != v {
+		t.Errorf("roundtrip %T: got %v want %v", c, got, v)
+	}
+	if b.Remaining() != 0 {
+		t.Errorf("%T decode did not consume encoding of %v", c, v)
+	}
+}
+
+func TestBuiltinCodecs(t *testing.T) {
+	roundtrip[uint32](t, Uint32Codec{}, 0)
+	roundtrip[uint32](t, Uint32Codec{}, 0xFFFFFFFF)
+	roundtrip[uint64](t, Uint64Codec{}, 1<<63)
+	roundtrip[int64](t, Int64Codec{}, -12345)
+	roundtrip[float64](t, Float64Codec{}, 2.5)
+	roundtrip[float32](t, Float32Codec{}, -0.25)
+	roundtrip[bool](t, BoolCodec{}, true)
+	roundtrip[bool](t, BoolCodec{}, false)
+}
+
+func TestPairCodec(t *testing.T) {
+	c := PairCodec[uint32, float64]{A: Uint32Codec{}, B: Float64Codec{}}
+	roundtrip[Pair[uint32, float64]](t, c, Pair[uint32, float64]{First: 9, Second: 1.5})
+}
+
+func TestFuncCodec(t *testing.T) {
+	c := FuncCodec[int]{
+		Enc: func(b *Buffer, v int) { b.WriteVarint(int64(v)) },
+		Dec: func(b *Buffer) int { return int(b.ReadVarint()) },
+	}
+	roundtrip[int](t, c, -42)
+}
+
+func TestSizeOf(t *testing.T) {
+	if got := SizeOf[uint32](Uint32Codec{}, 7); got != 4 {
+		t.Errorf("SizeOf uint32 = %d", got)
+	}
+	if got := SizeOf[float64](Float64Codec{}, 1); got != 8 {
+		t.Errorf("SizeOf float64 = %d", got)
+	}
+}
+
+func TestCodecProperties(t *testing.T) {
+	if err := quick.Check(func(v uint32) bool {
+		b := NewBuffer(0)
+		Uint32Codec{}.Encode(b, v)
+		return Uint32Codec{}.Decode(b) == v && b.Remaining() == 0
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(v int64) bool {
+		b := NewBuffer(0)
+		Int64Codec{}.Encode(b, v)
+		return Int64Codec{}.Decode(b) == v && b.Remaining() == 0
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(a uint32, x float64) bool {
+		c := PairCodec[uint32, float64]{A: Uint32Codec{}, B: Float64Codec{}}
+		b := NewBuffer(0)
+		c.Encode(b, Pair[uint32, float64]{First: a, Second: x})
+		got := c.Decode(b)
+		return got.First == a && (got.Second == x || x != x) && b.Remaining() == 0
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

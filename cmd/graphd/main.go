@@ -1,0 +1,165 @@
+// Command graphd serves graph-analytics jobs over HTTP: a long-lived
+// daemon wrapping the channel engine and the Pregel baseline behind the
+// /v1 JSON API (see internal/server), with a shared graph catalog so
+// concurrent jobs against the same dataset load it once.
+//
+// Usage:
+//
+//	graphd [-addr :8372] [-workers 4] [-builtin test|bench|none]
+//	       [-dataset name=spec ...] [-preload name,name]
+//	       [-retain 256] [-queue 64] [-max-graph-bytes 0]
+//
+// A dataset spec is either a file path (text edge list, or a binary
+// snapshot written by graph.WriteBinary; "<path>.bin" siblings are
+// preferred) or a generator expression such as
+// "gen:rmat:scale=14,ef=10,seed=1" — see catalog.ParseGen. Examples:
+//
+//	graphd -dataset web=data/web.el -dataset road=gen:grid:rows=300,cols=300,maxw=1000 -preload web
+//
+// Submit a job:
+//
+//	curl -s localhost:8372/v1/jobs -d '{"algorithm":"pagerank","dataset":"web","engine":"channel"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/jobs"
+	"repro/internal/server"
+)
+
+// builtinDatasets mirrors the harness stand-ins (Table III) as
+// generator specs, so a bare `graphd` is immediately usable.
+func builtinDatasets(scale string) []catalog.Spec {
+	switch scale {
+	case "test":
+		return []catalog.Spec{
+			{Name: "wiki", Gen: "rmat:scale=9,ef=6,seed=101"},
+			{Name: "webuk", Gen: "rmat:scale=10,ef=8,seed=102"},
+			{Name: "facebook", Gen: "social:scale=9,ef=2,seed=103"},
+			{Name: "twitter", Gen: "social:scale=8,ef=12,seed=104"},
+			{Name: "chain", Gen: "chain:n=2000"},
+			{Name: "tree", Gen: "tree:n=2000,seed=105"},
+			{Name: "road", Gen: "grid:rows=40,cols=40,maxw=1000,seed=106"},
+			{Name: "rmatw", Gen: "rmat:scale=8,ef=8,seed=107,weighted,maxw=1000,undirected"},
+		}
+	case "bench":
+		return []catalog.Spec{
+			{Name: "wiki", Gen: "rmat:scale=14,ef=10,seed=101"},
+			{Name: "webuk", Gen: "rmat:scale=15,ef=16,seed=102"},
+			{Name: "facebook", Gen: "social:scale=14,ef=2,seed=103"},
+			{Name: "twitter", Gen: "social:scale=12,ef=24,seed=104"},
+			{Name: "chain", Gen: "chain:n=200000"},
+			{Name: "tree", Gen: "tree:n=200000,seed=105"},
+			{Name: "road", Gen: "grid:rows=300,cols=300,maxw=1000,seed=106"},
+			{Name: "rmatw", Gen: "rmat:scale=13,ef=8,seed=107,weighted,maxw=1000,undirected"},
+		}
+	default:
+		return nil
+	}
+}
+
+func main() {
+	addr := flag.String("addr", ":8372", "listen address")
+	workers := flag.Int("workers", 4, "job pool size (concurrent jobs)")
+	simWorkers := flag.Int("sim-workers", 8, "simulated cluster nodes per job (the paper uses 8)")
+	builtin := flag.String("builtin", "test", "register built-in datasets: test, bench or none")
+	retain := flag.Int("retain", 256, "finished jobs (and results) to retain")
+	queueDepth := flag.Int("queue", 64, "pending job queue depth")
+	maxGraphBytes := flag.Int64("max-graph-bytes", 0, "approximate catalog byte budget (0 = unlimited)")
+	preload := flag.String("preload", "", "comma-separated datasets to load at startup")
+	var datasetFlags []string
+	flag.Func("dataset", "register a dataset as name=path or name=gen:EXPR (repeatable)", func(v string) error {
+		datasetFlags = append(datasetFlags, v)
+		return nil
+	})
+	flag.Parse()
+
+	cat := catalog.New(*simWorkers, *maxGraphBytes)
+	if *builtin != "none" {
+		specs := builtinDatasets(*builtin)
+		if specs == nil {
+			log.Fatalf("graphd: unknown -builtin %q (want test, bench or none)", *builtin)
+		}
+		for _, spec := range specs {
+			if err := cat.Register(spec); err != nil {
+				log.Fatalf("graphd: %v", err)
+			}
+		}
+	}
+	for _, df := range datasetFlags {
+		name, val, ok := strings.Cut(df, "=")
+		if !ok || name == "" || val == "" {
+			log.Fatalf("graphd: bad -dataset %q (want name=path or name=gen:EXPR)", df)
+		}
+		spec := catalog.Spec{Name: name}
+		if expr, isGen := strings.CutPrefix(val, "gen:"); isGen {
+			spec.Gen = expr
+		} else {
+			spec.Path = val
+		}
+		if err := cat.Register(spec); err != nil {
+			log.Fatalf("graphd: %v", err)
+		}
+	}
+
+	mgr := jobs.NewManager(cat, *workers,
+		jobs.WithRetention(*retain), jobs.WithQueueDepth(*queueDepth))
+	srv := server.New(cat, mgr)
+
+	if *preload != "" {
+		for _, name := range strings.Split(*preload, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			go func(name string) {
+				t0 := time.Now()
+				e, err := cat.Get(name)
+				if err != nil {
+					log.Printf("graphd: preload %s: %v", name, err)
+					return
+				}
+				log.Printf("graphd: preloaded %s: %d vertices, %d edges in %v",
+					name, e.Graph.NumVertices(), e.Graph.NumEdges(), time.Since(t0).Round(time.Millisecond))
+			}(name)
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("graphd: serving on %s (%d pool workers, %d simulated nodes)", *addr, *workers, *simWorkers)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("graphd: shutting down")
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("graphd: %v", err)
+		}
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("graphd: shutdown: %v", err)
+	}
+	mgr.Close()
+	st := mgr.Stats()
+	fmt.Printf("graphd: done (ran %d jobs: %d done, %d failed, %d cancelled)\n",
+		st.Submitted, st.Done, st.Failed, st.Cancelled)
+}

@@ -3,6 +3,14 @@
 // Hu, IPDPS 2019). The library lives under internal/: core is the
 // channel-based system (the paper's contribution), pregel and blogel
 // behaviours provide the baselines, algorithms implements the paper's
-// evaluation programs, and harness regenerates Tables IV-VII. The
-// top-level bench_test.go maps each table to a testing.B benchmark.
+// evaluation programs behind a shared (algorithm, engine, variant)
+// registry, and harness regenerates Tables IV-VII through that
+// registry. The top-level bench_test.go maps each table to a testing.B
+// benchmark.
+//
+// Beyond the batch reproduction, cmd/graphd serves the engines as a
+// long-lived job service: internal/catalog caches datasets (loaded
+// once, singleflight, LRU byte budget), internal/jobs runs submissions
+// on a bounded worker pool, and internal/server exposes the HTTP/JSON
+// /v1 API. See README.md for a curl quickstart.
 package repro

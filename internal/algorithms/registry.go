@@ -1,0 +1,403 @@
+package algorithms
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/pregel"
+)
+
+// This file is the shared dispatch table: every (algorithm, engine,
+// variant) triple of the reproduction behind one uniform signature, so
+// the harness tables and the graphd job service run the exact same
+// code paths.
+
+// Engine selects the runtime an algorithm variant executes on.
+type Engine string
+
+const (
+	// EngineChannel is the paper's channel-based engine.
+	EngineChannel Engine = "channel"
+	// EnginePregel is the monolithic-message baseline.
+	EnginePregel Engine = "pregel"
+)
+
+// ParseEngine parses an engine name; "" defaults to the channel engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", string(EngineChannel):
+		return EngineChannel, nil
+	case string(EnginePregel):
+		return EnginePregel, nil
+	}
+	return "", fmt.Errorf("algorithms: unknown engine %q (want channel or pregel)", s)
+}
+
+// Params carries the per-run knobs of the registered algorithms; zero
+// values select documented defaults.
+type Params struct {
+	// Iterations is the superstep count for PageRank (0 = 30, the
+	// paper's setting).
+	Iterations int `json:"iterations,omitempty"`
+	// Source is the SSSP source vertex.
+	Source graph.VertexID `json:"source,omitempty"`
+}
+
+// DefaultPageRankIterations is the paper's PageRank superstep count.
+const DefaultPageRankIterations = 30
+
+// Metrics normalizes engine.Metrics and pregel.Metrics into one shape
+// for tables, JSON responses, and cross-engine comparison.
+type Metrics struct {
+	Engine     Engine        `json:"engine"`
+	Supersteps int           `json:"supersteps"`
+	NetBytes   int64         `json:"net_bytes"`
+	SimTime    time.Duration `json:"sim_time_ns"`
+	WallTime   time.Duration `json:"wall_time_ns"`
+}
+
+func metricsFromChannel(m engine.Metrics) Metrics {
+	return Metrics{Engine: EngineChannel, Supersteps: m.Supersteps,
+		NetBytes: m.Comm.NetworkBytes, SimTime: m.SimTime(), WallTime: m.WallTime}
+}
+
+func metricsFromPregel(m pregel.Metrics) Metrics {
+	return Metrics{Engine: EnginePregel, Supersteps: m.Supersteps,
+		NetBytes: m.Comm.NetworkBytes, SimTime: m.SimTime(), WallTime: m.WallTime}
+}
+
+// Result is the normalized output of a registry run: exactly one of the
+// payload fields is set, per the spec's Kind.
+type Result struct {
+	Labels  []graph.VertexID `json:"labels,omitempty"`
+	Ranks   []float64        `json:"ranks,omitempty"`
+	Dists   []int64          `json:"dists,omitempty"`
+	MSF     *MSFResult       `json:"msf,omitempty"`
+	Metrics Metrics          `json:"metrics"`
+}
+
+// Kind reports which payload field is populated: "labels", "ranks",
+// "dists" or "msf".
+func (r *Result) Kind() string {
+	switch {
+	case r.Ranks != nil:
+		return "ranks"
+	case r.Dists != nil:
+		return "dists"
+	case r.MSF != nil:
+		return "msf"
+	default:
+		return "labels"
+	}
+}
+
+// RunFunc is the uniform signature every registered variant is adapted
+// to.
+type RunFunc func(g *graph.Graph, opts Options, p Params) (*Result, error)
+
+// Spec describes one algorithm: its input requirements and the variants
+// available per engine.
+type Spec struct {
+	Name        string
+	Description string
+	// NeedsUndirected means the algorithm assumes both orientations of
+	// every edge are stored (run directed inputs through
+	// graph.Undirectify first).
+	NeedsUndirected bool
+	// NeedsWeights means the algorithm reads edge weights.
+	NeedsWeights bool
+	// HasIterations/HasSource advertise which Params fields apply.
+	HasIterations bool
+	HasSource     bool
+
+	variants map[Engine]map[string]RunFunc
+}
+
+// DefaultVariant is the variant name every algorithm registers on every
+// supported engine.
+const DefaultVariant = "basic"
+
+// Engines lists the engines this algorithm runs on, sorted.
+func (s *Spec) Engines() []Engine {
+	out := make([]Engine, 0, len(s.variants))
+	for e := range s.variants {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Variants lists the variant names available on eng, sorted.
+func (s *Spec) Variants(eng Engine) []string {
+	vs := s.variants[eng]
+	out := make([]string, 0, len(vs))
+	for v := range vs {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookupVariant resolves (eng, variant) to its RunFunc; variant ""
+// selects DefaultVariant.
+func (s *Spec) lookupVariant(eng Engine, variant string) (RunFunc, error) {
+	if variant == "" {
+		variant = DefaultVariant
+	}
+	byEngine, ok := s.variants[eng]
+	if !ok {
+		return nil, fmt.Errorf("algorithms: %s does not run on engine %q", s.Name, eng)
+	}
+	fn, ok := byEngine[variant]
+	if !ok {
+		return nil, fmt.Errorf("algorithms: %s/%s has no variant %q (have %v)",
+			s.Name, eng, variant, s.Variants(eng))
+	}
+	return fn, nil
+}
+
+// CheckVariant reports whether (eng, variant) dispatches, without
+// running anything — the submit-time validation of the job service.
+func (s *Spec) CheckVariant(eng Engine, variant string) error {
+	_, err := s.lookupVariant(eng, variant)
+	return err
+}
+
+// Run dispatches to the (eng, variant) implementation; variant ""
+// selects DefaultVariant.
+func (s *Spec) Run(eng Engine, variant string, g *graph.Graph, opts Options, p Params) (*Result, error) {
+	fn, err := s.lookupVariant(eng, variant)
+	if err != nil {
+		return nil, err
+	}
+	return fn(g, opts, p)
+}
+
+// adapters from the concrete function signatures to RunFunc
+
+func labelsC(f func(*graph.Graph, Options) ([]graph.VertexID, engine.Metrics, error)) RunFunc {
+	return func(g *graph.Graph, opts Options, _ Params) (*Result, error) {
+		labels, m, err := f(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Labels: labels, Metrics: metricsFromChannel(m)}, nil
+	}
+}
+
+func labelsP(f func(*graph.Graph, Options) ([]graph.VertexID, pregel.Metrics, error)) RunFunc {
+	return func(g *graph.Graph, opts Options, _ Params) (*Result, error) {
+		labels, m, err := f(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Labels: labels, Metrics: metricsFromPregel(m)}, nil
+	}
+}
+
+func ranksC(f func(*graph.Graph, Options, int) ([]float64, engine.Metrics, error)) RunFunc {
+	return func(g *graph.Graph, opts Options, p Params) (*Result, error) {
+		ranks, m, err := f(g, opts, iterationsOrDefault(p))
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Ranks: ranks, Metrics: metricsFromChannel(m)}, nil
+	}
+}
+
+func ranksP(f func(*graph.Graph, Options, int) ([]float64, pregel.Metrics, error)) RunFunc {
+	return func(g *graph.Graph, opts Options, p Params) (*Result, error) {
+		ranks, m, err := f(g, opts, iterationsOrDefault(p))
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Ranks: ranks, Metrics: metricsFromPregel(m)}, nil
+	}
+}
+
+func distsC(f func(*graph.Graph, graph.VertexID, Options) ([]int64, engine.Metrics, error)) RunFunc {
+	return func(g *graph.Graph, opts Options, p Params) (*Result, error) {
+		dists, m, err := f(g, p.Source, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Dists: dists, Metrics: metricsFromChannel(m)}, nil
+	}
+}
+
+func distsP(f func(*graph.Graph, graph.VertexID, Options) ([]int64, pregel.Metrics, error)) RunFunc {
+	return func(g *graph.Graph, opts Options, p Params) (*Result, error) {
+		dists, m, err := f(g, p.Source, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Dists: dists, Metrics: metricsFromPregel(m)}, nil
+	}
+}
+
+func msfC(f func(*graph.Graph, Options) (MSFResult, engine.Metrics, error)) RunFunc {
+	return func(g *graph.Graph, opts Options, _ Params) (*Result, error) {
+		res, m, err := f(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{MSF: &res, Metrics: metricsFromChannel(m)}, nil
+	}
+}
+
+func msfP(f func(*graph.Graph, Options) (MSFResult, pregel.Metrics, error)) RunFunc {
+	return func(g *graph.Graph, opts Options, _ Params) (*Result, error) {
+		res, m, err := f(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{MSF: &res, Metrics: metricsFromPregel(m)}, nil
+	}
+}
+
+func iterationsOrDefault(p Params) int {
+	if p.Iterations > 0 {
+		return p.Iterations
+	}
+	return DefaultPageRankIterations
+}
+
+var registry = map[string]*Spec{
+	"pagerank": {
+		Name:          "pagerank",
+		Description:   "PageRank, fixed iteration count",
+		HasIterations: true,
+		variants: map[Engine]map[string]RunFunc{
+			EngineChannel: {
+				DefaultVariant: ranksC(PageRankChannel),
+				"scatter":      ranksC(PageRankScatter),
+				"mirror":       ranksC(PageRankMirror),
+			},
+			EnginePregel: {
+				DefaultVariant: ranksP(PageRankPregel),
+				"ghost":        ranksP(PageRankPregelGhost),
+			},
+		},
+	},
+	"sssp": {
+		Name:         "sssp",
+		Description:  "single-source shortest paths (non-negative weights)",
+		NeedsWeights: true,
+		HasSource:    true,
+		variants: map[Engine]map[string]RunFunc{
+			EngineChannel: {
+				DefaultVariant: distsC(SSSPChannel),
+				"propagation":  distsC(SSSPPropagation),
+			},
+			EnginePregel: {
+				DefaultVariant: distsP(SSSPPregel),
+			},
+		},
+	},
+	"wcc": {
+		Name:            "wcc",
+		Description:     "weakly connected components (hash-min HCC)",
+		NeedsUndirected: true,
+		variants: map[Engine]map[string]RunFunc{
+			EngineChannel: {
+				DefaultVariant: labelsC(WCCChannel),
+				"propagation":  labelsC(WCCPropagation),
+				"blogel":       labelsC(WCCBlogel),
+			},
+			EnginePregel: {
+				DefaultVariant: labelsP(WCCPregel),
+			},
+		},
+	},
+	"pointerjump": {
+		Name:        "pointerjump",
+		Description: "pointer jumping / list ranking on a parent-pointer forest",
+		variants: map[Engine]map[string]RunFunc{
+			EngineChannel: {
+				DefaultVariant: labelsC(PointerJumpChannel),
+				"reqresp":      labelsC(PointerJumpReqResp),
+			},
+			EnginePregel: {
+				DefaultVariant: labelsP(PointerJumpPregel),
+				"reqresp":      labelsP(PointerJumpPregelReqResp),
+			},
+		},
+	},
+	"sv": {
+		Name:            "sv",
+		Description:     "Shiloach-Vishkin connected components",
+		NeedsUndirected: true,
+		variants: map[Engine]map[string]RunFunc{
+			EngineChannel: {
+				DefaultVariant: labelsC(SVChannel),
+				"reqresp":      labelsC(SVReqResp),
+				"scatter":      labelsC(SVScatter),
+				"both":         labelsC(SVBoth),
+			},
+			EnginePregel: {
+				DefaultVariant: labelsP(SVPregel),
+				"reqresp":      labelsP(SVPregelReqResp),
+			},
+		},
+	},
+	"scc": {
+		Name:        "scc",
+		Description: "strongly connected components (Min-Label)",
+		variants: map[Engine]map[string]RunFunc{
+			EngineChannel: {
+				DefaultVariant: labelsC(SCCChannel),
+				"propagation":  labelsC(SCCPropagation),
+			},
+			EnginePregel: {
+				DefaultVariant: labelsP(SCCPregel),
+			},
+		},
+	},
+	"msf": {
+		Name:            "msf",
+		Description:     "minimum spanning forest (Boruvka)",
+		NeedsUndirected: true,
+		NeedsWeights:    true,
+		variants: map[Engine]map[string]RunFunc{
+			EngineChannel: {
+				DefaultVariant: msfC(MSFChannel),
+			},
+			EnginePregel: {
+				DefaultVariant: msfP(MSFPregel),
+			},
+		},
+	},
+}
+
+// aliases maps accepted request spellings onto canonical names. "cc"
+// resolves to wcc (what connected-components requesters mean on general
+// graphs), NOT to pointerjump, whose parent-pointer-forest precondition
+// a general graph silently violates; pointerjump keeps the "pj" alias.
+var aliases = map[string]string{
+	"pr":         "pagerank",
+	"pj":         "pointerjump",
+	"cc":         "wcc",
+	"components": "wcc",
+}
+
+// Lookup resolves an algorithm name (or alias) to its Spec.
+func Lookup(name string) (*Spec, bool) {
+	if canon, ok := aliases[name]; ok {
+		name = canon
+	}
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Registry returns all specs sorted by name.
+func Registry() []*Spec {
+	out := make([]*Spec, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

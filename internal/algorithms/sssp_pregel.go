@@ -1,0 +1,58 @@
+package algorithms
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/pregel"
+	"repro/internal/ser"
+)
+
+// SSSPPregel runs Bellman-Ford-style SSSP on the baseline engine with
+// the global min combiner — the Pregel counterpart of SSSPChannel, so
+// the registry exposes SSSP on both engines.
+func SSSPPregel(g *graph.Graph, src graph.VertexID, opts Options) ([]int64, pregel.Metrics, error) {
+	part := opts.Part
+	states := make([][]int64, part.NumWorkers())
+	cfg := pregel.Config[int64, struct{}, struct{}]{
+		Part:          part,
+		MaxSupersteps: opts.MaxSupersteps,
+		MsgCodec:      ser.Int64Codec{},
+		Combiner:      minI64,
+	}
+	met, err := pregel.Run(cfg, func(w *pregel.Worker[int64, struct{}, struct{}]) {
+		dist := make([]int64, w.LocalCount())
+		states[w.WorkerID()] = dist
+		relax := func(li int, id graph.VertexID) {
+			ws := g.NeighborWeights(id)
+			for i, v := range g.Neighbors(id) {
+				w.Send(v, dist[li]+int64(ws[i]))
+			}
+		}
+		w.Compute = func(li int, msgs []int64) {
+			id := w.GlobalID(li)
+			if w.Superstep() == 1 {
+				if id == src {
+					dist[li] = 0
+					relax(li, id)
+				} else {
+					dist[li] = math.MaxInt64
+				}
+				w.VoteToHalt()
+				return
+			}
+			best := dist[li]
+			for _, m := range msgs {
+				if m < best {
+					best = m
+				}
+			}
+			if best < dist[li] {
+				dist[li] = best
+				relax(li, id)
+			}
+			w.VoteToHalt()
+		}
+	})
+	return gather(part, states), met, err
+}

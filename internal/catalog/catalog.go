@@ -1,0 +1,531 @@
+// Package catalog is the shared graph store of the job service: named
+// dataset specs (edge-list files or generator expressions) loaded at
+// most once, cached as the immutable *graph.Graph plus its default
+// partition, and shared by every job that names the dataset.
+//
+// Loading is singleflight — concurrent Get calls for a cold dataset
+// block on one loader goroutine — and the resident set is bounded by an
+// approximate byte budget with least-recently-used eviction. File-backed
+// specs prefer a binary snapshot ("<path>.bin", graph.WriteBinary
+// layout) over re-parsing the text edge list.
+package catalog
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Spec declares a dataset. Exactly one of Path or Gen must be set.
+type Spec struct {
+	Name string `json:"name"`
+	// Path is an edge-list file (graph.ReadEdgeList format) or a binary
+	// snapshot. A "<path>.bin" sibling, when present, is preferred.
+	Path string `json:"path,omitempty"`
+	// Gen is a generator expression, e.g. "rmat:scale=12,ef=8,seed=1"
+	// (see ParseGen for the full grammar).
+	Gen string `json:"gen,omitempty"`
+	// Undirected runs the loaded graph through graph.Undirectify.
+	Undirected bool `json:"undirected,omitempty"`
+}
+
+// Entry is a loaded dataset: the immutable graph and its hash
+// partition, plus a lazily-derived undirected form for algorithms that
+// need both edge orientations.
+type Entry struct {
+	Spec     Spec
+	Graph    *graph.Graph
+	Part     *partition.Partition
+	LoadedAt time.Time
+
+	cat     *Catalog
+	workers int
+	bytes   int64 // guarded by cat.mu once the entry is published
+
+	undOnce  sync.Once
+	undGraph *graph.Graph
+	undPart  *partition.Partition
+}
+
+// Bytes returns the approximate resident size of the entry, including
+// any derived undirected view.
+func (e *Entry) Bytes() int64 {
+	e.cat.mu.Lock()
+	defer e.cat.mu.Unlock()
+	return e.bytes
+}
+
+// Undirected returns a both-orientations view of the dataset: the entry
+// itself if already undirected, otherwise a derived graph computed once
+// and cached for all subsequent jobs. The derived graph's size counts
+// against the catalog byte budget.
+func (e *Entry) Undirected() (*graph.Graph, *partition.Partition) {
+	if e.Graph.Undirected {
+		return e.Graph, e.Part
+	}
+	e.undOnce.Do(func() {
+		e.undGraph = graph.Undirectify(e.Graph)
+		e.undPart = partition.Hash(e.undGraph.NumVertices(), e.workers)
+		e.cat.addDerivedBytes(e, graphBytes(e.undGraph))
+	})
+	return e.undGraph, e.undPart
+}
+
+// Info is the List/JSON view of a dataset.
+type Info struct {
+	Spec
+	Loaded   bool  `json:"loaded"`
+	Vertices int   `json:"vertices,omitempty"`
+	Edges    int   `json:"edges,omitempty"`
+	Weighted bool  `json:"weighted,omitempty"`
+	IsUndir  bool  `json:"is_undirected,omitempty"`
+	Bytes    int64 `json:"bytes,omitempty"`
+}
+
+// Stats summarizes catalog activity.
+type Stats struct {
+	Datasets  int   `json:"datasets"`
+	Loaded    int   `json:"loaded"`
+	Loads     int64 `json:"loads"`
+	Hits      int64 `json:"hits"`
+	Evictions int64 `json:"evictions"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes,omitempty"`
+}
+
+// Catalog is safe for concurrent use.
+type Catalog struct {
+	workers  int
+	maxBytes int64
+
+	mu      sync.Mutex
+	specs   map[string]Spec
+	order   []string
+	entries map[string]*slot
+	clock   int64 // LRU stamp source
+
+	loads, hits, evictions int64
+}
+
+// slot is the singleflight cell for one dataset.
+type slot struct {
+	done     chan struct{} // closed when the load finishes
+	entry    *Entry        // set on success
+	err      error         // set on failure
+	lastUsed int64
+}
+
+// New creates a catalog partitioning graphs across workers simulated
+// nodes. maxBytes bounds the approximate resident graph bytes (0 =
+// unlimited); the most recently used entries are kept.
+func New(workers int, maxBytes int64) *Catalog {
+	if workers <= 0 {
+		workers = 8
+	}
+	return &Catalog{
+		workers:  workers,
+		maxBytes: maxBytes,
+		specs:    make(map[string]Spec),
+		entries:  make(map[string]*slot),
+	}
+}
+
+// Register adds a dataset spec. Re-registering an existing name is an
+// error (the immutable cache would go stale).
+func (c *Catalog) Register(spec Spec) error {
+	if spec.Name == "" {
+		return fmt.Errorf("catalog: dataset name is required")
+	}
+	if (spec.Path == "") == (spec.Gen == "") {
+		return fmt.Errorf("catalog: dataset %q: exactly one of path or gen must be set", spec.Name)
+	}
+	if spec.Gen != "" {
+		if _, err := ParseGen(spec.Gen); err != nil {
+			return fmt.Errorf("catalog: dataset %q: %w", spec.Name, err)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.specs[spec.Name]; ok {
+		return fmt.Errorf("catalog: dataset %q already registered", spec.Name)
+	}
+	c.specs[spec.Name] = spec
+	c.order = append(c.order, spec.Name)
+	return nil
+}
+
+// Has reports whether name is a registered dataset.
+func (c *Catalog) Has(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.specs[name]
+	return ok
+}
+
+// Get returns the loaded entry for name, loading it exactly once no
+// matter how many goroutines ask concurrently. A failed load is not
+// cached: the next Get retries.
+func (c *Catalog) Get(name string) (*Entry, error) {
+	c.mu.Lock()
+	spec, ok := c.specs[name]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("catalog: unknown dataset %q", name)
+	}
+	if s, ok := c.entries[name]; ok {
+		c.clock++
+		s.lastUsed = c.clock
+		c.mu.Unlock()
+		<-s.done
+		if s.err == nil {
+			c.mu.Lock()
+			c.hits++
+			c.mu.Unlock()
+		}
+		return s.entry, s.err
+	}
+	s := &slot{done: make(chan struct{})}
+	c.clock++
+	s.lastUsed = c.clock
+	c.entries[name] = s
+	c.mu.Unlock()
+
+	entry, err := c.load(spec)
+	c.mu.Lock()
+	if err != nil {
+		s.err = err
+		delete(c.entries, name) // allow retry
+	} else {
+		s.entry = entry
+		c.loads++
+		c.evictOverBudgetLocked(name)
+	}
+	c.mu.Unlock()
+	close(s.done)
+	return entry, err
+}
+
+// evictOverBudgetLocked drops least-recently-used loaded entries until
+// the byte budget holds. The entry named keep (the one just loaded) and
+// in-flight loads are never evicted.
+func (c *Catalog) evictOverBudgetLocked(keep string) {
+	if c.maxBytes <= 0 {
+		return
+	}
+	for c.residentBytesLocked() > c.maxBytes {
+		victim := ""
+		var oldest int64
+		for name, s := range c.entries {
+			if name == keep || s.entry == nil {
+				continue
+			}
+			if victim == "" || s.lastUsed < oldest {
+				victim, oldest = name, s.lastUsed
+			}
+		}
+		if victim == "" {
+			return
+		}
+		delete(c.entries, victim)
+		c.evictions++
+	}
+}
+
+func (c *Catalog) residentBytesLocked() int64 {
+	var total int64
+	for _, s := range c.entries {
+		if s.entry != nil {
+			total += s.entry.bytes
+		}
+	}
+	return total
+}
+
+// load materializes a spec outside the catalog lock.
+func (c *Catalog) load(spec Spec) (*Entry, error) {
+	var g *graph.Graph
+	var err error
+	switch {
+	case spec.Gen != "":
+		g, err = Generate(spec.Gen)
+	case strings.HasSuffix(spec.Path, graph.SnapshotExt):
+		g, err = graph.ReadBinaryFile(spec.Path)
+	default:
+		if snap := spec.Path + graph.SnapshotExt; snapshotFresh(spec.Path, snap) {
+			g, err = graph.ReadBinaryFile(snap)
+		} else {
+			g, err = readEdgeListFile(spec.Path)
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("catalog: load %q: %w", spec.Name, err)
+	}
+	if spec.Undirected && !g.Undirected {
+		g = graph.Undirectify(g)
+	}
+	e := &Entry{
+		Spec:     spec,
+		Graph:    g,
+		Part:     partition.Hash(g.NumVertices(), c.workers),
+		LoadedAt: time.Now(),
+		cat:      c,
+		workers:  c.workers,
+		bytes:    graphBytes(g),
+	}
+	return e, nil
+}
+
+// addDerivedBytes charges a lazily-derived view to its entry and
+// re-applies the byte budget (the entry that grew is never the victim).
+// The slot must still hold this exact entry: a caller that kept an
+// already-evicted Entry derives a view the cache no longer holds, which
+// must not be charged to a re-loaded successor.
+func (c *Catalog) addDerivedBytes(e *Entry, b int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.entries[e.Spec.Name]; ok && s.entry == e {
+		e.bytes += b
+		c.evictOverBudgetLocked(e.Spec.Name)
+	}
+}
+
+// graphBytes approximates the resident size of a graph plus its
+// partition (owner+local maps ~10 bytes/vertex).
+func graphBytes(g *graph.Graph) int64 {
+	b := int64(len(g.Offsets))*8 + int64(len(g.Adj))*4 + int64(len(g.Weights))*4
+	return b + int64(g.NumVertices())*10
+}
+
+// snapshotFresh reports whether snap exists and is at least as new as
+// the text edge list it shadows — an edge list edited after its
+// snapshot was written must win, not silently serve stale data.
+func snapshotFresh(text, snap string) bool {
+	ss, err := os.Stat(snap)
+	if err != nil || ss.IsDir() {
+		return false
+	}
+	ts, err := os.Stat(text)
+	if err != nil {
+		return true // no text file at all: the snapshot is the data
+	}
+	return !ss.ModTime().Before(ts.ModTime())
+}
+
+func readEdgeListFile(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return graph.ReadEdgeList(f)
+}
+
+// List returns all datasets in registration order.
+func (c *Catalog) List() []Info {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Info, 0, len(c.order))
+	for _, name := range c.order {
+		info := Info{Spec: c.specs[name]}
+		if s, ok := c.entries[name]; ok && s.entry != nil {
+			g := s.entry.Graph
+			info.Loaded = true
+			info.Vertices = g.NumVertices()
+			info.Edges = g.NumEdges()
+			info.Weighted = g.Weighted()
+			info.IsUndir = g.Undirected
+			info.Bytes = s.entry.bytes
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Stats returns a snapshot of catalog counters.
+func (c *Catalog) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Datasets:  len(c.specs),
+		Loads:     c.loads,
+		Hits:      c.hits,
+		Evictions: c.evictions,
+		Bytes:     c.residentBytesLocked(),
+		MaxBytes:  c.maxBytes,
+	}
+	for _, s := range c.entries {
+		if s.entry != nil {
+			st.Loaded++
+		}
+	}
+	return st
+}
+
+// ParseGen parses a generator expression "kind:key=val,key=val" and
+// returns a closure producing the graph. Supported kinds mirror
+// cmd/graphgen:
+//
+//	rmat:scale=S,ef=E,seed=N[,weighted][,maxw=W][,undirected]
+//	social:scale=S,ef=E,seed=N
+//	chain:n=N
+//	tree:n=N,seed=S
+//	grid:rows=R,cols=C,maxw=W,seed=S
+//	digraph:n=N,m=M,seed=S
+//	forest:n=N,k=K,seed=S
+func ParseGen(expr string) (func() *graph.Graph, error) {
+	kind, rest, _ := strings.Cut(expr, ":")
+	kv := map[string]string{}
+	if rest != "" {
+		for _, part := range strings.Split(rest, ",") {
+			k, v, found := strings.Cut(part, "=")
+			k = strings.TrimSpace(k)
+			if k == "" {
+				return nil, fmt.Errorf("catalog: empty key in generator %q", expr)
+			}
+			if !found {
+				v = "true" // bare flags: "weighted"
+			}
+			kv[k] = strings.TrimSpace(v)
+		}
+	}
+	get := func(key string, def int64) (int64, error) {
+		s, ok := kv[key]
+		if !ok {
+			return def, nil
+		}
+		delete(kv, key)
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("catalog: generator %q: bad %s=%q", expr, key, s)
+		}
+		return n, nil
+	}
+	getBool := func(key string) bool {
+		s, ok := kv[key]
+		delete(kv, key)
+		return ok && s != "false"
+	}
+
+	var gen func() *graph.Graph
+	var err error
+	fail := func(e error) (func() *graph.Graph, error) { return nil, e }
+	switch kind {
+	case "rmat":
+		var scale, ef, seed, maxw int64
+		if scale, err = get("scale", 10); err != nil {
+			return fail(err)
+		}
+		if ef, err = get("ef", 8); err != nil {
+			return fail(err)
+		}
+		if seed, err = get("seed", 1); err != nil {
+			return fail(err)
+		}
+		if maxw, err = get("maxw", 100); err != nil {
+			return fail(err)
+		}
+		weighted := getBool("weighted")
+		undirected := getBool("undirected")
+		gen = func() *graph.Graph {
+			g := graph.RMAT(int(scale), int(ef), seed, graph.RMATOptions{
+				Weighted: weighted, MaxWeight: int32(maxw), NoSelfLoops: true})
+			if undirected {
+				g = graph.Undirectify(g)
+			}
+			return g
+		}
+	case "social":
+		var scale, ef, seed int64
+		if scale, err = get("scale", 10); err != nil {
+			return fail(err)
+		}
+		if ef, err = get("ef", 8); err != nil {
+			return fail(err)
+		}
+		if seed, err = get("seed", 1); err != nil {
+			return fail(err)
+		}
+		gen = func() *graph.Graph { return graph.SocialRMAT(int(scale), int(ef), seed) }
+	case "chain":
+		var n int64
+		if n, err = get("n", 1000); err != nil {
+			return fail(err)
+		}
+		gen = func() *graph.Graph { return graph.Chain(int(n)) }
+	case "tree":
+		var n, seed int64
+		if n, err = get("n", 1000); err != nil {
+			return fail(err)
+		}
+		if seed, err = get("seed", 1); err != nil {
+			return fail(err)
+		}
+		gen = func() *graph.Graph { return graph.RandomTree(int(n), seed) }
+	case "grid":
+		var rows, cols, maxw, seed int64
+		if rows, err = get("rows", 100); err != nil {
+			return fail(err)
+		}
+		if cols, err = get("cols", 100); err != nil {
+			return fail(err)
+		}
+		if maxw, err = get("maxw", 100); err != nil {
+			return fail(err)
+		}
+		if seed, err = get("seed", 1); err != nil {
+			return fail(err)
+		}
+		gen = func() *graph.Graph { return graph.Grid(int(rows), int(cols), int32(maxw), seed) }
+	case "digraph":
+		var n, m, seed int64
+		if n, err = get("n", 1000); err != nil {
+			return fail(err)
+		}
+		if m, err = get("m", 4000); err != nil {
+			return fail(err)
+		}
+		if seed, err = get("seed", 1); err != nil {
+			return fail(err)
+		}
+		gen = func() *graph.Graph { return graph.RandomDigraph(int(n), int(m), seed) }
+	case "forest":
+		var n, k, seed int64
+		if n, err = get("n", 1000); err != nil {
+			return fail(err)
+		}
+		if k, err = get("k", 4); err != nil {
+			return fail(err)
+		}
+		if seed, err = get("seed", 1); err != nil {
+			return fail(err)
+		}
+		gen = func() *graph.Graph { return graph.Forest(int(n), int(k), seed) }
+	default:
+		return nil, fmt.Errorf("catalog: unknown generator kind %q", kind)
+	}
+	if len(kv) > 0 {
+		keys := make([]string, 0, len(kv))
+		for k := range kv {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return nil, fmt.Errorf("catalog: generator %q: unknown keys %v", expr, keys)
+	}
+	return gen, nil
+}
+
+// Generate evaluates a generator expression.
+func Generate(expr string) (*graph.Graph, error) {
+	gen, err := ParseGen(expr)
+	if err != nil {
+		return nil, err
+	}
+	return gen(), nil
+}

@@ -1,0 +1,269 @@
+package catalog
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+func TestRegisterValidation(t *testing.T) {
+	c := New(4, 0)
+	if err := c.Register(Spec{Name: "", Gen: "chain:n=5"}); err == nil {
+		t.Fatal("expected error for empty name")
+	}
+	if err := c.Register(Spec{Name: "x"}); err == nil {
+		t.Fatal("expected error for neither path nor gen")
+	}
+	if err := c.Register(Spec{Name: "x", Path: "a", Gen: "chain:n=5"}); err == nil {
+		t.Fatal("expected error for both path and gen")
+	}
+	if err := c.Register(Spec{Name: "x", Gen: "warp:n=5"}); err == nil {
+		t.Fatal("expected error for bad generator")
+	}
+	if err := c.Register(Spec{Name: "x", Gen: "chain:n=5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(Spec{Name: "x", Gen: "chain:n=9"}); err == nil {
+		t.Fatal("expected error for duplicate name")
+	}
+	if !c.Has("x") || c.Has("y") {
+		t.Fatal("Has is wrong")
+	}
+}
+
+func TestGetSingleflight(t *testing.T) {
+	c := New(4, 0)
+	if err := c.Register(Spec{Name: "g", Gen: "social:scale=8,ef=3,seed=2"}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	entries := make([]*Entry, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, err := c.Get("g")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			entries[i] = e
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if entries[i] != entries[0] {
+			t.Fatal("Get returned distinct entries")
+		}
+	}
+	st := c.Stats()
+	if st.Loads != 1 {
+		t.Fatalf("loads=%d want 1", st.Loads)
+	}
+	if st.Hits != n-1 {
+		t.Fatalf("hits=%d want %d", st.Hits, n-1)
+	}
+	if st.Loaded != 1 || st.Bytes <= 0 {
+		t.Fatalf("loaded=%d bytes=%d", st.Loaded, st.Bytes)
+	}
+
+	// derived undirected form of an already-undirected graph is itself
+	g, p := entries[0].Undirected()
+	if g != entries[0].Graph || p != entries[0].Part {
+		t.Fatal("Undirected() of undirected graph should be identity")
+	}
+}
+
+func TestDerivedUndirected(t *testing.T) {
+	c := New(4, 0)
+	if err := c.Register(Spec{Name: "d", Gen: "digraph:n=50,m=200,seed=3"}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := c.Get("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := c.Stats().Bytes
+	g1, p1 := e.Undirected()
+	g2, p2 := e.Undirected()
+	if g1 != g2 || p1 != p2 {
+		t.Fatal("derived undirected form not cached")
+	}
+	if !g1.Undirected || g1 == e.Graph {
+		t.Fatal("derived graph should be a new undirected graph")
+	}
+	if c.Stats().Bytes <= base || e.Bytes() <= base {
+		t.Fatalf("derived graph not charged to the budget: %d <= %d", c.Stats().Bytes, base)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2, 1) // 1-byte budget: at most the newest entry survives
+	for _, name := range []string{"a", "b"} {
+		if err := c.Register(Spec{Name: name, Gen: "chain:n=100"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("b"); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Loaded != 1 {
+		t.Fatalf("evictions=%d loaded=%d", st.Evictions, st.Loaded)
+	}
+	// a evicted; getting it again reloads
+	if _, err := c.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Loads != 3 {
+		t.Fatalf("loads=%d want 3", st.Loads)
+	}
+}
+
+func TestFileLoadPrefersBinarySnapshot(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.Grid(5, 6, 10, 7)
+
+	// A text edge list whose .bin sibling holds a DIFFERENT graph proves
+	// which source was read.
+	el := filepath.Join(dir, "g.el")
+	f, err := os.Create(el)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(f, graph.Chain(3)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := graph.WriteBinaryFile(el+graph.SnapshotExt, g); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(4, 0)
+	if err := c.Register(Spec{Name: "g", Path: el}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := c.Get("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Graph.NumVertices() != g.NumVertices() || e.Graph.NumEdges() != g.NumEdges() {
+		t.Fatalf("loaded text list, not snapshot: n=%d m=%d", e.Graph.NumVertices(), e.Graph.NumEdges())
+	}
+
+	// a snapshot OLDER than the text list is stale and must be ignored
+	stale := filepath.Join(dir, "stale.el")
+	fs, err := os.Create(stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(fs, graph.Chain(5)); err != nil {
+		t.Fatal(err)
+	}
+	fs.Close()
+	if err := graph.WriteBinaryFile(stale+graph.SnapshotExt, g); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(stale+graph.SnapshotExt, old, old); err != nil {
+		t.Fatal(err)
+	}
+	cs := New(4, 0)
+	if err := cs.Register(Spec{Name: "s", Path: stale}); err != nil {
+		t.Fatal(err)
+	}
+	es, err := cs.Get("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Graph.NumVertices() != 5 {
+		t.Fatalf("stale snapshot served: n=%d want 5 (from text)", es.Graph.NumVertices())
+	}
+
+	// without a snapshot the text list is parsed
+	c2 := New(4, 0)
+	el2 := filepath.Join(dir, "plain.el")
+	f2, err := os.Create(el2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(f2, graph.Chain(3)); err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+	if err := c2.Register(Spec{Name: "p", Path: el2}); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c2.Get("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Graph.NumVertices() != 3 {
+		t.Fatalf("n=%d want 3", e2.Graph.NumVertices())
+	}
+}
+
+func TestFailedLoadRetries(t *testing.T) {
+	c := New(4, 0)
+	missing := filepath.Join(t.TempDir(), "missing.el")
+	if err := c.Register(Spec{Name: "m", Path: missing}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("m"); err == nil {
+		t.Fatal("expected load failure")
+	}
+	// create the file; the failed load must not be cached
+	f, err := os.Create(missing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteEdgeList(f, graph.Chain(4)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	e, err := c.Get("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Graph.NumVertices() != 4 {
+		t.Fatalf("n=%d", e.Graph.NumVertices())
+	}
+}
+
+func TestParseGenErrors(t *testing.T) {
+	cases := []string{
+		"warp:n=1",
+		"chain:n=abc",
+		"chain:n=5,bogus=1",
+		"rmat:scale=zz",
+		"grid:rows=3,cols=q",
+		"chain:=5",
+	}
+	for _, expr := range cases {
+		if _, err := ParseGen(expr); err == nil {
+			t.Errorf("expected error for %q", expr)
+		}
+	}
+	for _, expr := range []string{
+		"chain:n=5", "tree:n=9,seed=2", "grid:rows=3,cols=4",
+		"rmat:scale=4,ef=2,weighted,maxw=9", "rmat:scale=4,undirected",
+		"social:scale=4,ef=2", "digraph:n=10,m=20", "forest:n=10,k=2",
+	} {
+		g, err := Generate(expr)
+		if err != nil {
+			t.Errorf("%q: %v", expr, err)
+			continue
+		}
+		if g.NumVertices() == 0 {
+			t.Errorf("%q: empty graph", expr)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary snapshot format: the CSR arrays dumped verbatim, little-endian.
+// Loading a snapshot is a size check plus three bulk reads, so a daemon
+// restart skips text parsing and the counting sort of FromEdges.
+//
+//	magic   "GCSR"           4 bytes
+//	version uint32           currently 1
+//	flags   uint32           bit0 weighted, bit1 undirected
+//	n, m    uint64, uint64   vertex and directed-edge counts
+//	offsets (n+1) x uint64
+//	adj     m x uint32
+//	weights m x int32        present iff weighted
+
+const (
+	binaryMagic   = "GCSR"
+	binaryVersion = 1
+
+	flagWeighted   = 1 << 0
+	flagUndirected = 1 << 1
+)
+
+// SnapshotExt is the conventional file extension for binary snapshots;
+// the catalog looks for "<path>.bin" next to a text edge list.
+const SnapshotExt = ".bin"
+
+// maxSnapshotEntries bounds the array sizes a snapshot header may claim,
+// guarding allocation against corrupt or hostile files.
+const maxSnapshotEntries = 1 << 33
+
+// WriteBinary writes g as a binary CSR snapshot.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var flags uint32
+	if g.Weighted() {
+		flags |= flagWeighted
+	}
+	if g.Undirected {
+		flags |= flagUndirected
+	}
+	var head [24]byte
+	binary.LittleEndian.PutUint32(head[0:], binaryVersion)
+	binary.LittleEndian.PutUint32(head[4:], flags)
+	binary.LittleEndian.PutUint64(head[8:], uint64(g.NumVertices()))
+	binary.LittleEndian.PutUint64(head[16:], uint64(g.NumEdges()))
+	if _, err := bw.Write(head[:]); err != nil {
+		return err
+	}
+	var scratch [8]byte
+	for _, o := range g.Offsets {
+		binary.LittleEndian.PutUint64(scratch[:], o)
+		if _, err := bw.Write(scratch[:8]); err != nil {
+			return err
+		}
+	}
+	for _, v := range g.Adj {
+		binary.LittleEndian.PutUint32(scratch[:], v)
+		if _, err := bw.Write(scratch[:4]); err != nil {
+			return err
+		}
+	}
+	if g.Weighted() {
+		for _, wv := range g.Weights {
+			binary.LittleEndian.PutUint32(scratch[:], uint32(wv))
+			if _, err := bw.Write(scratch[:4]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a snapshot written by WriteBinary.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var head [28]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, fmt.Errorf("graph: bad snapshot header: %w", err)
+	}
+	if string(head[:4]) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad snapshot magic %q", head[:4])
+	}
+	if v := binary.LittleEndian.Uint32(head[4:]); v != binaryVersion {
+		return nil, fmt.Errorf("graph: unsupported snapshot version %d", v)
+	}
+	flags := binary.LittleEndian.Uint32(head[8:])
+	n := binary.LittleEndian.Uint64(head[12:])
+	m := binary.LittleEndian.Uint64(head[20:])
+	if n >= maxSnapshotEntries || m > maxSnapshotEntries {
+		return nil, fmt.Errorf("graph: snapshot claims implausible sizes n=%d m=%d", n, m)
+	}
+	g := &Graph{
+		Offsets:    make([]uint64, n+1),
+		Adj:        make([]VertexID, m),
+		Undirected: flags&flagUndirected != 0,
+	}
+	var scratch [8]byte
+	for i := range g.Offsets {
+		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+			return nil, fmt.Errorf("graph: truncated snapshot offsets: %w", err)
+		}
+		g.Offsets[i] = binary.LittleEndian.Uint64(scratch[:])
+	}
+	if g.Offsets[0] != 0 || g.Offsets[n] != m {
+		return nil, fmt.Errorf("graph: corrupt snapshot offsets (first=%d last=%d m=%d)", g.Offsets[0], g.Offsets[n], m)
+	}
+	for i := uint64(1); i <= n; i++ {
+		if g.Offsets[i] < g.Offsets[i-1] {
+			return nil, fmt.Errorf("graph: corrupt snapshot: offsets not monotone at vertex %d", i)
+		}
+	}
+	for i := range g.Adj {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return nil, fmt.Errorf("graph: truncated snapshot adjacency: %w", err)
+		}
+		v := binary.LittleEndian.Uint32(scratch[:])
+		if uint64(v) >= n {
+			return nil, fmt.Errorf("graph: corrupt snapshot: vertex %d out of range", v)
+		}
+		g.Adj[i] = v
+	}
+	if flags&flagWeighted != 0 {
+		g.Weights = make([]int32, m)
+		for i := range g.Weights {
+			if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+				return nil, fmt.Errorf("graph: truncated snapshot weights: %w", err)
+			}
+			g.Weights[i] = int32(binary.LittleEndian.Uint32(scratch[:]))
+		}
+	}
+	return g, nil
+}
+
+// WriteBinaryFile writes a snapshot to path atomically (tmp + rename).
+func WriteBinaryFile(path string, g *Graph) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, g); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadBinaryFile reads a snapshot from path.
+func ReadBinaryFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}

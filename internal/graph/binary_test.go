@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func graphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("size mismatch: (%d,%d) vs (%d,%d)",
+			a.NumVertices(), a.NumEdges(), b.NumVertices(), b.NumEdges())
+	}
+	if a.Weighted() != b.Weighted() || a.Undirected != b.Undirected {
+		t.Fatalf("flag mismatch: weighted %v/%v undirected %v/%v",
+			a.Weighted(), b.Weighted(), a.Undirected, b.Undirected)
+	}
+	for u := 0; u < a.NumVertices(); u++ {
+		na, nb := a.Neighbors(VertexID(u)), b.Neighbors(VertexID(u))
+		if len(na) != len(nb) {
+			t.Fatalf("degree mismatch at %d", u)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("adj mismatch at %d[%d]", u, i)
+			}
+		}
+		if a.Weighted() {
+			wa, wb := a.NeighborWeights(VertexID(u)), b.NeighborWeights(VertexID(u))
+			for i := range wa {
+				if wa[i] != wb[i] {
+					t.Fatalf("weight mismatch at %d[%d]", u, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBinaryRoundtrip(t *testing.T) {
+	cases := map[string]*Graph{
+		"rmat":     RMAT(6, 4, 3, RMATOptions{NoSelfLoops: true}),
+		"weighted": Grid(7, 9, 50, 4),
+		"social":   SocialRMAT(6, 3, 5),
+		"empty":    FromEdges(0, nil, false),
+		"isolated": FromEdges(5, []Edge{{Src: 1, Dst: 3}}, false),
+	}
+	for name, g := range cases {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := WriteBinary(&buf, g); err != nil {
+				t.Fatal(err)
+			}
+			g2, err := ReadBinary(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			graphsEqual(t, g, g2)
+		})
+	}
+}
+
+func TestBinaryFileRoundtrip(t *testing.T) {
+	g := RMAT(5, 4, 11, RMATOptions{Weighted: true, MaxWeight: 100})
+	path := filepath.Join(t.TempDir(), "g"+SnapshotExt)
+	if err := WriteBinaryFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, g2)
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("tmp file left behind: %v", err)
+	}
+}
+
+func TestBinaryRejectsCorrupt(t *testing.T) {
+	g := RMAT(5, 4, 11, RMATOptions{})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"badmagic":  append([]byte("NOPE"), good[4:]...),
+		"truncated": good[:len(good)-3],
+		"shorthead": good[:10],
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+
+	// A header claiming n = 2^64-1 must error, not overflow n+1 to 0 and
+	// panic on the empty offsets slice.
+	hostile := make([]byte, 28)
+	copy(hostile, "GCSR")
+	hostile[4] = 1 // version
+	for i := 12; i < 20; i++ {
+		hostile[i] = 0xff // n
+	}
+	if _, err := ReadBinary(bytes.NewReader(hostile)); err == nil ||
+		!strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("hostile header: got %v", err)
+	}
+
+	// Out-of-range adjacency entry: flip a vertex id beyond n.
+	bad := append([]byte(nil), good...)
+	adjStart := 28 + 8*(g.NumVertices()+1)
+	for i := 0; i < 4; i++ {
+		bad[adjStart+i] = 0xff
+	}
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("expected out-of-range error, got %v", err)
+	}
+}

@@ -41,59 +41,81 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadEdgeList parses the format produced by WriteEdgeList.
+// ReadEdgeList parses the format produced by WriteEdgeList. Blank lines
+// and '#' comment lines are skipped anywhere, including before the
+// header; parse errors report the 1-based line number of the offending
+// line.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	if !sc.Scan() {
+	lineno := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			lineno++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+	head, ok := next()
+	if !ok {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineno, err)
+		}
 		return nil, fmt.Errorf("graph: empty edge list")
 	}
-	header := strings.Fields(sc.Text())
+	header := strings.Fields(head)
 	if len(header) < 2 {
-		return nil, fmt.Errorf("graph: bad header %q", sc.Text())
+		return nil, fmt.Errorf("graph: line %d: bad header %q", lineno, head)
 	}
 	n, err := strconv.Atoi(header[0])
-	if err != nil {
-		return nil, fmt.Errorf("graph: bad vertex count: %w", err)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("graph: line %d: bad vertex count %q", lineno, header[0])
 	}
 	m, err := strconv.Atoi(header[1])
-	if err != nil {
-		return nil, fmt.Errorf("graph: bad edge count: %w", err)
+	if err != nil || m < 0 {
+		return nil, fmt.Errorf("graph: line %d: bad edge count %q", lineno, header[1])
 	}
 	weighted := len(header) >= 3 && header[2] == "w"
 	edges := make([]Edge, 0, m)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
+	for {
+		line, ok := next()
+		if !ok {
+			break
 		}
 		f := strings.Fields(line)
 		if len(f) < 2 {
-			return nil, fmt.Errorf("graph: bad edge line %q", line)
+			return nil, fmt.Errorf("graph: line %d: bad edge line %q", lineno, line)
 		}
 		src, err := strconv.ParseUint(f[0], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("graph: bad src in %q: %w", line, err)
+			return nil, fmt.Errorf("graph: line %d: bad src in %q: %w", lineno, line, err)
 		}
 		dst, err := strconv.ParseUint(f[1], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("graph: bad dst in %q: %w", line, err)
+			return nil, fmt.Errorf("graph: line %d: bad dst in %q: %w", lineno, line, err)
+		}
+		if int(src) >= n || int(dst) >= n {
+			return nil, fmt.Errorf("graph: line %d: edge (%d,%d) out of range for %d vertices", lineno, src, dst, n)
 		}
 		e := Edge{Src: VertexID(src), Dst: VertexID(dst)}
 		if weighted {
 			if len(f) < 3 {
-				return nil, fmt.Errorf("graph: missing weight in %q", line)
+				return nil, fmt.Errorf("graph: line %d: missing weight in %q", lineno, line)
 			}
 			w, err := strconv.ParseInt(f[2], 10, 32)
 			if err != nil {
-				return nil, fmt.Errorf("graph: bad weight in %q: %w", line, err)
+				return nil, fmt.Errorf("graph: line %d: bad weight in %q: %w", lineno, line, err)
 			}
 			e.Weight = int32(w)
 		}
 		edges = append(edges, e)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("graph: line %d: %w", lineno, err)
 	}
 	if len(edges) != m {
 		return nil, fmt.Errorf("graph: header claims %d edges, found %d", m, len(edges))

@@ -7,10 +7,8 @@ import (
 
 	"repro/internal/algorithms"
 	"repro/internal/comm"
-	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/partition"
-	"repro/internal/pregel"
 )
 
 // Row is one line of a result table: program name, dataset name,
@@ -30,16 +28,6 @@ func (r Row) MB() float64 { return float64(r.NetBytes) / 1e6 }
 // Seconds returns the simulated distributed runtime in seconds.
 func (r Row) Seconds() float64 { return r.SimTime.Seconds() }
 
-func rowFromChannel(program, dataset string, m engine.Metrics) Row {
-	return Row{Program: program, Dataset: dataset, SimTime: m.SimTime(),
-		WallTime: m.WallTime, NetBytes: m.Comm.NetworkBytes, Supersteps: m.Supersteps}
-}
-
-func rowFromPregel(program, dataset string, m pregel.Metrics) Row {
-	return Row{Program: program, Dataset: dataset, SimTime: m.SimTime(),
-		WallTime: m.WallTime, NetBytes: m.Comm.NetworkBytes, Supersteps: m.Supersteps}
-}
-
 // PrintTable renders rows grouped as given, in the paper's
 // runtime/message format.
 func PrintTable(w io.Writer, title string, rows []Row) {
@@ -58,95 +46,100 @@ func opts(p *partition.Partition) algorithms.Options {
 
 const prIterations = 30 // the paper's PageRank runs 30 supersteps
 
-func mustC(m engine.Metrics, err error) engine.Metrics {
-	if err != nil {
-		panic(fmt.Sprintf("harness: channel run failed: %v", err))
-	}
-	return m
+// variantRow names one table row: display label plus the registry
+// coordinates (engine, variant) it dispatches to.
+type variantRow struct {
+	program string
+	eng     algorithms.Engine
+	variant string
 }
 
-func mustP(m pregel.Metrics, err error) pregel.Metrics {
-	if err != nil {
-		panic(fmt.Sprintf("harness: pregel run failed: %v", err))
+// basicPair is the pregel-basic / channel-basic comparison every
+// Table IV group runs.
+func basicPair(prefix string) []variantRow {
+	return []variantRow{
+		{prefix + "-pregel", algorithms.EnginePregel, "basic"},
+		{prefix + "-channel", algorithms.EngineChannel, "basic"},
 	}
-	return m
+}
+
+// workload is one (algorithm, dataset) cell of a table.
+type workload struct {
+	alg     string
+	dataset string
+	g       *graph.Graph
+	p       *partition.Partition
+	params  algorithms.Params
+}
+
+// run dispatches one workload/variant pair through the shared registry
+// (the same path graphd jobs take) and renders the metrics as a Row.
+func run(w workload, v variantRow) Row {
+	spec, ok := algorithms.Lookup(w.alg)
+	if !ok {
+		panic(fmt.Sprintf("harness: unknown algorithm %q", w.alg))
+	}
+	res, err := spec.Run(v.eng, v.variant, w.g, opts(w.p), w.params)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %s %s/%s on %s failed: %v", w.alg, v.eng, v.variant, w.dataset, err))
+	}
+	m := res.Metrics
+	return Row{Program: v.program, Dataset: w.dataset, SimTime: m.SimTime,
+		WallTime: m.WallTime, NetBytes: m.NetBytes, Supersteps: m.Supersteps}
+}
+
+// runAll runs every variant row of every workload, in order.
+func runAll(ws []workload, vs []variantRow) []Row {
+	rows := make([]Row, 0, len(ws)*len(vs))
+	for _, w := range ws {
+		for _, v := range vs {
+			rows = append(rows, run(w, v))
+		}
+	}
+	return rows
 }
 
 // Table4 reproduces Table IV: basic implementations in the baseline
 // engine vs the channel engine for all six algorithms.
 func Table4(d *Datasets) []Row {
-	var rows []Row
-	add := func(r Row) { rows = append(rows, r) }
-
-	// PR on the two web graphs
-	for _, t := range []struct {
-		name string
-		g    *graph.Graph
-	}{{"WebUK", d.WebUK}, {"Wikipedia", d.Wiki}} {
-		p := HashPart(t.g)
-		_, mp, err := algorithms.PageRankPregel(t.g, opts(p), prIterations)
-		add(rowFromPregel("PR-pregel", t.name, mustP(mp, err)))
-		_, mc, err := algorithms.PageRankChannel(t.g, opts(p), prIterations)
-		add(rowFromChannel("PR-channel", t.name, mustC(mc, err)))
-	}
-
-	// WCC on wiki (hash) and wiki (partitioned)
 	und := graph.Undirectify(d.Wiki)
-	for _, t := range []struct {
-		name string
-		p    *partition.Partition
-	}{{"Wikipedia", HashPart(und)}, {"Wikipedia(P)", GreedyPart(und)}} {
-		_, mp, err := algorithms.WCCPregel(und, opts(t.p))
-		add(rowFromPregel("WCC-pregel", t.name, mustP(mp, err)))
-		_, mc, err := algorithms.WCCChannel(und, opts(t.p))
-		add(rowFromChannel("WCC-channel", t.name, mustC(mc, err)))
+	pr := algorithms.Params{Iterations: prIterations}
+	groups := []struct {
+		prefix string
+		ws     []workload
+	}{
+		{"PR", []workload{
+			{"pagerank", "WebUK", d.WebUK, HashPart(d.WebUK), pr},
+			{"pagerank", "Wikipedia", d.Wiki, HashPart(d.Wiki), pr},
+		}},
+		{"WCC", []workload{
+			{"wcc", "Wikipedia", und, HashPart(und), algorithms.Params{}},
+			{"wcc", "Wikipedia(P)", und, GreedyPart(und), algorithms.Params{}},
+		}},
+		{"PJ", []workload{
+			{"pointerjump", "Chain", d.Chain, HashPart(d.Chain), algorithms.Params{}},
+			{"pointerjump", "Tree", d.Tree, HashPart(d.Tree), algorithms.Params{}},
+		}},
+		{"SV", []workload{
+			{"sv", "Facebook", d.Facebook, HashPart(d.Facebook), algorithms.Params{}},
+			{"sv", "Twitter", d.Twitter, HashPart(d.Twitter), algorithms.Params{}},
+		}},
+		{"MSF", []workload{
+			{"msf", "USARoad", d.Road, HashPart(d.Road), algorithms.Params{}},
+			{"msf", "RMAT-W", d.RMATW, HashPart(d.RMATW), algorithms.Params{}},
+		}},
+		{"SCC", []workload{
+			{"scc", "Wikipedia", d.Wiki, HashPart(d.Wiki), algorithms.Params{}},
+			{"scc", "Wikipedia(P)", d.Wiki, GreedyPart(d.Wiki), algorithms.Params{}},
+		}},
 	}
-
-	// PJ on chain and tree
-	for _, t := range []struct {
-		name string
-		g    *graph.Graph
-	}{{"Chain", d.Chain}, {"Tree", d.Tree}} {
-		p := HashPart(t.g)
-		_, mp, err := algorithms.PointerJumpPregel(t.g, opts(p))
-		add(rowFromPregel("PJ-pregel", t.name, mustP(mp, err)))
-		_, mc, err := algorithms.PointerJumpChannel(t.g, opts(p))
-		add(rowFromChannel("PJ-channel", t.name, mustC(mc, err)))
-	}
-
-	// S-V on facebook and twitter
-	for _, t := range []struct {
-		name string
-		g    *graph.Graph
-	}{{"Facebook", d.Facebook}, {"Twitter", d.Twitter}} {
-		p := HashPart(t.g)
-		_, mp, err := algorithms.SVPregel(t.g, opts(p))
-		add(rowFromPregel("SV-pregel", t.name, mustP(mp, err)))
-		_, mc, err := algorithms.SVChannel(t.g, opts(p))
-		add(rowFromChannel("SV-channel", t.name, mustC(mc, err)))
-	}
-
-	// MSF on road and weighted rmat
-	for _, t := range []struct {
-		name string
-		g    *graph.Graph
-	}{{"USARoad", d.Road}, {"RMAT-W", d.RMATW}} {
-		p := HashPart(t.g)
-		_, mp, err := algorithms.MSFPregel(t.g, opts(p))
-		add(rowFromPregel("MSF-pregel", t.name, mustP(mp, err)))
-		_, mc, err := algorithms.MSFChannel(t.g, opts(p))
-		add(rowFromChannel("MSF-channel", t.name, mustC(mc, err)))
-	}
-
-	// SCC on wiki (hash and partitioned)
-	for _, t := range []struct {
-		name string
-		p    *partition.Partition
-	}{{"Wikipedia", HashPart(d.Wiki)}, {"Wikipedia(P)", GreedyPart(d.Wiki)}} {
-		_, mp, err := algorithms.SCCPregel(d.Wiki, opts(t.p))
-		add(rowFromPregel("SCC-pregel", t.name, mustP(mp, err)))
-		_, mc, err := algorithms.SCCChannel(d.Wiki, opts(t.p))
-		add(rowFromChannel("SCC-channel", t.name, mustC(mc, err)))
+	var rows []Row
+	for _, grp := range groups {
+		for _, w := range grp.ws {
+			for _, v := range basicPair(grp.prefix) {
+				rows = append(rows, run(w, v))
+			}
+		}
 	}
 	return rows
 }
@@ -154,44 +147,33 @@ func Table4(d *Datasets) []Row {
 // Table5ScatterCombine reproduces the top of Table V: PageRank with
 // pregel basic / pregel ghost / channel basic / scatter-combine.
 func Table5ScatterCombine(d *Datasets) []Row {
-	var rows []Row
-	for _, t := range []struct {
-		name string
-		g    *graph.Graph
-	}{{"Wikipedia", d.Wiki}, {"WebUK", d.WebUK}} {
-		p := HashPart(t.g)
-		_, m1, err := algorithms.PageRankPregel(t.g, opts(p), prIterations)
-		rows = append(rows, rowFromPregel("pregel(basic)", t.name, mustP(m1, err)))
-		_, m2, err := algorithms.PageRankPregelGhost(t.g, opts(p), prIterations)
-		rows = append(rows, rowFromPregel("pregel(ghost)", t.name, mustP(m2, err)))
-		_, m3, err := algorithms.PageRankChannel(t.g, opts(p), prIterations)
-		rows = append(rows, rowFromChannel("channel(basic)", t.name, mustC(m3, err)))
-		_, m4, err := algorithms.PageRankScatter(t.g, opts(p), prIterations)
-		rows = append(rows, rowFromChannel("channel(scatter)", t.name, mustC(m4, err)))
+	pr := algorithms.Params{Iterations: prIterations}
+	ws := []workload{
+		{"pagerank", "Wikipedia", d.Wiki, HashPart(d.Wiki), pr},
+		{"pagerank", "WebUK", d.WebUK, HashPart(d.WebUK), pr},
 	}
-	return rows
+	return runAll(ws, []variantRow{
+		{"pregel(basic)", algorithms.EnginePregel, "basic"},
+		{"pregel(ghost)", algorithms.EnginePregel, "ghost"},
+		{"channel(basic)", algorithms.EngineChannel, "basic"},
+		{"channel(scatter)", algorithms.EngineChannel, "scatter"},
+	})
 }
 
 // Table5RequestRespond reproduces the middle of Table V: pointer
 // jumping with pregel basic / pregel reqresp / channel basic / channel
 // reqresp.
 func Table5RequestRespond(d *Datasets) []Row {
-	var rows []Row
-	for _, t := range []struct {
-		name string
-		g    *graph.Graph
-	}{{"Tree", d.Tree}, {"Chain", d.Chain}} {
-		p := HashPart(t.g)
-		_, m1, err := algorithms.PointerJumpPregel(t.g, opts(p))
-		rows = append(rows, rowFromPregel("pregel(basic)", t.name, mustP(m1, err)))
-		_, m2, err := algorithms.PointerJumpPregelReqResp(t.g, opts(p))
-		rows = append(rows, rowFromPregel("pregel(reqresp)", t.name, mustP(m2, err)))
-		_, m3, err := algorithms.PointerJumpChannel(t.g, opts(p))
-		rows = append(rows, rowFromChannel("channel(basic)", t.name, mustC(m3, err)))
-		_, m4, err := algorithms.PointerJumpReqResp(t.g, opts(p))
-		rows = append(rows, rowFromChannel("channel(reqresp)", t.name, mustC(m4, err)))
+	ws := []workload{
+		{"pointerjump", "Tree", d.Tree, HashPart(d.Tree), algorithms.Params{}},
+		{"pointerjump", "Chain", d.Chain, HashPart(d.Chain), algorithms.Params{}},
 	}
-	return rows
+	return runAll(ws, []variantRow{
+		{"pregel(basic)", algorithms.EnginePregel, "basic"},
+		{"pregel(reqresp)", algorithms.EnginePregel, "reqresp"},
+		{"channel(basic)", algorithms.EngineChannel, "basic"},
+		{"channel(reqresp)", algorithms.EngineChannel, "reqresp"},
+	})
 }
 
 // Table5Propagation reproduces the bottom of Table V: WCC with pregel
@@ -199,63 +181,47 @@ func Table5RequestRespond(d *Datasets) []Row {
 // and locality-partitioned graph.
 func Table5Propagation(d *Datasets) []Row {
 	und := graph.Undirectify(d.Wiki)
-	var rows []Row
-	for _, t := range []struct {
-		name string
-		p    *partition.Partition
-	}{{"Wikipedia", HashPart(und)}, {"Wikipedia(P)", GreedyPart(und)}} {
-		_, m1, err := algorithms.WCCPregel(und, opts(t.p))
-		rows = append(rows, rowFromPregel("pregel(basic)", t.name, mustP(m1, err)))
-		_, m2, err := algorithms.WCCBlogel(und, opts(t.p))
-		rows = append(rows, rowFromChannel("blogel", t.name, mustC(m2, err)))
-		_, m3, err := algorithms.WCCChannel(und, opts(t.p))
-		rows = append(rows, rowFromChannel("channel(basic)", t.name, mustC(m3, err)))
-		_, m4, err := algorithms.WCCPropagation(und, opts(t.p))
-		rows = append(rows, rowFromChannel("channel(prop.)", t.name, mustC(m4, err)))
+	ws := []workload{
+		{"wcc", "Wikipedia", und, HashPart(und), algorithms.Params{}},
+		{"wcc", "Wikipedia(P)", und, GreedyPart(und), algorithms.Params{}},
 	}
-	return rows
+	return runAll(ws, []variantRow{
+		{"pregel(basic)", algorithms.EnginePregel, "basic"},
+		{"blogel", algorithms.EngineChannel, "blogel"},
+		{"channel(basic)", algorithms.EngineChannel, "basic"},
+		{"channel(prop.)", algorithms.EngineChannel, "propagation"},
+	})
 }
 
 // Table6 reproduces Table VI: the five S-V programs on the sparse and
 // dense social graphs.
 func Table6(d *Datasets) []Row {
-	var rows []Row
-	for _, t := range []struct {
-		name string
-		g    *graph.Graph
-	}{{"Facebook", d.Facebook}, {"Twitter", d.Twitter}} {
-		p := HashPart(t.g)
-		_, m1, err := algorithms.SVPregelReqResp(t.g, opts(p))
-		rows = append(rows, rowFromPregel("1-pregel(reqresp)", t.name, mustP(m1, err)))
-		_, m2, err := algorithms.SVChannel(t.g, opts(p))
-		rows = append(rows, rowFromChannel("2-channel(basic)", t.name, mustC(m2, err)))
-		_, m3, err := algorithms.SVReqResp(t.g, opts(p))
-		rows = append(rows, rowFromChannel("3-channel(reqresp)", t.name, mustC(m3, err)))
-		_, m4, err := algorithms.SVScatter(t.g, opts(p))
-		rows = append(rows, rowFromChannel("4-channel(scatter)", t.name, mustC(m4, err)))
-		_, m5, err := algorithms.SVBoth(t.g, opts(p))
-		rows = append(rows, rowFromChannel("5-channel(both)", t.name, mustC(m5, err)))
+	ws := []workload{
+		{"sv", "Facebook", d.Facebook, HashPart(d.Facebook), algorithms.Params{}},
+		{"sv", "Twitter", d.Twitter, HashPart(d.Twitter), algorithms.Params{}},
 	}
-	return rows
+	return runAll(ws, []variantRow{
+		{"1-pregel(reqresp)", algorithms.EnginePregel, "reqresp"},
+		{"2-channel(basic)", algorithms.EngineChannel, "basic"},
+		{"3-channel(reqresp)", algorithms.EngineChannel, "reqresp"},
+		{"4-channel(scatter)", algorithms.EngineChannel, "scatter"},
+		{"5-channel(both)", algorithms.EngineChannel, "both"},
+	})
 }
 
 // Table7 reproduces Table VII: Min-Label SCC with pregel basic /
 // channel basic / channel propagation on the hash and locality
 // partitions.
 func Table7(d *Datasets) []Row {
-	var rows []Row
-	for _, t := range []struct {
-		name string
-		p    *partition.Partition
-	}{{"Wikipedia", HashPart(d.Wiki)}, {"Wikipedia(P)", GreedyPart(d.Wiki)}} {
-		_, m1, err := algorithms.SCCPregel(d.Wiki, opts(t.p))
-		rows = append(rows, rowFromPregel("1-pregel(basic)", t.name, mustP(m1, err)))
-		_, m2, err := algorithms.SCCChannel(d.Wiki, opts(t.p))
-		rows = append(rows, rowFromChannel("2-channel(basic)", t.name, mustC(m2, err)))
-		_, m3, err := algorithms.SCCPropagation(d.Wiki, opts(t.p))
-		rows = append(rows, rowFromChannel("3-channel(prop.)", t.name, mustC(m3, err)))
+	ws := []workload{
+		{"scc", "Wikipedia", d.Wiki, HashPart(d.Wiki), algorithms.Params{}},
+		{"scc", "Wikipedia(P)", d.Wiki, GreedyPart(d.Wiki), algorithms.Params{}},
 	}
-	return rows
+	return runAll(ws, []variantRow{
+		{"1-pregel(basic)", algorithms.EnginePregel, "basic"},
+		{"2-channel(basic)", algorithms.EngineChannel, "basic"},
+		{"3-channel(prop.)", algorithms.EngineChannel, "propagation"},
+	})
 }
 
 // CostModelDefault is the paper's cluster model (750 Mbps, 1 ms round

@@ -1,0 +1,379 @@
+// Package jobs runs graph-analytics jobs against catalog datasets on a
+// bounded worker pool. A job names an (algorithm, engine, variant)
+// triple from the shared registry plus a dataset; the manager tracks it
+// through pending → running → done/failed, retains results for a
+// bounded number of finished jobs, and supports cancelling jobs that
+// have not started yet.
+package jobs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/catalog"
+)
+
+// State is a job lifecycle state.
+type State string
+
+const (
+	StatePending   State = "pending"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether a job in this state will never run again.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Request is a job submission.
+type Request struct {
+	// Algorithm is a registry name or alias: pagerank, sssp, wcc,
+	// pointerjump (alias cc), sv, scc, msf.
+	Algorithm string `json:"algorithm"`
+	// Engine is "channel" (default) or "pregel".
+	Engine string `json:"engine,omitempty"`
+	// Variant selects an optimization variant; "" means "basic".
+	Variant string `json:"variant,omitempty"`
+	// Dataset names a catalog entry.
+	Dataset string `json:"dataset"`
+	// Params carries algorithm knobs (PageRank iterations, SSSP source).
+	Params algorithms.Params `json:"params,omitzero"`
+	// MaxSupersteps caps the run (0 = manager default of 200000).
+	MaxSupersteps int `json:"max_supersteps,omitempty"`
+}
+
+// Snapshot is the externally visible view of a job.
+type Snapshot struct {
+	ID        string              `json:"id"`
+	State     State               `json:"state"`
+	Request   Request             `json:"request"`
+	Submitted time.Time           `json:"submitted"`
+	Started   time.Time           `json:"started,omitzero"`
+	Finished  time.Time           `json:"finished,omitzero"`
+	Error     string              `json:"error,omitempty"`
+	Metrics   *algorithms.Metrics `json:"metrics,omitempty"`
+}
+
+type job struct {
+	id        string
+	req       Request
+	eng       algorithms.Engine
+	spec      *algorithms.Spec
+	state     State
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	err       string
+	metrics   *algorithms.Metrics
+	result    *algorithms.Result
+}
+
+func (j *job) snapshot() Snapshot {
+	return Snapshot{ID: j.id, State: j.state, Request: j.req,
+		Submitted: j.submitted, Started: j.started, Finished: j.finished,
+		Error: j.err, Metrics: j.metrics}
+}
+
+// Stats summarizes manager activity.
+type Stats struct {
+	Workers   int   `json:"workers"`
+	Queued    int   `json:"queued"`
+	Pending   int   `json:"pending"`
+	Running   int   `json:"running"`
+	Done      int   `json:"done"`
+	Failed    int   `json:"failed"`
+	Cancelled int   `json:"cancelled"`
+	Submitted int64 `json:"submitted"`
+	Evicted   int64 `json:"evicted"`
+}
+
+// Manager owns the worker pool and the job table. Safe for concurrent
+// use.
+type Manager struct {
+	cat           *catalog.Catalog
+	maxSupersteps int
+	retain        int
+	workers       int
+	queueCap      int
+	wg            sync.WaitGroup
+
+	mu        sync.Mutex
+	cond      *sync.Cond // signals workers that pending grew or closed flipped
+	pending   []*job     // FIFO of queued jobs; cancelled jobs are removed
+	jobs      map[string]*job
+	order     []string // terminal job ids, oldest first, for retention
+	seq       int64
+	submitted int64
+	evicted   int64
+	closed    bool
+}
+
+// Option tweaks a Manager.
+type Option func(*Manager)
+
+// WithRetention bounds how many terminal jobs (and their results) are
+// kept; older ones are forgotten. Default 256.
+func WithRetention(n int) Option { return func(m *Manager) { m.retain = n } }
+
+// WithQueueDepth sets the pending-queue capacity. Default 16x workers.
+func WithQueueDepth(n int) Option { return func(m *Manager) { m.queueCap = n } }
+
+// WithMaxSupersteps sets the default superstep cap for jobs that do not
+// specify one. Default 200000.
+func WithMaxSupersteps(n int) Option { return func(m *Manager) { m.maxSupersteps = n } }
+
+// NewManager starts a manager with the given number of pool workers.
+func NewManager(cat *catalog.Catalog, workers int, opts ...Option) *Manager {
+	if workers <= 0 {
+		workers = 4
+	}
+	m := &Manager{
+		cat:           cat,
+		workers:       workers,
+		retain:        256,
+		maxSupersteps: 200000,
+		jobs:          make(map[string]*job),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.queueCap <= 0 {
+		m.queueCap = 16 * workers
+	}
+	m.cond = sync.NewCond(&m.mu)
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.workerLoop()
+	}
+	return m
+}
+
+// Submit validates and enqueues a job, returning its snapshot.
+func (m *Manager) Submit(req Request) (Snapshot, error) {
+	spec, ok := algorithms.Lookup(req.Algorithm)
+	if !ok {
+		return Snapshot{}, fmt.Errorf("jobs: unknown algorithm %q", req.Algorithm)
+	}
+	eng, err := algorithms.ParseEngine(req.Engine)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if err := spec.CheckVariant(eng, req.Variant); err != nil {
+		return Snapshot{}, err
+	}
+	if !m.cat.Has(req.Dataset) {
+		return Snapshot{}, fmt.Errorf("jobs: unknown dataset %q", req.Dataset)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Snapshot{}, fmt.Errorf("jobs: manager is shut down")
+	}
+	if len(m.pending) >= m.queueCap {
+		return Snapshot{}, fmt.Errorf("jobs: queue full (%d pending)", m.queueCap)
+	}
+	m.seq++
+	m.submitted++
+	j := &job{
+		id:        fmt.Sprintf("j-%06d", m.seq),
+		req:       req,
+		eng:       eng,
+		spec:      spec,
+		state:     StatePending,
+		submitted: time.Now(),
+	}
+	m.jobs[j.id] = j
+	m.pending = append(m.pending, j)
+	m.cond.Signal()
+	return j.snapshot(), nil
+}
+
+// workerLoop pulls pending jobs until the manager is closed and the
+// queue is drained.
+func (m *Manager) workerLoop() {
+	defer m.wg.Done()
+	m.mu.Lock()
+	for {
+		for len(m.pending) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if len(m.pending) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		j := m.pending[0]
+		m.pending = m.pending[1:]
+		j.state = StateRunning
+		j.started = time.Now()
+		m.mu.Unlock()
+
+		res, err := m.execute(j)
+
+		m.mu.Lock()
+		j.finished = time.Now()
+		if err != nil {
+			j.state = StateFailed
+			j.err = err.Error()
+		} else {
+			j.state = StateDone
+			j.result = res
+			j.metrics = &res.Metrics
+		}
+		m.retireLocked(j)
+	}
+}
+
+// execute resolves the dataset and dispatches through the registry.
+func (m *Manager) execute(j *job) (*algorithms.Result, error) {
+	entry, err := m.cat.Get(j.req.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	g, part := entry.Graph, entry.Part
+	if j.spec.NeedsUndirected {
+		g, part = entry.Undirected()
+	}
+	if j.spec.NeedsWeights && !g.Weighted() {
+		return nil, fmt.Errorf("jobs: %s needs edge weights but dataset %q is unweighted",
+			j.spec.Name, j.req.Dataset)
+	}
+	if j.spec.HasSource && int(j.req.Params.Source) >= g.NumVertices() {
+		return nil, fmt.Errorf("jobs: source vertex %d out of range (%d vertices)",
+			j.req.Params.Source, g.NumVertices())
+	}
+	maxSteps := j.req.MaxSupersteps
+	if maxSteps <= 0 {
+		maxSteps = m.maxSupersteps
+	}
+	opts := algorithms.Options{Part: part, MaxSupersteps: maxSteps}
+	return j.spec.Run(j.eng, j.req.Variant, g, opts, j.req.Params)
+}
+
+// retireLocked records a terminal job and evicts the oldest terminal
+// jobs beyond the retention bound.
+func (m *Manager) retireLocked(j *job) {
+	m.order = append(m.order, j.id)
+	for m.retain > 0 && len(m.order) > m.retain {
+		evict := m.order[0]
+		m.order = m.order[1:]
+		delete(m.jobs, evict)
+		m.evicted++
+	}
+}
+
+// Get returns the snapshot of a job.
+func (m *Manager) Get(id string) (Snapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	return j.snapshot(), true
+}
+
+// Result returns the result of a finished job.
+func (m *Manager) Result(id string) (*algorithms.Result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("jobs: unknown or expired job %q", id)
+	}
+	switch j.state {
+	case StateDone:
+		return j.result, nil
+	case StateFailed:
+		return nil, fmt.Errorf("jobs: job %s failed: %s", id, j.err)
+	case StateCancelled:
+		return nil, fmt.Errorf("jobs: job %s was cancelled", id)
+	default:
+		return nil, fmt.Errorf("jobs: job %s is %s", id, j.state)
+	}
+}
+
+// Cancel cancels a job that has not started running. Running jobs
+// cannot be interrupted (the engines run to completion).
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return fmt.Errorf("jobs: unknown or expired job %q", id)
+	}
+	switch j.state {
+	case StatePending:
+		// remove from the queue so the slot frees up immediately
+		for i, q := range m.pending {
+			if q == j {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				break
+			}
+		}
+		j.state = StateCancelled
+		j.finished = time.Now()
+		m.retireLocked(j)
+		return nil
+	case StateRunning:
+		return fmt.Errorf("jobs: job %s is already running", id)
+	default:
+		return fmt.Errorf("jobs: job %s is already %s", id, j.state)
+	}
+}
+
+// List returns snapshots of all retained jobs, oldest submission first.
+func (m *Manager) List() []Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Snapshot, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j.snapshot())
+	}
+	// ids are zero-padded sequence numbers, so lexical order is
+	// submission order
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Stats returns a snapshot of manager counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{Workers: m.workers, Queued: len(m.pending),
+		Submitted: m.submitted, Evicted: m.evicted}
+	for _, j := range m.jobs {
+		switch j.state {
+		case StatePending:
+			st.Pending++
+		case StateRunning:
+			st.Running++
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		case StateCancelled:
+			st.Cancelled++
+		}
+	}
+	return st
+}
+
+// Close stops accepting submissions, drains queued jobs, and waits for
+// the pool to exit.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		m.cond.Broadcast()
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+}

@@ -1,0 +1,233 @@
+package jobs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/catalog"
+	"repro/internal/seq"
+)
+
+func newTestManager(t *testing.T, workers int, opts ...Option) (*catalog.Catalog, *Manager) {
+	t.Helper()
+	cat := catalog.New(4, 0)
+	for _, spec := range []catalog.Spec{
+		{Name: "social", Gen: "social:scale=7,ef=3,seed=9"},
+		{Name: "grid", Gen: "grid:rows=6,cols=7,maxw=30,seed=2"},
+		{Name: "chain", Gen: "chain:n=50"},
+	} {
+		if err := cat.Register(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := NewManager(cat, workers, opts...)
+	t.Cleanup(m.Close)
+	return cat, m
+}
+
+func waitTerminal(t *testing.T, m *Manager, id string) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		snap, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if snap.State.Terminal() {
+			return snap
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return Snapshot{}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, m := newTestManager(t, 1)
+	cases := []struct {
+		req  Request
+		want string
+	}{
+		{Request{Algorithm: "nope", Dataset: "social"}, "unknown algorithm"},
+		{Request{Algorithm: "wcc", Engine: "gpu", Dataset: "social"}, "unknown engine"},
+		{Request{Algorithm: "wcc", Variant: "warp", Dataset: "social"}, "no variant"},
+		{Request{Algorithm: "wcc", Dataset: "nope"}, "unknown dataset"},
+		// propagation exists on channel but not on pregel
+		{Request{Algorithm: "wcc", Engine: "pregel", Variant: "propagation", Dataset: "social"}, "no variant"},
+	}
+	for _, c := range cases {
+		if _, err := m.Submit(c.req); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Submit(%+v): err=%v, want %q", c.req, err, c.want)
+		}
+	}
+}
+
+func TestJobLifecycleAndResult(t *testing.T) {
+	cat, m := newTestManager(t, 2)
+	snap, err := m.Submit(Request{Algorithm: "sssp", Engine: "pregel", Dataset: "grid",
+		Params: algorithms.Params{Source: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, m, snap.ID)
+	if final.State != StateDone {
+		t.Fatalf("state=%s err=%s", final.State, final.Error)
+	}
+	if final.Metrics == nil || final.Metrics.Engine != algorithms.EnginePregel || final.Metrics.Supersteps == 0 {
+		t.Fatalf("bad metrics %+v", final.Metrics)
+	}
+	res, err := m.Result(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, err := cat.Get("grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seq.Dijkstra(entry.Graph, 3)
+	for i := range want {
+		if res.Dists[i] != want[i] {
+			t.Fatalf("dist[%d]=%d want %d", i, res.Dists[i], want[i])
+		}
+	}
+}
+
+func TestJobFailsOnBadInput(t *testing.T) {
+	_, m := newTestManager(t, 1)
+	// sssp on an unweighted dataset must fail, not panic
+	snap, err := m.Submit(Request{Algorithm: "sssp", Dataset: "social"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, m, snap.ID)
+	if final.State != StateFailed || !strings.Contains(final.Error, "unweighted") {
+		t.Fatalf("state=%s err=%q", final.State, final.Error)
+	}
+	if _, err := m.Result(snap.ID); err == nil {
+		t.Fatal("Result of failed job should error")
+	}
+
+	// out-of-range source
+	snap2, err := m.Submit(Request{Algorithm: "sssp", Dataset: "grid",
+		Params: algorithms.Params{Source: 1 << 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitTerminal(t, m, snap2.ID); final.State != StateFailed ||
+		!strings.Contains(final.Error, "out of range") {
+		t.Fatalf("state=%s err=%q", final.State, final.Error)
+	}
+}
+
+func TestCancelPending(t *testing.T) {
+	// one worker busy with a slow-ish job; the queued one is cancellable
+	_, m := newTestManager(t, 1)
+	var first Snapshot
+	var err error
+	first, err = m.Submit(Request{Algorithm: "pagerank", Dataset: "social",
+		Params: algorithms.Params{Iterations: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued := make([]Snapshot, 0, 8)
+	for i := 0; i < 8; i++ {
+		s, err := m.Submit(Request{Algorithm: "pagerank", Dataset: "social",
+			Params: algorithms.Params{Iterations: 50}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, s)
+	}
+	// cancel the last queued job; with one worker it cannot have started
+	last := queued[len(queued)-1]
+	if err := m.Cancel(last.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	if snap, _ := m.Get(last.ID); snap.State != StateCancelled {
+		t.Fatalf("state=%s want cancelled", snap.State)
+	}
+	if err := m.Cancel(last.ID); err == nil {
+		t.Fatal("double cancel should error")
+	}
+	waitTerminal(t, m, first.ID)
+	for _, s := range queued[:len(queued)-1] {
+		if final := waitTerminal(t, m, s.ID); final.State != StateDone {
+			t.Fatalf("job %s: %s", s.ID, final.State)
+		}
+	}
+	st := m.Stats()
+	if st.Cancelled != 1 || st.Done != 8 || st.Submitted != 9 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCancelFreesQueueSlot(t *testing.T) {
+	_, m := newTestManager(t, 1, WithQueueDepth(2))
+	heavy := Request{Algorithm: "pagerank", Dataset: "social",
+		Params: algorithms.Params{Iterations: 300}}
+	var accepted []Snapshot
+	queueFilled := false
+	for i := 0; i < 10; i++ {
+		s, err := m.Submit(heavy)
+		if err != nil {
+			if !strings.Contains(err.Error(), "queue full") {
+				t.Fatalf("unexpected submit error: %v", err)
+			}
+			queueFilled = true
+			break
+		}
+		accepted = append(accepted, s)
+	}
+	if !queueFilled {
+		t.Fatal("queue never filled")
+	}
+	// cancel one still-pending job; its slot must free immediately
+	cancelled := ""
+	for i := len(accepted) - 1; i >= 0; i-- {
+		if err := m.Cancel(accepted[i].ID); err == nil {
+			cancelled = accepted[i].ID
+			break
+		}
+	}
+	if cancelled == "" {
+		t.Fatal("no cancellable job found")
+	}
+	if _, err := m.Submit(heavy); err != nil {
+		t.Fatalf("submit after cancel should reuse the freed slot: %v", err)
+	}
+}
+
+func TestRetentionEvictsOldJobs(t *testing.T) {
+	_, m := newTestManager(t, 2, WithRetention(3))
+	ids := make([]string, 0, 6)
+	for i := 0; i < 6; i++ {
+		s, err := m.Submit(Request{Algorithm: "pointerjump", Dataset: "chain"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, s.ID)
+		waitTerminal(t, m, s.ID)
+	}
+	if _, ok := m.Get(ids[0]); ok {
+		t.Fatal("oldest job should be evicted")
+	}
+	if _, ok := m.Get(ids[5]); !ok {
+		t.Fatal("newest job should be retained")
+	}
+	if got := len(m.List()); got != 3 {
+		t.Fatalf("retained %d jobs, want 3", got)
+	}
+	if st := m.Stats(); st.Evicted != 3 {
+		t.Fatalf("evicted=%d", st.Evicted)
+	}
+}
+
+func TestCloseRejectsNewWork(t *testing.T) {
+	_, m := newTestManager(t, 1)
+	m.Close()
+	if _, err := m.Submit(Request{Algorithm: "wcc", Dataset: "social"}); err == nil {
+		t.Fatal("submit after close should error")
+	}
+}

@@ -1,0 +1,251 @@
+// Package server exposes the job service over HTTP/JSON — the graphd
+// API. All endpoints live under /v1:
+//
+//	POST   /v1/jobs             submit {algorithm, dataset, engine, variant, params}
+//	GET    /v1/jobs             list retained jobs
+//	GET    /v1/jobs/{id}        job status + metrics
+//	GET    /v1/jobs/{id}/result per-vertex output (paging: ?offset=&limit=)
+//	DELETE /v1/jobs/{id}        cancel a job that has not started
+//	GET    /v1/datasets         catalog contents
+//	GET    /v1/algorithms       registry contents
+//	GET    /v1/healthz          liveness
+//	GET    /v1/stats            catalog + job-manager counters
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/algorithms"
+	"repro/internal/catalog"
+	"repro/internal/graph"
+	"repro/internal/jobs"
+)
+
+// Server binds the catalog and job manager to an http.Handler.
+type Server struct {
+	cat *catalog.Catalog
+	mgr *jobs.Manager
+	mux *http.ServeMux
+}
+
+// New builds a server over an existing catalog and manager (both owned
+// by the caller; the server never closes them).
+func New(cat *catalog.Catalog, mgr *jobs.Manager) *Server {
+	s := &Server{cat: cat, mgr: mgr, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
+	s.mux.HandleFunc("GET /v1/jobs", s.listJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.getResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancelJob)
+	s.mux.HandleFunc("GET /v1/datasets", s.listDatasets)
+	s.mux.HandleFunc("GET /v1/algorithms", s.listAlgorithms)
+	s.mux.HandleFunc("GET /v1/healthz", s.healthz)
+	s.mux.HandleFunc("GET /v1/stats", s.stats)
+	return s
+}
+
+// Handler returns the HTTP handler for the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+type errorPayload struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorPayload{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
+	var req jobs.Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	snap, err := s.mgr.Submit(req)
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "queue full") || strings.Contains(err.Error(), "shut down") {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+snap.ID)
+	writeJSON(w, http.StatusAccepted, snap)
+}
+
+func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.List()})
+}
+
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, ok := s.mgr.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown or expired job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.mgr.Cancel(id); err != nil {
+		status := http.StatusConflict
+		if strings.Contains(err.Error(), "unknown") {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	snap, _ := s.mgr.Get(id)
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// resultPayload is the JSON shape of GET /v1/jobs/{id}/result. Exactly
+// one of Labels/Ranks/Dists/MSF is set, mirroring algorithms.Result;
+// vertex-indexed arrays are windowed by offset/limit.
+type resultPayload struct {
+	ID       string             `json:"id"`
+	Kind     string             `json:"kind"`
+	Vertices int                `json:"vertices"`
+	Offset   int                `json:"offset"`
+	Labels   []graph.VertexID   `json:"labels,omitempty"`
+	Ranks    []float64          `json:"ranks,omitempty"`
+	Dists    []int64            `json:"dists,omitempty"`
+	MSF      *msfPayload        `json:"msf,omitempty"`
+	Metrics  algorithms.Metrics `json:"metrics"`
+}
+
+type msfPayload struct {
+	Weight    int64            `json:"weight"`
+	EdgeCount int              `json:"edge_count"`
+	Comp      []graph.VertexID `json:"comp,omitempty"`
+}
+
+func (s *Server) getResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	res, err := s.mgr.Result(id)
+	if err != nil {
+		// 404 only for jobs the manager no longer knows; a job that
+		// exists but has no result (pending, running, failed, cancelled)
+		// is a conflict, not a missing resource.
+		status := http.StatusConflict
+		if _, ok := s.mgr.Get(id); !ok {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	offset, limit, err := pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p := resultPayload{ID: id, Kind: res.Kind(), Metrics: res.Metrics}
+	switch p.Kind {
+	case "labels":
+		p.Vertices = len(res.Labels)
+		p.Offset, p.Labels = window(res.Labels, offset, limit)
+	case "ranks":
+		p.Vertices = len(res.Ranks)
+		p.Offset, p.Ranks = window(res.Ranks, offset, limit)
+	case "dists":
+		p.Vertices = len(res.Dists)
+		p.Offset, p.Dists = window(res.Dists, offset, limit)
+	case "msf":
+		p.Vertices = len(res.MSF.Comp)
+		m := &msfPayload{Weight: res.MSF.Weight, EdgeCount: len(res.MSF.Edges)}
+		p.Offset, m.Comp = window(res.MSF.Comp, offset, limit)
+		p.MSF = m
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+// pageParams parses ?offset= and ?limit= (limit 0 = everything).
+func pageParams(r *http.Request) (offset, limit int, err error) {
+	q := r.URL.Query()
+	if v := q.Get("offset"); v != "" {
+		if offset, err = strconv.Atoi(v); err != nil || offset < 0 {
+			return 0, 0, fmt.Errorf("bad offset %q", v)
+		}
+	}
+	if v := q.Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+			return 0, 0, fmt.Errorf("bad limit %q", v)
+		}
+	}
+	return offset, limit, nil
+}
+
+func window[T any](xs []T, offset, limit int) (int, []T) {
+	if offset > len(xs) {
+		offset = len(xs)
+	}
+	out := xs[offset:]
+	if limit > 0 && limit < len(out) {
+		out = out[:limit]
+	}
+	return offset, out
+}
+
+func (s *Server) listDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.cat.List()})
+}
+
+// algorithmPayload is one registry entry in GET /v1/algorithms.
+type algorithmPayload struct {
+	Name            string              `json:"name"`
+	Description     string              `json:"description"`
+	NeedsUndirected bool                `json:"needs_undirected,omitempty"`
+	NeedsWeights    bool                `json:"needs_weights,omitempty"`
+	HasIterations   bool                `json:"has_iterations,omitempty"`
+	HasSource       bool                `json:"has_source,omitempty"`
+	Variants        map[string][]string `json:"variants"`
+}
+
+func (s *Server) listAlgorithms(w http.ResponseWriter, r *http.Request) {
+	specs := algorithms.Registry()
+	out := make([]algorithmPayload, 0, len(specs))
+	for _, spec := range specs {
+		p := algorithmPayload{
+			Name:            spec.Name,
+			Description:     spec.Description,
+			NeedsUndirected: spec.NeedsUndirected,
+			NeedsWeights:    spec.NeedsWeights,
+			HasIterations:   spec.HasIterations,
+			HasSource:       spec.HasSource,
+			Variants:        map[string][]string{},
+		}
+		for _, eng := range spec.Engines() {
+			p.Variants[string(eng)] = spec.Variants(eng)
+		}
+		out = append(out, p)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"algorithms": out})
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"catalog": s.cat.Stats(),
+		"jobs":    s.mgr.Stats(),
+	})
+}

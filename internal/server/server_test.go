@@ -1,0 +1,330 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/catalog"
+	"repro/internal/graph"
+	"repro/internal/jobs"
+	"repro/internal/seq"
+)
+
+// testService spins up the full stack: catalog, manager, HTTP server.
+func testService(t *testing.T, poolWorkers int) (*catalog.Catalog, *jobs.Manager, *httptest.Server) {
+	t.Helper()
+	cat := catalog.New(8, 0)
+	for _, spec := range []catalog.Spec{
+		{Name: "social", Gen: "social:scale=8,ef=4,seed=11"},
+		{Name: "grid", Gen: "grid:rows=9,cols=8,maxw=40,seed=5"},
+	} {
+		if err := cat.Register(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mgr := jobs.NewManager(cat, poolWorkers)
+	ts := httptest.NewServer(New(cat, mgr).Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(mgr.Close)
+	return cat, mgr, ts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: HTTP %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func postJob(t *testing.T, base string, req jobs.Request) (jobs.Snapshot, int) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap jobs.Snapshot
+	_ = json.NewDecoder(resp.Body).Decode(&snap)
+	return snap, resp.StatusCode
+}
+
+func waitDone(t *testing.T, base, id string) jobs.Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var snap jobs.Snapshot
+		getJSON(t, base+"/v1/jobs/"+id, http.StatusOK, &snap)
+		if snap.State.Terminal() {
+			return snap
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return jobs.Snapshot{}
+}
+
+// samePartition asserts two labelings induce the same equivalence
+// classes (labels may differ, the grouping may not).
+func samePartition(t *testing.T, what string, got, want []graph.VertexID) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", what, len(got), len(want))
+	}
+	fwd := map[graph.VertexID]graph.VertexID{}
+	rev := map[graph.VertexID]graph.VertexID{}
+	for i := range got {
+		if m, ok := fwd[got[i]]; ok && m != want[i] {
+			t.Fatalf("%s: vertex %d splits class %d", what, i, got[i])
+		}
+		if m, ok := rev[want[i]]; ok && m != got[i] {
+			t.Fatalf("%s: vertex %d merges classes", what, i)
+		}
+		fwd[got[i]] = want[i]
+		rev[want[i]] = got[i]
+	}
+}
+
+type resultPayloadT struct {
+	ID       string             `json:"id"`
+	Kind     string             `json:"kind"`
+	Vertices int                `json:"vertices"`
+	Offset   int                `json:"offset"`
+	Labels   []graph.VertexID   `json:"labels"`
+	Ranks    []float64          `json:"ranks"`
+	Dists    []int64            `json:"dists"`
+	Metrics  algorithms.Metrics `json:"metrics"`
+}
+
+// TestConcurrentMixedJobsEndToEnd is the subsystem's acceptance test:
+// one daemon, one shared dataset, 8 simultaneous jobs across 4
+// algorithms on both engines; every result must match the sequential
+// reference and the dataset must load exactly once.
+func TestConcurrentMixedJobsEndToEnd(t *testing.T) {
+	cat, mgr, ts := testService(t, 4)
+	base := ts.URL
+
+	const prIters = 15
+	reqs := []jobs.Request{
+		{Algorithm: "pagerank", Engine: "channel", Dataset: "social", Params: algorithms.Params{Iterations: prIters}},
+		{Algorithm: "pagerank", Engine: "pregel", Dataset: "social", Params: algorithms.Params{Iterations: prIters}},
+		{Algorithm: "wcc", Engine: "channel", Dataset: "social"},
+		{Algorithm: "wcc", Engine: "pregel", Dataset: "social"},
+		{Algorithm: "sv", Engine: "channel", Dataset: "social"},
+		{Algorithm: "sv", Engine: "pregel", Dataset: "social"},
+		{Algorithm: "scc", Engine: "channel", Dataset: "social"},
+		{Algorithm: "scc", Engine: "pregel", Dataset: "social"},
+	}
+
+	// submit all jobs at the same moment
+	ids := make([]string, len(reqs))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req jobs.Request) {
+			defer wg.Done()
+			snap, status := postJob(t, base, req)
+			mu.Lock()
+			defer mu.Unlock()
+			if status != http.StatusAccepted {
+				t.Errorf("submit %+v: HTTP %d", req, status)
+				return
+			}
+			ids[i] = snap.ID
+		}(i, req)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.Fatal("submission failed")
+	}
+
+	results := make([]resultPayloadT, len(ids))
+	for i, id := range ids {
+		snap := waitDone(t, base, id)
+		if snap.State != jobs.StateDone {
+			t.Fatalf("job %s (%+v): state=%s err=%s", id, reqs[i], snap.State, snap.Error)
+		}
+		if snap.Metrics == nil || string(snap.Metrics.Engine) != reqs[i].Engine || snap.Metrics.Supersteps == 0 {
+			t.Fatalf("job %s: bad metrics %+v", id, snap.Metrics)
+		}
+		getJSON(t, base+"/v1/jobs/"+id+"/result", http.StatusOK, &results[i])
+	}
+
+	// sequential references on the exact cached graph
+	entry, err := cat.Get("social")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := entry.Graph
+	wantRanks := seq.PageRank(g, prIters)
+	wantCC := seq.ConnectedComponents(g)
+	wantSCC := seq.SCC(g)
+
+	for i, req := range reqs {
+		res := results[i]
+		label := fmt.Sprintf("%s/%s", req.Algorithm, req.Engine)
+		if res.Vertices != g.NumVertices() {
+			t.Fatalf("%s: %d vertices, want %d", label, res.Vertices, g.NumVertices())
+		}
+		switch req.Algorithm {
+		case "pagerank":
+			for v := range wantRanks {
+				if math.Abs(res.Ranks[v]-wantRanks[v]) > 1e-9 {
+					t.Fatalf("%s: rank[%d]=%g want %g", label, v, res.Ranks[v], wantRanks[v])
+				}
+			}
+		case "wcc", "sv":
+			samePartition(t, label, res.Labels, wantCC)
+		case "scc":
+			samePartition(t, label, res.Labels, wantSCC)
+		}
+	}
+
+	// the 8 jobs plus the reference Get hit one single load
+	var stats struct {
+		Catalog catalog.Stats `json:"catalog"`
+		Jobs    jobs.Stats    `json:"jobs"`
+	}
+	getJSON(t, base+"/v1/stats", http.StatusOK, &stats)
+	if stats.Catalog.Loads != 1 {
+		t.Fatalf("catalog loads=%d, want exactly 1", stats.Catalog.Loads)
+	}
+	if stats.Jobs.Done != len(reqs) || stats.Jobs.Failed != 0 {
+		t.Fatalf("jobs stats %+v", stats.Jobs)
+	}
+
+	// clean shutdown: manager drains and refuses new work
+	mgr.Close()
+	if _, status := postJob(t, base, reqs[0]); status != http.StatusServiceUnavailable {
+		t.Fatalf("submit after shutdown: HTTP %d, want 503", status)
+	}
+}
+
+func TestResultPagingAndSSSP(t *testing.T) {
+	cat, _, ts := testService(t, 2)
+	base := ts.URL
+
+	snap, status := postJob(t, base, jobs.Request{Algorithm: "sssp", Engine: "channel",
+		Dataset: "grid", Params: algorithms.Params{Source: 4}})
+	if status != http.StatusAccepted {
+		t.Fatalf("HTTP %d", status)
+	}
+	waitDone(t, base, snap.ID)
+
+	entry, err := cat.Get("grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seq.Dijkstra(entry.Graph, 4)
+
+	var full resultPayloadT
+	getJSON(t, base+"/v1/jobs/"+snap.ID+"/result", http.StatusOK, &full)
+	if full.Kind != "dists" || len(full.Dists) != len(want) {
+		t.Fatalf("kind=%s n=%d", full.Kind, len(full.Dists))
+	}
+	for i := range want {
+		if full.Dists[i] != want[i] {
+			t.Fatalf("dist[%d]=%d want %d", i, full.Dists[i], want[i])
+		}
+	}
+
+	var page resultPayloadT
+	getJSON(t, fmt.Sprintf("%s/v1/jobs/%s/result?offset=10&limit=7", base, snap.ID), http.StatusOK, &page)
+	if page.Offset != 10 || len(page.Dists) != 7 || page.Vertices != len(want) {
+		t.Fatalf("offset=%d len=%d vertices=%d", page.Offset, len(page.Dists), page.Vertices)
+	}
+	for i, d := range page.Dists {
+		if d != want[10+i] {
+			t.Fatalf("paged dist mismatch at %d", i)
+		}
+	}
+
+	getJSON(t, base+"/v1/jobs/"+snap.ID+"/result?offset=-1", http.StatusBadRequest, nil)
+}
+
+func TestAPIErrorsAndIntrospection(t *testing.T) {
+	_, _, ts := testService(t, 1)
+	base := ts.URL
+
+	getJSON(t, base+"/v1/healthz", http.StatusOK, nil)
+	getJSON(t, base+"/v1/jobs/j-999999", http.StatusNotFound, nil)
+	getJSON(t, base+"/v1/jobs/j-999999/result", http.StatusNotFound, nil)
+
+	// malformed and invalid submissions
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body: HTTP %d", resp.StatusCode)
+	}
+	if _, status := postJob(t, base, jobs.Request{Algorithm: "nope", Dataset: "social"}); status != http.StatusBadRequest {
+		t.Fatalf("unknown algorithm: HTTP %d", status)
+	}
+	if _, status := postJob(t, base, jobs.Request{Algorithm: "wcc", Dataset: "nope"}); status != http.StatusBadRequest {
+		t.Fatalf("unknown dataset: HTTP %d", status)
+	}
+
+	// a failed job exists: its /result is a 409 conflict, not a 404
+	failed, _ := postJob(t, base, jobs.Request{Algorithm: "msf", Dataset: "social"})
+	if snap := waitDone(t, base, failed.ID); snap.State != jobs.StateFailed {
+		t.Fatalf("msf on unweighted dataset: state=%s", snap.State)
+	}
+	getJSON(t, base+"/v1/jobs/"+failed.ID+"/result", http.StatusConflict, nil)
+
+	// introspection endpoints
+	var ds struct {
+		Datasets []catalog.Info `json:"datasets"`
+	}
+	getJSON(t, base+"/v1/datasets", http.StatusOK, &ds)
+	if len(ds.Datasets) != 2 || ds.Datasets[0].Name != "social" {
+		t.Fatalf("datasets %+v", ds.Datasets)
+	}
+	var algs struct {
+		Algorithms []struct {
+			Name     string              `json:"name"`
+			Variants map[string][]string `json:"variants"`
+		} `json:"algorithms"`
+	}
+	getJSON(t, base+"/v1/algorithms", http.StatusOK, &algs)
+	if len(algs.Algorithms) != 7 {
+		t.Fatalf("%d algorithms", len(algs.Algorithms))
+	}
+	for _, a := range algs.Algorithms {
+		if len(a.Variants["channel"]) == 0 || len(a.Variants["pregel"]) == 0 {
+			t.Fatalf("%s: missing engine variants %+v", a.Name, a.Variants)
+		}
+	}
+
+	// listing reflects submitted jobs
+	snap, _ := postJob(t, base, jobs.Request{Algorithm: "wcc", Dataset: "social"})
+	waitDone(t, base, snap.ID)
+	var list struct {
+		Jobs []jobs.Snapshot `json:"jobs"`
+	}
+	getJSON(t, base+"/v1/jobs", http.StatusOK, &list)
+	if len(list.Jobs) != 2 || list.Jobs[1].ID != snap.ID {
+		t.Fatalf("jobs list %+v", list.Jobs)
+	}
+}

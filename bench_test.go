@@ -57,6 +57,7 @@ func opts(p *partition.Partition) algorithms.Options {
 
 func reportC(b *testing.B, m engine.Metrics, err error) {
 	b.Helper()
+	b.ReportAllocs()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -67,6 +68,7 @@ func reportC(b *testing.B, m engine.Metrics, err error) {
 
 func reportP(b *testing.B, m pregel.Metrics, err error) {
 	b.Helper()
+	b.ReportAllocs()
 	if err != nil {
 		b.Fatal(err)
 	}

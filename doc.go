@@ -13,4 +13,18 @@
 // once, singleflight, LRU byte budget), internal/jobs runs submissions
 // on a bounded worker pool, and internal/server exposes the HTTP/JSON
 // /v1 API. See README.md for a curl quickstart.
+//
+// The exchange fabric is dense end to end, which is the paper's central
+// performance argument taken to its conclusion: every channel stages
+// outgoing messages in flat per-destination-worker slots keyed by the
+// remote vertex's dense local index (the partition gives every vertex a
+// (owner, localIndex) pair), the wire format ships (localIndex, value)
+// pairs, and receivers index straight into flat slices — no hash map is
+// touched on any per-superstep send or receive path. Staging slots are
+// invalidated by generation stamps rather than clearing, frame decoding
+// reuses one sub-buffer per worker, and the barrier crossings of the
+// exchange loop are atomic sense-reversing waits (internal/barrier), so
+// the steady-state exchange path performs no allocation at all.
+// tools/bench.sh snapshots the Table IV-VII benchmarks into versioned
+// BENCH_<n>.json files; see the README's Performance section.
 package repro

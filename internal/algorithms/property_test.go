@@ -267,6 +267,219 @@ func TestPropertyMSFCandCombinerLaws(t *testing.T) {
 	}
 }
 
+// Equivalence sweep for the dense exchange fabric: every Table IV–VII
+// algorithm variant must match its sequential oracle on the
+// RMAT/chain/tree/grid generators, across seeds and worker counts. This
+// pins the dense (localIndex, value) staging rewrite of the channels to
+// the semantics of the original hash-map staging: the combiners are
+// commutative and associative, so the only observable difference
+// permitted is performance.
+func TestDenseFabricEquivalenceSweep(t *testing.T) {
+	type labelRun struct {
+		name string
+		run  func(*graph.Graph, Options) ([]graph.VertexID, error)
+	}
+	wccRuns := []labelRun{
+		{"wcc-channel", func(g *graph.Graph, o Options) ([]graph.VertexID, error) { v, _, e := WCCChannel(g, o); return v, e }},
+		{"wcc-prop", func(g *graph.Graph, o Options) ([]graph.VertexID, error) {
+			v, _, e := WCCPropagation(g, o)
+			return v, e
+		}},
+		{"wcc-blogel", func(g *graph.Graph, o Options) ([]graph.VertexID, error) { v, _, e := WCCBlogel(g, o); return v, e }},
+		{"wcc-pregel", func(g *graph.Graph, o Options) ([]graph.VertexID, error) { v, _, e := WCCPregel(g, o); return v, e }},
+		{"sv-channel", func(g *graph.Graph, o Options) ([]graph.VertexID, error) { v, _, e := SVChannel(g, o); return v, e }},
+		{"sv-reqresp", func(g *graph.Graph, o Options) ([]graph.VertexID, error) { v, _, e := SVReqResp(g, o); return v, e }},
+		{"sv-scatter", func(g *graph.Graph, o Options) ([]graph.VertexID, error) { v, _, e := SVScatter(g, o); return v, e }},
+		{"sv-both", func(g *graph.Graph, o Options) ([]graph.VertexID, error) { v, _, e := SVBoth(g, o); return v, e }},
+		{"sv-pregel", func(g *graph.Graph, o Options) ([]graph.VertexID, error) { v, _, e := SVPregel(g, o); return v, e }},
+	}
+	sccRuns := []labelRun{
+		{"scc-channel", func(g *graph.Graph, o Options) ([]graph.VertexID, error) { v, _, e := SCCChannel(g, o); return v, e }},
+		{"scc-prop", func(g *graph.Graph, o Options) ([]graph.VertexID, error) {
+			v, _, e := SCCPropagation(g, o)
+			return v, e
+		}},
+		{"scc-pregel", func(g *graph.Graph, o Options) ([]graph.VertexID, error) { v, _, e := SCCPregel(g, o); return v, e }},
+	}
+	pjRuns := []labelRun{
+		{"pj-channel", func(g *graph.Graph, o Options) ([]graph.VertexID, error) {
+			v, _, e := PointerJumpChannel(g, o)
+			return v, e
+		}},
+		{"pj-reqresp", func(g *graph.Graph, o Options) ([]graph.VertexID, error) {
+			v, _, e := PointerJumpReqResp(g, o)
+			return v, e
+		}},
+		{"pj-pregel", func(g *graph.Graph, o Options) ([]graph.VertexID, error) {
+			v, _, e := PointerJumpPregel(g, o)
+			return v, e
+		}},
+		{"pj-pregel-rr", func(g *graph.Graph, o Options) ([]graph.VertexID, error) {
+			v, _, e := PointerJumpPregelReqResp(g, o)
+			return v, e
+		}},
+	}
+	checkLabels := func(t *testing.T, name string, got, want []graph.VertexID) {
+		t.Helper()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: vertex %d got %d want %d", name, i, got[i], want[i])
+			}
+		}
+	}
+
+	for _, seed := range []int64{11, 42} {
+		rmatD := graph.RMAT(8, 5, seed, graph.RMATOptions{NoSelfLoops: true})
+		rmatU := graph.Undirectify(rmatD)
+		rmatW := graph.Undirectify(graph.RMAT(7, 4, seed, graph.RMATOptions{Weighted: true, MaxWeight: 50, NoSelfLoops: true}))
+		chain := graph.Chain(257)
+		tree := graph.RandomTree(301, seed)
+		grid := graph.Grid(11, 13, 50, seed)
+
+		for _, workers := range []int{1, 4} {
+			opt := func(g *graph.Graph) Options {
+				return Options{Part: partition.Hash(g.NumVertices(), workers), MaxSupersteps: 100000}
+			}
+
+			// connectivity on every undirected generator shape
+			for _, gc := range []struct {
+				gname string
+				g     *graph.Graph
+			}{
+				{"rmat", rmatU},
+				{"chain", graph.Undirectify(chain)},
+				{"tree", graph.Undirectify(tree)},
+				{"grid", grid},
+			} {
+				want := seq.ConnectedComponents(gc.g)
+				for _, r := range wccRuns {
+					got, err := r.run(gc.g, opt(gc.g))
+					if err != nil {
+						t.Fatalf("seed %d w%d %s/%s: %v", seed, workers, gc.gname, r.name, err)
+					}
+					checkLabels(t, gc.gname+"/"+r.name, got, want)
+				}
+			}
+
+			// SCC on the directed generators
+			for _, gc := range []struct {
+				gname string
+				g     *graph.Graph
+			}{
+				{"rmat", rmatD},
+				{"chain", chain},
+				{"tree", tree},
+			} {
+				want := seq.SCC(gc.g)
+				for _, r := range sccRuns {
+					got, err := r.run(gc.g, opt(gc.g))
+					if err != nil {
+						t.Fatalf("seed %d w%d %s/%s: %v", seed, workers, gc.gname, r.name, err)
+					}
+					checkLabels(t, gc.gname+"/"+r.name, got, want)
+				}
+			}
+
+			// pointer jumping on the parent-pointer generators
+			for _, gc := range []struct {
+				gname string
+				g     *graph.Graph
+			}{
+				{"chain", chain},
+				{"tree", tree},
+			} {
+				want := seq.TreeRoots(gc.g)
+				for _, r := range pjRuns {
+					got, err := r.run(gc.g, opt(gc.g))
+					if err != nil {
+						t.Fatalf("seed %d w%d %s/%s: %v", seed, workers, gc.gname, r.name, err)
+					}
+					checkLabels(t, gc.gname+"/"+r.name, got, want)
+				}
+			}
+
+			// SSSP and MSF on the weighted generators
+			for _, gc := range []struct {
+				gname string
+				g     *graph.Graph
+			}{
+				{"rmatw", rmatW},
+				{"grid", grid},
+			} {
+				src := graph.VertexID(int(seed) % gc.g.NumVertices())
+				wantD := seq.Dijkstra(gc.g, src)
+				for name, run := range map[string]func() ([]int64, error){
+					"sssp-channel": func() ([]int64, error) { v, _, e := SSSPChannel(gc.g, src, opt(gc.g)); return v, e },
+					"sssp-prop":    func() ([]int64, error) { v, _, e := SSSPPropagation(gc.g, src, opt(gc.g)); return v, e },
+					"sssp-pregel":  func() ([]int64, error) { v, _, e := SSSPPregel(gc.g, src, opt(gc.g)); return v, e },
+				} {
+					got, err := run()
+					if err != nil {
+						t.Fatalf("seed %d w%d %s/%s: %v", seed, workers, gc.gname, name, err)
+					}
+					for i := range wantD {
+						if got[i] != wantD[i] {
+							t.Fatalf("seed %d w%d %s/%s: vertex %d got %d want %d", seed, workers, gc.gname, name, i, got[i], wantD[i])
+						}
+					}
+				}
+				wantW, wantCnt := seq.MSFWeight(gc.g)
+				for name, run := range map[string]func() (MSFResult, error){
+					"msf-channel": func() (MSFResult, error) { v, _, e := MSFChannel(gc.g, opt(gc.g)); return v, e },
+					"msf-pregel":  func() (MSFResult, error) { v, _, e := MSFPregel(gc.g, opt(gc.g)); return v, e },
+				} {
+					res, err := run()
+					if err != nil {
+						t.Fatalf("seed %d w%d %s/%s: %v", seed, workers, gc.gname, name, err)
+					}
+					if res.Weight != wantW || len(res.Edges) != wantCnt {
+						t.Fatalf("seed %d w%d %s/%s: weight=%d edges=%d want %d %d",
+							seed, workers, gc.gname, name, res.Weight, len(res.Edges), wantW, wantCnt)
+					}
+				}
+			}
+
+			// PageRank: dense staging makes the channel engine
+			// deterministic — two runs must agree bit for bit — and all
+			// variants must agree with the sequential oracle to fp noise.
+			{
+				o := opt(rmatD)
+				const iters = 12
+				want := seq.PageRank(rmatD, iters)
+				r1, _, err := PageRankChannel(rmatD, o, iters)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r2, _, err := PageRankChannel(rmatD, o, iters)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range r1 {
+					if r1[i] != r2[i] {
+						t.Fatalf("seed %d w%d pagerank nondeterministic at vertex %d: %v != %v", seed, workers, i, r1[i], r2[i])
+					}
+				}
+				for name, run := range map[string]func() ([]float64, error){
+					"pr-scatter": func() ([]float64, error) { v, _, e := PageRankScatter(rmatD, o, iters); return v, e },
+					"pr-mirror":  func() ([]float64, error) { v, _, e := PageRankMirror(rmatD, o, iters); return v, e },
+					"pr-pregel":  func() ([]float64, error) { v, _, e := PageRankPregel(rmatD, o, iters); return v, e },
+					"pr-ghost":   func() ([]float64, error) { v, _, e := PageRankPregelGhost(rmatD, o, iters); return v, e },
+				} {
+					got, err := run()
+					if err != nil {
+						t.Fatalf("seed %d w%d %s: %v", seed, workers, name, err)
+					}
+					for i := range want {
+						if d := got[i] - want[i]; d > 1e-9 || d < -1e-9 {
+							t.Fatalf("seed %d w%d %s: vertex %d got %v want %v", seed, workers, name, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 // Single-worker degeneracy: every algorithm must work with M=1 (all
 // loopback traffic).
 func TestSingleWorkerDegeneracy(t *testing.T) {

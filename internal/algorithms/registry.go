@@ -57,6 +57,11 @@ type Metrics struct {
 	NetBytes   int64         `json:"net_bytes"`
 	SimTime    time.Duration `json:"sim_time_ns"`
 	WallTime   time.Duration `json:"wall_time_ns"`
+	// HeapAllocDelta is the change in the process's live heap across
+	// the run (filled by the job manager; best-effort — concurrent jobs
+	// and GC make it approximate, and it can be negative when a
+	// collection lands mid-run).
+	HeapAllocDelta int64 `json:"heap_alloc_delta_bytes,omitempty"`
 }
 
 func metricsFromChannel(m engine.Metrics) Metrics {

@@ -1,0 +1,115 @@
+// Package barrier provides the M-party synchronization barrier of the
+// BSP engines. The exchange loop crosses a barrier four times per
+// exchange round, so the crossing itself is on the hot path: Wait uses
+// an atomic sense-reversing fast path (arrival counter + generation
+// word) with a bounded spin, and falls back to a condition variable
+// only for stragglers, so a round where all workers arrive together
+// costs a handful of atomic operations and no mutex hand-offs.
+//
+// A barrier can be aborted: a worker that fails mid-superstep calls
+// Abort to release every current and future waiter, which lets its
+// peers observe the failure and return instead of deadlocking on a
+// barrier the failed worker will never reach.
+package barrier
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrAborted is the sentinel a worker returns when it stopped because a
+// peer aborted the shared barrier; JoinErrors filters it out so only
+// root causes surface to the caller.
+var ErrAborted = errors.New("barrier: aborted: another worker failed")
+
+// JoinErrors joins all real worker errors in worker order, dropping
+// abort echoes and duplicate messages (a symmetric failure every worker
+// hits, like a superstep cap, surfaces once rather than once per
+// worker).
+func JoinErrors(errs []error) error {
+	var real []error
+	seen := make(map[string]bool)
+	for _, err := range errs {
+		if err == nil || errors.Is(err, ErrAborted) {
+			continue
+		}
+		if msg := err.Error(); !seen[msg] {
+			seen[msg] = true
+			real = append(real, err)
+		}
+	}
+	return errors.Join(real...)
+}
+
+// Barrier synchronizes a fixed party of n goroutines.
+type Barrier struct {
+	n       int32
+	arrived atomic.Int32
+	gen     atomic.Uint64 // sense word: bumped once per completed crossing
+	aborted atomic.Bool
+	blocked atomic.Int32 // waiters parked on cond
+	mu      sync.Mutex
+	cond    *sync.Cond
+}
+
+// New creates a barrier for n parties.
+func New(n int) *Barrier {
+	b := &Barrier{n: int32(n)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// spinRounds bounds the fast-path spin before a waiter parks. Each
+// iteration yields the processor, so stragglers cost scheduler quanta,
+// not burned cores.
+const spinRounds = 64
+
+// Wait blocks until all n parties have called Wait (returning true) or
+// the barrier is aborted (returning false, immediately, for every
+// current and future call).
+func (b *Barrier) Wait() bool {
+	if b.aborted.Load() {
+		return false
+	}
+	gen := b.gen.Load()
+	if b.arrived.Add(1) == b.n {
+		// Last arriver releases the generation: reset the counter
+		// before bumping the sense word so no releasee can re-arrive
+		// early, then wake any parked stragglers.
+		b.arrived.Store(0)
+		b.gen.Add(1)
+		if b.blocked.Load() > 0 {
+			b.mu.Lock()
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		}
+		return !b.aborted.Load()
+	}
+	for i := 0; i < spinRounds; i++ {
+		if b.gen.Load() != gen || b.aborted.Load() {
+			return !b.aborted.Load()
+		}
+		runtime.Gosched()
+	}
+	b.mu.Lock()
+	b.blocked.Add(1)
+	for b.gen.Load() == gen && !b.aborted.Load() {
+		b.cond.Wait()
+	}
+	b.blocked.Add(-1)
+	b.mu.Unlock()
+	return !b.aborted.Load()
+}
+
+// Abort permanently releases the barrier: every waiter currently parked
+// or spinning observes the release, and all subsequent Wait calls
+// return false without blocking.
+func (b *Barrier) Abort() {
+	b.aborted.Store(true)
+	b.gen.Add(1) // release spinners and park-loop checks
+	b.mu.Lock()
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,82 @@
+package barrier
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Lockstep correctness: no party may start phase k+1 before every party
+// finished phase k.
+func TestBarrierLockstep(t *testing.T) {
+	const n, rounds = 4, 200
+	b := New(n)
+	var phase [n]atomic.Int32
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				phase[p].Store(int32(r))
+				if !b.Wait() {
+					t.Errorf("party %d: unexpected abort", p)
+					return
+				}
+				// after the barrier, nobody may still be in phase r-1
+				for q := 0; q < n; q++ {
+					if got := phase[q].Load(); got < int32(r) {
+						t.Errorf("party %d phase %d while %d crossed round %d", q, got, p, r)
+						return
+					}
+				}
+				if !b.Wait() {
+					t.Errorf("party %d: unexpected abort", p)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+func TestBarrierAbortReleasesWaiters(t *testing.T) {
+	const n = 3
+	b := New(n)
+	results := make(chan bool, n-1)
+	for p := 0; p < n-1; p++ {
+		go func() { results <- b.Wait() }()
+	}
+	// the n-th party never arrives; it aborts instead
+	b.Abort()
+	for p := 0; p < n-1; p++ {
+		if <-results {
+			t.Errorf("waiter %d: Wait returned true after abort", p)
+		}
+	}
+	// future waits return false immediately
+	if b.Wait() {
+		t.Error("post-abort Wait returned true")
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	boom := errors.New("boom")
+	dup := errors.New("same")
+	if err := JoinErrors([]error{nil, nil}); err != nil {
+		t.Errorf("all-nil join: %v", err)
+	}
+	if err := JoinErrors([]error{ErrAborted, nil, ErrAborted}); err != nil {
+		t.Errorf("abort-only join: %v", err)
+	}
+	err := JoinErrors([]error{ErrAborted, boom, nil, dup, fmt.Errorf("same")})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("joined error %v does not wrap boom", err)
+	}
+	want := "boom\nsame"
+	if err.Error() != want {
+		t.Errorf("joined error %q want %q (dedup + order)", err.Error(), want)
+	}
+}

@@ -22,6 +22,7 @@ const (
 func benchRun(b *testing.B, setup func(w *engine.Worker)) {
 	b.Helper()
 	part := partition.Hash(microVertices, microWorkers)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := engine.Run(engine.Config{Part: part, MaxSupersteps: 100}, setup); err != nil {

@@ -11,6 +11,11 @@
 // wire encoding; combining channels additionally take a Combiner.
 package channel
 
+import (
+	"repro/internal/engine"
+	"repro/internal/ser"
+)
+
 // Combiner merges two message values addressed to the same destination
 // (paper §II-A). It must be commutative and associative: the engine makes
 // no ordering promises across workers.
@@ -42,3 +47,70 @@ func (s *stamped[T]) get(i int, e int32) (T, bool) {
 }
 
 func (s *stamped[T]) fresh(i int, e int32) bool { return s.epoch[i] == e }
+
+// denseOut is the dense per-destination-worker staging area shared by
+// the combining channels: one value slot per remote vertex, addressed by
+// the vertex's local index on its owner (the Partition gives every
+// vertex a dense (owner, localIndex) pair). Staging a message is an
+// array write plus a generation-stamp check — no hashing — and the wire
+// format ships (localIndex, value) pairs so the receiver also indexes
+// straight into flat slices. Slots are invalidated by bumping the
+// per-destination generation instead of clearing arrays, so a drained
+// staging area is reusable immediately at zero cost.
+type denseOut[M any] struct {
+	val     [][]M      // per dst worker: remote local index -> staged value
+	stamp   [][]uint32 // per dst worker: generation that wrote the slot
+	touched [][]uint32 // per dst worker: staged local indices, first-touch order
+	gen     []uint32   // per dst worker: current staging generation
+}
+
+func newDenseOut[M any](w *engine.Worker) denseOut[M] {
+	m := w.NumWorkers()
+	part := w.Part()
+	d := denseOut[M]{
+		val:     make([][]M, m),
+		stamp:   make([][]uint32, m),
+		touched: make([][]uint32, m),
+		gen:     make([]uint32, m),
+	}
+	for o := 0; o < m; o++ {
+		n := part.LocalCount(o)
+		d.val[o] = make([]M, n)
+		d.stamp[o] = make([]uint32, n)
+		d.gen[o] = 1
+	}
+	return d
+}
+
+// stage combines m into the slot for local index li on worker o.
+func (d *denseOut[M]) stage(o int, li uint32, m M, combine Combiner[M]) {
+	if d.stamp[o][li] == d.gen[o] {
+		d.val[o][li] = combine(d.val[o][li], m)
+		return
+	}
+	d.stamp[o][li] = d.gen[o]
+	d.val[o][li] = m
+	d.touched[o] = append(d.touched[o], li)
+}
+
+// drain writes worker o's staged messages as a count followed by
+// (localIndex, value) pairs, then resets the staging area by advancing
+// its generation. Writes nothing when nothing is staged.
+func (d *denseOut[M]) drain(o int, buf *ser.Buffer, codec ser.Codec[M]) {
+	t := d.touched[o]
+	if len(t) == 0 {
+		return
+	}
+	buf.WriteUvarint(uint64(len(t)))
+	val := d.val[o]
+	for _, li := range t {
+		buf.WriteUvarint(uint64(li))
+		codec.Encode(buf, val[li])
+	}
+	d.touched[o] = t[:0]
+	d.gen[o]++
+	if d.gen[o] == 0 { // wrapped: clear stamps so no stale slot can match
+		clear(d.stamp[o])
+		d.gen[o] = 1
+	}
+}

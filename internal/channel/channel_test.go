@@ -175,26 +175,28 @@ func TestAggregatorSum(t *testing.T) {
 }
 
 func TestAggregatorZeroWhenNoAdds(t *testing.T) {
-	var got float64 = -1
+	got := []float64{-1, -1} // per worker: compute phases run concurrently
 	runJob(t, 4, 2, func(w *engine.Worker) {
 		agg := NewAggregator[float64](w, ser.Float64Codec{}, sumF64, 0)
 		w.Compute = func(li int) {
 			if w.Superstep() == 1 {
 				return // nobody adds
 			}
-			got = agg.Result()
+			got[w.WorkerID()] = agg.Result()
 			w.VoteToHalt()
 		}
 	})
-	if got != 0 {
-		t.Errorf("zero aggregate = %v", got)
+	for wk, g := range got {
+		if g != 0 {
+			t.Errorf("worker %d: zero aggregate = %v", wk, g)
+		}
 	}
 }
 
 func TestAggregatorFreshEachSuperstep(t *testing.T) {
 	// adds at superstep 1 must not leak into the result read at
 	// superstep 3
-	var got float64 = -1
+	got := []float64{-1, -1} // per worker: compute phases run concurrently
 	runJob(t, 4, 2, func(w *engine.Worker) {
 		agg := NewAggregator[float64](w, ser.Float64Codec{}, sumF64, 0)
 		w.Compute = func(li int) {
@@ -204,13 +206,15 @@ func TestAggregatorFreshEachSuperstep(t *testing.T) {
 			case 2:
 				// no adds
 			case 3:
-				got = agg.Result()
+				got[w.WorkerID()] = agg.Result()
 				w.VoteToHalt()
 			}
 		}
 	})
-	if got != 0 {
-		t.Errorf("stale aggregate %v leaked", got)
+	for wk, g := range got {
+		if g != 0 {
+			t.Errorf("worker %d: stale aggregate %v leaked", wk, g)
+		}
 	}
 }
 

@@ -8,17 +8,19 @@ import (
 
 // CombinedMessage is the standard combining message channel
 // (paper Table I, middle column): messages to the same destination are
-// merged with the user combiner, on the sending worker (one hash-map
-// entry per distinct destination — the "hash table ... for the general
-// case" of §V-B1) and again on the receiving worker into a dense
-// per-vertex slot.
+// merged with the user combiner, on the sending worker and again on the
+// receiving worker into a dense per-vertex slot. Where the generic
+// system of §V-B1 stages sender-side combining in a hash table, this
+// implementation stages into dense per-destination-worker slots keyed
+// by the remote vertex's local index, so both the send and the receive
+// path are plain array indexing — no hashing anywhere per superstep.
 type CombinedMessage[M any] struct {
 	w       *engine.Worker
 	codec   ser.Codec[M]
 	combine Combiner[M]
 
-	// sender-side combining: per destination worker, dst -> combined m
-	out []map[graph.VertexID]M
+	// sender-side combining: dense per-destination-worker slots
+	out denseOut[M]
 	// receiver side: dense slot per local vertex, epoch-stamped with the
 	// superstep whose exchange wrote it (readable in the next superstep).
 	in stamped[M]
@@ -34,12 +36,7 @@ func NewCombinedMessage[M any](w *engine.Worker, codec ser.Codec[M], combine Com
 // SendMessage sends m to vertex dst, combining with any message already
 // staged for dst on this worker.
 func (c *CombinedMessage[M]) SendMessage(dst graph.VertexID, m M) {
-	o := c.w.Owner(dst)
-	if old, ok := c.out[o][dst]; ok {
-		c.out[o][dst] = c.combine(old, m)
-	} else {
-		c.out[o][dst] = m
-	}
+	c.out.stage(c.w.Owner(dst), uint32(c.w.LocalIndex(dst)), m, c.combine)
 }
 
 // Message returns the combined message delivered to local vertex li in
@@ -50,10 +47,7 @@ func (c *CombinedMessage[M]) Message(li int) (M, bool) {
 
 // Initialize implements engine.Channel.
 func (c *CombinedMessage[M]) Initialize() {
-	c.out = make([]map[graph.VertexID]M, c.w.NumWorkers())
-	for i := range c.out {
-		c.out[i] = make(map[graph.VertexID]M)
-	}
+	c.out = newDenseOut[M](c.w)
 	c.in = newStamped[M](c.w.LocalCount())
 }
 
@@ -63,16 +57,7 @@ func (c *CombinedMessage[M]) AfterCompute() {}
 
 // Serialize implements engine.Channel.
 func (c *CombinedMessage[M]) Serialize(dst int, buf *ser.Buffer) {
-	staged := c.out[dst]
-	if len(staged) == 0 {
-		return
-	}
-	buf.WriteUvarint(uint64(len(staged)))
-	for id, m := range staged {
-		buf.WriteUint32(id)
-		c.codec.Encode(buf, m)
-		delete(staged, id)
-	}
+	c.out.drain(dst, buf, c.codec)
 }
 
 // Deserialize implements engine.Channel.
@@ -80,9 +65,8 @@ func (c *CombinedMessage[M]) Deserialize(src int, buf *ser.Buffer) {
 	n := int(buf.ReadUvarint())
 	e := int32(c.w.Superstep())
 	for i := 0; i < n; i++ {
-		id := buf.ReadUint32()
+		li := int(buf.ReadUvarint())
 		m := c.codec.Decode(buf)
-		li := c.w.LocalIndex(id)
 		if old, ok := c.in.get(li, e); ok {
 			c.in.set(li, c.combine(old, m), e)
 		} else {

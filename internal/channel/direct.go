@@ -14,7 +14,9 @@ type DirectMessage[M any] struct {
 	w     *engine.Worker
 	codec ser.Codec[M]
 
-	// outgoing staging, one slice per destination worker
+	// outgoing staging, one slice per destination worker; destinations
+	// are staged as their dense local index on the owning worker, which
+	// is also the wire encoding.
 	out [][]outMsg[M]
 	// inbox: per local vertex, filled during exchange, consumed next
 	// superstep; touched tracks which slots to clear lazily.
@@ -23,7 +25,7 @@ type DirectMessage[M any] struct {
 }
 
 type outMsg[M any] struct {
-	dst graph.VertexID
+	dst int32 // local index on the destination worker
 	m   M
 }
 
@@ -38,7 +40,7 @@ func NewDirectMessage[M any](w *engine.Worker, codec ser.Codec[M]) *DirectMessag
 // superstep.
 func (c *DirectMessage[M]) SendMessage(dst graph.VertexID, m M) {
 	o := c.w.Owner(dst)
-	c.out[o] = append(c.out[o], outMsg[M]{dst: dst, m: m})
+	c.out[o] = append(c.out[o], outMsg[M]{dst: int32(c.w.LocalIndex(dst)), m: m})
 }
 
 // Messages returns the messages delivered to local vertex li in the
@@ -69,7 +71,7 @@ func (c *DirectMessage[M]) Serialize(dst int, buf *ser.Buffer) {
 	}
 	buf.WriteUvarint(uint64(len(msgs)))
 	for _, om := range msgs {
-		buf.WriteUint32(om.dst)
+		buf.WriteUvarint(uint64(om.dst))
 		c.codec.Encode(buf, om.m)
 	}
 	c.out[dst] = msgs[:0]
@@ -79,9 +81,8 @@ func (c *DirectMessage[M]) Serialize(dst int, buf *ser.Buffer) {
 func (c *DirectMessage[M]) Deserialize(src int, buf *ser.Buffer) {
 	n := int(buf.ReadUvarint())
 	for i := 0; i < n; i++ {
-		id := buf.ReadUint32()
+		li := int(buf.ReadUvarint())
 		m := c.codec.Decode(buf)
-		li := c.w.LocalIndex(id)
 		if len(c.inbox[li]) == 0 {
 			c.touched = append(c.touched, li)
 		}

@@ -23,6 +23,13 @@ import (
 // channel mechanism's again() facility — no out-of-band preprocessing.
 // Every frame starts with a phase tag so receivers need no shared
 // phase state.
+//
+// The steady-state paths are fully dense: hubs are referenced on the
+// wire by their per-(sender, receiver) ordinal — the position of the hub
+// in that sender's handshake frame — so the receiver fans out by
+// indexing a flat table, and low-degree messages are staged in dense
+// per-destination slots keyed by the remote local index. After the
+// one-time handshake no hash map is touched on either side.
 type Mirror[M any] struct {
 	w         *engine.Worker
 	codec     ser.Codec[M]
@@ -35,13 +42,23 @@ type Mirror[M any] struct {
 
 	// sender side, after preparation: all edges grouped by source
 	bySrc    []scEdge
+	byLocal  []int32 // parallel to bySrc: dst's local index on its owner
 	srcStart []int32 // len n+1
 	// hubs: local vertices with degree >= threshold
-	hubSlot    []int32   // local vertex -> hub slot or -1
-	hubWorkers [][]int32 // hub slot -> workers with mirrors
+	hubSlot []int32 // local vertex -> hub slot or -1
+	hubLi   []int32 // hub slot -> local vertex
+	// dstHubs[d] lists the hub slots mirrored on worker d in ascending
+	// slot order; a hub's position in this list is its wire ordinal for
+	// frames sent to d (fixed by the handshake frame, which enumerates
+	// hubs in the same order).
+	dstHubs [][]int32
 
-	// receiver side: fanout tables hubID -> local neighbor indices
-	fanout map[graph.VertexID][]int32
+	// low-degree staging: dense per-destination-worker slots
+	low        denseOut[M]
+	stagedStep int32 // superstep whose low-degree staging pass has run
+
+	// receiver side: fanout[src][ordinal] -> local neighbor indices
+	fanout [][][]int32
 
 	srcVal   stamped[M]
 	setEpoch int32
@@ -94,11 +111,13 @@ func (c *Mirror[M]) Initialize() {
 	n := c.w.LocalCount()
 	c.srcVal = newStamped[M](n)
 	c.in = newStamped[M](n)
-	c.fanout = make(map[graph.VertexID][]int32)
+	c.fanout = make([][][]int32, c.w.NumWorkers())
+	c.stagedStep = -1
 }
 
 func (c *Mirror[M]) prepare() {
 	n := c.w.LocalCount()
+	m := c.w.NumWorkers()
 	c.srcStart = make([]int32, n+1)
 	for _, e := range c.building {
 		c.srcStart[e.src+1]++
@@ -114,25 +133,34 @@ func (c *Mirror[M]) prepare() {
 		fill[e.src]++
 	}
 	c.building = nil
+	c.byLocal = make([]int32, len(c.bySrc))
+	for i, e := range c.bySrc {
+		c.byLocal[i] = int32(c.w.LocalIndex(e.dst))
+	}
 
 	c.hubSlot = make([]int32, n)
+	c.dstHubs = make([][]int32, m)
+	seen := make([]bool, m)
 	for li := 0; li < n; li++ {
 		c.hubSlot[li] = -1
 		deg := int(c.srcStart[li+1] - c.srcStart[li])
 		if deg < c.threshold {
 			continue
 		}
-		seen := make([]bool, c.w.NumWorkers())
-		var lst []int32
+		slot := int32(len(c.hubLi))
+		c.hubSlot[li] = slot
+		c.hubLi = append(c.hubLi, int32(li))
+		for i := range seen {
+			seen[i] = false
+		}
 		for _, e := range c.bySrc[c.srcStart[li]:c.srcStart[li+1]] {
 			if !seen[e.owner] {
 				seen[e.owner] = true
-				lst = append(lst, int32(e.owner))
+				c.dstHubs[e.owner] = append(c.dstHubs[e.owner], slot)
 			}
 		}
-		c.hubSlot[li] = int32(len(c.hubWorkers))
-		c.hubWorkers = append(c.hubWorkers, lst)
 	}
+	c.low = newDenseOut[M](c.w)
 	c.prepared = true
 	c.handshake = true
 }
@@ -144,104 +172,97 @@ func (c *Mirror[M]) AfterCompute() {
 	}
 }
 
+// stageLowDegree runs the once-per-superstep staging pass for low-degree
+// vertices: one linear scan over the sorted edge list, combining into
+// dense per-destination slots.
+func (c *Mirror[M]) stageLowDegree(e int32) {
+	for li, slot := range c.hubSlot {
+		if slot >= 0 {
+			continue
+		}
+		v, ok := c.srcVal.get(li, e)
+		if !ok {
+			continue
+		}
+		for p := c.srcStart[li]; p < c.srcStart[li+1]; p++ {
+			c.low.stage(c.bySrc[p].owner, uint32(c.byLocal[p]), v, c.combine)
+		}
+	}
+}
+
 // Serialize implements engine.Channel. The handshake frame ships each
-// hub's per-worker neighbor lists; broadcast frames ship one
-// (hub, value) per mirrored hub plus combined low-degree messages.
+// hub's per-worker neighbor lists (as local indices on the receiver);
+// broadcast frames ship one (hub ordinal, value) per mirrored hub plus
+// combined low-degree messages as (localIndex, value) pairs.
 func (c *Mirror[M]) Serialize(dst int, buf *ser.Buffer) {
 	if !c.prepared {
 		return
 	}
 	if c.handshake {
+		hubs := c.dstHubs[dst]
 		buf.WriteUint8(mirrorFrameHandshake)
-		countPos := buf.Len()
-		buf.WriteUint32(0)
-		hubs := uint32(0)
-		for li, slot := range c.hubSlot {
-			if slot < 0 {
-				continue
-			}
-			seg := c.bySrc[c.srcStart[li]:c.srcStart[li+1]]
+		buf.WriteUvarint(uint64(len(hubs)))
+		for _, slot := range hubs {
+			li := c.hubLi[slot]
+			seg := c.srcStart[li]
+			end := c.srcStart[li+1]
 			cnt := 0
-			for _, e := range seg {
-				if e.owner == dst {
+			for p := seg; p < end; p++ {
+				if c.bySrc[p].owner == dst {
 					cnt++
 				}
 			}
-			if cnt == 0 {
-				continue
-			}
-			buf.WriteUint32(c.w.GlobalID(li))
 			buf.WriteUvarint(uint64(cnt))
-			for _, e := range seg {
-				if e.owner == dst {
-					buf.WriteUint32(e.dst)
+			for p := seg; p < end; p++ {
+				if c.bySrc[p].owner == dst {
+					buf.WriteUvarint(uint64(c.byLocal[p]))
 				}
 			}
-			hubs++
 		}
-		buf.PatchUint32(countPos, hubs)
 		return
 	}
 	e := int32(c.w.Superstep())
 	if c.setEpoch != e {
 		return
 	}
+	if c.stagedStep != e {
+		c.stageLowDegree(e)
+		c.stagedStep = e
+	}
 	buf.WriteUint8(mirrorFrameBroadcast)
-	// section 1: hub broadcasts (one per hub with a mirror on dst)
+	// section 1: hub broadcasts, referenced by per-(src,dst) ordinal
 	hubPos := buf.Len()
 	buf.WriteUint32(0)
 	hubs := uint32(0)
-	// section 2 staging: combined low-degree messages for dst
-	staged := make(map[graph.VertexID]M)
-	for li, slot := range c.hubSlot {
-		v, ok := c.srcVal.get(li, e)
+	for ord, slot := range c.dstHubs[dst] {
+		v, ok := c.srcVal.get(int(c.hubLi[slot]), e)
 		if !ok {
 			continue
 		}
-		if slot >= 0 {
-			for _, wk := range c.hubWorkers[slot] {
-				if int(wk) == dst {
-					buf.WriteUint32(c.w.GlobalID(li))
-					c.codec.Encode(buf, v)
-					hubs++
-					break
-				}
-			}
-			continue
-		}
-		for _, edge := range c.bySrc[c.srcStart[li]:c.srcStart[li+1]] {
-			if edge.owner != dst {
-				continue
-			}
-			if old, ok := staged[edge.dst]; ok {
-				staged[edge.dst] = c.combine(old, v)
-			} else {
-				staged[edge.dst] = v
-			}
-		}
+		buf.WriteUvarint(uint64(ord))
+		c.codec.Encode(buf, v)
+		hubs++
 	}
 	buf.PatchUint32(hubPos, hubs)
-	buf.WriteUvarint(uint64(len(staged)))
-	for id, v := range staged {
-		buf.WriteUint32(id)
-		c.codec.Encode(buf, v)
-	}
+	// section 2: combined low-degree messages
+	c.low.drain(dst, buf, c.codec)
 }
 
 // Deserialize implements engine.Channel: dispatch on the frame tag.
 func (c *Mirror[M]) Deserialize(src int, buf *ser.Buffer) {
 	switch buf.ReadUint8() {
 	case mirrorFrameHandshake:
-		hubs := int(buf.ReadUint32())
+		hubs := int(buf.ReadUvarint())
+		tables := make([][]int32, hubs)
 		for i := 0; i < hubs; i++ {
-			hub := buf.ReadUint32()
 			n := int(buf.ReadUvarint())
-			lst := make([]int32, 0, n)
+			lst := make([]int32, n)
 			for j := 0; j < n; j++ {
-				lst = append(lst, int32(c.w.LocalIndex(buf.ReadUint32())))
+				lst[j] = int32(buf.ReadUvarint())
 			}
-			c.fanout[hub] = append(c.fanout[hub], lst...)
+			tables[i] = lst
 		}
+		c.fanout[src] = tables
 	case mirrorFrameBroadcast:
 		e := int32(c.w.Superstep())
 		deliver := func(li int32, m M) {
@@ -254,17 +275,20 @@ func (c *Mirror[M]) Deserialize(src int, buf *ser.Buffer) {
 		}
 		hubs := int(buf.ReadUint32())
 		for i := 0; i < hubs; i++ {
-			hub := buf.ReadUint32()
+			ord := int(buf.ReadUvarint())
 			m := c.codec.Decode(buf)
-			for _, li := range c.fanout[hub] {
+			for _, li := range c.fanout[src][ord] {
 				deliver(li, m)
 			}
 		}
+		if buf.Remaining() == 0 {
+			return // no low-degree section this frame
+		}
 		n := int(buf.ReadUvarint())
 		for i := 0; i < n; i++ {
-			id := buf.ReadUint32()
+			li := int32(buf.ReadUvarint())
 			m := c.codec.Decode(buf)
-			deliver(int32(c.w.LocalIndex(id)), m)
+			deliver(li, m)
 		}
 	default:
 		panic("channel: Mirror: unknown frame tag")

@@ -31,12 +31,14 @@ type Propagation[M comparable] struct {
 	transform func(m M, weight int32) M // nil for unweighted
 
 	// local adjacency, built from AddEdge during superstep 1:
-	// CSR over local vertices; remote destinations keep the global id.
+	// CSR over local vertices. Every destination — local or remote — is
+	// stored as its dense local index on its owning worker, so staging a
+	// remote update and applying an incoming one are both plain array
+	// indexing.
 	building []propEdge
 	prepared bool
 	offsets  []int32
-	adjLocal []int32          // >=0: local index of dst; -1: remote
-	adjID    []graph.VertexID // global id (used when remote)
+	adjLocal []int32 // local index of dst on its owner
 	adjW     []int32
 	adjOwner []uint16
 
@@ -45,8 +47,8 @@ type Propagation[M comparable] struct {
 	queued []bool
 	queue  []int32
 	head   int // FIFO cursor into queue
-	// staged remote updates: per destination worker, dst -> combined m
-	remote []map[graph.VertexID]M
+	// staged remote updates: dense per-destination-worker slots
+	remote denseOut[M]
 
 	propagatedThisRound bool
 	finalEpoch          int32 // superstep whose propagation has converged
@@ -132,10 +134,7 @@ func (c *Propagation[M]) Initialize() {
 	c.val = make([]M, n)
 	c.hasVal = make([]bool, n)
 	c.queued = make([]bool, n)
-	c.remote = make([]map[graph.VertexID]M, c.w.NumWorkers())
-	for i := range c.remote {
-		c.remote[i] = make(map[graph.VertexID]M)
-	}
+	c.remote = newDenseOut[M](c.w)
 	c.finalEpoch = -1
 }
 
@@ -151,21 +150,14 @@ func (c *Propagation[M]) prepare() {
 	cursor := make([]int32, n)
 	copy(cursor, c.offsets[:n])
 	c.adjLocal = make([]int32, len(c.building))
-	c.adjID = make([]graph.VertexID, len(c.building))
 	c.adjW = make([]int32, len(c.building))
 	c.adjOwner = make([]uint16, len(c.building))
 	for _, e := range c.building {
 		p := cursor[e.src]
 		cursor[e.src]++
-		c.adjID[p] = e.dst
 		c.adjW[p] = e.w
-		o := c.w.Owner(e.dst)
-		c.adjOwner[p] = uint16(o)
-		if o == c.w.WorkerID() {
-			c.adjLocal[p] = int32(c.w.LocalIndex(e.dst))
-		} else {
-			c.adjLocal[p] = -1
-		}
+		c.adjOwner[p] = uint16(c.w.Owner(e.dst))
+		c.adjLocal[p] = int32(c.w.LocalIndex(e.dst))
 	}
 	c.building = nil
 	c.prepared = true
@@ -234,13 +226,7 @@ func (c *Propagation[M]) propagateLocal() {
 			if c.adjOwner[p] == me {
 				c.apply(c.adjLocal[p], m)
 			} else {
-				o := int(c.adjOwner[p])
-				dst := c.adjID[p]
-				if old, ok := c.remote[o][dst]; ok {
-					c.remote[o][dst] = c.combine(old, m)
-				} else {
-					c.remote[o][dst] = m
-				}
+				c.remote.stage(int(c.adjOwner[p]), uint32(c.adjLocal[p]), m, c.combine)
 			}
 		}
 	}
@@ -254,16 +240,7 @@ func (c *Propagation[M]) Serialize(dst int, buf *ser.Buffer) {
 		c.propagateLocal()
 		c.propagatedThisRound = true
 	}
-	staged := c.remote[dst]
-	if len(staged) == 0 {
-		return
-	}
-	buf.WriteUvarint(uint64(len(staged)))
-	for id, m := range staged {
-		buf.WriteUint32(id)
-		c.codec.Encode(buf, m)
-		delete(staged, id)
-	}
+	c.remote.drain(dst, buf, c.codec)
 }
 
 // Deserialize implements engine.Channel: apply remote updates, which may
@@ -271,9 +248,9 @@ func (c *Propagation[M]) Serialize(dst int, buf *ser.Buffer) {
 func (c *Propagation[M]) Deserialize(src int, buf *ser.Buffer) {
 	n := int(buf.ReadUvarint())
 	for i := 0; i < n; i++ {
-		id := buf.ReadUint32()
+		li := int32(buf.ReadUvarint())
 		m := c.codec.Decode(buf)
-		c.apply(int32(c.w.LocalIndex(id)), m)
+		c.apply(li, m)
 	}
 }
 
@@ -306,7 +283,6 @@ func (c *Propagation[M]) Reset() {
 	c.prepared = false
 	c.offsets = nil
 	c.adjLocal = nil
-	c.adjID = nil
 	c.adjW = nil
 	c.adjOwner = nil
 	for i := range c.hasVal {

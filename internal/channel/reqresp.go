@@ -39,8 +39,9 @@ type RequestRespond[R any] struct {
 	gotResp   []bool
 	respEpoch int32 // superstep whose responses are stored
 
-	// responder side: request lists received in round 1, per source worker
-	asked [][]graph.VertexID
+	// responder side: request lists received in round 1, per source
+	// worker, as local indices (the wire ships dense local indices)
+	asked [][]int32
 
 	round       int
 	sentReq     bool
@@ -109,7 +110,7 @@ func (c *RequestRespond[R]) Initialize() {
 	c.pending = make([][]graph.VertexID, m)
 	c.resp = make([][]R, m)
 	c.gotResp = make([]bool, m)
-	c.asked = make([][]graph.VertexID, m)
+	c.asked = make([][]int32, m)
 	c.respEpoch = -1
 }
 
@@ -148,24 +149,25 @@ func (c *RequestRespond[R]) AfterCompute() {
 func (c *RequestRespond[R]) Serialize(dst int, buf *ser.Buffer) {
 	switch c.round {
 	case 0:
-		// request phase: send the deduplicated ID list
+		// request phase: send the deduplicated list as local indices on
+		// the responder
 		lst := c.pending[dst]
 		if len(lst) == 0 {
 			return
 		}
 		buf.WriteUvarint(uint64(len(lst)))
 		for _, id := range lst {
-			buf.WriteUint32(id)
+			buf.WriteUvarint(uint64(c.w.LocalIndex(id)))
 		}
 	case 1:
 		// respond phase: bare values, in the order of the request list
-		ids := c.asked[dst]
-		if len(ids) == 0 {
+		lis := c.asked[dst]
+		if len(lis) == 0 {
 			return
 		}
-		buf.WriteUvarint(uint64(len(ids)))
-		for _, id := range ids {
-			c.codec.Encode(buf, c.respond(c.w.LocalIndex(id)))
+		buf.WriteUvarint(uint64(len(lis)))
+		for _, li := range lis {
+			c.codec.Encode(buf, c.respond(int(li)))
 		}
 	}
 }
@@ -175,11 +177,11 @@ func (c *RequestRespond[R]) Deserialize(src int, buf *ser.Buffer) {
 	n := int(buf.ReadUvarint())
 	switch c.round {
 	case 0:
-		ids := c.asked[src][:0]
+		lis := c.asked[src][:0]
 		for i := 0; i < n; i++ {
-			ids = append(ids, buf.ReadUint32())
+			lis = append(lis, int32(buf.ReadUvarint()))
 		}
-		c.asked[src] = ids
+		c.asked[src] = lis
 		c.receivedReq = true
 	case 1:
 		vals := c.resp[src][:0]

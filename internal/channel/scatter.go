@@ -174,7 +174,7 @@ func (c *ScatterCombine[M]) Serialize(dst int, buf *ser.Buffer) {
 			countPos = buf.Len()
 			buf.WriteUint32(0) // patched below
 		}
-		buf.WriteUint32(d)
+		buf.WriteUvarint(uint64(c.w.LocalIndex(d)))
 		c.codec.Encode(buf, acc)
 		count++
 	}
@@ -188,9 +188,8 @@ func (c *ScatterCombine[M]) Deserialize(src int, buf *ser.Buffer) {
 	n := int(buf.ReadUint32())
 	e := int32(c.w.Superstep())
 	for i := 0; i < n; i++ {
-		id := buf.ReadUint32()
+		li := int(buf.ReadUvarint())
 		m := c.codec.Decode(buf)
-		li := c.w.LocalIndex(id)
 		if old, ok := c.in.get(li, e); ok {
 			c.in.set(li, c.combine(old, m), e)
 		} else {

@@ -61,8 +61,43 @@ type Stats struct {
 	LocalBytes int64
 	// Rounds counts buffer-exchange rounds (≥ 1 per superstep).
 	Rounds int64
+	// ShrunkBuffers counts outgoing buffers reallocated down by the
+	// retained-capacity shrink policy.
+	ShrunkBuffers int64
 	// SimNetTime is the simulated network time under the cost model.
 	SimNetTime time.Duration
+}
+
+// ShrinkPolicy bounds the capacity the Exchanger's buffers retain
+// across rounds. Buffers grow to the peak round's volume and normally
+// keep that capacity forever; in a long-lived process (graphd) one
+// burst round would otherwise pin its peak memory for the rest of the
+// process lifetime. Every CheckEvery resets of a row, any buffer whose
+// capacity exceeds Slack times the peak usage observed since the last
+// check (and MinRetain) is reallocated down to the observed peak.
+type ShrinkPolicy struct {
+	// CheckEvery is the number of rounds between capacity checks.
+	// Zero selects 64; negative disables shrinking.
+	CheckEvery int
+	// MinRetain is the capacity in bytes at or below which a buffer is
+	// never shrunk. Zero selects 64 KiB.
+	MinRetain int
+	// Slack is the allowed ratio of retained capacity to observed peak
+	// usage. Zero selects 4.
+	Slack int
+}
+
+func (p ShrinkPolicy) withDefaults() ShrinkPolicy {
+	if p.CheckEvery == 0 {
+		p.CheckEvery = 64
+	}
+	if p.MinRetain == 0 {
+		p.MinRetain = 64 << 10
+	}
+	if p.Slack == 0 {
+		p.Slack = 4
+	}
+	return p
 }
 
 // Exchanger owns the M×M buffer matrix. Out[s][d] is worker s's outgoing
@@ -75,28 +110,42 @@ type Exchanger struct {
 	roundSent []int64 // per-source bytes in the current round (off-node only)
 	cost      CostModel
 
+	shrink ShrinkPolicy
+	peak   [][]int // per (s,d): max bytes written since the last check
+	resets []int   // per source: ResetRow calls since the last check
+
 	netBytes   atomic.Int64
 	localBytes atomic.Int64
+	shrunk     atomic.Int64
 	rounds     int64
 	simNet     time.Duration
 }
 
-// NewExchanger creates the buffer matrix for m workers.
+// NewExchanger creates the buffer matrix for m workers with the default
+// shrink policy.
 func NewExchanger(m int, cost CostModel) *Exchanger {
 	e := &Exchanger{
 		m:         m,
 		out:       make([][]*ser.Buffer, m),
 		roundSent: make([]int64, m),
 		cost:      cost.withDefaults(),
+		shrink:    ShrinkPolicy{}.withDefaults(),
+		peak:      make([][]int, m),
+		resets:    make([]int, m),
 	}
 	for s := 0; s < m; s++ {
 		e.out[s] = make([]*ser.Buffer, m)
+		e.peak[s] = make([]int, m)
 		for d := 0; d < m; d++ {
 			e.out[s][d] = ser.NewBuffer(1024)
 		}
 	}
 	return e
 }
+
+// SetShrinkPolicy replaces the retained-capacity policy. It must be
+// called before the exchanger is used, not mid-run.
+func (e *Exchanger) SetShrinkPolicy(p ShrinkPolicy) { e.shrink = p.withDefaults() }
 
 // NumWorkers returns the worker count.
 func (e *Exchanger) NumWorkers() int { return e.m }
@@ -144,10 +193,37 @@ func (e *Exchanger) FinishRound() {
 }
 
 // ResetRow rewinds and clears worker src's outgoing buffers. Called by
-// worker src after every peer has consumed the round's data.
+// worker src after every peer has consumed the round's data. It also
+// runs the retained-capacity check of the shrink policy, so a buffer
+// inflated by one burst round is handed back to the allocator once the
+// steady-state volume proves to be much smaller.
 func (e *Exchanger) ResetRow(src int) {
 	for d := 0; d < e.m; d++ {
-		e.out[src][d].Reset()
+		b := e.out[src][d]
+		if n := b.Len(); n > e.peak[src][d] {
+			e.peak[src][d] = n
+		}
+		b.Reset()
+	}
+	if e.shrink.CheckEvery < 0 {
+		return
+	}
+	e.resets[src]++
+	if e.resets[src] < e.shrink.CheckEvery {
+		return
+	}
+	e.resets[src] = 0
+	for d := 0; d < e.m; d++ {
+		p := e.peak[src][d]
+		e.peak[src][d] = 0
+		b := e.out[src][d]
+		if c := b.Cap(); c > e.shrink.MinRetain && p < c/e.shrink.Slack {
+			if p < 1024 {
+				p = 1024
+			}
+			e.out[src][d] = ser.NewBuffer(p)
+			e.shrunk.Add(1)
+		}
 	}
 }
 
@@ -162,9 +238,10 @@ func (e *Exchanger) RewindRow(dst int) {
 // Stats returns the accumulated statistics.
 func (e *Exchanger) Stats() Stats {
 	return Stats{
-		NetworkBytes: e.netBytes.Load(),
-		LocalBytes:   e.localBytes.Load(),
-		Rounds:       e.rounds,
-		SimNetTime:   e.simNet,
+		NetworkBytes:  e.netBytes.Load(),
+		LocalBytes:    e.localBytes.Load(),
+		Rounds:        e.rounds,
+		ShrunkBuffers: e.shrunk.Load(),
+		SimNetTime:    e.simNet,
 	}
 }

@@ -49,6 +49,54 @@ func TestResetRow(t *testing.T) {
 	}
 }
 
+func TestShrinkPolicyReclaimsBurstCapacity(t *testing.T) {
+	e := NewExchanger(2, CostModel{})
+	e.SetShrinkPolicy(ShrinkPolicy{CheckEvery: 8, MinRetain: 1 << 12, Slack: 4})
+	// burst round: grow 0->1 far past MinRetain
+	big := make([]byte, 1<<20)
+	e.Out(0, 1).WriteBytes(big)
+	e.ResetRow(0)
+	if c := e.Out(0, 1).Cap(); c < 1<<20 {
+		t.Fatalf("burst did not grow the buffer: cap=%d", c)
+	}
+	// steady state: tiny rounds across two check windows (the first
+	// window still contains the burst peak)
+	for r := 0; r < 16; r++ {
+		e.Out(0, 1).WriteUint32(1)
+		e.ResetRow(0)
+	}
+	if c := e.Out(0, 1).Cap(); c >= 1<<20 {
+		t.Errorf("burst capacity retained: cap=%d", c)
+	}
+	if s := e.Stats(); s.ShrunkBuffers == 0 {
+		t.Errorf("ShrunkBuffers=0 want >0")
+	}
+}
+
+func TestShrinkPolicyKeepsHotBuffers(t *testing.T) {
+	e := NewExchanger(2, CostModel{})
+	e.SetShrinkPolicy(ShrinkPolicy{CheckEvery: 4, MinRetain: 1 << 10, Slack: 4})
+	payload := make([]byte, 1<<16)
+	for r := 0; r < 12; r++ {
+		e.Out(0, 1).WriteBytes(payload)
+		e.ResetRow(0)
+	}
+	// the buffer is used at full capacity every round: it must keep it
+	if c := e.Out(0, 1).Cap(); c < 1<<16 {
+		t.Errorf("hot buffer was shrunk: cap=%d", c)
+	}
+	// a disabled policy never shrinks
+	d := NewExchanger(2, CostModel{})
+	d.SetShrinkPolicy(ShrinkPolicy{CheckEvery: -1})
+	d.Out(0, 1).WriteBytes(make([]byte, 1<<20))
+	for r := 0; r < 256; r++ {
+		d.ResetRow(0)
+	}
+	if c := d.Out(0, 1).Cap(); c < 1<<20 {
+		t.Errorf("disabled policy shrank: cap=%d", c)
+	}
+}
+
 func TestCostModelRoundTime(t *testing.T) {
 	c := CostModel{BytesPerSecond: 1000, RoundLatency: time.Millisecond}
 	got := c.RoundTime(500)

@@ -9,10 +9,12 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/barrier"
 	"repro/internal/comm"
 	"repro/internal/graph"
 	"repro/internal/partition"
@@ -161,42 +163,16 @@ func (w *Worker) Register(c Channel) int {
 type job struct {
 	cfg     Config
 	ex      *comm.Exchanger
-	bar     *barrier
+	bar     *barrier.Barrier
 	anyChan []bool // per-worker: any channel wants another round
 	actives []int  // per-worker active vertex counts
 	halt    []bool // per-worker: algorithm requested early stop
 }
 
-// barrier is a reusable counting barrier for M goroutines.
-type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	gen   int
-}
-
-func newBarrier(n int) *barrier {
-	b := &barrier{n: n}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-func (b *barrier) wait() {
-	b.mu.Lock()
-	gen := b.gen
-	b.count++
-	if b.count == b.n {
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-	} else {
-		for gen == b.gen {
-			b.cond.Wait()
-		}
-	}
-	b.mu.Unlock()
-}
+// errAborted is the sentinel a worker returns when it stopped because a
+// peer aborted the shared barrier; Run filters it out of the joined
+// error so only root causes surface.
+var errAborted = barrier.ErrAborted
 
 // RequestStop asks the engine to terminate after the current superstep,
 // regardless of remaining active vertices. Any worker may call it during
@@ -220,7 +196,7 @@ func Run(cfg Config, setup func(w *Worker)) (Metrics, error) {
 	j := &job{
 		cfg:     cfg,
 		ex:      comm.NewExchanger(m, cfg.Cost),
-		bar:     newBarrier(m),
+		bar:     barrier.New(m),
 		anyChan: make([]bool, m),
 		actives: make([]int, m),
 		halt:    make([]bool, m),
@@ -242,20 +218,36 @@ func Run(cfg Config, setup func(w *Worker)) (Metrics, error) {
 	}
 	wg.Wait()
 
+	// Report the minimum superstep any worker reached: when a worker
+	// fails, the supersteps its peers were mid-way through never
+	// completed their exchanges, so the minimum is the only count that
+	// was globally finished.
+	minStep := workers[0].superstep
+	for _, w := range workers[1:] {
+		if w.superstep < minStep {
+			minStep = w.superstep
+		}
+	}
 	met := Metrics{
-		Supersteps: workers[0].superstep,
+		Supersteps: minStep,
 		Comm:       j.ex.Stats(),
 		WallTime:   time.Since(start),
 	}
-	for _, err := range errs {
-		if err != nil {
-			return met, err
-		}
-	}
-	return met, nil
+	return met, barrier.JoinErrors(errs)
 }
 
+// run executes the worker loop; a worker that fails aborts the shared
+// barrier so its peers return (with errAborted) instead of deadlocking
+// on a synchronization point the failed worker will never reach.
 func (w *Worker) run(setup func(w *Worker), maxSteps int) error {
+	err := w.runSupersteps(setup, maxSteps)
+	if err != nil && !errors.Is(err, errAborted) {
+		w.job.bar.Abort()
+	}
+	return err
+}
+
+func (w *Worker) runSupersteps(setup func(w *Worker), maxSteps int) error {
 	j := w.job
 	m := w.NumWorkers()
 
@@ -271,11 +263,20 @@ func (w *Worker) run(setup func(w *Worker), maxSteps int) error {
 	}
 	w.activeCount = len(w.active)
 
-	j.bar.wait() // all workers finished setup (channel registration complete)
+	if !j.bar.Wait() { // all workers finished setup (registration complete)
+		return errAborted
+	}
 	for _, c := range w.channels {
 		c.Initialize()
 	}
-	j.bar.wait()
+	if !j.bar.Wait() {
+		return errAborted
+	}
+
+	// sub is the one reusable frame view of this worker's receive loop;
+	// ReadFrameInto re-points it at each incoming frame body, so the
+	// steady-state decode path performs no allocation.
+	var sub ser.Buffer
 
 	for {
 		w.superstep++
@@ -328,7 +329,9 @@ func (w *Worker) run(setup func(w *Worker), maxSteps int) error {
 				}
 			}
 			j.ex.FinishSerialize(w.id)
-			j.bar.wait() // serialize barrier: all outgoing buffers final
+			if !j.bar.Wait() { // serialize barrier: all outgoing buffers final
+				return errAborted
+			}
 
 			if w.id == 0 {
 				j.ex.FinishRound()
@@ -340,8 +343,8 @@ func (w *Worker) run(setup func(w *Worker), maxSteps int) error {
 					if ci < 0 || ci >= len(w.channels) {
 						return fmt.Errorf("engine: worker %d: bad channel id %d from worker %d", w.id, ci, src)
 					}
-					sub := in.ReadFrame()
-					w.channels[ci].Deserialize(src, sub)
+					in.ReadFrameInto(&sub)
+					w.channels[ci].Deserialize(src, &sub)
 				}
 			}
 			any := false
@@ -350,14 +353,18 @@ func (w *Worker) run(setup func(w *Worker), maxSteps int) error {
 				any = any || w.chActive[ci]
 			}
 			j.anyChan[w.id] = any
-			j.bar.wait() // deserialize barrier: all inputs consumed, flags posted
+			if !j.bar.Wait() { // deserialize barrier: inputs consumed, flags posted
+				return errAborted
+			}
 
 			j.ex.ResetRow(w.id)
 			global := false
 			for i := 0; i < m; i++ {
 				global = global || j.anyChan[i]
 			}
-			j.bar.wait() // reset barrier: safe to write next round
+			if !j.bar.Wait() { // reset barrier: safe to write next round
+				return errAborted
+			}
 			if !global {
 				break
 			}
@@ -365,14 +372,18 @@ func (w *Worker) run(setup func(w *Worker), maxSteps int) error {
 
 		// Global termination check.
 		j.actives[w.id] = w.activeCount
-		j.bar.wait()
+		if !j.bar.Wait() {
+			return errAborted
+		}
 		total := 0
 		stop := false
 		for i := 0; i < m; i++ {
 			total += j.actives[i]
 			stop = stop || j.halt[i]
 		}
-		j.bar.wait() // all workers have read the counts
+		if !j.bar.Wait() { // all workers have read the counts
+			return errAborted
+		}
 		if total == 0 || stop {
 			return nil
 		}

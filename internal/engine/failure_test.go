@@ -31,6 +31,45 @@ func TestEngineStuckChannelAborts(t *testing.T) {
 	}
 }
 
+// Asymmetric setup failure: one worker errors before the first barrier.
+// The failed worker must abort the shared barrier so its peers return
+// instead of deadlocking, and Run must surface the root cause (not the
+// peers' abort echoes).
+func TestEngineAsymmetricSetupFailureAborts(t *testing.T) {
+	part := partition.Hash(4, 2)
+	met, err := Run(Config{Part: part}, func(w *Worker) {
+		w.Register(nullChannel{})
+		if w.WorkerID() != 1 {
+			w.Compute = func(li int) { w.VoteToHalt() }
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "worker 1: setup did not install Compute") {
+		t.Fatalf("expected worker 1 setup error, got %v", err)
+	}
+	if strings.Contains(err.Error(), "aborted") {
+		t.Errorf("abort echo leaked into the joined error: %v", err)
+	}
+	if met.Supersteps != 0 {
+		t.Errorf("supersteps=%d want 0 (minimum reached)", met.Supersteps)
+	}
+}
+
+// Symmetric failure: every worker hits the superstep cap. The joined
+// error must surface the cause once, not once per worker.
+func TestEngineSymmetricErrorDedup(t *testing.T) {
+	part := partition.Hash(4, 2)
+	_, err := Run(Config{Part: part, MaxSupersteps: 3}, func(w *Worker) {
+		w.Register(nullChannel{})
+		w.Compute = func(li int) {} // stay active forever
+	})
+	if err == nil {
+		t.Fatal("expected MaxSupersteps error")
+	}
+	if got := strings.Count(err.Error(), "MaxSupersteps"); got != 1 {
+		t.Errorf("cause appears %d times, want 1: %v", got, err)
+	}
+}
+
 // chattyChannel sends garbage addressed to a channel id that exists, to
 // verify framing dispatch stays aligned when another channel writes
 // nothing.

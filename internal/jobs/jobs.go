@@ -8,6 +8,7 @@ package jobs
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -254,7 +255,16 @@ func (m *Manager) execute(j *job) (*algorithms.Result, error) {
 		maxSteps = m.maxSupersteps
 	}
 	opts := algorithms.Options{Part: part, MaxSupersteps: maxSteps}
-	return j.spec.Run(j.eng, j.req.Variant, g, opts, j.req.Params)
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	res, err := j.spec.Run(j.eng, j.req.Variant, g, opts, j.req.Params)
+	if err != nil {
+		return nil, err
+	}
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	res.Metrics.HeapAllocDelta = int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	return res, nil
 }
 
 // retireLocked records a terminal job and evicts the oldest terminal

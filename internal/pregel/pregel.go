@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/barrier"
 	"repro/internal/comm"
 	"repro/internal/graph"
 	"repro/internal/partition"
@@ -130,39 +131,9 @@ type dmsg[M any] struct {
 type job[M, R, A any] struct {
 	cfg     *Config[M, R, A]
 	ex      *comm.Exchanger
-	bar     *barrier
+	bar     *barrier.Barrier
 	actives []int
 	halt    []bool
-}
-
-type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	gen   int
-}
-
-func newBarrier(n int) *barrier {
-	b := &barrier{n: n}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-func (b *barrier) wait() {
-	b.mu.Lock()
-	gen := b.gen
-	b.count++
-	if b.count == b.n {
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-	} else {
-		for gen == b.gen {
-			b.cond.Wait()
-		}
-	}
-	b.mu.Unlock()
 }
 
 // --- Worker API used by algorithm closures ---
@@ -306,7 +277,7 @@ func Run[M, R, A any](cfg Config[M, R, A], setup func(w *Worker[M, R, A])) (Metr
 	j := &job[M, R, A]{
 		cfg:     &cfg,
 		ex:      comm.NewExchanger(m, cfg.Cost),
-		bar:     newBarrier(m),
+		bar:     barrier.New(m),
 		actives: make([]int, m),
 		halt:    make([]bool, m),
 	}
@@ -325,15 +296,18 @@ func Run[M, R, A any](cfg Config[M, R, A], setup func(w *Worker[M, R, A])) (Metr
 		}(workers[i])
 	}
 	wg.Wait()
+	// Minimum superstep any worker reached: the only count that was
+	// globally completed when a worker failed part-way.
+	minStep := workers[0].superstep
+	for _, w := range workers[1:] {
+		if w.superstep < minStep {
+			minStep = w.superstep
+		}
+	}
 	met := Metrics{
-		Supersteps: workers[0].superstep,
+		Supersteps: minStep,
 		Comm:       j.ex.Stats(),
 		WallTime:   time.Since(start),
 	}
-	for _, err := range errs {
-		if err != nil {
-			return met, err
-		}
-	}
-	return met, nil
+	return met, barrier.JoinErrors(errs)
 }

@@ -83,7 +83,7 @@ func TestCombinerInboxFreshness(t *testing.T) {
 	// a message delivered for superstep 2 must not reappear at 3
 	cfg := basicCfg(4, 2)
 	cfg.Combiner = func(a, b uint32) uint32 { return a + b }
-	leak := false
+	leak := make([]bool, 2) // per worker: compute phases run concurrently
 	_, err := Run(cfg, func(w *Worker[uint32, noRR, noRR]) {
 		w.Compute = func(li int, msgs []uint32) {
 			switch w.Superstep() {
@@ -93,7 +93,7 @@ func TestCombinerInboxFreshness(t *testing.T) {
 				// stay active, send nothing
 			case 3:
 				if len(msgs) != 0 {
-					leak = true
+					leak[w.WorkerID()] = true
 				}
 				w.VoteToHalt()
 			}
@@ -102,7 +102,7 @@ func TestCombinerInboxFreshness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if leak {
+	if leak[0] || leak[1] {
 		t.Error("stale combined message leaked")
 	}
 }
@@ -116,17 +116,18 @@ func TestAggregatorResetsBetweenSupersteps(t *testing.T) {
 		AggCombine: func(a, b float64) float64 { return a + b },
 		AggCodec:   ser.Float64Codec{},
 	}
-	var r2, r3 float64 = -1, -1
+	r2 := []float64{-1, -1} // per worker: compute phases run concurrently
+	r3 := []float64{-1, -1}
 	_, err := Run(cfg, func(w *Worker[uint32, noRR, float64]) {
 		w.Compute = func(li int, msgs []uint32) {
 			switch w.Superstep() {
 			case 1:
 				w.Aggregate(1)
 			case 2:
-				r2 = w.AggResult()
+				r2[w.WorkerID()] = w.AggResult()
 				w.Aggregate(2)
 			case 3:
-				r3 = w.AggResult()
+				r3[w.WorkerID()] = w.AggResult()
 				w.VoteToHalt()
 			}
 		}
@@ -134,11 +135,13 @@ func TestAggregatorResetsBetweenSupersteps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r2 != 6 {
-		t.Errorf("superstep2 aggregate %v want 6", r2)
-	}
-	if r3 != 12 {
-		t.Errorf("superstep3 aggregate %v want 12 (reset bug if 18)", r3)
+	for wk := range r2 {
+		if r2[wk] != 6 {
+			t.Errorf("worker %d: superstep2 aggregate %v want 6", wk, r2[wk])
+		}
+		if r3[wk] != 12 {
+			t.Errorf("worker %d: superstep3 aggregate %v want 12 (reset bug if 18)", wk, r3[wk])
+		}
 	}
 }
 

@@ -1,19 +1,35 @@
 package pregel
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
+	"repro/internal/barrier"
 	"repro/internal/graph"
 	"repro/internal/ser"
 )
 
-// run is the per-worker superstep loop of the baseline engine. The wire
-// protocol is fixed by the configuration: round 1 carries messages,
-// ghost broadcasts, requests and aggregator partials; round 2 (present
-// iff reqresp or an aggregator is configured) carries responses and the
-// aggregator result.
+// errAborted marks a worker that stopped because a peer failed and
+// aborted the shared barrier.
+var errAborted = barrier.ErrAborted
+
+// run executes the worker loop; a worker that fails aborts the shared
+// barrier so its peers return instead of deadlocking.
 func (w *Worker[M, R, A]) run(setup func(*Worker[M, R, A]), maxSteps int) error {
+	err := w.runSupersteps(setup, maxSteps)
+	if err != nil && !errors.Is(err, errAborted) {
+		w.job.bar.Abort()
+	}
+	return err
+}
+
+// runSupersteps is the per-worker superstep loop of the baseline
+// engine. The wire protocol is fixed by the configuration: round 1
+// carries messages, ghost broadcasts, requests and aggregator partials;
+// round 2 (present iff reqresp or an aggregator is configured) carries
+// responses and the aggregator result.
+func (w *Worker[M, R, A]) runSupersteps(setup func(*Worker[M, R, A]), maxSteps int) error {
 	j := w.job
 	cfg := w.cfg
 	m := w.NumWorkers()
@@ -67,7 +83,9 @@ func (w *Worker[M, R, A]) run(setup func(*Worker[M, R, A]), maxSteps int) error 
 		w.active[i] = true
 	}
 	w.activeCount = n
-	j.bar.wait()
+	if !j.bar.Wait() {
+		return errAborted
+	}
 
 	twoRounds := cfg.Responder != nil || cfg.AggCombine != nil
 
@@ -93,44 +111,60 @@ func (w *Worker[M, R, A]) run(setup func(*Worker[M, R, A]), maxSteps int) error 
 			w.serializeRound1(dst, j.ex.Out(w.id, dst))
 		}
 		j.ex.FinishSerialize(w.id)
-		j.bar.wait()
+		if !j.bar.Wait() {
+			return errAborted
+		}
 		if w.id == 0 {
 			j.ex.FinishRound()
 		}
 		for src := 0; src < m; src++ {
 			w.deserializeRound1(src, j.ex.In(w.id, src))
 		}
-		j.bar.wait()
+		if !j.bar.Wait() {
+			return errAborted
+		}
 		j.ex.ResetRow(w.id)
-		j.bar.wait()
+		if !j.bar.Wait() {
+			return errAborted
+		}
 
 		if twoRounds {
 			for dst := 0; dst < m; dst++ {
 				w.serializeRound2(dst, j.ex.Out(w.id, dst))
 			}
 			j.ex.FinishSerialize(w.id)
-			j.bar.wait()
+			if !j.bar.Wait() {
+				return errAborted
+			}
 			if w.id == 0 {
 				j.ex.FinishRound()
 			}
 			for src := 0; src < m; src++ {
 				w.deserializeRound2(src, j.ex.In(w.id, src))
 			}
-			j.bar.wait()
+			if !j.bar.Wait() {
+				return errAborted
+			}
 			j.ex.ResetRow(w.id)
-			j.bar.wait()
+			if !j.bar.Wait() {
+				return errAborted
+			}
 		}
 
 		// termination check
 		j.actives[w.id] = w.activeCount
-		j.bar.wait()
+		if !j.bar.Wait() {
+			return errAborted
+		}
 		total := 0
 		stop := false
 		for i := 0; i < m; i++ {
 			total += j.actives[i]
 			stop = stop || j.halt[i]
 		}
-		j.bar.wait()
+		if !j.bar.Wait() {
+			return errAborted
+		}
 		if total == 0 || stop {
 			return nil
 		}

@@ -38,6 +38,10 @@ func FromBytes(b []byte) *Buffer {
 // Len returns the number of bytes written to the buffer.
 func (b *Buffer) Len() int { return len(b.data) }
 
+// Cap returns the capacity of the underlying storage — the memory the
+// buffer retains across Resets.
+func (b *Buffer) Cap() int { return cap(b.data) }
+
 // Remaining returns the number of unread bytes.
 func (b *Buffer) Remaining() int { return len(b.data) - b.pos }
 
@@ -228,11 +232,23 @@ func (b *Buffer) Truncate(n int) {
 
 // ReadFrame consumes a frame header and returns a sub-buffer over the
 // frame body, advancing this buffer past it. The sub-buffer aliases the
-// underlying storage.
+// underlying storage. Hot loops should prefer ReadFrameInto, which
+// reuses a caller-owned sub-buffer instead of allocating one per frame.
 func (b *Buffer) ReadFrame() *Buffer {
+	sub := &Buffer{}
+	b.ReadFrameInto(sub)
+	return sub
+}
+
+// ReadFrameInto consumes a frame header and points sub at the frame
+// body, advancing this buffer past it. sub aliases the underlying
+// storage and is valid until the next write to b; its previous contents
+// are discarded. Reusing one sub-buffer across frames keeps the decode
+// path allocation-free.
+func (b *Buffer) ReadFrameInto(sub *Buffer) {
 	n := int(b.ReadUint32())
 	b.need(n)
-	sub := &Buffer{data: b.data[b.pos : b.pos+n]}
+	sub.data = b.data[b.pos : b.pos+n]
+	sub.pos = 0
 	b.pos += n
-	return sub
 }

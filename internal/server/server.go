@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -243,9 +244,25 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// memoryStats is the process-memory section of GET /v1/stats: per-job
+// HeapAlloc deltas (on each job's metrics) only make sense next to the
+// process-level picture.
+type memoryStats struct {
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
+	NumGC          uint32 `json:"num_gc"`
+}
+
 func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"catalog": s.cat.Stats(),
 		"jobs":    s.mgr.Stats(),
+		"memory": memoryStats{
+			HeapAllocBytes: ms.HeapAlloc,
+			HeapSysBytes:   ms.HeapSys,
+			NumGC:          ms.NumGC,
+		},
 	})
 }

@@ -204,6 +204,10 @@ func TestConcurrentMixedJobsEndToEnd(t *testing.T) {
 	var stats struct {
 		Catalog catalog.Stats `json:"catalog"`
 		Jobs    jobs.Stats    `json:"jobs"`
+		Memory  struct {
+			HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+			HeapSysBytes   uint64 `json:"heap_sys_bytes"`
+		} `json:"memory"`
 	}
 	getJSON(t, base+"/v1/stats", http.StatusOK, &stats)
 	if stats.Catalog.Loads != 1 {
@@ -211,6 +215,9 @@ func TestConcurrentMixedJobsEndToEnd(t *testing.T) {
 	}
 	if stats.Jobs.Done != len(reqs) || stats.Jobs.Failed != 0 {
 		t.Fatalf("jobs stats %+v", stats.Jobs)
+	}
+	if stats.Memory.HeapAllocBytes == 0 || stats.Memory.HeapSysBytes == 0 {
+		t.Fatalf("memory stats missing: %+v", stats.Memory)
 	}
 
 	// clean shutdown: manager drains and refuses new work

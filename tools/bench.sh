@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# bench.sh — run the Table IV–VII reproduction benchmarks and emit a
+# machine-readable BENCH_<n>.json snapshot in the repo root.
+#
+# Usage:
+#   tools/bench.sh [bench-regex]
+#
+# Environment:
+#   BENCHTIME  per-benchmark -benchtime (default 20x)
+#   COUNT      -count repetitions; the best (min ns/op) run per benchmark
+#              is recorded, which is the stable statistic for short
+#              benchmarks (default 5)
+#   OUT        output file; default BENCH_<n>.json with the first free n
+#
+# Each entry in "results" holds the benchmark name (GOMAXPROCS suffix
+# stripped), iterations, ns/op, and every auxiliary metric the benchmark
+# reports (sim-ms/op, msgMB/op, steps/op, B/op, allocs/op, ...).
+# Successive snapshots (BENCH_0.json, BENCH_1.json, ...) form the
+# benchmark trajectory of the repo; compare any two with e.g.
+#   jq -r '.results[] | [.name, .["ns/op"]] | @tsv' BENCH_0.json
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+REGEX="${1:-^BenchmarkTable[4-7]$}"
+BENCHTIME="${BENCHTIME:-20x}"
+COUNT="${COUNT:-5}"
+
+if [ -z "${OUT:-}" ]; then
+  n=0
+  while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+  OUT="BENCH_${n}.json"
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "running: go test -run=NONE -bench \"$REGEX\" -benchtime=$BENCHTIME -count=$COUNT ." >&2
+go test -run=NONE -bench "$REGEX" -benchtime="$BENCHTIME" -count="$COUNT" . | tee "$raw" >&2
+
+awk -v benchtime="$BENCHTIME" -v count="$COUNT" -v regex="$REGEX" '
+BEGIN {
+  cmd = "date -u +%Y-%m-%dT%H:%M:%SZ"; cmd | getline ts; close(cmd)
+  gv = ""
+}
+/^goos:/ { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)  # strip GOMAXPROCS suffix
+  iters = $2 + 0
+  ns = -1
+  line = ""
+  for (i = 3; i + 1 <= NF; i += 2) {
+    val = $i + 0; unit = $(i + 1)
+    if (unit == "ns/op") ns = val
+    gsub(/"/, "", unit)
+    line = line sprintf("%s\"%s\": %s", (line == "" ? "" : ", "), unit, val)
+  }
+  if (ns < 0) next
+  if (!(name in best) || ns < bestNs[name]) {
+    bestNs[name] = ns
+    best[name] = sprintf("{\"name\": \"%s\", \"iterations\": %d, %s}", name, iters, line)
+  }
+  if (!(name in seen)) { order[++norder] = name; seen[name] = 1 }
+}
+END {
+  printf "{\n"
+  printf "  \"generated\": \"%s\",\n", ts
+  printf "  \"goos\": \"%s\", \"goarch\": \"%s\",\n", goos, goarch
+  printf "  \"cpu\": \"%s\",\n", cpu
+  printf "  \"bench_regex\": \"%s\", \"benchtime\": \"%s\", \"count\": %d,\n", regex, benchtime, count
+  printf "  \"results\": [\n"
+  for (i = 1; i <= norder; i++)
+    printf "    %s%s\n", best[order[i]], (i < norder ? "," : "")
+  printf "  ]\n}\n"
+}
+' "$raw" > "$OUT"
+
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)" >&2

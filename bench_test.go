@@ -20,6 +20,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/comm"
 	"repro/internal/engine"
+	"repro/internal/frag"
 	"repro/internal/graph"
 	"repro/internal/harness"
 	"repro/internal/partition"
@@ -51,8 +52,28 @@ func benchData() *harness.Datasets {
 	return ds
 }
 
-func opts(p *partition.Partition) algorithms.Options {
-	return algorithms.Options{Part: p, MaxSupersteps: 200000}
+// fragment cache: benchmarks measure superstep time on pre-resolved
+// shared-nothing fragments, not fragment construction, mirroring how
+// the catalog serves jobs.
+var (
+	fragMu    sync.Mutex
+	fragCache = map[fragKey]*frag.Fragments{}
+)
+
+type fragKey struct {
+	g *graph.Graph
+	p *partition.Partition
+}
+
+func opts(g *graph.Graph, p *partition.Partition) algorithms.Options {
+	fragMu.Lock()
+	defer fragMu.Unlock()
+	fs, ok := fragCache[fragKey{g, p}]
+	if !ok {
+		fs = frag.Build(g, p)
+		fragCache[fragKey{g, p}] = fs
+	}
+	return algorithms.Options{Part: p, Frags: fs, MaxSupersteps: 200000}
 }
 
 func reportC(b *testing.B, m engine.Metrics, err error) {
@@ -86,85 +107,97 @@ func BenchmarkTable4(b *testing.B) {
 	und := graph.Undirectify(d.Wiki)
 	b.Run("PR/pregel", func(b *testing.B) {
 		p := harness.HashPart(d.WebUK)
+		o := opts(d.WebUK, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.PageRankPregel(d.WebUK, opts(p), prIters)
+			_, m, err := algorithms.PageRankPregel(d.WebUK, o, prIters)
 			reportP(b, m, err)
 		}
 	})
 	b.Run("PR/channel", func(b *testing.B) {
 		p := harness.HashPart(d.WebUK)
+		o := opts(d.WebUK, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.PageRankChannel(d.WebUK, opts(p), prIters)
+			_, m, err := algorithms.PageRankChannel(d.WebUK, o, prIters)
 			reportC(b, m, err)
 		}
 	})
 	b.Run("WCC/pregel", func(b *testing.B) {
 		p := harness.HashPart(und)
+		o := opts(und, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.WCCPregel(und, opts(p))
+			_, m, err := algorithms.WCCPregel(und, o)
 			reportP(b, m, err)
 		}
 	})
 	b.Run("WCC/channel", func(b *testing.B) {
 		p := harness.HashPart(und)
+		o := opts(und, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.WCCChannel(und, opts(p))
+			_, m, err := algorithms.WCCChannel(und, o)
 			reportC(b, m, err)
 		}
 	})
 	b.Run("PJ/pregel", func(b *testing.B) {
 		p := harness.HashPart(d.Chain)
+		o := opts(d.Chain, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.PointerJumpPregel(d.Chain, opts(p))
+			_, m, err := algorithms.PointerJumpPregel(d.Chain, o)
 			reportP(b, m, err)
 		}
 	})
 	b.Run("PJ/channel", func(b *testing.B) {
 		p := harness.HashPart(d.Chain)
+		o := opts(d.Chain, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.PointerJumpChannel(d.Chain, opts(p))
+			_, m, err := algorithms.PointerJumpChannel(d.Chain, o)
 			reportC(b, m, err)
 		}
 	})
 	b.Run("SV/pregel", func(b *testing.B) {
 		p := harness.HashPart(d.Facebook)
+		o := opts(d.Facebook, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.SVPregel(d.Facebook, opts(p))
+			_, m, err := algorithms.SVPregel(d.Facebook, o)
 			reportP(b, m, err)
 		}
 	})
 	b.Run("SV/channel", func(b *testing.B) {
 		p := harness.HashPart(d.Facebook)
+		o := opts(d.Facebook, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.SVChannel(d.Facebook, opts(p))
+			_, m, err := algorithms.SVChannel(d.Facebook, o)
 			reportC(b, m, err)
 		}
 	})
 	b.Run("MSF/pregel", func(b *testing.B) {
 		p := harness.HashPart(d.Road)
+		o := opts(d.Road, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.MSFPregel(d.Road, opts(p))
+			_, m, err := algorithms.MSFPregel(d.Road, o)
 			reportP(b, m, err)
 		}
 	})
 	b.Run("MSF/channel", func(b *testing.B) {
 		p := harness.HashPart(d.Road)
+		o := opts(d.Road, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.MSFChannel(d.Road, opts(p))
+			_, m, err := algorithms.MSFChannel(d.Road, o)
 			reportC(b, m, err)
 		}
 	})
 	b.Run("SCC/pregel", func(b *testing.B) {
 		p := harness.HashPart(d.Wiki)
+		o := opts(d.Wiki, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.SCCPregel(d.Wiki, opts(p))
+			_, m, err := algorithms.SCCPregel(d.Wiki, o)
 			reportP(b, m, err)
 		}
 	})
 	b.Run("SCC/channel", func(b *testing.B) {
 		p := harness.HashPart(d.Wiki)
+		o := opts(d.Wiki, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.SCCChannel(d.Wiki, opts(p))
+			_, m, err := algorithms.SCCChannel(d.Wiki, o)
 			reportC(b, m, err)
 		}
 	})
@@ -176,57 +209,65 @@ func BenchmarkTable5(b *testing.B) {
 	d := benchData()
 	b.Run("ScatterCombine/pregel-basic", func(b *testing.B) {
 		p := harness.HashPart(d.Wiki)
+		o := opts(d.Wiki, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.PageRankPregel(d.Wiki, opts(p), prIters)
+			_, m, err := algorithms.PageRankPregel(d.Wiki, o, prIters)
 			reportP(b, m, err)
 		}
 	})
 	b.Run("ScatterCombine/pregel-ghost", func(b *testing.B) {
 		p := harness.HashPart(d.Wiki)
+		o := opts(d.Wiki, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.PageRankPregelGhost(d.Wiki, opts(p), prIters)
+			_, m, err := algorithms.PageRankPregelGhost(d.Wiki, o, prIters)
 			reportP(b, m, err)
 		}
 	})
 	b.Run("ScatterCombine/channel-basic", func(b *testing.B) {
 		p := harness.HashPart(d.Wiki)
+		o := opts(d.Wiki, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.PageRankChannel(d.Wiki, opts(p), prIters)
+			_, m, err := algorithms.PageRankChannel(d.Wiki, o, prIters)
 			reportC(b, m, err)
 		}
 	})
 	b.Run("ScatterCombine/channel-scatter", func(b *testing.B) {
 		p := harness.HashPart(d.Wiki)
+		o := opts(d.Wiki, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.PageRankScatter(d.Wiki, opts(p), prIters)
+			_, m, err := algorithms.PageRankScatter(d.Wiki, o, prIters)
 			reportC(b, m, err)
 		}
 	})
 	b.Run("RequestRespond/pregel-basic", func(b *testing.B) {
 		p := harness.HashPart(d.Tree)
+		o := opts(d.Tree, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.PointerJumpPregel(d.Tree, opts(p))
+			_, m, err := algorithms.PointerJumpPregel(d.Tree, o)
 			reportP(b, m, err)
 		}
 	})
 	b.Run("RequestRespond/pregel-reqresp", func(b *testing.B) {
 		p := harness.HashPart(d.Tree)
+		o := opts(d.Tree, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.PointerJumpPregelReqResp(d.Tree, opts(p))
+			_, m, err := algorithms.PointerJumpPregelReqResp(d.Tree, o)
 			reportP(b, m, err)
 		}
 	})
 	b.Run("RequestRespond/channel-basic", func(b *testing.B) {
 		p := harness.HashPart(d.Tree)
+		o := opts(d.Tree, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.PointerJumpChannel(d.Tree, opts(p))
+			_, m, err := algorithms.PointerJumpChannel(d.Tree, o)
 			reportC(b, m, err)
 		}
 	})
 	b.Run("RequestRespond/channel-reqresp", func(b *testing.B) {
 		p := harness.HashPart(d.Tree)
+		o := opts(d.Tree, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.PointerJumpReqResp(d.Tree, opts(p))
+			_, m, err := algorithms.PointerJumpReqResp(d.Tree, o)
 			reportC(b, m, err)
 		}
 	})
@@ -240,26 +281,30 @@ func BenchmarkTable5(b *testing.B) {
 	}{{"hash", hash}, {"partitioned", greedy}} {
 		p := t.p
 		b.Run("Propagation/"+t.name+"/pregel-basic", func(b *testing.B) {
+			o := opts(und, p)
 			for i := 0; i < b.N; i++ {
-				_, m, err := algorithms.WCCPregel(und, opts(p))
+				_, m, err := algorithms.WCCPregel(und, o)
 				reportP(b, m, err)
 			}
 		})
 		b.Run("Propagation/"+t.name+"/blogel", func(b *testing.B) {
+			o := opts(und, p)
 			for i := 0; i < b.N; i++ {
-				_, m, err := algorithms.WCCBlogel(und, opts(p))
+				_, m, err := algorithms.WCCBlogel(und, o)
 				reportC(b, m, err)
 			}
 		})
 		b.Run("Propagation/"+t.name+"/channel-basic", func(b *testing.B) {
+			o := opts(und, p)
 			for i := 0; i < b.N; i++ {
-				_, m, err := algorithms.WCCChannel(und, opts(p))
+				_, m, err := algorithms.WCCChannel(und, o)
 				reportC(b, m, err)
 			}
 		})
 		b.Run("Propagation/"+t.name+"/channel-prop", func(b *testing.B) {
+			o := opts(und, p)
 			for i := 0; i < b.N; i++ {
-				_, m, err := algorithms.WCCPropagation(und, opts(p))
+				_, m, err := algorithms.WCCPropagation(und, o)
 				reportC(b, m, err)
 			}
 		})
@@ -277,32 +322,37 @@ func BenchmarkTable6(b *testing.B) {
 		g := t.g
 		p := harness.HashPart(g)
 		b.Run(t.name+"/1-pregel-reqresp", func(b *testing.B) {
+			o := opts(g, p)
 			for i := 0; i < b.N; i++ {
-				_, m, err := algorithms.SVPregelReqResp(g, opts(p))
+				_, m, err := algorithms.SVPregelReqResp(g, o)
 				reportP(b, m, err)
 			}
 		})
 		b.Run(t.name+"/2-channel-basic", func(b *testing.B) {
+			o := opts(g, p)
 			for i := 0; i < b.N; i++ {
-				_, m, err := algorithms.SVChannel(g, opts(p))
+				_, m, err := algorithms.SVChannel(g, o)
 				reportC(b, m, err)
 			}
 		})
 		b.Run(t.name+"/3-channel-reqresp", func(b *testing.B) {
+			o := opts(g, p)
 			for i := 0; i < b.N; i++ {
-				_, m, err := algorithms.SVReqResp(g, opts(p))
+				_, m, err := algorithms.SVReqResp(g, o)
 				reportC(b, m, err)
 			}
 		})
 		b.Run(t.name+"/4-channel-scatter", func(b *testing.B) {
+			o := opts(g, p)
 			for i := 0; i < b.N; i++ {
-				_, m, err := algorithms.SVScatter(g, opts(p))
+				_, m, err := algorithms.SVScatter(g, o)
 				reportC(b, m, err)
 			}
 		})
 		b.Run(t.name+"/5-channel-both", func(b *testing.B) {
+			o := opts(g, p)
 			for i := 0; i < b.N; i++ {
-				_, m, err := algorithms.SVBoth(g, opts(p))
+				_, m, err := algorithms.SVBoth(g, o)
 				reportC(b, m, err)
 			}
 		})
@@ -321,20 +371,23 @@ func BenchmarkTable7(b *testing.B) {
 	}{{"hash", hash}, {"partitioned", greedy}} {
 		p := t.p
 		b.Run(t.name+"/1-pregel-basic", func(b *testing.B) {
+			o := opts(d.Wiki, p)
 			for i := 0; i < b.N; i++ {
-				_, m, err := algorithms.SCCPregel(d.Wiki, opts(p))
+				_, m, err := algorithms.SCCPregel(d.Wiki, o)
 				reportP(b, m, err)
 			}
 		})
 		b.Run(t.name+"/2-channel-basic", func(b *testing.B) {
+			o := opts(d.Wiki, p)
 			for i := 0; i < b.N; i++ {
-				_, m, err := algorithms.SCCChannel(d.Wiki, opts(p))
+				_, m, err := algorithms.SCCChannel(d.Wiki, o)
 				reportC(b, m, err)
 			}
 		})
 		b.Run(t.name+"/3-channel-prop", func(b *testing.B) {
+			o := opts(d.Wiki, p)
 			for i := 0; i < b.N; i++ {
-				_, m, err := algorithms.SCCPropagation(d.Wiki, opts(p))
+				_, m, err := algorithms.SCCPropagation(d.Wiki, o)
 				reportC(b, m, err)
 			}
 		})
@@ -350,14 +403,16 @@ func BenchmarkAblationCombinePath(b *testing.B) {
 	d := benchData()
 	p := harness.HashPart(d.Wiki)
 	b.Run("hashmap", func(b *testing.B) {
+		o := opts(d.Wiki, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.PageRankChannel(d.Wiki, opts(p), 10)
+			_, m, err := algorithms.PageRankChannel(d.Wiki, o, 10)
 			reportC(b, m, err)
 		}
 	})
 	b.Run("presorted-scan", func(b *testing.B) {
+		o := opts(d.Wiki, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.PageRankScatter(d.Wiki, opts(p), 10)
+			_, m, err := algorithms.PageRankScatter(d.Wiki, o, 10)
 			reportC(b, m, err)
 		}
 	})
@@ -370,14 +425,16 @@ func BenchmarkAblationReplyFormat(b *testing.B) {
 	d := benchData()
 	p := harness.HashPart(d.Tree)
 	b.Run("value-only-replies", func(b *testing.B) {
+		o := opts(d.Tree, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.PointerJumpReqResp(d.Tree, opts(p))
+			_, m, err := algorithms.PointerJumpReqResp(d.Tree, o)
 			reportC(b, m, err)
 		}
 	})
 	b.Run("id-value-replies", func(b *testing.B) {
+		o := opts(d.Tree, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.PointerJumpPregelReqResp(d.Tree, opts(p))
+			_, m, err := algorithms.PointerJumpPregelReqResp(d.Tree, o)
 			reportP(b, m, err)
 		}
 	})
@@ -390,20 +447,23 @@ func BenchmarkAblationMirrorChannel(b *testing.B) {
 	d := benchData()
 	p := harness.HashPart(d.Wiki)
 	b.Run("mirror-channel", func(b *testing.B) {
+		o := opts(d.Wiki, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.PageRankMirror(d.Wiki, opts(p), 10)
+			_, m, err := algorithms.PageRankMirror(d.Wiki, o, 10)
 			reportC(b, m, err)
 		}
 	})
 	b.Run("pregel-ghost-mode", func(b *testing.B) {
+		o := opts(d.Wiki, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.PageRankPregelGhost(d.Wiki, opts(p), 10)
+			_, m, err := algorithms.PageRankPregelGhost(d.Wiki, o, 10)
 			reportP(b, m, err)
 		}
 	})
 	b.Run("scatter-channel", func(b *testing.B) {
+		o := opts(d.Wiki, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.PageRankScatter(d.Wiki, opts(p), 10)
+			_, m, err := algorithms.PageRankScatter(d.Wiki, o, 10)
 			reportC(b, m, err)
 		}
 	})
@@ -418,14 +478,16 @@ func BenchmarkAblationPropagationRounds(b *testing.B) {
 	und := graph.Undirectify(d.Wiki)
 	p := harness.GreedyPart(und)
 	b.Run("multi-round", func(b *testing.B) {
+		o := opts(und, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.WCCPropagation(und, opts(p))
+			_, m, err := algorithms.WCCPropagation(und, o)
 			reportC(b, m, err)
 		}
 	})
 	b.Run("one-round-per-step", func(b *testing.B) {
+		o := opts(und, p)
 		for i := 0; i < b.N; i++ {
-			_, m, err := algorithms.WCCBlogel(und, opts(p))
+			_, m, err := algorithms.WCCBlogel(und, o)
 			reportC(b, m, err)
 		}
 	})

@@ -1,5 +1,5 @@
 // Command graphgen generates the synthetic datasets used in the
-// reproduction and writes them as text edge lists.
+// reproduction and writes them as text edge lists or binary snapshots.
 //
 // Usage:
 //
@@ -9,14 +9,22 @@
 //	graphgen -kind tree -n 100000 -o tree.el
 //	graphgen -kind grid -rows 300 -cols 300 -maxw 1000 -o road.el
 //	graphgen -kind digraph -n 10000 -m 50000 -o random.el
+//
+// With -o ending in ".bin" a binary CSR snapshot is written instead of
+// a text edge list; -placements embeds named owner vectors so graphd
+// restarts skip re-partitioning:
+//
+//	graphgen -kind grid -rows 300 -cols 300 -o road.bin -placements hash,greedy -workers 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/graph"
+	"repro/internal/partition"
 )
 
 func main() {
@@ -30,7 +38,9 @@ func main() {
 	maxw := flag.Int("maxw", 100, "max edge weight (grid, weighted rmat)")
 	weighted := flag.Bool("w", false, "weighted edges (rmat)")
 	seed := flag.Int64("seed", 1, "random seed")
-	out := flag.String("o", "", "output file (default stdout)")
+	out := flag.String("o", "", "output file (default stdout; *.bin writes a binary snapshot)")
+	placements := flag.String("placements", "", "comma-separated placements to embed in a .bin snapshot (hash,greedy)")
+	workers := flag.Int("workers", 8, "worker count for embedded placements")
 	flag.Parse()
 
 	var g *graph.Graph
@@ -53,19 +63,42 @@ func main() {
 		os.Exit(2)
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+	if *placements != "" && !strings.HasSuffix(*out, graph.SnapshotExt) {
+		fmt.Fprintf(os.Stderr, "graphgen: -placements requires a %s output (-o)\n", graph.SnapshotExt)
+		os.Exit(2)
+	}
+	if strings.HasSuffix(*out, graph.SnapshotExt) {
+		var embedded []graph.Placement
+		if *placements != "" {
+			for _, name := range strings.Split(*placements, ",") {
+				p, err := partition.ByName(strings.TrimSpace(name), g, *workers)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+					os.Exit(2)
+				}
+				embedded = append(embedded, graph.Placement{
+					Name: strings.TrimSpace(name), Workers: *workers, Owner: p.Owners()})
+			}
+		}
+		if err := graph.WriteSnapshotFile(*out, g, embedded); err != nil {
 			fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := graph.WriteEdgeList(w, g); err != nil {
-		fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
-		os.Exit(1)
+	} else {
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := graph.WriteEdgeList(w, g); err != nil {
+			fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "graphgen: %d vertices, %d edges (avg deg %.2f, max %d)\n",
 		g.NumVertices(), g.NumEdges(), g.AvgDegree(), g.MaxDegree())

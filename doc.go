@@ -27,4 +27,23 @@
 // the steady-state exchange path performs no allocation at all.
 // tools/bench.sh snapshots the Table IV-VII benchmarks into versioned
 // BENCH_<n>.json files; see the README's Performance section.
+//
+// Worker state is shared-nothing: internal/frag builds, once per
+// (dataset, workers, placement), a per-worker CSR Fragment whose
+// adjacency entries are packed pre-resolved addresses — destination
+// worker in the high 32 bits of one word, destination local index in
+// the low 32 — so during supersteps a worker never touches the global
+// graph or the partition's Owner/LocalIndex arrays. Algorithms iterate
+// Worker.Frag().Neighbors(li) and hand the packed addresses straight to
+// the channels (Send/AddAddr/Request), replacing two dependent random
+// lookups per edge with a sequential scan; the raw address order equals
+// (worker, local) order, which is what ScatterCombine's presort radix
+// sorts on. The id-based channel APIs remain as thin resolving wrappers
+// for dynamic destinations (pointer chases, request targets). Because a
+// fragment plus its channels is the complete per-worker state, workers
+// no longer need any shared mutable structure — the stepping stone to
+// running them in separate processes. Fragments are cached by the
+// catalog per (dataset, workers, placement) view, charged to its LRU
+// byte budget, and binary snapshots (version 2) can embed named owner
+// vectors so a daemon restart skips re-partitioning.
 package repro

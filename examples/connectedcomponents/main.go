@@ -19,7 +19,10 @@ import (
 func main() {
 	// A dense undirected social graph (Twitter stand-in).
 	g := graph.SocialRMAT(11, 16, 3)
-	part := core.HashPartition(g.NumVertices(), 8)
+	part, err := core.HashPartition(g.NumVertices(), 8)
+	if err != nil {
+		panic(err)
+	}
 	opts := algorithms.Options{Part: part, MaxSupersteps: 100000}
 
 	comps, mBasic, err := algorithms.SVChannel(g, opts)

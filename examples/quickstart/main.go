@@ -18,7 +18,10 @@ func main() {
 	// A small power-law web graph (Wikipedia stand-in) on 4 simulated
 	// workers.
 	g := graph.RMAT(10, 8, 7, graph.RMATOptions{NoSelfLoops: true})
-	part := core.HashPartition(g.NumVertices(), 4)
+	part, err := core.HashPartition(g.NumVertices(), 4)
+	if err != nil {
+		panic(err)
+	}
 	const iterations = 30
 
 	pr := make([]float64, g.NumVertices())

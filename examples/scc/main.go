@@ -20,7 +20,10 @@ func main() {
 	// A directed power-law graph (Wikipedia stand-in) with many
 	// nontrivial SCCs.
 	g := graph.RMAT(11, 6, 9, graph.RMATOptions{NoSelfLoops: true})
-	part := core.HashPartition(g.NumVertices(), 8)
+	part, err := core.HashPartition(g.NumVertices(), 8)
+	if err != nil {
+		panic(err)
+	}
 	opts := algorithms.Options{Part: part, MaxSupersteps: 200000}
 
 	basic, mBasic, err := algorithms.SCCChannel(g, opts)

@@ -21,7 +21,10 @@ func main() {
 	// A weighted grid (USA-road stand-in): large diameter makes the
 	// superstep count the dominant cost for the classic algorithm.
 	g := graph.Grid(150, 150, 1000, 5)
-	part := core.HashPartition(g.NumVertices(), 8)
+	part, err := core.HashPartition(g.NumVertices(), 8)
+	if err != nil {
+		panic(err)
+	}
 	opts := algorithms.Options{Part: part, MaxSupersteps: 100000}
 	const src = 0
 

@@ -12,6 +12,7 @@ package algorithms
 
 import (
 	"repro/internal/engine"
+	"repro/internal/frag"
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/pregel"
@@ -57,8 +58,22 @@ func minI64(a, b int64) int64 {
 // Options bundles the common run parameters of all algorithm variants.
 type Options struct {
 	Part *partition.Partition
+	// Frags, if set, are the pre-resolved shared-nothing fragments of the
+	// input graph under Part (the catalog and the harness build them once
+	// per (dataset, workers, placement) and reuse them across runs).
+	// Unset, each run builds its own.
+	Frags *frag.Fragments
 	// MaxSupersteps caps the run (0 = engine default).
 	MaxSupersteps int
+}
+
+// fragments returns the pre-resolved fragments of g, building them when
+// the caller did not supply any.
+func (o Options) fragments(g *graph.Graph) *frag.Fragments {
+	if o.Frags != nil {
+		return o.Frags
+	}
+	return frag.Build(g, o.Part)
 }
 
 // ChannelMetrics is a light alias so callers do not import engine just

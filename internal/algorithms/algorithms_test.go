@@ -12,11 +12,11 @@ import (
 const testWorkers = 4
 
 func hashOpts(g *graph.Graph) Options {
-	return Options{Part: partition.Hash(g.NumVertices(), testWorkers)}
+	return Options{Part: partition.MustHash(g.NumVertices(), testWorkers)}
 }
 
 func greedyOpts(g *graph.Graph) Options {
-	return Options{Part: partition.Greedy(g, testWorkers)}
+	return Options{Part: partition.MustGreedy(g, testWorkers)}
 }
 
 // --- PageRank ---

@@ -117,7 +117,8 @@ func MSFChannel(g *graph.Graph, opts Options) (MSFResult, engine.Metrics, error)
 	part := opts.Part
 	compStates := make([][]graph.VertexID, part.NumWorkers())
 	edgeStates := make([][]graph.Edge, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
+		f := w.Frag()
 		n := w.LocalCount()
 		comp := make([]graph.VertexID, n)
 		cur := make([]graph.VertexID, n)
@@ -188,8 +189,8 @@ func MSFChannel(g *graph.Graph, opts Options) (MSFResult, engine.Metrics, error)
 			case msfBcast:
 				comp[li] = cur[li] // adopt the flattened pointer
 				m := msfBcastMsg{ID: id, Comp: comp[li]}
-				for _, v := range g.Neighbors(id) {
-					bcast.SendMessage(v, m)
+				for _, a := range f.Neighbors(li) {
+					bcast.Send(a, m)
 				}
 			case msfCand:
 				// record neighbor components, pick the minimum crossing edge

@@ -82,12 +82,14 @@ func MSFPregel(g *graph.Graph, opts Options) (MSFResult, pregel.Metrics, error) 
 	edgeStates := make([][]graph.Edge, part.NumWorkers())
 	cfg := pregel.Config[msfMMsg, struct{}, msfPAgg]{
 		Part:          part,
+		Frags:         opts.fragments(g),
 		MaxSupersteps: opts.MaxSupersteps,
 		MsgCodec:      msfMMsgCodec{},
 		AggCombine:    msfPAggSum,
 		AggCodec:      msfPAggCodec{},
 	}
 	met, err := pregel.Run(cfg, func(w *pregel.Worker[msfMMsg, struct{}, msfPAgg]) {
+		f := w.Frag()
 		n := w.LocalCount()
 		comp := make([]graph.VertexID, n)
 		cur := make([]graph.VertexID, n)
@@ -151,8 +153,8 @@ func MSFPregel(g *graph.Graph, opts Options) (MSFResult, pregel.Metrics, error) 
 			switch phase {
 			case msfPBcast:
 				comp[li] = cur[li]
-				for _, v := range g.Neighbors(id) {
-					w.Send(v, msfMMsg{Tag: msfMBcast, A: uint32(id), B: comp[li]})
+				for _, a := range f.Neighbors(li) {
+					w.SendAddr(a, msfMMsg{Tag: msfMBcast, A: uint32(id), B: comp[li]})
 				}
 			case msfPCand:
 				nc := nbrComp[li]

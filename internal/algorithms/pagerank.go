@@ -22,7 +22,8 @@ import (
 func PageRankChannel(g *graph.Graph, opts Options, iterations int) ([]float64, engine.Metrics, error) {
 	part := opts.Part
 	states := make([][]float64, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
+		f := w.Frag()
 		pr := make([]float64, w.LocalCount())
 		states[w.WorkerID()] = pr
 		msg := channel.NewCombinedMessage[float64](w, ser.Float64Codec{}, sumF64)
@@ -37,11 +38,11 @@ func PageRankChannel(g *graph.Graph, opts Options, iterations int) ([]float64, e
 				pr[li] = 0.15/n + 0.85*(sum+s)
 			}
 			if w.Superstep() <= iterations {
-				nbrs := g.Neighbors(w.GlobalID(li))
+				nbrs := f.Neighbors(li)
 				if len(nbrs) > 0 {
 					share := pr[li] / float64(len(nbrs))
-					for _, v := range nbrs {
-						msg.SendMessage(v, share)
+					for _, a := range nbrs {
+						msg.Send(a, share)
 					}
 				} else {
 					agg.Add(pr[li])
@@ -60,7 +61,8 @@ func PageRankChannel(g *graph.Graph, opts Options, iterations int) ([]float64, e
 func PageRankScatter(g *graph.Graph, opts Options, iterations int) ([]float64, engine.Metrics, error) {
 	part := opts.Part
 	states := make([][]float64, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
+		f := w.Frag()
 		pr := make([]float64, w.LocalCount())
 		states[w.WorkerID()] = pr
 		msg := channel.NewScatterCombine[float64](w, ser.Float64Codec{}, sumF64)
@@ -69,8 +71,11 @@ func PageRankScatter(g *graph.Graph, opts Options, iterations int) ([]float64, e
 		w.Compute = func(li int) {
 			if w.Superstep() == 1 {
 				pr[li] = 1.0 / n
-				for _, v := range g.Neighbors(w.GlobalID(li)) {
-					msg.AddEdge(v)
+				if li == 0 {
+					msg.Grow(f.NumEdges()) // exact-capacity registration
+				}
+				for _, a := range f.Neighbors(li) {
+					msg.AddAddr(a)
 				}
 			} else {
 				s := agg.Result() / n
@@ -78,7 +83,7 @@ func PageRankScatter(g *graph.Graph, opts Options, iterations int) ([]float64, e
 				pr[li] = 0.15/n + 0.85*(sum+s)
 			}
 			if w.Superstep() <= iterations {
-				deg := g.OutDegree(w.GlobalID(li))
+				deg := f.OutDegree(li)
 				if deg > 0 {
 					msg.SetMessage(pr[li] / float64(deg))
 				} else {
@@ -98,7 +103,8 @@ func PageRankScatter(g *graph.Graph, opts Options, iterations int) ([]float64, e
 func PageRankMirror(g *graph.Graph, opts Options, iterations int) ([]float64, engine.Metrics, error) {
 	part := opts.Part
 	states := make([][]float64, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
+		f := w.Frag()
 		pr := make([]float64, w.LocalCount())
 		states[w.WorkerID()] = pr
 		msg := channel.NewMirror[float64](w, ser.Float64Codec{}, sumF64, 16)
@@ -107,8 +113,8 @@ func PageRankMirror(g *graph.Graph, opts Options, iterations int) ([]float64, en
 		w.Compute = func(li int) {
 			if w.Superstep() == 1 {
 				pr[li] = 1.0 / n
-				for _, v := range g.Neighbors(w.GlobalID(li)) {
-					msg.AddEdge(v)
+				for _, a := range f.Neighbors(li) {
+					msg.AddAddr(a)
 				}
 			} else {
 				s := agg.Result() / n
@@ -116,7 +122,7 @@ func PageRankMirror(g *graph.Graph, opts Options, iterations int) ([]float64, en
 				pr[li] = 0.15/n + 0.85*(sum+s)
 			}
 			if w.Superstep() <= iterations {
-				deg := g.OutDegree(w.GlobalID(li))
+				deg := f.OutDegree(li)
 				if deg > 0 {
 					msg.SetMessage(pr[li] / float64(deg))
 				} else {
@@ -147,15 +153,16 @@ func pageRankPregel(g *graph.Graph, opts Options, iterations, ghostThreshold int
 	states := make([][]float64, part.NumWorkers())
 	cfg := pregel.Config[float64, struct{}, float64]{
 		Part:           part,
+		Frags:          opts.fragments(g),
 		MaxSupersteps:  opts.MaxSupersteps,
 		MsgCodec:       ser.Float64Codec{},
 		Combiner:       sumF64,
 		AggCombine:     sumF64,
 		AggCodec:       ser.Float64Codec{},
 		GhostThreshold: ghostThreshold,
-		Adjacency:      g,
 	}
 	met, err := pregel.Run(cfg, func(w *pregel.Worker[float64, struct{}, float64]) {
+		f := w.Frag()
 		pr := make([]float64, w.LocalCount())
 		states[w.WorkerID()] = pr
 		n := float64(w.NumVertices())
@@ -171,14 +178,14 @@ func pageRankPregel(g *graph.Graph, opts Options, iterations, ghostThreshold int
 				pr[li] = 0.15/n + 0.85*(sum+s)
 			}
 			if w.Superstep() <= iterations {
-				deg := g.OutDegree(w.GlobalID(li))
+				deg := f.OutDegree(li)
 				if deg > 0 {
 					share := pr[li] / float64(deg)
 					if ghostThreshold > 0 {
 						w.SendToNbrs(share)
 					} else {
-						for _, v := range g.Neighbors(w.GlobalID(li)) {
-							w.Send(v, share)
+						for _, a := range f.Neighbors(li) {
+							w.SendAddr(a, share)
 						}
 					}
 				} else {

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/frag"
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/seq"
@@ -28,7 +29,7 @@ func randomUndirected(rng *rand.Rand) *graph.Graph {
 }
 
 func randomParts(rng *rand.Rand, n int) *partition.Partition {
-	return partition.Hash(n, 1+rng.Intn(6))
+	return partition.MustHash(n, 1+rng.Intn(6))
 }
 
 func TestPropertySVEqualsUnionFind(t *testing.T) {
@@ -267,14 +268,16 @@ func TestPropertyMSFCandCombinerLaws(t *testing.T) {
 	}
 }
 
-// Equivalence sweep for the dense exchange fabric: every Table IV–VII
-// algorithm variant must match its sequential oracle on the
-// RMAT/chain/tree/grid generators, across seeds and worker counts. This
-// pins the dense (localIndex, value) staging rewrite of the channels to
-// the semantics of the original hash-map staging: the combiners are
-// commutative and associative, so the only observable difference
-// permitted is performance.
-func TestDenseFabricEquivalenceSweep(t *testing.T) {
+// Equivalence sweep for the dense exchange fabric and the
+// shared-nothing fragment layer: every Table IV–VII algorithm variant
+// must match its sequential oracle on the RMAT/chain/tree/grid
+// generators, across seeds, worker counts and placements. Every run
+// executes on pre-resolved per-worker fragments (Options.Frags), under
+// both the hash and the greedy locality placement, so the packed-address
+// send paths replaying the old Owner/LocalIndex resolution are pinned to
+// identical results; the combiners are commutative and associative, so
+// the only observable difference permitted is performance.
+func TestFragmentEquivalenceSweep(t *testing.T) {
 	type labelRun struct {
 		name string
 		run  func(*graph.Graph, Options) ([]graph.VertexID, error)
@@ -336,9 +339,26 @@ func TestDenseFabricEquivalenceSweep(t *testing.T) {
 		tree := graph.RandomTree(301, seed)
 		grid := graph.Grid(11, 13, 50, seed)
 
-		for _, workers := range []int{1, 4} {
+		for _, shape := range []struct {
+			workers   int
+			placement string
+		}{
+			{1, partition.PlacementHash},
+			{4, partition.PlacementHash},
+			{4, partition.PlacementGreedy},
+		} {
+			workers, memo := shape.workers, map[*graph.Graph]Options{}
 			opt := func(g *graph.Graph) Options {
-				return Options{Part: partition.Hash(g.NumVertices(), workers), MaxSupersteps: 100000}
+				if o, ok := memo[g]; ok {
+					return o
+				}
+				p, err := partition.ByName(shape.placement, g, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				o := Options{Part: p, Frags: frag.Build(g, p), MaxSupersteps: 100000}
+				memo[g] = o
+				return o
 			}
 
 			// connectivity on every undirected generator shape
@@ -484,7 +504,7 @@ func TestDenseFabricEquivalenceSweep(t *testing.T) {
 // loopback traffic).
 func TestSingleWorkerDegeneracy(t *testing.T) {
 	g := graph.SocialRMAT(6, 3, 13)
-	o := Options{Part: partition.Hash(g.NumVertices(), 1), MaxSupersteps: 100000}
+	o := Options{Part: partition.MustHash(g.NumVertices(), 1), MaxSupersteps: 100000}
 	want := seq.ConnectedComponents(g)
 	for _, tc := range []struct {
 		name string
@@ -505,7 +525,7 @@ func TestSingleWorkerDegeneracy(t *testing.T) {
 	}
 	dg := graph.RandomDigraph(40, 120, 3)
 	wantSCC := seq.SCC(dg)
-	oD := Options{Part: partition.Hash(dg.NumVertices(), 1), MaxSupersteps: 100000}
+	oD := Options{Part: partition.MustHash(dg.NumVertices(), 1), MaxSupersteps: 100000}
 	gotSCC, _, err := SCCPropagation(dg, oD)
 	if err != nil {
 		t.Fatal(err)
@@ -520,7 +540,7 @@ func TestSingleWorkerDegeneracy(t *testing.T) {
 // More workers than vertices: some workers are empty everywhere.
 func TestMoreWorkersThanVertices(t *testing.T) {
 	g := graph.Undirectify(graph.Chain(5))
-	o := Options{Part: partition.Hash(5, 8), MaxSupersteps: 1000}
+	o := Options{Part: partition.MustHash(5, 8), MaxSupersteps: 1000}
 	got, _, err := SVBoth(g, o)
 	if err != nil {
 		t.Fatal(err)
@@ -536,7 +556,7 @@ func TestMoreWorkersThanVertices(t *testing.T) {
 func TestEmptyGraph(t *testing.T) {
 	g := graph.FromEdges(4, nil, false)
 	g.Undirected = true
-	o := Options{Part: partition.Hash(4, 2), MaxSupersteps: 1000}
+	o := Options{Part: partition.MustHash(4, 2), MaxSupersteps: 1000}
 	got, _, err := WCCPropagation(g, o)
 	if err != nil {
 		t.Fatal(err)

@@ -62,6 +62,11 @@ type Metrics struct {
 	// and GC make it approximate, and it can be negative when a
 	// collection lands mid-run).
 	HeapAllocDelta int64 `json:"heap_alloc_delta_bytes,omitempty"`
+	// Placement names the vertex placement the job ran under and
+	// EdgeCut its fraction of cross-worker edges (filled by the job
+	// manager from the catalog view).
+	Placement string  `json:"placement,omitempty"`
+	EdgeCut   float64 `json:"edge_cut,omitempty"`
 }
 
 func metricsFromChannel(m engine.Metrics) Metrics {

@@ -10,7 +10,7 @@ import (
 )
 
 func regOpts(g *graph.Graph) Options {
-	return Options{Part: partition.Hash(g.NumVertices(), 4), MaxSupersteps: 200000}
+	return Options{Part: partition.MustHash(g.NumVertices(), 4), MaxSupersteps: 200000}
 }
 
 func TestRegistryLookupAndAliases(t *testing.T) {

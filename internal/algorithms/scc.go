@@ -3,6 +3,7 @@ package algorithms
 import (
 	"repro/internal/channel"
 	"repro/internal/engine"
+	"repro/internal/frag"
 	"repro/internal/graph"
 	"repro/internal/ser"
 )
@@ -66,7 +67,8 @@ func sumU32(a, b uint32) uint32 { return a + b }
 // variants.
 type sccState struct {
 	w        *engine.Worker
-	g, gr    *graph.Graph
+	fwd      *frag.Fragment   // this worker's fragment of the forward graph
+	bwd      *frag.Fragment   // this worker's fragment of the reverse graph
 	scc      []graph.VertexID // result: SCC id per local vertex
 	done     []bool
 	liveIn   []int32
@@ -75,8 +77,8 @@ type sccState struct {
 	pairB    []uint32
 	f        []uint32
 	b        []uint32
-	sameOut  [][]graph.VertexID // per local vertex: same-pair out-neighbors
-	sameIn   [][]graph.VertexID // per local vertex: same-pair in-neighbors
+	sameOut  [][]frag.Addr // per local vertex: same-pair out-neighbors, pre-resolved
+	sameIn   [][]frag.Addr // per local vertex: same-pair in-neighbors, pre-resolved
 	fChanged []bool
 	bChanged []bool
 
@@ -93,10 +95,10 @@ type sccState struct {
 	doneAgg *channel.Aggregator[int64]
 }
 
-func newSCCState(w *engine.Worker, g, gr *graph.Graph) *sccState {
+func newSCCState(w *engine.Worker, fwd, bwd *frag.Fragment) *sccState {
 	n := w.LocalCount()
 	s := &sccState{
-		w: w, g: g, gr: gr,
+		w: w, fwd: fwd, bwd: bwd,
 		scc:      make([]graph.VertexID, n),
 		done:     make([]bool, n),
 		liveIn:   make([]int32, n),
@@ -105,8 +107,8 @@ func newSCCState(w *engine.Worker, g, gr *graph.Graph) *sccState {
 		pairB:    make([]uint32, n),
 		f:        make([]uint32, n),
 		b:        make([]uint32, n),
-		sameOut:  make([][]graph.VertexID, n),
-		sameIn:   make([][]graph.VertexID, n),
+		sameOut:  make([][]frag.Addr, n),
+		sameIn:   make([][]frag.Addr, n),
 		fChanged: make([]bool, n),
 		bChanged: make([]bool, n),
 		phase:    sccTrim,
@@ -125,14 +127,13 @@ func newSCCState(w *engine.Worker, g, gr *graph.Graph) *sccState {
 // remove marks the current vertex done with SCC id sccID and notifies
 // its neighbors to decrement their live-degree counters.
 func (s *sccState) remove(li int, sccID graph.VertexID) {
-	id := s.w.GlobalID(li)
 	s.done[li] = true
 	s.scc[li] = sccID
-	for _, v := range s.g.Neighbors(id) {
-		s.decIn.SendMessage(v, 1)
+	for _, a := range s.fwd.Neighbors(li) {
+		s.decIn.Send(a, 1)
 	}
-	for _, v := range s.gr.Neighbors(id) {
-		s.decOut.SendMessage(v, 1)
+	for _, a := range s.bwd.Neighbors(li) {
+		s.decOut.Send(a, 1)
 	}
 	s.doneAgg.Add(1)
 	s.w.VoteToHalt()
@@ -214,20 +215,21 @@ func (s *sccState) pairStep(li int) {
 		s.w.VoteToHalt()
 		return
 	}
-	id := s.w.GlobalID(li)
-	m := sccPairMsg{ID: id, F: s.pairF[li], B: s.pairB[li]}
+	m := sccPairMsg{ID: s.w.GlobalID(li), F: s.pairF[li], B: s.pairB[li]}
 	// to out-neighbors: receivers learn an in-neighbor's pair
-	for _, v := range s.g.Neighbors(id) {
-		s.pairOut.SendMessage(v, m)
+	for _, a := range s.fwd.Neighbors(li) {
+		s.pairOut.Send(a, m)
 	}
 	// to in-neighbors: receivers learn an out-neighbor's pair
-	for _, v := range s.gr.Neighbors(id) {
-		s.pairIn.SendMessage(v, m)
+	for _, a := range s.bwd.Neighbors(li) {
+		s.pairIn.Send(a, m)
 	}
 }
 
 // collectSameLists consumes the pair messages and rebuilds the same-pair
-// neighbor lists of the current vertex.
+// neighbor lists of the current vertex, resolved once to packed
+// addresses so the per-round propagation loops send without partition
+// lookups.
 func (s *sccState) collectSameLists(li int) {
 	s.sameOut[li] = s.sameOut[li][:0]
 	s.sameIn[li] = s.sameIn[li][:0]
@@ -235,13 +237,13 @@ func (s *sccState) collectSameLists(li int) {
 	for _, m := range s.pairIn.Messages(li) {
 		// sender is an out-neighbor of this vertex
 		if m.F == pf && m.B == pb {
-			s.sameOut[li] = append(s.sameOut[li], m.ID)
+			s.sameOut[li] = append(s.sameOut[li], s.w.Addr(m.ID))
 		}
 	}
 	for _, m := range s.pairOut.Messages(li) {
 		// sender is an in-neighbor of this vertex
 		if m.F == pf && m.B == pb {
-			s.sameIn[li] = append(s.sameIn[li], m.ID)
+			s.sameIn[li] = append(s.sameIn[li], s.w.Addr(m.ID))
 		}
 	}
 }
@@ -249,20 +251,20 @@ func (s *sccState) collectSameLists(li int) {
 // SCCChannel runs Min-Label SCC with standard channels (fwd/bwd label
 // propagation one hop per superstep).
 func SCCChannel(g *graph.Graph, opts Options) ([]graph.VertexID, engine.Metrics, error) {
-	gr := g.Reverse()
 	part := opts.Part
+	fwdFrags := opts.fragments(g)
+	bwdFrags := fwdFrags.Reverse()
 	states := make([][]graph.VertexID, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
-		s := newSCCState(w, g, gr)
+	met, err := engine.Run(engine.Config{Part: part, Frags: fwdFrags, MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
+		s := newSCCState(w, w.Frag(), bwdFrags.Frag(w.WorkerID()))
 		states[w.WorkerID()] = s.scc
 		fwd := channel.NewCombinedMessage[uint32](w, ser.Uint32Codec{}, minU32)
 		bwd := channel.NewCombinedMessage[uint32](w, ser.Uint32Codec{}, minU32)
 		w.Compute = func(li int) {
 			s.evalPhase(false, nil)
 			if w.Superstep() == 1 {
-				id := w.GlobalID(li)
-				s.liveIn[li] = int32(len(gr.Neighbors(id)))
-				s.liveOut[li] = int32(len(g.Neighbors(id)))
+				s.liveIn[li] = int32(s.bwd.OutDegree(li))
+				s.liveOut[li] = int32(s.fwd.OutDegree(li))
 			}
 			if s.done[li] && s.phase != sccTrim {
 				w.VoteToHalt()
@@ -278,32 +280,32 @@ func SCCChannel(g *graph.Graph, opts Options) ([]graph.VertexID, engine.Metrics,
 				if step == s.phaseStart {
 					s.collectSameLists(li)
 					s.f[li] = uint32(w.GlobalID(li))
-					for _, v := range s.sameOut[li] {
-						fwd.SendMessage(v, s.f[li])
+					for _, a := range s.sameOut[li] {
+						fwd.Send(a, s.f[li])
 					}
 					return
 				}
 				if m, ok := fwd.Message(li); ok && m < s.f[li] {
 					s.f[li] = m
 					s.act.Add(1)
-					for _, v := range s.sameOut[li] {
-						fwd.SendMessage(v, s.f[li])
+					for _, a := range s.sameOut[li] {
+						fwd.Send(a, s.f[li])
 					}
 				}
 			case sccBwd:
 				step := w.Superstep()
 				if step == s.phaseStart {
 					s.b[li] = uint32(w.GlobalID(li))
-					for _, v := range s.sameIn[li] {
-						bwd.SendMessage(v, s.b[li])
+					for _, a := range s.sameIn[li] {
+						bwd.Send(a, s.b[li])
 					}
 					return
 				}
 				if m, ok := bwd.Message(li); ok && m < s.b[li] {
 					s.b[li] = m
 					s.act.Add(1)
-					for _, v := range s.sameIn[li] {
-						bwd.SendMessage(v, s.b[li])
+					for _, a := range s.sameIn[li] {
+						bwd.Send(a, s.b[li])
 					}
 				}
 			case sccRecog:
@@ -324,11 +326,12 @@ func SCCChannel(g *graph.Graph, opts Options) ([]graph.VertexID, engine.Metrics,
 // propagations on Propagation channels, converging each round's
 // propagation within a single superstep (Table VII program 3).
 func SCCPropagation(g *graph.Graph, opts Options) ([]graph.VertexID, engine.Metrics, error) {
-	gr := g.Reverse()
 	part := opts.Part
+	fwdFrags := opts.fragments(g)
+	bwdFrags := fwdFrags.Reverse()
 	states := make([][]graph.VertexID, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
-		s := newSCCState(w, g, gr)
+	met, err := engine.Run(engine.Config{Part: part, Frags: fwdFrags, MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
+		s := newSCCState(w, w.Frag(), bwdFrags.Frag(w.WorkerID()))
 		states[w.WorkerID()] = s.scc
 		fwd := channel.NewPropagation[uint32](w, ser.Uint32Codec{}, minU32)
 		bwd := channel.NewPropagation[uint32](w, ser.Uint32Codec{}, minU32)
@@ -341,9 +344,8 @@ func SCCPropagation(g *graph.Graph, opts Options) ([]graph.VertexID, engine.Metr
 		w.Compute = func(li int) {
 			s.evalPhase(true, onEnter)
 			if w.Superstep() == 1 {
-				id := w.GlobalID(li)
-				s.liveIn[li] = int32(len(gr.Neighbors(id)))
-				s.liveOut[li] = int32(len(g.Neighbors(id)))
+				s.liveIn[li] = int32(s.bwd.OutDegree(li))
+				s.liveOut[li] = int32(s.fwd.OutDegree(li))
 			}
 			if s.done[li] && s.phase != sccTrim {
 				w.VoteToHalt()
@@ -357,11 +359,11 @@ func SCCPropagation(g *graph.Graph, opts Options) ([]graph.VertexID, engine.Metr
 			case sccSeed:
 				s.collectSameLists(li)
 				id := uint32(w.GlobalID(li))
-				for _, v := range s.sameOut[li] {
-					fwd.AddEdge(v)
+				for _, a := range s.sameOut[li] {
+					fwd.AddAddr(a)
 				}
-				for _, v := range s.sameIn[li] {
-					bwd.AddEdge(v)
+				for _, a := range s.sameIn[li] {
+					bwd.AddAddr(a)
 				}
 				fwd.SetValue(id)
 				bwd.SetValue(id)

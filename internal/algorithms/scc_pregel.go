@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"repro/internal/frag"
 	"repro/internal/graph"
 	"repro/internal/pregel"
 	"repro/internal/ser"
@@ -62,17 +63,21 @@ func sccAggSum(a, b sccAgg) sccAgg { return sccAgg{Act: a.Act + b.Act, Done: a.D
 
 // SCCPregel runs the baseline Min-Label SCC.
 func SCCPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, error) {
-	gr := g.Reverse()
 	part := opts.Part
 	states := make([][]graph.VertexID, part.NumWorkers())
+	fwdFrags := opts.fragments(g)
+	bwdFrags := fwdFrags.Reverse()
 	cfg := pregel.Config[sccMMsg, struct{}, sccAgg]{
 		Part:          part,
+		Frags:         fwdFrags,
 		MaxSupersteps: opts.MaxSupersteps,
 		MsgCodec:      sccMMsgCodec{},
 		AggCombine:    sccAggSum,
 		AggCodec:      sccAggCodec{},
 	}
 	met, err := pregel.Run(cfg, func(w *pregel.Worker[sccMMsg, struct{}, sccAgg]) {
+		fwdF := w.Frag()
+		bwdF := bwdFrags.Frag(w.WorkerID())
 		n := w.LocalCount()
 		scc := make([]graph.VertexID, n)
 		done := make([]bool, n)
@@ -82,8 +87,8 @@ func SCCPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, 
 		pairB := make([]uint32, n)
 		f := make([]uint32, n)
 		b := make([]uint32, n)
-		sameOut := make([][]graph.VertexID, n)
-		sameIn := make([][]graph.VertexID, n)
+		sameOut := make([][]frag.Addr, n)
+		sameIn := make([][]frag.Addr, n)
 		states[w.WorkerID()] = scc
 
 		phase := sccTrim
@@ -125,14 +130,13 @@ func SCCPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, 
 		}
 
 		remove := func(li int, sccID graph.VertexID) {
-			id := w.GlobalID(li)
 			done[li] = true
 			scc[li] = sccID
-			for _, v := range g.Neighbors(id) {
-				w.Send(v, sccMMsg{Tag: sccMDecIn})
+			for _, a := range fwdF.Neighbors(li) {
+				w.SendAddr(a, sccMMsg{Tag: sccMDecIn})
 			}
-			for _, v := range gr.Neighbors(id) {
-				w.Send(v, sccMMsg{Tag: sccMDecOut})
+			for _, a := range bwdF.Neighbors(li) {
+				w.SendAddr(a, sccMMsg{Tag: sccMDecOut})
 			}
 			w.VoteToHalt()
 		}
@@ -141,9 +145,8 @@ func SCCPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, 
 			evalPhase()
 			step := w.Superstep()
 			if step == 1 {
-				id := w.GlobalID(li)
-				liveIn[li] = int32(len(gr.Neighbors(id)))
-				liveOut[li] = int32(len(g.Neighbors(id)))
+				liveIn[li] = int32(bwdF.OutDegree(li))
+				liveOut[li] = int32(fwdF.OutDegree(li))
 			}
 			if done[li] && phase != sccTrim {
 				w.VoteToHalt()
@@ -171,12 +174,12 @@ func SCCPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, 
 			case sccPair:
 				m := sccMMsg{A: uint32(id), B: pairF[li], C: pairB[li]}
 				m.Tag = sccMPairO
-				for _, v := range g.Neighbors(id) {
-					w.Send(v, m)
+				for _, a := range fwdF.Neighbors(li) {
+					w.SendAddr(a, m)
 				}
 				m.Tag = sccMPairI
-				for _, v := range gr.Neighbors(id) {
-					w.Send(v, m)
+				for _, a := range bwdF.Neighbors(li) {
+					w.SendAddr(a, m)
 				}
 			case sccFwd:
 				if step == phaseStart {
@@ -188,14 +191,14 @@ func SCCPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, 
 						}
 						switch m.Tag {
 						case sccMPairI: // sender is an out-neighbor
-							sameOut[li] = append(sameOut[li], m.A)
+							sameOut[li] = append(sameOut[li], w.Addr(m.A))
 						case sccMPairO: // sender is an in-neighbor
-							sameIn[li] = append(sameIn[li], m.A)
+							sameIn[li] = append(sameIn[li], w.Addr(m.A))
 						}
 					}
 					f[li] = uint32(id)
-					for _, v := range sameOut[li] {
-						w.Send(v, sccMMsg{Tag: sccMFwd, A: f[li]})
+					for _, a := range sameOut[li] {
+						w.SendAddr(a, sccMMsg{Tag: sccMFwd, A: f[li]})
 					}
 					return
 				}
@@ -208,15 +211,15 @@ func SCCPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, 
 				}
 				if changedF {
 					w.Aggregate(sccAgg{Act: 1})
-					for _, v := range sameOut[li] {
-						w.Send(v, sccMMsg{Tag: sccMFwd, A: f[li]})
+					for _, a := range sameOut[li] {
+						w.SendAddr(a, sccMMsg{Tag: sccMFwd, A: f[li]})
 					}
 				}
 			case sccBwd:
 				if step == phaseStart {
 					b[li] = uint32(id)
-					for _, v := range sameIn[li] {
-						w.Send(v, sccMMsg{Tag: sccMBwd, A: b[li]})
+					for _, a := range sameIn[li] {
+						w.SendAddr(a, sccMMsg{Tag: sccMBwd, A: b[li]})
 					}
 					return
 				}
@@ -229,8 +232,8 @@ func SCCPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, 
 				}
 				if changed {
 					w.Aggregate(sccAgg{Act: 1})
-					for _, v := range sameIn[li] {
-						w.Send(v, sccMMsg{Tag: sccMBwd, A: b[li]})
+					for _, a := range sameIn[li] {
+						w.SendAddr(a, sccMMsg{Tag: sccMBwd, A: b[li]})
 					}
 				}
 			case sccRecog:

@@ -23,22 +23,22 @@ import (
 func SSSPChannel(g *graph.Graph, src graph.VertexID, opts Options) ([]int64, engine.Metrics, error) {
 	part := opts.Part
 	states := make([][]int64, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
+		f := w.Frag()
 		dist := make([]int64, w.LocalCount())
 		states[w.WorkerID()] = dist
 		msg := channel.NewCombinedMessage[int64](w, ser.Int64Codec{}, minI64)
-		relax := func(li int, id graph.VertexID) {
-			ws := g.NeighborWeights(id)
-			for i, v := range g.Neighbors(id) {
-				msg.SendMessage(v, dist[li]+int64(ws[i]))
+		relax := func(li int) {
+			ws := f.NeighborWeights(li)
+			for i, a := range f.Neighbors(li) {
+				msg.Send(a, dist[li]+int64(ws[i]))
 			}
 		}
 		w.Compute = func(li int) {
-			id := w.GlobalID(li)
 			if w.Superstep() == 1 {
-				if id == src {
+				if w.GlobalID(li) == src {
 					dist[li] = 0
-					relax(li, id)
+					relax(li)
 				} else {
 					dist[li] = math.MaxInt64
 				}
@@ -47,7 +47,7 @@ func SSSPChannel(g *graph.Graph, src graph.VertexID, opts Options) ([]int64, eng
 			}
 			if m, ok := msg.Message(li); ok && m < dist[li] {
 				dist[li] = m
-				relax(li, id)
+				relax(li)
 			}
 			w.VoteToHalt()
 		}
@@ -61,19 +61,18 @@ func SSSPChannel(g *graph.Graph, src graph.VertexID, opts Options) ([]int64, eng
 func SSSPPropagation(g *graph.Graph, src graph.VertexID, opts Options) ([]int64, engine.Metrics, error) {
 	part := opts.Part
 	states := make([][]int64, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
+		f := w.Frag()
 		dist := make([]int64, w.LocalCount())
 		states[w.WorkerID()] = dist
 		prop := channel.NewWeightedPropagation[int64](w, ser.Int64Codec{}, minI64,
 			func(m int64, weight int32) int64 { return m + int64(weight) })
 		w.Compute = func(li int) {
-			id := w.GlobalID(li)
 			if w.Superstep() == 1 {
-				ws := g.NeighborWeights(id)
-				for i, v := range g.Neighbors(id) {
-					prop.AddWeightedEdge(v, ws[i])
+				if li == 0 {
+					prop.UseFragment(f) // weighted adjacency, registered once
 				}
-				if id == src {
+				if w.GlobalID(li) == src {
 					prop.SetValue(0)
 				}
 				return

@@ -16,25 +16,26 @@ func SSSPPregel(g *graph.Graph, src graph.VertexID, opts Options) ([]int64, preg
 	states := make([][]int64, part.NumWorkers())
 	cfg := pregel.Config[int64, struct{}, struct{}]{
 		Part:          part,
+		Frags:         opts.fragments(g),
 		MaxSupersteps: opts.MaxSupersteps,
 		MsgCodec:      ser.Int64Codec{},
 		Combiner:      minI64,
 	}
 	met, err := pregel.Run(cfg, func(w *pregel.Worker[int64, struct{}, struct{}]) {
+		f := w.Frag()
 		dist := make([]int64, w.LocalCount())
 		states[w.WorkerID()] = dist
-		relax := func(li int, id graph.VertexID) {
-			ws := g.NeighborWeights(id)
-			for i, v := range g.Neighbors(id) {
-				w.Send(v, dist[li]+int64(ws[i]))
+		relax := func(li int) {
+			ws := f.NeighborWeights(li)
+			for i, a := range f.Neighbors(li) {
+				w.SendAddr(a, dist[li]+int64(ws[i]))
 			}
 		}
 		w.Compute = func(li int, msgs []int64) {
-			id := w.GlobalID(li)
 			if w.Superstep() == 1 {
-				if id == src {
+				if w.GlobalID(li) == src {
 					dist[li] = 0
-					relax(li, id)
+					relax(li)
 				} else {
 					dist[li] = math.MaxInt64
 				}
@@ -49,7 +50,7 @@ func SSSPPregel(g *graph.Graph, src graph.VertexID, opts Options) ([]int64, preg
 			}
 			if best < dist[li] {
 				dist[li] = best
-				relax(li, id)
+				relax(li)
 			}
 			w.VoteToHalt()
 		}

@@ -44,7 +44,8 @@ import (
 func svChannelVariant(g *graph.Graph, opts Options, useReqResp, useScatter bool) ([]graph.VertexID, engine.Metrics, error) {
 	part := opts.Part
 	states := make([][]graph.VertexID, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
+		f := w.Frag()
 		n := w.LocalCount()
 		d := make([]graph.VertexID, n)
 		tmin := make([]graph.VertexID, n) // neighborhood minimum, buffered A->B
@@ -83,9 +84,8 @@ func svChannelVariant(g *graph.Graph, opts Options, useReqResp, useScatter bool)
 			if useScatter {
 				bcastSC.SetMessage(d[li])
 			} else {
-				id := w.GlobalID(li)
-				for _, v := range g.Neighbors(id) {
-					bcastCM.SendMessage(v, d[li])
+				for _, a := range f.Neighbors(li) {
+					bcastCM.Send(a, d[li])
 				}
 			}
 		}
@@ -102,8 +102,11 @@ func svChannelVariant(g *graph.Graph, opts Options, useReqResp, useScatter bool)
 			if step == 1 {
 				d[li] = id
 				if useScatter {
-					for _, v := range g.Neighbors(id) {
-						bcastSC.AddEdge(v)
+					if li == 0 {
+						bcastSC.Grow(f.NumEdges())
+					}
+					for _, a := range f.Neighbors(li) {
+						bcastSC.AddAddr(a)
 					}
 				}
 			}

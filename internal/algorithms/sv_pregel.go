@@ -55,12 +55,14 @@ func SVPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, e
 	states := make([][]graph.VertexID, part.NumWorkers())
 	cfg := pregel.Config[svMsg, struct{}, bool]{
 		Part:          part,
+		Frags:         opts.fragments(g),
 		MaxSupersteps: opts.MaxSupersteps,
 		MsgCodec:      svMsgCodec{},
 		AggCombine:    orBool,
 		AggCodec:      ser.BoolCodec{},
 	}
 	met, err := pregel.Run(cfg, func(w *pregel.Worker[svMsg, struct{}, bool]) {
+		f := w.Frag()
 		n := w.LocalCount()
 		d := make([]graph.VertexID, n)
 		tmin := make([]graph.VertexID, n)
@@ -79,8 +81,8 @@ func SVPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, e
 					w.RequestStop()
 					return
 				}
-				for _, v := range g.Neighbors(id) {
-					w.Send(v, svMsg{Tag: svBcast, Val: d[li]})
+				for _, a := range f.Neighbors(li) {
+					w.SendAddr(a, svMsg{Tag: svBcast, Val: d[li]})
 				}
 				w.Send(d[li], svMsg{Tag: svReq, Val: id})
 			case 1: // B': serve requests, buffer the neighborhood min
@@ -134,6 +136,7 @@ func SVPregelReqResp(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Met
 	dStates := make([][]graph.VertexID, part.NumWorkers())
 	cfg := pregel.Config[uint32, uint32, bool]{
 		Part:          part,
+		Frags:         opts.fragments(g),
 		MaxSupersteps: opts.MaxSupersteps,
 		MsgCodec:      ser.Uint32Codec{},
 		Combiner:      minU32,
@@ -145,6 +148,7 @@ func SVPregelReqResp(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Met
 		AggCodec:   ser.BoolCodec{},
 	}
 	met, err := pregel.Run(cfg, func(w *pregel.Worker[uint32, uint32, bool]) {
+		f := w.Frag()
 		n := w.LocalCount()
 		d := make([]graph.VertexID, n)
 		changed := make([]bool, n)
@@ -163,8 +167,8 @@ func SVPregelReqResp(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Met
 					w.RequestStop()
 					return
 				}
-				for _, v := range g.Neighbors(id) {
-					w.Send(v, d[li])
+				for _, a := range f.Neighbors(li) {
+					w.SendAddr(a, d[li])
 				}
 				w.Request(d[li])
 			case 1: // B

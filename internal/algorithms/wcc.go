@@ -26,23 +26,23 @@ import (
 func WCCChannel(g *graph.Graph, opts Options) ([]graph.VertexID, engine.Metrics, error) {
 	part := opts.Part
 	states := make([][]graph.VertexID, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
+		f := w.Frag()
 		label := make([]graph.VertexID, w.LocalCount())
 		states[w.WorkerID()] = label
 		msg := channel.NewCombinedMessage[uint32](w, ser.Uint32Codec{}, minU32)
 		w.Compute = func(li int) {
-			id := w.GlobalID(li)
 			changed := false
 			if w.Superstep() == 1 {
-				label[li] = id
+				label[li] = w.GlobalID(li)
 				changed = true
 			} else if m, ok := msg.Message(li); ok && m < label[li] {
 				label[li] = m
 				changed = true
 			}
 			if changed {
-				for _, v := range g.Neighbors(id) {
-					msg.SendMessage(v, label[li])
+				for _, a := range f.Neighbors(li) {
+					msg.Send(a, label[li])
 				}
 			}
 			w.VoteToHalt()
@@ -58,17 +58,17 @@ func WCCChannel(g *graph.Graph, opts Options) ([]graph.VertexID, engine.Metrics,
 func WCCPropagation(g *graph.Graph, opts Options) ([]graph.VertexID, engine.Metrics, error) {
 	part := opts.Part
 	states := make([][]graph.VertexID, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
+		f := w.Frag()
 		label := make([]graph.VertexID, w.LocalCount())
 		states[w.WorkerID()] = label
 		prop := channel.NewPropagation[uint32](w, ser.Uint32Codec{}, minU32)
 		w.Compute = func(li int) {
-			id := w.GlobalID(li)
 			if w.Superstep() == 1 {
-				for _, v := range g.Neighbors(id) {
-					prop.AddEdge(v)
+				if li == 0 {
+					prop.UseFragment(f) // whole adjacency, registered once
 				}
-				prop.SetValue(id)
+				prop.SetValue(w.GlobalID(li))
 				return
 			}
 			if v, ok := prop.Value(li); ok {
@@ -88,18 +88,18 @@ func WCCBlogel(g *graph.Graph, opts Options) ([]graph.VertexID, engine.Metrics, 
 	part := opts.Part
 	states := make([][]graph.VertexID, part.NumWorkers())
 	props := make([]*channel.Propagation[uint32], part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps}, func(w *engine.Worker) {
+		f := w.Frag()
 		label := make([]graph.VertexID, w.LocalCount())
 		states[w.WorkerID()] = label
 		prop := channel.NewBlockPropagation[uint32](w, ser.Uint32Codec{}, minU32)
 		props[w.WorkerID()] = prop
 		w.Compute = func(li int) {
-			id := w.GlobalID(li)
 			if w.Superstep() == 1 {
-				for _, v := range g.Neighbors(id) {
-					prop.AddEdge(v)
+				if li == 0 {
+					prop.UseFragment(f)
 				}
-				prop.SetValue(id)
+				prop.SetValue(w.GlobalID(li))
 			}
 			w.VoteToHalt()
 		}
@@ -123,18 +123,19 @@ func WCCPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, 
 	states := make([][]graph.VertexID, part.NumWorkers())
 	cfg := pregel.Config[uint32, struct{}, struct{}]{
 		Part:          part,
+		Frags:         opts.fragments(g),
 		MaxSupersteps: opts.MaxSupersteps,
 		MsgCodec:      ser.Uint32Codec{},
 		Combiner:      minU32,
 	}
 	met, err := pregel.Run(cfg, func(w *pregel.Worker[uint32, struct{}, struct{}]) {
+		f := w.Frag()
 		label := make([]graph.VertexID, w.LocalCount())
 		states[w.WorkerID()] = label
 		w.Compute = func(li int, msgs []uint32) {
-			id := w.GlobalID(li)
 			changed := false
 			if w.Superstep() == 1 {
-				label[li] = id
+				label[li] = w.GlobalID(li)
 				changed = true
 			} else {
 				for _, m := range msgs {
@@ -145,8 +146,8 @@ func WCCPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, 
 				}
 			}
 			if changed {
-				for _, v := range g.Neighbors(id) {
-					w.Send(v, label[li])
+				for _, a := range f.Neighbors(li) {
+					w.SendAddr(a, label[li])
 				}
 			}
 			w.VoteToHalt()

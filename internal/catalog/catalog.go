@@ -1,13 +1,23 @@
 // Package catalog is the shared graph store of the job service: named
 // dataset specs (edge-list files or generator expressions) loaded at
-// most once, cached as the immutable *graph.Graph plus its default
-// partition, and shared by every job that names the dataset.
+// most once, cached as the immutable *graph.Graph plus its derived
+// views, and shared by every job that names the dataset.
+//
+// A view is one (orientation, placement) combination of the dataset:
+// the graph, its partition, and the pre-resolved per-worker fragments
+// (internal/frag) every job runs on. Views are built lazily, exactly
+// once each (the default hash view eagerly at load time, fragments in
+// parallel), cached on the entry, and charged against the catalog's
+// byte budget — the cache is effectively keyed by (dataset, workers,
+// placement).
 //
 // Loading is singleflight — concurrent Get calls for a cold dataset
 // block on one loader goroutine — and the resident set is bounded by an
 // approximate byte budget with least-recently-used eviction. File-backed
-// specs prefer a binary snapshot ("<path>.bin", graph.WriteBinary
-// layout) over re-parsing the text edge list.
+// specs prefer a binary snapshot ("<path>.bin", graph.WriteSnapshot
+// layout) over re-parsing the text edge list; version-2 snapshots embed
+// named owner vectors, which lets a restart skip re-partitioning (the
+// greedy BFS in particular).
 package catalog
 
 import (
@@ -19,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/frag"
 	"repro/internal/graph"
 	"repro/internal/partition"
 )
@@ -34,48 +45,148 @@ type Spec struct {
 	Gen string `json:"gen,omitempty"`
 	// Undirected runs the loaded graph through graph.Undirectify.
 	Undirected bool `json:"undirected,omitempty"`
+	// Placement is the default vertex placement for jobs on this dataset
+	// ("hash" when empty, or "greedy" — the paper's "(P)" locality
+	// placement). Individual jobs may override it.
+	Placement string `json:"placement,omitempty"`
 }
 
-// Entry is a loaded dataset: the immutable graph and its hash
-// partition, plus a lazily-derived undirected form for algorithms that
-// need both edge orientations.
+// View is one (orientation, placement) combination of a dataset: the
+// graph, its partition, the pre-resolved shared-nothing fragments, and
+// the placement's directed edge-cut fraction (reported in job metrics).
+type View struct {
+	Placement string
+	Graph     *graph.Graph
+	Part      *partition.Partition
+	Frags     *frag.Fragments
+	EdgeCut   float64
+}
+
+// Entry is a loaded dataset: the immutable graph, its default hash
+// view, and lazily-derived views for the greedy placement and the
+// undirected orientation.
 type Entry struct {
 	Spec     Spec
 	Graph    *graph.Graph
-	Part     *partition.Partition
+	Part     *partition.Partition // partition of the default hash view
 	LoadedAt time.Time
 
 	cat     *Catalog
 	workers int
 	bytes   int64 // guarded by cat.mu once the entry is published
 
+	// snapParts are placements embedded in the dataset's snapshot,
+	// keyed by placement name, reused instead of re-partitioning.
+	snapParts map[string]*partition.Partition
+
 	undOnce  sync.Once
 	undGraph *graph.Graph
-	undPart  *partition.Partition
+
+	mu    sync.Mutex
+	views map[viewKey]*viewSlot
+}
+
+type viewKey struct {
+	placement  string
+	undirected bool
+}
+
+type viewSlot struct {
+	once sync.Once
+	view *View
+	err  error
 }
 
 // Bytes returns the approximate resident size of the entry, including
-// any derived undirected view.
+// all derived views and fragments.
 func (e *Entry) Bytes() int64 {
 	e.cat.mu.Lock()
 	defer e.cat.mu.Unlock()
 	return e.bytes
 }
 
-// Undirected returns a both-orientations view of the dataset: the entry
-// itself if already undirected, otherwise a derived graph computed once
-// and cached for all subsequent jobs. The derived graph's size counts
-// against the catalog byte budget.
-func (e *Entry) Undirected() (*graph.Graph, *partition.Partition) {
+// undirected returns the both-orientations graph, deriving and caching
+// it on first use (charged to the byte budget).
+func (e *Entry) undirected() *graph.Graph {
 	if e.Graph.Undirected {
-		return e.Graph, e.Part
+		return e.Graph
 	}
 	e.undOnce.Do(func() {
 		e.undGraph = graph.Undirectify(e.Graph)
-		e.undPart = partition.Hash(e.undGraph.NumVertices(), e.workers)
 		e.cat.addDerivedBytes(e, graphBytes(e.undGraph))
 	})
-	return e.undGraph, e.undPart
+	return e.undGraph
+}
+
+// View returns the dataset under the named placement ("" or "hash",
+// "greedy") and orientation, building the partition and fragments
+// exactly once per combination. Derived views are charged against the
+// catalog byte budget.
+func (e *Entry) View(placement string, undirected bool) (*View, error) {
+	if placement == "" {
+		placement = partition.PlacementHash
+	}
+	if e.Graph.Undirected {
+		undirected = false // base graph already stores both orientations
+	}
+	key := viewKey{placement: placement, undirected: undirected}
+	e.mu.Lock()
+	slot, ok := e.views[key]
+	if !ok {
+		slot = &viewSlot{}
+		e.views[key] = slot
+	}
+	e.mu.Unlock()
+	slot.once.Do(func() {
+		g := e.Graph
+		if undirected {
+			g = e.undirected()
+		}
+		v, bytes, err := e.buildView(placement, g)
+		if err != nil {
+			slot.err = err
+			return
+		}
+		slot.view = v
+		e.cat.addDerivedBytes(e, bytes)
+	})
+	return slot.view, slot.err
+}
+
+// buildView constructs one (placement, orientation) view of graph g:
+// partition (snapshot-embedded when available), fragments built in
+// parallel, edge cut. It returns the view's resident byte size for the
+// caller to charge (View charges the budget, load folds it into the
+// entry's base bytes).
+func (e *Entry) buildView(placement string, g *graph.Graph) (*View, int64, error) {
+	part := e.snapPartFor(placement, g)
+	if part == nil {
+		var err error
+		part, err = partition.ByName(placement, g, e.workers)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	fs := frag.Build(g, part)
+	fs.DeriveHook = func(b int64) { e.cat.addDerivedBytes(e, b) }
+	v := &View{
+		Placement: placement,
+		Graph:     g,
+		Part:      part,
+		Frags:     fs,
+		EdgeCut:   partition.EdgeCut(g, part),
+	}
+	return v, fs.Bytes() + partitionBytes(g), nil
+}
+
+// snapPartFor returns a snapshot-embedded partition for the placement
+// if one matches the catalog's worker count and g's vertex count.
+func (e *Entry) snapPartFor(placement string, g *graph.Graph) *partition.Partition {
+	p, ok := e.snapParts[placement]
+	if !ok || p.NumWorkers() != e.workers || p.NumVertices() != g.NumVertices() {
+		return nil
+	}
+	return p
 }
 
 // Info is the List/JSON view of a dataset.
@@ -124,7 +235,10 @@ type slot struct {
 
 // New creates a catalog partitioning graphs across workers simulated
 // nodes. maxBytes bounds the approximate resident graph bytes (0 =
-// unlimited); the most recently used entries are kept.
+// unlimited); the most recently used entries are kept. workers <= 0
+// selects the default of 8; a count beyond the partition's
+// representable range is kept as-is and surfaces as a loud per-load
+// partitioning error rather than a silently substituted topology.
 func New(workers int, maxBytes int64) *Catalog {
 	if workers <= 0 {
 		workers = 8
@@ -150,6 +264,11 @@ func (c *Catalog) Register(spec Spec) error {
 		if _, err := ParseGen(spec.Gen); err != nil {
 			return fmt.Errorf("catalog: dataset %q: %w", spec.Name, err)
 		}
+	}
+	switch spec.Placement {
+	case "", partition.PlacementHash, partition.PlacementGreedy:
+	default:
+		return fmt.Errorf("catalog: dataset %q: unknown placement %q", spec.Name, spec.Placement)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -248,18 +367,22 @@ func (c *Catalog) residentBytesLocked() int64 {
 	return total
 }
 
-// load materializes a spec outside the catalog lock.
+// load materializes a spec outside the catalog lock: read or generate
+// the graph, adopt any snapshot-embedded placements, and build the
+// default hash view (partition + fragments, fragments in parallel) so
+// the first job pays nothing.
 func (c *Catalog) load(spec Spec) (*Entry, error) {
 	var g *graph.Graph
+	var placements []graph.Placement
 	var err error
 	switch {
 	case spec.Gen != "":
 		g, err = Generate(spec.Gen)
 	case strings.HasSuffix(spec.Path, graph.SnapshotExt):
-		g, err = graph.ReadBinaryFile(spec.Path)
+		g, placements, err = graph.ReadSnapshotFile(spec.Path)
 	default:
 		if snap := spec.Path + graph.SnapshotExt; snapshotFresh(spec.Path, snap) {
-			g, err = graph.ReadBinaryFile(snap)
+			g, placements, err = graph.ReadSnapshotFile(snap)
 		} else {
 			g, err = readEdgeListFile(spec.Path)
 		}
@@ -271,15 +394,52 @@ func (c *Catalog) load(spec Spec) (*Entry, error) {
 		g = graph.Undirectify(g)
 	}
 	e := &Entry{
-		Spec:     spec,
-		Graph:    g,
-		Part:     partition.Hash(g.NumVertices(), c.workers),
-		LoadedAt: time.Now(),
-		cat:      c,
-		workers:  c.workers,
-		bytes:    graphBytes(g),
+		Spec:      spec,
+		Graph:     g,
+		LoadedAt:  time.Now(),
+		cat:       c,
+		workers:   c.workers,
+		bytes:     graphBytes(g),
+		snapParts: make(map[string]*partition.Partition),
+		views:     make(map[viewKey]*viewSlot),
 	}
+	for _, p := range placements {
+		if p.Workers != c.workers || len(p.Owner) != g.NumVertices() {
+			continue // built for another cluster shape: ignore
+		}
+		part, err := partition.FromOwners(p.Workers, p.Owner)
+		if err != nil {
+			// embedded placements are only a re-partitioning cache: a
+			// corrupt one is dropped (the view recomputes it), it must
+			// not make an otherwise valid dataset unloadable
+			continue
+		}
+		e.snapParts[p.Name] = part
+	}
+	// Eager default view: hash placement of the loaded orientation. Its
+	// bytes go into the entry's initial size (the entry is not yet
+	// published, so addDerivedBytes cannot charge it).
+	hashView, err := e.buildDefaultView()
+	if err != nil {
+		return nil, fmt.Errorf("catalog: load %q: %w", spec.Name, err)
+	}
+	e.Part = hashView.Part
 	return e, nil
+}
+
+// buildDefaultView constructs and caches the (hash, loaded orientation)
+// view during load, accounting its size in the entry's base bytes (the
+// entry is not yet published, so the LRU charge path cannot be used).
+func (e *Entry) buildDefaultView() (*View, error) {
+	v, bytes, err := e.buildView(partition.PlacementHash, e.Graph)
+	if err != nil {
+		return nil, err
+	}
+	e.bytes += bytes
+	slot := &viewSlot{view: v}
+	slot.once.Do(func() {}) // mark built
+	e.views[viewKey{placement: partition.PlacementHash, undirected: false}] = slot
+	return v, nil
 }
 
 // addDerivedBytes charges a lazily-derived view to its entry and
@@ -296,11 +456,16 @@ func (c *Catalog) addDerivedBytes(e *Entry, b int64) {
 	}
 }
 
-// graphBytes approximates the resident size of a graph plus its
-// partition (owner+local maps ~10 bytes/vertex).
+// graphBytes approximates the resident size of a graph's CSR arrays.
 func graphBytes(g *graph.Graph) int64 {
-	b := int64(len(g.Offsets))*8 + int64(len(g.Adj))*4 + int64(len(g.Weights))*4
-	return b + int64(g.NumVertices())*10
+	return int64(len(g.Offsets))*8 + int64(len(g.Adj))*4 + int64(len(g.Weights))*4
+}
+
+// partitionBytes approximates the resident size of one partition of g
+// (owner vector, local indices, per-worker vertex lists ~10 bytes per
+// vertex).
+func partitionBytes(g *graph.Graph) int64 {
+	return int64(g.NumVertices()) * 10
 }
 
 // snapshotFresh reports whether snap exists and is at least as new as

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/partition"
 )
 
 func TestRegisterValidation(t *testing.T) {
@@ -72,10 +73,14 @@ func TestGetSingleflight(t *testing.T) {
 		t.Fatalf("loaded=%d bytes=%d", st.Loaded, st.Bytes)
 	}
 
-	// derived undirected form of an already-undirected graph is itself
-	g, p := entries[0].Undirected()
-	if g != entries[0].Graph || p != entries[0].Part {
-		t.Fatal("Undirected() of undirected graph should be identity")
+	// the undirected view of an already-undirected graph is the entry's
+	// own graph under its default hash view
+	v, err := entries[0].View("", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Graph != entries[0].Graph || v.Part != entries[0].Part {
+		t.Fatal("undirected view of undirected graph should be the default view")
 	}
 }
 
@@ -89,12 +94,15 @@ func TestDerivedUndirected(t *testing.T) {
 		t.Fatal(err)
 	}
 	base := c.Stats().Bytes
-	g1, p1 := e.Undirected()
-	g2, p2 := e.Undirected()
-	if g1 != g2 || p1 != p2 {
-		t.Fatal("derived undirected form not cached")
+	v1, err := e.View("", true)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !g1.Undirected || g1 == e.Graph {
+	v2, err := e.View("", true)
+	if err != nil || v1 != v2 {
+		t.Fatal("derived undirected view not cached")
+	}
+	if !v1.Graph.Undirected || v1.Graph == e.Graph {
 		t.Fatal("derived graph should be a new undirected graph")
 	}
 	if c.Stats().Bytes <= base || e.Bytes() <= base {
@@ -265,5 +273,98 @@ func TestParseGenErrors(t *testing.T) {
 		if g.NumVertices() == 0 {
 			t.Errorf("%q: empty graph", expr)
 		}
+	}
+}
+
+// Views are built once per (placement, orientation), run on pre-built
+// fragments, and greedy views report a smaller edge cut on a grid.
+func TestPlacementViews(t *testing.T) {
+	c := New(4, 0)
+	if err := c.Register(Spec{Name: "road", Gen: "grid:rows=20,cols=20,maxw=10,seed=1"}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := c.Get("road")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the default hash view is built eagerly at load time
+	hv, err := e.View("", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hv.Part != e.Part || hv.Frags == nil || hv.Frags.Part != hv.Part {
+		t.Fatal("default view not the eagerly built hash view")
+	}
+	hv2, err := e.View(partition.PlacementHash, false)
+	if err != nil || hv2 != hv {
+		t.Fatalf("hash view not cached: %v", err)
+	}
+	base := e.Bytes()
+	gv, err := e.View(partition.PlacementGreedy, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gv2, err := e.View(partition.PlacementGreedy, false); err != nil || gv2 != gv {
+		t.Fatal("greedy view not cached")
+	}
+	if e.Bytes() <= base {
+		t.Fatal("greedy view not charged to the byte budget")
+	}
+	if gv.EdgeCut >= hv.EdgeCut {
+		t.Fatalf("greedy cut %.3f not below hash cut %.3f", gv.EdgeCut, hv.EdgeCut)
+	}
+	if _, err := e.View("metis", false); err == nil {
+		t.Fatal("unknown placement accepted")
+	}
+}
+
+// A spec-level placement and snapshot-embedded owner vectors: the
+// catalog must reuse the embedded partition instead of re-partitioning.
+func TestSnapshotEmbeddedPlacement(t *testing.T) {
+	dir := t.TempDir()
+	g := graph.Grid(10, 10, 5, 2)
+	p := partition.MustGreedy(g, 4)
+	snap := filepath.Join(dir, "road"+graph.SnapshotExt)
+	err := graph.WriteSnapshotFile(snap, g, []graph.Placement{
+		{Name: partition.PlacementGreedy, Workers: 4, Owner: p.Owners()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(4, 0)
+	if err := c.Register(Spec{Name: "road", Path: snap, Placement: partition.PlacementGreedy}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := c.Get("road")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.View(partition.PlacementGreedy, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		if v.Part.Owner(graph.VertexID(u)) != p.Owner(graph.VertexID(u)) {
+			t.Fatalf("vertex %d: embedded placement not reused", u)
+		}
+	}
+	// a catalog with a different worker count ignores the embedded vector
+	c2 := New(2, 0)
+	if err := c2.Register(Spec{Name: "road", Path: snap}); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := c2.Get("road")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Part.NumWorkers() != 2 {
+		t.Fatalf("worker count %d want 2", e2.Part.NumWorkers())
+	}
+}
+
+func TestRegisterRejectsBadPlacement(t *testing.T) {
+	c := New(4, 0)
+	if err := c.Register(Spec{Name: "x", Gen: "chain:n=10", Placement: "metis"}); err == nil {
+		t.Fatal("bad spec placement accepted")
 	}
 }

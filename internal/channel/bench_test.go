@@ -21,7 +21,7 @@ const (
 
 func benchRun(b *testing.B, setup func(w *engine.Worker)) {
 	b.Helper()
-	part := partition.Hash(microVertices, microWorkers)
+	part := partition.MustHash(microVertices, microWorkers)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

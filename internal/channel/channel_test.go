@@ -24,7 +24,7 @@ func sumF64(a, b float64) float64 { return a + b }
 // checks; the check callback receives the worker and halts everything.
 func runJob(t *testing.T, nVertices, nWorkers int, setup func(w *engine.Worker)) engine.Metrics {
 	t.Helper()
-	part := partition.Hash(nVertices, nWorkers)
+	part := partition.MustHash(nVertices, nWorkers)
 	met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: 50}, setup)
 	if err != nil {
 		t.Fatal(err)
@@ -296,7 +296,7 @@ func TestScatterCombineMessageBytesBelowDirect(t *testing.T) {
 	// per unique destination per source worker; per-edge DirectMessage
 	// sends retransmit the destination id with every edge.
 	const n = 64
-	part := partition.Hash(n, 4)
+	part := partition.MustHash(n, 4)
 	runBytes := func(scatter bool) int64 {
 		met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: 10}, func(w *engine.Worker) {
 			sc := NewScatterCombine[uint32](w, ser.Uint32Codec{}, sumU32)
@@ -369,7 +369,7 @@ func TestRequestRespondDedup(t *testing.T) {
 	// many vertices request the same destination: the wire must carry
 	// one request per (worker, destination), not one per requester
 	const n = 40
-	part := partition.Hash(n, 4)
+	part := partition.MustHash(n, 4)
 	met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: 10}, func(w *engine.Worker) {
 		val := make([]uint32, w.LocalCount())
 		rr := NewRequestRespond[uint32](w, ser.Uint32Codec{}, func(li int) uint32 { return val[li] })
@@ -510,7 +510,7 @@ func TestPropagationBlockCentricTakesMultipleSupersteps(t *testing.T) {
 	// with hash partitioning every hop crosses workers, so block-centric
 	// mode needs ~n supersteps on a path while full mode needs 1
 	const n = 10
-	part := partition.Hash(n, 2)
+	part := partition.MustHash(n, 2)
 	run := func(block bool) int {
 		met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: 100}, func(w *engine.Worker) {
 			var prop *Propagation[uint32]

@@ -2,6 +2,7 @@ package channel
 
 import (
 	"repro/internal/engine"
+	"repro/internal/frag"
 	"repro/internal/graph"
 	"repro/internal/ser"
 )
@@ -34,9 +35,16 @@ func NewCombinedMessage[M any](w *engine.Worker, codec ser.Codec[M], combine Com
 }
 
 // SendMessage sends m to vertex dst, combining with any message already
-// staged for dst on this worker.
+// staged for dst on this worker. Transitional id-based entry point:
+// per-edge loops should pass pre-resolved addresses to Send.
 func (c *CombinedMessage[M]) SendMessage(dst graph.VertexID, m M) {
-	c.out.stage(c.w.Owner(dst), uint32(c.w.LocalIndex(dst)), m, c.combine)
+	c.Send(c.w.Addr(dst), m)
+}
+
+// Send sends m to the vertex at packed address a, combining with any
+// message already staged for it on this worker.
+func (c *CombinedMessage[M]) Send(a frag.Addr, m M) {
+	c.out.stage(a.Worker(), a.Local(), m, c.combine)
 }
 
 // Message returns the combined message delivered to local vertex li in

@@ -2,6 +2,7 @@ package channel
 
 import (
 	"repro/internal/engine"
+	"repro/internal/frag"
 	"repro/internal/graph"
 	"repro/internal/ser"
 )
@@ -37,10 +38,16 @@ func NewDirectMessage[M any](w *engine.Worker, codec ser.Codec[M]) *DirectMessag
 }
 
 // SendMessage sends m to vertex dst; it is readable by dst in the next
-// superstep.
+// superstep. Transitional id-based entry point: per-edge loops should
+// iterate Frag().Neighbors and call Send with the pre-resolved address.
 func (c *DirectMessage[M]) SendMessage(dst graph.VertexID, m M) {
-	o := c.w.Owner(dst)
-	c.out[o] = append(c.out[o], outMsg[M]{dst: int32(c.w.LocalIndex(dst)), m: m})
+	c.Send(c.w.Addr(dst), m)
+}
+
+// Send sends m to the vertex at packed address a.
+func (c *DirectMessage[M]) Send(a frag.Addr, m M) {
+	o := a.Worker()
+	c.out[o] = append(c.out[o], outMsg[M]{dst: int32(a.Local()), m: m})
 }
 
 // Messages returns the messages delivered to local vertex li in the

@@ -2,6 +2,7 @@ package channel
 
 import (
 	"repro/internal/engine"
+	"repro/internal/frag"
 	"repro/internal/graph"
 	"repro/internal/ser"
 )
@@ -40,9 +41,10 @@ type Mirror[M any] struct {
 	building []scEdge
 	prepared bool
 
-	// sender side, after preparation: all edges grouped by source
+	// sender side, after preparation: all edges grouped by source; each
+	// entry carries the packed destination address, so both the staging
+	// scan and the handshake read (owner, local) without the partition
 	bySrc    []scEdge
-	byLocal  []int32 // parallel to bySrc: dst's local index on its owner
 	srcStart []int32 // len n+1
 	// hubs: local vertices with degree >= threshold
 	hubSlot []int32 // local vertex -> hub slot or -1
@@ -85,12 +87,19 @@ func NewMirror[M any](w *engine.Worker, codec ser.Codec[M], combine Combiner[M],
 }
 
 // AddEdge registers an outgoing edge of the vertex currently computing.
-// All edges must be registered in one superstep.
+// All edges must be registered in one superstep. Transitional id-based
+// entry point; AddAddr takes the pre-resolved address directly.
 func (c *Mirror[M]) AddEdge(dst graph.VertexID) {
+	c.AddAddr(c.w.Addr(dst))
+}
+
+// AddAddr registers an outgoing edge of the vertex currently computing
+// by its packed destination address.
+func (c *Mirror[M]) AddAddr(a frag.Addr) {
 	if c.prepared {
-		panic("channel: Mirror.AddEdge after preparation")
+		panic("channel: Mirror edge registration after preparation")
 	}
-	c.building = append(c.building, scEdge{owner: c.w.Owner(dst), dst: dst, src: int32(c.w.CurrentLocal())})
+	c.building = append(c.building, scEdge{addr: a, src: int32(c.w.CurrentLocal())})
 }
 
 // SetMessage sets the value the current vertex broadcasts to all its
@@ -133,10 +142,6 @@ func (c *Mirror[M]) prepare() {
 		fill[e.src]++
 	}
 	c.building = nil
-	c.byLocal = make([]int32, len(c.bySrc))
-	for i, e := range c.bySrc {
-		c.byLocal[i] = int32(c.w.LocalIndex(e.dst))
-	}
 
 	c.hubSlot = make([]int32, n)
 	c.dstHubs = make([][]int32, m)
@@ -154,9 +159,9 @@ func (c *Mirror[M]) prepare() {
 			seen[i] = false
 		}
 		for _, e := range c.bySrc[c.srcStart[li]:c.srcStart[li+1]] {
-			if !seen[e.owner] {
-				seen[e.owner] = true
-				c.dstHubs[e.owner] = append(c.dstHubs[e.owner], slot)
+			if o := e.addr.Worker(); !seen[o] {
+				seen[o] = true
+				c.dstHubs[o] = append(c.dstHubs[o], slot)
 			}
 		}
 	}
@@ -185,7 +190,8 @@ func (c *Mirror[M]) stageLowDegree(e int32) {
 			continue
 		}
 		for p := c.srcStart[li]; p < c.srcStart[li+1]; p++ {
-			c.low.stage(c.bySrc[p].owner, uint32(c.byLocal[p]), v, c.combine)
+			a := c.bySrc[p].addr
+			c.low.stage(a.Worker(), a.Local(), v, c.combine)
 		}
 	}
 }
@@ -208,14 +214,14 @@ func (c *Mirror[M]) Serialize(dst int, buf *ser.Buffer) {
 			end := c.srcStart[li+1]
 			cnt := 0
 			for p := seg; p < end; p++ {
-				if c.bySrc[p].owner == dst {
+				if c.bySrc[p].addr.Worker() == dst {
 					cnt++
 				}
 			}
 			buf.WriteUvarint(uint64(cnt))
 			for p := seg; p < end; p++ {
-				if c.bySrc[p].owner == dst {
-					buf.WriteUvarint(uint64(c.byLocal[p]))
+				if a := c.bySrc[p].addr; a.Worker() == dst {
+					buf.WriteUvarint(uint64(a.Local()))
 				}
 			}
 		}

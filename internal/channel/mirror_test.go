@@ -106,7 +106,7 @@ func TestMirrorReducesHubBytes(t *testing.T) {
 	// a hub fanning out to every vertex: mirror sends one message per
 	// worker; per-edge sends transmit one per neighbor
 	const n = 64
-	part := partition.Hash(n, 4)
+	part := partition.MustHash(n, 4)
 	run := func(threshold int) int64 {
 		met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: 20}, func(w *engine.Worker) {
 			mr := NewMirror[uint32](w, ser.Uint32Codec{}, sumU32, threshold)

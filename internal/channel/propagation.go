@@ -2,6 +2,7 @@ package channel
 
 import (
 	"repro/internal/engine"
+	"repro/internal/frag"
 	"repro/internal/graph"
 	"repro/internal/ser"
 )
@@ -30,17 +31,17 @@ type Propagation[M comparable] struct {
 	combine   Combiner[M]
 	transform func(m M, weight int32) M // nil for unweighted
 
-	// local adjacency, built from AddEdge during superstep 1:
-	// CSR over local vertices. Every destination — local or remote — is
-	// stored as its dense local index on its owning worker, so staging a
-	// remote update and applying an incoming one are both plain array
-	// indexing.
+	// local adjacency, built from AddEdge/AddAddr during superstep 1 or
+	// adopted wholesale from the worker's fragment (UseFragment): a CSR
+	// over local vertices whose entries are packed pre-resolved
+	// addresses, so staging a remote update and applying an incoming one
+	// are both plain array indexing — the global graph and partition are
+	// never consulted.
 	building []propEdge
 	prepared bool
 	offsets  []int32
-	adjLocal []int32 // local index of dst on its owner
-	adjW     []int32
-	adjOwner []uint16
+	adj      []frag.Addr // packed (owner, local) destination addresses
+	adjW     []int32     // parallel weights; nil when unweighted
 
 	val    []M
 	hasVal []bool
@@ -62,9 +63,9 @@ type Propagation[M comparable] struct {
 }
 
 type propEdge struct {
-	src int32
-	dst graph.VertexID
-	w   int32
+	addr frag.Addr // pre-resolved (owner, local) destination address
+	src  int32
+	w    int32
 }
 
 // NewPropagation creates and registers an unweighted Propagation channel.
@@ -95,15 +96,50 @@ func NewBlockPropagation[M comparable](w *engine.Worker, codec ser.Codec[M], com
 }
 
 // AddEdge registers an outgoing edge of the vertex currently computing.
+// Transitional id-based entry point; AddAddr takes the pre-resolved
+// address directly.
 func (c *Propagation[M]) AddEdge(dst graph.VertexID) { c.AddWeightedEdge(dst, 0) }
 
 // AddWeightedEdge registers an outgoing weighted edge of the vertex
 // currently computing.
 func (c *Propagation[M]) AddWeightedEdge(dst graph.VertexID, weight int32) {
+	c.AddWeightedAddr(c.w.Addr(dst), weight)
+}
+
+// AddAddr registers an outgoing edge of the vertex currently computing
+// by its packed destination address.
+func (c *Propagation[M]) AddAddr(a frag.Addr) { c.AddWeightedAddr(a, 0) }
+
+// UseFragment adopts the worker's entire pre-resolved fragment
+// adjacency as the propagation topology — the whole-graph case of WCC
+// and SSSP — skipping per-edge registration and its staging
+// allocations entirely. Call it once per worker (e.g. from the first
+// compute call of superstep 1) instead of AddAddr loops; a weighted
+// transform requires a weighted fragment.
+func (c *Propagation[M]) UseFragment(f *frag.Fragment) {
 	if c.prepared {
-		panic("channel: Propagation.AddEdge after first propagation")
+		panic("channel: Propagation.UseFragment after first propagation")
 	}
-	c.building = append(c.building, propEdge{src: int32(c.w.CurrentLocal()), dst: dst, w: weight})
+	n := f.LocalCount()
+	c.offsets = make([]int32, n+1)
+	edges := int32(0)
+	for li := 0; li < n; li++ {
+		edges += int32(f.OutDegree(li))
+		c.offsets[li+1] = edges
+	}
+	c.adj = f.Adj()         // zero-copy: packed addresses are the wire layout
+	c.adjW = f.AllWeights() // nil when unweighted
+	c.building = nil
+	c.prepared = true
+}
+
+// AddWeightedAddr registers an outgoing weighted edge of the vertex
+// currently computing by its packed destination address.
+func (c *Propagation[M]) AddWeightedAddr(a frag.Addr, weight int32) {
+	if c.prepared {
+		panic("channel: Propagation edge registration after first propagation")
+	}
+	c.building = append(c.building, propEdge{src: int32(c.w.CurrentLocal()), addr: a, w: weight})
 }
 
 // SetValue sets the current vertex's value and marks it as a propagation
@@ -149,15 +185,13 @@ func (c *Propagation[M]) prepare() {
 	}
 	cursor := make([]int32, n)
 	copy(cursor, c.offsets[:n])
-	c.adjLocal = make([]int32, len(c.building))
+	c.adj = make([]frag.Addr, len(c.building))
 	c.adjW = make([]int32, len(c.building))
-	c.adjOwner = make([]uint16, len(c.building))
 	for _, e := range c.building {
 		p := cursor[e.src]
 		cursor[e.src]++
+		c.adj[p] = e.addr
 		c.adjW[p] = e.w
-		c.adjOwner[p] = uint16(c.w.Owner(e.dst))
-		c.adjLocal[p] = int32(c.w.LocalIndex(e.dst))
 	}
 	c.building = nil
 	c.prepared = true
@@ -204,7 +238,7 @@ func (c *Propagation[M]) propagateLocal() {
 		c.head = 0
 		return
 	}
-	me := uint16(c.w.WorkerID())
+	me := c.w.WorkerID()
 	// FIFO order: the BFS-like traversal of Fig. 7. (A LIFO stack is
 	// dramatically slower here — label-correcting with a stack revisits
 	// vertices pathologically often on low-diameter graphs.)
@@ -219,14 +253,15 @@ func (c *Propagation[M]) propagateLocal() {
 		c.queued[li] = false
 		v := c.val[li]
 		for p := c.offsets[li]; p < c.offsets[li+1]; p++ {
+			a := c.adj[p]
 			m := v
 			if c.transform != nil {
 				m = c.transform(v, c.adjW[p])
 			}
-			if c.adjOwner[p] == me {
-				c.apply(c.adjLocal[p], m)
+			if a.Worker() == me {
+				c.apply(int32(a.Local()), m)
 			} else {
-				c.remote.stage(int(c.adjOwner[p]), uint32(c.adjLocal[p]), m, c.combine)
+				c.remote.stage(a.Worker(), a.Local(), m, c.combine)
 			}
 		}
 	}
@@ -282,9 +317,8 @@ func (c *Propagation[M]) Reset() {
 	c.building = c.building[:0]
 	c.prepared = false
 	c.offsets = nil
-	c.adjLocal = nil
+	c.adj = nil
 	c.adjW = nil
-	c.adjOwner = nil
 	for i := range c.hasVal {
 		c.hasVal[i] = false
 		c.queued[i] = false

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/engine"
+	"repro/internal/frag"
 	"repro/internal/graph"
 	"repro/internal/ser"
 )
@@ -32,10 +33,13 @@ type RequestRespond[R any] struct {
 	// requester side. staging receives AddRequest calls during compute;
 	// AfterCompute dedups it into pending, which stays alive through the
 	// next superstep's compute so Respond can match values to requests.
-	reqOf     stamped[graph.VertexID] // per local vertex: the dst it asked for
-	staging   [][]graph.VertexID      // per owner worker: raw requests this superstep
-	pending   [][]graph.VertexID      // per owner worker: sorted unique requests sent
-	resp      [][]R                   // per owner worker: values aligned with pending
+	// Requests are held as packed addresses: dedup order, the wire
+	// encoding (the responder-side local index) and the response lookup
+	// all come straight off the address.
+	reqOf     stamped[frag.Addr] // per local vertex: the addr it asked for
+	staging   [][]frag.Addr      // per owner worker: raw requests this superstep
+	pending   [][]frag.Addr      // per owner worker: sorted unique requests sent
+	resp      [][]R              // per owner worker: values aligned with pending
 	gotResp   []bool
 	respEpoch int32 // superstep whose responses are stored
 
@@ -64,39 +68,49 @@ func NewRequestRespond[R any](w *engine.Worker, codec ser.Codec[R], respond func
 // most one destination per superstep (as in the paper's API, where the
 // respond value is keyed by the requester).
 func (c *RequestRespond[R]) AddRequest(dst graph.VertexID) {
+	c.Request(c.w.Addr(dst))
+}
+
+// Request is AddRequest by packed address, for callers that already
+// hold the destination pre-resolved.
+func (c *RequestRespond[R]) Request(a frag.Addr) {
 	li := c.w.CurrentLocal()
-	c.reqOf.set(li, dst, int32(c.w.Superstep()))
-	o := c.w.Owner(dst)
-	c.staging[o] = append(c.staging[o], dst)
+	c.reqOf.set(li, a, int32(c.w.Superstep()))
+	c.staging[a.Worker()] = append(c.staging[a.Worker()], a)
 }
 
 // Respond returns the value for the destination the current vertex
 // requested in the previous superstep.
 func (c *RequestRespond[R]) Respond() (R, bool) {
 	li := c.w.CurrentLocal()
-	dst, ok := c.reqOf.get(li, int32(c.w.Superstep()-1))
+	a, ok := c.reqOf.get(li, int32(c.w.Superstep()-1))
 	if !ok {
 		var zero R
 		return zero, false
 	}
-	return c.RespondFor(dst)
+	return c.RespondAt(a)
 }
 
 // RespondFor returns the response value for an explicitly named
 // destination requested in the previous superstep by any vertex of this
 // worker. It lets several vertices share one deduplicated request.
 func (c *RequestRespond[R]) RespondFor(dst graph.VertexID) (R, bool) {
+	return c.RespondAt(c.w.Addr(dst))
+}
+
+// RespondAt is RespondFor by packed address.
+func (c *RequestRespond[R]) RespondAt(a frag.Addr) (R, bool) {
 	var zero R
 	if c.respEpoch != int32(c.w.Superstep()-1) {
 		return zero, false
 	}
-	o := c.w.Owner(dst)
+	o := a.Worker()
 	lst := c.pending[o]
 	if !c.gotResp[o] {
 		return zero, false
 	}
-	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= dst })
-	if i >= len(lst) || lst[i] != dst {
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= a })
+	if i >= len(lst) || lst[i] != a {
 		return zero, false
 	}
 	return c.resp[o][i], true
@@ -105,9 +119,9 @@ func (c *RequestRespond[R]) RespondFor(dst graph.VertexID) (R, bool) {
 // Initialize implements engine.Channel.
 func (c *RequestRespond[R]) Initialize() {
 	m := c.w.NumWorkers()
-	c.reqOf = newStamped[graph.VertexID](c.w.LocalCount())
-	c.staging = make([][]graph.VertexID, m)
-	c.pending = make([][]graph.VertexID, m)
+	c.reqOf = newStamped[frag.Addr](c.w.LocalCount())
+	c.staging = make([][]frag.Addr, m)
+	c.pending = make([][]frag.Addr, m)
 	c.resp = make([][]R, m)
 	c.gotResp = make([]bool, m)
 	c.asked = make([][]int32, m)
@@ -150,14 +164,14 @@ func (c *RequestRespond[R]) Serialize(dst int, buf *ser.Buffer) {
 	switch c.round {
 	case 0:
 		// request phase: send the deduplicated list as local indices on
-		// the responder
+		// the responder, read straight off the packed addresses
 		lst := c.pending[dst]
 		if len(lst) == 0 {
 			return
 		}
 		buf.WriteUvarint(uint64(len(lst)))
-		for _, id := range lst {
-			buf.WriteUvarint(uint64(c.w.LocalIndex(id)))
+		for _, a := range lst {
+			buf.WriteUvarint(uint64(a.Local()))
 		}
 	case 1:
 		// respond phase: bare values, in the order of the request list

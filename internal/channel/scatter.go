@@ -2,6 +2,7 @@ package channel
 
 import (
 	"repro/internal/engine"
+	"repro/internal/frag"
 	"repro/internal/graph"
 	"repro/internal/ser"
 )
@@ -20,11 +21,12 @@ type ScatterCombine[M any] struct {
 	codec   ser.Codec[M]
 	combine Combiner[M]
 
-	// edge registration (superstep 1): (src local index, dst id)
+	// edge registration (superstep 1): (src local index, packed dst addr)
 	edges    []scEdge
 	prepared bool
-	// after preparation: edges sorted by (owner(dst), dst, src); seg[d]
-	// is the subrange destined to worker d.
+	// after preparation: edges sorted by packed address, i.e. by
+	// (dst worker, dst local index); seg[d] is the subrange destined to
+	// worker d.
 	segStart []int
 	segEnd   []int
 
@@ -39,9 +41,8 @@ type ScatterCombine[M any] struct {
 }
 
 type scEdge struct {
-	owner int
-	dst   graph.VertexID
-	src   int32 // local index of the source vertex
+	addr frag.Addr // pre-resolved (owner, local) destination address
+	src  int32     // local index of the source vertex
 }
 
 // NewScatterCombine creates and registers a ScatterCombine channel.
@@ -54,11 +55,31 @@ func NewScatterCombine[M any](w *engine.Worker, codec ser.Codec[M], combine Comb
 // AddEdge registers an outgoing edge of the vertex currently computing
 // (paper: add_edge(dst)). All edges must be added before the first
 // superstep in which SetMessage is called; adding later panics.
+// Transitional id-based entry point; AddAddr takes the pre-resolved
+// address directly.
 func (c *ScatterCombine[M]) AddEdge(dst graph.VertexID) {
+	c.AddAddr(c.w.Addr(dst))
+}
+
+// AddAddr registers an outgoing edge of the vertex currently computing
+// by its packed destination address (typically straight out of
+// Frag().Neighbors).
+func (c *ScatterCombine[M]) AddAddr(a frag.Addr) {
 	if c.prepared {
-		panic("channel: ScatterCombine.AddEdge after first send")
+		panic("channel: ScatterCombine edge registration after first send")
 	}
-	c.edges = append(c.edges, scEdge{owner: c.w.Owner(dst), dst: dst, src: int32(c.w.CurrentLocal())})
+	c.edges = append(c.edges, scEdge{addr: a, src: int32(c.w.CurrentLocal())})
+}
+
+// Grow pre-allocates registration capacity for n more edges (e.g.
+// Frag().NumEdges() once per worker before the AddAddr loops), avoiding
+// append growth during registration.
+func (c *ScatterCombine[M]) Grow(n int) {
+	if free := cap(c.edges) - len(c.edges); free < n {
+		grown := make([]scEdge, len(c.edges), len(c.edges)+n)
+		copy(grown, c.edges)
+		c.edges = grown
+	}
 }
 
 // SetMessage sets the value the current vertex scatters to all its
@@ -81,11 +102,12 @@ func (c *ScatterCombine[M]) Initialize() {
 	c.in = newStamped[M](c.w.LocalCount())
 }
 
-// prepare sorts the registered edges by (destination worker,
-// destination) and records the per-worker segments — the
-// pre-calculation of Fig. 5. The sort is a 3-pass LSD radix (two
-// 16-bit digits of dst, then owner), which is what keeps the one-time
-// preprocessing cheap relative to a comparison sort.
+// prepare sorts the registered edges by packed address — which is
+// exactly (destination worker, destination local index) order — and
+// records the per-worker segments: the pre-calculation of Fig. 5. The
+// sort is a 3-pass LSD radix over the 48 significant address bits,
+// which is what keeps the one-time preprocessing cheap relative to a
+// comparison sort.
 func (c *ScatterCombine[M]) prepare() {
 	radixSortEdges(c.edges)
 	m := c.w.NumWorkers()
@@ -94,7 +116,7 @@ func (c *ScatterCombine[M]) prepare() {
 	i := 0
 	for d := 0; d < m; d++ {
 		c.segStart[d] = i
-		for i < len(c.edges) && c.edges[i].owner == d {
+		for i < len(c.edges) && c.edges[i].addr.Worker() == d {
 			i++
 		}
 		c.segEnd[d] = i
@@ -102,37 +124,58 @@ func (c *ScatterCombine[M]) prepare() {
 	c.prepared = true
 }
 
-// radixSortEdges sorts edges by (owner, dst) with a stable LSD radix
-// sort: low 16 bits of dst, high 16 bits of dst, then owner.
+// radixSortEdges sorts edges by raw packed address with a stable LSD
+// radix sort over 16-bit digits (local low, local high, worker). Each
+// pass's bucket array is sized by the digit values actually present:
+// local indices are dense per worker, so the high local digit vanishes
+// below 65536 locals and the worker digit needs only maxWorker+1
+// buckets — the common case pays two small passes, not three 65536-way
+// ones.
 func radixSortEdges(edges []scEdge) {
 	if len(edges) < 2 {
 		return
 	}
+	var maxLocal uint32
+	maxWorker := 0
+	for _, e := range edges {
+		if l := e.addr.Local(); l > maxLocal {
+			maxLocal = l
+		}
+		if w := e.addr.Worker(); w > maxWorker {
+			maxWorker = w
+		}
+	}
 	buf := make([]scEdge, len(edges))
-	pass := func(src, dst []scEdge, key func(e scEdge) int, buckets int) {
+	src, dst := edges, buf
+	pass := func(shift uint, buckets int) {
 		count := make([]int, buckets+1)
 		for _, e := range src {
-			count[key(e)+1]++
+			count[((e.addr>>shift)&0xFFFF)+1]++
 		}
 		for i := 1; i <= buckets; i++ {
 			count[i] += count[i-1]
 		}
 		for _, e := range src {
-			k := key(e)
+			k := (e.addr >> shift) & 0xFFFF
 			dst[count[k]] = e
 			count[k]++
 		}
+		src, dst = dst, src
 	}
-	pass(edges, buf, func(e scEdge) int { return int(e.dst & 0xFFFF) }, 1<<16)
-	pass(buf, edges, func(e scEdge) int { return int(e.dst >> 16) }, 1<<16)
-	maxOwner := 0
-	for _, e := range edges {
-		if e.owner > maxOwner {
-			maxOwner = e.owner
-		}
+	low := int(maxLocal)
+	if low > 0xFFFF {
+		low = 0xFFFF
 	}
-	pass(edges, buf, func(e scEdge) int { return e.owner }, maxOwner+1)
-	copy(edges, buf)
+	pass(0, low+1)
+	if maxLocal >= 1<<16 {
+		pass(16, int(maxLocal>>16)+1)
+	}
+	if maxWorker > 0 {
+		pass(32, maxWorker+1)
+	}
+	if &src[0] != &edges[0] {
+		copy(edges, src)
+	}
 }
 
 // AfterCompute implements engine.Channel.
@@ -143,7 +186,9 @@ func (c *ScatterCombine[M]) AfterCompute() {
 }
 
 // Serialize implements engine.Channel: one linear scan of the sorted
-// segment for dst, combining runs of equal destination on the fly.
+// segment for dst, combining runs of equal destination on the fly. The
+// wire local index is read straight off the packed address — no
+// partition lookup anywhere in the scan.
 func (c *ScatterCombine[M]) Serialize(dst int, buf *ser.Buffer) {
 	e := int32(c.w.Superstep())
 	if !c.prepared || c.setEpoch != e {
@@ -153,10 +198,10 @@ func (c *ScatterCombine[M]) Serialize(dst int, buf *ser.Buffer) {
 	countPos := -1
 	count := uint32(0)
 	for i < end {
-		d := c.edges[i].dst
+		d := c.edges[i].addr
 		var acc M
 		have := false
-		for ; i < end && c.edges[i].dst == d; i++ {
+		for ; i < end && c.edges[i].addr == d; i++ {
 			v, ok := c.srcVal.get(int(c.edges[i].src), e)
 			if !ok {
 				continue
@@ -174,7 +219,7 @@ func (c *ScatterCombine[M]) Serialize(dst int, buf *ser.Buffer) {
 			countPos = buf.Len()
 			buf.WriteUint32(0) // patched below
 		}
-		buf.WriteUvarint(uint64(c.w.LocalIndex(d)))
+		buf.WriteUvarint(uint64(d.Local()))
 		c.codec.Encode(buf, acc)
 		count++
 	}

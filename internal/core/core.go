@@ -27,6 +27,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/comm"
 	"repro/internal/engine"
+	"repro/internal/frag"
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/ser"
@@ -62,15 +63,23 @@ func Run(cfg Config, setup func(w *Worker)) (Metrics, error) {
 	return engine.Run(cfg, setup)
 }
 
-// HashPartition places vertex v on worker v mod numWorkers.
-func HashPartition(numVertices, numWorkers int) *partition.Partition {
+// HashPartition places vertex v on worker v mod numWorkers. It errors
+// when numWorkers is outside 1..65535 (the uint16 owner representation).
+func HashPartition(numVertices, numWorkers int) (*partition.Partition, error) {
 	return partition.Hash(numVertices, numWorkers)
 }
 
 // GreedyPartition grows locality-preserving regions by BFS (the METIS
-// stand-in used for the paper's partitioned datasets).
-func GreedyPartition(g *graph.Graph, numWorkers int) *partition.Partition {
+// stand-in used for the paper's partitioned datasets). It errors when
+// numWorkers is outside 1..65534.
+func GreedyPartition(g *graph.Graph, numWorkers int) (*partition.Partition, error) {
 	return partition.Greedy(g, numWorkers)
+}
+
+// BuildFragments pre-resolves per-worker shared-nothing fragments of g
+// under p; pass them via Config.Frags and iterate Worker.Frag().
+func BuildFragments(g *graph.Graph, p *partition.Partition) *frag.Fragments {
+	return frag.Build(g, p)
 }
 
 // NewDirectMessage creates a point-to-point message channel.

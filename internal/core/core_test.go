@@ -13,7 +13,10 @@ import (
 
 func TestFacadePageRank(t *testing.T) {
 	g := graph.RMAT(7, 4, 3, graph.RMATOptions{NoSelfLoops: true})
-	part := HashPartition(g.NumVertices(), 3)
+	part, err := HashPartition(g.NumVertices(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	const iters = 5
 	sum := func(a, b float64) float64 { return a + b }
 
@@ -64,14 +67,17 @@ func TestFacadePageRank(t *testing.T) {
 
 func TestFacadeAllChannelConstructors(t *testing.T) {
 	g := graph.Undirectify(graph.Chain(10))
-	part := GreedyPartition(g, 2)
+	part, err := GreedyPartition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	min := func(a, b uint32) uint32 {
 		if a < b {
 			return a
 		}
 		return b
 	}
-	_, err := Run(Config{Part: part}, func(w *Worker) {
+	_, err = Run(Config{Part: part}, func(w *Worker) {
 		vals := make([]uint32, w.LocalCount())
 		dm := NewDirectMessage[uint32](w, ser.Uint32Codec{})
 		cm := NewCombinedMessage[uint32](w, ser.Uint32Codec{}, min)

@@ -42,7 +42,7 @@ func (c *exchangeChannel) Again() bool { return false }
 // only allocations are one-time setup, amortized over b.N supersteps,
 // so allocs/op reported here must stay ~0.
 func BenchmarkSteadyStateExchange(b *testing.B) {
-	part := partition.Hash(1024, 4)
+	part := partition.MustHash(1024, 4)
 	b.ReportAllocs()
 	b.ResetTimer()
 	_, err := Run(Config{Part: part, MaxSupersteps: b.N + 1}, func(w *Worker) {

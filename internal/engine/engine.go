@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/barrier"
 	"repro/internal/comm"
+	"repro/internal/frag"
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/ser"
@@ -49,7 +50,12 @@ type Channel interface {
 // Config configures a Job.
 type Config struct {
 	Part *partition.Partition
-	Cost comm.CostModel
+	// Frags, if set, gives every worker a shared-nothing pre-resolved
+	// fragment (exposed as Worker.Frag) so neighbor iteration and channel
+	// sends never consult the global graph or partition. When Part is nil
+	// it is taken from Frags.
+	Frags *frag.Fragments
+	Cost  comm.CostModel
 	// MaxSupersteps aborts runaway jobs; 0 means 10_000.
 	MaxSupersteps int
 	// MaxRoundsPerStep aborts a superstep whose channels never stop
@@ -77,6 +83,7 @@ func (m Metrics) SimTime() time.Duration { return m.WallTime + m.Comm.SimNetTime
 type Worker struct {
 	id   int
 	part *partition.Partition
+	frag *frag.Fragment
 	job  *job
 
 	channels []Channel
@@ -108,11 +115,23 @@ func (w *Worker) LocalCount() int { return w.part.LocalCount(w.id) }
 // GlobalID returns the vertex id at local index li.
 func (w *Worker) GlobalID(li int) graph.VertexID { return w.part.GlobalID(w.id, li) }
 
-// Owner returns the worker owning vertex v.
+// Owner returns the worker owning vertex v. Transitional accessor: hot
+// superstep loops should iterate Frag().Neighbors and pass packed
+// addresses instead.
 func (w *Worker) Owner(v graph.VertexID) int { return w.part.Owner(v) }
 
-// LocalIndex returns v's local index on its owner.
+// LocalIndex returns v's local index on its owner. Transitional
+// accessor: hot superstep loops should consume packed addresses.
 func (w *Worker) LocalIndex(v graph.VertexID) int { return w.part.LocalIndex(v) }
+
+// Addr returns v's packed pre-resolved address. Use it to resolve
+// occasional dynamic destinations (e.g. a pointer fetched from a
+// message); static adjacency comes pre-resolved from Frag().
+func (w *Worker) Addr(v graph.VertexID) frag.Addr { return frag.Of(w.part, v) }
+
+// Frag returns this worker's shared-nothing fragment, or nil when the
+// job was configured without fragments (Config.Frags).
+func (w *Worker) Frag() *frag.Fragment { return w.frag }
 
 // Part returns the partition.
 func (w *Worker) Part() *partition.Partition { return w.part }
@@ -185,8 +204,16 @@ func (w *Worker) RequestStop() { w.job.halt[w.id] = true }
 // active on any worker, when a worker calls RequestStop, or when
 // MaxSupersteps is hit (which is reported as an error).
 func Run(cfg Config, setup func(w *Worker)) (Metrics, error) {
+	if cfg.Part == nil && cfg.Frags != nil {
+		cfg.Part = cfg.Frags.Part
+	}
 	if cfg.Part == nil {
-		return Metrics{}, fmt.Errorf("engine: Config.Part is required")
+		return Metrics{}, fmt.Errorf("engine: Config.Part or Config.Frags is required")
+	}
+	if cfg.Frags != nil && cfg.Frags.Part != cfg.Part {
+		// packed addresses resolved under a different partition would
+		// silently deliver messages to the wrong vertices
+		return Metrics{}, fmt.Errorf("engine: Config.Frags was built from a different partition than Config.Part")
 	}
 	maxSteps := cfg.MaxSupersteps
 	if maxSteps == 0 {
@@ -204,6 +231,9 @@ func Run(cfg Config, setup func(w *Worker)) (Metrics, error) {
 	workers := make([]*Worker, m)
 	for i := 0; i < m; i++ {
 		workers[i] = &Worker{id: i, part: cfg.Part, job: j, current: -1}
+		if cfg.Frags != nil {
+			workers[i].frag = cfg.Frags.Frag(i)
+		}
 	}
 
 	start := time.Now()

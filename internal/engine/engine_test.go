@@ -82,7 +82,7 @@ func (c *ringChannel) Again() bool { return false }
 
 func TestEngineTokenRing(t *testing.T) {
 	const n = 12
-	part := partition.Hash(n, 3)
+	part := partition.MustHash(n, 3)
 	finals := make([][]uint32, 3)
 	met, err := Run(Config{Part: part}, func(w *Worker) {
 		vals := make([]uint32, w.LocalCount())
@@ -126,7 +126,7 @@ func TestEngineTokenRing(t *testing.T) {
 }
 
 func TestEngineImmediateHalt(t *testing.T) {
-	part := partition.Hash(10, 2)
+	part := partition.MustHash(10, 2)
 	met, err := Run(Config{Part: part}, func(w *Worker) {
 		newRingChannel(w)
 		w.Compute = func(li int) { w.VoteToHalt() }
@@ -140,7 +140,7 @@ func TestEngineImmediateHalt(t *testing.T) {
 }
 
 func TestEngineRequestStop(t *testing.T) {
-	part := partition.Hash(10, 2)
+	part := partition.MustHash(10, 2)
 	met, err := Run(Config{Part: part}, func(w *Worker) {
 		newRingChannel(w)
 		w.Compute = func(li int) {
@@ -159,7 +159,7 @@ func TestEngineRequestStop(t *testing.T) {
 }
 
 func TestEngineMaxSupersteps(t *testing.T) {
-	part := partition.Hash(4, 2)
+	part := partition.MustHash(4, 2)
 	_, err := Run(Config{Part: part, MaxSupersteps: 5}, func(w *Worker) {
 		newRingChannel(w)
 		w.Compute = func(li int) { /* never halts */ }
@@ -170,7 +170,7 @@ func TestEngineMaxSupersteps(t *testing.T) {
 }
 
 func TestEngineMissingCompute(t *testing.T) {
-	part := partition.Hash(4, 1)
+	part := partition.MustHash(4, 1)
 	_, err := Run(Config{Part: part}, func(w *Worker) {})
 	if err == nil || !strings.Contains(err.Error(), "Compute") {
 		t.Fatalf("expected setup error, got %v", err)
@@ -187,7 +187,7 @@ func TestEngineMissingPart(t *testing.T) {
 func TestEngineEmptyWorker(t *testing.T) {
 	// 3 workers, 2 vertices: one worker owns nothing and must still
 	// participate in every barrier.
-	part := partition.Hash(2, 3)
+	part := partition.MustHash(2, 3)
 	met, err := Run(Config{Part: part}, func(w *Worker) {
 		ch := newRingChannel(w)
 		w.Compute = func(li int) {
@@ -206,7 +206,7 @@ func TestEngineEmptyWorker(t *testing.T) {
 }
 
 func TestEngineSingleWorker(t *testing.T) {
-	part := partition.Hash(5, 1)
+	part := partition.MustHash(5, 1)
 	got := 0
 	met, err := Run(Config{Part: part}, func(w *Worker) {
 		ch := newRingChannel(w)
@@ -234,7 +234,7 @@ func TestEngineSingleWorker(t *testing.T) {
 
 func TestEngineVoteWakeSemantics(t *testing.T) {
 	// vertex 1 halts at superstep 1 but is woken by a message at 2
-	part := partition.Hash(2, 2)
+	part := partition.MustHash(2, 2)
 	woke := false
 	_, err := Run(Config{Part: part}, func(w *Worker) {
 		ch := newRingChannel(w)
@@ -264,7 +264,7 @@ func TestEngineVoteWakeSemantics(t *testing.T) {
 }
 
 func TestEngineNullChannelsOnly(t *testing.T) {
-	part := partition.Hash(6, 2)
+	part := partition.MustHash(6, 2)
 	met, err := Run(Config{Part: part}, func(w *Worker) {
 		w.Register(nullChannel{})
 		w.Register(nullChannel{})

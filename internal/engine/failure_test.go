@@ -21,7 +21,7 @@ func (stuckChannel) Deserialize(src int, b *ser.Buffer) {}
 func (stuckChannel) Again() bool                        { return true }
 
 func TestEngineStuckChannelAborts(t *testing.T) {
-	part := partition.Hash(4, 2)
+	part := partition.MustHash(4, 2)
 	_, err := Run(Config{Part: part, MaxRoundsPerStep: 50}, func(w *Worker) {
 		w.Register(stuckChannel{})
 		w.Compute = func(li int) { w.VoteToHalt() }
@@ -36,7 +36,7 @@ func TestEngineStuckChannelAborts(t *testing.T) {
 // instead of deadlocking, and Run must surface the root cause (not the
 // peers' abort echoes).
 func TestEngineAsymmetricSetupFailureAborts(t *testing.T) {
-	part := partition.Hash(4, 2)
+	part := partition.MustHash(4, 2)
 	met, err := Run(Config{Part: part}, func(w *Worker) {
 		w.Register(nullChannel{})
 		if w.WorkerID() != 1 {
@@ -57,7 +57,7 @@ func TestEngineAsymmetricSetupFailureAborts(t *testing.T) {
 // Symmetric failure: every worker hits the superstep cap. The joined
 // error must surface the cause once, not once per worker.
 func TestEngineSymmetricErrorDedup(t *testing.T) {
-	part := partition.Hash(4, 2)
+	part := partition.MustHash(4, 2)
 	_, err := Run(Config{Part: part, MaxSupersteps: 3}, func(w *Worker) {
 		w.Register(nullChannel{})
 		w.Compute = func(li int) {} // stay active forever
@@ -94,7 +94,7 @@ func (c *chattyChannel) Deserialize(src int, b *ser.Buffer) {
 func (c *chattyChannel) Again() bool { return false }
 
 func TestEngineFrameDispatchWithSilentSibling(t *testing.T) {
-	part := partition.Hash(4, 2)
+	part := partition.MustHash(4, 2)
 	seen := make([]int, 2)
 	_, err := Run(Config{Part: part}, func(w *Worker) {
 		w.Register(nullChannel{}) // writes nothing, gets no frames
@@ -145,7 +145,7 @@ func (c *deactivatingChannel) Deserialize(src int, b *ser.Buffer) {
 func (c *deactivatingChannel) Again() bool { return false }
 
 func TestEngineActivationCountsStayConsistent(t *testing.T) {
-	part := partition.Hash(6, 3)
+	part := partition.MustHash(6, 3)
 	met, err := Run(Config{Part: part}, func(w *Worker) {
 		c := &deactivatingChannel{w: w}
 		w.Register(c)
@@ -162,7 +162,7 @@ func TestEngineActivationCountsStayConsistent(t *testing.T) {
 }
 
 func TestEngineIsActiveLocal(t *testing.T) {
-	part := partition.Hash(2, 1)
+	part := partition.MustHash(2, 1)
 	_, err := Run(Config{Part: part}, func(w *Worker) {
 		w.Register(nullChannel{})
 		w.Compute = func(li int) {

@@ -1,0 +1,194 @@
+package frag
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// testGraphs returns the generator shapes of the equivalence sweep:
+// RMAT, chain, tree, grid.
+func testGraphs() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"rmat":  graph.RMAT(8, 5, 42, graph.RMATOptions{NoSelfLoops: true}),
+		"chain": graph.Chain(501),
+		"tree":  graph.RandomTree(300, 7),
+		"grid":  graph.Grid(13, 17, 50, 9),
+	}
+}
+
+func testPartitions(t *testing.T, g *graph.Graph, workers int) map[string]*partition.Partition {
+	t.Helper()
+	hash, err := partition.Hash(g.NumVertices(), workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := partition.Greedy(g, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*partition.Partition{"hash": hash, "greedy": greedy}
+}
+
+func TestAddrPackRoundTrip(t *testing.T) {
+	cases := []struct {
+		worker int
+		local  uint32
+	}{
+		{0, 0}, {1, 1}, {7, 123456}, {65534, 0xFFFFFFFF}, {255, 1 << 31},
+	}
+	for _, c := range cases {
+		a := Pack(c.worker, c.local)
+		if a.Worker() != c.worker || a.Local() != c.local {
+			t.Errorf("Pack(%d,%d) round-tripped to (%d,%d)", c.worker, c.local, a.Worker(), a.Local())
+		}
+	}
+}
+
+func TestAddrOrderIsWorkerLocalOrder(t *testing.T) {
+	// raw Addr order must equal lexicographic (worker, local) order —
+	// the ScatterCombine presort depends on it
+	if !(Pack(0, 0xFFFFFFFF) < Pack(1, 0)) {
+		t.Error("addr order broken across workers")
+	}
+	if !(Pack(3, 5) < Pack(3, 6)) {
+		t.Error("addr order broken within a worker")
+	}
+}
+
+// Every packed adjacency entry must round-trip against the partition's
+// Owner/LocalIndex for every generator shape under both placements.
+func TestFragmentAddressesMatchPartition(t *testing.T) {
+	for gname, g := range testGraphs() {
+		for _, workers := range []int{1, 3, 8} {
+			for pname, p := range testPartitions(t, g, workers) {
+				fs := Build(g, p)
+				if fs.NumWorkers() != workers {
+					t.Fatalf("%s/%s: %d fragments for %d workers", gname, pname, fs.NumWorkers(), workers)
+				}
+				totalVerts, totalEdges := 0, 0
+				for w := 0; w < workers; w++ {
+					f := fs.Frag(w)
+					if f.WorkerID() != w || f.NumWorkers() != workers || f.NumVertices() != g.NumVertices() {
+						t.Fatalf("%s/%s: fragment %d misdescribes itself", gname, pname, w)
+					}
+					if f.LocalCount() != p.LocalCount(w) {
+						t.Fatalf("%s/%s w%d: local count %d want %d", gname, pname, w, f.LocalCount(), p.LocalCount(w))
+					}
+					totalVerts += f.LocalCount()
+					totalEdges += f.NumEdges()
+					for li := 0; li < f.LocalCount(); li++ {
+						id := f.GlobalID(li)
+						if id != p.GlobalID(w, li) {
+							t.Fatalf("%s/%s w%d li%d: global id %d want %d", gname, pname, w, li, id, p.GlobalID(w, li))
+						}
+						nbrs := g.Neighbors(id)
+						addrs := f.Neighbors(li)
+						if len(addrs) != len(nbrs) || f.OutDegree(li) != len(nbrs) {
+							t.Fatalf("%s/%s w%d li%d: degree %d want %d", gname, pname, w, li, len(addrs), len(nbrs))
+						}
+						for i, v := range nbrs {
+							a := addrs[i]
+							if a.Worker() != p.Owner(v) || int(a.Local()) != p.LocalIndex(v) {
+								t.Fatalf("%s/%s w%d edge %d->%d: addr (%d,%d) want (%d,%d)",
+									gname, pname, w, id, v, a.Worker(), a.Local(), p.Owner(v), p.LocalIndex(v))
+							}
+							if a != Of(p, v) {
+								t.Fatalf("%s/%s: Of disagrees with packed adjacency", gname, pname)
+							}
+						}
+						if g.Weighted() {
+							ws := f.NeighborWeights(li)
+							want := g.NeighborWeights(id)
+							for i := range want {
+								if ws[i] != want[i] {
+									t.Fatalf("%s/%s w%d li%d: weight %d want %d", gname, pname, w, li, ws[i], want[i])
+								}
+							}
+						}
+					}
+				}
+				if totalVerts != g.NumVertices() || totalEdges != g.NumEdges() {
+					t.Fatalf("%s/%s: fragments cover %d vertices / %d edges, want %d / %d",
+						gname, pname, totalVerts, totalEdges, g.NumVertices(), g.NumEdges())
+				}
+			}
+		}
+	}
+}
+
+func TestFragmentWeightedFlag(t *testing.T) {
+	grid := graph.Grid(5, 5, 10, 1)
+	p := partition.MustHash(grid.NumVertices(), 2)
+	fs := Build(grid, p)
+	if !fs.Frag(0).Weighted() {
+		t.Error("weighted grid fragment lost its weights")
+	}
+	chain := graph.Chain(10)
+	fs2 := Build(chain, partition.MustHash(chain.NumVertices(), 2))
+	if fs2.Frag(0).Weighted() {
+		t.Error("unweighted chain fragment claims weights")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NeighborWeights on unweighted fragment did not panic")
+		}
+	}()
+	fs2.Frag(0).NeighborWeights(0)
+}
+
+func TestFragmentsBytes(t *testing.T) {
+	g := graph.Chain(100)
+	fs := Build(g, partition.MustHash(g.NumVertices(), 4))
+	if fs.Bytes() <= 0 {
+		t.Error("Bytes() reported nothing resident")
+	}
+}
+
+// The derived transpose must match fragments built from graph.Reverse
+// edge-for-edge (as multisets per vertex), carry weights, and be cached.
+func TestFragmentsReverse(t *testing.T) {
+	for gname, g := range testGraphs() {
+		p := partition.MustHash(g.NumVertices(), 4)
+		fs := Build(g, p)
+		rev := fs.Reverse()
+		if fs.Reverse() != rev {
+			t.Fatalf("%s: transpose not cached", gname)
+		}
+		want := Build(g.Reverse(), p)
+		for w := 0; w < 4; w++ {
+			rf, wf := rev.Frag(w), want.Frag(w)
+			if rf.NumEdges() != wf.NumEdges() || rf.LocalCount() != wf.LocalCount() {
+				t.Fatalf("%s w%d: shape %d/%d want %d/%d", gname, w, rf.NumEdges(), rf.LocalCount(), wf.NumEdges(), wf.LocalCount())
+			}
+			if rf.Weighted() != wf.Weighted() {
+				t.Fatalf("%s w%d: weighted mismatch", gname, w)
+			}
+			for li := 0; li < rf.LocalCount(); li++ {
+				got := map[[2]uint64]int{}
+				for i, a := range rf.Neighbors(li) {
+					k := [2]uint64{uint64(a), 0}
+					if rf.Weighted() {
+						k[1] = uint64(uint32(rf.NeighborWeights(li)[i]))
+					}
+					got[k]++
+				}
+				for i, a := range wf.Neighbors(li) {
+					k := [2]uint64{uint64(a), 0}
+					if wf.Weighted() {
+						k[1] = uint64(uint32(wf.NeighborWeights(li)[i]))
+					}
+					got[k]--
+					if got[k] == 0 {
+						delete(got, k)
+					}
+					_ = i
+				}
+				if len(got) != 0 {
+					t.Fatalf("%s w%d li%d: reverse adjacency differs: %v", gname, w, li, got)
+				}
+			}
+		}
+	}
+}

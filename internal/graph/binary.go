@@ -13,20 +13,42 @@ import (
 // restart skips text parsing and the counting sort of FromEdges.
 //
 //	magic   "GCSR"           4 bytes
-//	version uint32           currently 1
+//	version uint32           1 (bare graph) or 2 (graph + placements)
 //	flags   uint32           bit0 weighted, bit1 undirected
 //	n, m    uint64, uint64   vertex and directed-edge counts
 //	offsets (n+1) x uint64
 //	adj     m x uint32
 //	weights m x int32        present iff weighted
+//
+// Version 2 appends named vertex placements (owner vectors), so a
+// catalog restart also skips re-partitioning — in particular the BFS
+// region growing behind the "(P)" locality placements:
+//
+//	placements uint32
+//	per placement:
+//	  nameLen uint16, name bytes
+//	  workers uint32
+//	  owner   n x uint16
+//
+// Version-1 snapshots remain readable; WriteBinary without placements
+// still writes version 1, so older readers keep working.
 
 const (
-	binaryMagic   = "GCSR"
-	binaryVersion = 1
+	binaryMagic    = "GCSR"
+	binaryVersion  = 1
+	binaryVersion2 = 2
 
 	flagWeighted   = 1 << 0
 	flagUndirected = 1 << 1
 )
+
+// Placement is a named owner vector embedded in a version-2 snapshot:
+// Owner[v] is the worker owning vertex v under a Workers-way placement.
+type Placement struct {
+	Name    string
+	Workers int
+	Owner   []uint16
+}
 
 // SnapshotExt is the conventional file extension for binary snapshots;
 // the catalog looks for "<path>.bin" next to a text edge list.
@@ -36,8 +58,23 @@ const SnapshotExt = ".bin"
 // guarding allocation against corrupt or hostile files.
 const maxSnapshotEntries = 1 << 33
 
-// WriteBinary writes g as a binary CSR snapshot.
+// WriteBinary writes g as a version-1 binary CSR snapshot.
 func WriteBinary(w io.Writer, g *Graph) error {
+	return WriteSnapshot(w, g, nil)
+}
+
+// WriteSnapshot writes g as a binary snapshot, embedding the given
+// placements (version 2); with no placements it writes the version-1
+// layout.
+func WriteSnapshot(w io.Writer, g *Graph, placements []Placement) error {
+	for _, p := range placements {
+		if len(p.Owner) != g.NumVertices() {
+			return fmt.Errorf("graph: placement %q has %d owners for %d vertices", p.Name, len(p.Owner), g.NumVertices())
+		}
+		if p.Name == "" || len(p.Name) > 1<<16-1 {
+			return fmt.Errorf("graph: bad placement name %q", p.Name)
+		}
+	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.WriteString(binaryMagic); err != nil {
 		return err
@@ -49,8 +86,12 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	if g.Undirected {
 		flags |= flagUndirected
 	}
+	version := uint32(binaryVersion)
+	if len(placements) > 0 {
+		version = binaryVersion2
+	}
 	var head [24]byte
-	binary.LittleEndian.PutUint32(head[0:], binaryVersion)
+	binary.LittleEndian.PutUint32(head[0:], version)
 	binary.LittleEndian.PutUint32(head[4:], flags)
 	binary.LittleEndian.PutUint64(head[8:], uint64(g.NumVertices()))
 	binary.LittleEndian.PutUint64(head[16:], uint64(g.NumEdges()))
@@ -78,27 +119,61 @@ func WriteBinary(w io.Writer, g *Graph) error {
 			}
 		}
 	}
+	if version == binaryVersion2 {
+		binary.LittleEndian.PutUint32(scratch[:], uint32(len(placements)))
+		if _, err := bw.Write(scratch[:4]); err != nil {
+			return err
+		}
+		for _, p := range placements {
+			binary.LittleEndian.PutUint16(scratch[:], uint16(len(p.Name)))
+			if _, err := bw.Write(scratch[:2]); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(p.Name); err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint32(scratch[:], uint32(p.Workers))
+			if _, err := bw.Write(scratch[:4]); err != nil {
+				return err
+			}
+			for _, o := range p.Owner {
+				binary.LittleEndian.PutUint16(scratch[:], o)
+				if _, err := bw.Write(scratch[:2]); err != nil {
+					return err
+				}
+			}
+		}
+	}
 	return bw.Flush()
 }
 
-// ReadBinary parses a snapshot written by WriteBinary.
+// ReadBinary parses a snapshot written by WriteBinary/WriteSnapshot,
+// dropping any embedded placements.
 func ReadBinary(r io.Reader) (*Graph, error) {
+	g, _, err := ReadSnapshot(r)
+	return g, err
+}
+
+// ReadSnapshot parses a snapshot and returns the graph plus any
+// embedded placements (nil for version-1 snapshots).
+func ReadSnapshot(r io.Reader) (*Graph, []Placement, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var head [28]byte
 	if _, err := io.ReadFull(br, head[:]); err != nil {
-		return nil, fmt.Errorf("graph: bad snapshot header: %w", err)
+		return nil, nil, fmt.Errorf("graph: bad snapshot header: %w", err)
 	}
 	if string(head[:4]) != binaryMagic {
-		return nil, fmt.Errorf("graph: bad snapshot magic %q", head[:4])
+		return nil, nil, fmt.Errorf("graph: bad snapshot magic %q", head[:4])
 	}
-	if v := binary.LittleEndian.Uint32(head[4:]); v != binaryVersion {
-		return nil, fmt.Errorf("graph: unsupported snapshot version %d", v)
+	version := binary.LittleEndian.Uint32(head[4:])
+	if version != binaryVersion && version != binaryVersion2 {
+		return nil, nil, fmt.Errorf("graph: unsupported snapshot version %d", version)
 	}
 	flags := binary.LittleEndian.Uint32(head[8:])
 	n := binary.LittleEndian.Uint64(head[12:])
 	m := binary.LittleEndian.Uint64(head[20:])
 	if n >= maxSnapshotEntries || m > maxSnapshotEntries {
-		return nil, fmt.Errorf("graph: snapshot claims implausible sizes n=%d m=%d", n, m)
+		return nil, nil, fmt.Errorf("graph: snapshot claims implausible sizes n=%d m=%d", n, m)
 	}
 	g := &Graph{
 		Offsets:    make([]uint64, n+1),
@@ -108,25 +183,25 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	var scratch [8]byte
 	for i := range g.Offsets {
 		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
-			return nil, fmt.Errorf("graph: truncated snapshot offsets: %w", err)
+			return nil, nil, fmt.Errorf("graph: truncated snapshot offsets: %w", err)
 		}
 		g.Offsets[i] = binary.LittleEndian.Uint64(scratch[:])
 	}
 	if g.Offsets[0] != 0 || g.Offsets[n] != m {
-		return nil, fmt.Errorf("graph: corrupt snapshot offsets (first=%d last=%d m=%d)", g.Offsets[0], g.Offsets[n], m)
+		return nil, nil, fmt.Errorf("graph: corrupt snapshot offsets (first=%d last=%d m=%d)", g.Offsets[0], g.Offsets[n], m)
 	}
 	for i := uint64(1); i <= n; i++ {
 		if g.Offsets[i] < g.Offsets[i-1] {
-			return nil, fmt.Errorf("graph: corrupt snapshot: offsets not monotone at vertex %d", i)
+			return nil, nil, fmt.Errorf("graph: corrupt snapshot: offsets not monotone at vertex %d", i)
 		}
 	}
 	for i := range g.Adj {
 		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
-			return nil, fmt.Errorf("graph: truncated snapshot adjacency: %w", err)
+			return nil, nil, fmt.Errorf("graph: truncated snapshot adjacency: %w", err)
 		}
 		v := binary.LittleEndian.Uint32(scratch[:])
 		if uint64(v) >= n {
-			return nil, fmt.Errorf("graph: corrupt snapshot: vertex %d out of range", v)
+			return nil, nil, fmt.Errorf("graph: corrupt snapshot: vertex %d out of range", v)
 		}
 		g.Adj[i] = v
 	}
@@ -134,22 +209,64 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		g.Weights = make([]int32, m)
 		for i := range g.Weights {
 			if _, err := io.ReadFull(br, scratch[:4]); err != nil {
-				return nil, fmt.Errorf("graph: truncated snapshot weights: %w", err)
+				return nil, nil, fmt.Errorf("graph: truncated snapshot weights: %w", err)
 			}
 			g.Weights[i] = int32(binary.LittleEndian.Uint32(scratch[:]))
 		}
 	}
-	return g, nil
+	if version < binaryVersion2 {
+		return g, nil, nil
+	}
+	if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+		return nil, nil, fmt.Errorf("graph: truncated snapshot placement count: %w", err)
+	}
+	count := binary.LittleEndian.Uint32(scratch[:])
+	if count > 64 {
+		return nil, nil, fmt.Errorf("graph: snapshot claims implausible placement count %d", count)
+	}
+	placements := make([]Placement, 0, count)
+	for pi := uint32(0); pi < count; pi++ {
+		if _, err := io.ReadFull(br, scratch[:2]); err != nil {
+			return nil, nil, fmt.Errorf("graph: truncated snapshot placement name: %w", err)
+		}
+		nameLen := binary.LittleEndian.Uint16(scratch[:])
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, nil, fmt.Errorf("graph: truncated snapshot placement name: %w", err)
+		}
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return nil, nil, fmt.Errorf("graph: truncated snapshot placement workers: %w", err)
+		}
+		p := Placement{
+			Name:    string(name),
+			Workers: int(binary.LittleEndian.Uint32(scratch[:])),
+			Owner:   make([]uint16, n),
+		}
+		for i := range p.Owner {
+			if _, err := io.ReadFull(br, scratch[:2]); err != nil {
+				return nil, nil, fmt.Errorf("graph: truncated snapshot placement %q: %w", p.Name, err)
+			}
+			p.Owner[i] = binary.LittleEndian.Uint16(scratch[:])
+		}
+		placements = append(placements, p)
+	}
+	return g, placements, nil
 }
 
 // WriteBinaryFile writes a snapshot to path atomically (tmp + rename).
 func WriteBinaryFile(path string, g *Graph) error {
+	return WriteSnapshotFile(path, g, nil)
+}
+
+// WriteSnapshotFile writes a snapshot with embedded placements to path
+// atomically (tmp + rename).
+func WriteSnapshotFile(path string, g *Graph, placements []Placement) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := WriteBinary(f, g); err != nil {
+	if err := WriteSnapshot(f, g, placements); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -161,12 +278,18 @@ func WriteBinaryFile(path string, g *Graph) error {
 	return os.Rename(tmp, path)
 }
 
-// ReadBinaryFile reads a snapshot from path.
+// ReadBinaryFile reads a snapshot from path, dropping placements.
 func ReadBinaryFile(path string) (*Graph, error) {
+	g, _, err := ReadSnapshotFile(path)
+	return g, err
+}
+
+// ReadSnapshotFile reads a snapshot plus embedded placements from path.
+func ReadSnapshotFile(path string) (*Graph, []Placement, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
-	return ReadBinary(f)
+	return ReadSnapshot(f)
 }

@@ -124,3 +124,61 @@ func TestBinaryRejectsCorrupt(t *testing.T) {
 		t.Fatalf("expected out-of-range error, got %v", err)
 	}
 }
+
+// Version-2 snapshots carry named placements; they must round-trip and
+// version-1 readers of the same data (ReadBinary) must still work.
+func TestSnapshotPlacementsRoundTrip(t *testing.T) {
+	g := Grid(6, 7, 9, 3)
+	n := g.NumVertices()
+	hash := make([]uint16, n)
+	greedy := make([]uint16, n)
+	for v := 0; v < n; v++ {
+		hash[v] = uint16(v % 4)
+		greedy[v] = uint16(v * 4 / n)
+	}
+	placements := []Placement{
+		{Name: "hash", Workers: 4, Owner: hash},
+		{Name: "greedy", Workers: 4, Owner: greedy},
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g, placements); err != nil {
+		t.Fatal(err)
+	}
+	g2, got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != n || g2.NumEdges() != g.NumEdges() || !g2.Weighted() {
+		t.Fatalf("graph did not round-trip")
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d placements, want 2", len(got))
+	}
+	for i, p := range placements {
+		if got[i].Name != p.Name || got[i].Workers != p.Workers {
+			t.Fatalf("placement %d header mismatch: %+v", i, got[i])
+		}
+		for v := range p.Owner {
+			if got[i].Owner[v] != p.Owner[v] {
+				t.Fatalf("placement %q owner[%d] = %d want %d", p.Name, v, got[i].Owner[v], p.Owner[v])
+			}
+		}
+	}
+	// the graph-only reader tolerates (and drops) the placement section
+	g3, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil || g3.NumVertices() != n {
+		t.Fatalf("ReadBinary on v2 snapshot: %v", err)
+	}
+	// no placements -> version-1 bytes -> ReadSnapshot returns nil
+	var v1 bytes.Buffer
+	if err := WriteSnapshot(&v1, g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ps, err := ReadSnapshot(bytes.NewReader(v1.Bytes())); err != nil || ps != nil {
+		t.Fatalf("v1 snapshot: placements=%v err=%v", ps, err)
+	}
+	// a mis-sized placement must be rejected at write time
+	if err := WriteSnapshot(&bytes.Buffer{}, g, []Placement{{Name: "x", Workers: 2, Owner: make([]uint16, 3)}}); err == nil {
+		t.Fatal("WriteSnapshot accepted a mis-sized owner vector")
+	}
+}

@@ -72,11 +72,11 @@ const Workers = 8
 
 // HashPart returns the default hash partition for g.
 func HashPart(g *graph.Graph) *partition.Partition {
-	return partition.Hash(g.NumVertices(), Workers)
+	return partition.MustHash(g.NumVertices(), Workers)
 }
 
 // GreedyPart returns the locality partition (METIS stand-in) for g —
 // the paper's "(P)" datasets.
 func GreedyPart(g *graph.Graph) *partition.Partition {
-	return partition.Greedy(g, Workers)
+	return partition.MustGreedy(g, Workers)
 }

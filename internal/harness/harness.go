@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/algorithms"
 	"repro/internal/comm"
+	"repro/internal/frag"
 	"repro/internal/graph"
 	"repro/internal/partition"
 )
@@ -40,8 +41,8 @@ func PrintTable(w io.Writer, title string, rows []Row) {
 }
 
 // opts builds algorithm options with a generous superstep cap.
-func opts(p *partition.Partition) algorithms.Options {
-	return algorithms.Options{Part: p, MaxSupersteps: 200000}
+func opts(w workload) algorithms.Options {
+	return algorithms.Options{Part: w.p, Frags: w.frags, MaxSupersteps: 200000}
 }
 
 const prIterations = 30 // the paper's PageRank runs 30 supersteps
@@ -63,13 +64,22 @@ func basicPair(prefix string) []variantRow {
 	}
 }
 
-// workload is one (algorithm, dataset) cell of a table.
+// workload is one (algorithm, dataset) cell of a table. Fragments are
+// pre-resolved once per (graph, placement) pair and shared by every
+// variant row of the cell, so the tables measure superstep time on the
+// shared-nothing fragments, not fragment construction.
 type workload struct {
 	alg     string
 	dataset string
 	g       *graph.Graph
 	p       *partition.Partition
+	frags   *frag.Fragments
 	params  algorithms.Params
+}
+
+// wl builds one workload, pre-resolving its fragments.
+func wl(alg, dataset string, g *graph.Graph, p *partition.Partition, params algorithms.Params) workload {
+	return workload{alg: alg, dataset: dataset, g: g, p: p, frags: frag.Build(g, p), params: params}
 }
 
 // run dispatches one workload/variant pair through the shared registry
@@ -79,7 +89,7 @@ func run(w workload, v variantRow) Row {
 	if !ok {
 		panic(fmt.Sprintf("harness: unknown algorithm %q", w.alg))
 	}
-	res, err := spec.Run(v.eng, v.variant, w.g, opts(w.p), w.params)
+	res, err := spec.Run(v.eng, v.variant, w.g, opts(w), w.params)
 	if err != nil {
 		panic(fmt.Sprintf("harness: %s %s/%s on %s failed: %v", w.alg, v.eng, v.variant, w.dataset, err))
 	}
@@ -109,28 +119,28 @@ func Table4(d *Datasets) []Row {
 		ws     []workload
 	}{
 		{"PR", []workload{
-			{"pagerank", "WebUK", d.WebUK, HashPart(d.WebUK), pr},
-			{"pagerank", "Wikipedia", d.Wiki, HashPart(d.Wiki), pr},
+			wl("pagerank", "WebUK", d.WebUK, HashPart(d.WebUK), pr),
+			wl("pagerank", "Wikipedia", d.Wiki, HashPart(d.Wiki), pr),
 		}},
 		{"WCC", []workload{
-			{"wcc", "Wikipedia", und, HashPart(und), algorithms.Params{}},
-			{"wcc", "Wikipedia(P)", und, GreedyPart(und), algorithms.Params{}},
+			wl("wcc", "Wikipedia", und, HashPart(und), algorithms.Params{}),
+			wl("wcc", "Wikipedia(P)", und, GreedyPart(und), algorithms.Params{}),
 		}},
 		{"PJ", []workload{
-			{"pointerjump", "Chain", d.Chain, HashPart(d.Chain), algorithms.Params{}},
-			{"pointerjump", "Tree", d.Tree, HashPart(d.Tree), algorithms.Params{}},
+			wl("pointerjump", "Chain", d.Chain, HashPart(d.Chain), algorithms.Params{}),
+			wl("pointerjump", "Tree", d.Tree, HashPart(d.Tree), algorithms.Params{}),
 		}},
 		{"SV", []workload{
-			{"sv", "Facebook", d.Facebook, HashPart(d.Facebook), algorithms.Params{}},
-			{"sv", "Twitter", d.Twitter, HashPart(d.Twitter), algorithms.Params{}},
+			wl("sv", "Facebook", d.Facebook, HashPart(d.Facebook), algorithms.Params{}),
+			wl("sv", "Twitter", d.Twitter, HashPart(d.Twitter), algorithms.Params{}),
 		}},
 		{"MSF", []workload{
-			{"msf", "USARoad", d.Road, HashPart(d.Road), algorithms.Params{}},
-			{"msf", "RMAT-W", d.RMATW, HashPart(d.RMATW), algorithms.Params{}},
+			wl("msf", "USARoad", d.Road, HashPart(d.Road), algorithms.Params{}),
+			wl("msf", "RMAT-W", d.RMATW, HashPart(d.RMATW), algorithms.Params{}),
 		}},
 		{"SCC", []workload{
-			{"scc", "Wikipedia", d.Wiki, HashPart(d.Wiki), algorithms.Params{}},
-			{"scc", "Wikipedia(P)", d.Wiki, GreedyPart(d.Wiki), algorithms.Params{}},
+			wl("scc", "Wikipedia", d.Wiki, HashPart(d.Wiki), algorithms.Params{}),
+			wl("scc", "Wikipedia(P)", d.Wiki, GreedyPart(d.Wiki), algorithms.Params{}),
 		}},
 	}
 	var rows []Row
@@ -149,8 +159,8 @@ func Table4(d *Datasets) []Row {
 func Table5ScatterCombine(d *Datasets) []Row {
 	pr := algorithms.Params{Iterations: prIterations}
 	ws := []workload{
-		{"pagerank", "Wikipedia", d.Wiki, HashPart(d.Wiki), pr},
-		{"pagerank", "WebUK", d.WebUK, HashPart(d.WebUK), pr},
+		wl("pagerank", "Wikipedia", d.Wiki, HashPart(d.Wiki), pr),
+		wl("pagerank", "WebUK", d.WebUK, HashPart(d.WebUK), pr),
 	}
 	return runAll(ws, []variantRow{
 		{"pregel(basic)", algorithms.EnginePregel, "basic"},
@@ -165,8 +175,8 @@ func Table5ScatterCombine(d *Datasets) []Row {
 // reqresp.
 func Table5RequestRespond(d *Datasets) []Row {
 	ws := []workload{
-		{"pointerjump", "Tree", d.Tree, HashPart(d.Tree), algorithms.Params{}},
-		{"pointerjump", "Chain", d.Chain, HashPart(d.Chain), algorithms.Params{}},
+		wl("pointerjump", "Tree", d.Tree, HashPart(d.Tree), algorithms.Params{}),
+		wl("pointerjump", "Chain", d.Chain, HashPart(d.Chain), algorithms.Params{}),
 	}
 	return runAll(ws, []variantRow{
 		{"pregel(basic)", algorithms.EnginePregel, "basic"},
@@ -182,8 +192,8 @@ func Table5RequestRespond(d *Datasets) []Row {
 func Table5Propagation(d *Datasets) []Row {
 	und := graph.Undirectify(d.Wiki)
 	ws := []workload{
-		{"wcc", "Wikipedia", und, HashPart(und), algorithms.Params{}},
-		{"wcc", "Wikipedia(P)", und, GreedyPart(und), algorithms.Params{}},
+		wl("wcc", "Wikipedia", und, HashPart(und), algorithms.Params{}),
+		wl("wcc", "Wikipedia(P)", und, GreedyPart(und), algorithms.Params{}),
 	}
 	return runAll(ws, []variantRow{
 		{"pregel(basic)", algorithms.EnginePregel, "basic"},
@@ -197,8 +207,8 @@ func Table5Propagation(d *Datasets) []Row {
 // dense social graphs.
 func Table6(d *Datasets) []Row {
 	ws := []workload{
-		{"sv", "Facebook", d.Facebook, HashPart(d.Facebook), algorithms.Params{}},
-		{"sv", "Twitter", d.Twitter, HashPart(d.Twitter), algorithms.Params{}},
+		wl("sv", "Facebook", d.Facebook, HashPart(d.Facebook), algorithms.Params{}),
+		wl("sv", "Twitter", d.Twitter, HashPart(d.Twitter), algorithms.Params{}),
 	}
 	return runAll(ws, []variantRow{
 		{"1-pregel(reqresp)", algorithms.EnginePregel, "reqresp"},
@@ -214,8 +224,8 @@ func Table6(d *Datasets) []Row {
 // partitions.
 func Table7(d *Datasets) []Row {
 	ws := []workload{
-		{"scc", "Wikipedia", d.Wiki, HashPart(d.Wiki), algorithms.Params{}},
-		{"scc", "Wikipedia(P)", d.Wiki, GreedyPart(d.Wiki), algorithms.Params{}},
+		wl("scc", "Wikipedia", d.Wiki, HashPart(d.Wiki), algorithms.Params{}),
+		wl("scc", "Wikipedia(P)", d.Wiki, GreedyPart(d.Wiki), algorithms.Params{}),
 	}
 	return runAll(ws, []variantRow{
 		{"1-pregel(basic)", algorithms.EnginePregel, "basic"},

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/algorithms"
 	"repro/internal/catalog"
+	"repro/internal/partition"
 )
 
 // State is a job lifecycle state.
@@ -44,6 +45,10 @@ type Request struct {
 	Variant string `json:"variant,omitempty"`
 	// Dataset names a catalog entry.
 	Dataset string `json:"dataset"`
+	// Placement selects the vertex placement: "hash" or "greedy" (the
+	// paper's "(P)" locality placement). Empty means the dataset spec's
+	// default (hash when the spec has none).
+	Placement string `json:"placement,omitempty"`
 	// Params carries algorithm knobs (PageRank iterations, SSSP source).
 	Params algorithms.Params `json:"params,omitzero"`
 	// MaxSupersteps caps the run (0 = manager default of 200000).
@@ -172,6 +177,12 @@ func (m *Manager) Submit(req Request) (Snapshot, error) {
 	if !m.cat.Has(req.Dataset) {
 		return Snapshot{}, fmt.Errorf("jobs: unknown dataset %q", req.Dataset)
 	}
+	switch req.Placement {
+	case "", partition.PlacementHash, partition.PlacementGreedy:
+	default:
+		return Snapshot{}, fmt.Errorf("jobs: unknown placement %q (want %s or %s)",
+			req.Placement, partition.PlacementHash, partition.PlacementGreedy)
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -232,16 +243,23 @@ func (m *Manager) workerLoop() {
 	}
 }
 
-// execute resolves the dataset and dispatches through the registry.
+// execute resolves the dataset's (placement, orientation) view and
+// dispatches through the registry; every job runs on the view's
+// pre-resolved fragments.
 func (m *Manager) execute(j *job) (*algorithms.Result, error) {
 	entry, err := m.cat.Get(j.req.Dataset)
 	if err != nil {
 		return nil, err
 	}
-	g, part := entry.Graph, entry.Part
-	if j.spec.NeedsUndirected {
-		g, part = entry.Undirected()
+	placement := j.req.Placement
+	if placement == "" {
+		placement = entry.Spec.Placement
 	}
+	view, err := entry.View(placement, j.spec.NeedsUndirected)
+	if err != nil {
+		return nil, err
+	}
+	g := view.Graph
 	if j.spec.NeedsWeights && !g.Weighted() {
 		return nil, fmt.Errorf("jobs: %s needs edge weights but dataset %q is unweighted",
 			j.spec.Name, j.req.Dataset)
@@ -254,7 +272,7 @@ func (m *Manager) execute(j *job) (*algorithms.Result, error) {
 	if maxSteps <= 0 {
 		maxSteps = m.maxSupersteps
 	}
-	opts := algorithms.Options{Part: part, MaxSupersteps: maxSteps}
+	opts := algorithms.Options{Part: view.Part, Frags: view.Frags, MaxSupersteps: maxSteps}
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
 	res, err := j.spec.Run(j.eng, j.req.Variant, g, opts, j.req.Params)
@@ -264,6 +282,8 @@ func (m *Manager) execute(j *job) (*algorithms.Result, error) {
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
 	res.Metrics.HeapAllocDelta = int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	res.Metrics.Placement = view.Placement
+	res.Metrics.EdgeCut = view.EdgeCut
 	return res, nil
 }
 

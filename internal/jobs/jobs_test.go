@@ -231,3 +231,50 @@ func TestCloseRejectsNewWork(t *testing.T) {
 		t.Fatal("submit after close should error")
 	}
 }
+
+// Placement selection through the job API: both placements run on the
+// catalog's fragment views, produce identical results, and the metrics
+// report the placement name and its edge cut (smaller under greedy on a
+// grid).
+func TestPlacementSelectionAndEdgeCutMetric(t *testing.T) {
+	_, m := newTestManager(t, 1)
+	if _, err := m.Submit(Request{Algorithm: "wcc", Dataset: "grid", Placement: "metis"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown placement") {
+		t.Fatalf("bad placement: err=%v", err)
+	}
+	run := func(placement string) Snapshot {
+		snap, err := m.Submit(Request{Algorithm: "wcc", Dataset: "grid", Placement: placement})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap = waitTerminal(t, m, snap.ID)
+		if snap.State != StateDone {
+			t.Fatalf("placement %q: state %s (%s)", placement, snap.State, snap.Error)
+		}
+		return snap
+	}
+	hash := run("hash")
+	greedy := run("greedy")
+	if hash.Metrics.Placement != "hash" || greedy.Metrics.Placement != "greedy" {
+		t.Fatalf("metrics placements: %q, %q", hash.Metrics.Placement, greedy.Metrics.Placement)
+	}
+	if hash.Metrics.EdgeCut <= 0 {
+		t.Fatalf("hash edge cut not reported: %v", hash.Metrics.EdgeCut)
+	}
+	if greedy.Metrics.EdgeCut >= hash.Metrics.EdgeCut {
+		t.Fatalf("greedy cut %.3f not below hash cut %.3f", greedy.Metrics.EdgeCut, hash.Metrics.EdgeCut)
+	}
+	rh, err := m.Result(hash.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := m.Result(greedy.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rh.Labels {
+		if rh.Labels[i] != rg.Labels[i] {
+			t.Fatalf("vertex %d: labels differ across placements", i)
+		}
+	}
+}

@@ -7,7 +7,33 @@
 // partitioner delivers (see DESIGN.md §2).
 package partition
 
-import "repro/internal/graph"
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Placement names accepted by ByName (and by the catalog spec and the
+// /v1 job API).
+const (
+	PlacementHash   = "hash"
+	PlacementGreedy = "greedy"
+)
+
+// MaxWorkers is the largest representable worker count: owner vectors
+// store worker ids as uint16. Greedy additionally reserves the top value
+// as its unassigned sentinel, so it accepts at most MaxWorkers-1.
+const MaxWorkers = 1<<16 - 1
+
+// checkWorkers validates a worker count against the uint16 owner
+// representation. Silent overflow here used to corrupt owner vectors
+// (worker 65536 wrapped to 0); now it is an error at construction.
+func checkWorkers(numWorkers, max int) error {
+	if numWorkers < 1 || numWorkers > max {
+		return fmt.Errorf("partition: numWorkers=%d out of range 1..%d", numWorkers, max)
+	}
+	return nil
+}
 
 // Partition maps every vertex to a worker and a dense per-worker local
 // index, and back. All engines in this reproduction share it.
@@ -39,7 +65,11 @@ func (p *Partition) GlobalID(w, i int) graph.VertexID { return p.globals[w][i] }
 // Locals returns worker w's vertex list (do not modify).
 func (p *Partition) Locals(w int) []graph.VertexID { return p.globals[w] }
 
-// fromOwner builds the index structures from an owner vector.
+// Owners returns the raw owner vector (do not modify). Snapshots embed
+// it so a daemon restart skips re-partitioning.
+func (p *Partition) Owners() []uint16 { return p.owner }
+
+// fromOwner builds the index structures from a validated owner vector.
 func fromOwner(numWorkers int, owner []uint16) *Partition {
 	p := &Partition{
 		numWorkers: numWorkers,
@@ -54,15 +84,43 @@ func fromOwner(numWorkers int, owner []uint16) *Partition {
 	return p
 }
 
+// FromOwners builds a partition from an explicit owner vector (e.g. one
+// embedded in a binary snapshot). Every entry must name a worker in
+// [0, numWorkers). The vector is retained; do not modify it afterwards.
+func FromOwners(numWorkers int, owner []uint16) (*Partition, error) {
+	if err := checkWorkers(numWorkers, MaxWorkers); err != nil {
+		return nil, err
+	}
+	for v, w := range owner {
+		if int(w) >= numWorkers {
+			return nil, fmt.Errorf("partition: vertex %d assigned to worker %d (numWorkers=%d)", v, w, numWorkers)
+		}
+	}
+	return fromOwner(numWorkers, owner), nil
+}
+
 // Hash assigns vertex v to worker v mod numWorkers — the default Pregel
 // placement ("vertices are randomly assigned to workers" in §V-B2; with
 // generator-assigned dense IDs, modulo is an adequate randomization).
-func Hash(numVertices, numWorkers int) *Partition {
+func Hash(numVertices, numWorkers int) (*Partition, error) {
+	if err := checkWorkers(numWorkers, MaxWorkers); err != nil {
+		return nil, err
+	}
 	owner := make([]uint16, numVertices)
 	for v := range owner {
 		owner[v] = uint16(v % numWorkers)
 	}
-	return fromOwner(numWorkers, owner)
+	return fromOwner(numWorkers, owner), nil
+}
+
+// MustHash is Hash for callers with a statically valid worker count
+// (tests, benchmarks, examples); it panics on error.
+func MustHash(numVertices, numWorkers int) *Partition {
+	p, err := Hash(numVertices, numWorkers)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 // Greedy builds a locality-preserving partition of g into numWorkers
@@ -70,7 +128,12 @@ func Hash(numVertices, numWorkers int) *Partition {
 // BFS from an unassigned vertex, assign visited vertices to the current
 // part until it reaches n/numWorkers vertices, then open the next part.
 // This is the METIS stand-in for the paper's "(P)" partitioned datasets.
-func Greedy(g *graph.Graph, numWorkers int) *Partition {
+// numWorkers must be below MaxWorkers: the top uint16 value is Greedy's
+// unassigned sentinel.
+func Greedy(g *graph.Graph, numWorkers int) (*Partition, error) {
+	if err := checkWorkers(numWorkers, MaxWorkers-1); err != nil {
+		return nil, err
+	}
 	n := g.NumVertices()
 	owner := make([]uint16, n)
 	for i := range owner {
@@ -112,12 +175,33 @@ func Greedy(g *graph.Graph, numWorkers int) *Partition {
 			}
 		}
 	}
-	return fromOwner(numWorkers, owner)
+	return fromOwner(numWorkers, owner), nil
+}
+
+// MustGreedy is Greedy with a panic on error.
+func MustGreedy(g *graph.Graph, numWorkers int) *Partition {
+	p, err := Greedy(g, numWorkers)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ByName builds the named placement of g: PlacementHash or
+// PlacementGreedy ("" defaults to hash).
+func ByName(name string, g *graph.Graph, numWorkers int) (*Partition, error) {
+	switch name {
+	case "", PlacementHash:
+		return Hash(g.NumVertices(), numWorkers)
+	case PlacementGreedy:
+		return Greedy(g, numWorkers)
+	}
+	return nil, fmt.Errorf("partition: unknown placement %q (want %s or %s)", name, PlacementHash, PlacementGreedy)
 }
 
 // EdgeCut returns the fraction of directed edges of g whose endpoints
 // are on different workers under p. Used to validate that Greedy yields
-// much better locality than Hash.
+// much better locality than Hash, and reported per job by graphd.
 func EdgeCut(g *graph.Graph, p *Partition) float64 {
 	if g.NumEdges() == 0 {
 		return 0

@@ -34,7 +34,7 @@ func checkBijection(t *testing.T, p *Partition) {
 }
 
 func TestHashPartition(t *testing.T) {
-	p := Hash(103, 4)
+	p := MustHash(103, 4)
 	if p.NumWorkers() != 4 || p.NumVertices() != 103 {
 		t.Fatalf("basic shape wrong")
 	}
@@ -57,7 +57,7 @@ func TestHashPartition(t *testing.T) {
 
 func TestGreedyPartition(t *testing.T) {
 	g := graph.Grid(20, 20, 5, 1)
-	p := Greedy(g, 4)
+	p := MustGreedy(g, 4)
 	checkBijection(t, p)
 	// near-balanced
 	for w := 0; w < 4; w++ {
@@ -67,7 +67,7 @@ func TestGreedyPartition(t *testing.T) {
 		}
 	}
 	// locality: greedy cut must be far below hash cut on a grid
-	hashCut := EdgeCut(g, Hash(g.NumVertices(), 4))
+	hashCut := EdgeCut(g, MustHash(g.NumVertices(), 4))
 	greedyCut := EdgeCut(g, p)
 	if greedyCut > hashCut/3 {
 		t.Errorf("greedy cut %.3f not much better than hash cut %.3f", greedyCut, hashCut)
@@ -78,12 +78,12 @@ func TestGreedyCoversDisconnected(t *testing.T) {
 	// graph with isolated vertices and several components
 	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}, {Src: 5, Dst: 6}, {Src: 6, Dst: 5}}
 	g := graph.FromEdges(10, edges, false)
-	p := Greedy(g, 3)
+	p := MustGreedy(g, 3)
 	checkBijection(t, p)
 }
 
 func TestSingleWorker(t *testing.T) {
-	p := Hash(10, 1)
+	p := MustHash(10, 1)
 	checkBijection(t, p)
 	if EdgeCut(graph.Chain(10), p) != 0 {
 		t.Errorf("single worker should have zero cut")
@@ -92,7 +92,7 @@ func TestSingleWorker(t *testing.T) {
 
 func TestEdgeCutEmptyGraph(t *testing.T) {
 	g := graph.FromEdges(5, nil, false)
-	if EdgeCut(g, Hash(5, 2)) != 0 {
+	if EdgeCut(g, MustHash(5, 2)) != 0 {
 		t.Error("empty graph cut should be 0")
 	}
 }
@@ -101,7 +101,7 @@ func TestHashPartitionProperty(t *testing.T) {
 	f := func(nRaw, wRaw uint8) bool {
 		n := int(nRaw)%500 + 1
 		w := int(wRaw)%8 + 1
-		p := Hash(n, w)
+		p := MustHash(n, w)
 		for v := 0; v < n; v++ {
 			id := graph.VertexID(v)
 			if p.GlobalID(p.Owner(id), p.LocalIndex(id)) != id {
@@ -112,5 +112,55 @@ func TestHashPartitionProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// The uint16 owner representation used to overflow silently: worker
+// counts past 65535 wrapped and corrupted owner vectors. Construction
+// must reject them now.
+func TestWorkerCountValidation(t *testing.T) {
+	for _, bad := range []int{0, -1, MaxWorkers + 1, 1 << 20} {
+		if _, err := Hash(10, bad); err == nil {
+			t.Errorf("Hash accepted numWorkers=%d", bad)
+		}
+		if _, err := Greedy(graph.Chain(10), bad); err == nil {
+			t.Errorf("Greedy accepted numWorkers=%d", bad)
+		}
+		if _, err := FromOwners(bad, make([]uint16, 4)); err == nil {
+			t.Errorf("FromOwners accepted numWorkers=%d", bad)
+		}
+	}
+	// Hash accepts the maximum; Greedy reserves it as its sentinel.
+	if _, err := Hash(10, MaxWorkers); err != nil {
+		t.Errorf("Hash rejected numWorkers=%d: %v", MaxWorkers, err)
+	}
+	if _, err := Greedy(graph.Chain(10), MaxWorkers); err == nil {
+		t.Error("Greedy accepted its sentinel worker count")
+	}
+	if _, err := Greedy(graph.Chain(10), MaxWorkers-1); err != nil {
+		t.Errorf("Greedy rejected numWorkers=%d: %v", MaxWorkers-1, err)
+	}
+}
+
+func TestFromOwnersValidatesEntries(t *testing.T) {
+	if _, err := FromOwners(2, []uint16{0, 1, 2}); err == nil {
+		t.Error("FromOwners accepted an owner out of range")
+	}
+	p, err := FromOwners(3, []uint16{2, 0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBijection(t, p)
+}
+
+func TestByName(t *testing.T) {
+	g := graph.Grid(10, 10, 5, 1)
+	for _, name := range []string{"", PlacementHash, PlacementGreedy} {
+		if _, err := ByName(name, g, 4); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("metis", g, 4); err == nil {
+		t.Error("ByName accepted an unknown placement")
 	}
 }

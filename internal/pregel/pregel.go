@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/barrier"
 	"repro/internal/comm"
+	"repro/internal/frag"
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/ser"
@@ -38,7 +39,12 @@ import (
 // and nil codecs for unused facilities).
 type Config[M, R, A any] struct {
 	Part *partition.Partition
-	Cost comm.CostModel
+	// Frags, if set, gives every worker a pre-resolved shared-nothing
+	// fragment (exposed as Worker.Frag); ghost mode and SendToNbrs use it
+	// instead of the global graph + partition. Built from Adjacency when
+	// unset. When Part is nil it is taken from Frags.
+	Frags *frag.Fragments
+	Cost  comm.CostModel
 	// MaxSupersteps aborts runaway jobs; 0 means 10_000.
 	MaxSupersteps int
 
@@ -78,9 +84,10 @@ func (m Metrics) SimTime() time.Duration { return m.WallTime + m.Comm.SimNetTime
 
 // Worker is the per-node handle passed to the algorithm.
 type Worker[M, R, A any] struct {
-	id  int
-	cfg *Config[M, R, A]
-	job *job[M, R, A]
+	id   int
+	cfg  *Config[M, R, A]
+	frag *frag.Fragment
+	job  *job[M, R, A]
 
 	active      []bool
 	activeCount int
@@ -91,10 +98,15 @@ type Worker[M, R, A any] struct {
 	// with the combined/collected messages from the previous superstep.
 	Compute func(li int, msgs []M)
 
-	// outgoing message staging
-	outDirect [][]dmsg[M]            // basic mode: per dst worker
-	outComb   []map[graph.VertexID]M // combiner mode: per dst worker
-	outGhost  [][]dmsg[M]            // ghost broadcasts: per dst worker (dst = hub id)
+	// outgoing message staging. Destinations are staged pre-resolved as
+	// their dense local index on the owning worker (also the wire
+	// encoding — one fixed uint32 per message, exactly the bytes the
+	// global-id format used). Combining still stages through a hash map:
+	// that is the monolithic baseline of §V-B1 the dense channels are
+	// measured against.
+	outDirect [][]dmsg[M]    // basic mode: per dst worker
+	outComb   []map[uint32]M // combiner mode: per dst worker, keyed by local index
+	outGhost  [][]dmsg[M]    // ghost broadcasts: per dst worker (dst = hub id)
 	// ghost tables
 	hubWorkers [][]int32                  // per local hub slot: worker ids with mirrors
 	hubSlot    []int32                    // per local vertex: index into hubWorkers or -1
@@ -107,12 +119,13 @@ type Worker[M, R, A any] struct {
 	inCombSet []int32 // epoch stamps
 	scratch   []M
 
-	// reqresp state
-	reqStaging [][]graph.VertexID
-	reqPending [][]graph.VertexID
-	asked      [][]graph.VertexID
-	respVals   []map[graph.VertexID]R
-	reqOf      []graph.VertexID
+	// reqresp state: requests held as local indices on the responder
+	// (resolved once in Request), responses keyed the same way
+	reqStaging [][]uint32
+	reqPending [][]uint32
+	asked      [][]uint32
+	respVals   []map[uint32]R
+	reqOf      []frag.Addr
 	reqEpoch   []int32
 
 	// aggregator state
@@ -123,8 +136,10 @@ type Worker[M, R, A any] struct {
 	aggGathSet  bool
 }
 
+// dmsg is one staged message; dst is a pre-resolved local index on the
+// destination worker (or a hub's global id on the ghost path).
 type dmsg[M any] struct {
-	dst graph.VertexID
+	dst uint32
 	m   M
 }
 
@@ -153,11 +168,21 @@ func (w *Worker[M, R, A]) LocalCount() int { return w.cfg.Part.LocalCount(w.id) 
 // GlobalID returns the vertex id at local index li.
 func (w *Worker[M, R, A]) GlobalID(li int) graph.VertexID { return w.cfg.Part.GlobalID(w.id, li) }
 
-// LocalIndex returns v's local index on its owner.
+// LocalIndex returns v's local index on its owner. Transitional
+// accessor: hot superstep loops should consume packed addresses.
 func (w *Worker[M, R, A]) LocalIndex(v graph.VertexID) int { return w.cfg.Part.LocalIndex(v) }
 
-// Owner returns the worker owning v.
+// Owner returns the worker owning v. Transitional accessor: hot
+// superstep loops should consume packed addresses.
 func (w *Worker[M, R, A]) Owner(v graph.VertexID) int { return w.cfg.Part.Owner(v) }
+
+// Addr returns v's packed pre-resolved address. Use it for occasional
+// dynamic destinations; static adjacency comes pre-resolved from Frag.
+func (w *Worker[M, R, A]) Addr(v graph.VertexID) frag.Addr { return frag.Of(w.cfg.Part, v) }
+
+// Frag returns this worker's shared-nothing fragment (nil unless
+// Config.Frags was set or built from Config.Adjacency).
+func (w *Worker[M, R, A]) Frag() *frag.Fragment { return w.frag }
 
 // Superstep returns the current superstep, starting at 1.
 func (w *Worker[M, R, A]) Superstep() int { return w.superstep }
@@ -181,37 +206,45 @@ func (w *Worker[M, R, A]) ActivateLocal(li int) {
 // RequestStop terminates the job after this superstep.
 func (w *Worker[M, R, A]) RequestStop() { w.job.halt[w.id] = true }
 
-// Send sends m to vertex dst, delivered next superstep.
+// Send sends m to vertex dst, delivered next superstep. Transitional
+// id-based entry point: per-edge loops should iterate Frag().Neighbors
+// and call SendAddr with the pre-resolved address.
 func (w *Worker[M, R, A]) Send(dst graph.VertexID, m M) {
-	o := w.Owner(dst)
+	w.SendAddr(w.Addr(dst), m)
+}
+
+// SendAddr sends m to the vertex at packed address a, delivered next
+// superstep.
+func (w *Worker[M, R, A]) SendAddr(a frag.Addr, m M) {
+	o := a.Worker()
+	li := a.Local()
 	if w.cfg.Combiner != nil {
-		if old, ok := w.outComb[o][dst]; ok {
-			w.outComb[o][dst] = w.cfg.Combiner(old, m)
+		if old, ok := w.outComb[o][li]; ok {
+			w.outComb[o][li] = w.cfg.Combiner(old, m)
 		} else {
-			w.outComb[o][dst] = m
+			w.outComb[o][li] = m
 		}
 		return
 	}
-	w.outDirect[o] = append(w.outDirect[o], dmsg[M]{dst: dst, m: m})
+	w.outDirect[o] = append(w.outDirect[o], dmsg[M]{dst: li, m: m})
 }
 
 // SendToNbrs broadcasts m along the out-edges of the current vertex.
 // With ghost mode enabled and the vertex above the threshold, one
 // message per mirror worker is sent instead of one per neighbor.
 func (w *Worker[M, R, A]) SendToNbrs(m M) {
-	g := w.cfg.Adjacency
-	if g == nil {
-		panic("pregel: SendToNbrs requires Config.Adjacency")
+	if w.frag == nil {
+		panic("pregel: SendToNbrs requires Config.Adjacency or Config.Frags")
 	}
-	id := w.GlobalID(w.current)
 	if slot := w.hubSlot; slot != nil && slot[w.current] >= 0 {
+		id := uint32(w.GlobalID(w.current))
 		for _, wk := range w.hubWorkers[slot[w.current]] {
 			w.outGhost[wk] = append(w.outGhost[wk], dmsg[M]{dst: id, m: m})
 		}
 		return
 	}
-	for _, v := range g.Neighbors(id) {
-		w.Send(v, m)
+	for _, a := range w.frag.Neighbors(w.current) {
+		w.SendAddr(a, m)
 	}
 }
 
@@ -221,10 +254,10 @@ func (w *Worker[M, R, A]) Request(dst graph.VertexID) {
 	if w.cfg.Responder == nil {
 		panic("pregel: Request requires Config.Responder")
 	}
-	w.reqOf[w.current] = dst
+	a := w.Addr(dst)
+	w.reqOf[w.current] = a
 	w.reqEpoch[w.current] = int32(w.superstep)
-	o := w.Owner(dst)
-	w.reqStaging[o] = append(w.reqStaging[o], dst)
+	w.reqStaging[a.Worker()] = append(w.reqStaging[a.Worker()], a.Local())
 }
 
 // Resp returns the response for the destination the current vertex
@@ -234,13 +267,16 @@ func (w *Worker[M, R, A]) Resp() (R, bool) {
 	if w.reqEpoch[w.current] != int32(w.superstep-1) {
 		return zero, false
 	}
-	return w.RespFor(w.reqOf[w.current])
+	a := w.reqOf[w.current]
+	v, ok := w.respVals[a.Worker()][a.Local()]
+	return v, ok
 }
 
 // RespFor returns the response for an explicit destination requested in
 // the previous superstep by any vertex of this worker.
 func (w *Worker[M, R, A]) RespFor(dst graph.VertexID) (R, bool) {
-	v, ok := w.respVals[w.Owner(dst)][dst]
+	a := w.Addr(dst)
+	v, ok := w.respVals[a.Worker()][a.Local()]
 	return v, ok
 }
 
@@ -263,11 +299,25 @@ func (w *Worker[M, R, A]) AggResult() A { return w.aggResult }
 // Run executes a baseline job. setup is called once per worker to
 // allocate state and install Compute.
 func Run[M, R, A any](cfg Config[M, R, A], setup func(w *Worker[M, R, A])) (Metrics, error) {
+	if cfg.Part == nil && cfg.Frags != nil {
+		cfg.Part = cfg.Frags.Part
+	}
 	if cfg.Part == nil {
-		return Metrics{}, fmt.Errorf("pregel: Config.Part is required")
+		return Metrics{}, fmt.Errorf("pregel: Config.Part or Config.Frags is required")
+	}
+	if cfg.Frags != nil && cfg.Frags.Part != cfg.Part {
+		// packed addresses resolved under a different partition would
+		// silently deliver messages to the wrong vertices
+		return Metrics{}, fmt.Errorf("pregel: Config.Frags was built from a different partition than Config.Part")
 	}
 	if cfg.MsgCodec == nil {
 		return Metrics{}, fmt.Errorf("pregel: Config.MsgCodec is required")
+	}
+	if cfg.Frags == nil && cfg.Adjacency != nil {
+		// SendToNbrs and ghost tables consume pre-resolved fragments; a
+		// caller that only has the global adjacency pays the resolution
+		// once here.
+		cfg.Frags = frag.Build(cfg.Adjacency, cfg.Part)
 	}
 	maxSteps := cfg.MaxSupersteps
 	if maxSteps == 0 {
@@ -284,6 +334,9 @@ func Run[M, R, A any](cfg Config[M, R, A], setup func(w *Worker[M, R, A])) (Metr
 	workers := make([]*Worker[M, R, A], m)
 	for i := 0; i < m; i++ {
 		workers[i] = &Worker[M, R, A]{id: i, cfg: &cfg, job: j, current: -1}
+		if cfg.Frags != nil {
+			workers[i].frag = cfg.Frags.Frag(i)
+		}
 	}
 	start := time.Now()
 	errs := make([]error, m)

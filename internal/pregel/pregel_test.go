@@ -13,7 +13,7 @@ type noRR = struct{}
 
 func basicCfg(n, workers int) Config[uint32, noRR, noRR] {
 	return Config[uint32, noRR, noRR]{
-		Part:     partition.Hash(n, workers),
+		Part:     partition.MustHash(n, workers),
 		MsgCodec: ser.Uint32Codec{},
 	}
 }
@@ -111,7 +111,7 @@ func TestAggregatorResetsBetweenSupersteps(t *testing.T) {
 	// regression: the per-worker partial must not accumulate across
 	// supersteps
 	cfg := Config[uint32, noRR, float64]{
-		Part:       partition.Hash(6, 2),
+		Part:       partition.MustHash(6, 2),
 		MsgCodec:   ser.Uint32Codec{},
 		AggCombine: func(a, b float64) float64 { return a + b },
 		AggCodec:   ser.Float64Codec{},
@@ -150,7 +150,7 @@ func TestReqRespMode(t *testing.T) {
 	got := make([]uint32, n)
 	vals := make([][]uint32, 3)
 	cfg := Config[uint32, uint32, noRR]{
-		Part:      partition.Hash(n, 3),
+		Part:      partition.MustHash(n, 3),
 		MsgCodec:  ser.Uint32Codec{},
 		RespCodec: ser.Uint32Codec{},
 		Responder: func(w *Worker[uint32, uint32, noRR], li int) uint32 {
@@ -192,7 +192,7 @@ func TestReqRespReplyCarriesIDs(t *testing.T) {
 	// size (4B)
 	const n = 32
 	cfg := Config[uint32, uint32, noRR]{
-		Part:      partition.Hash(n, 4),
+		Part:      partition.MustHash(n, 4),
 		MsgCodec:  ser.Uint32Codec{},
 		RespCodec: ser.Uint32Codec{},
 		Responder: func(w *Worker[uint32, uint32, noRR], li int) uint32 { return 7 },
@@ -232,7 +232,7 @@ func TestGhostModeEquivalence(t *testing.T) {
 	run := func(threshold int) ([]uint32, int64) {
 		got := make([]uint32, n)
 		cfg := Config[uint32, noRR, noRR]{
-			Part:           partition.Hash(n, 4),
+			Part:           partition.MustHash(n, 4),
 			MsgCodec:       ser.Uint32Codec{},
 			Combiner:       func(a, b uint32) uint32 { return a + b },
 			GhostThreshold: threshold,
@@ -277,7 +277,7 @@ func TestGhostModeLowDegreeUsesRegularPath(t *testing.T) {
 	g := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}}, false)
 	got := make([]uint32, 4)
 	cfg := Config[uint32, noRR, noRR]{
-		Part:           partition.Hash(4, 2),
+		Part:           partition.MustHash(4, 2),
 		MsgCodec:       ser.Uint32Codec{},
 		GhostThreshold: 10, // degree 2 < threshold
 		Adjacency:      g,
@@ -310,7 +310,7 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := Run(Config[uint32, noRR, noRR]{}, nil); err == nil {
 		t.Error("missing Part not rejected")
 	}
-	if _, err := Run(Config[uint32, noRR, noRR]{Part: partition.Hash(2, 1)}, nil); err == nil {
+	if _, err := Run(Config[uint32, noRR, noRR]{Part: partition.MustHash(2, 1)}, nil); err == nil {
 		t.Error("missing MsgCodec not rejected")
 	}
 	cfg := basicCfg(2, 1)

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/barrier"
+	"repro/internal/frag"
 	"repro/internal/graph"
 	"repro/internal/ser"
 )
@@ -37,9 +38,9 @@ func (w *Worker[M, R, A]) runSupersteps(setup func(*Worker[M, R, A]), maxSteps i
 	// allocate engine state
 	n := w.LocalCount()
 	w.outDirect = make([][]dmsg[M], m)
-	w.outComb = make([]map[graph.VertexID]M, m)
+	w.outComb = make([]map[uint32]M, m)
 	for i := range w.outComb {
-		w.outComb[i] = make(map[graph.VertexID]M)
+		w.outComb[i] = make(map[uint32]M)
 	}
 	if cfg.Combiner != nil {
 		w.inComb = make([]M, n)
@@ -52,14 +53,14 @@ func (w *Worker[M, R, A]) runSupersteps(setup func(*Worker[M, R, A]), maxSteps i
 		if cfg.RespCodec == nil {
 			return fmt.Errorf("pregel: Responder requires RespCodec")
 		}
-		w.reqStaging = make([][]graph.VertexID, m)
-		w.reqPending = make([][]graph.VertexID, m)
-		w.asked = make([][]graph.VertexID, m)
-		w.respVals = make([]map[graph.VertexID]R, m)
+		w.reqStaging = make([][]uint32, m)
+		w.reqPending = make([][]uint32, m)
+		w.asked = make([][]uint32, m)
+		w.respVals = make([]map[uint32]R, m)
 		for i := range w.respVals {
-			w.respVals[i] = make(map[graph.VertexID]R)
+			w.respVals[i] = make(map[uint32]R)
 		}
-		w.reqOf = make([]graph.VertexID, n)
+		w.reqOf = make([]frag.Addr, n)
 		w.reqEpoch = make([]int32, n)
 	}
 	if cfg.AggCombine != nil && cfg.AggCodec == nil {
@@ -67,8 +68,8 @@ func (w *Worker[M, R, A]) runSupersteps(setup func(*Worker[M, R, A]), maxSteps i
 	}
 	w.aggResult = cfg.AggZero
 	if cfg.GhostThreshold > 0 {
-		if cfg.Adjacency == nil {
-			return fmt.Errorf("pregel: GhostThreshold requires Adjacency")
+		if w.frag == nil {
+			return fmt.Errorf("pregel: GhostThreshold requires Adjacency or Frags")
 		}
 		w.buildGhostTables()
 		w.outGhost = make([][]dmsg[M], m)
@@ -221,14 +222,15 @@ func (w *Worker[M, R, A]) afterCompute() {
 
 func (w *Worker[M, R, A]) serializeRound1(dst int, buf *ser.Buffer) {
 	cfg := w.cfg
-	// messages
+	// messages: one fixed uint32 dense id per message (Pregel+'s
+	// id-tagged format — the byte count the channels are compared to)
 	if cfg.Combiner != nil {
 		staged := w.outComb[dst]
 		buf.WriteUvarint(uint64(len(staged)))
-		for id, msg := range staged {
-			buf.WriteUint32(id)
+		for li, msg := range staged {
+			buf.WriteUint32(li)
 			cfg.MsgCodec.Encode(buf, msg)
-			delete(staged, id)
+			delete(staged, li)
 		}
 	} else {
 		staged := w.outDirect[dst]
@@ -253,8 +255,8 @@ func (w *Worker[M, R, A]) serializeRound1(dst int, buf *ser.Buffer) {
 	if cfg.Responder != nil {
 		lst := w.reqPending[dst]
 		buf.WriteUvarint(uint64(len(lst)))
-		for _, id := range lst {
-			buf.WriteUint32(id)
+		for _, li := range lst {
+			buf.WriteUint32(li)
 		}
 	}
 	// aggregator partial (to worker 0 only); the partial is consumed by
@@ -271,12 +273,13 @@ func (w *Worker[M, R, A]) serializeRound1(dst int, buf *ser.Buffer) {
 
 func (w *Worker[M, R, A]) deserializeRound1(src int, buf *ser.Buffer) {
 	cfg := w.cfg
-	// messages
+	// messages: the wire dense id is the local index — delivery is a
+	// direct array write, no partition lookup
 	nmsg := int(buf.ReadUvarint())
 	for i := 0; i < nmsg; i++ {
-		id := buf.ReadUint32()
+		li := buf.ReadUint32()
 		msg := cfg.MsgCodec.Decode(buf)
-		w.deliver(w.LocalIndex(id), msg)
+		w.deliver(int(li), msg)
 	}
 	// ghost broadcasts
 	if cfg.GhostThreshold > 0 {
@@ -292,11 +295,11 @@ func (w *Worker[M, R, A]) deserializeRound1(src int, buf *ser.Buffer) {
 	// requests
 	if cfg.Responder != nil {
 		nr := int(buf.ReadUvarint())
-		ids := w.asked[src][:0]
+		lis := w.asked[src][:0]
 		for i := 0; i < nr; i++ {
-			ids = append(ids, buf.ReadUint32())
+			lis = append(lis, buf.ReadUint32())
 		}
-		w.asked[src] = ids
+		w.asked[src] = lis
 	}
 	// aggregator partial (worker 0 only receives)
 	if cfg.AggCombine != nil && w.id == 0 {
@@ -315,13 +318,14 @@ func (w *Worker[M, R, A]) deserializeRound1(src int, buf *ser.Buffer) {
 func (w *Worker[M, R, A]) serializeRound2(dst int, buf *ser.Buffer) {
 	cfg := w.cfg
 	if cfg.Responder != nil {
-		ids := w.asked[dst]
-		buf.WriteUvarint(uint64(len(ids)))
-		// Pregel+ reply format: (vertex id, value) pairs — the id is
-		// retransmitted with every response.
-		for _, id := range ids {
-			buf.WriteUint32(id)
-			cfg.RespCodec.Encode(buf, cfg.Responder(w, w.LocalIndex(id)))
+		lis := w.asked[dst]
+		buf.WriteUvarint(uint64(len(lis)))
+		// Pregel+ reply format: (vertex id, value) pairs — the (dense) id
+		// is retransmitted with every response, which is the constant
+		// reply-size overhead §V-B2 measures.
+		for _, li := range lis {
+			buf.WriteUint32(li)
+			cfg.RespCodec.Encode(buf, cfg.Responder(w, int(li)))
 		}
 	}
 	if cfg.AggCombine != nil && w.id == 0 {
@@ -334,9 +338,9 @@ func (w *Worker[M, R, A]) deserializeRound2(src int, buf *ser.Buffer) {
 	if cfg.Responder != nil {
 		nr := int(buf.ReadUvarint())
 		for i := 0; i < nr; i++ {
-			id := buf.ReadUint32()
+			li := buf.ReadUint32()
 			v := cfg.RespCodec.Decode(buf)
-			w.respVals[src][id] = v
+			w.respVals[src][li] = v
 		}
 	}
 	if cfg.AggCombine != nil && src == 0 {
@@ -366,11 +370,11 @@ func (w *Worker[M, R, A]) deliver(li int, msg M) {
 // buildGhostTables precomputes, for each hub vertex (degree >=
 // threshold), the set of workers holding mirrors, and on the receiving
 // side the hub's local neighbor lists. In the real system this is a
-// preprocessing exchange; here both sides are derived from the shared
-// graph, charging only the (real) CPU time.
+// preprocessing exchange; here both sides are derived from the
+// pre-resolved fragments (every fragment is readable by every worker in
+// this in-process simulation), charging only the (real) CPU time.
 func (w *Worker[M, R, A]) buildGhostTables() {
-	g := w.cfg.Adjacency
-	part := w.cfg.Part
+	fs := w.cfg.Frags
 	thr := w.cfg.GhostThreshold
 	n := w.LocalCount()
 	w.hubSlot = make([]int32, n)
@@ -378,32 +382,37 @@ func (w *Worker[M, R, A]) buildGhostTables() {
 		w.hubSlot[i] = -1
 	}
 	w.ghostAdj = make(map[graph.VertexID][]int32)
-	// own hubs: worker lists
+	// own hubs: worker lists, from the fragment's packed adjacency
+	seen := make([]bool, w.NumWorkers())
 	for li := 0; li < n; li++ {
-		id := w.GlobalID(li)
-		if g.OutDegree(id) < thr {
+		if w.frag.OutDegree(li) < thr {
 			continue
 		}
-		seen := make(map[int32]struct{})
+		for i := range seen {
+			seen[i] = false
+		}
 		var lst []int32
-		for _, v := range g.Neighbors(id) {
-			o := int32(part.Owner(v))
-			if _, ok := seen[o]; !ok {
-				seen[o] = struct{}{}
-				lst = append(lst, o)
+		for _, a := range w.frag.Neighbors(li) {
+			if o := a.Worker(); !seen[o] {
+				seen[o] = true
+				lst = append(lst, int32(o))
 			}
 		}
 		w.hubSlot[li] = int32(len(w.hubWorkers))
 		w.hubWorkers = append(w.hubWorkers, lst)
 	}
-	// mirror adjacency: any hub in the graph with neighbors here
-	for u := 0; u < g.NumVertices(); u++ {
-		if g.OutDegree(graph.VertexID(u)) < thr {
-			continue
-		}
-		for _, v := range g.Neighbors(graph.VertexID(u)) {
-			if part.Owner(v) == w.id {
-				w.ghostAdj[graph.VertexID(u)] = append(w.ghostAdj[graph.VertexID(u)], int32(part.LocalIndex(v)))
+	// mirror adjacency: any hub on any worker with neighbors here
+	for o := 0; o < fs.NumWorkers(); o++ {
+		fo := fs.Frag(o)
+		for li := 0; li < fo.LocalCount(); li++ {
+			if fo.OutDegree(li) < thr {
+				continue
+			}
+			hub := fo.GlobalID(li)
+			for _, a := range fo.Neighbors(li) {
+				if a.Worker() == w.id {
+					w.ghostAdj[hub] = append(w.ghostAdj[hub], int32(a.Local()))
+				}
 			}
 		}
 	}

@@ -335,3 +335,39 @@ func TestAPIErrorsAndIntrospection(t *testing.T) {
 		t.Fatalf("jobs list %+v", list.Jobs)
 	}
 }
+
+// Placement selection over the wire: a greedy-placement job round-trips
+// through /v1, reports placement + edge cut in its metrics, and
+// produces the same components as the default hash placement.
+func TestPlacementOverHTTP(t *testing.T) {
+	cat, _, ts := testService(t, 1)
+	// a grid large enough that BFS region growing clearly beats hash
+	if err := cat.Register(catalog.Spec{Name: "road", Gen: "grid:rows=24,cols=24,maxw=40,seed=5"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, code := postJob(t, ts.URL, jobs.Request{Algorithm: "wcc", Dataset: "road", Placement: "metis"}); code != http.StatusBadRequest {
+		t.Fatalf("bad placement: HTTP %d", code)
+	}
+	run := func(placement string) (jobs.Snapshot, resultPayloadT) {
+		snap, code := postJob(t, ts.URL, jobs.Request{Algorithm: "wcc", Dataset: "road", Placement: placement})
+		if code != http.StatusAccepted {
+			t.Fatalf("placement %q: HTTP %d", placement, code)
+		}
+		snap = waitDone(t, ts.URL, snap.ID)
+		if snap.State != jobs.StateDone {
+			t.Fatalf("placement %q: state %s (%s)", placement, snap.State, snap.Error)
+		}
+		var res resultPayloadT
+		getJSON(t, ts.URL+"/v1/jobs/"+snap.ID+"/result", http.StatusOK, &res)
+		return snap, res
+	}
+	hSnap, hRes := run("hash")
+	gSnap, gRes := run("greedy")
+	if hSnap.Metrics.Placement != "hash" || gSnap.Metrics.Placement != "greedy" {
+		t.Fatalf("metrics placements: %q / %q", hSnap.Metrics.Placement, gSnap.Metrics.Placement)
+	}
+	if gSnap.Metrics.EdgeCut <= 0 || gSnap.Metrics.EdgeCut >= hSnap.Metrics.EdgeCut {
+		t.Fatalf("edge cuts: greedy %.3f vs hash %.3f", gSnap.Metrics.EdgeCut, hSnap.Metrics.EdgeCut)
+	}
+	samePartition(t, "wcc hash vs greedy", hRes.Labels, gRes.Labels)
+}

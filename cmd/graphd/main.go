@@ -8,17 +8,25 @@
 //	graphd [-addr :8372] [-workers 4] [-builtin test|bench|none]
 //	       [-dataset name=spec ...] [-preload name,name]
 //	       [-retain 256] [-queue 64] [-max-graph-bytes 0]
+//	       [-compact-ops 65536] [-compact-batches 64]
 //
 // A dataset spec is either a file path (text edge list, or a binary
 // snapshot written by graph.WriteBinary; "<path>.bin" siblings are
 // preferred) or a generator expression such as
-// "gen:rmat:scale=14,ef=10,seed=1" — see catalog.ParseGen. Examples:
+// "gen:rmat:scale=14,ef=10,seed=1" — see catalog.ParseGen. A "live:"
+// prefix registers the dataset mutable: edge batches may be POSTed to
+// /v1/datasets/{name}/edges and a background compactor folds them into
+// new epochs once the delta log crosses the -compact-* thresholds.
+// Examples:
 //
 //	graphd -dataset web=data/web.el -dataset road=gen:grid:rows=300,cols=300,maxw=1000 -preload web
+//	graphd -dataset stream=live:gen:rmat:scale=12,ef=8,seed=9 -compact-ops 20000
 //
-// Submit a job:
+// Submit a job, ingest edges:
 //
 //	curl -s localhost:8372/v1/jobs -d '{"algorithm":"pagerank","dataset":"web","engine":"channel"}'
+//	curl -s localhost:8372/v1/datasets/feed/edges -d '7 12
+//	- 3 4'
 package main
 
 import (
@@ -53,6 +61,7 @@ func builtinDatasets(scale string) []catalog.Spec {
 			{Name: "tree", Gen: "tree:n=2000,seed=105"},
 			{Name: "road", Gen: "grid:rows=40,cols=40,maxw=1000,seed=106"},
 			{Name: "rmatw", Gen: "rmat:scale=8,ef=8,seed=107,weighted,maxw=1000,undirected"},
+			{Name: "feed", Gen: "rmat:scale=9,ef=4,seed=108", Mutable: true},
 		}
 	case "bench":
 		return []catalog.Spec{
@@ -64,6 +73,7 @@ func builtinDatasets(scale string) []catalog.Spec {
 			{Name: "tree", Gen: "tree:n=200000,seed=105"},
 			{Name: "road", Gen: "grid:rows=300,cols=300,maxw=1000,seed=106"},
 			{Name: "rmatw", Gen: "rmat:scale=13,ef=8,seed=107,weighted,maxw=1000,undirected"},
+			{Name: "feed", Gen: "rmat:scale=13,ef=6,seed=108", Mutable: true},
 		}
 	default:
 		return nil
@@ -78,15 +88,19 @@ func main() {
 	retain := flag.Int("retain", 256, "finished jobs (and results) to retain")
 	queueDepth := flag.Int("queue", 64, "pending job queue depth")
 	maxGraphBytes := flag.Int64("max-graph-bytes", 0, "approximate catalog byte budget (0 = unlimited)")
+	compactOps := flag.Int("compact-ops", 0, "live datasets: compact once this many delta ops are pending (0 = default 65536)")
+	compactBatches := flag.Int("compact-batches", 0, "live datasets: compact once this many delta batches are pending (0 = default 64)")
 	preload := flag.String("preload", "", "comma-separated datasets to load at startup")
 	var datasetFlags []string
-	flag.Func("dataset", "register a dataset as name=path or name=gen:EXPR (repeatable)", func(v string) error {
+	flag.Func("dataset", "register a dataset as name=path or name=gen:EXPR; a live: prefix makes it mutable (repeatable)", func(v string) error {
 		datasetFlags = append(datasetFlags, v)
 		return nil
 	})
 	flag.Parse()
 
-	cat := catalog.New(*simWorkers, *maxGraphBytes)
+	cat := catalog.New(*simWorkers, *maxGraphBytes,
+		catalog.WithCompaction(*compactOps, *compactBatches))
+	defer cat.Close()
 	if *builtin != "none" {
 		specs := builtinDatasets(*builtin)
 		if specs == nil {
@@ -104,6 +118,10 @@ func main() {
 			log.Fatalf("graphd: bad -dataset %q (want name=path or name=gen:EXPR)", df)
 		}
 		spec := catalog.Spec{Name: name}
+		if rest, isLive := strings.CutPrefix(val, "live:"); isLive {
+			spec.Mutable = true
+			val = rest
+		}
 		if expr, isGen := strings.CutPrefix(val, "gen:"); isGen {
 			spec.Gen = expr
 		} else {
@@ -131,8 +149,9 @@ func main() {
 					log.Printf("graphd: preload %s: %v", name, err)
 					return
 				}
+				g := e.CurrentGraph()
 				log.Printf("graphd: preloaded %s: %d vertices, %d edges in %v",
-					name, e.Graph.NumVertices(), e.Graph.NumEdges(), time.Since(t0).Round(time.Millisecond))
+					name, g.NumVertices(), g.NumEdges(), time.Since(t0).Round(time.Millisecond))
 			}(name)
 		}
 	}

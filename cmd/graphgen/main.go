@@ -15,15 +15,28 @@
 // restarts skip re-partitioning:
 //
 //	graphgen -kind grid -rows 300 -cols 300 -o road.bin -placements hash,greedy -workers 8
+//
+// With -stream N the generator additionally emits a replayable
+// edge-batch stream file (live.WriteStream format: "# batch k"
+// separators between text edge-batch chunks) of N random mutation
+// batches against the generated graph — inserts of fresh edges and
+// deletions of currently present ones, tracked so every delete refers
+// to an edge that exists at that point of the replay. The stream is
+// what examples/livestream and POST /v1/datasets/{name}/edges consume:
+//
+//	graphgen -kind rmat -scale 12 -ef 8 -o base.el \
+//	    -stream 50 -stream-ops 500 -stream-del 0.3 -stream-o base.stream
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strings"
 
 	"repro/internal/graph"
+	"repro/internal/live"
 	"repro/internal/partition"
 )
 
@@ -41,6 +54,10 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout; *.bin writes a binary snapshot)")
 	placements := flag.String("placements", "", "comma-separated placements to embed in a .bin snapshot (hash,greedy)")
 	workers := flag.Int("workers", 8, "worker count for embedded placements")
+	streamN := flag.Int("stream", 0, "emit a replayable stream of this many edge-mutation batches")
+	streamOps := flag.Int("stream-ops", 256, "mutations per stream batch")
+	streamDel := flag.Float64("stream-del", 0.2, "fraction of stream mutations that are deletions")
+	streamOut := flag.String("stream-o", "", "stream output file (required with -stream)")
 	flag.Parse()
 
 	var g *graph.Graph
@@ -61,6 +78,30 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "graphgen: unknown kind %q\n", *kind)
 		os.Exit(2)
+	}
+
+	if *streamN > 0 {
+		if *streamOut == "" {
+			fmt.Fprintln(os.Stderr, "graphgen: -stream requires -stream-o")
+			os.Exit(2)
+		}
+		batches := mutationStream(g, *streamN, *streamOps, *streamDel, *seed)
+		f, err := os.Create(*streamOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+			os.Exit(1)
+		}
+		if err := live.WriteStream(f, batches); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "graphgen: wrote %d batches x %d ops to %s\n",
+			*streamN, *streamOps, *streamOut)
 	}
 
 	if *placements != "" && !strings.HasSuffix(*out, graph.SnapshotExt) {
@@ -102,4 +143,66 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "graphgen: %d vertices, %d edges (avg deg %.2f, max %d)\n",
 		g.NumVertices(), g.NumEdges(), g.AvgDegree(), g.MaxDegree())
+}
+
+// mutationStream generates batches random ops against g, tracking the
+// present edge set with live's last-write-wins semantics so every
+// deletion refers to an edge that exists at its point in the replay.
+// Inserts stay within g's vertex range; weights are drawn when g is
+// weighted.
+func mutationStream(g *graph.Graph, batches, opsPer int, delFrac float64, seed int64) []live.Batch {
+	rng := rand.New(rand.NewSource(seed + 7))
+	n := g.NumVertices()
+	key := func(s, d graph.VertexID) uint64 { return uint64(s)<<32 | uint64(d) }
+	// present edge pairs: slice for random pick, map for O(1) removal
+	pairs := make([]uint64, 0, g.NumEdges())
+	index := make(map[uint64]int, g.NumEdges())
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(graph.VertexID(u)) {
+			k := key(graph.VertexID(u), v)
+			if _, dup := index[k]; dup {
+				continue // parallel base edges collapse to one live pair
+			}
+			index[k] = len(pairs)
+			pairs = append(pairs, k)
+		}
+	}
+	remove := func(k uint64) {
+		i := index[k]
+		last := pairs[len(pairs)-1]
+		pairs[i] = last
+		index[last] = i
+		pairs = pairs[:len(pairs)-1]
+		delete(index, k)
+	}
+	add := func(k uint64) {
+		if _, ok := index[k]; ok {
+			return
+		}
+		index[k] = len(pairs)
+		pairs = append(pairs, k)
+	}
+	out := make([]live.Batch, 0, batches)
+	for b := 0; b < batches; b++ {
+		var batch live.Batch
+		for o := 0; o < opsPer; o++ {
+			if rng.Float64() < delFrac && len(pairs) > 0 {
+				k := pairs[rng.Intn(len(pairs))]
+				remove(k)
+				batch.Ops = append(batch.Ops, live.Op{
+					Src: graph.VertexID(k >> 32), Dst: graph.VertexID(uint32(k)), Del: true})
+				continue
+			}
+			src := graph.VertexID(rng.Intn(n))
+			dst := graph.VertexID(rng.Intn(n))
+			op := live.Op{Src: src, Dst: dst}
+			if g.Weighted() {
+				op.Weight = 1 + rng.Int31n(100)
+			}
+			add(key(src, dst))
+			batch.Ops = append(batch.Ops, op)
+		}
+		out = append(out, batch)
+	}
+	return out
 }

@@ -14,6 +14,23 @@
 // on a bounded worker pool, and internal/server exposes the HTTP/JSON
 // /v1 API. See README.md for a curl quickstart.
 //
+// Graphs can change while queries run. internal/live holds the
+// epoch/delta design: a live graph is an immutable base CSR (an Epoch)
+// plus an append-only delta log of batched edge insertions/deletions
+// (last-write-wins per (src, dst) pair). Readers pin an epoch by
+// refcount — a job computes over one consistent snapshot for its whole
+// run and records the epoch in its metrics — while a background
+// compactor merges the log into a new CSR, rebuilds the partitions and
+// fragments the outgoing epoch had materialized (in parallel, with the
+// same builders the static path uses), publishes the new epoch
+// atomically, and retires superseded epochs the moment their last pin
+// drops, releasing their bytes from the catalog budget. The same Epoch
+// type also wraps every static dataset (never superseded), so view
+// construction has exactly one implementation. Ingest rides POST
+// /v1/datasets/{name}/edges (JSON or text edge-list bodies); running
+// jobs are cancellable through the same barrier-abort path workers use
+// for failure unwinding (DELETE /v1/jobs/{id}).
+//
 // The exchange fabric is dense end to end, which is the paper's central
 // performance argument taken to its conclusion: every channel stages
 // outgoing messages in flat per-destination-worker slots keyed by the

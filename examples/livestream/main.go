@@ -1,0 +1,214 @@
+// Example livestream: graphs that change while queries run. Starts the
+// job service in-process with a mutable ("live") dataset, then drives
+// it the way a production client would — a writer goroutine streams
+// edge batches into POST /v1/datasets/{name}/edges while the main loop
+// submits PageRank and WCC jobs over HTTP. Every job metrics payload
+// reports the epoch it executed against, so the output shows queries
+// riding consistent snapshots as the compactor publishes new epochs
+// underneath them.
+//
+// With -stream FILE the writer replays a stream produced by
+// graphgen -stream (each "# batch" chunk POSTed verbatim as a text
+// body); without it, random batches are synthesized on the fly.
+//
+// Usage:
+//
+//	go run ./examples/livestream [-batches 24] [-ops 400] [-jobs 8] [-stream file]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/jobs"
+	"repro/internal/live"
+	"repro/internal/server"
+)
+
+const dataset = "feed"
+
+func main() {
+	batches := flag.Int("batches", 24, "edge batches to ingest")
+	ops := flag.Int("ops", 400, "mutations per synthesized batch")
+	jobEvery := flag.Int("jobs", 8, "submit a PageRank+WCC pair every N batches")
+	streamFile := flag.String("stream", "", "replay a graphgen -stream file instead of synthesizing batches")
+	flag.Parse()
+
+	cat := catalog.New(8, 0, catalog.WithCompaction(1500, 6))
+	defer cat.Close()
+	if err := cat.Register(catalog.Spec{Name: dataset, Gen: "rmat:scale=11,ef=6,seed=42", Mutable: true}); err != nil {
+		log.Fatal(err)
+	}
+	mgr := jobs.NewManager(cat, 4)
+	defer mgr.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: server.New(cat, mgr).Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("graphd serving on %s, live dataset %q\n\n", base, dataset)
+
+	bodies := batchBodies(*batches, *ops, *streamFile)
+
+	fmt.Printf("%-6s %-28s %-10s %-8s %6s %7s\n",
+		"batch", "ingest(+ins/-del pend)", "job", "algo", "epoch", "state")
+	var ids []string
+	for i, body := range bodies {
+		r := postText(base+"/v1/datasets/"+dataset+"/edges", body)
+		fmt.Printf("%-6d +%d/-%d pend=%d epoch=%d%s\n",
+			i, r.Inserts, r.Deletes, r.Live.PendingOps, r.Live.Epoch,
+			compactNote(r))
+		if (i+1)%*jobEvery == 0 {
+			for _, algo := range []string{"pagerank", "wcc"} {
+				snap := submit(base, jobs.Request{Algorithm: algo, Dataset: dataset})
+				ids = append(ids, snap.ID)
+			}
+		}
+	}
+
+	// drain the jobs and show which epoch each one computed over
+	fmt.Println()
+	for _, id := range ids {
+		snap := waitDone(base, id)
+		epoch := uint64(0)
+		if snap.Metrics != nil {
+			epoch = snap.Metrics.Epoch
+		}
+		fmt.Printf("%-10s %-10s epoch=%-4d steps=%-5d state=%s\n",
+			id, snap.Request.Algorithm, epoch,
+			metricsSteps(snap), snap.State)
+	}
+
+	var detail struct {
+		Live *live.Stats `json:"live"`
+	}
+	mustGet(base+"/v1/datasets/"+dataset, &detail)
+	st := detail.Live
+	fmt.Printf("\nlive stats: epoch=%d vertices=%d edges=%d compactions=%d retired=%d resident_epochs=%d\n",
+		st.Epoch, st.Vertices, st.Edges, st.Compactions, st.RetiredEpochs, st.LiveEpochs)
+	if st.Compactions == 0 {
+		fmt.Println("unexpected: the stream should have triggered at least one compaction")
+		os.Exit(1)
+	}
+}
+
+// batchBodies returns the text ingest bodies: the replay chunks of a
+// graphgen stream file, or synthesized random batches.
+func batchBodies(n, ops int, streamFile string) []string {
+	if streamFile != "" {
+		data, err := os.ReadFile(streamFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		chunks := live.SplitStream(string(data))
+		fmt.Printf("replaying %d batches from %s\n\n", len(chunks), streamFile)
+		return chunks
+	}
+	rng := rand.New(rand.NewSource(99))
+	const vertices = 1 << 11 // matches the generator scale above
+	out := make([]string, 0, n)
+	for b := 0; b < n; b++ {
+		var sb strings.Builder
+		for o := 0; o < ops; o++ {
+			if rng.Float64() < 0.25 {
+				fmt.Fprintf(&sb, "- %d %d\n", rng.Intn(vertices), rng.Intn(vertices))
+			} else {
+				fmt.Fprintf(&sb, "%d %d\n", rng.Intn(vertices), rng.Intn(vertices))
+			}
+		}
+		out = append(out, sb.String())
+	}
+	return out
+}
+
+func compactNote(r ingestResp) string {
+	if r.Live.Compactions > 0 {
+		return fmt.Sprintf(" compactions=%d", r.Live.Compactions)
+	}
+	return ""
+}
+
+func metricsSteps(snap jobs.Snapshot) int {
+	if snap.Metrics == nil {
+		return 0
+	}
+	return snap.Metrics.Supersteps
+}
+
+type ingestResp struct {
+	Inserts int        `json:"inserts"`
+	Deletes int        `json:"deletes"`
+	Live    live.Stats `json:"live"`
+}
+
+func postText(url, body string) ingestResp {
+	resp, err := http.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("POST %s: HTTP %d", url, resp.StatusCode)
+	}
+	var r ingestResp
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
+
+func submit(base string, req jobs.Request) jobs.Snapshot {
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap jobs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	return snap
+}
+
+func waitDone(base, id string) jobs.Snapshot {
+	for {
+		var snap jobs.Snapshot
+		mustGet(base+"/v1/jobs/"+id, &snap)
+		if snap.State.Terminal() {
+			return snap
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func mustGet(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}

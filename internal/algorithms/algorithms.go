@@ -65,6 +65,10 @@ type Options struct {
 	Frags *frag.Fragments
 	// MaxSupersteps caps the run (0 = engine default).
 	MaxSupersteps int
+	// Cancel, if non-nil, aborts the run when closed (the job service
+	// threads each job's cancellation channel through here); the run
+	// returns barrier.ErrCancelled.
+	Cancel <-chan struct{}
 }
 
 // fragments returns the pre-resolved fragments of g, building them when

@@ -84,6 +84,7 @@ func MSFPregel(g *graph.Graph, opts Options) (MSFResult, pregel.Metrics, error) 
 		Part:          part,
 		Frags:         opts.fragments(g),
 		MaxSupersteps: opts.MaxSupersteps,
+		Cancel:        opts.Cancel,
 		MsgCodec:      msfMMsgCodec{},
 		AggCombine:    msfPAggSum,
 		AggCodec:      msfPAggCodec{},

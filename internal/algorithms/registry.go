@@ -67,6 +67,9 @@ type Metrics struct {
 	// manager from the catalog view).
 	Placement string  `json:"placement,omitempty"`
 	EdgeCut   float64 `json:"edge_cut,omitempty"`
+	// Epoch is the live-dataset epoch the job executed against (0 for
+	// immutable datasets; filled by the job manager).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 func metricsFromChannel(m engine.Metrics) Metrics {

@@ -71,6 +71,7 @@ func SCCPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, 
 		Part:          part,
 		Frags:         fwdFrags,
 		MaxSupersteps: opts.MaxSupersteps,
+		Cancel:        opts.Cancel,
 		MsgCodec:      sccMMsgCodec{},
 		AggCombine:    sccAggSum,
 		AggCodec:      sccAggCodec{},

@@ -18,6 +18,7 @@ func SSSPPregel(g *graph.Graph, src graph.VertexID, opts Options) ([]int64, preg
 		Part:          part,
 		Frags:         opts.fragments(g),
 		MaxSupersteps: opts.MaxSupersteps,
+		Cancel:        opts.Cancel,
 		MsgCodec:      ser.Int64Codec{},
 		Combiner:      minI64,
 	}

@@ -57,6 +57,7 @@ func SVPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, e
 		Part:          part,
 		Frags:         opts.fragments(g),
 		MaxSupersteps: opts.MaxSupersteps,
+		Cancel:        opts.Cancel,
 		MsgCodec:      svMsgCodec{},
 		AggCombine:    orBool,
 		AggCodec:      ser.BoolCodec{},
@@ -138,6 +139,7 @@ func SVPregelReqResp(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Met
 		Part:          part,
 		Frags:         opts.fragments(g),
 		MaxSupersteps: opts.MaxSupersteps,
+		Cancel:        opts.Cancel,
 		MsgCodec:      ser.Uint32Codec{},
 		Combiner:      minU32,
 		RespCodec:     ser.Uint32Codec{},

@@ -24,6 +24,12 @@ import (
 // root causes surface to the caller.
 var ErrAborted = errors.New("barrier: aborted: another worker failed")
 
+// ErrCancelled is what an engine Run returns when its Config.Cancel
+// channel closed mid-run: the abort was requested by the caller, so it
+// surfaces as this distinct sentinel instead of a worker failure (the
+// job service maps it to the "cancelled" state).
+var ErrCancelled = errors.New("run cancelled")
+
 // JoinErrors joins all real worker errors in worker order, dropping
 // abort echoes and duplicate messages (a symmetric failure every worker
 // hits, like a superstep cap, surfaces once rather than once per
@@ -101,6 +107,36 @@ func (b *Barrier) Wait() bool {
 	b.blocked.Add(-1)
 	b.mu.Unlock()
 	return !b.aborted.Load()
+}
+
+// WatchCancel aborts b when cancel closes — the engines' cancellation
+// path: the abort releases every barrier crossing, so all workers
+// unwind with ErrAborted. The returned closure stops the watcher and
+// reports whether cancellation fired; the engines call it exactly once,
+// after all workers have returned, and substitute ErrCancelled when no
+// real worker error explains the abort. A nil cancel channel installs
+// no watcher.
+func WatchCancel(cancel <-chan struct{}, b *Barrier) func() bool {
+	if cancel == nil {
+		return func() bool { return false }
+	}
+	var fired atomic.Bool
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-cancel:
+			fired.Store(true)
+			b.Abort()
+		case <-stop:
+		}
+	}()
+	return func() bool {
+		close(stop)
+		<-done
+		return fired.Load()
+	}
 }
 
 // Abort permanently releases the barrier: every waiter currently parked

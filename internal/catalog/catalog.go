@@ -1,15 +1,18 @@
 // Package catalog is the shared graph store of the job service: named
 // dataset specs (edge-list files or generator expressions) loaded at
-// most once, cached as the immutable *graph.Graph plus its derived
-// views, and shared by every job that names the dataset.
+// most once, cached as epoch-wrapped graphs plus their derived views,
+// and shared by every job that names the dataset.
 //
 // A view is one (orientation, placement) combination of the dataset:
 // the graph, its partition, and the pre-resolved per-worker fragments
-// (internal/frag) every job runs on. Views are built lazily, exactly
-// once each (the default hash view eagerly at load time, fragments in
-// parallel), cached on the entry, and charged against the catalog's
-// byte budget — the cache is effectively keyed by (dataset, workers,
-// placement).
+// (internal/frag) every job runs on. View construction lives on
+// internal/live's Epoch — a static dataset is a single never-superseded
+// epoch, a mutable one (Spec.Mutable) is a live.Graph whose compactor
+// publishes new epochs as edge batches land. Views are built lazily,
+// exactly once each per epoch (the default hash view eagerly at load
+// time, fragments in parallel), and charged against the catalog's byte
+// budget — so the budget covers every resident epoch, not just the
+// base graphs.
 //
 // Loading is singleflight — concurrent Get calls for a cold dataset
 // block on one loader goroutine — and the resident set is bounded by an
@@ -29,8 +32,8 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/frag"
 	"repro/internal/graph"
+	"repro/internal/live"
 	"repro/internal/partition"
 )
 
@@ -49,155 +52,144 @@ type Spec struct {
 	// ("hash" when empty, or "greedy" — the paper's "(P)" locality
 	// placement). Individual jobs may override it.
 	Placement string `json:"placement,omitempty"`
+	// Mutable registers the dataset as a live graph: edge batches may
+	// be ingested after load, and jobs run against epoch-versioned
+	// snapshots. Mutable datasets keep a directed base (undirected
+	// views are derived per epoch), so Undirected must be false.
+	Mutable bool `json:"mutable,omitempty"`
 }
 
-// View is one (orientation, placement) combination of a dataset: the
-// graph, its partition, the pre-resolved shared-nothing fragments, and
-// the placement's directed edge-cut fraction (reported in job metrics).
-type View struct {
-	Placement string
-	Graph     *graph.Graph
-	Part      *partition.Partition
-	Frags     *frag.Fragments
-	EdgeCut   float64
-}
+// View is one (orientation, placement) combination of a dataset; the
+// construction (partition, shared-nothing fragments, edge cut) lives on
+// internal/live's Epoch and is shared between static and live datasets.
+type View = live.View
 
-// Entry is a loaded dataset: the immutable graph, its default hash
-// view, and lazily-derived views for the greedy placement and the
-// undirected orientation.
+// Entry is a loaded dataset: the load-time base graph and its default
+// hash view for introspection, plus the epoch holding every derived
+// view — a single static epoch, or the current epoch of a live graph.
 type Entry struct {
-	Spec     Spec
+	Spec Spec
+	// Graph and Part are the static base graph and its default hash
+	// partition. Both are nil for live datasets: pinning them on the
+	// entry would keep epoch 1's CSR resident (and uncounted) after the
+	// epoch retires — use Live() or CurrentGraph instead.
 	Graph    *graph.Graph
-	Part     *partition.Partition // partition of the default hash view
+	Part     *partition.Partition
 	LoadedAt time.Time
 
 	cat     *Catalog
 	workers int
 	bytes   int64 // guarded by cat.mu once the entry is published
 
-	// snapParts are placements embedded in the dataset's snapshot,
-	// keyed by placement name, reused instead of re-partitioning.
-	snapParts map[string]*partition.Partition
-
-	undOnce  sync.Once
-	undGraph *graph.Graph
-
-	mu    sync.Mutex
-	views map[viewKey]*viewSlot
-}
-
-type viewKey struct {
-	placement  string
-	undirected bool
-}
-
-type viewSlot struct {
-	once sync.Once
-	view *View
-	err  error
+	epoch     *live.Epoch // static datasets: the single, never-superseded epoch
+	liveGraph *live.Graph // mutable datasets
+	closeOnce sync.Once
 }
 
 // Bytes returns the approximate resident size of the entry, including
-// all derived views and fragments.
+// all resident epochs, derived views and fragments.
 func (e *Entry) Bytes() int64 {
 	e.cat.mu.Lock()
 	defer e.cat.mu.Unlock()
 	return e.bytes
 }
 
-// undirected returns the both-orientations graph, deriving and caching
-// it on first use (charged to the byte budget).
-func (e *Entry) undirected() *graph.Graph {
-	if e.Graph.Undirected {
-		return e.Graph
-	}
-	e.undOnce.Do(func() {
-		e.undGraph = graph.Undirectify(e.Graph)
-		e.cat.addDerivedBytes(e, graphBytes(e.undGraph))
-	})
-	return e.undGraph
-}
+// Live returns the entry's mutable graph, or nil for a static dataset.
+func (e *Entry) Live() *live.Graph { return e.liveGraph }
 
 // View returns the dataset under the named placement ("" or "hash",
 // "greedy") and orientation, building the partition and fragments
-// exactly once per combination. Derived views are charged against the
-// catalog byte budget.
+// exactly once per (epoch, combination). For live datasets this reads
+// the current epoch transiently; jobs that must hold one snapshot for
+// a whole run use AcquireView instead.
 func (e *Entry) View(placement string, undirected bool) (*View, error) {
-	if placement == "" {
-		placement = partition.PlacementHash
+	if e.liveGraph != nil {
+		ep := e.liveGraph.Pin()
+		defer ep.Release()
+		return ep.View(placement, undirected)
 	}
-	if e.Graph.Undirected {
-		undirected = false // base graph already stores both orientations
+	return e.epoch.View(placement, undirected)
+}
+
+// AcquireView pins the dataset's current epoch and returns its
+// (placement, orientation) view, a release closure the caller must run
+// when the computation finishes, and the epoch sequence number (0 for
+// static datasets, whose single epoch needs no pinning). Until release,
+// the snapshot stays resident even if newer epochs are published.
+func (e *Entry) AcquireView(placement string, undirected bool) (*View, func(), uint64, error) {
+	if e.liveGraph == nil {
+		v, err := e.epoch.View(placement, undirected)
+		return v, func() {}, 0, err
 	}
-	key := viewKey{placement: placement, undirected: undirected}
-	e.mu.Lock()
-	slot, ok := e.views[key]
-	if !ok {
-		slot = &viewSlot{}
-		e.views[key] = slot
+	ep := e.liveGraph.Pin()
+	v, err := ep.View(placement, undirected)
+	if err != nil {
+		ep.Release()
+		return nil, nil, 0, err
 	}
-	e.mu.Unlock()
-	slot.once.Do(func() {
-		g := e.Graph
-		if undirected {
-			g = e.undirected()
+	return v, ep.Release, ep.Seq(), nil
+}
+
+// Views lists the views materialized so far on the entry's current
+// epoch.
+func (e *Entry) Views() []*View {
+	if e.liveGraph != nil {
+		ep := e.liveGraph.Pin()
+		defer ep.Release()
+		return ep.BuiltViews()
+	}
+	return e.epoch.BuiltViews()
+}
+
+// CurrentGraph returns the graph jobs would run on right now (the
+// current epoch's CSR for live datasets). The returned CSR stays valid
+// while the caller holds it, but for live datasets it may already be a
+// superseded epoch by the time it is read — fine for introspection, not
+// for consistency-critical reads (pin an epoch for those).
+func (e *Entry) CurrentGraph() *graph.Graph {
+	if e.liveGraph != nil {
+		ep := e.liveGraph.Pin()
+		defer ep.Release()
+		return ep.Graph()
+	}
+	return e.Graph
+}
+
+// close releases background resources (the live compactor). Idempotent.
+func (e *Entry) close() {
+	e.closeOnce.Do(func() {
+		if e.liveGraph != nil {
+			e.liveGraph.Close()
 		}
-		v, bytes, err := e.buildView(placement, g)
-		if err != nil {
-			slot.err = err
-			return
-		}
-		slot.view = v
-		e.cat.addDerivedBytes(e, bytes)
 	})
-	return slot.view, slot.err
 }
 
-// buildView constructs one (placement, orientation) view of graph g:
-// partition (snapshot-embedded when available), fragments built in
-// parallel, edge cut. It returns the view's resident byte size for the
-// caller to charge (View charges the budget, load folds it into the
-// entry's base bytes).
-func (e *Entry) buildView(placement string, g *graph.Graph) (*View, int64, error) {
-	part := e.snapPartFor(placement, g)
-	if part == nil {
-		var err error
-		part, err = partition.ByName(placement, g, e.workers)
-		if err != nil {
-			return nil, 0, err
-		}
-	}
-	fs := frag.Build(g, part)
-	fs.DeriveHook = func(b int64) { e.cat.addDerivedBytes(e, b) }
-	v := &View{
-		Placement: placement,
-		Graph:     g,
-		Part:      part,
-		Frags:     fs,
-		EdgeCut:   partition.EdgeCut(g, part),
-	}
-	return v, fs.Bytes() + partitionBytes(g), nil
-}
-
-// snapPartFor returns a snapshot-embedded partition for the placement
-// if one matches the catalog's worker count and g's vertex count.
-func (e *Entry) snapPartFor(placement string, g *graph.Graph) *partition.Partition {
-	p, ok := e.snapParts[placement]
-	if !ok || p.NumWorkers() != e.workers || p.NumVertices() != g.NumVertices() {
-		return nil
-	}
-	return p
-}
-
-// Info is the List/JSON view of a dataset.
+// Info is the List/JSON view of a dataset. For live datasets the
+// vertex/edge counts and epoch describe the current epoch.
 type Info struct {
 	Spec
-	Loaded   bool  `json:"loaded"`
-	Vertices int   `json:"vertices,omitempty"`
-	Edges    int   `json:"edges,omitempty"`
-	Weighted bool  `json:"weighted,omitempty"`
-	IsUndir  bool  `json:"is_undirected,omitempty"`
-	Bytes    int64 `json:"bytes,omitempty"`
+	Loaded   bool   `json:"loaded"`
+	Vertices int    `json:"vertices,omitempty"`
+	Edges    int    `json:"edges,omitempty"`
+	Weighted bool   `json:"weighted,omitempty"`
+	IsUndir  bool   `json:"is_undirected,omitempty"`
+	Bytes    int64  `json:"bytes,omitempty"`
+	Epoch    uint64 `json:"epoch,omitempty"`
+}
+
+// ViewInfo describes one materialized view in the detail endpoint.
+type ViewInfo struct {
+	Placement  string  `json:"placement"`
+	Undirected bool    `json:"undirected,omitempty"`
+	EdgeCut    float64 `json:"edge_cut"`
+}
+
+// Detail is the full introspection payload of one dataset.
+type Detail struct {
+	Info
+	Workers int         `json:"workers,omitempty"`
+	Views   []ViewInfo  `json:"views,omitempty"`
+	Live    *live.Stats `json:"live,omitempty"`
 }
 
 // Stats summarizes catalog activity.
@@ -213,16 +205,33 @@ type Stats struct {
 
 // Catalog is safe for concurrent use.
 type Catalog struct {
-	workers  int
-	maxBytes int64
+	workers       int
+	maxBytes      int64
+	maxDeltaOps   int // live compaction thresholds, applied per dataset
+	maxDeltaBatch int
 
 	mu      sync.Mutex
 	specs   map[string]Spec
 	order   []string
 	entries map[string]*slot
 	clock   int64 // LRU stamp source
+	closed  bool
 
 	loads, hits, evictions int64
+}
+
+// Option tweaks a Catalog.
+type Option func(*Catalog)
+
+// WithCompaction sets the live-dataset compaction thresholds: a
+// background compaction starts once a delta log holds maxOps pending
+// operations or maxBatches pending batches (<= 0 keeps the live
+// package defaults).
+func WithCompaction(maxOps, maxBatches int) Option {
+	return func(c *Catalog) {
+		c.maxDeltaOps = maxOps
+		c.maxDeltaBatch = maxBatches
+	}
 }
 
 // slot is the singleflight cell for one dataset.
@@ -239,15 +248,37 @@ type slot struct {
 // selects the default of 8; a count beyond the partition's
 // representable range is kept as-is and surfaces as a loud per-load
 // partitioning error rather than a silently substituted topology.
-func New(workers int, maxBytes int64) *Catalog {
+func New(workers int, maxBytes int64, opts ...Option) *Catalog {
 	if workers <= 0 {
 		workers = 8
 	}
-	return &Catalog{
+	c := &Catalog{
 		workers:  workers,
 		maxBytes: maxBytes,
 		specs:    make(map[string]Spec),
 		entries:  make(map[string]*slot),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Close shuts down background resources of every loaded entry (live
+// compactors). Further Get calls fail; pinned epochs remain readable
+// until released.
+func (c *Catalog) Close() {
+	c.mu.Lock()
+	c.closed = true
+	var ents []*Entry
+	for _, s := range c.entries {
+		if s.entry != nil {
+			ents = append(ents, s.entry)
+		}
+	}
+	c.mu.Unlock()
+	for _, e := range ents {
+		e.close()
 	}
 }
 
@@ -270,8 +301,14 @@ func (c *Catalog) Register(spec Spec) error {
 	default:
 		return fmt.Errorf("catalog: dataset %q: unknown placement %q", spec.Name, spec.Placement)
 	}
+	if spec.Mutable && spec.Undirected {
+		return fmt.Errorf("catalog: dataset %q: mutable datasets keep a directed base (undirected views are derived per epoch)", spec.Name)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("catalog: catalog is closed")
+	}
 	if _, ok := c.specs[spec.Name]; ok {
 		return fmt.Errorf("catalog: dataset %q already registered", spec.Name)
 	}
@@ -288,11 +325,25 @@ func (c *Catalog) Has(name string) bool {
 	return ok
 }
 
+// SpecOf returns the registered spec for name without loading anything
+// — the ingest endpoint rejects immutable datasets from the spec alone,
+// before paying for a load.
+func (c *Catalog) SpecOf(name string) (Spec, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	spec, ok := c.specs[name]
+	return spec, ok
+}
+
 // Get returns the loaded entry for name, loading it exactly once no
 // matter how many goroutines ask concurrently. A failed load is not
 // cached: the next Get retries.
 func (c *Catalog) Get(name string) (*Entry, error) {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("catalog: catalog is closed")
+	}
 	spec, ok := c.specs[name]
 	if !ok {
 		c.mu.Unlock()
@@ -318,6 +369,14 @@ func (c *Catalog) Get(name string) (*Entry, error) {
 
 	entry, err := c.load(spec)
 	c.mu.Lock()
+	if err == nil && c.closed {
+		// Close ran while this load was in flight and could not see the
+		// unpublished entry: shut it down here instead of publishing a
+		// live compactor nothing would ever stop.
+		err = fmt.Errorf("catalog: catalog is closed")
+		go entry.close()
+		entry = nil
+	}
 	if err != nil {
 		s.err = err
 		delete(c.entries, name) // allow retry
@@ -332,8 +391,11 @@ func (c *Catalog) Get(name string) (*Entry, error) {
 }
 
 // evictOverBudgetLocked drops least-recently-used loaded entries until
-// the byte budget holds. The entry named keep (the one just loaded) and
-// in-flight loads are never evicted.
+// the byte budget holds. The entry named keep (the one just loaded),
+// in-flight loads, and live entries are never evicted — a live entry's
+// ingested mutations are not reconstructible from its spec, so evicting
+// one would silently reload the pristine base graph; live memory is
+// bounded by epoch retirement instead.
 func (c *Catalog) evictOverBudgetLocked(keep string) {
 	if c.maxBytes <= 0 {
 		return
@@ -342,7 +404,7 @@ func (c *Catalog) evictOverBudgetLocked(keep string) {
 		victim := ""
 		var oldest int64
 		for name, s := range c.entries {
-			if name == keep || s.entry == nil {
+			if name == keep || s.entry == nil || s.entry.liveGraph != nil {
 				continue
 			}
 			if victim == "" || s.lastUsed < oldest {
@@ -351,6 +413,12 @@ func (c *Catalog) evictOverBudgetLocked(keep string) {
 		}
 		if victim == "" {
 			return
+		}
+		if ent := c.entries[victim].entry; ent != nil {
+			// release any background resources off-lock (victims are
+			// static today, but close must never run under c.mu: a live
+			// compactor could be blocked charging bytes through it)
+			go ent.close()
 		}
 		delete(c.entries, victim)
 		c.evictions++
@@ -394,15 +462,13 @@ func (c *Catalog) load(spec Spec) (*Entry, error) {
 		g = graph.Undirectify(g)
 	}
 	e := &Entry{
-		Spec:      spec,
-		Graph:     g,
-		LoadedAt:  time.Now(),
-		cat:       c,
-		workers:   c.workers,
-		bytes:     graphBytes(g),
-		snapParts: make(map[string]*partition.Partition),
-		views:     make(map[viewKey]*viewSlot),
+		Spec:     spec,
+		Graph:    g,
+		LoadedAt: time.Now(),
+		cat:      c,
+		workers:  c.workers,
 	}
+	snapParts := make(map[string]*partition.Partition)
 	for _, p := range placements {
 		if p.Workers != c.workers || len(p.Owner) != g.NumVertices() {
 			continue // built for another cluster shape: ignore
@@ -414,32 +480,51 @@ func (c *Catalog) load(spec Spec) (*Entry, error) {
 			// not make an otherwise valid dataset unloadable
 			continue
 		}
-		e.snapParts[p.Name] = part
+		snapParts[p.Name] = part
 	}
-	// Eager default view: hash placement of the loaded orientation. Its
-	// bytes go into the entry's initial size (the entry is not yet
-	// published, so addDerivedBytes cannot charge it).
-	hashView, err := e.buildDefaultView()
+
+	// Wrap the graph in its epoch holder and eagerly build the default
+	// (hash, loaded orientation) view so the first job pays nothing. The
+	// bytes accumulated so far become the entry's base size; only later
+	// derivations flow through the LRU charge hook (the entry is not
+	// yet published, so addDerivedBytes could not account them anyway).
+	hook := func(b int64) { c.addDerivedBytes(e, b) }
+	if spec.Mutable {
+		lg, err := live.New(g, live.Options{
+			Workers:         c.workers,
+			MaxDeltaOps:     c.maxDeltaOps,
+			MaxDeltaBatches: c.maxDeltaBatch,
+			Preset:          snapParts,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("catalog: load %q: %w", spec.Name, err)
+		}
+		ep := lg.Pin()
+		_, err = ep.View(partition.PlacementHash, false)
+		ep.Release()
+		if err != nil {
+			lg.Close()
+			return nil, fmt.Errorf("catalog: load %q: %w", spec.Name, err)
+		}
+		e.liveGraph = lg
+		// do not retain epoch 1's graph or partition on the entry: the
+		// epochs own them, and an entry-level reference would keep the
+		// base CSR resident (uncounted) after the epoch retires
+		e.Graph = nil
+		e.bytes = lg.Bytes()
+		lg.SetOnBytes(hook)
+		return e, nil
+	}
+	ep := live.NewEpoch(1, g, live.EpochConfig{Workers: c.workers, Preset: snapParts})
+	hashView, err := ep.View(partition.PlacementHash, false)
 	if err != nil {
 		return nil, fmt.Errorf("catalog: load %q: %w", spec.Name, err)
 	}
+	e.epoch = ep
 	e.Part = hashView.Part
+	e.bytes = ep.Bytes()
+	ep.SetOnBytes(hook)
 	return e, nil
-}
-
-// buildDefaultView constructs and caches the (hash, loaded orientation)
-// view during load, accounting its size in the entry's base bytes (the
-// entry is not yet published, so the LRU charge path cannot be used).
-func (e *Entry) buildDefaultView() (*View, error) {
-	v, bytes, err := e.buildView(partition.PlacementHash, e.Graph)
-	if err != nil {
-		return nil, err
-	}
-	e.bytes += bytes
-	slot := &viewSlot{view: v}
-	slot.once.Do(func() {}) // mark built
-	e.views[viewKey{placement: partition.PlacementHash, undirected: false}] = slot
-	return v, nil
 }
 
 // addDerivedBytes charges a lazily-derived view to its entry and
@@ -454,18 +539,6 @@ func (c *Catalog) addDerivedBytes(e *Entry, b int64) {
 		e.bytes += b
 		c.evictOverBudgetLocked(e.Spec.Name)
 	}
-}
-
-// graphBytes approximates the resident size of a graph's CSR arrays.
-func graphBytes(g *graph.Graph) int64 {
-	return int64(len(g.Offsets))*8 + int64(len(g.Adj))*4 + int64(len(g.Weights))*4
-}
-
-// partitionBytes approximates the resident size of one partition of g
-// (owner vector, local indices, per-worker vertex lists ~10 bytes per
-// vertex).
-func partitionBytes(g *graph.Graph) int64 {
-	return int64(g.NumVertices()) * 10
 }
 
 // snapshotFresh reports whether snap exists and is at least as new as
@@ -492,25 +565,75 @@ func readEdgeListFile(path string) (*graph.Graph, error) {
 	return graph.ReadEdgeList(f)
 }
 
+// infoLocked fills an Info for one dataset; c.mu must be held. Live
+// counters are read without pinning (the current epoch cannot be freed
+// while current).
+func (c *Catalog) infoLocked(name string) Info {
+	info := Info{Spec: c.specs[name]}
+	s, ok := c.entries[name]
+	if !ok || s.entry == nil {
+		return info
+	}
+	e := s.entry
+	info.Loaded = true
+	info.Bytes = e.bytes
+	if lg := e.liveGraph; lg != nil {
+		st := lg.Stats()
+		info.Vertices = st.Vertices
+		info.Edges = st.Edges
+		info.Weighted = lg.Weighted()
+		info.Epoch = st.Epoch
+		return info
+	}
+	g := e.Graph
+	info.Vertices = g.NumVertices()
+	info.Edges = g.NumEdges()
+	info.Weighted = g.Weighted()
+	info.IsUndir = g.Undirected
+	return info
+}
+
 // List returns all datasets in registration order.
 func (c *Catalog) List() []Info {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]Info, 0, len(c.order))
 	for _, name := range c.order {
-		info := Info{Spec: c.specs[name]}
-		if s, ok := c.entries[name]; ok && s.entry != nil {
-			g := s.entry.Graph
-			info.Loaded = true
-			info.Vertices = g.NumVertices()
-			info.Edges = g.NumEdges()
-			info.Weighted = g.Weighted()
-			info.IsUndir = g.Undirected
-			info.Bytes = s.entry.bytes
-		}
-		out = append(out, info)
+		out = append(out, c.infoLocked(name))
 	}
 	return out
+}
+
+// DetailOf returns the full introspection payload of one dataset
+// without forcing a load: materialized views with their edge cuts, and
+// live epoch + delta-log statistics for mutable datasets.
+func (c *Catalog) DetailOf(name string) (Detail, error) {
+	c.mu.Lock()
+	if _, ok := c.specs[name]; !ok {
+		c.mu.Unlock()
+		return Detail{}, fmt.Errorf("catalog: unknown dataset %q", name)
+	}
+	d := Detail{Info: c.infoLocked(name), Workers: c.workers}
+	var e *Entry
+	if s, ok := c.entries[name]; ok {
+		e = s.entry
+	}
+	c.mu.Unlock()
+	if e == nil {
+		return d, nil
+	}
+	for _, v := range e.Views() {
+		d.Views = append(d.Views, ViewInfo{
+			Placement:  v.Placement,
+			Undirected: v.Undirected,
+			EdgeCut:    v.EdgeCut,
+		})
+	}
+	if lg := e.liveGraph; lg != nil {
+		st := lg.Stats()
+		d.Live = &st
+	}
+	return d, nil
 }
 
 // Stats returns a snapshot of catalog counters.

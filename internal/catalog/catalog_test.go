@@ -3,11 +3,13 @@ package catalog
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/live"
 	"repro/internal/partition"
 )
 
@@ -366,5 +368,153 @@ func TestRegisterRejectsBadPlacement(t *testing.T) {
 	c := New(4, 0)
 	if err := c.Register(Spec{Name: "x", Gen: "chain:n=10", Placement: "metis"}); err == nil {
 		t.Fatal("bad spec placement accepted")
+	}
+}
+
+// Mutable specs: validation, live entry wiring, epoch bytes charged to
+// and released from the LRU budget, and Close stopping the compactor.
+func TestMutableSpecValidation(t *testing.T) {
+	c := New(4, 0)
+	err := c.Register(Spec{Name: "bad", Gen: "chain:n=10", Mutable: true, Undirected: true})
+	if err == nil || !strings.Contains(err.Error(), "directed base") {
+		t.Fatalf("mutable+undirected: %v", err)
+	}
+	if err := c.Register(Spec{Name: "ok", Gen: "chain:n=10", Mutable: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveEntryEpochBytesInBudget(t *testing.T) {
+	c := New(4, 0)
+	defer c.Close()
+	if err := c.Register(Spec{Name: "feed", Gen: "rmat:scale=8,ef=6,seed=5", Mutable: true}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := c.Get("feed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := e.Live()
+	if lg == nil {
+		t.Fatal("mutable entry has no live graph")
+	}
+	base := e.Bytes()
+	if base <= 0 || c.Stats().Bytes != base {
+		t.Fatalf("base bytes %d, stats %+v", base, c.Stats())
+	}
+
+	// pin the old epoch so the compaction holds two epochs resident
+	ep1 := lg.Pin()
+	if err := lg.Apply(live.Batch{Ops: []live.Op{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}}}); err != nil {
+		t.Fatal(err)
+	}
+	lg.CompactNow()
+	during := e.Bytes()
+	if during <= base {
+		t.Fatalf("second epoch not charged: %d -> %d", base, during)
+	}
+	ep1.Release() // retires epoch 1, releasing its bytes
+	after := e.Bytes()
+	if after >= during {
+		t.Fatalf("retired epoch still charged: %d -> %d", during, after)
+	}
+	if got := c.Stats().Bytes; got != after {
+		t.Fatalf("catalog stats bytes %d != entry bytes %d", got, after)
+	}
+
+	// the detail payload reflects the live state
+	d, err := c.DetailOf("feed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Live == nil || d.Live.Epoch != 2 || d.Live.RetiredEpochs != 1 || !d.Mutable {
+		t.Fatalf("detail %+v", d)
+	}
+	if len(d.Views) == 0 || d.Views[0].Placement != "hash" {
+		t.Fatalf("detail views %+v", d.Views)
+	}
+	// list shows the current epoch's shape
+	infos := c.List()
+	if len(infos) != 1 || infos[0].Epoch != 2 {
+		t.Fatalf("list %+v", infos)
+	}
+
+	c.Close()
+	if err := lg.Apply(live.Batch{Ops: []live.Op{{Src: 0, Dst: 2}}}); err == nil {
+		t.Fatal("apply after catalog close should fail")
+	}
+	if _, err := c.Get("feed"); err == nil {
+		t.Fatal("get after close should fail")
+	}
+}
+
+func TestDetailOfUnloadedAndUnknown(t *testing.T) {
+	c := New(4, 0)
+	if err := c.Register(Spec{Name: "cold", Gen: "chain:n=10"}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.DetailOf("cold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Loaded || len(d.Views) != 0 || d.Live != nil {
+		t.Fatalf("unloaded detail %+v", d)
+	}
+	if _, err := c.DetailOf("nope"); err == nil {
+		t.Fatal("expected unknown-dataset error")
+	}
+}
+
+// Live entries are never LRU victims: their ingested mutations are not
+// reconstructible from the spec, so eviction would silently reload the
+// pristine base. Static entries still evict around them.
+func TestLRUNeverEvictsLiveEntries(t *testing.T) {
+	c := New(4, 1) // budget of one byte: everything is over budget
+	defer c.Close()
+	for _, spec := range []Spec{
+		{Name: "feed", Gen: "rmat:scale=7,ef=4,seed=1", Mutable: true},
+		{Name: "s1", Gen: "chain:n=500"},
+		{Name: "s2", Gen: "chain:n=500"},
+	} {
+		if err := c.Register(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feed, err := c.Get("feed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := feed.Live().Apply(live.Batch{Ops: []live.Op{{Src: 0, Dst: 99}}}); err != nil {
+		t.Fatal(err)
+	}
+	feed.Live().CompactNow()
+	if _, err := c.Get("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("s2"); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("static entries not evicted: %+v", st)
+	}
+	// the live entry survived with its mutations: same object, epoch 2
+	again, err := c.Get("feed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != feed {
+		t.Fatal("live entry was evicted and reloaded")
+	}
+	if got := again.Live().Stats().Epoch; got != 2 {
+		t.Fatalf("live entry epoch %d, want 2 (mutations lost?)", got)
+	}
+	// live entries do not pin epoch 1 on the entry itself; introspection
+	// goes through CurrentGraph
+	if feed.Graph != nil || feed.Part != nil {
+		t.Fatal("live entry retains the load-time graph/partition")
+	}
+	if g := feed.CurrentGraph(); g == nil || g.NumVertices() == 0 {
+		t.Fatal("CurrentGraph unusable for live entry")
 	}
 }

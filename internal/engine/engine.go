@@ -62,6 +62,11 @@ type Config struct {
 	// asking for another exchange round (a buggy Again implementation);
 	// 0 means 1_000_000.
 	MaxRoundsPerStep int
+	// Cancel, if non-nil, aborts the run when closed: the shared
+	// barrier is released, workers unwind, and Run returns
+	// barrier.ErrCancelled (unless a worker failed for a real reason
+	// first, which wins).
+	Cancel <-chan struct{}
 }
 
 // Metrics summarizes a finished run. RunTime is the measured wall time
@@ -237,6 +242,7 @@ func Run(cfg Config, setup func(w *Worker)) (Metrics, error) {
 	}
 
 	start := time.Now()
+	cancelled := barrier.WatchCancel(cfg.Cancel, j.bar)
 	errs := make([]error, m)
 	var wg sync.WaitGroup
 	for i := 0; i < m; i++ {
@@ -263,7 +269,13 @@ func Run(cfg Config, setup func(w *Worker)) (Metrics, error) {
 		Comm:       j.ex.Stats(),
 		WallTime:   time.Since(start),
 	}
-	return met, barrier.JoinErrors(errs)
+	err := barrier.JoinErrors(errs)
+	if cancelled() && err == nil {
+		// all workers unwound through the aborted barrier (their abort
+		// echoes were filtered): the cancellation is the root cause
+		err = barrier.ErrCancelled
+	}
+	return met, err
 }
 
 // run executes the worker loop; a worker that fails aborts the shared

@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
+	"repro/internal/barrier"
 	"repro/internal/partition"
 	"repro/internal/ser"
 )
@@ -158,6 +160,63 @@ func TestEngineActivationCountsStayConsistent(t *testing.T) {
 	// re-activated by the loopback frame; superstep 2: they halt again.
 	if met.Supersteps != 2 {
 		t.Errorf("supersteps=%d want 2", met.Supersteps)
+	}
+}
+
+// Cancellation mid-run: closing Config.Cancel must unwind every worker
+// through the aborted barrier and surface barrier.ErrCancelled, not a
+// deadlock and not a worker failure.
+func TestEngineCancelMidRun(t *testing.T) {
+	part := partition.MustHash(8, 4)
+	cancel := make(chan struct{})
+	fired := false
+	_, err := Run(Config{Part: part, Cancel: cancel, MaxSupersteps: 1 << 30}, func(w *Worker) {
+		w.Register(nullChannel{})
+		w.Compute = func(li int) {
+			// stay active forever; worker 0 pulls the plug at step 100
+			if w.WorkerID() == 0 && li == 0 && w.Superstep() == 100 && !fired {
+				fired = true
+				close(cancel)
+			}
+		}
+	})
+	if !errors.Is(err, barrier.ErrCancelled) {
+		t.Fatalf("expected ErrCancelled, got %v", err)
+	}
+}
+
+// A cancel channel that never fires must not alter a successful run.
+func TestEngineCancelUnfired(t *testing.T) {
+	part := partition.MustHash(4, 2)
+	cancel := make(chan struct{})
+	defer close(cancel)
+	met, err := Run(Config{Part: part, Cancel: cancel}, func(w *Worker) {
+		w.Register(nullChannel{})
+		w.Compute = func(li int) { w.VoteToHalt() }
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Supersteps != 1 {
+		t.Errorf("supersteps=%d want 1", met.Supersteps)
+	}
+}
+
+// A real worker error racing a cancellation must win: the root cause is
+// the failure, not the cancel.
+func TestEngineCancelAfterFailureKeepsRootCause(t *testing.T) {
+	part := partition.MustHash(4, 2)
+	cancel := make(chan struct{})
+	close(cancel) // fires immediately, together with the setup failure
+	_, err := Run(Config{Part: part, Cancel: cancel}, func(w *Worker) {
+		w.Register(nullChannel{})
+		// no Compute installed: every worker fails in setup
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if !strings.Contains(err.Error(), "setup did not install Compute") && !errors.Is(err, barrier.ErrCancelled) {
+		t.Fatalf("unexpected error: %v", err)
 	}
 }
 

@@ -1,12 +1,16 @@
 // Package jobs runs graph-analytics jobs against catalog datasets on a
 // bounded worker pool. A job names an (algorithm, engine, variant)
 // triple from the shared registry plus a dataset; the manager tracks it
-// through pending → running → done/failed, retains results for a
-// bounded number of finished jobs, and supports cancelling jobs that
-// have not started yet.
+// through pending → running → done/failed/cancelled and retains results
+// for a bounded number of finished jobs. Queued jobs cancel
+// immediately; running jobs cancel cooperatively through the engines'
+// barrier-abort path. Jobs on live datasets pin the dataset's current
+// epoch for the whole run — they always compute over one consistent
+// snapshot, recorded in their metrics — and release it when done.
 package jobs
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -14,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/algorithms"
+	"repro/internal/barrier"
 	"repro/internal/catalog"
 	"repro/internal/partition"
 )
@@ -79,6 +84,22 @@ type job struct {
 	err       string
 	metrics   *algorithms.Metrics
 	result    *algorithms.Result
+
+	// cancel is closed (under the manager lock, at most once) to abort
+	// the job while it runs; the engines unwind via barrier.Abort, and
+	// execute checks it between its load/view/run phases.
+	cancel    chan struct{}
+	cancelled bool // cancel has been closed
+}
+
+// cancelRequested reports whether the job's cancellation has fired.
+func (j *job) cancelRequested() bool {
+	select {
+	case <-j.cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 func (j *job) snapshot() Snapshot {
@@ -201,6 +222,7 @@ func (m *Manager) Submit(req Request) (Snapshot, error) {
 		spec:      spec,
 		state:     StatePending,
 		submitted: time.Now(),
+		cancel:    make(chan struct{}),
 	}
 	m.jobs[j.id] = j
 	m.pending = append(m.pending, j)
@@ -231,10 +253,14 @@ func (m *Manager) workerLoop() {
 
 		m.mu.Lock()
 		j.finished = time.Now()
-		if err != nil {
+		switch {
+		case err != nil && errors.Is(err, barrier.ErrCancelled):
+			j.state = StateCancelled
+			j.err = "cancelled while running"
+		case err != nil:
 			j.state = StateFailed
 			j.err = err.Error()
-		} else {
+		default:
 			j.state = StateDone
 			j.result = res
 			j.metrics = &res.Metrics
@@ -245,19 +271,30 @@ func (m *Manager) workerLoop() {
 
 // execute resolves the dataset's (placement, orientation) view and
 // dispatches through the registry; every job runs on the view's
-// pre-resolved fragments.
+// pre-resolved fragments. Live datasets are pinned to one epoch for the
+// whole run, released when it finishes, and the epoch is recorded in
+// the job's metrics.
 func (m *Manager) execute(j *job) (*algorithms.Result, error) {
 	entry, err := m.cat.Get(j.req.Dataset)
 	if err != nil {
 		return nil, err
 	}
+	if j.cancelRequested() {
+		// honor a cancel that landed during a long dataset load, before
+		// paying for view construction
+		return nil, barrier.ErrCancelled
+	}
 	placement := j.req.Placement
 	if placement == "" {
 		placement = entry.Spec.Placement
 	}
-	view, err := entry.View(placement, j.spec.NeedsUndirected)
+	view, release, epoch, err := entry.AcquireView(placement, j.spec.NeedsUndirected)
 	if err != nil {
 		return nil, err
+	}
+	defer release()
+	if j.cancelRequested() {
+		return nil, barrier.ErrCancelled
 	}
 	g := view.Graph
 	if j.spec.NeedsWeights && !g.Weighted() {
@@ -272,7 +309,8 @@ func (m *Manager) execute(j *job) (*algorithms.Result, error) {
 	if maxSteps <= 0 {
 		maxSteps = m.maxSupersteps
 	}
-	opts := algorithms.Options{Part: view.Part, Frags: view.Frags, MaxSupersteps: maxSteps}
+	opts := algorithms.Options{Part: view.Part, Frags: view.Frags,
+		MaxSupersteps: maxSteps, Cancel: j.cancel}
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
 	res, err := j.spec.Run(j.eng, j.req.Variant, g, opts, j.req.Params)
@@ -284,6 +322,7 @@ func (m *Manager) execute(j *job) (*algorithms.Result, error) {
 	res.Metrics.HeapAllocDelta = int64(after.HeapAlloc) - int64(before.HeapAlloc)
 	res.Metrics.Placement = view.Placement
 	res.Metrics.EdgeCut = view.EdgeCut
+	res.Metrics.Epoch = epoch
 	return res, nil
 }
 
@@ -330,8 +369,12 @@ func (m *Manager) Result(id string) (*algorithms.Result, error) {
 	}
 }
 
-// Cancel cancels a job that has not started running. Running jobs
-// cannot be interrupted (the engines run to completion).
+// Cancel cancels a job. A queued job is removed immediately; a running
+// job is aborted cooperatively (the engines unwind through
+// barrier.Abort at their next synchronization point), so its state
+// flips to cancelled shortly after — a run that manages to finish in
+// the same instant may still complete. Cancelling twice is an error the
+// second time only if the job already reached a terminal state.
 func (m *Manager) Cancel(id string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -353,7 +396,11 @@ func (m *Manager) Cancel(id string) error {
 		m.retireLocked(j)
 		return nil
 	case StateRunning:
-		return fmt.Errorf("jobs: job %s is already running", id)
+		if !j.cancelled {
+			j.cancelled = true
+			close(j.cancel)
+		}
+		return nil
 	default:
 		return fmt.Errorf("jobs: job %s is already %s", id, j.state)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/algorithms"
 	"repro/internal/catalog"
+	"repro/internal/live"
 	"repro/internal/seq"
 )
 
@@ -276,5 +277,93 @@ func TestPlacementSelectionAndEdgeCutMetric(t *testing.T) {
 		if rh.Labels[i] != rg.Labels[i] {
 			t.Fatalf("vertex %d: labels differ across placements", i)
 		}
+	}
+}
+
+// Cancelling a running job aborts it through the engines' barrier path
+// and lands it in the cancelled state with no result.
+func TestCancelRunning(t *testing.T) {
+	_, m := newTestManager(t, 1)
+	snap, err := m.Submit(Request{Algorithm: "pagerank", Dataset: "social",
+		Params: algorithms.Params{Iterations: 150000}, MaxSupersteps: 200001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// wait for the pool worker to pick it up
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		s, _ := m.Get(snap.ID)
+		if s.State == StateRunning {
+			break
+		}
+		if s.State.Terminal() {
+			t.Fatalf("job finished before it could be cancelled: %+v", s)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Cancel(snap.ID); err != nil {
+		t.Fatalf("cancel running: %v", err)
+	}
+	if err := m.Cancel(snap.ID); err != nil && !strings.Contains(err.Error(), "already") {
+		// a second cancel while still running is a no-op; once terminal
+		// it reports the state
+		t.Fatalf("second cancel: %v", err)
+	}
+	final := waitTerminal(t, m, snap.ID)
+	if final.State != StateCancelled {
+		t.Fatalf("state %s (%s), want cancelled", final.State, final.Error)
+	}
+	if _, err := m.Result(snap.ID); err == nil || !strings.Contains(err.Error(), "cancelled") {
+		t.Fatalf("result of cancelled job: %v", err)
+	}
+	// the pool worker is free again
+	snap2, err := m.Submit(Request{Algorithm: "wcc", Dataset: "social"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := waitTerminal(t, m, snap2.ID); s.State != StateDone {
+		t.Fatalf("follow-up job: %s (%s)", s.State, s.Error)
+	}
+}
+
+// Jobs on a live dataset pin one epoch for the whole run and stamp it
+// into their metrics.
+func TestLiveDatasetJobPinsEpoch(t *testing.T) {
+	cat, m := newTestManager(t, 2)
+	if err := cat.Register(catalog.Spec{Name: "feed", Gen: "rmat:scale=7,ef=4,seed=3", Mutable: true}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cat.Close)
+	entry, err := cat.Get("feed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg := entry.Live()
+	if lg == nil {
+		t.Fatal("mutable dataset has no live graph")
+	}
+	if err := lg.Apply(live.Batch{Ops: []live.Op{{Src: 1, Dst: 2}, {Src: 2, Dst: 3}}}); err != nil {
+		t.Fatal(err)
+	}
+	lg.CompactNow()
+
+	snap, err := m.Submit(Request{Algorithm: "wcc", Dataset: "feed"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, m, snap.ID)
+	if final.State != StateDone {
+		t.Fatalf("%s (%s)", final.State, final.Error)
+	}
+	if final.Metrics.Epoch != 2 {
+		t.Fatalf("metrics epoch %d, want 2", final.Metrics.Epoch)
+	}
+	// static datasets report no epoch
+	snap2, _ := m.Submit(Request{Algorithm: "wcc", Dataset: "social"})
+	if s := waitTerminal(t, m, snap2.ID); s.Metrics.Epoch != 0 {
+		t.Fatalf("static dataset epoch %d, want 0", s.Metrics.Epoch)
 	}
 }

@@ -1,0 +1,144 @@
+package live
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Text edge-batch format — the plain-text body of the ingest endpoint
+// and the on-disk format of graphgen -stream files:
+//
+//	src dst [weight]    insert (upsert) one edge
+//	- src dst           delete one edge
+//	# ...               comment; "# batch N" lines separate replayable
+//	                    batches in stream files (SplitStream)
+//
+// Blank lines are skipped. Parse errors report 1-based line numbers.
+
+// ParseTextBatch reads one batch in the text format.
+func ParseTextBatch(r io.Reader) (Batch, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var b Batch
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		op := Op{}
+		if f[0] == "-" {
+			if len(f) != 3 {
+				return Batch{}, fmt.Errorf("live: line %d: bad delete %q (want \"- src dst\")", lineno, line)
+			}
+			op.Del = true
+			f = f[1:]
+		} else if len(f) != 2 && len(f) != 3 {
+			return Batch{}, fmt.Errorf("live: line %d: bad op %q (want \"src dst [weight]\")", lineno, line)
+		}
+		src, err := strconv.ParseUint(f[0], 10, 32)
+		if err != nil {
+			return Batch{}, fmt.Errorf("live: line %d: bad src in %q: %w", lineno, line, err)
+		}
+		dst, err := strconv.ParseUint(f[1], 10, 32)
+		if err != nil {
+			return Batch{}, fmt.Errorf("live: line %d: bad dst in %q: %w", lineno, line, err)
+		}
+		op.Src, op.Dst = graph.VertexID(src), graph.VertexID(dst)
+		if !op.Del && len(f) == 3 {
+			w, err := strconv.ParseInt(f[2], 10, 32)
+			if err != nil {
+				return Batch{}, fmt.Errorf("live: line %d: bad weight in %q: %w", lineno, line, err)
+			}
+			op.Weight = int32(w)
+		}
+		b.Ops = append(b.Ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return Batch{}, fmt.Errorf("live: line %d: %w", lineno, err)
+	}
+	return b, nil
+}
+
+// WriteTextBatch writes one batch in the text format.
+func WriteTextBatch(w io.Writer, b Batch) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range b.Ops {
+		var err error
+		switch {
+		case op.Del:
+			_, err = fmt.Fprintf(bw, "- %d %d\n", op.Src, op.Dst)
+		case op.Weight != 0:
+			_, err = fmt.Fprintf(bw, "%d %d %d\n", op.Src, op.Dst, op.Weight)
+		default:
+			_, err = fmt.Fprintf(bw, "%d %d\n", op.Src, op.Dst)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteStream writes batches as one replayable stream file: each batch
+// preceded by its "# batch N" separator line.
+func WriteStream(w io.Writer, batches []Batch) error {
+	for i, b := range batches {
+		if _, err := fmt.Fprintf(w, "# batch %d\n", i); err != nil {
+			return err
+		}
+		if err := WriteTextBatch(w, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SplitStream cuts a stream file into its per-batch text chunks (each a
+// valid ingest body) without parsing the ops: replayers POST the chunks
+// verbatim.
+func SplitStream(data string) []string {
+	var chunks []string
+	var cur strings.Builder
+	flush := func() {
+		if strings.TrimSpace(cur.String()) != "" {
+			chunks = append(chunks, cur.String())
+		}
+		cur.Reset()
+	}
+	for _, line := range strings.Split(data, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "# batch") {
+			flush()
+			continue
+		}
+		cur.WriteString(line)
+		cur.WriteString("\n")
+	}
+	flush()
+	return chunks
+}
+
+// ReadStream parses a whole stream file into batches.
+func ReadStream(r io.Reader) ([]Batch, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	chunks := SplitStream(string(data))
+	out := make([]Batch, 0, len(chunks))
+	for i, c := range chunks {
+		b, err := ParseTextBatch(strings.NewReader(c))
+		if err != nil {
+			return nil, fmt.Errorf("live: stream batch %d: %w", i, err)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package live_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/live"
+)
+
+// benchBatches pre-generates mutation batches against an n-vertex graph
+// so the benchmark loop measures ingest/compaction, not rand.
+func benchBatches(n, count, ops int, delFrac float64) []live.Batch {
+	rng := rand.New(rand.NewSource(4242))
+	out := make([]live.Batch, count)
+	for b := range out {
+		batch := live.Batch{Ops: make([]live.Op, 0, ops)}
+		for o := 0; o < ops; o++ {
+			op := live.Op{
+				Src:    graph.VertexID(rng.Intn(n)),
+				Dst:    graph.VertexID(rng.Intn(n)),
+				Weight: 1 + rng.Int31n(100),
+			}
+			if rng.Float64() < delFrac {
+				op.Del = true
+			}
+			batch.Ops = append(batch.Ops, op)
+		}
+		out[b] = batch
+	}
+	return out
+}
+
+// BenchmarkLiveIngest measures the delta-log append path: one 1024-op
+// batch per iteration, compaction disabled. This is the latency an
+// ingest POST pays before its HTTP response.
+func BenchmarkLiveIngest(b *testing.B) {
+	base := graph.RMAT(12, 8, 7, graph.RMATOptions{Weighted: true, MaxWeight: 100, NoSelfLoops: true})
+	lg, err := live.New(base, live.Options{Workers: 8,
+		MaxDeltaOps: 1 << 62, MaxDeltaBatches: 1 << 62})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lg.Close()
+	batches := benchBatches(base.NumVertices(), 64, 1024, 0.2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := lg.Apply(batches[i%len(batches)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(1024, "ops/batch")
+}
+
+// BenchmarkLiveCompact measures one full compaction cycle on a
+// scale-12 weighted R-MAT (4096 vertices, ~32k edges): merge a pending
+// 2048-op batch into a new CSR and rebuild the hash partition plus the
+// per-worker fragments the previous epoch had materialized.
+func BenchmarkLiveCompact(b *testing.B) {
+	base := graph.RMAT(12, 8, 7, graph.RMATOptions{Weighted: true, MaxWeight: 100, NoSelfLoops: true})
+	lg, err := live.New(base, live.Options{Workers: 8,
+		MaxDeltaOps: 1 << 62, MaxDeltaBatches: 1 << 62})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lg.Close()
+	// materialize the hash view so every compaction rebuilds it
+	ep := lg.Pin()
+	if _, err := ep.View("hash", false); err != nil {
+		b.Fatal(err)
+	}
+	ep.Release()
+	batches := benchBatches(base.NumVertices(), 64, 2048, 0.2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := lg.Apply(batches[i%len(batches)]); err != nil {
+			b.Fatal(err)
+		}
+		lg.CompactNow()
+	}
+	b.StopTimer()
+	st := lg.Stats()
+	if st.Compactions != uint64(b.N) {
+		b.Fatalf("compactions %d, want %d", st.Compactions, b.N)
+	}
+	b.ReportMetric(float64(st.Edges), "edges")
+}
+
+// BenchmarkLivePinRelease measures the reader-side epoch pin cost — the
+// overhead every job pays to get a consistent snapshot.
+func BenchmarkLivePinRelease(b *testing.B) {
+	base := graph.RMAT(10, 8, 7, graph.RMATOptions{NoSelfLoops: true})
+	lg, err := live.New(base, live.Options{Workers: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lg.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lg.Pin().Release()
+	}
+}

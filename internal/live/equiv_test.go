@@ -1,0 +1,265 @@
+package live_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algorithms"
+	"repro/internal/graph"
+	"repro/internal/live"
+	"repro/internal/partition"
+)
+
+// Equivalence acceptance: after interleaved random insert/delete
+// batches and compactions, every registry algorithm — both engines, all
+// variants, both placements — computes the same result on the live
+// dataset's current epoch as on a graph.FromEdges build of the final
+// edge set. The oracle merge below is written independently of
+// live.Materialize (edge-list loops + FromEdges, not a CSR merge).
+
+// opState mirrors live's last-write-wins semantics while the test
+// applies ops, so the oracle edge set can be assembled independently.
+type opState struct {
+	weight  int32
+	present bool
+}
+
+func pairKey(s, d graph.VertexID) uint64 { return uint64(s)<<32 | uint64(d) }
+
+// oracleGraph builds the final edge set from the base plus the touched
+// map: untouched base edges verbatim, then the surviving insertions.
+func oracleGraph(base *graph.Graph, touched map[uint64]opState, weighted bool) *graph.Graph {
+	var edges []graph.Edge
+	for u := 0; u < base.NumVertices(); u++ {
+		var ws []int32
+		if base.Weighted() {
+			ws = base.NeighborWeights(graph.VertexID(u))
+		}
+		for i, v := range base.Neighbors(graph.VertexID(u)) {
+			if _, ok := touched[pairKey(graph.VertexID(u), v)]; ok {
+				continue
+			}
+			e := graph.Edge{Src: graph.VertexID(u), Dst: v}
+			if ws != nil {
+				e.Weight = ws[i]
+			}
+			edges = append(edges, e)
+		}
+	}
+	for k, st := range touched {
+		if st.present {
+			edges = append(edges, graph.Edge{
+				Src: graph.VertexID(k >> 32), Dst: graph.VertexID(uint32(k)), Weight: st.weight})
+		}
+	}
+	return graph.FromEdges(base.NumVertices(), edges, weighted)
+}
+
+// samePartitionEq asserts two labelings induce the same equivalence
+// classes.
+func samePartitionEq(t *testing.T, what string, got, want []graph.VertexID) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", what, len(got), len(want))
+	}
+	fwd := map[graph.VertexID]graph.VertexID{}
+	rev := map[graph.VertexID]graph.VertexID{}
+	for i := range got {
+		if m, ok := fwd[got[i]]; ok && m != want[i] {
+			t.Fatalf("%s: vertex %d splits class %d", what, i, got[i])
+		}
+		if m, ok := rev[want[i]]; ok && m != got[i] {
+			t.Fatalf("%s: vertex %d merges classes", what, i)
+		}
+		fwd[got[i]] = want[i]
+		rev[want[i]] = got[i]
+	}
+}
+
+func compareResults(t *testing.T, what string, got, want *algorithms.Result) {
+	t.Helper()
+	if got.Kind() != want.Kind() {
+		t.Fatalf("%s: kind %s vs %s", what, got.Kind(), want.Kind())
+	}
+	switch got.Kind() {
+	case "ranks":
+		for v := range want.Ranks {
+			if math.Abs(got.Ranks[v]-want.Ranks[v]) > 1e-9 {
+				t.Fatalf("%s: rank[%d]=%g want %g", what, v, got.Ranks[v], want.Ranks[v])
+			}
+		}
+	case "dists":
+		for v := range want.Dists {
+			if got.Dists[v] != want.Dists[v] {
+				t.Fatalf("%s: dist[%d]=%d want %d", what, v, got.Dists[v], want.Dists[v])
+			}
+		}
+	case "labels":
+		samePartitionEq(t, what, got.Labels, want.Labels)
+	case "msf":
+		if got.MSF.Weight != want.MSF.Weight {
+			t.Fatalf("%s: msf weight %d vs %d", what, got.MSF.Weight, want.MSF.Weight)
+		}
+		if len(got.MSF.Edges) != len(want.MSF.Edges) {
+			t.Fatalf("%s: msf edges %d vs %d", what, len(got.MSF.Edges), len(want.MSF.Edges))
+		}
+		samePartitionEq(t, what, got.MSF.Comp, want.MSF.Comp)
+	}
+}
+
+// runEverything runs every (algorithm, engine, variant, placement)
+// combination of the registry (minus skip) on both graphs and compares.
+func runEverything(t *testing.T, lg *live.Graph, oracle *graph.Graph, workers int, skip func(*algorithms.Spec) bool) {
+	t.Helper()
+	params := algorithms.Params{Iterations: 20, Source: 0}
+	undirected := map[bool]*graph.Graph{false: oracle}
+	for _, spec := range algorithms.Registry() {
+		if skip(spec) {
+			continue
+		}
+		og := oracle
+		if spec.NeedsUndirected {
+			if undirected[true] == nil {
+				undirected[true] = graph.Undirectify(oracle)
+			}
+			og = undirected[true]
+		}
+		for _, placement := range []string{partition.PlacementHash, partition.PlacementGreedy} {
+			oPart, err := partition.ByName(placement, og, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, eng := range spec.Engines() {
+				for _, variant := range spec.Variants(eng) {
+					what := fmt.Sprintf("%s/%s/%s/%s", spec.Name, eng, variant, placement)
+
+					ep := lg.Pin()
+					view, err := ep.View(placement, spec.NeedsUndirected)
+					if err != nil {
+						ep.Release()
+						t.Fatalf("%s: view: %v", what, err)
+					}
+					liveRes, err := spec.Run(eng, variant, view.Graph,
+						algorithms.Options{Part: view.Part, Frags: view.Frags, MaxSupersteps: 200000}, params)
+					ep.Release()
+					if err != nil {
+						t.Fatalf("%s: live run: %v", what, err)
+					}
+
+					wantRes, err := spec.Run(eng, variant, og,
+						algorithms.Options{Part: oPart, MaxSupersteps: 200000}, params)
+					if err != nil {
+						t.Fatalf("%s: oracle run: %v", what, err)
+					}
+					compareResults(t, what, liveRes, wantRes)
+				}
+			}
+		}
+	}
+}
+
+func TestLiveEquivalenceSweep(t *testing.T) {
+	const workers = 4
+	base := graph.RMAT(7, 6, 21, graph.RMATOptions{Weighted: true, MaxWeight: 50, NoSelfLoops: true})
+	n := base.NumVertices()
+	lg, err := live.New(base, live.Options{Workers: workers,
+		MaxDeltaOps: 1 << 30, MaxDeltaBatches: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+
+	rng := rand.New(rand.NewSource(77))
+	touched := make(map[uint64]opState)
+	for b := 0; b < 8; b++ {
+		var batch live.Batch
+		for o := 0; o < 60; o++ {
+			op := live.Op{
+				Src: graph.VertexID(rng.Intn(n)),
+				Dst: graph.VertexID(rng.Intn(n)),
+			}
+			if rng.Intn(4) == 0 {
+				op.Del = true
+			} else {
+				op.Weight = 1 + rng.Int31n(50)
+			}
+			batch.Ops = append(batch.Ops, op)
+			touched[pairKey(op.Src, op.Dst)] = opState{weight: op.Weight, present: !op.Del}
+		}
+		if err := lg.Apply(batch); err != nil {
+			t.Fatal(err)
+		}
+		if b == 2 || b == 5 {
+			lg.CompactNow() // interleave compactions with ingest
+		}
+	}
+	lg.CompactNow()
+	if st := lg.Stats(); st.Compactions < 3 || st.PendingOps != 0 {
+		t.Fatalf("expected >= 3 interleaved compactions, got %+v", st)
+	}
+
+	oracle := oracleGraph(base, touched, true)
+	// pointerjump is excluded: random digraph mutations break its
+	// parent-pointer-forest precondition (covered by the forest sweep)
+	runEverything(t, lg, oracle, workers, func(s *algorithms.Spec) bool {
+		return s.Name == "pointerjump"
+	})
+}
+
+// TestLiveEquivalenceForest covers pointerjump: mutations re-point
+// vertices to new parents with strictly smaller ids, so every epoch is
+// a valid parent-pointer forest.
+func TestLiveEquivalenceForest(t *testing.T) {
+	const workers = 4
+	base := graph.Forest(300, 3, 9)
+	n := base.NumVertices()
+	lg, err := live.New(base, live.Options{Workers: workers,
+		MaxDeltaOps: 1 << 30, MaxDeltaBatches: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+
+	parent := make(map[graph.VertexID]graph.VertexID)
+	for u := 0; u < n; u++ {
+		for _, v := range base.Neighbors(graph.VertexID(u)) {
+			parent[graph.VertexID(u)] = v
+		}
+	}
+	rng := rand.New(rand.NewSource(13))
+	touched := make(map[uint64]opState)
+	repoint := func(c, newp graph.VertexID) []live.Op {
+		old := parent[c]
+		parent[c] = newp
+		touched[pairKey(c, old)] = opState{present: false}
+		touched[pairKey(c, newp)] = opState{present: true}
+		return []live.Op{
+			{Src: c, Dst: old, Del: true},
+			{Src: c, Dst: newp},
+		}
+	}
+	for b := 0; b < 6; b++ {
+		var batch live.Batch
+		for o := 0; o < 30; o++ {
+			c := graph.VertexID(3 + rng.Intn(n-3)) // non-root
+			if _, ok := parent[c]; !ok {
+				continue
+			}
+			batch.Ops = append(batch.Ops, repoint(c, graph.VertexID(rng.Intn(int(c))))...)
+		}
+		if err := lg.Apply(batch); err != nil {
+			t.Fatal(err)
+		}
+		if b%2 == 1 {
+			lg.CompactNow()
+		}
+	}
+	lg.CompactNow()
+
+	oracle := oracleGraph(base, touched, false)
+	runEverything(t, lg, oracle, workers, func(s *algorithms.Spec) bool {
+		return s.Name != "pointerjump"
+	})
+}

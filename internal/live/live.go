@@ -1,0 +1,463 @@
+// Package live makes graphs mutable while queries run. A live Graph
+// holds an immutable base CSR — an Epoch — plus an append-only delta
+// log of batched edge insertions and deletions. Readers pin an epoch by
+// refcount, so a running job always computes over one consistent
+// snapshot no matter how many batches land mid-run; a background
+// compactor merges the delta log into a new CSR (rebuilding the
+// partitions and shared-nothing fragments the previous epoch had, in
+// parallel, with the same builders the static catalog path uses),
+// publishes the new epoch atomically, and retires old epochs as soon as
+// their last pin is released.
+//
+// Edge semantics are last-write-wins per (src, dst) pair: an insertion
+// upserts the edge (replacing the weight of an existing one, collapsing
+// any duplicate parallel edges the base graph carried), a deletion
+// removes every stored copy of the pair. Inserting an edge whose
+// endpoints exceed the current vertex count grows the graph; vertex
+// counts never shrink once materialized.
+//
+// Epochs also serve immutable datasets: the catalog wraps every static
+// graph in a single never-superseded Epoch, so view construction
+// (partition, fragments, edge cut, undirected orientation) has exactly
+// one implementation for frozen and live data alike.
+package live
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Op is a single edge mutation. Weight is ignored when the base graph
+// is unweighted; Del deletes the (Src, Dst) pair (Weight ignored).
+type Op struct {
+	Src    graph.VertexID `json:"src"`
+	Dst    graph.VertexID `json:"dst"`
+	Weight int32          `json:"weight,omitempty"`
+	Del    bool           `json:"del,omitempty"`
+}
+
+// Batch is one atomic group of edge mutations: all of it becomes
+// visible in the same epoch.
+type Batch struct {
+	Ops []Op
+}
+
+// Options configures a live graph.
+type Options struct {
+	// Workers is the simulated cluster size views are partitioned for
+	// (<= 0 selects 8).
+	Workers int
+	// MaxDeltaOps triggers a background compaction once the delta log
+	// holds at least this many pending operations (<= 0 selects 65536).
+	MaxDeltaOps int
+	// MaxDeltaBatches triggers a background compaction once the delta
+	// log holds at least this many pending batches (<= 0 selects 64).
+	MaxDeltaBatches int
+	// MaxVertices bounds vertex growth through insertions (<= 0 selects
+	// 1<<26): one absurd vertex id must not allocate a huge CSR.
+	MaxVertices int
+	// Preset partitions for the base epoch (snapshot-embedded owner
+	// vectors); compacted epochs always re-partition.
+	Preset map[string]*partition.Partition
+	// OnBytes observes resident-byte deltas (epochs and their views as
+	// they are built, negated totals as epochs are freed).
+	OnBytes func(delta int64)
+	// OnRetire observes epoch retirements (after the memory is
+	// dropped).
+	OnRetire func(seq uint64, bytes int64)
+}
+
+// Stats is a point-in-time summary of a live graph.
+type Stats struct {
+	Epoch          uint64 `json:"epoch"`
+	Vertices       int    `json:"vertices"`
+	Edges          int    `json:"edges"`
+	PendingBatches int    `json:"pending_batches"`
+	PendingOps     int    `json:"pending_ops"`
+	Batches        uint64 `json:"batches"`
+	Inserts        uint64 `json:"inserts"`
+	Deletes        uint64 `json:"deletes"`
+	Compactions    uint64 `json:"compactions"`
+	RetiredEpochs  uint64 `json:"retired_epochs"`
+	LiveEpochs     int    `json:"live_epochs"`
+	Bytes          int64  `json:"bytes"`
+}
+
+// Graph is a mutable graph: an immutable current epoch plus the delta
+// log of batches not yet compacted into it. Safe for concurrent use.
+type Graph struct {
+	workers     int
+	maxOps      int
+	maxBatches  int
+	maxVertices int
+	weighted    bool
+	onRetire    func(uint64, int64)
+
+	mu         sync.Mutex
+	cur        *Epoch
+	log        []Batch
+	pendingOps int
+	onBytes    func(int64)
+	bytes      int64
+	closed     bool
+
+	batches, inserts, deletes uint64
+	compactions, retired      uint64
+	liveEpochs                int
+
+	kick      chan struct{} // buffered(1): wakes the background compactor
+	compactMu sync.Mutex    // serializes compactions (background + CompactNow)
+	wg        sync.WaitGroup
+}
+
+// New wraps g (which must not be mutated afterwards) as epoch 1 of a
+// live graph and starts the background compactor. Undirected base
+// graphs are rejected: mutations are directed edges, and algorithms
+// that need both orientations get a per-epoch undirected view instead.
+func New(g *graph.Graph, opts Options) (*Graph, error) {
+	if g.Undirected {
+		return nil, fmt.Errorf("live: undirected base graph not supported (store the directed base; undirected views are derived per epoch)")
+	}
+	lg := &Graph{
+		workers:     opts.Workers,
+		maxOps:      opts.MaxDeltaOps,
+		maxBatches:  opts.MaxDeltaBatches,
+		maxVertices: opts.MaxVertices,
+		weighted:    g.Weighted(),
+		onRetire:    opts.OnRetire,
+		onBytes:     opts.OnBytes,
+		kick:        make(chan struct{}, 1),
+	}
+	if lg.workers <= 0 {
+		lg.workers = 8
+	}
+	if lg.maxOps <= 0 {
+		lg.maxOps = 1 << 16
+	}
+	if lg.maxBatches <= 0 {
+		lg.maxBatches = 64
+	}
+	if lg.maxVertices <= 0 {
+		lg.maxVertices = 1 << 26
+	}
+	if g.NumVertices() > lg.maxVertices {
+		return nil, fmt.Errorf("live: base graph has %d vertices, above the growth bound %d", g.NumVertices(), lg.maxVertices)
+	}
+	lg.cur = lg.newEpoch(1, g, opts.Preset)
+	lg.liveEpochs = 1
+	lg.wg.Add(1)
+	go lg.compactLoop()
+	return lg, nil
+}
+
+// newEpoch builds an epoch whose byte and retirement hooks route
+// through this live graph's accounting.
+func (g *Graph) newEpoch(seq uint64, base *graph.Graph, preset map[string]*partition.Partition) *Epoch {
+	return NewEpoch(seq, base, EpochConfig{
+		Workers: g.workers,
+		Preset:  preset,
+		OnBytes: g.chargeBytes,
+		OnFree:  g.noteRetire,
+	})
+}
+
+// chargeBytes folds an epoch's byte delta into the graph total and
+// forwards it to the installed hook.
+func (g *Graph) chargeBytes(b int64) {
+	g.mu.Lock()
+	g.bytes += b
+	hook := g.onBytes
+	g.mu.Unlock()
+	if hook != nil {
+		hook(b)
+	}
+}
+
+// noteRetire records an epoch retirement.
+func (g *Graph) noteRetire(seq uint64, bytes int64) {
+	g.mu.Lock()
+	g.retired++
+	g.liveEpochs--
+	hook := g.onRetire
+	g.mu.Unlock()
+	if hook != nil {
+		hook(seq, bytes)
+	}
+}
+
+// SetOnBytes installs the byte-accounting hook after construction; the
+// catalog counts the load-time epoch into an entry's base size and only
+// routes subsequent deltas through its LRU budget.
+func (g *Graph) SetOnBytes(f func(delta int64)) {
+	g.mu.Lock()
+	g.onBytes = f
+	g.mu.Unlock()
+}
+
+// Weighted reports whether edges carry weights.
+func (g *Graph) Weighted() bool { return g.weighted }
+
+// Bytes returns the approximate resident size of all live epochs and
+// their views.
+func (g *Graph) Bytes() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.bytes
+}
+
+// Pin returns the current epoch with a reference taken; the caller must
+// Release it when done. The pinned epoch is immutable: batches applied
+// after Pin land in later epochs.
+func (g *Graph) Pin() *Epoch {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cur.Pin()
+}
+
+// Apply appends one batch to the delta log. The mutations become
+// visible to readers at the next compaction (which it triggers once the
+// log crosses the configured thresholds). Ops whose endpoints exceed
+// the vertex-growth bound are rejected; the whole batch is then
+// dropped.
+func (g *Graph) Apply(b Batch) error {
+	var ins, del int
+	for _, op := range b.Ops {
+		if int(op.Src) >= g.maxVertices || int(op.Dst) >= g.maxVertices {
+			return fmt.Errorf("live: op (%d,%d) exceeds the vertex bound %d", op.Src, op.Dst, g.maxVertices)
+		}
+		if op.Del {
+			del++
+		} else {
+			ins++
+		}
+	}
+	if len(b.Ops) == 0 {
+		return nil
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return fmt.Errorf("live: graph is closed")
+	}
+	g.log = append(g.log, b)
+	g.pendingOps += len(b.Ops)
+	g.batches++
+	g.inserts += uint64(ins)
+	g.deletes += uint64(del)
+	if g.pendingOps >= g.maxOps || len(g.log) >= g.maxBatches {
+		// still under g.mu: Close also closes kick under it, so this
+		// send can never race a close
+		select {
+		case g.kick <- struct{}{}:
+		default: // a wake-up is already pending
+		}
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+// compactLoop is the background compactor: each wake-up merges the
+// whole delta log into a fresh epoch.
+func (g *Graph) compactLoop() {
+	defer g.wg.Done()
+	for range g.kick {
+		g.compactOnce()
+	}
+}
+
+// CompactNow synchronously merges the pending delta log into a new
+// epoch (no-op when the log is empty). Ingest may continue concurrently;
+// batches that arrive mid-compaction stay pending for the next one.
+func (g *Graph) CompactNow() {
+	g.compactOnce()
+}
+
+// compactOnce merges the pending delta-log prefix into a new epoch and
+// publishes it. Serialized against concurrent compactions; Apply and
+// Pin proceed concurrently.
+func (g *Graph) compactOnce() {
+	g.compactMu.Lock()
+	defer g.compactMu.Unlock()
+
+	g.mu.Lock()
+	if len(g.log) == 0 || g.closed {
+		g.mu.Unlock()
+		return
+	}
+	base := g.cur
+	nb := len(g.log)
+	batches := g.log[:nb:nb] // capped: concurrent appends cannot alias
+	g.mu.Unlock()
+
+	merged := Materialize(base.Graph(), batches, g.weighted)
+	next := g.newEpoch(base.Seq()+1, merged, nil)
+
+	// Pre-warm the views the outgoing epoch had, in parallel, so jobs
+	// submitted right after the flip pay nothing: the partition and
+	// fragment rebuilds happen here, on the compactor, not on the first
+	// reader.
+	var wg sync.WaitGroup
+	for _, v := range base.BuiltViews() {
+		wg.Add(1)
+		go func(placement string, undirected bool) {
+			defer wg.Done()
+			_, _ = next.View(placement, undirected)
+		}(v.Placement, v.Undirected)
+	}
+	wg.Wait()
+
+	nops := 0
+	for _, b := range batches {
+		nops += len(b.Ops)
+	}
+	g.mu.Lock()
+	g.cur = next
+	g.log = g.log[nb:]
+	g.pendingOps -= nops
+	g.compactions++
+	g.liveEpochs++
+	g.mu.Unlock()
+	base.supersede()
+}
+
+// Stats returns a point-in-time summary.
+func (g *Graph) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cg := g.cur.Graph()
+	return Stats{
+		Epoch:          g.cur.Seq(),
+		Vertices:       cg.NumVertices(),
+		Edges:          cg.NumEdges(),
+		PendingBatches: len(g.log),
+		PendingOps:     g.pendingOps,
+		Batches:        g.batches,
+		Inserts:        g.inserts,
+		Deletes:        g.deletes,
+		Compactions:    g.compactions,
+		RetiredEpochs:  g.retired,
+		LiveEpochs:     g.liveEpochs,
+		Bytes:          g.bytes,
+	}
+}
+
+// Close stops the background compactor and rejects further Apply
+// calls. Pinned epochs stay valid until released; the current epoch
+// remains readable.
+func (g *Graph) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	close(g.kick) // under g.mu, so no Apply can be mid-send
+	g.mu.Unlock()
+	g.wg.Wait()
+}
+
+// Materialize applies batches to base and returns the merged CSR:
+// last-write-wins per (src, dst) pair, base edge order preserved for
+// untouched edges, touched pairs appended to their source's adjacency
+// in (src, dst) order. The result is deterministic in (base, batches).
+func Materialize(base *graph.Graph, batches []Batch, weighted bool) *graph.Graph {
+	type state struct {
+		weight  int32
+		present bool
+	}
+	key := func(s, d graph.VertexID) uint64 { return uint64(s)<<32 | uint64(d) }
+	final := make(map[uint64]state)
+	for _, b := range batches {
+		for _, op := range b.Ops {
+			final[key(op.Src, op.Dst)] = state{weight: op.Weight, present: !op.Del}
+		}
+	}
+
+	n := base.NumVertices()
+	adds := make([]delta, 0, len(final))
+	for k, st := range final {
+		if !st.present {
+			continue
+		}
+		d := delta{src: graph.VertexID(k >> 32), dst: graph.VertexID(uint32(k)), weight: st.weight}
+		if int(d.src) >= n {
+			n = int(d.src) + 1
+		}
+		if int(d.dst) >= n {
+			n = int(d.dst) + 1
+		}
+		adds = append(adds, d)
+	}
+	// the packed key is exactly (src, dst) order
+	sort.Slice(adds, func(i, j int) bool {
+		return key(adds[i].src, adds[i].dst) < key(adds[j].src, adds[j].dst)
+	})
+
+	out := &graph.Graph{Offsets: make([]uint64, n+1)}
+	// count: base edges whose pair is untouched, plus final insertions
+	baseN := base.NumVertices()
+	for u := 0; u < baseN; u++ {
+		for _, v := range base.Neighbors(graph.VertexID(u)) {
+			if _, touched := final[key(graph.VertexID(u), v)]; !touched {
+				out.Offsets[u+1]++
+			}
+		}
+	}
+	for _, d := range adds {
+		out.Offsets[d.src+1]++
+	}
+	for i := 1; i <= n; i++ {
+		out.Offsets[i] += out.Offsets[i-1]
+	}
+	m := out.Offsets[n]
+	out.Adj = make([]graph.VertexID, m)
+	if weighted {
+		out.Weights = make([]int32, m)
+	}
+	cursor := make([]uint64, n)
+	copy(cursor, out.Offsets[:n])
+	emit := func(u, v graph.VertexID, w int32) {
+		p := cursor[u]
+		cursor[u]++
+		out.Adj[p] = v
+		if weighted {
+			out.Weights[p] = w
+		}
+	}
+	for u := 0; u < baseN; u++ {
+		var ws []int32
+		if base.Weighted() {
+			ws = base.NeighborWeights(graph.VertexID(u))
+		}
+		for i, v := range base.Neighbors(graph.VertexID(u)) {
+			if _, touched := final[key(graph.VertexID(u), v)]; touched {
+				continue
+			}
+			w := int32(0)
+			if ws != nil {
+				w = ws[i]
+			}
+			emit(graph.VertexID(u), v, w)
+		}
+		// touched pairs of u go after its surviving base edges, in dst
+		// order (adds is (src, dst)-sorted; deltas of u are contiguous)
+		for len(adds) > 0 && adds[0].src == graph.VertexID(u) {
+			emit(adds[0].src, adds[0].dst, adds[0].weight)
+			adds = adds[1:]
+		}
+	}
+	for _, d := range adds { // sources beyond the base vertex count
+		emit(d.src, d.dst, d.weight)
+	}
+	return out
+}
+
+// delta is one surviving insertion during a Materialize merge.
+type delta struct {
+	src, dst graph.VertexID
+	weight   int32
+}

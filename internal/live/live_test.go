@@ -1,0 +1,443 @@
+package live_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/live"
+)
+
+// edgeSet collects a graph's edges as a src<<32|dst -> weight map,
+// failing on duplicate pairs (live graphs are simple per pair).
+func edgeSet(t *testing.T, g *graph.Graph, allowDup bool) map[uint64]int32 {
+	t.Helper()
+	out := make(map[uint64]int32)
+	for u := 0; u < g.NumVertices(); u++ {
+		var ws []int32
+		if g.Weighted() {
+			ws = g.NeighborWeights(graph.VertexID(u))
+		}
+		for i, v := range g.Neighbors(graph.VertexID(u)) {
+			k := uint64(u)<<32 | uint64(v)
+			if _, dup := out[k]; dup && !allowDup {
+				t.Fatalf("duplicate edge (%d,%d)", u, v)
+			}
+			if ws != nil {
+				out[k] = ws[i]
+			} else {
+				out[k] = 0
+			}
+		}
+	}
+	return out
+}
+
+func TestMaterializeSemantics(t *testing.T) {
+	base := graph.FromEdges(6, []graph.Edge{
+		{Src: 0, Dst: 1, Weight: 5},
+		{Src: 0, Dst: 1, Weight: 7}, // parallel copy, collapsed on first touch
+		{Src: 1, Dst: 2, Weight: 3},
+		{Src: 2, Dst: 3, Weight: 4},
+		{Src: 3, Dst: 0, Weight: 9},
+	}, true)
+	batches := []live.Batch{
+		{Ops: []live.Op{
+			{Src: 0, Dst: 1, Weight: 9}, // upsert: both copies -> one edge w9
+			{Src: 2, Dst: 3, Del: true}, // delete
+			{Src: 4, Dst: 5, Weight: 2}, // fresh edge
+			{Src: 1, Dst: 2, Del: true}, // deleted...
+		}},
+		{Ops: []live.Op{
+			{Src: 1, Dst: 2, Weight: 8}, // ...then re-inserted: last write wins
+			{Src: 7, Dst: 0, Weight: 1}, // grows the graph to 8 vertices
+			{Src: 5, Dst: 5, Weight: 6}, // self loop insert
+			{Src: 5, Dst: 5, Del: true}, // ...then deleted in the same epoch
+		}},
+	}
+	got := live.Materialize(base, batches, true)
+	if got.NumVertices() != 8 {
+		t.Fatalf("vertices = %d, want 8 (grown by insert)", got.NumVertices())
+	}
+	want := map[uint64]int32{
+		0<<32 | 1: 9,
+		1<<32 | 2: 8,
+		3<<32 | 0: 9,
+		4<<32 | 5: 2,
+		7<<32 | 0: 1,
+	}
+	gotSet := edgeSet(t, got, false)
+	if len(gotSet) != len(want) {
+		t.Fatalf("edge count %d, want %d (%v)", len(gotSet), len(want), gotSet)
+	}
+	for k, w := range want {
+		if gw, ok := gotSet[k]; !ok || gw != w {
+			t.Fatalf("edge (%d,%d): got (present=%v, w=%d), want w=%d", k>>32, uint32(k), ok, gw, w)
+		}
+	}
+	// determinism: same inputs, same CSR byte-for-byte
+	again := live.Materialize(base, batches, true)
+	for i := range got.Adj {
+		if got.Adj[i] != again.Adj[i] || got.Weights[i] != again.Weights[i] {
+			t.Fatal("Materialize is not deterministic")
+		}
+	}
+}
+
+func TestMaterializeUntouchedOrderPreserved(t *testing.T) {
+	base := graph.RMAT(6, 4, 3, graph.RMATOptions{NoSelfLoops: true})
+	got := live.Materialize(base, []live.Batch{{Ops: []live.Op{{Src: 0, Dst: 1}}}}, false)
+	// every vertex except 0 keeps its adjacency verbatim
+	for u := 1; u < base.NumVertices(); u++ {
+		b, g := base.Neighbors(graph.VertexID(u)), got.Neighbors(graph.VertexID(u))
+		if len(b) != len(g) {
+			t.Fatalf("vertex %d: degree %d -> %d", u, len(b), len(g))
+		}
+		for i := range b {
+			if b[i] != g[i] {
+				t.Fatalf("vertex %d: adjacency reordered", u)
+			}
+		}
+	}
+}
+
+func TestApplyCompactPinRetire(t *testing.T) {
+	base := graph.RMAT(7, 4, 11, graph.RMATOptions{NoSelfLoops: true})
+	var retired []uint64
+	var mu sync.Mutex
+	lg, err := live.New(base, live.Options{
+		Workers:         4,
+		MaxDeltaOps:     1 << 30, // background compaction off: the test drives it
+		MaxDeltaBatches: 1 << 30,
+		OnRetire: func(seq uint64, bytes int64) {
+			mu.Lock()
+			retired = append(retired, seq)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+
+	ep1 := lg.Pin()
+	if ep1.Seq() != 1 {
+		t.Fatalf("first epoch seq = %d", ep1.Seq())
+	}
+	v1, err := ep1.View("hash", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges1 := v1.Graph.NumEdges()
+
+	if err := lg.Apply(live.Batch{Ops: []live.Op{{Src: 1, Dst: 2}, {Src: 3, Dst: 4}}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := lg.Stats(); st.PendingBatches != 1 || st.PendingOps != 2 || st.Epoch != 1 {
+		t.Fatalf("pending stats %+v", st)
+	}
+	lg.CompactNow()
+	st := lg.Stats()
+	if st.Epoch != 2 || st.PendingOps != 0 || st.Compactions != 1 || st.LiveEpochs != 2 {
+		t.Fatalf("post-compaction stats %+v", st)
+	}
+
+	// the pinned epoch still serves its original snapshot
+	if g := ep1.Graph(); g == nil || g.NumEdges() != edges1 {
+		t.Fatalf("pinned epoch changed underneath the reader")
+	}
+	mu.Lock()
+	n := len(retired)
+	mu.Unlock()
+	if n != 0 {
+		t.Fatalf("epoch retired while pinned")
+	}
+
+	bytesBefore := lg.Bytes()
+	ep1.Release()
+	mu.Lock()
+	got := append([]uint64(nil), retired...)
+	mu.Unlock()
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("retired = %v, want [1]", got)
+	}
+	if st := lg.Stats(); st.LiveEpochs != 1 || st.RetiredEpochs != 1 {
+		t.Fatalf("post-release stats %+v", st)
+	}
+	if lg.Bytes() >= bytesBefore {
+		t.Fatalf("retired epoch's bytes not released: %d -> %d", bytesBefore, lg.Bytes())
+	}
+	if ep1.Graph() != nil {
+		t.Fatal("freed epoch still holds its graph")
+	}
+
+	// the new current epoch reflects the batch
+	ep2 := lg.Pin()
+	defer ep2.Release()
+	set := edgeSet(t, ep2.Graph(), true)
+	if _, ok := set[uint64(1)<<32|2]; !ok {
+		t.Fatal("compacted epoch is missing the inserted edge")
+	}
+}
+
+func TestBackgroundCompactionTriggers(t *testing.T) {
+	base := graph.RMAT(6, 4, 5, graph.RMATOptions{NoSelfLoops: true})
+	lg, err := live.New(base, live.Options{Workers: 4, MaxDeltaOps: 10, MaxDeltaBatches: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+	for i := 0; i < 6; i++ {
+		if err := lg.Apply(live.Batch{Ops: []live.Op{
+			{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1)},
+			{Src: graph.VertexID(i + 1), Dst: graph.VertexID(i)},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// the threshold (10 ops) was crossed: the background compactor must
+	// publish a new epoch eventually
+	deadline := time.Now().Add(10 * time.Second)
+	for lg.Stats().Compactions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background compaction never ran: %+v", lg.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	base := graph.Chain(10)
+	lg, err := live.New(base, live.Options{Workers: 2, MaxVertices: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Apply(live.Batch{Ops: []live.Op{{Src: 5, Dst: 200}}}); err == nil {
+		t.Fatal("expected vertex-bound error")
+	}
+	if err := lg.Apply(live.Batch{}); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	lg.Close()
+	if err := lg.Apply(live.Batch{Ops: []live.Op{{Src: 1, Dst: 2}}}); err == nil {
+		t.Fatal("expected closed error")
+	}
+	lg.Close() // idempotent
+
+	und := graph.Undirectify(graph.Chain(5))
+	if _, err := live.New(und, live.Options{}); err == nil {
+		t.Fatal("expected undirected-base rejection")
+	}
+}
+
+// TestConcurrentIngestCompactionAndReaders is the -race acceptance
+// test of the epoch protocol: writers stream batches while the
+// background compactor publishes epochs and readers pin snapshots and
+// verify they are never torn. At quiesce every superseded epoch has
+// been freed.
+func TestConcurrentIngestCompactionAndReaders(t *testing.T) {
+	base := graph.RMAT(9, 4, 17, graph.RMATOptions{NoSelfLoops: true})
+	n := base.NumVertices()
+	lg, err := live.New(base, live.Options{Workers: 4, MaxDeltaOps: 400, MaxDeltaBatches: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lg.Close()
+
+	const writers, readers, batchesPerWriter = 2, 3, 25
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for b := 0; b < batchesPerWriter; b++ {
+				var batch live.Batch
+				for o := 0; o < 60; o++ {
+					op := live.Op{
+						Src: graph.VertexID(rng.Intn(n)),
+						Dst: graph.VertexID(rng.Intn(n)),
+						Del: rng.Intn(4) == 0,
+					}
+					batch.Ops = append(batch.Ops, op)
+				}
+				if err := lg.Apply(batch); err != nil {
+					t.Errorf("apply: %v", err)
+					return
+				}
+			}
+		}(int64(1000 + wr))
+	}
+	readErrs := make(chan error, readers)
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				ep := lg.Pin()
+				g := ep.Graph()
+				if g == nil {
+					readErrs <- fmt.Errorf("pinned epoch already freed")
+					ep.Release()
+					return
+				}
+				// torn-graph checks: a consistent CSR has monotone
+				// offsets ending exactly at the adjacency length, and
+				// stays bit-identical while pinned
+				nv := g.NumVertices()
+				if int(g.Offsets[nv]) != len(g.Adj) {
+					readErrs <- fmt.Errorf("epoch %d: offsets end %d != adj len %d", ep.Seq(), g.Offsets[nv], len(g.Adj))
+					ep.Release()
+					return
+				}
+				for u := 0; u < nv; u++ {
+					if g.Offsets[u] > g.Offsets[u+1] {
+						readErrs <- fmt.Errorf("epoch %d: offsets not monotone at %d", ep.Seq(), u)
+						ep.Release()
+						return
+					}
+				}
+				if _, err := ep.View("hash", false); err != nil {
+					readErrs <- fmt.Errorf("epoch %d view: %v", ep.Seq(), err)
+					ep.Release()
+					return
+				}
+				e1 := g.NumEdges()
+				if e2 := ep.Graph().NumEdges(); e1 != e2 {
+					readErrs <- fmt.Errorf("epoch %d changed while pinned: %d -> %d edges", ep.Seq(), e1, e2)
+					ep.Release()
+					return
+				}
+				ep.Release()
+			}
+		}()
+	}
+
+	// writers finish first, then stop the readers
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for wrDone := false; !wrDone; {
+		select {
+		case <-done:
+			wrDone = true
+		case err := <-readErrs:
+			t.Fatal(err)
+		default:
+			if lg.Stats().Batches == writers*batchesPerWriter {
+				stop.Store(true)
+				wrDone = true
+			}
+		}
+	}
+	stop.Store(true)
+	<-done
+	close(readErrs)
+	for err := range readErrs {
+		t.Fatal(err)
+	}
+
+	lg.CompactNow() // fold any tail batches
+	st := lg.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction ran: %+v", st)
+	}
+	if st.PendingOps != 0 || st.PendingBatches != 0 {
+		t.Fatalf("pending deltas after final compaction: %+v", st)
+	}
+	// every reader released: all superseded epochs must be freed
+	if st.LiveEpochs != 1 || st.RetiredEpochs != st.Compactions {
+		t.Fatalf("epochs not retired: %+v", st)
+	}
+	ep := lg.Pin()
+	defer ep.Release()
+	if st.Bytes != ep.Bytes() {
+		t.Fatalf("resident bytes %d != current epoch bytes %d", st.Bytes, ep.Bytes())
+	}
+}
+
+func TestTextBatchRoundTrip(t *testing.T) {
+	in := live.Batch{Ops: []live.Op{
+		{Src: 1, Dst: 2, Weight: 7},
+		{Src: 3, Dst: 4},
+		{Src: 5, Dst: 6, Del: true},
+	}}
+	var sb strings.Builder
+	if err := live.WriteTextBatch(&sb, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := live.ParseTextBatch(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ops) != len(in.Ops) {
+		t.Fatalf("ops %d, want %d", len(got.Ops), len(in.Ops))
+	}
+	for i := range in.Ops {
+		if got.Ops[i] != in.Ops[i] {
+			t.Fatalf("op %d: %+v != %+v", i, got.Ops[i], in.Ops[i])
+		}
+	}
+
+	for _, bad := range []string{"1\n", "- 1\n", "x 2\n", "1 y\n", "1 2 z\n", "1 2 3 4\n"} {
+		if _, err := live.ParseTextBatch(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ParseTextBatch(%q): expected error", bad)
+		}
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	batches := []live.Batch{
+		{Ops: []live.Op{{Src: 1, Dst: 2}, {Src: 2, Dst: 3, Del: true}}},
+		{Ops: []live.Op{{Src: 4, Dst: 5, Weight: 9}}},
+	}
+	var sb strings.Builder
+	if err := live.WriteStream(&sb, batches); err != nil {
+		t.Fatal(err)
+	}
+	if chunks := live.SplitStream(sb.String()); len(chunks) != 2 {
+		t.Fatalf("SplitStream: %d chunks, want 2", len(chunks))
+	}
+	got, err := live.ReadStream(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || len(got[0].Ops) != 2 || len(got[1].Ops) != 1 {
+		t.Fatalf("ReadStream shape: %+v", got)
+	}
+	if got[1].Ops[0] != (live.Op{Src: 4, Dst: 5, Weight: 9}) {
+		t.Fatalf("ReadStream op: %+v", got[1].Ops[0])
+	}
+}
+
+// Close racing Apply: the compaction wake-up send and the channel
+// close are both serialized under the graph mutex, so concurrent
+// appliers during shutdown get a clean "closed" error, never a panic.
+func TestApplyCloseRace(t *testing.T) {
+	base := graph.Chain(50)
+	lg, err := live.New(base, live.Options{Workers: 2, MaxDeltaOps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				// every batch crosses the 1-op threshold and kicks the
+				// compactor; errors after Close are expected
+				_ = lg.Apply(live.Batch{Ops: []live.Op{
+					{Src: graph.VertexID(seed), Dst: graph.VertexID(i % 50)},
+				}})
+			}
+		}(w)
+	}
+	lg.Close()
+	wg.Wait()
+}

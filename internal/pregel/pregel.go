@@ -47,6 +47,11 @@ type Config[M, R, A any] struct {
 	Cost  comm.CostModel
 	// MaxSupersteps aborts runaway jobs; 0 means 10_000.
 	MaxSupersteps int
+	// Cancel, if non-nil, aborts the run when closed: the shared
+	// barrier is released, workers unwind, and Run returns
+	// barrier.ErrCancelled (unless a worker failed for a real reason
+	// first, which wins).
+	Cancel <-chan struct{}
 
 	// MsgCodec encodes the global message type.
 	MsgCodec ser.Codec[M]
@@ -339,6 +344,7 @@ func Run[M, R, A any](cfg Config[M, R, A], setup func(w *Worker[M, R, A])) (Metr
 		}
 	}
 	start := time.Now()
+	cancelled := barrier.WatchCancel(cfg.Cancel, j.bar)
 	errs := make([]error, m)
 	var wg sync.WaitGroup
 	for i := 0; i < m; i++ {
@@ -362,5 +368,9 @@ func Run[M, R, A any](cfg Config[M, R, A], setup func(w *Worker[M, R, A])) (Metr
 		Comm:       j.ex.Stats(),
 		WallTime:   time.Since(start),
 	}
-	return met, barrier.JoinErrors(errs)
+	err := barrier.JoinErrors(errs)
+	if cancelled() && err == nil {
+		err = barrier.ErrCancelled
+	}
+	return met, err
 }

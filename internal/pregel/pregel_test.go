@@ -1,9 +1,11 @@
 package pregel
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
+	"repro/internal/barrier"
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/ser"
@@ -401,5 +403,27 @@ func TestWakeByMessage(t *testing.T) {
 	}
 	if !woke {
 		t.Error("vertex 1 not woken by message")
+	}
+}
+
+// Cancellation mid-run: closing Config.Cancel must unwind every worker
+// through the aborted barrier and surface barrier.ErrCancelled.
+func TestPregelCancelMidRun(t *testing.T) {
+	cancel := make(chan struct{})
+	fired := false
+	cfg := basicCfg(8, 4)
+	cfg.Cancel = cancel
+	cfg.MaxSupersteps = 1 << 30
+	_, err := Run(cfg, func(w *Worker[uint32, noRR, noRR]) {
+		w.Compute = func(li int, msgs []uint32) {
+			// stay active forever; worker 0 pulls the plug at step 50
+			if w.WorkerID() == 0 && li == 0 && w.Superstep() == 50 && !fired {
+				fired = true
+				close(cancel)
+			}
+		}
+	})
+	if !errors.Is(err, barrier.ErrCancelled) {
+		t.Fatalf("expected ErrCancelled, got %v", err)
 	}
 }

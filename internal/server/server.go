@@ -1,15 +1,19 @@
 // Package server exposes the job service over HTTP/JSON — the graphd
 // API. All endpoints live under /v1:
 //
-//	POST   /v1/jobs             submit {algorithm, dataset, engine, variant, params}
-//	GET    /v1/jobs             list retained jobs
-//	GET    /v1/jobs/{id}        job status + metrics
-//	GET    /v1/jobs/{id}/result per-vertex output (paging: ?offset=&limit=)
-//	DELETE /v1/jobs/{id}        cancel a job that has not started
-//	GET    /v1/datasets         catalog contents
-//	GET    /v1/algorithms       registry contents
-//	GET    /v1/healthz          liveness
-//	GET    /v1/stats            catalog + job-manager counters
+//	POST   /v1/jobs                  submit {algorithm, dataset, engine, variant, params}
+//	GET    /v1/jobs                  list retained jobs
+//	GET    /v1/jobs/{id}             job status + metrics
+//	GET    /v1/jobs/{id}/result      per-vertex output (paging: ?offset=&limit=)
+//	DELETE /v1/jobs/{id}             cancel a job (queued: immediate; running: aborted)
+//	GET    /v1/datasets              catalog contents
+//	GET    /v1/datasets/{name}       dataset detail: views, edge cuts, live epoch stats
+//	POST   /v1/datasets/{name}/edges ingest an edge batch into a live dataset
+//	                                 (JSON {inserts, deletes} or text edge-list body;
+//	                                 ?compact=now forces a synchronous compaction)
+//	GET    /v1/algorithms            registry contents
+//	GET    /v1/healthz               liveness
+//	GET    /v1/stats                 catalog + job-manager counters
 package server
 
 import (
@@ -24,6 +28,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/graph"
 	"repro/internal/jobs"
+	"repro/internal/live"
 )
 
 // Server binds the catalog and job manager to an http.Handler.
@@ -43,6 +48,8 @@ func New(cat *catalog.Catalog, mgr *jobs.Manager) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.getResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancelJob)
 	s.mux.HandleFunc("GET /v1/datasets", s.listDatasets)
+	s.mux.HandleFunc("GET /v1/datasets/{name}", s.datasetDetail)
+	s.mux.HandleFunc("POST /v1/datasets/{name}/edges", s.ingestEdges)
 	s.mux.HandleFunc("GET /v1/algorithms", s.listAlgorithms)
 	s.mux.HandleFunc("GET /v1/healthz", s.healthz)
 	s.mux.HandleFunc("GET /v1/stats", s.stats)
@@ -103,6 +110,9 @@ func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, snap)
 }
 
+// cancelJob cancels queued or running jobs. A running job aborts
+// cooperatively, so the snapshot in the response may still say
+// "running" for an instant; poll it to observe the terminal state.
 func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if err := s.mgr.Cancel(id); err != nil {
@@ -206,6 +216,109 @@ func window[T any](xs []T, offset, limit int) (int, []T) {
 
 func (s *Server) listDatasets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"datasets": s.cat.List()})
+}
+
+func (s *Server) datasetDetail(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	d, err := s.cat.DetailOf(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+// ingestPayload is the JSON body of POST /v1/datasets/{name}/edges.
+type ingestPayload struct {
+	Inserts []ingestEdge `json:"inserts"`
+	Deletes []ingestEdge `json:"deletes"`
+}
+
+type ingestEdge struct {
+	Src    graph.VertexID `json:"src"`
+	Dst    graph.VertexID `json:"dst"`
+	Weight int32          `json:"weight,omitempty"`
+}
+
+// ingestResponse reports where the batch landed.
+type ingestResponse struct {
+	Dataset  string     `json:"dataset"`
+	Inserts  int        `json:"inserts"`
+	Deletes  int        `json:"deletes"`
+	Live     live.Stats `json:"live"`
+	Compacts bool       `json:"compacted,omitempty"` // ?compact=now ran
+}
+
+// ingestEdges appends one edge batch to a live dataset's delta log. The
+// body is JSON ({"inserts": [{"src","dst","weight"}...], "deletes":
+// [...]}) when the Content-Type says so, otherwise the text edge-list
+// format ("src dst [weight]" inserts, "- src dst" deletes). Ingesting
+// into an unloaded dataset loads it first.
+func (s *Server) ingestEdges(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	spec, ok := s.cat.SpecOf(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", name)
+		return
+	}
+	if !spec.Mutable {
+		// rejected from the spec alone — a bad ingest request must not
+		// trigger an expensive load (and possible evictions) for nothing
+		writeError(w, http.StatusConflict, "dataset %q is immutable (register it with mutable: true)", name)
+		return
+	}
+	entry, err := s.cat.Get(name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	lg := entry.Live()
+	if lg == nil {
+		writeError(w, http.StatusConflict, "dataset %q is immutable (register it with mutable: true)", name)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, 64<<20)
+	var batch live.Batch
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var p ingestPayload
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&p); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		batch.Ops = make([]live.Op, 0, len(p.Inserts)+len(p.Deletes))
+		for _, e := range p.Inserts {
+			batch.Ops = append(batch.Ops, live.Op{Src: e.Src, Dst: e.Dst, Weight: e.Weight})
+		}
+		for _, e := range p.Deletes {
+			batch.Ops = append(batch.Ops, live.Op{Src: e.Src, Dst: e.Dst, Del: true})
+		}
+	} else {
+		if batch, err = live.ParseTextBatch(body); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+	}
+	ins, del := 0, 0
+	for _, op := range batch.Ops {
+		if op.Del {
+			del++
+		} else {
+			ins++
+		}
+	}
+	if err := lg.Apply(batch); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := ingestResponse{Dataset: name, Inserts: ins, Deletes: del}
+	if r.URL.Query().Get("compact") == "now" {
+		lg.CompactNow()
+		resp.Compacts = true
+	}
+	resp.Live = lg.Stats()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // algorithmPayload is one registry entry in GET /v1/algorithms.

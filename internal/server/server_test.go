@@ -371,3 +371,261 @@ func TestPlacementOverHTTP(t *testing.T) {
 	}
 	samePartition(t, "wcc hash vs greedy", hRes.Labels, gRes.Labels)
 }
+
+// waitState polls until the job leaves the pending state.
+func waitRunning(t *testing.T, base, id string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		var snap jobs.Snapshot
+		getJSON(t, base+"/v1/jobs/"+id, http.StatusOK, &snap)
+		if snap.State == jobs.StateRunning || snap.State.Terminal() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never started", id)
+}
+
+// Live datasets over HTTP: batch ingest (text and JSON bodies), forced
+// compaction, the detail endpoint's epoch/delta stats, epoch-stamped
+// job metrics, and ingest sustained concurrently with running jobs.
+func TestLiveIngestJobsAndDetail(t *testing.T) {
+	cat, _, ts := testService(t, 4)
+	base := ts.URL
+	t.Cleanup(cat.Close)
+	if err := cat.Register(catalog.Spec{Name: "feed", Gen: "rmat:scale=8,ef=4,seed=33", Mutable: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// ingesting into an immutable dataset is a conflict, decided from
+	// the spec alone — the rejected request must not load the dataset
+	resp, err := http.Post(base+"/v1/datasets/social/edges", "text/plain", strings.NewReader("1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("immutable ingest: HTTP %d, want 409", resp.StatusCode)
+	}
+	var dl struct {
+		Datasets []catalog.Info `json:"datasets"`
+	}
+	getJSON(t, base+"/v1/datasets", http.StatusOK, &dl)
+	for _, d := range dl.Datasets {
+		if d.Name == "social" && d.Loaded {
+			t.Fatal("rejected ingest loaded the immutable dataset")
+		}
+	}
+	// unknown dataset is a 404; malformed bodies are 400
+	resp, _ = http.Post(base+"/v1/datasets/nope/edges", "text/plain", strings.NewReader("1 2\n"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown ingest: HTTP %d, want 404", resp.StatusCode)
+	}
+	resp, _ = http.Post(base+"/v1/datasets/feed/edges", "text/plain", strings.NewReader("bogus\n"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed ingest: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	// text body + forced compaction
+	var ing struct {
+		Inserts int `json:"inserts"`
+		Deletes int `json:"deletes"`
+		Live    struct {
+			Epoch       uint64 `json:"epoch"`
+			Compactions uint64 `json:"compactions"`
+			PendingOps  int    `json:"pending_ops"`
+		} `json:"live"`
+	}
+	resp, err = http.Post(base+"/v1/datasets/feed/edges?compact=now", "text/plain",
+		strings.NewReader("# two inserts, one delete\n1 2 7\n3 4\n- 0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ing.Inserts != 2 || ing.Deletes != 1 || ing.Live.Epoch != 2 || ing.Live.PendingOps != 0 {
+		t.Fatalf("text ingest response %+v", ing)
+	}
+
+	// JSON body
+	jsonBody := `{"inserts":[{"src":5,"dst":6,"weight":3}],"deletes":[{"src":1,"dst":2}]}`
+	resp, err = http.Post(base+"/v1/datasets/feed/edges?compact=now", "application/json", strings.NewReader(jsonBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ing.Inserts != 1 || ing.Deletes != 1 || ing.Live.Epoch != 3 {
+		t.Fatalf("json ingest response %+v", ing)
+	}
+
+	// jobs record the epoch they executed against
+	snap, status := postJob(t, base, jobs.Request{Algorithm: "wcc", Dataset: "feed"})
+	if status != http.StatusAccepted {
+		t.Fatalf("HTTP %d", status)
+	}
+	snap = waitDone(t, base, snap.ID)
+	if snap.State != jobs.StateDone {
+		t.Fatalf("state %s (%s)", snap.State, snap.Error)
+	}
+	if snap.Metrics == nil || snap.Metrics.Epoch != 3 {
+		t.Fatalf("job metrics epoch = %+v, want 3", snap.Metrics)
+	}
+
+	// sustained concurrent ingest + jobs: no torn epochs, every job
+	// lands on some valid epoch
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			body := fmt.Sprintf("%d %d\n- %d %d\n", i%251, (i*7)%251, (i*3)%251, (i*11)%251)
+			resp, err := http.Post(base+"/v1/datasets/feed/edges", "text/plain", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			i++
+		}
+	}()
+	var ids []string
+	for k := 0; k < 6; k++ {
+		s, code := postJob(t, base, jobs.Request{Algorithm: "pagerank", Dataset: "feed",
+			Engine: []string{"channel", "pregel"}[k%2], Params: algorithms.Params{Iterations: 10}})
+		if code != http.StatusAccepted {
+			t.Fatalf("HTTP %d", code)
+		}
+		ids = append(ids, s.ID)
+	}
+	for _, id := range ids {
+		s := waitDone(t, base, id)
+		if s.State != jobs.StateDone {
+			t.Fatalf("job %s: %s (%s)", id, s.State, s.Error)
+		}
+		if s.Metrics.Epoch < 3 {
+			t.Fatalf("job %s: epoch %d", id, s.Metrics.Epoch)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// quiesce, compact, and check end-state equivalence over HTTP: WCC
+	// on the live dataset equals the sequential oracle on the exact
+	// current epoch graph
+	resp, _ = http.Post(base+"/v1/datasets/feed/edges?compact=now", "text/plain", strings.NewReader("# flush\n250 0\n"))
+	resp.Body.Close()
+	entry, err := cat.Get("feed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := entry.Live().Pin()
+	defer ep.Release()
+	want := seq.ConnectedComponents(graph.Undirectify(ep.Graph()))
+	snap, _ = postJob(t, base, jobs.Request{Algorithm: "wcc", Dataset: "feed"})
+	snap = waitDone(t, base, snap.ID)
+	if snap.State != jobs.StateDone {
+		t.Fatalf("final wcc: %s (%s)", snap.State, snap.Error)
+	}
+	if snap.Metrics.Epoch != ep.Seq() {
+		t.Fatalf("final wcc epoch %d, want %d", snap.Metrics.Epoch, ep.Seq())
+	}
+	var res resultPayloadT
+	getJSON(t, base+"/v1/jobs/"+snap.ID+"/result", http.StatusOK, &res)
+	samePartition(t, "live wcc vs oracle", res.Labels, want)
+
+	// detail endpoint: live stats + materialized views
+	var detail struct {
+		Name    string `json:"name"`
+		Mutable bool   `json:"mutable"`
+		Epoch   uint64 `json:"epoch"`
+		Views   []struct {
+			Placement  string  `json:"placement"`
+			Undirected bool    `json:"undirected"`
+			EdgeCut    float64 `json:"edge_cut"`
+		} `json:"views"`
+		Live *struct {
+			Epoch       uint64 `json:"epoch"`
+			Compactions uint64 `json:"compactions"`
+			Retired     uint64 `json:"retired_epochs"`
+			LiveEpochs  int    `json:"live_epochs"`
+		} `json:"live"`
+	}
+	getJSON(t, base+"/v1/datasets/feed", http.StatusOK, &detail)
+	if !detail.Mutable || detail.Live == nil || detail.Live.Epoch != ep.Seq() || detail.Live.Compactions < 3 {
+		t.Fatalf("detail %+v", detail)
+	}
+	hasUndir := false
+	for _, v := range detail.Views {
+		if v.Undirected {
+			hasUndir = true
+		}
+	}
+	if !hasUndir {
+		t.Fatalf("detail views missing the undirected WCC view: %+v", detail.Views)
+	}
+	// with the current epoch pinned here plus all others retired,
+	// resident epochs must not accumulate
+	if detail.Live.LiveEpochs != 1 {
+		t.Fatalf("resident epochs %d, want 1 (retired=%d)", detail.Live.LiveEpochs, detail.Live.Retired)
+	}
+	getJSON(t, base+"/v1/datasets/nope", http.StatusNotFound, nil)
+
+	// static datasets also serve a detail payload (no live section)
+	var sd struct {
+		Name string    `json:"name"`
+		Live *struct{} `json:"live"`
+	}
+	getJSON(t, base+"/v1/datasets/social", http.StatusOK, &sd)
+	if sd.Live != nil {
+		t.Fatalf("static dataset reports live stats")
+	}
+}
+
+// DELETE /v1/jobs/{id} on a running job aborts it through the barrier.
+func TestCancelRunningJobOverHTTP(t *testing.T) {
+	_, _, ts := testService(t, 1)
+	base := ts.URL
+
+	snap, status := postJob(t, base, jobs.Request{Algorithm: "pagerank", Dataset: "grid",
+		Params: algorithms.Params{Iterations: 150000}, MaxSupersteps: 200001})
+	if status != http.StatusAccepted {
+		t.Fatalf("HTTP %d", status)
+	}
+	waitRunning(t, base, snap.ID)
+
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+snap.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE running job: HTTP %d", resp.StatusCode)
+	}
+	final := waitDone(t, base, snap.ID)
+	if final.State != jobs.StateCancelled {
+		t.Fatalf("state %s (%s), want cancelled", final.State, final.Error)
+	}
+	// its result is a conflict, and a second DELETE now errors (terminal)
+	getJSON(t, base+"/v1/jobs/"+snap.ID+"/result", http.StatusConflict, nil)
+	resp, _ = http.DefaultClient.Do(req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second DELETE: HTTP %d, want 409", resp.StatusCode)
+	}
+}

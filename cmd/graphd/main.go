@@ -9,6 +9,16 @@
 //	       [-dataset name=spec ...] [-preload name,name]
 //	       [-retain 256] [-queue 64] [-max-graph-bytes 0]
 //	       [-compact-ops 65536] [-compact-batches 64]
+//	       [-worker-procs 0] [-graphworker-bin path]
+//
+// With -worker-procs N every job runs its simulated cluster as N
+// graphworker subprocesses joined over the socket fabric (Unix sockets)
+// instead of goroutines over shared memory: the daemon exports each
+// job's graph view plus owner vector as a binary snapshot, the
+// subprocesses rebuild identical partitions from it, and partial
+// results are merged back by vertex ownership. -graphworker-bin
+// overrides the worker executable (default: the graphworker binary next
+// to graphd).
 //
 // A dataset spec is either a file path (text edge list, or a binary
 // snapshot written by graph.WriteBinary; "<path>.bin" siblings are
@@ -38,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -90,6 +101,8 @@ func main() {
 	maxGraphBytes := flag.Int64("max-graph-bytes", 0, "approximate catalog byte budget (0 = unlimited)")
 	compactOps := flag.Int("compact-ops", 0, "live datasets: compact once this many delta ops are pending (0 = default 65536)")
 	compactBatches := flag.Int("compact-batches", 0, "live datasets: compact once this many delta batches are pending (0 = default 64)")
+	workerProcs := flag.Int("worker-procs", 0, "run each job's workers as this many graphworker subprocesses over the socket fabric (0 = in-process)")
+	workerBin := flag.String("graphworker-bin", "", "graphworker executable for -worker-procs (default: sibling of graphd)")
 	preload := flag.String("preload", "", "comma-separated datasets to load at startup")
 	var datasetFlags []string
 	flag.Func("dataset", "register a dataset as name=path or name=gen:EXPR; a live: prefix makes it mutable (repeatable)", func(v string) error {
@@ -132,8 +145,23 @@ func main() {
 		}
 	}
 
-	mgr := jobs.NewManager(cat, *workers,
-		jobs.WithRetention(*retain), jobs.WithQueueDepth(*queueDepth))
+	mgrOpts := []jobs.Option{jobs.WithRetention(*retain), jobs.WithQueueDepth(*queueDepth)}
+	if *workerProcs > 0 {
+		bin := *workerBin
+		if bin == "" {
+			self, err := os.Executable()
+			if err != nil {
+				log.Fatalf("graphd: -worker-procs needs -graphworker-bin: %v", err)
+			}
+			bin = filepath.Join(filepath.Dir(self), "graphworker")
+		}
+		if _, err := os.Stat(bin); err != nil {
+			log.Fatalf("graphd: graphworker binary: %v (build cmd/graphworker or pass -graphworker-bin)", err)
+		}
+		mgrOpts = append(mgrOpts, jobs.WithWorkerProcs(*workerProcs, bin))
+		log.Printf("graphd: jobs run across %d graphworker processes (%s)", *workerProcs, bin)
+	}
+	mgr := jobs.NewManager(cat, *workers, mgrOpts...)
 	srv := server.New(cat, mgr)
 
 	if *preload != "" {

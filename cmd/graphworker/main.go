@@ -1,0 +1,24 @@
+// Command graphworker runs one process's share of a distributed
+// graphd job: it loads the job's graph from a binary snapshot, rebuilds
+// the partition from the owner vector embedded in it, joins the job's
+// socket fabric at the coordinator's hub address, executes its hosted
+// workers through the exact registry code path the in-process engines
+// use, and ships its partial result back over the control connection.
+//
+// graphd spawns graphworkers itself when started with -worker-procs;
+// the command exists so the same protocol can cross machine boundaries:
+//
+//	graphworker -network tcp -connect coordinator:9000 \
+//	    -snapshot web.bin -placement hash -workers 2-3 -num-workers 8 \
+//	    -algorithm pagerank -engine channel
+package main
+
+import (
+	"os"
+
+	"repro/internal/workerproc"
+)
+
+func main() {
+	os.Exit(workerproc.Main(os.Args[1:], os.Stderr))
+}

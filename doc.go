@@ -63,4 +63,29 @@
 // catalog per (dataset, workers, placement) view, charged to its LRU
 // byte budget, and binary snapshots (version 2) can embed named owner
 // vectors so a daemon restart skips re-partitioning.
+//
+// That stepping stone is now crossed: the transport is pluggable behind
+// two seams, and workers really do run in separate processes. The
+// comm.Fabric interface (per-worker endpoints: serialize into Out,
+// Flush, read In, Release) carries the data plane and barrier.Barrier
+// (Wait + AllReduce, a crossing that also sums one 64-bit word from
+// every worker) the control plane; the engines ship their shared state
+// — exchange-round again-flags, active counts, stop votes — inside the
+// reduce word, so no engine or channel code reads another worker's
+// memory. The in-process implementations keep the zero-copy buffer
+// matrix and the atomic sense-reversing barrier (two crossings per
+// exchange round); internal/netcomm implements the same contract as
+// length-prefixed frames over TCP/Unix sockets in a star around a hub
+// that routes frames, releases barrier crossings with the aggregated
+// reduce value, charges the simulated cost model from per-flush
+// reports, and turns a dropped connection into a job-wide barrier
+// abort. cmd/graphworker (internal/workerproc) is the worker process:
+// it rebuilds graph, partition and fragments from a binary snapshot
+// with an embedded owner vector, joins the hub, runs the registry code
+// path unchanged, and ships a compact partial result merged by vertex
+// ownership at the coordinator. graphd -worker-procs N runs every job
+// this way; the equivalence sweep pins the whole stack to
+// oracle-identical results across processes, placements, engines and
+// variants, and killing a worker process mid-superstep fails the job
+// with a joined error rather than a hang.
 package repro

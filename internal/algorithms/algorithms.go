@@ -11,6 +11,7 @@
 package algorithms
 
 import (
+	"repro/internal/comm"
 	"repro/internal/engine"
 	"repro/internal/frag"
 	"repro/internal/graph"
@@ -69,6 +70,13 @@ type Options struct {
 	// threads each job's cancellation channel through here); the run
 	// returns barrier.ErrCancelled.
 	Cancel <-chan struct{}
+	// Fabric, if non-nil, is the transport the run's workers exchange
+	// buffers and synchronize through (nil selects the in-process
+	// zero-copy fabric). A distributed fabric may host only a subset of
+	// Part's workers in this process: the run then computes just those
+	// workers' vertices and the assembled result has only their entries
+	// filled — the coordinator merges partials by ownership.
+	Fabric comm.Fabric
 }
 
 // fragments returns the pre-resolved fragments of g, building them when

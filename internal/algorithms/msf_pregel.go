@@ -85,6 +85,7 @@ func MSFPregel(g *graph.Graph, opts Options) (MSFResult, pregel.Metrics, error) 
 		Frags:         opts.fragments(g),
 		MaxSupersteps: opts.MaxSupersteps,
 		Cancel:        opts.Cancel,
+		Fabric:        opts.Fabric,
 		MsgCodec:      msfMMsgCodec{},
 		AggCombine:    msfPAggSum,
 		AggCodec:      msfPAggCodec{},

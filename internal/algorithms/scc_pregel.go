@@ -72,6 +72,7 @@ func SCCPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, 
 		Frags:         fwdFrags,
 		MaxSupersteps: opts.MaxSupersteps,
 		Cancel:        opts.Cancel,
+		Fabric:        opts.Fabric,
 		MsgCodec:      sccMMsgCodec{},
 		AggCombine:    sccAggSum,
 		AggCodec:      sccAggCodec{},

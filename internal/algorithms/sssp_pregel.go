@@ -19,6 +19,7 @@ func SSSPPregel(g *graph.Graph, src graph.VertexID, opts Options) ([]int64, preg
 		Frags:         opts.fragments(g),
 		MaxSupersteps: opts.MaxSupersteps,
 		Cancel:        opts.Cancel,
+		Fabric:        opts.Fabric,
 		MsgCodec:      ser.Int64Codec{},
 		Combiner:      minI64,
 	}

@@ -58,6 +58,7 @@ func SVPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, e
 		Frags:         opts.fragments(g),
 		MaxSupersteps: opts.MaxSupersteps,
 		Cancel:        opts.Cancel,
+		Fabric:        opts.Fabric,
 		MsgCodec:      svMsgCodec{},
 		AggCombine:    orBool,
 		AggCodec:      ser.BoolCodec{},
@@ -140,6 +141,7 @@ func SVPregelReqResp(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Met
 		Frags:         opts.fragments(g),
 		MaxSupersteps: opts.MaxSupersteps,
 		Cancel:        opts.Cancel,
+		Fabric:        opts.Fabric,
 		MsgCodec:      ser.Uint32Codec{},
 		Combiner:      minU32,
 		RespCodec:     ser.Uint32Codec{},

@@ -1,10 +1,17 @@
 // Package barrier provides the M-party synchronization barrier of the
-// BSP engines. The exchange loop crosses a barrier four times per
-// exchange round, so the crossing itself is on the hot path: Wait uses
-// an atomic sense-reversing fast path (arrival counter + generation
-// word) with a bounded spin, and falls back to a condition variable
-// only for stragglers, so a round where all workers arrive together
-// costs a handful of atomic operations and no mutex hand-offs.
+// BSP engines. The exchange loop crosses a barrier twice per exchange
+// round, so the crossing itself is on the hot path: the in-process
+// implementation (Shared) uses an atomic sense-reversing fast path
+// (arrival counter + generation word) with a bounded spin, and falls
+// back to a condition variable only for stragglers, so a round where
+// all workers arrive together costs a handful of atomic operations and
+// no mutex hand-offs.
+//
+// Barrier is an interface so the synchronization can leave the address
+// space: internal/netcomm implements it as a message-based distributed
+// barrier over the socket fabric's control connection, with the same
+// abort semantics. Engines hold the interface and never assume their
+// peers share memory.
 //
 // A barrier can be aborted: a worker that fails mid-superstep calls
 // Abort to release every current and future waiter, which lets its
@@ -30,6 +37,29 @@ var ErrAborted = errors.New("barrier: aborted: another worker failed")
 // job service maps it to the "cancelled" state).
 var ErrCancelled = errors.New("run cancelled")
 
+// Barrier synchronizes a fixed party of workers. All parties must make
+// the same sequence of crossings (Wait and AllReduce calls at the same
+// program points); the implementations only distinguish crossings by
+// order of arrival.
+type Barrier interface {
+	// Wait blocks until all parties have arrived (returning true) or the
+	// barrier is aborted (returning false, immediately, for every
+	// current and future call).
+	Wait() bool
+	// AllReduce is a crossing that also reduces: every party posts v and
+	// receives the sum of all parties' posts for this crossing. It
+	// returns (0, false) once the barrier is aborted. Engines encode OR
+	// as 0/1 posts and pack multiple small fields into the one word.
+	AllReduce(v uint64) (uint64, bool)
+	// Abort permanently releases the barrier: every waiter currently
+	// blocked observes the release, and all subsequent crossings fail
+	// without blocking.
+	Abort()
+	// Aborted reports whether Abort was called (locally or, for
+	// distributed implementations, anywhere in the party).
+	Aborted() bool
+}
+
 // JoinErrors joins all real worker errors in worker order, dropping
 // abort echoes and duplicate messages (a symmetric failure every worker
 // hits, like a superstep cap, surfaces once rather than once per
@@ -49,20 +79,26 @@ func JoinErrors(errs []error) error {
 	return errors.Join(real...)
 }
 
-// Barrier synchronizes a fixed party of n goroutines.
-type Barrier struct {
+// Shared is the in-process Barrier: a fixed party of n goroutines
+// synchronizing through atomics in shared memory.
+type Shared struct {
 	n       int32
 	arrived atomic.Int32
 	gen     atomic.Uint64 // sense word: bumped once per completed crossing
 	aborted atomic.Bool
 	blocked atomic.Int32 // waiters parked on cond
-	mu      sync.Mutex
-	cond    *sync.Cond
+	// acc holds the AllReduce accumulators, indexed by crossing parity:
+	// crossing g posts into acc[g&1] while the last arriver of g clears
+	// acc[(g+1)&1] before releasing, so consecutive crossings never
+	// share a slot.
+	acc  [2]atomic.Uint64
+	mu   sync.Mutex
+	cond *sync.Cond
 }
 
-// New creates a barrier for n parties.
-func New(n int) *Barrier {
-	b := &Barrier{n: int32(n)}
+// New creates an in-process barrier for n parties.
+func New(n int) *Shared {
+	b := &Shared{n: int32(n)}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
@@ -72,27 +108,54 @@ func New(n int) *Barrier {
 // not burned cores.
 const spinRounds = 64
 
-// Wait blocks until all n parties have called Wait (returning true) or
-// the barrier is aborted (returning false, immediately, for every
-// current and future call).
-func (b *Barrier) Wait() bool {
+// Wait implements Barrier.
+func (b *Shared) Wait() bool {
 	if b.aborted.Load() {
 		return false
 	}
 	gen := b.gen.Load()
 	if b.arrived.Add(1) == b.n {
-		// Last arriver releases the generation: reset the counter
-		// before bumping the sense word so no releasee can re-arrive
-		// early, then wake any parked stragglers.
-		b.arrived.Store(0)
-		b.gen.Add(1)
-		if b.blocked.Load() > 0 {
-			b.mu.Lock()
-			b.cond.Broadcast()
-			b.mu.Unlock()
-		}
+		b.release(gen)
 		return !b.aborted.Load()
 	}
+	return b.await(gen)
+}
+
+// AllReduce implements Barrier.
+func (b *Shared) AllReduce(v uint64) (uint64, bool) {
+	if b.aborted.Load() {
+		return 0, false
+	}
+	gen := b.gen.Load()
+	slot := &b.acc[gen&1]
+	if v != 0 {
+		slot.Add(v)
+	}
+	if b.arrived.Add(1) == b.n {
+		b.release(gen)
+		return slot.Load(), !b.aborted.Load()
+	}
+	ok := b.await(gen)
+	return slot.Load(), ok
+}
+
+// release is the last arriver's duty: reset the counter and the next
+// crossing's accumulator before bumping the sense word so no releasee
+// can re-arrive or re-post early, then wake any parked stragglers.
+func (b *Shared) release(gen uint64) {
+	b.arrived.Store(0)
+	b.acc[(gen+1)&1].Store(0)
+	b.gen.Add(1)
+	if b.blocked.Load() > 0 {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+}
+
+// await spins, then parks, until the crossing at gen is released or the
+// barrier aborts; it reports !aborted.
+func (b *Shared) await(gen uint64) bool {
 	for i := 0; i < spinRounds; i++ {
 		if b.gen.Load() != gen || b.aborted.Load() {
 			return !b.aborted.Load()
@@ -116,7 +179,7 @@ func (b *Barrier) Wait() bool {
 // after all workers have returned, and substitute ErrCancelled when no
 // real worker error explains the abort. A nil cancel channel installs
 // no watcher.
-func WatchCancel(cancel <-chan struct{}, b *Barrier) func() bool {
+func WatchCancel(cancel <-chan struct{}, b Barrier) func() bool {
 	if cancel == nil {
 		return func() bool { return false }
 	}
@@ -139,13 +202,14 @@ func WatchCancel(cancel <-chan struct{}, b *Barrier) func() bool {
 	}
 }
 
-// Abort permanently releases the barrier: every waiter currently parked
-// or spinning observes the release, and all subsequent Wait calls
-// return false without blocking.
-func (b *Barrier) Abort() {
+// Abort implements Barrier.
+func (b *Shared) Abort() {
 	b.aborted.Store(true)
 	b.gen.Add(1) // release spinners and park-loop checks
 	b.mu.Lock()
 	b.cond.Broadcast()
 	b.mu.Unlock()
 }
+
+// Aborted implements Barrier.
+func (b *Shared) Aborted() bool { return b.aborted.Load() }

@@ -80,3 +80,93 @@ func TestJoinErrors(t *testing.T) {
 		t.Errorf("joined error %q want %q (dedup + order)", err.Error(), want)
 	}
 }
+
+// AllReduce must deliver the exact sum of all parties' posts at every
+// crossing, including back-to-back crossings exercising both
+// accumulator slots.
+func TestBarrierAllReduceSums(t *testing.T) {
+	const n, rounds = 5, 300
+	b := New(n)
+	var wg sync.WaitGroup
+	errCh := make(chan string, n)
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				v := uint64(p + r*n)
+				want := uint64(0)
+				for q := 0; q < n; q++ {
+					want += uint64(q + r*n)
+				}
+				got, ok := b.AllReduce(v)
+				if !ok || got != want {
+					errCh <- fmt.Sprintf("party %d round %d: got %d ok=%v want %d", p, r, got, ok, want)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errCh)
+	for msg := range errCh {
+		t.Error(msg)
+	}
+}
+
+// Wait and AllReduce crossings interleave (the engines alternate them
+// every exchange round).
+func TestBarrierMixedCrossings(t *testing.T) {
+	const n, rounds = 3, 100
+	b := New(n)
+	var wg sync.WaitGroup
+	bad := make(chan string, n)
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if !b.Wait() {
+					bad <- "unexpected abort in Wait"
+					return
+				}
+				got, ok := b.AllReduce(1)
+				if !ok || got != n {
+					bad <- fmt.Sprintf("round %d: sum=%d ok=%v want %d", r, got, ok, n)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(bad)
+	for msg := range bad {
+		t.Error(msg)
+	}
+}
+
+// Abort must release AllReduce waiters with ok=false, and Aborted must
+// report it.
+func TestBarrierAllReduceAbort(t *testing.T) {
+	const n = 3
+	b := New(n)
+	results := make(chan bool, n-1)
+	for p := 0; p < n-1; p++ {
+		go func() {
+			_, ok := b.AllReduce(7)
+			results <- ok
+		}()
+	}
+	b.Abort()
+	for p := 0; p < n-1; p++ {
+		if <-results {
+			t.Errorf("AllReduce returned ok after abort")
+		}
+	}
+	if !b.Aborted() {
+		t.Error("Aborted() = false after Abort")
+	}
+	if _, ok := b.AllReduce(1); ok {
+		t.Error("post-abort AllReduce returned ok")
+	}
+}

@@ -1,17 +1,22 @@
-// Package comm implements the simulated cluster transport. The paper runs
-// on an 8-node EC2 cluster with 750 Mbps links; here workers live in one
-// process and exchange binary buffers pairwise, exactly as in the paper's
-// architecture (Fig. 2): worker k holds one outgoing buffer per peer, and
-// after a synchronization point every worker reads the buffers addressed
-// to it.
+// Package comm defines the cluster transport seam and its in-process
+// implementation. The paper runs on an 8-node EC2 cluster with 750 Mbps
+// links; the engines see only the Fabric interface (per-worker
+// endpoints exchanging binary buffers pairwise, exactly the paper's
+// architecture, Fig. 2: worker k holds one outgoing buffer per peer,
+// and after a synchronization point every worker reads the buffers
+// addressed to it). The default implementation here keeps all workers
+// in one process around the zero-copy Exchanger matrix;
+// internal/netcomm satisfies the same contract over TCP/Unix sockets
+// for workers in separate processes.
 //
-// Two things make this an adequate substrate for reproducing the paper's
-// numbers (see DESIGN.md §2): every message really is serialized to bytes
-// (so the CPU cost of message handling — the hashing vs. linear-scan
-// distinction the optimized channels exploit — is genuinely paid), and
-// every byte that crosses a worker boundary is counted and charged to a
-// configurable bandwidth/latency model, producing a simulated network
-// time comparable across engine variants.
+// Two things make the in-process fabric an adequate substrate for
+// reproducing the paper's numbers (see DESIGN.md §2): every message
+// really is serialized to bytes (so the CPU cost of message handling —
+// the hashing vs. linear-scan distinction the optimized channels
+// exploit — is genuinely paid), and every byte that crosses a worker
+// boundary is counted and charged to a configurable bandwidth/latency
+// model, producing a simulated network time comparable across engine
+// variants.
 package comm
 
 import (
@@ -105,10 +110,9 @@ func (p ShrinkPolicy) withDefaults() ShrinkPolicy {
 // The engine provides the synchronization; Exchanger provides storage and
 // accounting.
 type Exchanger struct {
-	m         int
-	out       [][]*ser.Buffer
-	roundSent []int64 // per-source bytes in the current round (off-node only)
-	cost      CostModel
+	m    int
+	out  [][]*ser.Buffer
+	cost CostModel
 
 	shrink ShrinkPolicy
 	peak   [][]int // per (s,d): max bytes written since the last check
@@ -117,21 +121,28 @@ type Exchanger struct {
 	netBytes   atomic.Int64
 	localBytes atomic.Int64
 	shrunk     atomic.Int64
-	rounds     int64
-	simNet     time.Duration
+	// round accounting: flushed counts FinishSerialize calls in the
+	// current round; the last flusher charges the cost model with the
+	// busiest worker's volume (roundMax) and resets both. The engines
+	// barrier between the last flush of round r and the first flush of
+	// round r+1, so the reset is never concurrent with the next round's
+	// updates.
+	flushed  atomic.Int32
+	roundMax atomic.Int64
+	rounds   atomic.Int64
+	simNet   atomic.Int64 // nanoseconds
 }
 
 // NewExchanger creates the buffer matrix for m workers with the default
 // shrink policy.
 func NewExchanger(m int, cost CostModel) *Exchanger {
 	e := &Exchanger{
-		m:         m,
-		out:       make([][]*ser.Buffer, m),
-		roundSent: make([]int64, m),
-		cost:      cost.withDefaults(),
-		shrink:    ShrinkPolicy{}.withDefaults(),
-		peak:      make([][]int, m),
-		resets:    make([]int, m),
+		m:      m,
+		out:    make([][]*ser.Buffer, m),
+		cost:   cost.withDefaults(),
+		shrink: ShrinkPolicy{}.withDefaults(),
+		peak:   make([][]int, m),
+		resets: make([]int, m),
 	}
 	for s := 0; s < m; s++ {
 		e.out[s] = make([]*ser.Buffer, m)
@@ -160,7 +171,11 @@ func (e *Exchanger) Out(src, dst int) *ser.Buffer { return e.out[src][dst] }
 func (e *Exchanger) In(dst, src int) *ser.Buffer { return e.out[src][dst] }
 
 // FinishSerialize is called by worker src after it has written all its
-// outgoing buffers for the round; it accounts the bytes.
+// outgoing buffers for the round; it accounts the bytes. The last
+// worker to flush a round also finalizes it: the cost model is charged
+// with the busiest worker's outbound volume, so no separate
+// finish-the-round call (which would need a globally elected worker) is
+// required.
 func (e *Exchanger) FinishSerialize(src int) {
 	var net, local int64
 	for d := 0; d < e.m; d++ {
@@ -171,25 +186,21 @@ func (e *Exchanger) FinishSerialize(src int) {
 			net += n
 		}
 	}
-	e.roundSent[src] = net
 	e.netBytes.Add(net)
 	e.localBytes.Add(local)
-}
-
-// FinishRound is called exactly once per round (by one worker, between
-// the serialize barrier and the reset barrier); it charges the cost
-// model using the busiest worker's outbound volume and clears the
-// per-round counters.
-func (e *Exchanger) FinishRound() {
-	var mx int64
-	for s := 0; s < e.m; s++ {
-		if e.roundSent[s] > mx {
-			mx = e.roundSent[s]
+	for {
+		cur := e.roundMax.Load()
+		if net <= cur || e.roundMax.CompareAndSwap(cur, net) {
+			break
 		}
-		e.roundSent[s] = 0
 	}
-	e.rounds++
-	e.simNet += e.cost.RoundTime(mx)
+	if e.flushed.Add(1) == int32(e.m) {
+		mx := e.roundMax.Load()
+		e.roundMax.Store(0)
+		e.flushed.Store(0)
+		e.rounds.Add(1)
+		e.simNet.Add(int64(e.cost.RoundTime(mx)))
+	}
 }
 
 // ResetRow rewinds and clears worker src's outgoing buffers. Called by
@@ -240,8 +251,8 @@ func (e *Exchanger) Stats() Stats {
 	return Stats{
 		NetworkBytes:  e.netBytes.Load(),
 		LocalBytes:    e.localBytes.Load(),
-		Rounds:        e.rounds,
+		Rounds:        e.rounds.Load(),
 		ShrunkBuffers: e.shrunk.Load(),
-		SimNetTime:    e.simNet,
+		SimNetTime:    time.Duration(e.simNet.Load()),
 	}
 }

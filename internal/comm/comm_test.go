@@ -15,7 +15,6 @@ func TestExchangerAccounting(t *testing.T) {
 	e.FinishSerialize(0)
 	e.FinishSerialize(1)
 	e.FinishSerialize(2)
-	e.FinishRound()
 	s := e.Stats()
 	if s.NetworkBytes != 12 {
 		t.Errorf("net=%d want 12", s.NetworkBytes)
@@ -118,7 +117,6 @@ func TestCostChargesBusiestWorker(t *testing.T) {
 	e.Out(1, 0).WriteUint32(0) // 4 bytes
 	e.FinishSerialize(0)
 	e.FinishSerialize(1)
-	e.FinishRound()
 	s := e.Stats()
 	// busiest worker sent 8 bytes at 100 B/s = 80ms... plus default latency
 	// (RoundLatency 0 selects the default 1ms)
@@ -134,7 +132,6 @@ func TestMultipleRounds(t *testing.T) {
 		e.Out(0, 1).WriteUint32(uint32(r))
 		e.FinishSerialize(0)
 		e.FinishSerialize(1)
-		e.FinishRound()
 		e.ResetRow(0)
 		e.ResetRow(1)
 	}

@@ -56,6 +56,14 @@ type Config struct {
 	// it is taken from Frags.
 	Frags *frag.Fragments
 	Cost  comm.CostModel
+	// Fabric is the transport the job's workers exchange buffers and
+	// synchronize through. Nil selects the in-process zero-copy fabric
+	// over all Part.NumWorkers() workers. A distributed fabric
+	// (internal/netcomm) may host only a subset of the workers in this
+	// process: Run then executes exactly the fabric's local workers and
+	// relies on the fabric's barrier to synchronize with the rest of the
+	// party in other processes.
+	Fabric comm.Fabric
 	// MaxSupersteps aborts runaway jobs; 0 means 10_000.
 	MaxSupersteps int
 	// MaxRoundsPerStep aborts a superstep whose channels never stop
@@ -90,6 +98,7 @@ type Worker struct {
 	part *partition.Partition
 	frag *frag.Fragment
 	job  *job
+	ep   comm.Endpoint
 
 	channels []Channel
 	chActive []bool
@@ -98,6 +107,7 @@ type Worker struct {
 	activeCount int
 	current     int
 	superstep   int
+	halt        bool // RequestStop was called on this worker
 
 	// Compute is invoked once per active local vertex per superstep
 	// with the vertex's local index. Installed by the algorithm's setup
@@ -183,14 +193,13 @@ func (w *Worker) Register(c Channel) int {
 	return len(w.channels) - 1
 }
 
-// job is the shared coordination state.
+// job is the per-Run coordination state shared by this process's
+// workers. All cross-worker communication goes through the fabric and
+// its barrier: nothing here is read by another worker.
 type job struct {
-	cfg     Config
-	ex      *comm.Exchanger
-	bar     *barrier.Barrier
-	anyChan []bool // per-worker: any channel wants another round
-	actives []int  // per-worker active vertex counts
-	halt    []bool // per-worker: algorithm requested early stop
+	cfg Config
+	fab comm.Fabric
+	bar barrier.Barrier
 }
 
 // errAborted is the sentinel a worker returns when it stopped because a
@@ -198,16 +207,26 @@ type job struct {
 // error so only root causes surface.
 var errAborted = barrier.ErrAborted
 
+// haltStop is the termination-reduce bit a worker adds when its
+// algorithm called RequestStop. Active vertex counts occupy the low 48
+// bits (their global sum is bounded by the vertex count, far below
+// 2^48); halt votes sum in the high bits without overflow because the
+// party is capped at 65535 workers.
+const haltStop = uint64(1) << 48
+
 // RequestStop asks the engine to terminate after the current superstep,
 // regardless of remaining active vertices. Any worker may call it during
 // compute (e.g. when an aggregator shows convergence).
-func (w *Worker) RequestStop() { w.job.halt[w.id] = true }
+func (w *Worker) RequestStop() { w.halt = true }
 
 // Run executes a job. setup is called once per worker, concurrently,
 // before superstep 1; it must register the same channel sequence on
 // every worker and install w.Compute. Run returns when no vertex is
 // active on any worker, when a worker calls RequestStop, or when
-// MaxSupersteps is hit (which is reported as an error).
+// MaxSupersteps is hit (which is reported as an error). With a
+// distributed fabric hosting a subset of the workers, Run executes that
+// subset and its Metrics cover this process's view (cumulative for the
+// fabric when one fabric is shared across several Runs).
 func Run(cfg Config, setup func(w *Worker)) (Metrics, error) {
 	if cfg.Part == nil && cfg.Frags != nil {
 		cfg.Part = cfg.Frags.Part
@@ -225,37 +244,38 @@ func Run(cfg Config, setup func(w *Worker)) (Metrics, error) {
 		maxSteps = 10000
 	}
 	m := cfg.Part.NumWorkers()
-	j := &job{
-		cfg:     cfg,
-		ex:      comm.NewExchanger(m, cfg.Cost),
-		bar:     barrier.New(m),
-		anyChan: make([]bool, m),
-		actives: make([]int, m),
-		halt:    make([]bool, m),
+	fab := cfg.Fabric
+	if fab == nil {
+		fab = comm.NewInProc(m, cfg.Cost)
 	}
-	workers := make([]*Worker, m)
-	for i := 0; i < m; i++ {
-		workers[i] = &Worker{id: i, part: cfg.Part, job: j, current: -1}
+	if fab.NumWorkers() != m {
+		return Metrics{}, fmt.Errorf("engine: fabric has %d workers, partition has %d", fab.NumWorkers(), m)
+	}
+	j := &job{cfg: cfg, fab: fab, bar: fab.Barrier()}
+	locals := fab.LocalWorkers()
+	workers := make([]*Worker, len(locals))
+	for i, id := range locals {
+		workers[i] = &Worker{id: id, part: cfg.Part, job: j, current: -1, ep: fab.Endpoint(id)}
 		if cfg.Frags != nil {
-			workers[i].frag = cfg.Frags.Frag(i)
+			workers[i].frag = cfg.Frags.Frag(id)
 		}
 	}
 
 	start := time.Now()
 	cancelled := barrier.WatchCancel(cfg.Cancel, j.bar)
-	errs := make([]error, m)
+	errs := make([]error, len(workers))
 	var wg sync.WaitGroup
-	for i := 0; i < m; i++ {
+	for i := range workers {
 		wg.Add(1)
-		go func(w *Worker) {
+		go func(i int) {
 			defer wg.Done()
-			errs[w.id] = w.run(setup, maxSteps)
-		}(workers[i])
+			errs[i] = workers[i].run(setup, maxSteps)
+		}(i)
 	}
 	wg.Wait()
 
-	// Report the minimum superstep any worker reached: when a worker
-	// fails, the supersteps its peers were mid-way through never
+	// Report the minimum superstep any local worker reached: when a
+	// worker fails, the supersteps its peers were mid-way through never
 	// completed their exchanges, so the minimum is the only count that
 	// was globally finished.
 	minStep := workers[0].superstep
@@ -266,7 +286,7 @@ func Run(cfg Config, setup func(w *Worker)) (Metrics, error) {
 	}
 	met := Metrics{
 		Supersteps: minStep,
-		Comm:       j.ex.Stats(),
+		Comm:       fab.Stats(),
 		WallTime:   time.Since(start),
 	}
 	err := barrier.JoinErrors(errs)
@@ -274,8 +294,44 @@ func Run(cfg Config, setup func(w *Worker)) (Metrics, error) {
 		// all workers unwound through the aborted barrier (their abort
 		// echoes were filtered): the cancellation is the root cause
 		err = barrier.ErrCancelled
+	} else if err == nil && j.bar.Aborted() {
+		// every local error was an abort echo: the root cause lives in
+		// another process. Surface the abort instead of claiming success;
+		// the coordinator filters it against the real error.
+		err = errAborted
 	}
 	return met, err
+}
+
+// deserializeFrom dispatches the frames worker src sent this round.
+// Buffers that arrived over a socket are untrusted: the envelope layer
+// returns errors (NextUvarint/NextFrame) and the recover turns a
+// panicking decode inside a channel's Deserialize — corrupt payload
+// content the channel reads past — into a worker error, so a bad frame
+// fails the job with a diagnostic instead of killing the process (and
+// every co-hosted worker with it).
+func (w *Worker) deserializeFrom(src int, sub *ser.Buffer) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: worker %d: corrupt frame content from worker %d: %v", w.id, src, r)
+		}
+	}()
+	in := w.ep.In(src)
+	for in.Remaining() > 0 {
+		ci64, err := in.NextUvarint()
+		if err != nil {
+			return fmt.Errorf("engine: worker %d: bad frame stream from worker %d: %w", w.id, src, err)
+		}
+		ci := int(ci64)
+		if ci < 0 || ci >= len(w.channels) {
+			return fmt.Errorf("engine: worker %d: bad channel id %d from worker %d", w.id, ci, src)
+		}
+		if err := in.NextFrame(sub); err != nil {
+			return fmt.Errorf("engine: worker %d: bad frame from worker %d: %w", w.id, src, err)
+		}
+		w.channels[ci].Deserialize(src, sub)
+	}
+	return nil
 }
 
 // run executes the worker loop; a worker that fails aborts the shared
@@ -292,6 +348,7 @@ func (w *Worker) run(setup func(w *Worker), maxSteps int) error {
 func (w *Worker) runSupersteps(setup func(w *Worker), maxSteps int) error {
 	j := w.job
 	m := w.NumWorkers()
+	ep := w.ep
 
 	// Per-worker setup: allocate state, register channels, set Compute.
 	setup(w)
@@ -316,7 +373,7 @@ func (w *Worker) runSupersteps(setup func(w *Worker), maxSteps int) error {
 	}
 
 	// sub is the one reusable frame view of this worker's receive loop;
-	// ReadFrameInto re-points it at each incoming frame body, so the
+	// NextFrame re-points it at each incoming frame body, so the
 	// steady-state decode path performs no allocation.
 	var sub ser.Buffer
 
@@ -340,7 +397,10 @@ func (w *Worker) runSupersteps(setup func(w *Worker), maxSteps int) error {
 
 		// Exchange rounds (paper Fig. 4 lines 6-14). Every superstep has
 		// at least one round; rounds continue while any channel on any
-		// worker asks again.
+		// worker asks again. Two barrier crossings per round: the plain
+		// wait after Flush proves all sends are published, and the
+		// AllReduce that carries the again-flags also proves all inputs
+		// were consumed, which makes Release safe.
 		for ci := range w.chActive {
 			w.chActive[ci] = true
 		}
@@ -359,7 +419,7 @@ func (w *Worker) runSupersteps(setup func(w *Worker), maxSteps int) error {
 					continue
 				}
 				for dst := 0; dst < m; dst++ {
-					buf := j.ex.Out(w.id, dst)
+					buf := ep.Out(dst)
 					mark := buf.Len()
 					buf.WriteUvarint(uint64(ci))
 					frame := buf.BeginFrame()
@@ -370,63 +430,46 @@ func (w *Worker) runSupersteps(setup func(w *Worker), maxSteps int) error {
 					}
 				}
 			}
-			j.ex.FinishSerialize(w.id)
-			if !j.bar.Wait() { // serialize barrier: all outgoing buffers final
+			if err := ep.Flush(); err != nil {
+				return fmt.Errorf("engine: worker %d: %w", w.id, err)
+			}
+			if !j.bar.Wait() { // serialize barrier: all sends published
 				return errAborted
 			}
 
-			if w.id == 0 {
-				j.ex.FinishRound()
-			}
 			for src := 0; src < m; src++ {
-				in := j.ex.In(w.id, src)
-				for in.Remaining() > 0 {
-					ci := int(in.ReadUvarint())
-					if ci < 0 || ci >= len(w.channels) {
-						return fmt.Errorf("engine: worker %d: bad channel id %d from worker %d", w.id, ci, src)
-					}
-					in.ReadFrameInto(&sub)
-					w.channels[ci].Deserialize(src, &sub)
+				if err := w.deserializeFrom(src, &sub); err != nil {
+					return err
 				}
 			}
-			any := false
+			any := uint64(0)
 			for ci, c := range w.channels {
 				w.chActive[ci] = c.Again()
-				any = any || w.chActive[ci]
+				if w.chActive[ci] {
+					any = 1
+				}
 			}
-			j.anyChan[w.id] = any
-			if !j.bar.Wait() { // deserialize barrier: inputs consumed, flags posted
+			global, ok := j.bar.AllReduce(any)
+			if !ok { // deserialize crossing: inputs consumed, flags reduced
 				return errAborted
 			}
-
-			j.ex.ResetRow(w.id)
-			global := false
-			for i := 0; i < m; i++ {
-				global = global || j.anyChan[i]
-			}
-			if !j.bar.Wait() { // reset barrier: safe to write next round
-				return errAborted
-			}
-			if !global {
+			ep.Release()
+			if global == 0 {
 				break
 			}
 		}
 
-		// Global termination check.
-		j.actives[w.id] = w.activeCount
-		if !j.bar.Wait() {
+		// Global termination check: one reduce carries every worker's
+		// active count plus its RequestStop vote.
+		v := uint64(w.activeCount)
+		if w.halt {
+			v += haltStop
+		}
+		sum, ok := j.bar.AllReduce(v)
+		if !ok {
 			return errAborted
 		}
-		total := 0
-		stop := false
-		for i := 0; i < m; i++ {
-			total += j.actives[i]
-			stop = stop || j.halt[i]
-		}
-		if !j.bar.Wait() { // all workers have read the counts
-			return errAborted
-		}
-		if total == 0 || stop {
+		if sum&(haltStop-1) == 0 || sum >= haltStop {
 			return nil
 		}
 	}

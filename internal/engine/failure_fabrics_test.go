@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/barrier"
+	"repro/internal/comm"
+	"repro/internal/netcomm"
+	"repro/internal/partition"
+	"repro/internal/ser"
+)
+
+// The failure-injection tests of failure_test.go pin the in-process
+// fabric's semantics; this file replays the same scenarios on the
+// socket fabric (hub + one client per worker, in-process over TCP
+// loopback) and requires identical outcomes: the joined error a
+// coordinator assembles from the per-process Runs must match what the
+// shared-memory Run reports.
+
+// fabricCase runs a scenario on one fabric arrangement and returns the
+// coordinator-view error.
+type fabricCase struct {
+	name string
+	run  func(t *testing.T, cfg Config, setup func(*Worker)) error
+}
+
+func bothFabrics() []fabricCase {
+	return []fabricCase{
+		{"inproc", func(t *testing.T, cfg Config, setup func(*Worker)) error {
+			_, err := Run(cfg, setup)
+			return err
+		}},
+		{"socket", func(t *testing.T, cfg Config, setup func(*Worker)) error {
+			m := cfg.Part.NumWorkers()
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			hub := netcomm.NewHub(m, comm.CostModel{}, ln)
+			defer hub.Close()
+			clients := make([]*netcomm.Client, m)
+			for i := 0; i < m; i++ {
+				if clients[i], err = netcomm.Dial("tcp", ln.Addr().String(), i, i, m); err != nil {
+					t.Fatal(err)
+				}
+				defer clients[i].Close()
+			}
+			if err := hub.WaitJoined(10 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			errs := make([]error, m)
+			var wg sync.WaitGroup
+			for i := 0; i < m; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					c := cfg
+					c.Fabric = clients[i]
+					_, errs[i] = Run(c, setup)
+				}(i)
+			}
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(60 * time.Second):
+				t.Fatal("socket-fabric workers hung")
+			}
+			// coordinator view: join per-process errors, dropping echoes;
+			// like the engines, substitute the cancel sentinel when it is
+			// among the causes
+			joined := barrier.JoinErrors(errs)
+			if joined == nil {
+				for _, e := range errs {
+					if errors.Is(e, barrier.ErrCancelled) {
+						return barrier.ErrCancelled
+					}
+				}
+			}
+			return joined
+		}},
+	}
+}
+
+// A channel that never stops asking for rounds must trip
+// MaxRoundsPerStep on every fabric.
+func TestBothFabricsStuckChannelAborts(t *testing.T) {
+	for _, fc := range bothFabrics() {
+		t.Run(fc.name, func(t *testing.T) {
+			part := partition.MustHash(4, 2)
+			err := fc.run(t, Config{Part: part, MaxRoundsPerStep: 50}, func(w *Worker) {
+				w.Register(stuckChannel{})
+				w.Compute = func(li int) { w.VoteToHalt() }
+			})
+			if err == nil || !strings.Contains(err.Error(), "MaxRoundsPerStep") {
+				t.Fatalf("expected MaxRoundsPerStep error, got %v", err)
+			}
+		})
+	}
+}
+
+// An asymmetric setup failure must abort the peers and surface only the
+// root cause, with no abort echoes in the joined error.
+func TestBothFabricsAsymmetricSetupFailure(t *testing.T) {
+	for _, fc := range bothFabrics() {
+		t.Run(fc.name, func(t *testing.T) {
+			part := partition.MustHash(4, 2)
+			err := fc.run(t, Config{Part: part}, func(w *Worker) {
+				w.Register(nullChannel{})
+				if w.WorkerID() != 1 {
+					w.Compute = func(li int) { w.VoteToHalt() }
+				}
+			})
+			if err == nil || !strings.Contains(err.Error(), "worker 1: setup did not install Compute") {
+				t.Fatalf("expected worker 1 setup error, got %v", err)
+			}
+			if strings.Contains(err.Error(), "aborted") {
+				t.Errorf("abort echo leaked into the joined error: %v", err)
+			}
+		})
+	}
+}
+
+// A symmetric failure (superstep cap) must surface once, not once per
+// worker or process.
+func TestBothFabricsSymmetricErrorDedup(t *testing.T) {
+	for _, fc := range bothFabrics() {
+		t.Run(fc.name, func(t *testing.T) {
+			part := partition.MustHash(4, 2)
+			err := fc.run(t, Config{Part: part, MaxSupersteps: 3}, func(w *Worker) {
+				w.Register(nullChannel{})
+				w.Compute = func(li int) {} // stay active forever
+			})
+			if err == nil {
+				t.Fatal("expected MaxSupersteps error")
+			}
+			if got := strings.Count(err.Error(), "MaxSupersteps"); got != 1 {
+				t.Errorf("cause appears %d times, want 1: %v", got, err)
+			}
+		})
+	}
+}
+
+// Cancellation mid-run must unwind every worker on every fabric and
+// surface ErrCancelled. On the socket fabric the cancel lands on one
+// process's Config and propagates to the rest over the control
+// connection.
+func TestBothFabricsCancelMidRun(t *testing.T) {
+	for _, fc := range bothFabrics() {
+		t.Run(fc.name, func(t *testing.T) {
+			part := partition.MustHash(8, 4)
+			cancel := make(chan struct{})
+			var once sync.Once
+			err := fc.run(t, Config{Part: part, Cancel: cancel, MaxSupersteps: 1 << 30}, func(w *Worker) {
+				w.Register(nullChannel{})
+				w.Compute = func(li int) {
+					if w.WorkerID() == 0 && li == 0 && w.Superstep() == 100 {
+						once.Do(func() { close(cancel) })
+					}
+				}
+			})
+			if !errors.Is(err, barrier.ErrCancelled) {
+				t.Fatalf("expected ErrCancelled, got %v", err)
+			}
+		})
+	}
+}
+
+// A healthy run must terminate identically on both fabrics (vote-halt
+// with cross-worker reactivation traffic).
+func TestBothFabricsHealthyTermination(t *testing.T) {
+	for _, fc := range bothFabrics() {
+		t.Run(fc.name, func(t *testing.T) {
+			part := partition.MustHash(6, 3)
+			err := fc.run(t, Config{Part: part}, func(w *Worker) {
+				c := &deactivatingChannel{w: w}
+				w.Register(c)
+				w.Compute = func(li int) { w.VoteToHalt() }
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// overreadChannel writes a 1-byte frame but reads 4 bytes back: the
+// decode panic on the short payload must surface as a worker error
+// ("corrupt frame content"), never crash the process.
+type overreadChannel struct{}
+
+func (overreadChannel) Initialize()                      {}
+func (overreadChannel) AfterCompute()                    {}
+func (overreadChannel) Serialize(dst int, b *ser.Buffer) { b.WriteUint8(1) }
+func (overreadChannel) Deserialize(src int, b *ser.Buffer) {
+	_ = b.ReadUint32() // reads past the 1-byte payload
+}
+func (overreadChannel) Again() bool { return false }
+
+func TestBothFabricsCorruptPayloadFailsNotPanics(t *testing.T) {
+	for _, fc := range bothFabrics() {
+		t.Run(fc.name, func(t *testing.T) {
+			part := partition.MustHash(4, 2)
+			err := fc.run(t, Config{Part: part}, func(w *Worker) {
+				w.Register(overreadChannel{})
+				w.Compute = func(li int) { w.VoteToHalt() }
+			})
+			if err == nil || !strings.Contains(err.Error(), "corrupt frame content") {
+				t.Fatalf("expected corrupt-frame error, got %v", err)
+			}
+		})
+	}
+}

@@ -58,6 +58,18 @@ const SnapshotExt = ".bin"
 // guarding allocation against corrupt or hostile files.
 const maxSnapshotEntries = 1 << 33
 
+// capHint bounds the initial capacity of an array allocated from a
+// header-declared count: big enough that honest snapshots never
+// reallocate more than a handful of times, small enough that a hostile
+// count cannot allocate memory the stream never backs.
+func capHint(n uint64) uint64 {
+	const limit = 1 << 16
+	if n > limit {
+		return limit
+	}
+	return n
+}
+
 // WriteBinary writes g as a version-1 binary CSR snapshot.
 func WriteBinary(w io.Writer, g *Graph) error {
 	return WriteSnapshot(w, g, nil)
@@ -175,27 +187,30 @@ func ReadSnapshot(r io.Reader) (*Graph, []Placement, error) {
 	if n >= maxSnapshotEntries || m > maxSnapshotEntries {
 		return nil, nil, fmt.Errorf("graph: snapshot claims implausible sizes n=%d m=%d", n, m)
 	}
+	// Array capacities are grown as the data actually arrives (capped
+	// initial allocation): a corrupt or hostile header claiming huge
+	// counts fails with a truncation error once the stream ends instead
+	// of driving a giant up-front allocation.
 	g := &Graph{
-		Offsets:    make([]uint64, n+1),
-		Adj:        make([]VertexID, m),
+		Offsets:    make([]uint64, 0, capHint(n+1)),
+		Adj:        make([]VertexID, 0, capHint(m)),
 		Undirected: flags&flagUndirected != 0,
 	}
 	var scratch [8]byte
-	for i := range g.Offsets {
+	for i := uint64(0); i <= n; i++ {
 		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
 			return nil, nil, fmt.Errorf("graph: truncated snapshot offsets: %w", err)
 		}
-		g.Offsets[i] = binary.LittleEndian.Uint64(scratch[:])
+		off := binary.LittleEndian.Uint64(scratch[:])
+		if i > 0 && off < g.Offsets[i-1] {
+			return nil, nil, fmt.Errorf("graph: corrupt snapshot: offsets not monotone at vertex %d", i)
+		}
+		g.Offsets = append(g.Offsets, off)
 	}
 	if g.Offsets[0] != 0 || g.Offsets[n] != m {
 		return nil, nil, fmt.Errorf("graph: corrupt snapshot offsets (first=%d last=%d m=%d)", g.Offsets[0], g.Offsets[n], m)
 	}
-	for i := uint64(1); i <= n; i++ {
-		if g.Offsets[i] < g.Offsets[i-1] {
-			return nil, nil, fmt.Errorf("graph: corrupt snapshot: offsets not monotone at vertex %d", i)
-		}
-	}
-	for i := range g.Adj {
+	for i := uint64(0); i < m; i++ {
 		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
 			return nil, nil, fmt.Errorf("graph: truncated snapshot adjacency: %w", err)
 		}
@@ -203,15 +218,15 @@ func ReadSnapshot(r io.Reader) (*Graph, []Placement, error) {
 		if uint64(v) >= n {
 			return nil, nil, fmt.Errorf("graph: corrupt snapshot: vertex %d out of range", v)
 		}
-		g.Adj[i] = v
+		g.Adj = append(g.Adj, v)
 	}
 	if flags&flagWeighted != 0 {
-		g.Weights = make([]int32, m)
-		for i := range g.Weights {
+		g.Weights = make([]int32, 0, capHint(m))
+		for i := uint64(0); i < m; i++ {
 			if _, err := io.ReadFull(br, scratch[:4]); err != nil {
 				return nil, nil, fmt.Errorf("graph: truncated snapshot weights: %w", err)
 			}
-			g.Weights[i] = int32(binary.LittleEndian.Uint32(scratch[:]))
+			g.Weights = append(g.Weights, int32(binary.LittleEndian.Uint32(scratch[:])))
 		}
 	}
 	if version < binaryVersion2 {
@@ -240,13 +255,13 @@ func ReadSnapshot(r io.Reader) (*Graph, []Placement, error) {
 		p := Placement{
 			Name:    string(name),
 			Workers: int(binary.LittleEndian.Uint32(scratch[:])),
-			Owner:   make([]uint16, n),
+			Owner:   make([]uint16, 0, capHint(n)),
 		}
-		for i := range p.Owner {
+		for i := uint64(0); i < n; i++ {
 			if _, err := io.ReadFull(br, scratch[:2]); err != nil {
 				return nil, nil, fmt.Errorf("graph: truncated snapshot placement %q: %w", p.Name, err)
 			}
-			p.Owner[i] = binary.LittleEndian.Uint16(scratch[:])
+			p.Owner = append(p.Owner, binary.LittleEndian.Uint16(scratch[:]))
 		}
 		placements = append(placements, p)
 	}

@@ -1,0 +1,161 @@
+package jobs_test
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/catalog"
+	"repro/internal/jobs"
+	"repro/internal/workerproc"
+)
+
+// TestMain implements the graphworker re-exec so the manager's
+// distributed path spawns real worker processes in tests.
+func TestMain(m *testing.M) {
+	if os.Getenv(workerproc.ChildEnv) != "" {
+		os.Exit(workerproc.Main(os.Args[1:], os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+func distributedManager(t *testing.T, procs int, hook func(jobID string, pids []int)) (*jobs.Manager, *catalog.Catalog) {
+	t.Helper()
+	cat := catalog.New(4, 0)
+	t.Cleanup(cat.Close)
+	if err := cat.Register(catalog.Spec{Name: "rmat", Gen: "rmat:scale=7,ef=5,seed=21"}); err != nil {
+		t.Fatal(err)
+	}
+	opts := []jobs.Option{jobs.WithWorkerProcs(procs, os.Args[0])}
+	if hook != nil {
+		opts = append(opts, jobs.WithSpawnHook(hook))
+	}
+	mgr := jobs.NewManager(cat, 2, opts...)
+	t.Cleanup(mgr.Close)
+	return mgr, cat
+}
+
+func awaitTerminal(t *testing.T, mgr *jobs.Manager, id string, timeout time.Duration) jobs.Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		snap, ok := mgr.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if snap.State.Terminal() {
+			return snap
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, snap.State, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// A job on the distributed path must complete with merged results and
+// hub-sourced metrics, end to end through the manager.
+func TestManagerDistributedJobCompletes(t *testing.T) {
+	mgr, _ := distributedManager(t, 2, nil)
+	snap, err := mgr.Submit(jobs.Request{Algorithm: "wcc", Dataset: "rmat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := awaitTerminal(t, mgr, snap.ID, time.Minute)
+	if final.State != jobs.StateDone {
+		t.Fatalf("state=%s err=%q", final.State, final.Error)
+	}
+	if final.Metrics == nil || final.Metrics.NetBytes == 0 || final.Metrics.Supersteps == 0 {
+		t.Fatalf("missing hub metrics: %+v", final.Metrics)
+	}
+	if final.Metrics.Placement == "" {
+		t.Errorf("placement not stamped: %+v", final.Metrics)
+	}
+	res, err := mgr.Result(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) == 0 {
+		t.Fatal("no merged labels")
+	}
+}
+
+// Killing a graphworker mid-job must fail the job cleanly: the barrier
+// abort propagates over the control connection and graphd reports
+// state=failed with the transport error joined in.
+func TestManagerKilledWorkerProcFailsJob(t *testing.T) {
+	var mu sync.Mutex
+	pidsByJob := map[string][]int{}
+	mgr, _ := distributedManager(t, 4, func(jobID string, pids []int) {
+		mu.Lock()
+		pidsByJob[jobID] = pids
+		mu.Unlock()
+	})
+	snap, err := mgr.Submit(jobs.Request{
+		Algorithm: "pagerank", Dataset: "rmat",
+		Params: algorithms.Params{Iterations: 100000}, MaxSupersteps: 200000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// wait for the spawn, then kill one worker process mid-superstep
+	deadline := time.Now().Add(30 * time.Second)
+	var pids []int
+	for {
+		mu.Lock()
+		pids = pidsByJob[snap.ID]
+		mu.Unlock()
+		if len(pids) > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(pids) == 0 {
+		t.Fatal("spawn hook never fired")
+	}
+	time.Sleep(300 * time.Millisecond)
+	if err := syscall.Kill(pids[2], syscall.SIGKILL); err != nil {
+		t.Skipf("worker already gone: %v", err)
+	}
+	final := awaitTerminal(t, mgr, snap.ID, time.Minute)
+	if final.State != jobs.StateFailed {
+		t.Fatalf("state=%s (err=%q), want failed", final.State, final.Error)
+	}
+	if !strings.Contains(final.Error, "connection lost") && !strings.Contains(final.Error, "exited") {
+		t.Fatalf("error does not surface the dead worker: %q", final.Error)
+	}
+}
+
+// Cancelling a running distributed job propagates the abort to the
+// worker processes and lands in state=cancelled.
+func TestManagerCancelDistributedJob(t *testing.T) {
+	mgr, _ := distributedManager(t, 2, nil)
+	snap, err := mgr.Submit(jobs.Request{
+		Algorithm: "pagerank", Dataset: "rmat",
+		Params: algorithms.Params{Iterations: 100000}, MaxSupersteps: 200000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// wait until it runs, then cancel
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		s, _ := mgr.Get(snap.ID)
+		if s.State == jobs.StateRunning || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if err := mgr.Cancel(snap.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := awaitTerminal(t, mgr, snap.ID, time.Minute)
+	if final.State != jobs.StateCancelled && final.State != jobs.StateDone {
+		t.Fatalf("state=%s err=%q, want cancelled (or done if the race lost)", final.State, final.Error)
+	}
+}

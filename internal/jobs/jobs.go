@@ -12,6 +12,8 @@ package jobs
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -20,7 +22,9 @@ import (
 	"repro/internal/algorithms"
 	"repro/internal/barrier"
 	"repro/internal/catalog"
+	"repro/internal/graph"
 	"repro/internal/partition"
+	"repro/internal/workerproc"
 )
 
 // State is a job lifecycle state.
@@ -129,6 +133,9 @@ type Manager struct {
 	retain        int
 	workers       int
 	queueCap      int
+	workerProcs   int    // > 0: run jobs across graphworker subprocesses
+	workerBin     string // graphworker executable for the subprocess path
+	spawnHook     func(jobID string, pids []int)
 	wg            sync.WaitGroup
 
 	mu        sync.Mutex
@@ -155,6 +162,22 @@ func WithQueueDepth(n int) Option { return func(m *Manager) { m.queueCap = n } }
 // WithMaxSupersteps sets the default superstep cap for jobs that do not
 // specify one. Default 200000.
 func WithMaxSupersteps(n int) Option { return func(m *Manager) { m.maxSupersteps = n } }
+
+// WithWorkerProcs makes every job run its simulated cluster as n
+// graphworker subprocesses over the socket fabric instead of goroutines
+// over shared memory: the manager exports the job's view as a binary
+// snapshot (graph + owner vector), spawns bin once per worker range,
+// and merges the partial results. n is capped at the catalog's worker
+// count per job.
+func WithWorkerProcs(n int, bin string) Option {
+	return func(m *Manager) { m.workerProcs, m.workerBin = n, bin }
+}
+
+// WithSpawnHook installs a callback invoked with each distributed job's
+// subprocess pids (diagnostics; tests use it to kill a worker).
+func WithSpawnHook(f func(jobID string, pids []int)) Option {
+	return func(m *Manager) { m.spawnHook = f }
+}
 
 // NewManager starts a manager with the given number of pool workers.
 func NewManager(cat *catalog.Catalog, workers int, opts ...Option) *Manager {
@@ -309,21 +332,68 @@ func (m *Manager) execute(j *job) (*algorithms.Result, error) {
 	if maxSteps <= 0 {
 		maxSteps = m.maxSupersteps
 	}
-	opts := algorithms.Options{Part: view.Part, Frags: view.Frags,
-		MaxSupersteps: maxSteps, Cancel: j.cancel}
-	var before runtime.MemStats
-	runtime.ReadMemStats(&before)
-	res, err := j.spec.Run(j.eng, j.req.Variant, g, opts, j.req.Params)
-	if err != nil {
-		return nil, err
+	var res *algorithms.Result
+	if m.workerProcs > 0 {
+		res, err = m.executeDistributed(j, view, maxSteps)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		opts := algorithms.Options{Part: view.Part, Frags: view.Frags,
+			MaxSupersteps: maxSteps, Cancel: j.cancel}
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		res, err = j.spec.Run(j.eng, j.req.Variant, g, opts, j.req.Params)
+		if err != nil {
+			return nil, err
+		}
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		res.Metrics.HeapAllocDelta = int64(after.HeapAlloc) - int64(before.HeapAlloc)
 	}
-	var after runtime.MemStats
-	runtime.ReadMemStats(&after)
-	res.Metrics.HeapAllocDelta = int64(after.HeapAlloc) - int64(before.HeapAlloc)
 	res.Metrics.Placement = view.Placement
 	res.Metrics.EdgeCut = view.EdgeCut
 	res.Metrics.Epoch = epoch
 	return res, nil
+}
+
+// executeDistributed ships the job's view to graphworker subprocesses:
+// the view graph plus its owner vector are exported as a binary
+// snapshot the workers rebuild their identical partitions from, and the
+// socket-fabric coordinator merges the partial results.
+func (m *Manager) executeDistributed(j *job, view *catalog.View, maxSteps int) (*algorithms.Result, error) {
+	dir, err := os.MkdirTemp("", "graphd-job")
+	if err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
+	}
+	defer os.RemoveAll(dir)
+	snap := filepath.Join(dir, "view.bin")
+	placement := graph.Placement{
+		Name:    view.Placement,
+		Workers: view.Part.NumWorkers(),
+		Owner:   view.Part.Owners(),
+	}
+	if err := graph.WriteSnapshotFile(snap, view.Graph, []graph.Placement{placement}); err != nil {
+		return nil, fmt.Errorf("jobs: export snapshot: %w", err)
+	}
+	spec := workerproc.JobSpec{
+		Bin:           m.workerBin,
+		SnapshotPath:  snap,
+		Placement:     view.Placement,
+		Part:          view.Part,
+		Procs:         m.workerProcs,
+		Algorithm:     j.spec.Name,
+		Engine:        j.eng,
+		Variant:       j.req.Variant,
+		Params:        j.req.Params,
+		MaxSupersteps: maxSteps,
+		Cancel:        j.cancel,
+	}
+	if m.spawnHook != nil {
+		id := j.id
+		spec.Spawned = func(pids []int) { m.spawnHook(id, pids) }
+	}
+	return workerproc.Run(spec)
 }
 
 // retireLocked records a terminal job and evicts the oldest terminal
@@ -408,16 +478,46 @@ func (m *Manager) Cancel(id string) error {
 
 // List returns snapshots of all retained jobs, oldest submission first.
 func (m *Manager) List() []Snapshot {
+	out, _ := m.ListPage("", 0, 0)
+	return out
+}
+
+// ListPage returns a window of retained jobs, oldest submission first:
+// jobs whose state matches the filter ("" matches all), skipping offset
+// matches and returning at most limit (0 = no limit). total is the
+// match count before windowing, so clients can page.
+func (m *Manager) ListPage(state State, offset, limit int) (out []Snapshot, total int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make([]Snapshot, 0, len(m.jobs))
+	matched := make([]Snapshot, 0, len(m.jobs))
 	for _, j := range m.jobs {
-		out = append(out, j.snapshot())
+		if state != "" && j.state != state {
+			continue
+		}
+		matched = append(matched, j.snapshot())
 	}
 	// ids are zero-padded sequence numbers, so lexical order is
 	// submission order
-	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
-	return out
+	sort.Slice(matched, func(i, k int) bool { return matched[i].ID < matched[k].ID })
+	total = len(matched)
+	if offset > total {
+		offset = total
+	}
+	matched = matched[offset:]
+	if limit > 0 && limit < len(matched) {
+		matched = matched[:limit]
+	}
+	return matched, total
+}
+
+// ParseState validates a state filter string ("" is allowed and matches
+// every state).
+func ParseState(s string) (State, error) {
+	switch State(s) {
+	case "", StatePending, StateRunning, StateDone, StateFailed, StateCancelled:
+		return State(s), nil
+	}
+	return "", fmt.Errorf("jobs: unknown state %q", s)
 }
 
 // Stats returns a snapshot of manager counters.

@@ -1,0 +1,427 @@
+package netcomm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// Hub is the coordinator side of the socket fabric: it accepts one
+// connection per worker process, routes data frames between them, runs
+// the distributed barrier (counting arrivals, broadcasting releases
+// with the AllReduce aggregate), charges the simulated cost model from
+// the per-round flush reports, and collects each process's result blob.
+// A connection that drops before delivering its result is a worker
+// failure: the hub aborts the job so every other process unwinds
+// instead of waiting on a barrier the dead worker will never reach.
+type Hub struct {
+	m    int
+	cost comm.CostModel
+	ln   net.Listener
+
+	mu    sync.Mutex
+	cond  *sync.Cond // signals joins, results, and state changes
+	hosts []*hubConn // per worker id: the connection hosting it
+	conns map[*hubConn]bool
+
+	// barrier state
+	arrived int
+	accum   uint64
+
+	// round accounting (from kFlush reports)
+	flushes  int
+	roundMax int64
+	netBytes int64
+	locBytes int64
+	rounds   int64
+	simNet   time.Duration
+
+	// completion state: a worker is settled once its connection
+	// delivered a result or was declared lost.
+	results map[int][]byte // range-lo worker id -> result blob
+	settled []bool         // per worker id
+	errs    []error        // synthesized transport failures
+	aborted bool
+	closed  bool
+}
+
+type hubConn struct {
+	conn      net.Conn
+	wmu       sync.Mutex
+	lo, hi    int
+	gotResult bool
+}
+
+// NewHub creates a hub for an m-worker job and starts serving on ln
+// (closing ln stops the accept loop; the caller owns ln's lifetime via
+// Hub.Close).
+func NewHub(m int, cost comm.CostModel, ln net.Listener) *Hub {
+	h := &Hub{
+		m:       m,
+		cost:    cost,
+		ln:      ln,
+		hosts:   make([]*hubConn, m),
+		conns:   make(map[*hubConn]bool),
+		results: make(map[int][]byte),
+		settled: make([]bool, m),
+	}
+	h.cond = sync.NewCond(&h.mu)
+	go h.acceptLoop()
+	return h
+}
+
+func (h *Hub) acceptLoop() {
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go h.serveConn(conn)
+	}
+}
+
+// serveConn registers a worker process (hello) and then pumps its
+// messages until the connection ends.
+func (h *Hub) serveConn(conn net.Conn) {
+	kind, a, b, n, err := readHeader(conn)
+	if err != nil || kind != kHello || n != 0 {
+		conn.Close()
+		return
+	}
+	hc := &hubConn{conn: conn, lo: int(a), hi: int(b)}
+	h.mu.Lock()
+	if hc.lo > hc.hi || hc.hi >= h.m || h.closed {
+		h.mu.Unlock()
+		conn.Close()
+		return
+	}
+	for w := hc.lo; w <= hc.hi; w++ {
+		if h.hosts[w] != nil {
+			h.mu.Unlock()
+			conn.Close()
+			return
+		}
+		h.hosts[w] = hc
+	}
+	h.conns[hc] = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+
+	err = h.pump(hc)
+	h.mu.Lock()
+	delete(h.conns, hc)
+	if !hc.gotResult {
+		// The process died before reporting. If the job was already
+		// aborted the drop is expected fallout (the process unwound or
+		// was torn down), not a root cause — record the failure only
+		// when this connection is the first thing to go wrong.
+		if !h.aborted {
+			if err == nil {
+				err = io.ErrUnexpectedEOF
+			}
+			h.errs = append(h.errs,
+				fmt.Errorf("netcomm: workers %d-%d: connection lost: %v", hc.lo, hc.hi, err))
+		}
+		for w := hc.lo; w <= hc.hi; w++ {
+			h.settled[w] = true
+		}
+		h.abortLocked(fmt.Sprintf("workers %d-%d: worker process died", hc.lo, hc.hi))
+	}
+	h.cond.Broadcast()
+	h.mu.Unlock()
+	conn.Close()
+}
+
+// pump handles one registered connection's messages; it returns nil on
+// clean shutdown (result delivered, then EOF).
+func (h *Hub) pump(hc *hubConn) error {
+	var scratch [16]byte
+	var frame []byte // reusable frame payload staging
+	for {
+		kind, a, b, n, err := readHeader(hc.conn)
+		if err != nil {
+			if hc.gotResult && err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		switch kind {
+		case kFrame:
+			src, dst := int(a), int(b)
+			if src < hc.lo || src > hc.hi || dst >= h.m {
+				return fmt.Errorf("bad frame route %d->%d", src, dst)
+			}
+			// Stage the payload before writing so a failed forward never
+			// desynchronizes the sender's stream.
+			if cap(frame) < n {
+				frame = make([]byte, n)
+			}
+			frame = frame[:n]
+			if _, err := io.ReadFull(hc.conn, frame); err != nil {
+				return err
+			}
+			h.mu.Lock()
+			target := h.hosts[dst]
+			h.mu.Unlock()
+			if target == nil {
+				return fmt.Errorf("frame for unjoined worker %d", dst)
+			}
+			if err := h.forward(target, a, b, frame); err != nil {
+				// The destination's connection is broken — that worker's
+				// failure, not the sender's. Record it (first failure
+				// wins) and abort; keep pumping the sender so its own
+				// result still gets through.
+				h.mu.Lock()
+				if !h.aborted {
+					h.errs = append(h.errs,
+						fmt.Errorf("netcomm: workers %d-%d: connection lost: %v", target.lo, target.hi, err))
+				}
+				h.abortLocked(fmt.Sprintf("workers %d-%d: frame delivery failed", target.lo, target.hi))
+				h.mu.Unlock()
+			}
+		case kFlush:
+			if n != 16 {
+				return fmt.Errorf("bad flush payload length %d", n)
+			}
+			if _, err := io.ReadFull(hc.conn, scratch[:16]); err != nil {
+				return err
+			}
+			netB := int64(binary.LittleEndian.Uint64(scratch[0:]))
+			locB := int64(binary.LittleEndian.Uint64(scratch[8:]))
+			h.mu.Lock()
+			h.netBytes += netB
+			h.locBytes += locB
+			if netB > h.roundMax {
+				h.roundMax = netB
+			}
+			h.flushes++
+			if h.flushes == h.m {
+				h.flushes = 0
+				h.rounds++
+				h.simNet += h.cost.RoundTime(h.roundMax)
+				h.roundMax = 0
+			}
+			h.mu.Unlock()
+		case kArrive:
+			if n != 8 {
+				return fmt.Errorf("bad arrive payload length %d", n)
+			}
+			if _, err := io.ReadFull(hc.conn, scratch[:8]); err != nil {
+				return err
+			}
+			h.arrive(int(a), binary.LittleEndian.Uint64(scratch[:8]))
+		case kAbort:
+			reason := make([]byte, n)
+			if _, err := io.ReadFull(hc.conn, reason); err != nil {
+				return err
+			}
+			h.mu.Lock()
+			h.abortLocked(fmt.Sprintf("workers %d-%d: %s", hc.lo, hc.hi, reason))
+			h.mu.Unlock()
+		case kResult:
+			blob := make([]byte, n)
+			if _, err := io.ReadFull(hc.conn, blob); err != nil {
+				return err
+			}
+			h.mu.Lock()
+			h.results[hc.lo] = blob
+			hc.gotResult = true
+			for w := hc.lo; w <= hc.hi; w++ {
+				h.settled[w] = true
+			}
+			h.cond.Broadcast()
+			h.mu.Unlock()
+		default:
+			return fmt.Errorf("unexpected message kind %d", kind)
+		}
+	}
+}
+
+// forward relays one staged frame to dst's connection.
+func (h *Hub) forward(to *hubConn, a, b uint16, payload []byte) error {
+	to.wmu.Lock()
+	defer to.wmu.Unlock()
+	return writeMsg(to.conn, kFrame, a, b, payload)
+}
+
+// arrive counts barrier arrivals; the M-th arrival releases the
+// crossing by broadcasting the aggregate.
+func (h *Hub) arrive(count int, value uint64) {
+	h.mu.Lock()
+	h.arrived += count
+	h.accum += value
+	if h.arrived < h.m {
+		h.mu.Unlock()
+		return
+	}
+	h.arrived = 0
+	agg := h.accum
+	h.accum = 0
+	conns := make([]*hubConn, 0, len(h.conns))
+	for hc := range h.conns {
+		conns = append(conns, hc)
+	}
+	h.mu.Unlock()
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], agg)
+	for _, hc := range conns {
+		hc.wmu.Lock()
+		_ = writeMsg(hc.conn, kRelease, 0, 0, p[:])
+		hc.wmu.Unlock()
+	}
+}
+
+// Abort aborts the job: every connected process's barrier is released
+// with the reason and the job can never complete normally.
+func (h *Hub) Abort(reason string) {
+	h.mu.Lock()
+	h.abortLocked(reason)
+	h.mu.Unlock()
+}
+
+// abortLocked broadcasts the abort once; later aborts are no-ops (the
+// first reason is the root cause). The socket writes run in their own
+// goroutine: a worker whose receive path has stalled would otherwise
+// block the broadcast while h.mu is held and wedge the whole hub —
+// including the WaitResults deadline, whose wakeup needs h.mu too. A
+// write deadline bounds the goroutine against such a worker; its
+// connection is doomed regardless.
+func (h *Hub) abortLocked(reason string) {
+	if h.aborted {
+		return
+	}
+	h.aborted = true
+	conns := make([]*hubConn, 0, len(h.conns))
+	for hc := range h.conns {
+		conns = append(conns, hc)
+	}
+	h.cond.Broadcast()
+	go func() {
+		for _, hc := range conns {
+			hc.wmu.Lock()
+			hc.conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+			_ = writeMsg(hc.conn, kAbort, 0, 0, []byte(reason))
+			hc.conn.SetWriteDeadline(time.Time{})
+			hc.wmu.Unlock()
+		}
+	}()
+}
+
+// Addr returns the hub's listen address (for spawning workers).
+func (h *Hub) Addr() net.Addr { return h.ln.Addr() }
+
+// WaitJoined blocks until all m workers are connected or the deadline
+// passes.
+func (h *Hub) WaitJoined(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	stop := time.AfterFunc(timeout, func() {
+		h.mu.Lock()
+		h.cond.Broadcast()
+		h.mu.Unlock()
+	})
+	defer stop.Stop()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		joined := 0
+		for _, hc := range h.hosts {
+			if hc != nil {
+				joined++
+			}
+		}
+		if joined == h.m {
+			return nil
+		}
+		if h.aborted {
+			return fmt.Errorf("netcomm: job aborted while waiting for workers")
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("netcomm: %d of %d workers joined within %v", joined, h.m, timeout)
+		}
+		h.cond.Wait()
+	}
+}
+
+// WaitResults blocks until every worker is settled (result delivered or
+// connection declared lost) or the deadline passes, then returns the
+// result blobs sorted by worker range plus any synthesized transport
+// errors.
+func (h *Hub) WaitResults(timeout time.Duration) ([][]byte, []error, error) {
+	deadline := time.Now().Add(timeout)
+	stop := time.AfterFunc(timeout, func() {
+		h.mu.Lock()
+		h.cond.Broadcast()
+		h.mu.Unlock()
+	})
+	defer stop.Stop()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		allSettled := true
+		for w, s := range h.settled {
+			if s {
+				continue
+			}
+			// once the job is aborted, a worker whose connection is
+			// gone — or that never joined at all (its process died
+			// before dialing) — can deliver nothing more; waiting out
+			// the deadline for it would stall every fast-failing job
+			if h.aborted && !h.conns[h.hosts[w]] {
+				continue
+			}
+			allSettled = false
+			break
+		}
+		if allSettled {
+			los := make([]int, 0, len(h.results))
+			for lo := range h.results {
+				los = append(los, lo)
+			}
+			sort.Ints(los)
+			blobs := make([][]byte, 0, len(los))
+			for _, lo := range los {
+				blobs = append(blobs, h.results[lo])
+			}
+			return blobs, h.errs, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, h.errs, fmt.Errorf("netcomm: timed out waiting for worker results after %v", timeout)
+		}
+		h.cond.Wait()
+	}
+}
+
+// Stats returns the job-wide communication statistics observed by the
+// hub.
+func (h *Hub) Stats() comm.Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return comm.Stats{
+		NetworkBytes: h.netBytes,
+		LocalBytes:   h.locBytes,
+		Rounds:       h.rounds,
+		SimNetTime:   h.simNet,
+	}
+}
+
+// Close shuts the hub down: the listener stops accepting and every
+// connection is closed.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	h.closed = true
+	conns := make([]*hubConn, 0, len(h.conns))
+	for hc := range h.conns {
+		conns = append(conns, hc)
+	}
+	h.mu.Unlock()
+	h.ln.Close()
+	for _, hc := range conns {
+		hc.conn.Close()
+	}
+}

@@ -1,0 +1,451 @@
+// Package netcomm is the socket transport of the exchange fabric: the
+// same comm.Fabric contract the in-process zero-copy implementation
+// satisfies, carried over TCP or Unix sockets so the workers of one job
+// can live in separate processes (the paper's actual deployment shape —
+// Fig. 2's shared-nothing workers exchanging binary buffers).
+//
+// Topology is a star: every worker process holds one connection to a
+// Hub (the job coordinator). The single connection multiplexes three
+// planes, all as length-prefixed messages:
+//
+//   - data: one frame per (src, dst) pair per exchange round, routed by
+//     the hub to the destination's connection (empty buffers are
+//     skipped on the wire);
+//   - control: a message-based distributed barrier. A worker's arrival
+//     carries its AllReduce contribution; the hub releases a crossing
+//     by broadcasting the aggregate once all M workers arrived. Abort
+//     (worker failure, job cancellation, or a dropped connection)
+//     propagates the same way and releases every current and future
+//     crossing on every process;
+//   - results: each process ships an opaque result blob (the
+//     graphworker protocol's partial result) to the hub when its run
+//     completes.
+//
+// Ordering makes delivery implicit: a worker writes its round's frames
+// before its barrier arrival, the hub forwards frames to a destination
+// before writing that destination's release (same stream, one writer
+// lock), so when a client observes the post-flush release, every frame
+// of the round is already staged — no per-frame acks.
+package netcomm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/barrier"
+	"repro/internal/comm"
+	"repro/internal/ser"
+)
+
+// Message kinds of the wire protocol. Every message is
+//
+//	kind uint8 | a uint16 | b uint16 | n uint32 | payload [n]byte
+//
+// little-endian; the meaning of a and b depends on the kind.
+const (
+	kHello   = 1 // worker→hub: a,b = inclusive hosted worker range
+	kFrame   = 2 // either way: a = src worker, b = dst worker, payload = round buffer
+	kFlush   = 3 // worker→hub: a = src worker, payload = net,local byte counts (8+8)
+	kArrive  = 4 // worker→hub: a = folded local arrivals, payload = value sum (8)
+	kRelease = 5 // hub→worker: payload = crossing aggregate (8)
+	kAbort   = 6 // either way: payload = reason string
+	kResult  = 7 // worker→hub: a,b = worker range, payload = opaque result blob
+)
+
+const headerLen = 9
+
+// maxPayload bounds a declared payload length; a peer claiming more is
+// corrupt or hostile and the connection is dropped instead of letting
+// the length drive an allocation.
+const maxPayload = 1 << 30
+
+// writeMsg sends one message; bufs avoids copying frame payloads.
+func writeMsg(w io.Writer, kind uint8, a, b uint16, payload []byte) error {
+	var hdr [headerLen]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint16(hdr[1:], a)
+	binary.LittleEndian.PutUint16(hdr[3:], b)
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(len(payload)))
+	bufs := net.Buffers{hdr[:], payload}
+	_, err := bufs.WriteTo(w)
+	return err
+}
+
+// readHeader reads and validates one message header.
+func readHeader(r io.Reader) (kind uint8, a, b uint16, n int, err error) {
+	var hdr [headerLen]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	kind = hdr[0]
+	a = binary.LittleEndian.Uint16(hdr[1:])
+	b = binary.LittleEndian.Uint16(hdr[3:])
+	n = int(binary.LittleEndian.Uint32(hdr[5:]))
+	if kind < kHello || kind > kResult {
+		return 0, 0, 0, 0, fmt.Errorf("netcomm: unknown message kind %d", kind)
+	}
+	if n > maxPayload {
+		return 0, 0, 0, 0, fmt.Errorf("netcomm: message claims %d-byte payload", n)
+	}
+	return kind, a, b, n, nil
+}
+
+// Client is the worker-process side of the socket fabric. It hosts a
+// contiguous range of the job's workers and implements comm.Fabric for
+// them; its Barrier is the wire barrier coordinated by the hub.
+type Client struct {
+	m      int
+	lo, hi int
+	conn   net.Conn
+	wmu    sync.Mutex // serializes writes from worker goroutines + reader acks
+
+	bar *wireBarrier
+	eps []*clientEndpoint
+
+	smu      sync.Mutex // guards the local stats counters
+	netBytes int64
+	locBytes int64
+	rounds   int64
+
+	cmu    sync.Mutex
+	closed bool
+}
+
+// Dial connects to a hub at addr over network ("tcp" or "unix") and
+// announces this process as the host of workers lo..hi (inclusive) of
+// an m-worker job.
+func Dial(network, addr string, lo, hi, m int) (*Client, error) {
+	if lo < 0 || hi < lo || hi >= m {
+		return nil, fmt.Errorf("netcomm: bad worker range %d..%d of %d", lo, hi, m)
+	}
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("netcomm: dial hub: %w", err)
+	}
+	c := &Client{m: m, lo: lo, hi: hi, conn: conn}
+	c.bar = &wireBarrier{c: c, k: hi - lo + 1}
+	c.bar.cond = sync.NewCond(&c.bar.mu)
+	c.eps = make([]*clientEndpoint, hi-lo+1)
+	for i := range c.eps {
+		ep := &clientEndpoint{c: c, id: lo + i,
+			out:     make([]*ser.Buffer, m),
+			deliver: make([]*ser.Buffer, m),
+			pending: make([]*ser.Buffer, m),
+		}
+		for d := 0; d < m; d++ {
+			ep.out[d] = ser.NewBuffer(1024)
+			ep.deliver[d] = ser.NewBuffer(1024)
+			ep.pending[d] = ser.NewBuffer(1024)
+		}
+		c.eps[i] = ep
+	}
+	if err := c.send(kHello, uint16(lo), uint16(hi), nil); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) send(kind uint8, a, b uint16, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return writeMsg(c.conn, kind, a, b, payload)
+}
+
+// fail aborts the local barrier with a reason; the first reason wins.
+func (c *Client) fail(err error) {
+	c.bar.abortLocal(err)
+}
+
+// readLoop demuxes the hub connection: frames are staged into the
+// destination endpoint's pending buffers, releases advance the wire
+// barrier, aborts release everything.
+func (c *Client) readLoop() {
+	for {
+		kind, a, b, n, err := readHeader(c.conn)
+		if err != nil {
+			c.cmu.Lock()
+			closed := c.closed
+			c.cmu.Unlock()
+			if !closed {
+				c.fail(fmt.Errorf("netcomm: connection to coordinator lost: %w", err))
+			}
+			return
+		}
+		switch kind {
+		case kFrame:
+			dst := int(b)
+			if dst < c.lo || dst > c.hi || int(a) >= c.m {
+				c.fail(fmt.Errorf("netcomm: misrouted frame %d->%d", a, b))
+				return
+			}
+			ep := c.eps[dst-c.lo]
+			ep.mu.Lock()
+			_, err = io.ReadFull(c.conn, ep.pending[a].Extend(n))
+			ep.mu.Unlock()
+			if err != nil {
+				c.fail(fmt.Errorf("netcomm: truncated frame: %w", err))
+				return
+			}
+		case kRelease:
+			var v [8]byte
+			if _, err := io.ReadFull(c.conn, v[:]); err != nil {
+				c.fail(fmt.Errorf("netcomm: truncated release: %w", err))
+				return
+			}
+			c.bar.release(binary.LittleEndian.Uint64(v[:]))
+		case kAbort:
+			reason := make([]byte, n)
+			io.ReadFull(c.conn, reason)
+			c.fail(fmt.Errorf("netcomm: job aborted: %s", reason))
+			return
+		default:
+			c.fail(fmt.Errorf("netcomm: unexpected message kind %d from hub", kind))
+			return
+		}
+	}
+}
+
+// SendResult ships the process's opaque result blob to the hub (the
+// graphworker protocol's partial result; see internal/workerproc).
+func (c *Client) SendResult(payload []byte) error {
+	return c.send(kResult, uint16(c.lo), uint16(c.hi), payload)
+}
+
+// Err returns the transport-level abort root cause this client
+// observed, if any (a lost coordinator connection, a misrouted frame,
+// the hub's abort reason). Workers log it next to the generic
+// barrier-abort their engines report, so the transport detail is not
+// lost.
+func (c *Client) Err() error {
+	c.bar.mu.Lock()
+	defer c.bar.mu.Unlock()
+	return c.bar.abortErr
+}
+
+// NumWorkers implements comm.Fabric.
+func (c *Client) NumWorkers() int { return c.m }
+
+// LocalWorkers implements comm.Fabric.
+func (c *Client) LocalWorkers() []int {
+	ids := make([]int, c.hi-c.lo+1)
+	for i := range ids {
+		ids[i] = c.lo + i
+	}
+	return ids
+}
+
+// Endpoint implements comm.Fabric.
+func (c *Client) Endpoint(id int) comm.Endpoint { return c.eps[id-c.lo] }
+
+// Barrier implements comm.Fabric.
+func (c *Client) Barrier() barrier.Barrier { return c.bar }
+
+// Stats implements comm.Fabric: the process-local view (bytes this
+// process sent; simulated network time lives on the hub's cost model).
+func (c *Client) Stats() comm.Stats {
+	c.smu.Lock()
+	defer c.smu.Unlock()
+	return comm.Stats{NetworkBytes: c.netBytes, LocalBytes: c.locBytes, Rounds: c.rounds}
+}
+
+// Close implements comm.Fabric.
+func (c *Client) Close() error {
+	c.cmu.Lock()
+	c.closed = true
+	c.cmu.Unlock()
+	return c.conn.Close()
+}
+
+// clientEndpoint is one hosted worker's handle. Incoming frames are
+// double-buffered: the reader goroutine stages into pending, and the
+// first In call after a Flush swaps pending into deliver — at that
+// point the post-flush release has been observed, so the round's frames
+// are complete, and no peer can be past its next flush yet.
+type clientEndpoint struct {
+	c  *Client
+	id int
+
+	out []*ser.Buffer
+
+	mu       sync.Mutex
+	deliver  []*ser.Buffer
+	pending  []*ser.Buffer
+	flushSeq uint64
+	swapSeq  uint64
+}
+
+// Out implements comm.Endpoint.
+func (ep *clientEndpoint) Out(dst int) *ser.Buffer { return ep.out[dst] }
+
+// Flush implements comm.Endpoint: every non-empty off-process buffer
+// becomes one frame, followed by the flush-stats marker the hub uses
+// for round accounting. The loopback buffer stays local (zero-copy, as
+// in the in-process fabric).
+func (ep *clientEndpoint) Flush() error {
+	var netB, locB int64
+	for dst := 0; dst < ep.c.m; dst++ {
+		b := ep.out[dst]
+		if dst == ep.id {
+			locB += int64(b.Len())
+			continue
+		}
+		n := b.Len()
+		netB += int64(n)
+		if n > 0 {
+			if err := ep.c.send(kFrame, uint16(ep.id), uint16(dst), b.Bytes()); err != nil {
+				ep.c.fail(err)
+				return fmt.Errorf("netcomm: send frame %d->%d: %w", ep.id, dst, err)
+			}
+		}
+		b.Reset()
+	}
+	var stats [16]byte
+	binary.LittleEndian.PutUint64(stats[0:], uint64(netB))
+	binary.LittleEndian.PutUint64(stats[8:], uint64(locB))
+	if err := ep.c.send(kFlush, uint16(ep.id), 0, stats[:]); err != nil {
+		ep.c.fail(err)
+		return fmt.Errorf("netcomm: send flush: %w", err)
+	}
+	ep.mu.Lock()
+	ep.flushSeq++
+	ep.mu.Unlock()
+	c := ep.c
+	c.smu.Lock()
+	c.netBytes += netB
+	c.locBytes += locB
+	if ep.id == c.lo {
+		c.rounds++
+	}
+	c.smu.Unlock()
+	return nil
+}
+
+// In implements comm.Endpoint.
+func (ep *clientEndpoint) In(src int) *ser.Buffer {
+	if src == ep.id {
+		return ep.out[ep.id]
+	}
+	ep.mu.Lock()
+	if ep.swapSeq < ep.flushSeq {
+		ep.deliver, ep.pending = ep.pending, ep.deliver
+		for i, b := range ep.pending {
+			if i != ep.id {
+				b.Reset()
+			}
+		}
+		ep.swapSeq = ep.flushSeq
+	}
+	b := ep.deliver[src]
+	ep.mu.Unlock()
+	return b
+}
+
+// Release implements comm.Endpoint: only the loopback buffer needs
+// recycling here — off-process buffers were reset at Flush and incoming
+// buffers are recycled by the swap.
+func (ep *clientEndpoint) Release() {
+	ep.out[ep.id].Reset()
+}
+
+// wireBarrier is the client half of the distributed barrier: local
+// workers fold their arrivals into one kArrive message; the hub's
+// kRelease (carrying the job-wide AllReduce aggregate) advances the
+// release counter and wakes the waiters of that crossing.
+type wireBarrier struct {
+	c    *Client
+	k    int // local party size
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	gen      uint64 // local crossings fully arrived
+	arrived  int    // local arrivals of the current crossing
+	acc      uint64 // local value sum of the current crossing
+	released uint64 // releases observed
+	vals     [8]uint64
+
+	aborted  bool
+	abortErr error
+}
+
+// Wait implements barrier.Barrier.
+func (b *wireBarrier) Wait() bool {
+	_, ok := b.AllReduce(0)
+	return ok
+}
+
+// AllReduce implements barrier.Barrier.
+func (b *wireBarrier) AllReduce(v uint64) (uint64, bool) {
+	b.mu.Lock()
+	if b.aborted {
+		b.mu.Unlock()
+		return 0, false
+	}
+	gen := b.gen
+	b.acc += v
+	b.arrived++
+	var sendAcc uint64
+	sendNow := false
+	if b.arrived == b.k {
+		sendNow, sendAcc = true, b.acc
+		b.arrived = 0
+		b.acc = 0
+		b.gen++
+	}
+	b.mu.Unlock()
+	if sendNow {
+		var p [8]byte
+		binary.LittleEndian.PutUint64(p[:], sendAcc)
+		if err := b.c.send(kArrive, uint16(b.k), 0, p[:]); err != nil {
+			b.abortLocal(fmt.Errorf("netcomm: send arrive: %w", err))
+			return 0, false
+		}
+	}
+	b.mu.Lock()
+	for b.released <= gen && !b.aborted {
+		b.cond.Wait()
+	}
+	val := b.vals[(gen+1)&7]
+	ok := !b.aborted
+	b.mu.Unlock()
+	return val, ok
+}
+
+// release records a crossing release from the hub.
+func (b *wireBarrier) release(v uint64) {
+	b.mu.Lock()
+	b.released++
+	b.vals[b.released&7] = v
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// abortLocal marks the barrier aborted (first reason wins) and wakes
+// every waiter.
+func (b *wireBarrier) abortLocal(err error) {
+	b.mu.Lock()
+	if !b.aborted {
+		b.aborted = true
+		b.abortErr = err
+	}
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Abort implements barrier.Barrier: a local worker failed. The hub is
+// told (best effort) so it can release every other process.
+func (b *wireBarrier) Abort() {
+	b.abortLocal(fmt.Errorf("netcomm: aborted by local worker"))
+	_ = b.c.send(kAbort, 0, 0, []byte("worker failure"))
+}
+
+// Aborted implements barrier.Barrier.
+func (b *wireBarrier) Aborted() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.aborted
+}

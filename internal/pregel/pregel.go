@@ -45,6 +45,11 @@ type Config[M, R, A any] struct {
 	// unset. When Part is nil it is taken from Frags.
 	Frags *frag.Fragments
 	Cost  comm.CostModel
+	// Fabric is the transport the job's workers exchange buffers and
+	// synchronize through. Nil selects the in-process zero-copy fabric;
+	// a distributed fabric (internal/netcomm) may host only a subset of
+	// the workers in this process.
+	Fabric comm.Fabric
 	// MaxSupersteps aborts runaway jobs; 0 means 10_000.
 	MaxSupersteps int
 	// Cancel, if non-nil, aborts the run when closed: the shared
@@ -93,11 +98,13 @@ type Worker[M, R, A any] struct {
 	cfg  *Config[M, R, A]
 	frag *frag.Fragment
 	job  *job[M, R, A]
+	ep   comm.Endpoint
 
 	active      []bool
 	activeCount int
 	current     int
 	superstep   int
+	halt        bool // RequestStop was called on this worker
 
 	// Compute is invoked for every active local vertex each superstep
 	// with the combined/collected messages from the previous superstep.
@@ -148,12 +155,12 @@ type dmsg[M any] struct {
 	m   M
 }
 
+// job is the per-Run coordination state shared by this process's
+// workers; all cross-worker communication goes through the fabric.
 type job[M, R, A any] struct {
-	cfg     *Config[M, R, A]
-	ex      *comm.Exchanger
-	bar     *barrier.Barrier
-	actives []int
-	halt    []bool
+	cfg *Config[M, R, A]
+	fab comm.Fabric
+	bar barrier.Barrier
 }
 
 // --- Worker API used by algorithm closures ---
@@ -209,7 +216,7 @@ func (w *Worker[M, R, A]) ActivateLocal(li int) {
 }
 
 // RequestStop terminates the job after this superstep.
-func (w *Worker[M, R, A]) RequestStop() { w.job.halt[w.id] = true }
+func (w *Worker[M, R, A]) RequestStop() { w.halt = true }
 
 // Send sends m to vertex dst, delivered next superstep. Transitional
 // id-based entry point: per-edge loops should iterate Frag().Neighbors
@@ -329,34 +336,36 @@ func Run[M, R, A any](cfg Config[M, R, A], setup func(w *Worker[M, R, A])) (Metr
 		maxSteps = 10000
 	}
 	m := cfg.Part.NumWorkers()
-	j := &job[M, R, A]{
-		cfg:     &cfg,
-		ex:      comm.NewExchanger(m, cfg.Cost),
-		bar:     barrier.New(m),
-		actives: make([]int, m),
-		halt:    make([]bool, m),
+	fab := cfg.Fabric
+	if fab == nil {
+		fab = comm.NewInProc(m, cfg.Cost)
 	}
-	workers := make([]*Worker[M, R, A], m)
-	for i := 0; i < m; i++ {
-		workers[i] = &Worker[M, R, A]{id: i, cfg: &cfg, job: j, current: -1}
+	if fab.NumWorkers() != m {
+		return Metrics{}, fmt.Errorf("pregel: fabric has %d workers, partition has %d", fab.NumWorkers(), m)
+	}
+	j := &job[M, R, A]{cfg: &cfg, fab: fab, bar: fab.Barrier()}
+	locals := fab.LocalWorkers()
+	workers := make([]*Worker[M, R, A], len(locals))
+	for i, id := range locals {
+		workers[i] = &Worker[M, R, A]{id: id, cfg: &cfg, job: j, current: -1, ep: fab.Endpoint(id)}
 		if cfg.Frags != nil {
-			workers[i].frag = cfg.Frags.Frag(i)
+			workers[i].frag = cfg.Frags.Frag(id)
 		}
 	}
 	start := time.Now()
 	cancelled := barrier.WatchCancel(cfg.Cancel, j.bar)
-	errs := make([]error, m)
+	errs := make([]error, len(workers))
 	var wg sync.WaitGroup
-	for i := 0; i < m; i++ {
+	for i := range workers {
 		wg.Add(1)
-		go func(w *Worker[M, R, A]) {
+		go func(i int) {
 			defer wg.Done()
-			errs[w.id] = w.run(setup, maxSteps)
-		}(workers[i])
+			errs[i] = workers[i].run(setup, maxSteps)
+		}(i)
 	}
 	wg.Wait()
-	// Minimum superstep any worker reached: the only count that was
-	// globally completed when a worker failed part-way.
+	// Minimum superstep any local worker reached: the only count that
+	// was globally completed when a worker failed part-way.
 	minStep := workers[0].superstep
 	for _, w := range workers[1:] {
 		if w.superstep < minStep {
@@ -365,12 +374,16 @@ func Run[M, R, A any](cfg Config[M, R, A], setup func(w *Worker[M, R, A])) (Metr
 	}
 	met := Metrics{
 		Supersteps: minStep,
-		Comm:       j.ex.Stats(),
+		Comm:       fab.Stats(),
 		WallTime:   time.Since(start),
 	}
 	err := barrier.JoinErrors(errs)
 	if cancelled() && err == nil {
 		err = barrier.ErrCancelled
+	} else if err == nil && j.bar.Aborted() {
+		// every local error was an abort echo: the root cause lives in
+		// another process — surface the abort instead of claiming success
+		err = errAborted
 	}
 	return met, err
 }

@@ -15,6 +15,11 @@ import (
 // aborted the shared barrier.
 var errAborted = barrier.ErrAborted
 
+// haltStop is the termination-reduce bit a worker adds when its
+// algorithm called RequestStop; active vertex counts occupy the low 48
+// bits (see the engine package for the overflow argument).
+const haltStop = uint64(1) << 48
+
 // run executes the worker loop; a worker that fails aborts the shared
 // barrier so its peers return instead of deadlocking.
 func (w *Worker[M, R, A]) run(setup func(*Worker[M, R, A]), maxSteps int) error {
@@ -107,69 +112,78 @@ func (w *Worker[M, R, A]) runSupersteps(setup func(*Worker[M, R, A]), maxSteps i
 		w.current = -1
 		w.afterCompute()
 
-		// round 1
+		// round 1: two barrier crossings — the post-flush wait proves all
+		// sends are published, the post-deliver wait proves all inputs
+		// were consumed, which makes Release safe.
 		for dst := 0; dst < m; dst++ {
-			w.serializeRound1(dst, j.ex.Out(w.id, dst))
+			w.serializeRound1(dst, w.ep.Out(dst))
 		}
-		j.ex.FinishSerialize(w.id)
+		if err := w.ep.Flush(); err != nil {
+			return fmt.Errorf("pregel: worker %d: %w", w.id, err)
+		}
 		if !j.bar.Wait() {
 			return errAborted
-		}
-		if w.id == 0 {
-			j.ex.FinishRound()
 		}
 		for src := 0; src < m; src++ {
-			w.deserializeRound1(src, j.ex.In(w.id, src))
+			if err := w.deserializeFrom(src, w.deserializeRound1); err != nil {
+				return err
+			}
 		}
 		if !j.bar.Wait() {
 			return errAborted
 		}
-		j.ex.ResetRow(w.id)
-		if !j.bar.Wait() {
-			return errAborted
-		}
+		w.ep.Release()
 
 		if twoRounds {
 			for dst := 0; dst < m; dst++ {
-				w.serializeRound2(dst, j.ex.Out(w.id, dst))
+				w.serializeRound2(dst, w.ep.Out(dst))
 			}
-			j.ex.FinishSerialize(w.id)
+			if err := w.ep.Flush(); err != nil {
+				return fmt.Errorf("pregel: worker %d: %w", w.id, err)
+			}
 			if !j.bar.Wait() {
 				return errAborted
-			}
-			if w.id == 0 {
-				j.ex.FinishRound()
 			}
 			for src := 0; src < m; src++ {
-				w.deserializeRound2(src, j.ex.In(w.id, src))
+				if err := w.deserializeFrom(src, w.deserializeRound2); err != nil {
+					return err
+				}
 			}
 			if !j.bar.Wait() {
 				return errAborted
 			}
-			j.ex.ResetRow(w.id)
-			if !j.bar.Wait() {
-				return errAborted
-			}
+			w.ep.Release()
 		}
 
-		// termination check
-		j.actives[w.id] = w.activeCount
-		if !j.bar.Wait() {
+		// termination check: one reduce carries every worker's active
+		// count plus its RequestStop vote.
+		v := uint64(w.activeCount)
+		if w.halt {
+			v += haltStop
+		}
+		sum, ok := j.bar.AllReduce(v)
+		if !ok {
 			return errAborted
 		}
-		total := 0
-		stop := false
-		for i := 0; i < m; i++ {
-			total += j.actives[i]
-			stop = stop || j.halt[i]
-		}
-		if !j.bar.Wait() {
-			return errAborted
-		}
-		if total == 0 || stop {
+		if sum&(haltStop-1) == 0 || sum >= haltStop {
 			return nil
 		}
 	}
+}
+
+// deserializeFrom runs one round's decode of worker src's buffer.
+// Buffers that arrived over a socket are untrusted: the recover turns a
+// panicking decode on corrupt payload bytes into a worker error, so a
+// bad frame fails the job with a diagnostic instead of killing the
+// process (and every co-hosted worker with it).
+func (w *Worker[M, R, A]) deserializeFrom(src int, decode func(int, *ser.Buffer)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pregel: worker %d: corrupt frame from worker %d: %v", w.id, src, r)
+		}
+	}()
+	decode(src, w.ep.In(src))
+	return nil
 }
 
 // messagesFor returns the messages delivered to li last superstep.

@@ -252,3 +252,47 @@ func (b *Buffer) ReadFrameInto(sub *Buffer) {
 	sub.pos = 0
 	b.pos += n
 }
+
+// NextFrame is the error-returning variant of ReadFrameInto for wire
+// boundaries: bytes that arrived over a socket are not trusted, so a
+// truncated header or a frame length exceeding the remaining bytes
+// returns an error instead of panicking.
+func (b *Buffer) NextFrame(sub *Buffer) error {
+	if b.Remaining() < 4 {
+		return fmt.Errorf("ser: truncated frame header: %d bytes remain", b.Remaining())
+	}
+	n := int(binary.LittleEndian.Uint32(b.data[b.pos:]))
+	if n > b.Remaining()-4 {
+		return fmt.Errorf("ser: frame length %d exceeds %d remaining bytes", n, b.Remaining()-4)
+	}
+	b.pos += 4
+	sub.data = b.data[b.pos : b.pos+n]
+	sub.pos = 0
+	b.pos += n
+	return nil
+}
+
+// NextUvarint is the error-returning variant of ReadUvarint for wire
+// boundaries.
+func (b *Buffer) NextUvarint() (uint64, error) {
+	v, n := binary.Uvarint(b.data[b.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("ser: invalid uvarint at offset %d", b.pos)
+	}
+	b.pos += n
+	return v, nil
+}
+
+// Extend appends n uninitialized bytes and returns the slice covering
+// them, so transports can bulk-read wire payloads straight into the
+// buffer's storage.
+func (b *Buffer) Extend(n int) []byte {
+	off := len(b.data)
+	if cap(b.data)-off < n {
+		grown := make([]byte, off, max(2*cap(b.data), off+n))
+		copy(grown, b.data)
+		b.data = grown
+	}
+	b.data = b.data[:off+n]
+	return b.data[off:]
+}

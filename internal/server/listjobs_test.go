@@ -1,0 +1,72 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/jobs"
+)
+
+type jobListPayload struct {
+	Jobs   []jobs.Snapshot `json:"jobs"`
+	Total  int             `json:"total"`
+	Offset int             `json:"offset"`
+}
+
+// GET /v1/jobs supports ?state= filtering plus offset/limit windowing,
+// with total counting matches before the window.
+func TestListJobsFilterAndWindow(t *testing.T) {
+	_, _, ts := testService(t, 2)
+	const n = 6
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		snap, code := postJob(t, ts.URL, jobs.Request{Algorithm: "wcc", Dataset: "social"})
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: HTTP %d", i, code)
+		}
+		ids = append(ids, snap.ID)
+	}
+	for _, id := range ids {
+		if snap := waitDone(t, ts.URL, id); snap.State != jobs.StateDone {
+			t.Fatalf("job %s: %s (%s)", id, snap.State, snap.Error)
+		}
+	}
+
+	var all jobListPayload
+	getJSON(t, ts.URL+"/v1/jobs", http.StatusOK, &all)
+	if all.Total != n || len(all.Jobs) != n {
+		t.Fatalf("unfiltered: total=%d len=%d want %d", all.Total, len(all.Jobs), n)
+	}
+
+	var done jobListPayload
+	getJSON(t, ts.URL+"/v1/jobs?state=done", http.StatusOK, &done)
+	if done.Total != n {
+		t.Fatalf("state=done total=%d want %d", done.Total, n)
+	}
+	var failed jobListPayload
+	getJSON(t, ts.URL+"/v1/jobs?state=failed", http.StatusOK, &failed)
+	if failed.Total != 0 || len(failed.Jobs) != 0 {
+		t.Fatalf("state=failed: %+v", failed)
+	}
+
+	var window jobListPayload
+	getJSON(t, ts.URL+"/v1/jobs?state=done&offset=2&limit=3", http.StatusOK, &window)
+	if window.Total != n || window.Offset != 2 || len(window.Jobs) != 3 {
+		t.Fatalf("window: total=%d offset=%d len=%d", window.Total, window.Offset, len(window.Jobs))
+	}
+	// oldest-first: the window starts at the third submission
+	if window.Jobs[0].ID != ids[2] {
+		t.Errorf("window starts at %s, want %s", window.Jobs[0].ID, ids[2])
+	}
+	// past-the-end offset is empty, not an error
+	var empty jobListPayload
+	getJSON(t, ts.URL+"/v1/jobs?offset=100", http.StatusOK, &empty)
+	if empty.Total != n || len(empty.Jobs) != 0 {
+		t.Fatalf("past-end: total=%d len=%d", empty.Total, len(empty.Jobs))
+	}
+
+	// invalid inputs are 400s
+	getJSON(t, ts.URL+"/v1/jobs?state=bogus", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/v1/jobs?offset=-1", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/v1/jobs?limit=x", http.StatusBadRequest, nil)
+}

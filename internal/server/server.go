@@ -96,8 +96,27 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, snap)
 }
 
+// listJobs lists retained jobs, oldest first. Query parameters:
+// ?state= filters by lifecycle state, ?offset=/&limit= window the
+// matches (job lists are otherwise unbounded); "total" counts matches
+// before windowing.
 func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.List()})
+	state, err := jobs.ParseState(r.URL.Query().Get("state"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	offset, limit, err := pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	list, total := s.mgr.ListPage(state, offset, limit)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs":   list,
+		"total":  total,
+		"offset": offset,
+	})
 }
 
 func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,327 @@
+package workerproc
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/barrier"
+	"repro/internal/comm"
+	"repro/internal/netcomm"
+	"repro/internal/partition"
+)
+
+// JobSpec describes one distributed job: which binary to spawn, where
+// the data lives, and what to run.
+type JobSpec struct {
+	// Bin is the graphworker executable. BinArgs (optional) are
+	// prepended to the protocol flags — the test binaries use the
+	// ChildEnv re-exec instead and leave this empty.
+	Bin     string
+	BinArgs []string
+	// Env entries are appended to the inherited environment.
+	Env []string
+
+	// Network is "unix" (default) or "tcp" (loopback).
+	Network string
+
+	// SnapshotPath is a binary snapshot embedding the Placement owner
+	// vector; Part must be the partition that vector describes (the
+	// coordinator needs it to merge partials and the workers rebuild the
+	// identical partition from the snapshot).
+	SnapshotPath string
+	Placement    string
+	Part         *partition.Partition
+
+	// Procs is the number of worker processes; the Part's workers are
+	// split into contiguous ranges across them (capped at one worker
+	// per process).
+	Procs int
+
+	Algorithm string
+	Engine    algorithms.Engine
+	Variant   string
+	Params    algorithms.Params
+
+	MaxSupersteps int
+	Cost          comm.CostModel
+
+	// Cancel, if non-nil, aborts the job when closed: the hub abort
+	// propagates over every control connection, workers unwind and
+	// exit; stragglers are killed after a grace period. Run returns
+	// barrier.ErrCancelled.
+	Cancel <-chan struct{}
+
+	// JoinTimeout bounds how long workers may take to connect
+	// (default 30s).
+	JoinTimeout time.Duration
+
+	// Spawned, if set, is called with the worker process pids once all
+	// are started (diagnostics; the failure tests use it to kill one).
+	Spawned func(pids []int)
+}
+
+// Run executes a job across worker subprocesses and returns the merged
+// result. The returned metrics carry the hub's job-wide communication
+// stats; Supersteps is the minimum any worker process reported.
+func Run(spec JobSpec) (*algorithms.Result, error) {
+	if spec.Part == nil {
+		return nil, fmt.Errorf("workerproc: JobSpec.Part is required")
+	}
+	m := spec.Part.NumWorkers()
+	procs := spec.Procs
+	if procs <= 0 {
+		procs = m
+	}
+	if procs > m {
+		procs = m
+	}
+	network := spec.Network
+	if network == "" {
+		network = "unix"
+	}
+	joinTimeout := spec.JoinTimeout
+	if joinTimeout == 0 {
+		joinTimeout = 30 * time.Second
+	}
+
+	var addr string
+	var ln net.Listener
+	var err error
+	switch network {
+	case "unix":
+		dir, derr := os.MkdirTemp("", "graphw")
+		if derr != nil {
+			return nil, fmt.Errorf("workerproc: %w", derr)
+		}
+		defer os.RemoveAll(dir)
+		addr = dir + "/hub.sock"
+		ln, err = net.Listen("unix", addr)
+	case "tcp":
+		ln, err = net.Listen("tcp", "127.0.0.1:0")
+		if ln != nil {
+			addr = ln.Addr().String()
+		}
+	default:
+		return nil, fmt.Errorf("workerproc: unknown network %q", network)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("workerproc: listen: %w", err)
+	}
+	hub := netcomm.NewHub(m, spec.Cost, ln)
+	defer hub.Close()
+
+	start := time.Now()
+	ranges := splitRanges(m, procs)
+	cmds := make([]*exec.Cmd, len(ranges))
+	stderrs := make([]*cappedBuffer, len(ranges))
+	pids := make([]int, len(ranges))
+	for i, r := range ranges {
+		args := append(append([]string(nil), spec.BinArgs...),
+			"-network", network,
+			"-connect", addr,
+			"-snapshot", spec.SnapshotPath,
+			"-placement", spec.Placement,
+			"-workers", fmt.Sprintf("%d-%d", r[0], r[1]),
+			"-num-workers", strconv.Itoa(m),
+			"-algorithm", spec.Algorithm,
+			"-engine", string(spec.Engine),
+			"-variant", spec.Variant,
+			"-iterations", strconv.Itoa(spec.Params.Iterations),
+			"-source", strconv.FormatUint(uint64(spec.Params.Source), 10),
+			"-max-supersteps", strconv.Itoa(spec.MaxSupersteps),
+		)
+		cmd := exec.Command(spec.Bin, args...)
+		cmd.Env = append(os.Environ(), spec.Env...)
+		cmd.Env = append(cmd.Env, ChildEnv+"=1")
+		sb := &cappedBuffer{cap: 8 << 10}
+		cmd.Stderr = sb
+		if err := cmd.Start(); err != nil {
+			hub.Abort("spawn failed")
+			for _, c := range cmds[:i] {
+				c.Process.Kill()
+				c.Wait()
+			}
+			return nil, fmt.Errorf("workerproc: spawn graphworker %d: %w", i, err)
+		}
+		cmds[i], stderrs[i], pids[i] = cmd, sb, cmd.Process.Pid
+	}
+	if spec.Spawned != nil {
+		spec.Spawned(pids)
+	}
+
+	// Cancellation: abort the hub so every worker unwinds; anything
+	// still alive after the grace period is killed.
+	procsDone := make(chan struct{})
+	cancelFired := make(chan struct{})
+	if spec.Cancel != nil {
+		go func() {
+			select {
+			case <-spec.Cancel:
+				close(cancelFired)
+				hub.Abort("job cancelled")
+				select {
+				case <-procsDone:
+				case <-time.After(10 * time.Second):
+					for _, c := range cmds {
+						c.Process.Kill()
+					}
+				}
+			case <-procsDone:
+			}
+		}()
+	}
+
+	// Join watchdog: if the party never assembles, abort and kill so
+	// Wait below cannot hang on a worker parked in a barrier.
+	joined := make(chan error, 1)
+	go func() { joined <- hub.WaitJoined(joinTimeout) }()
+
+	var wg sync.WaitGroup
+	exitErrs := make([]error, len(cmds))
+	for i, cmd := range cmds {
+		wg.Add(1)
+		go func(i int, cmd *exec.Cmd) {
+			defer wg.Done()
+			exitErrs[i] = cmd.Wait()
+		}(i, cmd)
+	}
+	go func() {
+		if err := <-joined; err != nil {
+			hub.Abort("join timeout")
+			time.Sleep(2 * time.Second)
+			for _, c := range cmds {
+				c.Process.Kill()
+			}
+		}
+	}()
+	wg.Wait()
+	close(procsDone)
+
+	// Every process has exited: whatever it managed to send is already
+	// in the hub's socket buffers and drains in well under a second. If
+	// anything is still unsettled after a drain window — a worker died
+	// before dialing, so the hub alone would never learn about it —
+	// abort so WaitResults settles instead of running out its deadline.
+	settle := time.AfterFunc(5*time.Second, func() {
+		hub.Abort("worker processes exited without reporting")
+	})
+	blobs, hubErrs, werr := hub.WaitResults(30 * time.Second)
+	settle.Stop()
+	if werr != nil {
+		hubErrs = append(hubErrs, werr)
+	}
+
+	var errs []error
+	partials := make([]partial, 0, len(blobs))
+	for _, blob := range blobs {
+		p, perr := decodePartial(blob)
+		if perr != nil {
+			errs = append(errs, perr)
+			continue
+		}
+		partials = append(partials, p)
+	}
+	errs = append(errs, hubErrs...)
+	for i, eerr := range exitErrs {
+		if eerr == nil {
+			continue
+		}
+		msg := bytes.TrimSpace(stderrs[i].Bytes())
+		if len(msg) > 0 {
+			errs = append(errs, fmt.Errorf("workerproc: graphworker %d (workers %d-%d) exited: %v: %s",
+				i, ranges[i][0], ranges[i][1], eerr, msg))
+		} else {
+			errs = append(errs, fmt.Errorf("workerproc: graphworker %d (workers %d-%d) exited: %v",
+				i, ranges[i][0], ranges[i][1], eerr))
+		}
+	}
+
+	res, minSteps, mergeErr := mergePartials(spec.Part, partials)
+	if mergeErr != nil {
+		errs = append(errs, mergeErr)
+	}
+	err = barrier.JoinErrors(errs)
+	cancelled := false
+	if spec.Cancel != nil {
+		select {
+		case <-cancelFired:
+			cancelled = true
+		default:
+		}
+	}
+	if cancelled {
+		// A real worker error that raced the cancellation wins; but
+		// teardown fallout (aborted echoes, processes killed or exiting
+		// before they could report) is a consequence of cancelling, not
+		// a failure in its own right.
+		var reported []error
+		for _, p := range partials {
+			reported = append(reported, p.err)
+		}
+		if realErr := barrier.JoinErrors(reported); realErr == nil {
+			return nil, barrier.ErrCancelled
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	hubStats := hub.Stats()
+	res.Metrics = algorithms.Metrics{
+		Engine:     spec.Engine,
+		Supersteps: minSteps,
+		NetBytes:   hubStats.NetworkBytes,
+		WallTime:   time.Since(start),
+		SimTime:    time.Since(start) + hubStats.SimNetTime,
+	}
+	return res, nil
+}
+
+// splitRanges deals m workers into n contiguous, near-equal ranges.
+func splitRanges(m, n int) [][2]int {
+	out := make([][2]int, 0, n)
+	base, rem := m/n, m%n
+	lo := 0
+	for i := 0; i < n; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, [2]int{lo, lo + size - 1})
+		lo += size
+	}
+	return out
+}
+
+// cappedBuffer retains the first cap bytes written (worker stderr, for
+// error reports) and counts the rest.
+type cappedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+	cap int
+}
+
+func (b *cappedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.buf.Len() < b.cap {
+		keep := p
+		if b.buf.Len()+len(keep) > b.cap {
+			keep = keep[:b.cap-b.buf.Len()]
+		}
+		b.buf.Write(keep)
+	}
+	return len(p), nil
+}
+
+func (b *cappedBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}

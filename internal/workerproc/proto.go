@@ -1,0 +1,234 @@
+// Package workerproc implements the graphworker protocol: running one
+// process's share of a distributed job and assembling the per-process
+// partial results back into one algorithms.Result.
+//
+// A graphworker process is self-sufficient: it loads the job's graph
+// from a binary snapshot, reconstructs the partition from the owner
+// vector embedded in the snapshot (so every process agrees on vertex
+// placement bit for bit), builds its pre-resolved fragments, joins the
+// job's socket fabric, and runs the exact registry code path the
+// in-process engines run. Its result — the assembled global arrays with
+// only its hosted workers' vertices filled — is encoded as a compact
+// partial (hosted vertices only, in local-index order) and shipped to
+// the hub; the coordinator merges partials by ownership.
+package workerproc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/algorithms"
+	"repro/internal/barrier"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/ser"
+)
+
+// result kinds on the wire, mirroring algorithms.Result.Kind.
+const (
+	kindLabels = 0
+	kindRanks  = 1
+	kindDists  = 2
+	kindMSF    = 3
+)
+
+// encodePartial serializes one process's share of a run: the hosted
+// worker range, the run error (empty string = success), the superstep
+// count its workers reached, and — on success — the hosted workers'
+// slices of the result arrays.
+func encodePartial(buf *ser.Buffer, part *partition.Partition, lo, hi int,
+	res *algorithms.Result, runErr error) {
+	buf.WriteUvarint(uint64(lo))
+	buf.WriteUvarint(uint64(hi))
+	if runErr != nil {
+		buf.WriteString(runErr.Error())
+		return
+	}
+	buf.WriteString("")
+	buf.WriteUvarint(uint64(res.Metrics.Supersteps))
+	switch res.Kind() {
+	case "labels":
+		buf.WriteUint8(kindLabels)
+		forHosted(part, lo, hi, func(v graph.VertexID) { buf.WriteUvarint(uint64(res.Labels[v])) })
+	case "ranks":
+		buf.WriteUint8(kindRanks)
+		forHosted(part, lo, hi, func(v graph.VertexID) { buf.WriteFloat64(res.Ranks[v]) })
+	case "dists":
+		buf.WriteUint8(kindDists)
+		forHosted(part, lo, hi, func(v graph.VertexID) { buf.WriteVarint(res.Dists[v]) })
+	case "msf":
+		buf.WriteUint8(kindMSF)
+		forHosted(part, lo, hi, func(v graph.VertexID) { buf.WriteUvarint(uint64(res.MSF.Comp[v])) })
+		buf.WriteVarint(res.MSF.Weight)
+		buf.WriteUvarint(uint64(len(res.MSF.Edges)))
+		for _, e := range res.MSF.Edges {
+			buf.WriteUvarint(uint64(e.Src))
+			buf.WriteUvarint(uint64(e.Dst))
+			buf.WriteVarint(int64(e.Weight))
+		}
+	}
+}
+
+// forHosted visits the hosted workers' vertices in (worker, local
+// index) order — the canonical order both encode and decode share.
+func forHosted(part *partition.Partition, lo, hi int, f func(v graph.VertexID)) {
+	for w := lo; w <= hi; w++ {
+		n := part.LocalCount(w)
+		for li := 0; li < n; li++ {
+			f(part.GlobalID(w, li))
+		}
+	}
+}
+
+// partial is one decoded process report.
+type partial struct {
+	lo, hi     int
+	err        error
+	supersteps int
+	kind       uint8
+	decode     *ser.Buffer // positioned at the value stream
+}
+
+// decodePartial parses one result blob.
+func decodePartial(blob []byte) (p partial, err error) {
+	defer func() {
+		// the blob crossed a process boundary: a malformed value stream
+		// surfaces as an error, not a panic
+		if r := recover(); r != nil {
+			err = fmt.Errorf("workerproc: corrupt partial result: %v", r)
+		}
+	}()
+	b := ser.FromBytes(blob)
+	p = partial{lo: int(b.ReadUvarint()), hi: int(b.ReadUvarint())}
+	if p.lo < 0 || p.hi < p.lo {
+		return partial{}, fmt.Errorf("workerproc: bad worker range %d-%d in result blob", p.lo, p.hi)
+	}
+	if msg := b.ReadString(); msg != "" {
+		p.err = reportedError(msg)
+		return p, nil
+	}
+	p.supersteps = int(b.ReadUvarint())
+	p.kind = b.ReadUint8()
+	if p.kind > kindMSF {
+		return partial{}, fmt.Errorf("workerproc: bad result kind %d from workers %d-%d", p.kind, p.lo, p.hi)
+	}
+	p.decode = b
+	return p, nil
+}
+
+// reportedError rehydrates an error string shipped from a worker
+// process. Abort echoes (a peer failed; the socket fabric tore this
+// worker down) map back to the barrier sentinel so JoinErrors filters
+// them and only root causes surface.
+func reportedError(msg string) error {
+	if msg == barrier.ErrAborted.Error() ||
+		strings.Contains(msg, "netcomm: job aborted") ||
+		strings.Contains(msg, "connection to coordinator lost") {
+		return barrier.ErrAborted
+	}
+	if msg == barrier.ErrCancelled.Error() {
+		return barrier.ErrCancelled
+	}
+	return errors.New(msg)
+}
+
+// mergePartials assembles the per-process partial results into one
+// global Result under part. It returns the merged result, the minimum
+// superstep any worker reached, and the joined worker errors (nil when
+// every process succeeded). Blobs must cover every worker exactly once;
+// a missing range is reported as an error (its workers died before
+// reporting — the transport error carries the detail).
+func mergePartials(part *partition.Partition, blobs []partial) (*algorithms.Result, int, error) {
+	m := part.NumWorkers()
+	covered := make([]bool, m)
+	var errs []error
+	minSteps := -1
+	kind := uint8(255)
+	for _, p := range blobs {
+		for w := p.lo; w <= p.hi && w < m; w++ {
+			covered[w] = true
+		}
+		if p.err != nil {
+			errs = append(errs, p.err)
+			continue
+		}
+		if minSteps < 0 || p.supersteps < minSteps {
+			minSteps = p.supersteps
+		}
+		if kind == 255 {
+			kind = p.kind
+		} else if kind != p.kind {
+			return nil, 0, fmt.Errorf("workerproc: result kind mismatch across workers (%d vs %d)", kind, p.kind)
+		}
+	}
+	for w, ok := range covered {
+		if !ok {
+			errs = append(errs, fmt.Errorf("workerproc: worker %d reported no result", w))
+		}
+	}
+	if err := barrier.JoinErrors(errs); err != nil || kind == 255 {
+		if err == nil {
+			err = barrier.ErrAborted
+		}
+		return nil, 0, err
+	}
+
+	n := part.NumVertices()
+	res := &algorithms.Result{}
+	switch kind {
+	case kindLabels:
+		res.Labels = make([]graph.VertexID, n)
+	case kindRanks:
+		res.Ranks = make([]float64, n)
+	case kindDists:
+		res.Dists = make([]int64, n)
+	case kindMSF:
+		res.MSF = &algorithms.MSFResult{Comp: make([]graph.VertexID, n)}
+	}
+	for _, p := range blobs {
+		if p.err != nil {
+			continue
+		}
+		b := p.decode
+		werr := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("workerproc: corrupt partial result from workers %d-%d: %v", p.lo, p.hi, r)
+				}
+			}()
+			forHosted(part, p.lo, p.hi, func(v graph.VertexID) {
+				switch kind {
+				case kindLabels:
+					res.Labels[v] = graph.VertexID(b.ReadUvarint())
+				case kindRanks:
+					res.Ranks[v] = b.ReadFloat64()
+				case kindDists:
+					res.Dists[v] = b.ReadVarint()
+				case kindMSF:
+					res.MSF.Comp[v] = graph.VertexID(b.ReadUvarint())
+				}
+			})
+			if kind == kindMSF {
+				res.MSF.Weight += b.ReadVarint()
+				ne := int(b.ReadUvarint())
+				for i := 0; i < ne; i++ {
+					e := graph.Edge{
+						Src: graph.VertexID(b.ReadUvarint()),
+						Dst: graph.VertexID(b.ReadUvarint()),
+					}
+					e.Weight = int32(b.ReadVarint())
+					res.MSF.Edges = append(res.MSF.Edges, e)
+				}
+			}
+			return nil
+		}()
+		if werr != nil {
+			return nil, 0, werr
+		}
+	}
+	if minSteps < 0 {
+		minSteps = 0
+	}
+	return res, minSteps, nil
+}

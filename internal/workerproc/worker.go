@@ -1,0 +1,132 @@
+package workerproc
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/algorithms"
+	"repro/internal/frag"
+	"repro/internal/graph"
+	"repro/internal/netcomm"
+	"repro/internal/partition"
+	"repro/internal/ser"
+)
+
+// ChildEnv marks a process as a spawned graphworker; test binaries
+// re-exec themselves with it set so no separate binary must be built to
+// exercise real multi-process jobs.
+const ChildEnv = "GRAPHWORKER_CHILD"
+
+// Main is the graphworker entry point: parse flags, load the snapshot,
+// join the job's fabric, run the algorithm, ship the partial result.
+// The exit code is nonzero only for failures before the fabric exists
+// (bad flags, unreadable snapshot); a run failure travels to the
+// coordinator inside the result blob instead.
+func Main(args []string, stderr io.Writer) int {
+	fs := flag.NewFlagSet("graphworker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	network := fs.String("network", "unix", "hub network: unix or tcp")
+	addr := fs.String("connect", "", "hub address (socket path or host:port)")
+	snapshot := fs.String("snapshot", "", "binary graph snapshot with the job's placement embedded")
+	placement := fs.String("placement", "", "name of the owner vector inside the snapshot")
+	workersFlag := fs.String("workers", "", "hosted worker range lo-hi (inclusive) or a single id")
+	numWorkers := fs.Int("num-workers", 0, "job-wide worker count M")
+	algorithm := fs.String("algorithm", "", "registry algorithm name")
+	engine := fs.String("engine", "", "channel or pregel")
+	variant := fs.String("variant", "", "algorithm variant (empty = basic)")
+	iterations := fs.Int("iterations", 0, "PageRank iterations (0 = default)")
+	source := fs.Uint64("source", 0, "SSSP source vertex")
+	maxSupersteps := fs.Int("max-supersteps", 0, "superstep cap (0 = engine default)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "graphworker: %v\n", err)
+		return 1
+	}
+
+	lo, hi, err := parseRange(*workersFlag)
+	if err != nil {
+		return fail(err)
+	}
+	spec, ok := algorithms.Lookup(*algorithm)
+	if !ok {
+		return fail(fmt.Errorf("unknown algorithm %q", *algorithm))
+	}
+	eng, err := algorithms.ParseEngine(*engine)
+	if err != nil {
+		return fail(err)
+	}
+
+	g, placements, err := graph.ReadSnapshotFile(*snapshot)
+	if err != nil {
+		return fail(fmt.Errorf("load snapshot: %w", err))
+	}
+	var part *partition.Partition
+	for _, p := range placements {
+		if p.Name == *placement {
+			if part, err = partition.FromOwners(p.Workers, p.Owner); err != nil {
+				return fail(fmt.Errorf("placement %q: %w", p.Name, err))
+			}
+			break
+		}
+	}
+	if part == nil {
+		return fail(fmt.Errorf("snapshot has no placement %q", *placement))
+	}
+	if *numWorkers != 0 && part.NumWorkers() != *numWorkers {
+		return fail(fmt.Errorf("placement %q has %d workers, job expects %d", *placement, part.NumWorkers(), *numWorkers))
+	}
+
+	client, err := netcomm.Dial(*network, *addr, lo, hi, part.NumWorkers())
+	if err != nil {
+		return fail(err)
+	}
+	defer client.Close()
+
+	opts := algorithms.Options{
+		Part:          part,
+		Frags:         frag.Build(g, part),
+		MaxSupersteps: *maxSupersteps,
+		Fabric:        client,
+	}
+	params := algorithms.Params{Iterations: *iterations, Source: graph.VertexID(*source)}
+	res, runErr := spec.Run(eng, *variant, g, opts, params)
+
+	buf := ser.NewBuffer(4096)
+	encodePartial(buf, part, lo, hi, res, runErr)
+	if err := client.SendResult(buf.Bytes()); err != nil {
+		return fail(fmt.Errorf("ship result: %w", err))
+	}
+	if runErr != nil {
+		fmt.Fprintf(stderr, "graphworker: workers %d-%d: run failed: %v\n", lo, hi, runErr)
+		if terr := client.Err(); terr != nil {
+			fmt.Fprintf(stderr, "graphworker: workers %d-%d: transport: %v\n", lo, hi, terr)
+		}
+	}
+	return 0
+}
+
+// parseRange parses "lo-hi" or a bare "id".
+func parseRange(s string) (lo, hi int, err error) {
+	if s == "" {
+		return 0, 0, fmt.Errorf("missing -workers range")
+	}
+	loS, hiS, found := strings.Cut(s, "-")
+	if !found {
+		hiS = loS
+	}
+	if lo, err = strconv.Atoi(loS); err != nil {
+		return 0, 0, fmt.Errorf("bad -workers %q", s)
+	}
+	if hi, err = strconv.Atoi(hiS); err != nil {
+		return 0, 0, fmt.Errorf("bad -workers %q", s)
+	}
+	if lo < 0 || hi < lo {
+		return 0, 0, fmt.Errorf("bad -workers range %q", s)
+	}
+	return lo, hi, nil
+}

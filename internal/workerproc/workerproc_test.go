@@ -1,0 +1,302 @@
+package workerproc_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/algorithms"
+	"repro/internal/barrier"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/seq"
+	"repro/internal/workerproc"
+)
+
+// TestMain implements the graphworker re-exec: the coordinator spawns
+// this test binary with GRAPHWORKER_CHILD set, so real multi-process
+// jobs run without building a separate binary first.
+func TestMain(m *testing.M) {
+	if os.Getenv(workerproc.ChildEnv) != "" {
+		os.Exit(workerproc.Main(os.Args[1:], os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// writeSnapshot dumps g with hash and greedy owner vectors for M
+// workers embedded, returning the path and the partitions by name.
+func writeSnapshot(t *testing.T, g *graph.Graph, m int) (string, map[string]*partition.Partition) {
+	t.Helper()
+	parts := map[string]*partition.Partition{}
+	var placements []graph.Placement
+	for _, name := range []string{partition.PlacementHash, partition.PlacementGreedy} {
+		p, err := partition.ByName(name, g, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[name] = p
+		placements = append(placements, graph.Placement{Name: name, Workers: m, Owner: p.Owners()})
+	}
+	path := filepath.Join(t.TempDir(), "graph.bin")
+	if err := graph.WriteSnapshotFile(path, g, placements); err != nil {
+		t.Fatal(err)
+	}
+	return path, parts
+}
+
+// runJob executes one distributed job against this test binary.
+func runJob(t *testing.T, snap string, placement string, part *partition.Partition,
+	procs int, algorithm string, eng algorithms.Engine, variant string,
+	params algorithms.Params) (*algorithms.Result, error) {
+	t.Helper()
+	return workerproc.Run(workerproc.JobSpec{
+		Bin:           os.Args[0],
+		SnapshotPath:  snap,
+		Placement:     placement,
+		Part:          part,
+		Procs:         procs,
+		Algorithm:     algorithm,
+		Engine:        eng,
+		Variant:       variant,
+		Params:        params,
+		MaxSupersteps: 100000,
+		JoinTimeout:   time.Minute,
+	})
+}
+
+// TestDistributedEquivalenceSweep is the acceptance sweep: every Table
+// IV–VII algorithm × both engines × every registered variant × hash and
+// greedy placements, with the workers in separate OS processes joined
+// over the socket fabric, must produce oracle-identical results. Two
+// workers share each process, so the sweep also covers co-hosted
+// workers whose frames round-trip through the hub.
+func TestDistributedEquivalenceSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns many worker processes")
+	}
+	const m, procs = 4, 2
+	seed := int64(11)
+	rmatD := graph.RMAT(7, 5, seed, graph.RMATOptions{NoSelfLoops: true})
+	rmatU := graph.Undirectify(rmatD)
+	rmatW := graph.Undirectify(graph.RMAT(6, 4, seed, graph.RMATOptions{Weighted: true, MaxWeight: 50, NoSelfLoops: true}))
+	tree := graph.RandomTree(201, seed)
+
+	inputs := map[string]*graph.Graph{
+		"pagerank":    rmatD,
+		"wcc":         rmatU,
+		"sv":          rmatU,
+		"scc":         rmatD,
+		"pointerjump": tree,
+		"sssp":        rmatW,
+		"msf":         rmatW,
+	}
+	oracleWCC := seq.ConnectedComponents(rmatU)
+	oracleSCC := seq.SCC(rmatD)
+	oracleRoots := seq.TreeRoots(tree)
+	oracleDist := seq.Dijkstra(rmatW, 1)
+	oracleRank := seq.PageRank(rmatD, 12)
+	oracleMSFW, oracleMSFCnt := seq.MSFWeight(rmatW)
+
+	snaps := map[string]string{}
+	parts := map[string]map[string]*partition.Partition{}
+	for name, g := range inputs {
+		snaps[name], parts[name] = writeSnapshot(t, g, m)
+	}
+
+	for _, spec := range algorithms.Registry() {
+		for _, eng := range spec.Engines() {
+			for _, variant := range spec.Variants(eng) {
+				for _, placement := range []string{partition.PlacementHash, partition.PlacementGreedy} {
+					name := fmt.Sprintf("%s/%s/%s/%s", spec.Name, eng, variant, placement)
+					params := algorithms.Params{Iterations: 12, Source: 1}
+					res, err := runJob(t, snaps[spec.Name], placement, parts[spec.Name][placement],
+						procs, spec.Name, eng, variant, params)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					switch spec.Name {
+					case "wcc", "sv":
+						checkLabels(t, name, res.Labels, oracleWCC)
+					case "scc":
+						checkLabels(t, name, res.Labels, oracleSCC)
+					case "pointerjump":
+						checkLabels(t, name, res.Labels, oracleRoots)
+					case "sssp":
+						for i := range oracleDist {
+							if res.Dists[i] != oracleDist[i] {
+								t.Fatalf("%s: vertex %d got %d want %d", name, i, res.Dists[i], oracleDist[i])
+							}
+						}
+					case "pagerank":
+						for i := range oracleRank {
+							if d := res.Ranks[i] - oracleRank[i]; d > 1e-9 || d < -1e-9 {
+								t.Fatalf("%s: vertex %d got %v want %v", name, i, res.Ranks[i], oracleRank[i])
+							}
+						}
+					case "msf":
+						if res.MSF.Weight != oracleMSFW || len(res.MSF.Edges) != oracleMSFCnt {
+							t.Fatalf("%s: weight=%d edges=%d want %d %d",
+								name, res.MSF.Weight, len(res.MSF.Edges), oracleMSFW, oracleMSFCnt)
+						}
+					}
+					if res.Metrics.Supersteps == 0 || res.Metrics.NetBytes == 0 {
+						t.Fatalf("%s: empty metrics %+v", name, res.Metrics)
+					}
+				}
+			}
+		}
+	}
+}
+
+func checkLabels(t *testing.T, name string, got, want []graph.VertexID) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d labels want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: vertex %d got %d want %d", name, i, got[i], want[i])
+		}
+	}
+}
+
+// Killing a worker process mid-superstep must fail the job with a
+// joined transport error — never hang: the hub turns the dropped
+// connection into a barrier abort that releases every other process.
+func TestKillWorkerMidJobFailsCleanly(t *testing.T) {
+	g := graph.Undirectify(graph.RMAT(9, 6, 3, graph.RMATOptions{NoSelfLoops: true}))
+	const m = 4
+	snap, parts := writeSnapshot(t, g, m)
+	var killed atomic.Bool
+	done := make(chan struct{})
+	res, err := workerproc.Run(workerproc.JobSpec{
+		Bin:          os.Args[0],
+		SnapshotPath: snap,
+		Placement:    partition.PlacementHash,
+		Part:         parts[partition.PlacementHash],
+		Procs:        m,
+		Algorithm:    "pagerank",
+		Engine:       algorithms.EngineChannel,
+		// enough iterations that the kill lands mid-run
+		Params:        algorithms.Params{Iterations: 100000},
+		MaxSupersteps: 200000,
+		JoinTimeout:   time.Minute,
+		Spawned: func(pids []int) {
+			go func() {
+				defer close(done)
+				time.Sleep(500 * time.Millisecond)
+				if perr := syscall.Kill(pids[1], syscall.SIGKILL); perr == nil {
+					killed.Store(true)
+				}
+			}()
+		},
+	})
+	<-done
+	if !killed.Load() {
+		t.Skip("worker exited before the kill landed")
+	}
+	if err == nil {
+		t.Fatalf("job succeeded despite killed worker (res=%v)", res != nil)
+	}
+	if !strings.Contains(err.Error(), "connection lost") && !strings.Contains(err.Error(), "exited") {
+		t.Fatalf("error does not surface the dead worker: %v", err)
+	}
+}
+
+// Cancellation mid-run propagates through the hub abort and surfaces as
+// ErrCancelled.
+func TestCancelDistributedJob(t *testing.T) {
+	g := graph.Undirectify(graph.RMAT(8, 5, 5, graph.RMATOptions{NoSelfLoops: true}))
+	const m = 2
+	snap, parts := writeSnapshot(t, g, m)
+	cancel := make(chan struct{})
+	go func() {
+		time.Sleep(500 * time.Millisecond)
+		close(cancel)
+	}()
+	_, err := workerproc.Run(workerproc.JobSpec{
+		Bin:           os.Args[0],
+		SnapshotPath:  snap,
+		Placement:     partition.PlacementHash,
+		Part:          parts[partition.PlacementHash],
+		Procs:         m,
+		Algorithm:     "pagerank",
+		Engine:        algorithms.EngineChannel,
+		Params:        algorithms.Params{Iterations: 100000},
+		MaxSupersteps: 200000,
+		JoinTimeout:   time.Minute,
+		Cancel:        cancel,
+	})
+	if err == nil {
+		t.Skip("job finished before the cancel landed")
+	}
+	if !errors.Is(err, barrier.ErrCancelled) {
+		t.Fatalf("expected ErrCancelled, got %v", err)
+	}
+}
+
+// A worker process that fails deterministically mid-run (superstep cap)
+// must surface the real cause once, not per process.
+func TestDistributedSuperstepCapSurfacesOnce(t *testing.T) {
+	g := graph.Undirectify(graph.RMAT(7, 4, 9, graph.RMATOptions{NoSelfLoops: true}))
+	const m = 2
+	snap, parts := writeSnapshot(t, g, m)
+	_, err := runJob(t, snap, partition.PlacementHash, parts[partition.PlacementHash],
+		m, "pagerank", algorithms.EngineChannel, "", algorithms.Params{Iterations: 50})
+	if err != nil {
+		t.Fatalf("baseline run failed: %v", err)
+	}
+	res, err := workerproc.Run(workerproc.JobSpec{
+		Bin:           os.Args[0],
+		SnapshotPath:  snap,
+		Placement:     partition.PlacementHash,
+		Part:          parts[partition.PlacementHash],
+		Procs:         m,
+		Algorithm:     "pagerank",
+		Engine:        algorithms.EngineChannel,
+		Params:        algorithms.Params{Iterations: 50},
+		MaxSupersteps: 3,
+		JoinTimeout:   time.Minute,
+	})
+	if err == nil {
+		t.Fatalf("expected MaxSupersteps error, got result %v", res.Metrics)
+	}
+	if got := strings.Count(err.Error(), "MaxSupersteps"); got != 1 {
+		t.Fatalf("cause appears %d times, want 1: %v", got, err)
+	}
+}
+
+// A worker process that dies before it ever dials the hub (here: an
+// unreadable snapshot) must fail the job promptly with the process's
+// real error — not sit out the join and result deadlines.
+func TestWorkerDiesBeforeDialFailsFast(t *testing.T) {
+	g := graph.Undirectify(graph.Chain(32))
+	_, parts := writeSnapshot(t, g, 2)
+	start := time.Now()
+	_, err := workerproc.Run(workerproc.JobSpec{
+		Bin:          os.Args[0],
+		SnapshotPath: filepath.Join(t.TempDir(), "missing.bin"),
+		Placement:    partition.PlacementHash,
+		Part:         parts[partition.PlacementHash],
+		Procs:        2,
+		Algorithm:    "wcc",
+		Engine:       algorithms.EngineChannel,
+		JoinTimeout:  time.Minute,
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("job succeeded with an unreadable snapshot")
+	}
+	if !strings.Contains(err.Error(), "load snapshot") {
+		t.Fatalf("error does not surface the snapshot failure: %v", err)
+	}
+	if elapsed > 20*time.Second {
+		t.Fatalf("fast-fail took %v (ran out the deadlines instead of settling)", elapsed)
+	}
+}

@@ -10,6 +10,13 @@
 //	       [-retain 256] [-queue 64] [-max-graph-bytes 0]
 //	       [-compact-ops 65536] [-compact-batches 64]
 //	       [-worker-procs 0] [-graphworker-bin path]
+//	       [-pprof] [-log-level info]
+//
+// Observability: GET /metrics serves the daemon's counters in the
+// Prometheus text format, GET /v1/jobs/{id}/trace serves a job's
+// per-worker superstep timeline, and -pprof mounts net/http/pprof under
+// /debug/pprof/ for live CPU and heap profiles. Logs go to stderr as
+// logfmt lines (-log-level debug|info|warn|error).
 //
 // With -worker-procs N every job runs its simulated cluster as N
 // graphworker subprocesses joined over the socket fabric (Unix sockets)
@@ -44,8 +51,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -55,6 +63,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -104,6 +113,8 @@ func main() {
 	workerProcs := flag.Int("worker-procs", 0, "run each job's workers as this many graphworker subprocesses over the socket fabric (0 = in-process)")
 	workerBin := flag.String("graphworker-bin", "", "graphworker executable for -worker-procs (default: sibling of graphd)")
 	preload := flag.String("preload", "", "comma-separated datasets to load at startup")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	var datasetFlags []string
 	flag.Func("dataset", "register a dataset as name=path or name=gen:EXPR; a live: prefix makes it mutable (repeatable)", func(v string) error {
 		datasetFlags = append(datasetFlags, v)
@@ -111,24 +122,36 @@ func main() {
 	})
 	flag.Parse()
 
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "graphd: bad -log-level %q (want debug, info, warn or error)\n", *logLevel)
+		os.Exit(1)
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(log)
+	fatal := func(msg string, args ...any) {
+		log.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	cat := catalog.New(*simWorkers, *maxGraphBytes,
 		catalog.WithCompaction(*compactOps, *compactBatches))
 	defer cat.Close()
 	if *builtin != "none" {
 		specs := builtinDatasets(*builtin)
 		if specs == nil {
-			log.Fatalf("graphd: unknown -builtin %q (want test, bench or none)", *builtin)
+			fatal("unknown -builtin (want test, bench or none)", "builtin", *builtin)
 		}
 		for _, spec := range specs {
 			if err := cat.Register(spec); err != nil {
-				log.Fatalf("graphd: %v", err)
+				fatal("dataset registration failed", "err", err)
 			}
 		}
 	}
 	for _, df := range datasetFlags {
 		name, val, ok := strings.Cut(df, "=")
 		if !ok || name == "" || val == "" {
-			log.Fatalf("graphd: bad -dataset %q (want name=path or name=gen:EXPR)", df)
+			fatal("bad -dataset (want name=path or name=gen:EXPR)", "dataset", df)
 		}
 		spec := catalog.Spec{Name: name}
 		if rest, isLive := strings.CutPrefix(val, "live:"); isLive {
@@ -141,28 +164,30 @@ func main() {
 			spec.Path = val
 		}
 		if err := cat.Register(spec); err != nil {
-			log.Fatalf("graphd: %v", err)
+			fatal("dataset registration failed", "err", err)
 		}
 	}
 
-	mgrOpts := []jobs.Option{jobs.WithRetention(*retain), jobs.WithQueueDepth(*queueDepth)}
+	reg := obs.NewRegistry()
+	mgrOpts := []jobs.Option{jobs.WithRetention(*retain), jobs.WithQueueDepth(*queueDepth),
+		jobs.WithLogger(log), jobs.WithMetrics(reg)}
 	if *workerProcs > 0 {
 		bin := *workerBin
 		if bin == "" {
 			self, err := os.Executable()
 			if err != nil {
-				log.Fatalf("graphd: -worker-procs needs -graphworker-bin: %v", err)
+				fatal("-worker-procs needs -graphworker-bin", "err", err)
 			}
 			bin = filepath.Join(filepath.Dir(self), "graphworker")
 		}
 		if _, err := os.Stat(bin); err != nil {
-			log.Fatalf("graphd: graphworker binary: %v (build cmd/graphworker or pass -graphworker-bin)", err)
+			fatal("graphworker binary missing (build cmd/graphworker or pass -graphworker-bin)", "err", err)
 		}
 		mgrOpts = append(mgrOpts, jobs.WithWorkerProcs(*workerProcs, bin))
-		log.Printf("graphd: jobs run across %d graphworker processes (%s)", *workerProcs, bin)
+		log.Info("jobs run across graphworker processes", "procs", *workerProcs, "bin", bin)
 	}
 	mgr := jobs.NewManager(cat, *workers, mgrOpts...)
-	srv := server.New(cat, mgr)
+	srv := server.New(cat, mgr, server.WithRegistry(reg))
 
 	if *preload != "" {
 		for _, name := range strings.Split(*preload, ",") {
@@ -174,36 +199,53 @@ func main() {
 				t0 := time.Now()
 				e, err := cat.Get(name)
 				if err != nil {
-					log.Printf("graphd: preload %s: %v", name, err)
+					log.Warn("preload failed", "dataset", name, "err", err)
 					return
 				}
 				g := e.CurrentGraph()
-				log.Printf("graphd: preloaded %s: %d vertices, %d edges in %v",
-					name, g.NumVertices(), g.NumEdges(), time.Since(t0).Round(time.Millisecond))
+				log.Info("preloaded dataset", "dataset", name,
+					"vertices", g.NumVertices(), "edges", g.NumEdges(),
+					"took", time.Since(t0).Round(time.Millisecond))
 			}(name)
 		}
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// mount the profile handlers explicitly so nothing is registered
+		// unless asked for (the pprof import's DefaultServeMux routes are
+		// unreachable — this mux never falls through to it)
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Info("profiling enabled", "path", "/debug/pprof/")
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("graphd: serving on %s (%d pool workers, %d simulated nodes)", *addr, *workers, *simWorkers)
+	log.Info("serving", "addr", *addr, "pool_workers", *workers, "sim_workers", *simWorkers)
 
 	select {
 	case <-ctx.Done():
-		log.Printf("graphd: shutting down")
+		log.Info("shutting down")
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("graphd: %v", err)
+			fatal("serve failed", "err", err)
 		}
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("graphd: shutdown: %v", err)
+		log.Warn("shutdown incomplete", "err", err)
 	}
 	mgr.Close()
 	st := mgr.Stats()

@@ -5,6 +5,14 @@
 // workers through the exact registry code path the in-process engines
 // use, and ships its partial result back over the control connection.
 //
+// With -trace the worker also records a per-superstep telemetry trace
+// (compute time, barrier wait, per-channel bytes/frames, active
+// vertices) and piggybacks the samples on its partial result, so the
+// coordinator can merge a job-wide timeline with the same shape as an
+// in-process run. Diagnostics go to stderr as log/slog lines; when
+// spawned by graphd, the coordinator forwards each line tagged with
+// the process's worker range.
+//
 // graphd spawns graphworkers itself when started with -worker-procs;
 // the command exists so the same protocol can cross machine boundaries:
 //

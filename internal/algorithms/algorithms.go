@@ -15,6 +15,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/frag"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/pregel"
 )
@@ -77,6 +78,11 @@ type Options struct {
 	// workers' vertices and the assembled result has only their entries
 	// filled — the coordinator merges partials by ownership.
 	Fabric comm.Fabric
+	// Observer, if non-nil, receives one superstep sample per (worker,
+	// superstep) from whichever engine runs the job (the job service
+	// threads each job's trace collector through here, the same way
+	// Cancel and Fabric travel). Nil disables collection.
+	Observer obs.Observer
 }
 
 // fragments returns the pre-resolved fragments of g, building them when
@@ -94,6 +100,3 @@ type ChannelMetrics = engine.Metrics
 
 // PregelMetrics aliases the baseline engine metrics.
 type PregelMetrics = pregel.Metrics
-
-// degreeList returns the out-neighbors of the vertex with global id id.
-func degreeList(g *graph.Graph, id graph.VertexID) []graph.VertexID { return g.Neighbors(id) }

@@ -86,6 +86,7 @@ func MSFPregel(g *graph.Graph, opts Options) (MSFResult, pregel.Metrics, error) 
 		MaxSupersteps: opts.MaxSupersteps,
 		Cancel:        opts.Cancel,
 		Fabric:        opts.Fabric,
+		Observer:      opts.Observer,
 		MsgCodec:      msfMMsgCodec{},
 		AggCombine:    msfPAggSum,
 		AggCodec:      msfPAggCodec{},

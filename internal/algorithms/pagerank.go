@@ -22,7 +22,7 @@ import (
 func PageRankChannel(g *graph.Graph, opts Options, iterations int) ([]float64, engine.Metrics, error) {
 	part := opts.Part
 	states := make([][]float64, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer}, func(w *engine.Worker) {
 		f := w.Frag()
 		pr := make([]float64, w.LocalCount())
 		states[w.WorkerID()] = pr
@@ -61,7 +61,7 @@ func PageRankChannel(g *graph.Graph, opts Options, iterations int) ([]float64, e
 func PageRankScatter(g *graph.Graph, opts Options, iterations int) ([]float64, engine.Metrics, error) {
 	part := opts.Part
 	states := make([][]float64, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer}, func(w *engine.Worker) {
 		f := w.Frag()
 		pr := make([]float64, w.LocalCount())
 		states[w.WorkerID()] = pr
@@ -103,7 +103,7 @@ func PageRankScatter(g *graph.Graph, opts Options, iterations int) ([]float64, e
 func PageRankMirror(g *graph.Graph, opts Options, iterations int) ([]float64, engine.Metrics, error) {
 	part := opts.Part
 	states := make([][]float64, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer}, func(w *engine.Worker) {
 		f := w.Frag()
 		pr := make([]float64, w.LocalCount())
 		states[w.WorkerID()] = pr
@@ -157,6 +157,7 @@ func pageRankPregel(g *graph.Graph, opts Options, iterations, ghostThreshold int
 		MaxSupersteps:  opts.MaxSupersteps,
 		Cancel:         opts.Cancel,
 		Fabric:         opts.Fabric,
+		Observer:       opts.Observer,
 		MsgCodec:       ser.Float64Codec{},
 		Combiner:       sumF64,
 		AggCombine:     sumF64,

@@ -42,7 +42,7 @@ func parentOf(g *graph.Graph, id graph.VertexID) graph.VertexID {
 func PointerJumpChannel(g *graph.Graph, opts Options) ([]graph.VertexID, engine.Metrics, error) {
 	part := opts.Part
 	states := make([][]graph.VertexID, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer}, func(w *engine.Worker) {
 		d := make([]graph.VertexID, w.LocalCount())
 		states[w.WorkerID()] = d
 		reqCh := channel.NewDirectMessage[uint32](w, ser.Uint32Codec{})
@@ -88,7 +88,7 @@ func PointerJumpChannel(g *graph.Graph, opts Options) ([]graph.VertexID, engine.
 func PointerJumpReqResp(g *graph.Graph, opts Options) ([]graph.VertexID, engine.Metrics, error) {
 	part := opts.Part
 	states := make([][]graph.VertexID, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer}, func(w *engine.Worker) {
 		d := make([]graph.VertexID, w.LocalCount())
 		states[w.WorkerID()] = d
 		var rr *channel.RequestRespond[uint32]
@@ -133,6 +133,7 @@ func PointerJumpPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.M
 		MaxSupersteps: opts.MaxSupersteps,
 		Cancel:        opts.Cancel,
 		Fabric:        opts.Fabric,
+		Observer:      opts.Observer,
 		MsgCodec:      ser.Uint32Codec{},
 	}
 	met, err := pregel.Run(cfg, func(w *pregel.Worker[uint32, struct{}, struct{}]) {
@@ -185,6 +186,7 @@ func PointerJumpPregelReqResp(g *graph.Graph, opts Options) ([]graph.VertexID, p
 		MaxSupersteps: opts.MaxSupersteps,
 		Cancel:        opts.Cancel,
 		Fabric:        opts.Fabric,
+		Observer:      opts.Observer,
 		MsgCodec:      ser.Uint32Codec{},
 		RespCodec:     ser.Uint32Codec{},
 		Responder:     responder,

@@ -57,11 +57,22 @@ type Metrics struct {
 	NetBytes   int64         `json:"net_bytes"`
 	SimTime    time.Duration `json:"sim_time_ns"`
 	WallTime   time.Duration `json:"wall_time_ns"`
-	// HeapAllocDelta is the change in the process's live heap across
-	// the run (filled by the job manager; best-effort — concurrent jobs
-	// and GC make it approximate, and it can be negative when a
-	// collection lands mid-run).
+	// Rounds is the total number of exchange rounds the fabric ran
+	// (every round is one flush/deliver cycle across all workers).
+	Rounds int64 `json:"rounds,omitempty"`
+	// HeapAllocDelta is the number of heap bytes allocated while the
+	// run was in flight, filled by the job manager from the cumulative
+	// runtime/metrics counter /gc/heap/allocs:bytes read before and
+	// after the run. The counter is monotonic, so GC timing can no
+	// longer drive the delta negative; the residual approximation is
+	// that the counter is process-wide, so allocations made by jobs
+	// running concurrently in the same process are attributed here too.
 	HeapAllocDelta int64 `json:"heap_alloc_delta_bytes,omitempty"`
+	// WorkerWall, for distributed jobs, is each worker's wall time as
+	// observed by the coordinator: job start to the arrival of the
+	// partial result covering that worker, indexed by worker id. The
+	// spread across workers is the straggler signal at job granularity.
+	WorkerWall []time.Duration `json:"worker_wall_ns,omitempty"`
 	// Placement names the vertex placement the job ran under and
 	// EdgeCut its fraction of cross-worker edges (filled by the job
 	// manager from the catalog view).
@@ -74,12 +85,14 @@ type Metrics struct {
 
 func metricsFromChannel(m engine.Metrics) Metrics {
 	return Metrics{Engine: EngineChannel, Supersteps: m.Supersteps,
-		NetBytes: m.Comm.NetworkBytes, SimTime: m.SimTime(), WallTime: m.WallTime}
+		NetBytes: m.Comm.NetworkBytes, Rounds: m.Comm.Rounds,
+		SimTime: m.SimTime(), WallTime: m.WallTime}
 }
 
 func metricsFromPregel(m pregel.Metrics) Metrics {
 	return Metrics{Engine: EnginePregel, Supersteps: m.Supersteps,
-		NetBytes: m.Comm.NetworkBytes, SimTime: m.SimTime(), WallTime: m.WallTime}
+		NetBytes: m.Comm.NetworkBytes, Rounds: m.Comm.Rounds,
+		SimTime: m.SimTime(), WallTime: m.WallTime}
 }
 
 // Result is the normalized output of a registry run: exactly one of the

@@ -255,7 +255,7 @@ func SCCChannel(g *graph.Graph, opts Options) ([]graph.VertexID, engine.Metrics,
 	fwdFrags := opts.fragments(g)
 	bwdFrags := fwdFrags.Reverse()
 	states := make([][]graph.VertexID, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, Frags: fwdFrags, MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: fwdFrags, MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer}, func(w *engine.Worker) {
 		s := newSCCState(w, w.Frag(), bwdFrags.Frag(w.WorkerID()))
 		states[w.WorkerID()] = s.scc
 		fwd := channel.NewCombinedMessage[uint32](w, ser.Uint32Codec{}, minU32)
@@ -330,7 +330,7 @@ func SCCPropagation(g *graph.Graph, opts Options) ([]graph.VertexID, engine.Metr
 	fwdFrags := opts.fragments(g)
 	bwdFrags := fwdFrags.Reverse()
 	states := make([][]graph.VertexID, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, Frags: fwdFrags, MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: fwdFrags, MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer}, func(w *engine.Worker) {
 		s := newSCCState(w, w.Frag(), bwdFrags.Frag(w.WorkerID()))
 		states[w.WorkerID()] = s.scc
 		fwd := channel.NewPropagation[uint32](w, ser.Uint32Codec{}, minU32)

@@ -73,6 +73,7 @@ func SCCPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, 
 		MaxSupersteps: opts.MaxSupersteps,
 		Cancel:        opts.Cancel,
 		Fabric:        opts.Fabric,
+		Observer:      opts.Observer,
 		MsgCodec:      sccMMsgCodec{},
 		AggCombine:    sccAggSum,
 		AggCodec:      sccAggCodec{},

@@ -20,6 +20,7 @@ func SSSPPregel(g *graph.Graph, src graph.VertexID, opts Options) ([]int64, preg
 		MaxSupersteps: opts.MaxSupersteps,
 		Cancel:        opts.Cancel,
 		Fabric:        opts.Fabric,
+		Observer:      opts.Observer,
 		MsgCodec:      ser.Int64Codec{},
 		Combiner:      minI64,
 	}

@@ -59,6 +59,7 @@ func SVPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, e
 		MaxSupersteps: opts.MaxSupersteps,
 		Cancel:        opts.Cancel,
 		Fabric:        opts.Fabric,
+		Observer:      opts.Observer,
 		MsgCodec:      svMsgCodec{},
 		AggCombine:    orBool,
 		AggCodec:      ser.BoolCodec{},
@@ -142,6 +143,7 @@ func SVPregelReqResp(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Met
 		MaxSupersteps: opts.MaxSupersteps,
 		Cancel:        opts.Cancel,
 		Fabric:        opts.Fabric,
+		Observer:      opts.Observer,
 		MsgCodec:      ser.Uint32Codec{},
 		Combiner:      minU32,
 		RespCodec:     ser.Uint32Codec{},

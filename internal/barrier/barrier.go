@@ -17,6 +17,12 @@
 // Abort to release every current and future waiter, which lets its
 // peers observe the failure and return instead of deadlocking on a
 // barrier the failed worker will never reach.
+//
+// The barrier itself records no timing: per-superstep barrier-wait
+// (straggler skew) is measured by the engines around their Wait and
+// AllReduce calls and reported through the internal/obs Observer seam.
+// Keeping the crossing timing-free preserves the atomic fast path when
+// no observer is attached.
 package barrier
 
 import (

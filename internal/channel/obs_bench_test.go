@@ -1,0 +1,48 @@
+package channel
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/ser"
+)
+
+// Observer-seam overhead benchmarks: the same DirectMessage ring
+// workload with the seam disabled (the pinned configuration — must cost
+// nothing next to BenchmarkDirectMessageRing) and enabled (the price of
+// a full per-superstep trace).
+
+func benchRunObserved(b *testing.B, o obs.Observer, setup func(w *engine.Worker)) {
+	b.Helper()
+	part := partition.MustHash(microVertices, microWorkers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(engine.Config{Part: part, MaxSupersteps: 100, Observer: o}, setup); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ringSetup(w *engine.Worker) {
+	ch := NewDirectMessage[uint32](w, ser.Uint32Codec{})
+	w.Compute = func(li int) {
+		id := w.GlobalID(li)
+		if w.Superstep() <= microSteps {
+			ch.SendMessage((id+1)%microVertices, id)
+		} else {
+			w.VoteToHalt()
+		}
+	}
+}
+
+func BenchmarkTraceObserverOff(b *testing.B) {
+	benchRunObserved(b, nil, ringSetup)
+}
+
+func BenchmarkTraceObserverOn(b *testing.B) {
+	tr := obs.NewTrace(microWorkers)
+	benchRunObserved(b, tr, ringSetup)
+}

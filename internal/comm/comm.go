@@ -17,6 +17,13 @@
 // boundary is counted and charged to a configurable bandwidth/latency
 // model, producing a simulated network time comparable across engine
 // variants.
+//
+// The telemetry plane (internal/obs) deliberately sits above this
+// seam: the engines count bytes and frames at their own serialize and
+// deserialize points, not inside a Fabric implementation, so a
+// superstep trace records identical per-channel volumes whichever
+// transport carried the data. A Fabric only has to move buffers; it
+// never needs to know it is being observed.
 package comm
 
 import (

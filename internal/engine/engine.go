@@ -6,6 +6,14 @@
 // rounds (paper Fig. 4) until no channel on any worker asks for another
 // round. Channels are the only communication mechanism; the engine knows
 // nothing about message semantics.
+//
+// Config.Observer is the telemetry seam: when set, every worker emits
+// one obs.SuperstepSample per superstep — compute time, barrier-wait
+// time, active vertices, exchange rounds, and bytes/frames counted at
+// the engine's own serialize/deserialize points (per channel and in
+// total), so the sample stream is identical whichever comm.Fabric
+// carried the bytes. A nil observer keeps the hot loops free of
+// collection work.
 package engine
 
 import (
@@ -18,6 +26,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/frag"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/ser"
 )
@@ -75,6 +84,14 @@ type Config struct {
 	// barrier.ErrCancelled (unless a worker failed for a real reason
 	// first, which wins).
 	Cancel <-chan struct{}
+	// Observer, if non-nil, receives one obs.SuperstepSample per
+	// (worker, superstep): compute time, barrier-wait time, per-channel
+	// bytes/frames in both directions, active-vertex count and exchange
+	// rounds. Counting happens at the engine's serialize/deserialize
+	// points, so samples are identical whichever fabric carried the
+	// bytes. Nil disables all collection; the superstep loop then pays
+	// only a per-phase nil check.
+	Observer obs.Observer
 }
 
 // Metrics summarizes a finished run. RunTime is the measured wall time
@@ -113,6 +130,12 @@ type Worker struct {
 	// with the vertex's local index. Installed by the algorithm's setup
 	// function.
 	Compute func(li int)
+
+	// superstep trace collection (Config.Observer); obsOn gates every
+	// trace statement so the disabled path costs one branch per phase.
+	obsOn  bool
+	obsSmp obs.SuperstepSample
+	obsCh  []obs.ChannelSample
 }
 
 // WorkerID returns this worker's id in [0, NumWorkers).
@@ -317,6 +340,9 @@ func (w *Worker) deserializeFrom(src int, sub *ser.Buffer) (err error) {
 		}
 	}()
 	in := w.ep.In(src)
+	if w.obsOn {
+		w.obsSmp.BytesRecv += int64(in.Remaining())
+	}
 	for in.Remaining() > 0 {
 		ci64, err := in.NextUvarint()
 		if err != nil {
@@ -328,6 +354,11 @@ func (w *Worker) deserializeFrom(src int, sub *ser.Buffer) (err error) {
 		}
 		if err := in.NextFrame(sub); err != nil {
 			return fmt.Errorf("engine: worker %d: bad frame from worker %d: %w", w.id, src, err)
+		}
+		if w.obsOn {
+			w.obsSmp.FramesRecv++
+			w.obsCh[ci].BytesRecv += int64(sub.Remaining())
+			w.obsCh[ci].FramesRecv++
 		}
 		w.channels[ci].Deserialize(src, sub)
 	}
@@ -371,6 +402,10 @@ func (w *Worker) runSupersteps(setup func(w *Worker), maxSteps int) error {
 	if !j.bar.Wait() {
 		return errAborted
 	}
+	w.obsOn = j.cfg.Observer != nil
+	if w.obsOn {
+		w.obsCh = make([]obs.ChannelSample, len(w.channels))
+	}
 
 	// sub is the one reusable frame view of this worker's receive loop;
 	// NextFrame re-points it at each incoming frame body, so the
@@ -383,6 +418,16 @@ func (w *Worker) runSupersteps(setup func(w *Worker), maxSteps int) error {
 			return fmt.Errorf("engine: exceeded MaxSupersteps=%d", maxSteps)
 		}
 
+		var stepStart time.Time
+		if w.obsOn {
+			w.obsSmp = obs.SuperstepSample{Worker: w.id, Superstep: w.superstep,
+				ActiveVertices: int64(w.activeCount)}
+			for i := range w.obsCh {
+				w.obsCh[i] = obs.ChannelSample{}
+			}
+			stepStart = time.Now()
+		}
+
 		// Compute phase: every active local vertex.
 		for li := 0; li < len(w.active); li++ {
 			if w.active[li] {
@@ -393,6 +438,9 @@ func (w *Worker) runSupersteps(setup func(w *Worker), maxSteps int) error {
 		w.current = -1
 		for _, c := range w.channels {
 			c.AfterCompute()
+		}
+		if w.obsOn {
+			w.obsSmp.ComputeNS = time.Since(stepStart).Nanoseconds()
 		}
 
 		// Exchange rounds (paper Fig. 4 lines 6-14). Every superstep has
@@ -427,13 +475,18 @@ func (w *Worker) runSupersteps(setup func(w *Worker), maxSteps int) error {
 					buf.EndFrame(frame)
 					if buf.Len() == frame+4 {
 						buf.Truncate(mark) // nothing written: drop the empty frame
+					} else if w.obsOn {
+						w.obsSmp.BytesSent += int64(buf.Len() - mark)
+						w.obsSmp.FramesSent++
+						w.obsCh[ci].BytesSent += int64(buf.Len() - (frame + 4))
+						w.obsCh[ci].FramesSent++
 					}
 				}
 			}
 			if err := ep.Flush(); err != nil {
 				return fmt.Errorf("engine: worker %d: %w", w.id, err)
 			}
-			if !j.bar.Wait() { // serialize barrier: all sends published
+			if !w.timedWait() { // serialize barrier: all sends published
 				return errAborted
 			}
 
@@ -449,7 +502,7 @@ func (w *Worker) runSupersteps(setup func(w *Worker), maxSteps int) error {
 					any = 1
 				}
 			}
-			global, ok := j.bar.AllReduce(any)
+			global, ok := w.timedAllReduce(any)
 			if !ok { // deserialize crossing: inputs consumed, flags reduced
 				return errAborted
 			}
@@ -458,6 +511,9 @@ func (w *Worker) runSupersteps(setup func(w *Worker), maxSteps int) error {
 				break
 			}
 		}
+		if w.obsOn {
+			w.obsSmp.Rounds = round
+		}
 
 		// Global termination check: one reduce carries every worker's
 		// active count plus its RequestStop vote.
@@ -465,12 +521,39 @@ func (w *Worker) runSupersteps(setup func(w *Worker), maxSteps int) error {
 		if w.halt {
 			v += haltStop
 		}
-		sum, ok := j.bar.AllReduce(v)
+		sum, ok := w.timedAllReduce(v)
 		if !ok {
 			return errAborted
+		}
+		if w.obsOn {
+			w.obsSmp.Channels = append([]obs.ChannelSample(nil), w.obsCh...)
+			j.cfg.Observer.ObserveSuperstep(w.obsSmp)
 		}
 		if sum&(haltStop-1) == 0 || sum >= haltStop {
 			return nil
 		}
 	}
+}
+
+// timedWait crosses the shared barrier, attributing the blocked time to
+// the current sample when observation is on.
+func (w *Worker) timedWait() bool {
+	if !w.obsOn {
+		return w.job.bar.Wait()
+	}
+	t0 := time.Now()
+	ok := w.job.bar.Wait()
+	w.obsSmp.BarrierWaitNS += time.Since(t0).Nanoseconds()
+	return ok
+}
+
+// timedAllReduce mirrors timedWait for the reducing crossings.
+func (w *Worker) timedAllReduce(v uint64) (uint64, bool) {
+	if !w.obsOn {
+		return w.job.bar.AllReduce(v)
+	}
+	t0 := time.Now()
+	sum, ok := w.job.bar.AllReduce(v)
+	w.obsSmp.BarrierWaitNS += time.Since(t0).Nanoseconds()
+	return sum, ok
 }

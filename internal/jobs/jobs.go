@@ -12,9 +12,10 @@ package jobs
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
-	"runtime"
+	"runtime/metrics"
 	"sort"
 	"sync"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/barrier"
 	"repro/internal/catalog"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/workerproc"
 )
@@ -88,6 +90,7 @@ type job struct {
 	err       string
 	metrics   *algorithms.Metrics
 	result    *algorithms.Result
+	trace     *obs.Trace // superstep timeline; set once the view is acquired
 
 	// cancel is closed (under the manager lock, at most once) to abort
 	// the job while it runs; the engines unwind via barrier.Abort, and
@@ -136,6 +139,8 @@ type Manager struct {
 	workerProcs   int    // > 0: run jobs across graphworker subprocesses
 	workerBin     string // graphworker executable for the subprocess path
 	spawnHook     func(jobID string, pids []int)
+	log           *slog.Logger
+	met           *managerMetrics
 	wg            sync.WaitGroup
 
 	mu        sync.Mutex
@@ -179,6 +184,75 @@ func WithSpawnHook(f func(jobID string, pids []int)) Option {
 	return func(m *Manager) { m.spawnHook = f }
 }
 
+// WithLogger directs the manager's job lifecycle events — and, for
+// distributed jobs, the coordinator's forwarded graphworker stderr —
+// to l, each tagged with the job id and dataset. Default: discard.
+func WithLogger(l *slog.Logger) Option {
+	return func(m *Manager) {
+		if l != nil {
+			m.log = l
+		}
+	}
+}
+
+// WithMetrics registers the manager's aggregate job counters on reg:
+// graphd_job_duration_seconds, graphd_jobs_finished_total (by state),
+// graphd_job_supersteps_total and graphd_job_net_bytes_total.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(m *Manager) {
+		if reg == nil {
+			return
+		}
+		m.met = &managerMetrics{
+			duration: reg.Histogram("graphd_job_duration_seconds",
+				"Wall time of finished jobs (running, not queued).", obs.DurationBuckets),
+			done: reg.Counter("graphd_jobs_done_total",
+				"Jobs that finished successfully."),
+			failed: reg.Counter("graphd_jobs_failed_total",
+				"Jobs that finished in error."),
+			cancelled: reg.Counter("graphd_jobs_cancelled_total",
+				"Jobs cancelled while queued or running."),
+			supersteps: reg.Counter("graphd_job_supersteps_total",
+				"Supersteps executed by successful jobs."),
+			netBytes: reg.Counter("graphd_job_net_bytes_total",
+				"Cross-worker bytes moved by successful jobs."),
+		}
+	}
+}
+
+// managerMetrics are the registry instruments the manager updates as
+// jobs reach terminal states.
+type managerMetrics struct {
+	duration   *obs.Histogram
+	done       *obs.Counter
+	failed     *obs.Counter
+	cancelled  *obs.Counter
+	supersteps *obs.Counter
+	netBytes   *obs.Counter
+}
+
+// observe records one terminal job.
+func (mm *managerMetrics) observe(j *job) {
+	if mm == nil {
+		return
+	}
+	if !j.started.IsZero() {
+		mm.duration.Observe(j.finished.Sub(j.started).Seconds())
+	}
+	switch j.state {
+	case StateDone:
+		mm.done.Inc()
+		if j.metrics != nil {
+			mm.supersteps.Add(int64(j.metrics.Supersteps))
+			mm.netBytes.Add(j.metrics.NetBytes)
+		}
+	case StateFailed:
+		mm.failed.Inc()
+	case StateCancelled:
+		mm.cancelled.Inc()
+	}
+}
+
 // NewManager starts a manager with the given number of pool workers.
 func NewManager(cat *catalog.Catalog, workers int, opts ...Option) *Manager {
 	if workers <= 0 {
@@ -190,6 +264,7 @@ func NewManager(cat *catalog.Catalog, workers int, opts ...Option) *Manager {
 		retain:        256,
 		maxSupersteps: 200000,
 		jobs:          make(map[string]*job),
+		log:           slog.New(slog.DiscardHandler),
 	}
 	for _, o := range opts {
 		o(m)
@@ -271,6 +346,8 @@ func (m *Manager) workerLoop() {
 		j.state = StateRunning
 		j.started = time.Now()
 		m.mu.Unlock()
+		m.log.Info("job started", "job", j.id,
+			"algorithm", j.req.Algorithm, "dataset", j.req.Dataset)
 
 		res, err := m.execute(j)
 
@@ -288,7 +365,17 @@ func (m *Manager) workerLoop() {
 			j.result = res
 			j.metrics = &res.Metrics
 		}
+		m.met.observe(j)
 		m.retireLocked(j)
+		state, jerr, took := j.state, j.err, j.finished.Sub(j.started)
+		m.mu.Unlock()
+		if state == StateDone {
+			m.log.Info("job finished", "job", j.id, "state", state, "took", took)
+		} else {
+			m.log.Warn("job finished", "job", j.id, "state", state,
+				"took", took, "err", jerr)
+		}
+		m.mu.Lock()
 	}
 }
 
@@ -332,6 +419,12 @@ func (m *Manager) execute(j *job) (*algorithms.Result, error) {
 	if maxSteps <= 0 {
 		maxSteps = m.maxSupersteps
 	}
+	// Every job collects a superstep trace; the collector is retained on
+	// the job record so the timeline stays queryable after the run.
+	tr := obs.NewTrace(view.Part.NumWorkers())
+	m.mu.Lock()
+	j.trace = tr
+	m.mu.Unlock()
 	var res *algorithms.Result
 	if m.workerProcs > 0 {
 		res, err = m.executeDistributed(j, view, maxSteps)
@@ -340,16 +433,13 @@ func (m *Manager) execute(j *job) (*algorithms.Result, error) {
 		}
 	} else {
 		opts := algorithms.Options{Part: view.Part, Frags: view.Frags,
-			MaxSupersteps: maxSteps, Cancel: j.cancel}
-		var before runtime.MemStats
-		runtime.ReadMemStats(&before)
+			MaxSupersteps: maxSteps, Cancel: j.cancel, Observer: tr}
+		before := heapAllocBytes()
 		res, err = j.spec.Run(j.eng, j.req.Variant, g, opts, j.req.Params)
 		if err != nil {
 			return nil, err
 		}
-		var after runtime.MemStats
-		runtime.ReadMemStats(&after)
-		res.Metrics.HeapAllocDelta = int64(after.HeapAlloc) - int64(before.HeapAlloc)
+		res.Metrics.HeapAllocDelta = int64(heapAllocBytes() - before)
 	}
 	res.Metrics.Placement = view.Placement
 	res.Metrics.EdgeCut = view.EdgeCut
@@ -388,12 +478,28 @@ func (m *Manager) executeDistributed(j *job, view *catalog.View, maxSteps int) (
 		Params:        j.req.Params,
 		MaxSupersteps: maxSteps,
 		Cancel:        j.cancel,
+		Trace:         j.trace,
+		Logger:        m.log.With("job", j.id, "dataset", j.req.Dataset),
 	}
 	if m.spawnHook != nil {
 		id := j.id
 		spec.Spawned = func(pids []int) { m.spawnHook(id, pids) }
 	}
 	return workerproc.Run(spec)
+}
+
+// heapAllocBytes reads the runtime's cumulative heap-allocation counter
+// (/gc/heap/allocs:bytes). The counter is monotonic, so deltas across a
+// run measure bytes allocated rather than live-heap movement and are
+// immune to GC timing; they remain process-wide, so concurrent jobs in
+// the same process inflate each other's readings.
+func heapAllocBytes() uint64 {
+	s := []metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s[0].Value.Uint64()
 }
 
 // retireLocked records a terminal job and evicts the oldest terminal
@@ -417,6 +523,25 @@ func (m *Manager) Get(id string) (Snapshot, bool) {
 		return Snapshot{}, false
 	}
 	return j.snapshot(), true
+}
+
+// Trace returns the superstep timeline collected for a job so far,
+// along with the job's current state. A running job returns the
+// timeline's live prefix; a queued job (or one that failed before its
+// view was acquired) returns an empty snapshot.
+func (m *Manager) Trace(id string) (*obs.TraceSnapshot, State, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, "", fmt.Errorf("jobs: unknown or expired job %q", id)
+	}
+	tr, state := j.trace, j.state
+	m.mu.Unlock()
+	if tr == nil {
+		return &obs.TraceSnapshot{}, state, nil
+	}
+	return tr.Snapshot(), state, nil
 }
 
 // Result returns the result of a finished job.

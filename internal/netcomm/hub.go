@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -24,6 +25,7 @@ type Hub struct {
 	m    int
 	cost comm.CostModel
 	ln   net.Listener
+	log  *slog.Logger
 
 	mu    sync.Mutex
 	cond  *sync.Cond // signals joins, results, and state changes
@@ -44,11 +46,12 @@ type Hub struct {
 
 	// completion state: a worker is settled once its connection
 	// delivered a result or was declared lost.
-	results map[int][]byte // range-lo worker id -> result blob
-	settled []bool         // per worker id
-	errs    []error        // synthesized transport failures
-	aborted bool
-	closed  bool
+	results  map[int][]byte    // range-lo worker id -> result blob
+	resultAt map[int]time.Time // range-lo worker id -> blob arrival time
+	settled  []bool            // per worker id
+	errs     []error           // synthesized transport failures
+	aborted  bool
+	closed   bool
 }
 
 type hubConn struct {
@@ -63,13 +66,15 @@ type hubConn struct {
 // Hub.Close).
 func NewHub(m int, cost comm.CostModel, ln net.Listener) *Hub {
 	h := &Hub{
-		m:       m,
-		cost:    cost,
-		ln:      ln,
-		hosts:   make([]*hubConn, m),
-		conns:   make(map[*hubConn]bool),
-		results: make(map[int][]byte),
-		settled: make([]bool, m),
+		m:        m,
+		cost:     cost,
+		ln:       ln,
+		log:      slog.New(slog.DiscardHandler),
+		hosts:    make([]*hubConn, m),
+		conns:    make(map[*hubConn]bool),
+		results:  make(map[int][]byte),
+		resultAt: make(map[int]time.Time),
+		settled:  make([]bool, m),
 	}
 	h.cond = sync.NewCond(&h.mu)
 	go h.acceptLoop()
@@ -112,6 +117,7 @@ func (h *Hub) serveConn(conn net.Conn) {
 	h.conns[hc] = true
 	h.cond.Broadcast()
 	h.mu.Unlock()
+	h.log.Debug("worker joined", "workers", fmt.Sprintf("%d-%d", hc.lo, hc.hi))
 
 	err = h.pump(hc)
 	h.mu.Lock()
@@ -127,6 +133,8 @@ func (h *Hub) serveConn(conn net.Conn) {
 			}
 			h.errs = append(h.errs,
 				fmt.Errorf("netcomm: workers %d-%d: connection lost: %v", hc.lo, hc.hi, err))
+			h.log.Warn("worker connection lost",
+				"workers", fmt.Sprintf("%d-%d", hc.lo, hc.hi), "err", err)
 		}
 		for w := hc.lo; w <= hc.hi; w++ {
 			h.settled[w] = true
@@ -231,6 +239,7 @@ func (h *Hub) pump(hc *hubConn) error {
 			}
 			h.mu.Lock()
 			h.results[hc.lo] = blob
+			h.resultAt[hc.lo] = time.Now()
 			hc.gotResult = true
 			for w := hc.lo; w <= hc.hi; w++ {
 				h.settled[w] = true
@@ -297,6 +306,7 @@ func (h *Hub) abortLocked(reason string) {
 		return
 	}
 	h.aborted = true
+	h.log.Warn("job aborted", "reason", reason)
 	conns := make([]*hubConn, 0, len(h.conns))
 	for hc := range h.conns {
 		conns = append(conns, hc)
@@ -395,6 +405,27 @@ func (h *Hub) WaitResults(timeout time.Duration) ([][]byte, []error, error) {
 		}
 		h.cond.Wait()
 	}
+}
+
+// SetLogger directs the hub's lifecycle events (joins, lost
+// connections, aborts) to l. The default logger discards them. Call
+// before workers connect.
+func (h *Hub) SetLogger(l *slog.Logger) {
+	if l != nil {
+		h.log = l
+	}
+}
+
+// ResultTimes returns, per reporting worker range (keyed by the range's
+// first worker id), the time its result blob arrived at the hub.
+func (h *Hub) ResultTimes() map[int]time.Time {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[int]time.Time, len(h.resultAt))
+	for lo, t := range h.resultAt {
+		out[lo] = t
+	}
+	return out
 }
 
 // Stats returns the job-wide communication statistics observed by the

@@ -1,0 +1,285 @@
+// Package obs is the zero-dependency observability plane: a metric
+// registry (counters, gauges, fixed-bucket histograms — all atomic,
+// exposed in the Prometheus text format) and the per-job superstep
+// trace the engines feed through their Config.Observer seam.
+//
+// Both halves are designed so that *not* observing costs nothing
+// measurable: instruments are plain atomics with no label machinery,
+// and the engines guard every trace-related statement behind a single
+// nil check on the observer, so the hot superstep loops pay one
+// predictable branch when tracing is off.
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// usable; instruments are normally obtained from a Registry.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the exposition to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative allowed).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets. Bucket counts and
+// the observation count are atomic adds; the float sum is a CAS loop.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; an implicit +Inf follows
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+	count  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DurationBuckets are the default seconds buckets for job and request
+// durations (sub-millisecond micro jobs up to minutes-long analytics).
+var DurationBuckets = []float64{0.0005, 0.001, 0.005, 0.025, 0.1, 0.25, 1, 5, 30, 120, 600}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type family struct {
+	name, help string
+	kind       metricKind
+	counter    *Counter
+	gauge      *Gauge
+	hist       *Histogram
+}
+
+// Registry holds named instruments and scrape hooks and renders them
+// all in the Prometheus text exposition format. Safe for concurrent
+// use; instrument registration is idempotent by name.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+	hooks  []func(*Emitter)
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, kind metricKind) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind}
+	r.byName[name] = f
+	r.fams = append(r.fams, f)
+	return f
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Registering the same name as a different kind panics.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, kindCounter)
+	if f.counter == nil {
+		f.counter = &Counter{}
+	}
+	return f.counter
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, kindGauge)
+	if f.gauge == nil {
+		f.gauge = &Gauge{}
+	}
+	return f.gauge
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given ascending upper bounds on first use (the +Inf bucket
+// is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	f := r.family(name, help, kindHistogram)
+	if f.hist == nil {
+		b := append([]float64(nil), bounds...)
+		h := &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		f.hist = h
+	}
+	return f.hist
+}
+
+// OnScrape registers a hook run on every WritePrometheus call, for
+// series derived from live state (catalog contents, job-manager
+// counters, per-dataset label sets) rather than standing instruments.
+func (r *Registry) OnScrape(f func(*Emitter)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hooks = append(r.hooks, f)
+}
+
+// WritePrometheus renders every registered instrument and scrape hook
+// in the Prometheus text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	hooks := append(make([]func(*Emitter), 0, len(r.hooks)), r.hooks...)
+	r.mu.Unlock()
+
+	e := &Emitter{typed: make(map[string]bool)}
+	for _, f := range fams {
+		switch f.kind {
+		case kindCounter:
+			e.Counter(f.name, f.help, float64(f.counter.Value()))
+		case kindGauge:
+			e.Gauge(f.name, f.help, float64(f.gauge.Value()))
+		case kindHistogram:
+			e.histogram(f.name, f.help, f.hist)
+		}
+	}
+	for _, hook := range hooks {
+		hook(e)
+	}
+	_, err := w.Write(e.buf.Bytes())
+	return err
+}
+
+// Emitter accumulates exposition lines during a scrape. Hooks use it to
+// emit dynamic (possibly labelled) series; the # HELP/# TYPE header of
+// each family is emitted once, on its first sample.
+type Emitter struct {
+	buf   bytes.Buffer
+	typed map[string]bool
+}
+
+func (e *Emitter) header(name, help, typ string) {
+	if e.typed[name] {
+		return
+	}
+	e.typed[name] = true
+	if help != "" {
+		e.buf.WriteString("# HELP " + name + " " + escapeHelp(help) + "\n")
+	}
+	e.buf.WriteString("# TYPE " + name + " " + typ + "\n")
+}
+
+// Counter emits one counter sample. labels are alternating key, value
+// pairs.
+func (e *Emitter) Counter(name, help string, v float64, labels ...string) {
+	e.header(name, help, "counter")
+	e.sample(name, v, labels)
+}
+
+// Gauge emits one gauge sample. labels are alternating key, value
+// pairs.
+func (e *Emitter) Gauge(name, help string, v float64, labels ...string) {
+	e.header(name, help, "gauge")
+	e.sample(name, v, labels)
+}
+
+func (e *Emitter) histogram(name, help string, h *Histogram) {
+	e.header(name, help, "histogram")
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		e.sample(name+"_bucket", float64(cum), []string{"le", formatFloat(b)})
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	e.sample(name+"_bucket", float64(cum), []string{"le", "+Inf"})
+	e.sample(name+"_sum", h.Sum(), nil)
+	e.sample(name+"_count", float64(h.Count()), nil)
+}
+
+func (e *Emitter) sample(name string, v float64, labels []string) {
+	e.buf.WriteString(name)
+	if len(labels) > 0 {
+		e.buf.WriteByte('{')
+		for i := 0; i+1 < len(labels); i += 2 {
+			if i > 0 {
+				e.buf.WriteByte(',')
+			}
+			e.buf.WriteString(labels[i])
+			e.buf.WriteString(`="`)
+			e.buf.WriteString(escapeLabel(labels[i+1]))
+			e.buf.WriteByte('"')
+		}
+		e.buf.WriteByte('}')
+	}
+	e.buf.WriteByte(' ')
+	e.buf.WriteString(formatFloat(v))
+	e.buf.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

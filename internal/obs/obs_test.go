@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The registry must render counters, gauges and histograms in valid
+// Prometheus text exposition, with one HELP/TYPE header per family and
+// cumulative histogram buckets.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Operations.")
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("test_depth", "Queue depth.")
+	g.Set(7)
+	g.Add(-2)
+	h := r.Histogram("test_seconds", "Latencies.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(10)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP test_ops_total Operations.\n# TYPE test_ops_total counter\ntest_ops_total 42\n",
+		"# TYPE test_depth gauge\ntest_depth 5\n",
+		"# TYPE test_seconds histogram\n",
+		`test_seconds_bucket{le="0.1"} 1`,
+		`test_seconds_bucket{le="1"} 2`,
+		`test_seconds_bucket{le="+Inf"} 3`,
+		"test_seconds_sum 10.55",
+		"test_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// Re-requesting an instrument by name must return the same instance,
+// and scrape hooks must emit labelled series with a single header.
+func TestRegistryIdempotentAndHooks(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "dup")
+	b := r.Counter("dup_total", "dup")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	r.OnScrape(func(e *Emitter) {
+		e.Gauge("live_edges", "Edges per dataset.", 10, "dataset", `fe"ed`)
+		e.Gauge("live_edges", "Edges per dataset.", 20, "dataset", "web")
+	})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if got := strings.Count(out, "# TYPE live_edges gauge"); got != 1 {
+		t.Errorf("TYPE header emitted %d times, want 1:\n%s", got, out)
+	}
+	if !strings.Contains(out, `live_edges{dataset="fe\"ed"} 10`) {
+		t.Errorf("label escaping wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `live_edges{dataset="web"} 20`) {
+		t.Errorf("second sample missing:\n%s", out)
+	}
+}
+
+// Concurrent observers must not race or lose samples, and the trace
+// must order its timeline by (superstep, worker) regardless of arrival
+// order.
+func TestTraceCollects(t *testing.T) {
+	const workers, steps = 4, 6
+	tr := NewTrace(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for s := steps; s >= 1; s-- {
+				tr.ObserveSuperstep(SuperstepSample{
+					Worker: w, Superstep: s, ActiveVertices: int64(100*w + s),
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := tr.Snapshot()
+	if snap.Workers != workers || len(snap.Supersteps) != steps {
+		t.Fatalf("snapshot shape = %d workers x %d steps, want %dx%d",
+			snap.Workers, len(snap.Supersteps), workers, steps)
+	}
+	for i, step := range snap.Supersteps {
+		if step.Superstep != i+1 || len(step.Workers) != workers {
+			t.Fatalf("step %d: superstep=%d with %d workers", i, step.Superstep, len(step.Workers))
+		}
+		for w, s := range step.Workers {
+			if s.Worker != w || s.ActiveVertices != int64(100*w+i+1) {
+				t.Fatalf("step %d worker %d: got %+v", i+1, w, s)
+			}
+		}
+	}
+	if got := len(tr.Samples()); got != workers*steps {
+		t.Fatalf("Samples() = %d, want %d", got, workers*steps)
+	}
+}
+
+// Samples beyond the retention cap are counted, not stored; bogus
+// coordinates are dropped silently.
+func TestTraceTruncation(t *testing.T) {
+	tr := NewTrace(2)
+	tr.maxSteps = 3
+	for s := 1; s <= 5; s++ {
+		tr.ObserveSuperstep(SuperstepSample{Worker: 0, Superstep: s})
+	}
+	tr.ObserveSuperstep(SuperstepSample{Worker: 9, Superstep: 1}) // out of range
+	snap := tr.Snapshot()
+	if len(snap.Supersteps) != 3 {
+		t.Fatalf("retained %d steps, want 3", len(snap.Supersteps))
+	}
+	if snap.TruncatedSamples != 2 {
+		t.Fatalf("truncated = %d, want 2", snap.TruncatedSamples)
+	}
+	if len(snap.Supersteps[0].Workers) != 1 {
+		t.Fatalf("out-of-range worker was stored")
+	}
+}

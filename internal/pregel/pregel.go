@@ -1,6 +1,10 @@
 // Package pregel implements the baseline the paper compares against: a
 // classic Pregel engine with a monolithic message-passing interface, in
-// the style of Pregel+. One global message type serves every
+// the style of Pregel+. It shares the channel engine's telemetry seam —
+// Config.Observer receives one obs.SuperstepSample per (worker,
+// superstep), with whole-buffer byte/frame counts and no per-channel
+// breakdown, since a monolithic stream has no channels to attribute to.
+// One global message type serves every
 // communication in the program (the root cause of the problems §II-B
 // describes), a single optional global combiner applies to all messages
 // or none, and two optional special modes extend the engine the way
@@ -30,6 +34,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/frag"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/ser"
 )
@@ -57,6 +62,12 @@ type Config[M, R, A any] struct {
 	// barrier.ErrCancelled (unless a worker failed for a real reason
 	// first, which wins).
 	Cancel <-chan struct{}
+	// Observer, if non-nil, receives one obs.SuperstepSample per
+	// (worker, superstep). The baseline engine has a single monolithic
+	// message stream, so samples carry whole-buffer byte counts and a
+	// fixed round count (1, or 2 with reqresp/aggregator) and leave the
+	// per-channel breakdown nil. Nil disables all collection.
+	Observer obs.Observer
 
 	// MsgCodec encodes the global message type.
 	MsgCodec ser.Codec[M]
@@ -146,6 +157,11 @@ type Worker[M, R, A any] struct {
 	aggResult   A
 	aggGathered A
 	aggGathSet  bool
+
+	// superstep trace collection (Config.Observer); obsOn gates every
+	// trace statement so the disabled path costs one branch per phase.
+	obsOn  bool
+	obsSmp obs.SuperstepSample
 }
 
 // dmsg is one staged message; dst is a pre-resolved local index on the

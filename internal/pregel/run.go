@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/barrier"
 	"repro/internal/frag"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/ser"
 )
 
@@ -94,11 +96,22 @@ func (w *Worker[M, R, A]) runSupersteps(setup func(*Worker[M, R, A]), maxSteps i
 	}
 
 	twoRounds := cfg.Responder != nil || cfg.AggCombine != nil
+	w.obsOn = cfg.Observer != nil
 
 	for {
 		w.superstep++
 		if w.superstep > maxSteps {
 			return fmt.Errorf("pregel: exceeded MaxSupersteps=%d", maxSteps)
+		}
+
+		var stepStart time.Time
+		if w.obsOn {
+			w.obsSmp = obs.SuperstepSample{Worker: w.id, Superstep: w.superstep,
+				ActiveVertices: int64(w.activeCount), Rounds: 1}
+			if twoRounds {
+				w.obsSmp.Rounds = 2
+			}
+			stepStart = time.Now()
 		}
 
 		// compute phase
@@ -111,48 +124,20 @@ func (w *Worker[M, R, A]) runSupersteps(setup func(*Worker[M, R, A]), maxSteps i
 		}
 		w.current = -1
 		w.afterCompute()
+		if w.obsOn {
+			w.obsSmp.ComputeNS = time.Since(stepStart).Nanoseconds()
+		}
 
 		// round 1: two barrier crossings — the post-flush wait proves all
 		// sends are published, the post-deliver wait proves all inputs
 		// were consumed, which makes Release safe.
-		for dst := 0; dst < m; dst++ {
-			w.serializeRound1(dst, w.ep.Out(dst))
+		if err := w.runRound(w.serializeRound1, w.deserializeRound1); err != nil {
+			return err
 		}
-		if err := w.ep.Flush(); err != nil {
-			return fmt.Errorf("pregel: worker %d: %w", w.id, err)
-		}
-		if !j.bar.Wait() {
-			return errAborted
-		}
-		for src := 0; src < m; src++ {
-			if err := w.deserializeFrom(src, w.deserializeRound1); err != nil {
+		if twoRounds {
+			if err := w.runRound(w.serializeRound2, w.deserializeRound2); err != nil {
 				return err
 			}
-		}
-		if !j.bar.Wait() {
-			return errAborted
-		}
-		w.ep.Release()
-
-		if twoRounds {
-			for dst := 0; dst < m; dst++ {
-				w.serializeRound2(dst, w.ep.Out(dst))
-			}
-			if err := w.ep.Flush(); err != nil {
-				return fmt.Errorf("pregel: worker %d: %w", w.id, err)
-			}
-			if !j.bar.Wait() {
-				return errAborted
-			}
-			for src := 0; src < m; src++ {
-				if err := w.deserializeFrom(src, w.deserializeRound2); err != nil {
-					return err
-				}
-			}
-			if !j.bar.Wait() {
-				return errAborted
-			}
-			w.ep.Release()
 		}
 
 		// termination check: one reduce carries every worker's active
@@ -161,14 +146,73 @@ func (w *Worker[M, R, A]) runSupersteps(setup func(*Worker[M, R, A]), maxSteps i
 		if w.halt {
 			v += haltStop
 		}
-		sum, ok := j.bar.AllReduce(v)
+		sum, ok := w.timedAllReduce(v)
 		if !ok {
 			return errAborted
+		}
+		if w.obsOn {
+			cfg.Observer.ObserveSuperstep(w.obsSmp)
 		}
 		if sum&(haltStop-1) == 0 || sum >= haltStop {
 			return nil
 		}
 	}
+}
+
+// runRound runs one exchange round: serialize to every destination,
+// flush, cross the publish barrier, decode every source, cross the
+// consume barrier, release. Per-destination buffer deltas feed the
+// superstep sample when observation is on.
+func (w *Worker[M, R, A]) runRound(serialize func(int, *ser.Buffer), decode func(int, *ser.Buffer)) error {
+	m := w.NumWorkers()
+	for dst := 0; dst < m; dst++ {
+		buf := w.ep.Out(dst)
+		mark := buf.Len()
+		serialize(dst, buf)
+		if w.obsOn {
+			w.obsSmp.BytesSent += int64(buf.Len() - mark)
+			w.obsSmp.FramesSent++
+		}
+	}
+	if err := w.ep.Flush(); err != nil {
+		return fmt.Errorf("pregel: worker %d: %w", w.id, err)
+	}
+	if !w.timedWait() {
+		return errAborted
+	}
+	for src := 0; src < m; src++ {
+		if err := w.deserializeFrom(src, decode); err != nil {
+			return err
+		}
+	}
+	if !w.timedWait() {
+		return errAborted
+	}
+	w.ep.Release()
+	return nil
+}
+
+// timedWait crosses the shared barrier, attributing the blocked time to
+// the current sample when observation is on.
+func (w *Worker[M, R, A]) timedWait() bool {
+	if !w.obsOn {
+		return w.job.bar.Wait()
+	}
+	t0 := time.Now()
+	ok := w.job.bar.Wait()
+	w.obsSmp.BarrierWaitNS += time.Since(t0).Nanoseconds()
+	return ok
+}
+
+// timedAllReduce mirrors timedWait for the termination reduce.
+func (w *Worker[M, R, A]) timedAllReduce(v uint64) (uint64, bool) {
+	if !w.obsOn {
+		return w.job.bar.AllReduce(v)
+	}
+	t0 := time.Now()
+	sum, ok := w.job.bar.AllReduce(v)
+	w.obsSmp.BarrierWaitNS += time.Since(t0).Nanoseconds()
+	return sum, ok
 }
 
 // deserializeFrom runs one round's decode of worker src's buffer.
@@ -182,7 +226,12 @@ func (w *Worker[M, R, A]) deserializeFrom(src int, decode func(int, *ser.Buffer)
 			err = fmt.Errorf("pregel: worker %d: corrupt frame from worker %d: %v", w.id, src, r)
 		}
 	}()
-	decode(src, w.ep.In(src))
+	in := w.ep.In(src)
+	if w.obsOn {
+		w.obsSmp.BytesRecv += int64(in.Remaining())
+		w.obsSmp.FramesRecv++
+	}
+	decode(src, in)
 	return nil
 }
 

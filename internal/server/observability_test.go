@@ -1,0 +1,159 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+	"repro/internal/workerproc"
+)
+
+// TestMain implements the graphworker re-exec so the e2e test below can
+// run real multi-process jobs through the HTTP API.
+func TestMain(m *testing.M) {
+	if os.Getenv(workerproc.ChildEnv) != "" {
+		os.Exit(workerproc.Main(os.Args[1:], os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// tracePayloadT mirrors the trace endpoint's JSON for decoding.
+type tracePayloadT struct {
+	ID         string          `json:"id"`
+	State      jobs.State      `json:"state"`
+	Workers    int             `json:"workers"`
+	Supersteps []obs.TraceStep `json:"supersteps"`
+}
+
+func getText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// End-to-end observability: concurrent in-process and multi-process
+// jobs through the HTTP API while /metrics is scraped, then trace
+// timelines for both fabrics via /v1/jobs/{id}/trace with identical
+// deterministic shape.
+func TestMetricsAndTraceEndToEnd(t *testing.T) {
+	newStack := func(procs int) string {
+		cat := catalog.New(4, 0)
+		t.Cleanup(cat.Close)
+		if err := cat.Register(catalog.Spec{Name: "rmat", Gen: "rmat:scale=7,ef=5,seed=21"}); err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		mopts := []jobs.Option{jobs.WithMetrics(reg)}
+		if procs > 0 {
+			mopts = append(mopts, jobs.WithWorkerProcs(procs, os.Args[0]))
+		}
+		mgr := jobs.NewManager(cat, 2, mopts...)
+		ts := httptest.NewServer(New(cat, mgr, WithRegistry(reg)).Handler())
+		t.Cleanup(ts.Close)
+		t.Cleanup(mgr.Close)
+		return ts.URL
+	}
+	inprocURL := newStack(0)
+	distURL := newStack(2)
+
+	req := jobs.Request{Algorithm: "wcc", Dataset: "rmat"}
+	type outcome struct {
+		url  string
+		snap jobs.Snapshot
+	}
+	var wg sync.WaitGroup
+	outcomes := make([]outcome, 4)
+	// two concurrent jobs per fabric, with /metrics scraped while they
+	// run — the scrape must never 500 or race (-race covers the latter)
+	for i, base := range []string{inprocURL, inprocURL, distURL, distURL} {
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			snap, status := postJob(t, base, req)
+			if status != http.StatusAccepted {
+				t.Errorf("submit: HTTP %d", status)
+				return
+			}
+			for k := 0; k < 3; k++ {
+				_ = getText(t, base+"/metrics")
+				time.Sleep(time.Millisecond)
+			}
+			outcomes[i] = outcome{base, waitDone(t, base, snap.ID)}
+		}(i, base)
+	}
+	wg.Wait()
+	for _, o := range outcomes {
+		if o.snap.State != jobs.StateDone {
+			t.Fatalf("job %s on %s: state=%s err=%q", o.snap.ID, o.url, o.snap.State, o.snap.Error)
+		}
+	}
+
+	// settled metrics: both stacks counted their two finished jobs
+	for _, base := range []string{inprocURL, distURL} {
+		body := getText(t, base+"/metrics")
+		for _, want := range []string{
+			"graphd_jobs_done_total 2",
+			"# TYPE graphd_job_duration_seconds histogram",
+			"graphd_job_duration_seconds_count 2",
+			`graphd_jobs{state="done"} 2`,
+			"graphd_catalog_loaded 1",
+			"go_goroutines",
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("%s/metrics missing %q", base, want)
+			}
+		}
+	}
+
+	// trace parity: same deterministic timeline shape on both fabrics
+	var inproc, dist tracePayloadT
+	getJSON(t, outcomes[0].url+"/v1/jobs/"+outcomes[0].snap.ID+"/trace", http.StatusOK, &inproc)
+	getJSON(t, outcomes[2].url+"/v1/jobs/"+outcomes[2].snap.ID+"/trace", http.StatusOK, &dist)
+	if inproc.Workers == 0 || inproc.Workers != dist.Workers {
+		t.Fatalf("workers: in-proc %d vs distributed %d", inproc.Workers, dist.Workers)
+	}
+	if len(inproc.Supersteps) == 0 || len(inproc.Supersteps) != len(dist.Supersteps) {
+		t.Fatalf("supersteps: in-proc %d vs distributed %d",
+			len(inproc.Supersteps), len(dist.Supersteps))
+	}
+	for si := range inproc.Supersteps {
+		a, b := inproc.Supersteps[si], dist.Supersteps[si]
+		if a.Superstep != b.Superstep || len(a.Workers) != len(b.Workers) {
+			t.Fatalf("step %d: shape mismatch", si)
+		}
+		for wi := range a.Workers {
+			x, y := a.Workers[wi], b.Workers[wi]
+			if x.ActiveVertices != y.ActiveVertices || x.BytesSent != y.BytesSent ||
+				x.FramesSent != y.FramesSent || x.Rounds != y.Rounds {
+				t.Errorf("step %d worker %d: %+v vs %+v", si, wi, x, y)
+			}
+		}
+	}
+
+	// the distributed job's status carries per-worker wall times
+	if m := outcomes[2].snap.Metrics; m == nil || len(m.WorkerWall) != dist.Workers {
+		t.Fatalf("distributed job metrics missing WorkerWall: %+v", outcomes[2].snap.Metrics)
+	}
+
+	// unknown job: trace is a 404
+	getJSON(t, inprocURL+"/v1/jobs/j-999999/trace", http.StatusNotFound, nil)
+}

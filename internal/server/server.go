@@ -11,9 +11,11 @@
 //	POST   /v1/datasets/{name}/edges ingest an edge batch into a live dataset
 //	                                 (JSON {inserts, deletes} or text edge-list body;
 //	                                 ?compact=now forces a synchronous compaction)
+//	GET    /v1/jobs/{id}/trace       per-worker superstep timeline (JSON)
 //	GET    /v1/algorithms            registry contents
 //	GET    /v1/healthz               liveness
 //	GET    /v1/stats                 catalog + job-manager counters
+//	GET    /metrics                  Prometheus text exposition
 package server
 
 import (
@@ -29,23 +31,47 @@ import (
 	"repro/internal/graph"
 	"repro/internal/jobs"
 	"repro/internal/live"
+	"repro/internal/obs"
 )
 
 // Server binds the catalog and job manager to an http.Handler.
 type Server struct {
 	cat *catalog.Catalog
 	mgr *jobs.Manager
+	reg *obs.Registry
 	mux *http.ServeMux
+}
+
+// Option tweaks a Server.
+type Option func(*Server)
+
+// WithRegistry serves reg at GET /metrics instead of a private empty
+// registry — pass the registry the job manager's instruments live on so
+// one scrape covers everything.
+func WithRegistry(reg *obs.Registry) Option {
+	return func(s *Server) {
+		if reg != nil {
+			s.reg = reg
+		}
+	}
 }
 
 // New builds a server over an existing catalog and manager (both owned
 // by the caller; the server never closes them).
-func New(cat *catalog.Catalog, mgr *jobs.Manager) *Server {
+func New(cat *catalog.Catalog, mgr *jobs.Manager, opts ...Option) *Server {
 	s := &Server{cat: cat, mgr: mgr, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.reg.OnScrape(s.scrape)
 	s.mux.HandleFunc("POST /v1/jobs", s.submitJob)
 	s.mux.HandleFunc("GET /v1/jobs", s.listJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.getResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.getTrace)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancelJob)
 	s.mux.HandleFunc("GET /v1/datasets", s.listDatasets)
 	s.mux.HandleFunc("GET /v1/datasets/{name}", s.datasetDetail)
@@ -53,6 +79,7 @@ func New(cat *catalog.Catalog, mgr *jobs.Manager) *Server {
 	s.mux.HandleFunc("GET /v1/algorithms", s.listAlgorithms)
 	s.mux.HandleFunc("GET /v1/healthz", s.healthz)
 	s.mux.HandleFunc("GET /v1/stats", s.stats)
+	s.mux.HandleFunc("GET /metrics", s.metrics)
 	return s
 }
 
@@ -397,4 +424,81 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 			NumGC:          ms.NumGC,
 		},
 	})
+}
+
+// tracePayload is the JSON shape of GET /v1/jobs/{id}/trace: the job's
+// superstep timeline grouped by superstep, each with one sample per
+// worker. The shape is identical whether the job ran in-process or
+// across graphworker subprocesses.
+type tracePayload struct {
+	ID               string          `json:"id"`
+	State            jobs.State      `json:"state"`
+	Workers          int             `json:"workers"`
+	TruncatedSamples int64           `json:"truncated_samples,omitempty"`
+	Supersteps       []obs.TraceStep `json:"supersteps"`
+}
+
+func (s *Server) getTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	snap, state, err := s.mgr.Trace(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	p := tracePayload{ID: id, State: state, Workers: snap.Workers,
+		TruncatedSamples: snap.TruncatedSamples, Supersteps: snap.Supersteps}
+	if p.Supersteps == nil {
+		p.Supersteps = []obs.TraceStep{}
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+// metrics serves the registry in the Prometheus text exposition format;
+// the scrape hook below folds the catalog, job-manager, live-graph and
+// Go runtime gauges in next to the registered instruments.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// scrape emits the point-in-time gauges that live on the daemon's own
+// components rather than in registry instruments.
+func (s *Server) scrape(e *obs.Emitter) {
+	cs := s.cat.Stats()
+	e.Gauge("graphd_catalog_datasets", "Registered datasets.", float64(cs.Datasets))
+	e.Gauge("graphd_catalog_loaded", "Datasets resident in memory.", float64(cs.Loaded))
+	e.Counter("graphd_catalog_loads_total", "Dataset loads (cold or after eviction).", float64(cs.Loads))
+	e.Counter("graphd_catalog_hits_total", "Dataset lookups served from memory.", float64(cs.Hits))
+	e.Counter("graphd_catalog_evictions_total", "Datasets evicted under memory pressure.", float64(cs.Evictions))
+	e.Gauge("graphd_catalog_bytes", "Estimated bytes of resident datasets.", float64(cs.Bytes))
+
+	js := s.mgr.Stats()
+	e.Gauge("graphd_jobs", "Retained jobs by lifecycle state.", float64(js.Pending), "state", "pending")
+	e.Gauge("graphd_jobs", "Retained jobs by lifecycle state.", float64(js.Running), "state", "running")
+	e.Gauge("graphd_jobs", "Retained jobs by lifecycle state.", float64(js.Done), "state", "done")
+	e.Gauge("graphd_jobs", "Retained jobs by lifecycle state.", float64(js.Failed), "state", "failed")
+	e.Gauge("graphd_jobs", "Retained jobs by lifecycle state.", float64(js.Cancelled), "state", "cancelled")
+	e.Counter("graphd_jobs_submitted_total", "Jobs ever submitted.", float64(js.Submitted))
+	e.Counter("graphd_jobs_evicted_total", "Terminal jobs dropped by retention.", float64(js.Evicted))
+
+	// live datasets: compaction progress per mutable dataset
+	for _, info := range s.cat.List() {
+		d, err := s.cat.DetailOf(info.Spec.Name)
+		if err != nil || d.Live == nil {
+			continue
+		}
+		ls := *d.Live
+		name := info.Spec.Name
+		e.Gauge("graphd_live_epoch", "Current epoch of a live dataset.", float64(ls.Epoch), "dataset", name)
+		e.Gauge("graphd_live_pending_ops", "Edge ops waiting for compaction.", float64(ls.PendingOps), "dataset", name)
+		e.Counter("graphd_live_compactions_total", "Delta-log compactions run.", float64(ls.Compactions), "dataset", name)
+		e.Counter("graphd_live_retired_epochs_total", "Epochs retired after their last pin.", float64(ls.RetiredEpochs), "dataset", name)
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	e.Gauge("go_heap_alloc_bytes", "Live heap bytes.", float64(ms.HeapAlloc))
+	e.Gauge("go_heap_sys_bytes", "Heap bytes obtained from the OS.", float64(ms.HeapSys))
+	e.Counter("go_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC))
+	e.Gauge("go_goroutines", "Currently live goroutines.", float64(runtime.NumGoroutine()))
 }

@@ -3,6 +3,7 @@ package workerproc
 import (
 	"bytes"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"os/exec"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/barrier"
 	"repro/internal/comm"
 	"repro/internal/netcomm"
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -65,6 +67,17 @@ type JobSpec struct {
 	// Spawned, if set, is called with the worker process pids once all
 	// are started (diagnostics; the failure tests use it to kill one).
 	Spawned func(pids []int)
+
+	// Trace, if non-nil, receives the job's superstep timeline: each
+	// worker process collects its own shard and ships it piggybacked on
+	// its result blob, and the coordinator replays the shards here. The
+	// merged timeline has the same shape an in-process run produces.
+	Trace *obs.Trace
+
+	// Logger receives coordinator events and the workers' forwarded
+	// stderr lines, each tagged with the emitting worker range. Nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 // Run executes a job across worker subprocesses and returns the merged
@@ -89,6 +102,10 @@ func Run(spec JobSpec) (*algorithms.Result, error) {
 	joinTimeout := spec.JoinTimeout
 	if joinTimeout == 0 {
 		joinTimeout = 30 * time.Second
+	}
+	log := spec.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
 	}
 
 	var addr string
@@ -116,11 +133,13 @@ func Run(spec JobSpec) (*algorithms.Result, error) {
 	}
 	hub := netcomm.NewHub(m, spec.Cost, ln)
 	defer hub.Close()
+	hub.SetLogger(log)
 
 	start := time.Now()
 	ranges := splitRanges(m, procs)
 	cmds := make([]*exec.Cmd, len(ranges))
 	stderrs := make([]*cappedBuffer, len(ranges))
+	taggers := make([]*lineTagger, len(ranges))
 	pids := make([]int, len(ranges))
 	for i, r := range ranges {
 		args := append(append([]string(nil), spec.BinArgs...),
@@ -137,11 +156,16 @@ func Run(spec JobSpec) (*algorithms.Result, error) {
 			"-source", strconv.FormatUint(uint64(spec.Params.Source), 10),
 			"-max-supersteps", strconv.Itoa(spec.MaxSupersteps),
 		)
+		if spec.Trace != nil {
+			args = append(args, "-trace")
+		}
 		cmd := exec.Command(spec.Bin, args...)
 		cmd.Env = append(os.Environ(), spec.Env...)
 		cmd.Env = append(cmd.Env, ChildEnv+"=1")
 		sb := &cappedBuffer{cap: 8 << 10}
-		cmd.Stderr = sb
+		tg := &lineTagger{dst: sb,
+			log: log.With("workers", fmt.Sprintf("%d-%d", r[0], r[1]))}
+		cmd.Stderr = tg
 		if err := cmd.Start(); err != nil {
 			hub.Abort("spawn failed")
 			for _, c := range cmds[:i] {
@@ -150,8 +174,9 @@ func Run(spec JobSpec) (*algorithms.Result, error) {
 			}
 			return nil, fmt.Errorf("workerproc: spawn graphworker %d: %w", i, err)
 		}
-		cmds[i], stderrs[i], pids[i] = cmd, sb, cmd.Process.Pid
+		cmds[i], stderrs[i], taggers[i], pids[i] = cmd, sb, tg, cmd.Process.Pid
 	}
+	log.Debug("spawned graphworkers", "procs", len(cmds), "network", network)
 	if spec.Spawned != nil {
 		spec.Spawned(pids)
 	}
@@ -203,6 +228,9 @@ func Run(spec JobSpec) (*algorithms.Result, error) {
 	}()
 	wg.Wait()
 	close(procsDone)
+	for _, tg := range taggers {
+		tg.flush()
+	}
 
 	// Every process has exited: whatever it managed to send is already
 	// in the hub's socket buffers and drains in well under a second. If
@@ -243,7 +271,7 @@ func Run(spec JobSpec) (*algorithms.Result, error) {
 		}
 	}
 
-	res, minSteps, mergeErr := mergePartials(spec.Part, partials)
+	res, minSteps, mergeErr := mergePartials(spec.Part, partials, spec.Trace)
 	if mergeErr != nil {
 		errs = append(errs, mergeErr)
 	}
@@ -277,9 +305,27 @@ func Run(spec JobSpec) (*algorithms.Result, error) {
 		Engine:     spec.Engine,
 		Supersteps: minSteps,
 		NetBytes:   hubStats.NetworkBytes,
+		Rounds:     hubStats.Rounds,
 		WallTime:   time.Since(start),
 		SimTime:    time.Since(start) + hubStats.SimNetTime,
 	}
+	// Per-worker wall time as the coordinator saw it: job start to the
+	// arrival of the result blob covering that worker. The spread across
+	// workers is the job-level straggler skew.
+	arrivals := hub.ResultTimes()
+	wall := make([]time.Duration, m)
+	for _, p := range partials {
+		at, ok := arrivals[p.lo]
+		if !ok {
+			continue
+		}
+		for w := p.lo; w <= p.hi && w < m; w++ {
+			wall[w] = at.Sub(start)
+		}
+	}
+	res.Metrics.WorkerWall = wall
+	log.Debug("job merged", "supersteps", minSteps,
+		"net_bytes", hubStats.NetworkBytes, "rounds", hubStats.Rounds)
 	return res, nil
 }
 
@@ -324,4 +370,43 @@ func (b *cappedBuffer) Bytes() []byte {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+// lineTagger tees a worker's stderr into the retained capped buffer and
+// re-emits every complete line on the coordinator's logger, tagged with
+// the emitting worker range, so a multi-process job has one interleaved,
+// attributable log stream instead of per-process buffers.
+type lineTagger struct {
+	dst *cappedBuffer
+	log *slog.Logger
+
+	mu   sync.Mutex
+	line bytes.Buffer
+}
+
+func (t *lineTagger) Write(p []byte) (int, error) {
+	t.dst.Write(p)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.line.Write(p)
+	for {
+		b := t.line.Bytes()
+		i := bytes.IndexByte(b, '\n')
+		if i < 0 {
+			return len(p), nil
+		}
+		t.log.Info("graphworker stderr",
+			"line", string(bytes.TrimRight(b[:i], "\r")))
+		t.line.Next(i + 1)
+	}
+}
+
+// flush emits a trailing unterminated line after the process exits.
+func (t *lineTagger) flush() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.line.Len() > 0 {
+		t.log.Info("graphworker stderr", "line", t.line.String())
+		t.line.Reset()
+	}
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/algorithms"
 	"repro/internal/barrier"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/ser"
 )
@@ -36,9 +37,11 @@ const (
 // encodePartial serializes one process's share of a run: the hosted
 // worker range, the run error (empty string = success), the superstep
 // count its workers reached, and — on success — the hosted workers'
-// slices of the result arrays.
+// slices of the result arrays followed by the hosted workers' superstep
+// trace samples (empty unless the coordinator requested tracing). Error
+// partials carry no values and no trace.
 func encodePartial(buf *ser.Buffer, part *partition.Partition, lo, hi int,
-	res *algorithms.Result, runErr error) {
+	res *algorithms.Result, samples []obs.SuperstepSample, runErr error) {
 	buf.WriteUvarint(uint64(lo))
 	buf.WriteUvarint(uint64(hi))
 	if runErr != nil {
@@ -66,6 +69,65 @@ func encodePartial(buf *ser.Buffer, part *partition.Partition, lo, hi int,
 			buf.WriteUvarint(uint64(e.Src))
 			buf.WriteUvarint(uint64(e.Dst))
 			buf.WriteVarint(int64(e.Weight))
+		}
+	}
+	encodeSamples(buf, samples)
+}
+
+// encodeSamples appends the superstep trace section: a sample count and
+// each sample's fixed fields plus its per-channel breakdown.
+func encodeSamples(buf *ser.Buffer, samples []obs.SuperstepSample) {
+	buf.WriteUvarint(uint64(len(samples)))
+	for _, s := range samples {
+		buf.WriteUvarint(uint64(s.Worker))
+		buf.WriteUvarint(uint64(s.Superstep))
+		buf.WriteVarint(s.ActiveVertices)
+		buf.WriteUvarint(uint64(s.Rounds))
+		buf.WriteVarint(s.ComputeNS)
+		buf.WriteVarint(s.BarrierWaitNS)
+		buf.WriteVarint(s.BytesSent)
+		buf.WriteVarint(s.FramesSent)
+		buf.WriteVarint(s.BytesRecv)
+		buf.WriteVarint(s.FramesRecv)
+		buf.WriteUvarint(uint64(len(s.Channels)))
+		for _, c := range s.Channels {
+			buf.WriteVarint(c.BytesSent)
+			buf.WriteVarint(c.FramesSent)
+			buf.WriteVarint(c.BytesRecv)
+			buf.WriteVarint(c.FramesRecv)
+		}
+	}
+}
+
+// decodeSamples reads the trace section written by encodeSamples and
+// feeds every sample to tr (tr nil: the section is consumed and
+// discarded, keeping the decode position correct for callers).
+func decodeSamples(b *ser.Buffer, tr *obs.Trace) {
+	n := int(b.ReadUvarint())
+	for i := 0; i < n; i++ {
+		var s obs.SuperstepSample
+		s.Worker = int(b.ReadUvarint())
+		s.Superstep = int(b.ReadUvarint())
+		s.ActiveVertices = b.ReadVarint()
+		s.Rounds = int(b.ReadUvarint())
+		s.ComputeNS = b.ReadVarint()
+		s.BarrierWaitNS = b.ReadVarint()
+		s.BytesSent = b.ReadVarint()
+		s.FramesSent = b.ReadVarint()
+		s.BytesRecv = b.ReadVarint()
+		s.FramesRecv = b.ReadVarint()
+		if nc := int(b.ReadUvarint()); nc > 0 {
+			s.Channels = make([]obs.ChannelSample, nc)
+			for ci := range s.Channels {
+				c := &s.Channels[ci]
+				c.BytesSent = b.ReadVarint()
+				c.FramesSent = b.ReadVarint()
+				c.BytesRecv = b.ReadVarint()
+				c.FramesRecv = b.ReadVarint()
+			}
+		}
+		if tr != nil {
+			tr.ObserveSuperstep(s)
 		}
 	}
 }
@@ -138,8 +200,10 @@ func reportedError(msg string) error {
 // superstep any worker reached, and the joined worker errors (nil when
 // every process succeeded). Blobs must cover every worker exactly once;
 // a missing range is reported as an error (its workers died before
-// reporting — the transport error carries the detail).
-func mergePartials(part *partition.Partition, blobs []partial) (*algorithms.Result, int, error) {
+// reporting — the transport error carries the detail). When tr is
+// non-nil, each blob's trace section is replayed into it, reassembling
+// the job-wide superstep timeline from the per-process shards.
+func mergePartials(part *partition.Partition, blobs []partial, tr *obs.Trace) (*algorithms.Result, int, error) {
 	m := part.NumWorkers()
 	covered := make([]bool, m)
 	var errs []error
@@ -221,6 +285,7 @@ func mergePartials(part *partition.Partition, blobs []partial) (*algorithms.Resu
 					res.MSF.Edges = append(res.MSF.Edges, e)
 				}
 			}
+			decodeSamples(b, tr)
 			return nil
 		}()
 		if werr != nil {

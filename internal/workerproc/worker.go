@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"strconv"
 	"strings"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/frag"
 	"repro/internal/graph"
 	"repro/internal/netcomm"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/ser"
 )
@@ -40,11 +42,13 @@ func Main(args []string, stderr io.Writer) int {
 	iterations := fs.Int("iterations", 0, "PageRank iterations (0 = default)")
 	source := fs.Uint64("source", 0, "SSSP source vertex")
 	maxSupersteps := fs.Int("max-supersteps", 0, "superstep cap (0 = engine default)")
+	traceOn := fs.Bool("trace", false, "collect per-superstep trace samples and ship them with the partial result")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	log := slog.New(slog.NewTextHandler(stderr, nil))
 	fail := func(err error) int {
-		fmt.Fprintf(stderr, "graphworker: %v\n", err)
+		log.Error("graphworker startup failed", "err", err)
 		return 1
 	}
 
@@ -52,6 +56,7 @@ func Main(args []string, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
+	log = log.With("workers", fmt.Sprintf("%d-%d", lo, hi), "algorithm", *algorithm)
 	spec, ok := algorithms.Lookup(*algorithm)
 	if !ok {
 		return fail(fmt.Errorf("unknown algorithm %q", *algorithm))
@@ -86,6 +91,7 @@ func Main(args []string, stderr io.Writer) int {
 		return fail(err)
 	}
 	defer client.Close()
+	log.Info("graphworker running", "engine", *engine, "vertices", g.NumVertices(), "trace", *traceOn)
 
 	opts := algorithms.Options{
 		Part:          part,
@@ -93,18 +99,29 @@ func Main(args []string, stderr io.Writer) int {
 		MaxSupersteps: *maxSupersteps,
 		Fabric:        client,
 	}
+	var tr *obs.Trace
+	if *traceOn {
+		// collect only this process's shard of the timeline; the
+		// coordinator replays every shard into the job-wide trace
+		tr = obs.NewTrace(part.NumWorkers())
+		opts.Observer = tr
+	}
 	params := algorithms.Params{Iterations: *iterations, Source: graph.VertexID(*source)}
 	res, runErr := spec.Run(eng, *variant, g, opts, params)
 
+	var samples []obs.SuperstepSample
+	if tr != nil && runErr == nil {
+		samples = tr.Samples()
+	}
 	buf := ser.NewBuffer(4096)
-	encodePartial(buf, part, lo, hi, res, runErr)
+	encodePartial(buf, part, lo, hi, res, samples, runErr)
 	if err := client.SendResult(buf.Bytes()); err != nil {
 		return fail(fmt.Errorf("ship result: %w", err))
 	}
 	if runErr != nil {
-		fmt.Fprintf(stderr, "graphworker: workers %d-%d: run failed: %v\n", lo, hi, runErr)
+		log.Error("run failed", "err", runErr)
 		if terr := client.Err(); terr != nil {
-			fmt.Fprintf(stderr, "graphworker: workers %d-%d: transport: %v\n", lo, hi, terr)
+			log.Error("transport error", "err", terr)
 		}
 	}
 	return 0

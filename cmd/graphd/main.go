@@ -10,6 +10,8 @@
 //	       [-retain 256] [-queue 64] [-max-graph-bytes 0]
 //	       [-compact-ops 65536] [-compact-batches 64]
 //	       [-worker-procs 0] [-graphworker-bin path]
+//	       [-join-timeout 0] [-result-timeout 0] [-wall-timeout 0]
+//	       [-max-recoveries 0] [-ckpt-interval 0]
 //	       [-pprof] [-log-level info]
 //
 // Observability: GET /metrics serves the daemon's counters in the
@@ -112,6 +114,11 @@ func main() {
 	compactBatches := flag.Int("compact-batches", 0, "live datasets: compact once this many delta batches are pending (0 = default 64)")
 	workerProcs := flag.Int("worker-procs", 0, "run each job's workers as this many graphworker subprocesses over the socket fabric (0 = in-process)")
 	workerBin := flag.String("graphworker-bin", "", "graphworker executable for -worker-procs (default: sibling of graphd)")
+	joinTimeout := flag.Duration("join-timeout", 0, "distributed jobs: worker join deadline (0 = 30s default)")
+	resultTimeout := flag.Duration("result-timeout", 0, "distributed jobs: result settle deadline (0 = 30s default)")
+	wallTimeout := flag.Duration("wall-timeout", 0, "distributed jobs: per-attempt wall-clock cap, the stalled-worker detector (0 = off)")
+	maxRecoveries := flag.Int("max-recoveries", 0, "distributed jobs: recovery attempts after a worker dies mid-run (0 = fail fast)")
+	ckptInterval := flag.Int("ckpt-interval", 0, "distributed jobs with -max-recoveries: supersteps between checkpoints (0 = every superstep)")
 	preload := flag.String("preload", "", "comma-separated datasets to load at startup")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
@@ -185,6 +192,20 @@ func main() {
 		}
 		mgrOpts = append(mgrOpts, jobs.WithWorkerProcs(*workerProcs, bin))
 		log.Info("jobs run across graphworker processes", "procs", *workerProcs, "bin", bin)
+	}
+	if *joinTimeout > 0 {
+		mgrOpts = append(mgrOpts, jobs.WithJoinTimeout(*joinTimeout))
+	}
+	if *resultTimeout > 0 {
+		mgrOpts = append(mgrOpts, jobs.WithResultTimeout(*resultTimeout))
+	}
+	if *wallTimeout > 0 {
+		mgrOpts = append(mgrOpts, jobs.WithWallTimeout(*wallTimeout))
+	}
+	if *maxRecoveries > 0 {
+		mgrOpts = append(mgrOpts, jobs.WithRecovery(*maxRecoveries, *ckptInterval))
+		log.Info("checkpoint recovery enabled", "max_recoveries", *maxRecoveries,
+			"ckpt_interval", max(*ckptInterval, 1))
 	}
 	mgr := jobs.NewManager(cat, *workers, mgrOpts...)
 	srv := server.New(cat, mgr, server.WithRegistry(reg))

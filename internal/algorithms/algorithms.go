@@ -11,6 +11,7 @@
 package algorithms
 
 import (
+	"repro/internal/ckpt"
 	"repro/internal/comm"
 	"repro/internal/engine"
 	"repro/internal/frag"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/pregel"
+	"repro/internal/ser"
 )
 
 // gather assembles per-worker slices (indexed by local index) into one
@@ -83,6 +85,13 @@ type Options struct {
 	// threads each job's trace collector through here, the same way
 	// Cancel and Fabric travel). Nil disables collection.
 	Observer obs.Observer
+	// Checkpoint, if non-nil with a store, makes the run snapshot its
+	// per-worker state at a configurable superstep interval and, when
+	// Restore is set, resume from the saved superstep instead of from
+	// scratch (the job service threads recovery through here, the same
+	// way Cancel and Fabric travel). Every registered algorithm supplies
+	// the Save/Restore closures for its own vertex state.
+	Checkpoint *ckpt.Hook
 }
 
 // fragments returns the pre-resolved fragments of g, building them when
@@ -92,6 +101,51 @@ func (o Options) fragments(g *graph.Graph) *frag.Fragments {
 		return o.Frags
 	}
 	return frag.Build(g, o.Part)
+}
+
+// vidCodec encodes graph.VertexID values in checkpoint blobs (the wire
+// codecs are typed over the raw integer widths).
+var vidCodec = ser.FuncCodec[graph.VertexID]{
+	Enc: func(buf *ser.Buffer, v graph.VertexID) { buf.WriteUint32(uint32(v)) },
+	Dec: func(buf *ser.Buffer) graph.VertexID { return graph.VertexID(buf.ReadUint32()) },
+}
+
+// addrCodec encodes packed fragment addresses in checkpoint blobs.
+var addrCodec = ser.FuncCodec[frag.Addr]{
+	Enc: func(buf *ser.Buffer, a frag.Addr) { buf.WriteUvarint(uint64(a)) },
+	Dec: func(buf *ser.Buffer) frag.Addr { return frag.Addr(buf.ReadUvarint()) },
+}
+
+// i32Codec encodes int32 counters in checkpoint blobs.
+var i32Codec = ser.FuncCodec[int32]{
+	Enc: func(buf *ser.Buffer, v int32) { buf.WriteVarint(int64(v)) },
+	Dec: func(buf *ser.Buffer) int32 { return int32(buf.ReadVarint()) },
+}
+
+// saveAddrLists appends a per-vertex list-of-addresses table (e.g. the
+// SCC same-pair neighbor lists) to a checkpoint blob.
+func saveAddrLists(buf *ser.Buffer, lists [][]frag.Addr) {
+	buf.WriteUvarint(uint64(len(lists)))
+	for _, lst := range lists {
+		ckpt.SaveSlice(buf, addrCodec, lst)
+	}
+}
+
+// loadAddrLists restores a table written by saveAddrLists, reusing the
+// existing per-vertex list capacity. Runs under the engine's restore
+// recover: shape mismatches panic into worker errors.
+func loadAddrLists(buf *ser.Buffer, lists [][]frag.Addr) {
+	if n := int(buf.ReadUvarint()); n != len(lists) {
+		panic("algorithms: checkpoint address table does not match vertex count")
+	}
+	for i := range lists {
+		k := int(buf.ReadUvarint())
+		lst := lists[i][:0]
+		for j := 0; j < k; j++ {
+			lst = append(lst, frag.Addr(buf.ReadUvarint()))
+		}
+		lists[i] = lst
+	}
 }
 
 // ChannelMetrics is a light alias so callers do not import engine just

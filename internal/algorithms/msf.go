@@ -2,6 +2,7 @@ package algorithms
 
 import (
 	"repro/internal/channel"
+	"repro/internal/ckpt"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ser"
@@ -111,13 +112,87 @@ func (msfBcastCodec) Decode(b *ser.Buffer) msfBcastMsg {
 	return msfBcastMsg{ID: b.ReadUint32(), Comp: b.ReadUint32()}
 }
 
+// msfSaveCore appends the Boruvka vertex state shared by both engine
+// variants to a checkpoint blob: the component forest, the pointer-chase
+// cursor, the pending candidate edges, the accumulated neighbor
+// components and the forest edges selected so far on this worker.
+func msfSaveCore(buf *ser.Buffer, comp, cur, droot []graph.VertexID, pend []msfCandMsg, nbrComp []map[graph.VertexID]graph.VertexID, edges []graph.Edge) {
+	ckpt.SaveSlice(buf, vidCodec, comp)
+	ckpt.SaveSlice(buf, vidCodec, cur)
+	ckpt.SaveSlice(buf, vidCodec, droot)
+	buf.WriteUvarint(uint64(len(pend)))
+	for _, p := range pend {
+		buf.WriteBool(p.Valid)
+		if p.Valid {
+			buf.WriteVarint(int64(p.W))
+			buf.WriteUint32(p.U)
+			buf.WriteUint32(p.V)
+			buf.WriteUint32(p.C2)
+		}
+	}
+	buf.WriteUvarint(uint64(len(nbrComp)))
+	for _, nc := range nbrComp {
+		buf.WriteUvarint(uint64(len(nc)))
+		for k, v := range nc {
+			buf.WriteUint32(k)
+			buf.WriteUint32(v)
+		}
+	}
+	buf.WriteUvarint(uint64(len(edges)))
+	for _, e := range edges {
+		buf.WriteUint32(e.Src)
+		buf.WriteUint32(e.Dst)
+		buf.WriteVarint(int64(e.Weight))
+	}
+}
+
+// msfLoadCore restores a blob written by msfSaveCore into the given
+// slices and returns the worker's selected forest edges. Runs under the
+// engine's restore recover: shape mismatches panic into worker errors.
+func msfLoadCore(buf *ser.Buffer, comp, cur, droot []graph.VertexID, pend []msfCandMsg, nbrComp []map[graph.VertexID]graph.VertexID) []graph.Edge {
+	ckpt.LoadSlice(buf, vidCodec, comp)
+	ckpt.LoadSlice(buf, vidCodec, cur)
+	ckpt.LoadSlice(buf, vidCodec, droot)
+	if n := int(buf.ReadUvarint()); n != len(pend) {
+		panic("algorithms: msf checkpoint candidate table does not match vertex count")
+	}
+	for i := range pend {
+		pend[i] = msfCandMsg{}
+		if buf.ReadBool() {
+			pend[i] = msfCandMsg{W: int32(buf.ReadVarint()), U: buf.ReadUint32(), V: buf.ReadUint32(), C2: buf.ReadUint32(), Valid: true}
+		}
+	}
+	if n := int(buf.ReadUvarint()); n != len(nbrComp) {
+		panic("algorithms: msf checkpoint neighbor table does not match vertex count")
+	}
+	for i := range nbrComp {
+		k := int(buf.ReadUvarint())
+		if k == 0 {
+			nbrComp[i] = nil
+			continue
+		}
+		nc := make(map[graph.VertexID]graph.VertexID)
+		for j := 0; j < k; j++ {
+			key := buf.ReadUint32()
+			nc[key] = buf.ReadUint32()
+		}
+		nbrComp[i] = nc
+	}
+	ne := int(buf.ReadUvarint())
+	var edges []graph.Edge
+	for j := 0; j < ne; j++ {
+		edges = append(edges, graph.Edge{Src: buf.ReadUint32(), Dst: buf.ReadUint32(), Weight: int32(buf.ReadVarint())})
+	}
+	return edges
+}
+
 // MSFChannel runs Boruvka MSF on the channel engine. The input must be
 // an undirected weighted graph.
 func MSFChannel(g *graph.Graph, opts Options) (MSFResult, engine.Metrics, error) {
 	part := opts.Part
 	compStates := make([][]graph.VertexID, part.NumWorkers())
 	edgeStates := make([][]graph.Edge, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer, Checkpoint: opts.Checkpoint}, func(w *engine.Worker) {
 		f := w.Frag()
 		n := w.LocalCount()
 		comp := make([]graph.VertexID, n)
@@ -142,6 +217,20 @@ func MSFChannel(g *graph.Graph, opts Options) (MSFResult, engine.Metrics, error)
 		phaseStart := 1
 		phaseStep := 0
 		stopping := false
+
+		w.Checkpoint(func(buf *ser.Buffer) {
+			msfSaveCore(buf, comp, cur, droot, pend, nbrComp, edgeStates[w.WorkerID()])
+			buf.WriteUint8(uint8(phase))
+			buf.WriteVarint(int64(phaseStart))
+			buf.WriteVarint(int64(phaseStep))
+			buf.WriteBool(stopping)
+		}, func(buf *ser.Buffer) {
+			edgeStates[w.WorkerID()] = msfLoadCore(buf, comp, cur, droot, pend, nbrComp)
+			phase = msfPhase(buf.ReadUint8())
+			phaseStart = int(buf.ReadVarint())
+			phaseStep = int(buf.ReadVarint())
+			stopping = buf.ReadBool()
+		})
 
 		evalPhase := func() {
 			step := w.Superstep()

@@ -87,6 +87,7 @@ func MSFPregel(g *graph.Graph, opts Options) (MSFResult, pregel.Metrics, error) 
 		Cancel:        opts.Cancel,
 		Fabric:        opts.Fabric,
 		Observer:      opts.Observer,
+		Checkpoint:    opts.Checkpoint,
 		MsgCodec:      msfMMsgCodec{},
 		AggCombine:    msfPAggSum,
 		AggCodec:      msfPAggCodec{},
@@ -105,6 +106,20 @@ func MSFPregel(g *graph.Graph, opts Options) (MSFResult, pregel.Metrics, error) 
 		phaseStart := 1
 		phaseStep := 0
 		stopping := false
+
+		w.Checkpoint(func(buf *ser.Buffer) {
+			msfSaveCore(buf, comp, cur, droot, pend, nbrComp, edgeStates[w.WorkerID()])
+			buf.WriteUint8(uint8(phase))
+			buf.WriteVarint(int64(phaseStart))
+			buf.WriteVarint(int64(phaseStep))
+			buf.WriteBool(stopping)
+		}, func(buf *ser.Buffer) {
+			edgeStates[w.WorkerID()] = msfLoadCore(buf, comp, cur, droot, pend, nbrComp)
+			phase = msfPPhase(buf.ReadUint8())
+			phaseStart = int(buf.ReadVarint())
+			phaseStep = int(buf.ReadVarint())
+			stopping = buf.ReadBool()
+		})
 
 		evalPhase := func() {
 			step := w.Superstep()

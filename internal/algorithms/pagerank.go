@@ -2,6 +2,7 @@ package algorithms
 
 import (
 	"repro/internal/channel"
+	"repro/internal/ckpt"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/pregel"
@@ -22,10 +23,14 @@ import (
 func PageRankChannel(g *graph.Graph, opts Options, iterations int) ([]float64, engine.Metrics, error) {
 	part := opts.Part
 	states := make([][]float64, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer, Checkpoint: opts.Checkpoint}, func(w *engine.Worker) {
 		f := w.Frag()
 		pr := make([]float64, w.LocalCount())
 		states[w.WorkerID()] = pr
+		w.Checkpoint(
+			func(buf *ser.Buffer) { ckpt.SaveSlice(buf, ser.Float64Codec{}, pr) },
+			func(buf *ser.Buffer) { ckpt.LoadSlice(buf, ser.Float64Codec{}, pr) },
+		)
 		msg := channel.NewCombinedMessage[float64](w, ser.Float64Codec{}, sumF64)
 		agg := channel.NewAggregator[float64](w, ser.Float64Codec{}, sumF64, 0)
 		n := float64(w.NumVertices())
@@ -61,10 +66,14 @@ func PageRankChannel(g *graph.Graph, opts Options, iterations int) ([]float64, e
 func PageRankScatter(g *graph.Graph, opts Options, iterations int) ([]float64, engine.Metrics, error) {
 	part := opts.Part
 	states := make([][]float64, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer, Checkpoint: opts.Checkpoint}, func(w *engine.Worker) {
 		f := w.Frag()
 		pr := make([]float64, w.LocalCount())
 		states[w.WorkerID()] = pr
+		w.Checkpoint(
+			func(buf *ser.Buffer) { ckpt.SaveSlice(buf, ser.Float64Codec{}, pr) },
+			func(buf *ser.Buffer) { ckpt.LoadSlice(buf, ser.Float64Codec{}, pr) },
+		)
 		msg := channel.NewScatterCombine[float64](w, ser.Float64Codec{}, sumF64)
 		agg := channel.NewAggregator[float64](w, ser.Float64Codec{}, sumF64, 0)
 		n := float64(w.NumVertices())
@@ -103,10 +112,14 @@ func PageRankScatter(g *graph.Graph, opts Options, iterations int) ([]float64, e
 func PageRankMirror(g *graph.Graph, opts Options, iterations int) ([]float64, engine.Metrics, error) {
 	part := opts.Part
 	states := make([][]float64, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer, Checkpoint: opts.Checkpoint}, func(w *engine.Worker) {
 		f := w.Frag()
 		pr := make([]float64, w.LocalCount())
 		states[w.WorkerID()] = pr
+		w.Checkpoint(
+			func(buf *ser.Buffer) { ckpt.SaveSlice(buf, ser.Float64Codec{}, pr) },
+			func(buf *ser.Buffer) { ckpt.LoadSlice(buf, ser.Float64Codec{}, pr) },
+		)
 		msg := channel.NewMirror[float64](w, ser.Float64Codec{}, sumF64, 16)
 		agg := channel.NewAggregator[float64](w, ser.Float64Codec{}, sumF64, 0)
 		n := float64(w.NumVertices())
@@ -158,6 +171,7 @@ func pageRankPregel(g *graph.Graph, opts Options, iterations, ghostThreshold int
 		Cancel:         opts.Cancel,
 		Fabric:         opts.Fabric,
 		Observer:       opts.Observer,
+		Checkpoint:     opts.Checkpoint,
 		MsgCodec:       ser.Float64Codec{},
 		Combiner:       sumF64,
 		AggCombine:     sumF64,
@@ -168,6 +182,10 @@ func pageRankPregel(g *graph.Graph, opts Options, iterations, ghostThreshold int
 		f := w.Frag()
 		pr := make([]float64, w.LocalCount())
 		states[w.WorkerID()] = pr
+		w.Checkpoint(
+			func(buf *ser.Buffer) { ckpt.SaveSlice(buf, ser.Float64Codec{}, pr) },
+			func(buf *ser.Buffer) { ckpt.LoadSlice(buf, ser.Float64Codec{}, pr) },
+		)
 		n := float64(w.NumVertices())
 		w.Compute = func(li int, msgs []float64) {
 			if w.Superstep() == 1 {

@@ -2,6 +2,7 @@ package algorithms
 
 import (
 	"repro/internal/channel"
+	"repro/internal/ckpt"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/pregel"
@@ -42,9 +43,13 @@ func parentOf(g *graph.Graph, id graph.VertexID) graph.VertexID {
 func PointerJumpChannel(g *graph.Graph, opts Options) ([]graph.VertexID, engine.Metrics, error) {
 	part := opts.Part
 	states := make([][]graph.VertexID, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer, Checkpoint: opts.Checkpoint}, func(w *engine.Worker) {
 		d := make([]graph.VertexID, w.LocalCount())
 		states[w.WorkerID()] = d
+		w.Checkpoint(
+			func(buf *ser.Buffer) { ckpt.SaveSlice(buf, vidCodec, d) },
+			func(buf *ser.Buffer) { ckpt.LoadSlice(buf, vidCodec, d) },
+		)
 		reqCh := channel.NewDirectMessage[uint32](w, ser.Uint32Codec{})
 		repCh := channel.NewDirectMessage[uint32](w, ser.Uint32Codec{})
 		w.Compute = func(li int) {
@@ -88,9 +93,13 @@ func PointerJumpChannel(g *graph.Graph, opts Options) ([]graph.VertexID, engine.
 func PointerJumpReqResp(g *graph.Graph, opts Options) ([]graph.VertexID, engine.Metrics, error) {
 	part := opts.Part
 	states := make([][]graph.VertexID, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer, Checkpoint: opts.Checkpoint}, func(w *engine.Worker) {
 		d := make([]graph.VertexID, w.LocalCount())
 		states[w.WorkerID()] = d
+		w.Checkpoint(
+			func(buf *ser.Buffer) { ckpt.SaveSlice(buf, vidCodec, d) },
+			func(buf *ser.Buffer) { ckpt.LoadSlice(buf, vidCodec, d) },
+		)
 		var rr *channel.RequestRespond[uint32]
 		rr = channel.NewRequestRespond[uint32](w, ser.Uint32Codec{}, func(li int) uint32 {
 			return d[li]
@@ -134,11 +143,16 @@ func PointerJumpPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.M
 		Cancel:        opts.Cancel,
 		Fabric:        opts.Fabric,
 		Observer:      opts.Observer,
+		Checkpoint:    opts.Checkpoint,
 		MsgCodec:      ser.Uint32Codec{},
 	}
 	met, err := pregel.Run(cfg, func(w *pregel.Worker[uint32, struct{}, struct{}]) {
 		d := make([]graph.VertexID, w.LocalCount())
 		states[w.WorkerID()] = d
+		w.Checkpoint(
+			func(buf *ser.Buffer) { ckpt.SaveSlice(buf, vidCodec, d) },
+			func(buf *ser.Buffer) { ckpt.LoadSlice(buf, vidCodec, d) },
+		)
 		w.Compute = func(li int, msgs []uint32) {
 			id := w.GlobalID(li)
 			step := w.Superstep()
@@ -187,6 +201,7 @@ func PointerJumpPregelReqResp(g *graph.Graph, opts Options) ([]graph.VertexID, p
 		Cancel:        opts.Cancel,
 		Fabric:        opts.Fabric,
 		Observer:      opts.Observer,
+		Checkpoint:    opts.Checkpoint,
 		MsgCodec:      ser.Uint32Codec{},
 		RespCodec:     ser.Uint32Codec{},
 		Responder:     responder,
@@ -194,6 +209,10 @@ func PointerJumpPregelReqResp(g *graph.Graph, opts Options) ([]graph.VertexID, p
 	met, err := pregel.Run(cfg, func(w *pregel.Worker[uint32, uint32, struct{}]) {
 		d := make([]graph.VertexID, w.LocalCount())
 		states[w.WorkerID()] = d
+		w.Checkpoint(
+			func(buf *ser.Buffer) { ckpt.SaveSlice(buf, vidCodec, d) },
+			func(buf *ser.Buffer) { ckpt.LoadSlice(buf, vidCodec, d) },
+		)
 		stateOf[w.WorkerID()] = d
 		w.Compute = func(li int, msgs []uint32) {
 			id := w.GlobalID(li)

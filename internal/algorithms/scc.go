@@ -2,6 +2,7 @@ package algorithms
 
 import (
 	"repro/internal/channel"
+	"repro/internal/ckpt"
 	"repro/internal/engine"
 	"repro/internal/frag"
 	"repro/internal/graph"
@@ -122,6 +123,44 @@ func newSCCState(w *engine.Worker, fwd, bwd *frag.Fragment) *sccState {
 	s.act = channel.NewAggregator[int64](w, ser.Int64Codec{}, sumI64, 0)
 	s.doneAgg = channel.NewAggregator[int64](w, ser.Int64Codec{}, sumI64, 0)
 	return s
+}
+
+// checkpoint registers the Save/Restore closures covering the full SCC
+// state, including the replicated phase machine — every worker restores
+// the same (phase, phaseStart, phaseStep, doneTotal), so the machine
+// stays in lockstep after recovery.
+func (s *sccState) checkpoint() {
+	s.w.Checkpoint(func(buf *ser.Buffer) {
+		ckpt.SaveSlice(buf, vidCodec, s.scc)
+		ckpt.SaveSlice(buf, ser.BoolCodec{}, s.done)
+		ckpt.SaveSlice(buf, i32Codec, s.liveIn)
+		ckpt.SaveSlice(buf, i32Codec, s.liveOut)
+		ckpt.SaveSlice(buf, ser.Uint32Codec{}, s.pairF)
+		ckpt.SaveSlice(buf, ser.Uint32Codec{}, s.pairB)
+		ckpt.SaveSlice(buf, ser.Uint32Codec{}, s.f)
+		ckpt.SaveSlice(buf, ser.Uint32Codec{}, s.b)
+		saveAddrLists(buf, s.sameOut)
+		saveAddrLists(buf, s.sameIn)
+		buf.WriteUint8(uint8(s.phase))
+		buf.WriteVarint(int64(s.phaseStart))
+		buf.WriteVarint(int64(s.phaseStep))
+		buf.WriteVarint(s.doneTotal)
+	}, func(buf *ser.Buffer) {
+		ckpt.LoadSlice(buf, vidCodec, s.scc)
+		ckpt.LoadSlice(buf, ser.BoolCodec{}, s.done)
+		ckpt.LoadSlice(buf, i32Codec, s.liveIn)
+		ckpt.LoadSlice(buf, i32Codec, s.liveOut)
+		ckpt.LoadSlice(buf, ser.Uint32Codec{}, s.pairF)
+		ckpt.LoadSlice(buf, ser.Uint32Codec{}, s.pairB)
+		ckpt.LoadSlice(buf, ser.Uint32Codec{}, s.f)
+		ckpt.LoadSlice(buf, ser.Uint32Codec{}, s.b)
+		loadAddrLists(buf, s.sameOut)
+		loadAddrLists(buf, s.sameIn)
+		s.phase = sccPhase(buf.ReadUint8())
+		s.phaseStart = int(buf.ReadVarint())
+		s.phaseStep = int(buf.ReadVarint())
+		s.doneTotal = buf.ReadVarint()
+	})
 }
 
 // remove marks the current vertex done with SCC id sccID and notifies
@@ -255,9 +294,10 @@ func SCCChannel(g *graph.Graph, opts Options) ([]graph.VertexID, engine.Metrics,
 	fwdFrags := opts.fragments(g)
 	bwdFrags := fwdFrags.Reverse()
 	states := make([][]graph.VertexID, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, Frags: fwdFrags, MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: fwdFrags, MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer, Checkpoint: opts.Checkpoint}, func(w *engine.Worker) {
 		s := newSCCState(w, w.Frag(), bwdFrags.Frag(w.WorkerID()))
 		states[w.WorkerID()] = s.scc
+		s.checkpoint()
 		fwd := channel.NewCombinedMessage[uint32](w, ser.Uint32Codec{}, minU32)
 		bwd := channel.NewCombinedMessage[uint32](w, ser.Uint32Codec{}, minU32)
 		w.Compute = func(li int) {
@@ -330,9 +370,10 @@ func SCCPropagation(g *graph.Graph, opts Options) ([]graph.VertexID, engine.Metr
 	fwdFrags := opts.fragments(g)
 	bwdFrags := fwdFrags.Reverse()
 	states := make([][]graph.VertexID, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, Frags: fwdFrags, MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: fwdFrags, MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer, Checkpoint: opts.Checkpoint}, func(w *engine.Worker) {
 		s := newSCCState(w, w.Frag(), bwdFrags.Frag(w.WorkerID()))
 		states[w.WorkerID()] = s.scc
+		s.checkpoint()
 		fwd := channel.NewPropagation[uint32](w, ser.Uint32Codec{}, minU32)
 		bwd := channel.NewPropagation[uint32](w, ser.Uint32Codec{}, minU32)
 		onEnter := func(p sccPhase) {

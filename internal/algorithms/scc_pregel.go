@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"repro/internal/ckpt"
 	"repro/internal/frag"
 	"repro/internal/graph"
 	"repro/internal/pregel"
@@ -74,6 +75,7 @@ func SCCPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, 
 		Cancel:        opts.Cancel,
 		Fabric:        opts.Fabric,
 		Observer:      opts.Observer,
+		Checkpoint:    opts.Checkpoint,
 		MsgCodec:      sccMMsgCodec{},
 		AggCombine:    sccAggSum,
 		AggCodec:      sccAggCodec{},
@@ -98,6 +100,38 @@ func SCCPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, 
 		phaseStart := 1
 		phaseStep := 0
 		var doneTotal int64
+
+		w.Checkpoint(func(buf *ser.Buffer) {
+			ckpt.SaveSlice(buf, vidCodec, scc)
+			ckpt.SaveSlice(buf, ser.BoolCodec{}, done)
+			ckpt.SaveSlice(buf, i32Codec, liveIn)
+			ckpt.SaveSlice(buf, i32Codec, liveOut)
+			ckpt.SaveSlice(buf, ser.Uint32Codec{}, pairF)
+			ckpt.SaveSlice(buf, ser.Uint32Codec{}, pairB)
+			ckpt.SaveSlice(buf, ser.Uint32Codec{}, f)
+			ckpt.SaveSlice(buf, ser.Uint32Codec{}, b)
+			saveAddrLists(buf, sameOut)
+			saveAddrLists(buf, sameIn)
+			buf.WriteUint8(uint8(phase))
+			buf.WriteVarint(int64(phaseStart))
+			buf.WriteVarint(int64(phaseStep))
+			buf.WriteVarint(doneTotal)
+		}, func(buf *ser.Buffer) {
+			ckpt.LoadSlice(buf, vidCodec, scc)
+			ckpt.LoadSlice(buf, ser.BoolCodec{}, done)
+			ckpt.LoadSlice(buf, i32Codec, liveIn)
+			ckpt.LoadSlice(buf, i32Codec, liveOut)
+			ckpt.LoadSlice(buf, ser.Uint32Codec{}, pairF)
+			ckpt.LoadSlice(buf, ser.Uint32Codec{}, pairB)
+			ckpt.LoadSlice(buf, ser.Uint32Codec{}, f)
+			ckpt.LoadSlice(buf, ser.Uint32Codec{}, b)
+			loadAddrLists(buf, sameOut)
+			loadAddrLists(buf, sameIn)
+			phase = sccPhase(buf.ReadUint8())
+			phaseStart = int(buf.ReadVarint())
+			phaseStep = int(buf.ReadVarint())
+			doneTotal = buf.ReadVarint()
+		})
 
 		evalPhase := func() {
 			step := w.Superstep()

@@ -3,6 +3,7 @@ package algorithms
 import (
 	"math"
 
+	"repro/internal/ckpt"
 	"repro/internal/graph"
 	"repro/internal/pregel"
 	"repro/internal/ser"
@@ -21,6 +22,7 @@ func SSSPPregel(g *graph.Graph, src graph.VertexID, opts Options) ([]int64, preg
 		Cancel:        opts.Cancel,
 		Fabric:        opts.Fabric,
 		Observer:      opts.Observer,
+		Checkpoint:    opts.Checkpoint,
 		MsgCodec:      ser.Int64Codec{},
 		Combiner:      minI64,
 	}
@@ -28,6 +30,10 @@ func SSSPPregel(g *graph.Graph, src graph.VertexID, opts Options) ([]int64, preg
 		f := w.Frag()
 		dist := make([]int64, w.LocalCount())
 		states[w.WorkerID()] = dist
+		w.Checkpoint(
+			func(buf *ser.Buffer) { ckpt.SaveSlice(buf, ser.Int64Codec{}, dist) },
+			func(buf *ser.Buffer) { ckpt.LoadSlice(buf, ser.Int64Codec{}, dist) },
+		)
 		relax := func(li int) {
 			ws := f.NeighborWeights(li)
 			for i, a := range f.Neighbors(li) {

@@ -2,6 +2,7 @@ package algorithms
 
 import (
 	"repro/internal/channel"
+	"repro/internal/ckpt"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ser"
@@ -44,13 +45,25 @@ import (
 func svChannelVariant(g *graph.Graph, opts Options, useReqResp, useScatter bool) ([]graph.VertexID, engine.Metrics, error) {
 	part := opts.Part
 	states := make([][]graph.VertexID, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer, Checkpoint: opts.Checkpoint}, func(w *engine.Worker) {
 		f := w.Frag()
 		n := w.LocalCount()
 		d := make([]graph.VertexID, n)
 		tmin := make([]graph.VertexID, n) // neighborhood minimum, buffered A->B
 		changed := make([]bool, n)
 		states[w.WorkerID()] = d
+		w.Checkpoint(
+			func(buf *ser.Buffer) {
+				ckpt.SaveSlice(buf, vidCodec, d)
+				ckpt.SaveSlice(buf, vidCodec, tmin)
+				ckpt.SaveSlice(buf, ser.BoolCodec{}, changed)
+			},
+			func(buf *ser.Buffer) {
+				ckpt.LoadSlice(buf, vidCodec, d)
+				ckpt.LoadSlice(buf, vidCodec, tmin)
+				ckpt.LoadSlice(buf, ser.BoolCodec{}, changed)
+			},
+		)
 
 		// pattern 2: neighborhood broadcast
 		var bcastCM *channel.CombinedMessage[uint32]

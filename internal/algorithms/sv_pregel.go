@@ -1,6 +1,7 @@
 package algorithms
 
 import (
+	"repro/internal/ckpt"
 	"repro/internal/graph"
 	"repro/internal/pregel"
 	"repro/internal/ser"
@@ -60,6 +61,7 @@ func SVPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, e
 		Cancel:        opts.Cancel,
 		Fabric:        opts.Fabric,
 		Observer:      opts.Observer,
+		Checkpoint:    opts.Checkpoint,
 		MsgCodec:      svMsgCodec{},
 		AggCombine:    orBool,
 		AggCodec:      ser.BoolCodec{},
@@ -71,6 +73,18 @@ func SVPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, e
 		tmin := make([]graph.VertexID, n)
 		changed := make([]bool, n)
 		states[w.WorkerID()] = d
+		w.Checkpoint(
+			func(buf *ser.Buffer) {
+				ckpt.SaveSlice(buf, vidCodec, d)
+				ckpt.SaveSlice(buf, vidCodec, tmin)
+				ckpt.SaveSlice(buf, ser.BoolCodec{}, changed)
+			},
+			func(buf *ser.Buffer) {
+				ckpt.LoadSlice(buf, vidCodec, d)
+				ckpt.LoadSlice(buf, vidCodec, tmin)
+				ckpt.LoadSlice(buf, ser.BoolCodec{}, changed)
+			},
+		)
 		w.Compute = func(li int, msgs []svMsg) {
 			id := w.GlobalID(li)
 			step := w.Superstep()
@@ -144,6 +158,7 @@ func SVPregelReqResp(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Met
 		Cancel:        opts.Cancel,
 		Fabric:        opts.Fabric,
 		Observer:      opts.Observer,
+		Checkpoint:    opts.Checkpoint,
 		MsgCodec:      ser.Uint32Codec{},
 		Combiner:      minU32,
 		RespCodec:     ser.Uint32Codec{},
@@ -160,6 +175,16 @@ func SVPregelReqResp(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Met
 		changed := make([]bool, n)
 		states[w.WorkerID()] = d
 		dStates[w.WorkerID()] = d
+		w.Checkpoint(
+			func(buf *ser.Buffer) {
+				ckpt.SaveSlice(buf, vidCodec, d)
+				ckpt.SaveSlice(buf, ser.BoolCodec{}, changed)
+			},
+			func(buf *ser.Buffer) {
+				ckpt.LoadSlice(buf, vidCodec, d)
+				ckpt.LoadSlice(buf, ser.BoolCodec{}, changed)
+			},
+		)
 		w.Compute = func(li int, msgs []uint32) {
 			id := w.GlobalID(li)
 			step := w.Superstep()

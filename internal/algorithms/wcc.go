@@ -2,6 +2,7 @@ package algorithms
 
 import (
 	"repro/internal/channel"
+	"repro/internal/ckpt"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/pregel"
@@ -26,10 +27,14 @@ import (
 func WCCChannel(g *graph.Graph, opts Options) ([]graph.VertexID, engine.Metrics, error) {
 	part := opts.Part
 	states := make([][]graph.VertexID, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer, Checkpoint: opts.Checkpoint}, func(w *engine.Worker) {
 		f := w.Frag()
 		label := make([]graph.VertexID, w.LocalCount())
 		states[w.WorkerID()] = label
+		w.Checkpoint(
+			func(buf *ser.Buffer) { ckpt.SaveSlice(buf, vidCodec, label) },
+			func(buf *ser.Buffer) { ckpt.LoadSlice(buf, vidCodec, label) },
+		)
 		msg := channel.NewCombinedMessage[uint32](w, ser.Uint32Codec{}, minU32)
 		w.Compute = func(li int) {
 			changed := false
@@ -58,10 +63,14 @@ func WCCChannel(g *graph.Graph, opts Options) ([]graph.VertexID, engine.Metrics,
 func WCCPropagation(g *graph.Graph, opts Options) ([]graph.VertexID, engine.Metrics, error) {
 	part := opts.Part
 	states := make([][]graph.VertexID, part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer, Checkpoint: opts.Checkpoint}, func(w *engine.Worker) {
 		f := w.Frag()
 		label := make([]graph.VertexID, w.LocalCount())
 		states[w.WorkerID()] = label
+		w.Checkpoint(
+			func(buf *ser.Buffer) { ckpt.SaveSlice(buf, vidCodec, label) },
+			func(buf *ser.Buffer) { ckpt.LoadSlice(buf, vidCodec, label) },
+		)
 		prop := channel.NewPropagation[uint32](w, ser.Uint32Codec{}, minU32)
 		w.Compute = func(li int) {
 			if w.Superstep() == 1 {
@@ -88,10 +97,14 @@ func WCCBlogel(g *graph.Graph, opts Options) ([]graph.VertexID, engine.Metrics, 
 	part := opts.Part
 	states := make([][]graph.VertexID, part.NumWorkers())
 	props := make([]*channel.Propagation[uint32], part.NumWorkers())
-	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer}, func(w *engine.Worker) {
+	met, err := engine.Run(engine.Config{Part: part, Frags: opts.fragments(g), MaxSupersteps: opts.MaxSupersteps, Cancel: opts.Cancel, Fabric: opts.Fabric, Observer: opts.Observer, Checkpoint: opts.Checkpoint}, func(w *engine.Worker) {
 		f := w.Frag()
 		label := make([]graph.VertexID, w.LocalCount())
 		states[w.WorkerID()] = label
+		w.Checkpoint(
+			func(buf *ser.Buffer) { ckpt.SaveSlice(buf, vidCodec, label) },
+			func(buf *ser.Buffer) { ckpt.LoadSlice(buf, vidCodec, label) },
+		)
 		prop := channel.NewBlockPropagation[uint32](w, ser.Uint32Codec{}, minU32)
 		props[w.WorkerID()] = prop
 		w.Compute = func(li int) {
@@ -128,6 +141,7 @@ func WCCPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, 
 		Cancel:        opts.Cancel,
 		Fabric:        opts.Fabric,
 		Observer:      opts.Observer,
+		Checkpoint:    opts.Checkpoint,
 		MsgCodec:      ser.Uint32Codec{},
 		Combiner:      minU32,
 	}
@@ -135,6 +149,10 @@ func WCCPregel(g *graph.Graph, opts Options) ([]graph.VertexID, pregel.Metrics, 
 		f := w.Frag()
 		label := make([]graph.VertexID, w.LocalCount())
 		states[w.WorkerID()] = label
+		w.Checkpoint(
+			func(buf *ser.Buffer) { ckpt.SaveSlice(buf, vidCodec, label) },
+			func(buf *ser.Buffer) { ckpt.LoadSlice(buf, vidCodec, label) },
+		)
 		w.Compute = func(li int, msgs []uint32) {
 			changed := false
 			if w.Superstep() == 1 {

@@ -14,6 +14,17 @@
 // total), so the sample stream is identical whichever comm.Fabric
 // carried the bytes. A nil observer keeps the hot loops free of
 // collection work.
+//
+// Config.Checkpoint is the fault-tolerance seam (threaded through the
+// same config path as Cancel/Fabric/Observer): when active, each worker
+// cuts a ckpt.Record at the barrier-aligned point after AfterCompute and
+// before the superstep's first exchange round, tees the raw incoming
+// frames of every round into it, and persists it before crossing the
+// superstep's termination AllReduce — so a checkpoint is either durable
+// on every worker or ignored on every worker. Algorithms contribute
+// their per-vertex state through Worker.Checkpoint save/restore
+// closures; restore replays the saved rounds through the normal decode
+// path, making a resumed run bit-identical to an undisturbed one.
 package engine
 
 import (
@@ -23,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/barrier"
+	"repro/internal/ckpt"
 	"repro/internal/comm"
 	"repro/internal/frag"
 	"repro/internal/graph"
@@ -54,6 +66,21 @@ type Channel interface {
 	// registered channel (active or not) after all Deserialize calls;
 	// returning true requests another round (paper: again()).
 	Again() bool
+}
+
+// StatefulChannel is the optional interface a channel implements when it
+// carries state across supersteps that a replay cannot reconstruct
+// (registered topology, handshake tables, pending request lists).
+// SaveState is called at the checkpoint cut (after AfterCompute, before
+// the first exchange round); RestoreState is called after Initialize on
+// a restoring worker, before the cut superstep's rounds are replayed.
+// Channels whose cross-superstep state is rebuilt by replaying the cut
+// superstep's incoming frames (inbox slots, aggregator results) need not
+// implement it.
+type StatefulChannel interface {
+	Channel
+	SaveState(buf *ser.Buffer)
+	RestoreState(buf *ser.Buffer)
 }
 
 // Config configures a Job.
@@ -92,6 +119,12 @@ type Config struct {
 	// bytes. Nil disables all collection; the superstep loop then pays
 	// only a per-phase nil check.
 	Observer obs.Observer
+	// Checkpoint, if non-nil with a store, snapshots every worker's
+	// state at the barrier-aligned cut every Interval supersteps and, on
+	// Restore > 0, resumes from the saved superstep instead of starting
+	// fresh. The algorithm must register Save/Restore closures via
+	// Worker.Checkpoint. Nil keeps the superstep loop checkpoint-free.
+	Checkpoint *ckpt.Hook
 }
 
 // Metrics summarizes a finished run. RunTime is the measured wall time
@@ -130,6 +163,12 @@ type Worker struct {
 	// with the vertex's local index. Installed by the algorithm's setup
 	// function.
 	Compute func(li int)
+
+	// checkpoint closures (Worker.Checkpoint) and the record being
+	// assembled while the cut superstep's exchange rounds run.
+	ckptSave    func(buf *ser.Buffer)
+	ckptRestore func(buf *ser.Buffer)
+	ckptRec     *ckpt.Record
 
 	// superstep trace collection (Config.Observer); obsOn gates every
 	// trace statement so the disabled path costs one branch per phase.
@@ -207,6 +246,16 @@ func (w *Worker) ActivateLocal(li int) {
 
 // IsActiveLocal reports whether local vertex li is currently active.
 func (w *Worker) IsActiveLocal(li int) bool { return w.active[li] }
+
+// Checkpoint registers the algorithm's state closures: save appends the
+// per-worker vertex state (local order) to the buffer, restore reads the
+// same encoding back into the already-allocated state. Both run at the
+// barrier-aligned cut point, so they see state exactly as it stands
+// between compute and the exchange rounds. Required when
+// Config.Checkpoint has a store; a no-op otherwise.
+func (w *Worker) Checkpoint(save, restore func(buf *ser.Buffer)) {
+	w.ckptSave, w.ckptRestore = save, restore
+}
 
 // Register adds a channel to the worker and returns its channel id.
 // All workers must register the same channels in the same order.
@@ -340,9 +389,21 @@ func (w *Worker) deserializeFrom(src int, sub *ser.Buffer) (err error) {
 		}
 	}()
 	in := w.ep.In(src)
+	if w.ckptRec != nil {
+		// checkpoint tee: retain this round's raw incoming bytes
+		// (loopback included) before any decode consumes them, so a
+		// restore can replay the round without the fabric.
+		w.ckptRec.Frames = append(w.ckptRec.Frames, append([]byte(nil), in.Unread()...))
+	}
 	if w.obsOn {
 		w.obsSmp.BytesRecv += int64(in.Remaining())
 	}
+	return w.dispatchFrames(src, in, sub, true)
+}
+
+// dispatchFrames decodes one source's frame stream — the shared tail of
+// the live receive path and the checkpoint replay path.
+func (w *Worker) dispatchFrames(src int, in, sub *ser.Buffer, count bool) error {
 	for in.Remaining() > 0 {
 		ci64, err := in.NextUvarint()
 		if err != nil {
@@ -355,7 +416,7 @@ func (w *Worker) deserializeFrom(src int, sub *ser.Buffer) (err error) {
 		if err := in.NextFrame(sub); err != nil {
 			return fmt.Errorf("engine: worker %d: bad frame from worker %d: %w", w.id, src, err)
 		}
-		if w.obsOn {
+		if count && w.obsOn {
 			w.obsSmp.FramesRecv++
 			w.obsCh[ci].BytesRecv += int64(sub.Remaining())
 			w.obsCh[ci].FramesRecv++
@@ -386,6 +447,10 @@ func (w *Worker) runSupersteps(setup func(w *Worker), maxSteps int) error {
 	if w.Compute == nil {
 		return fmt.Errorf("engine: worker %d: setup did not install Compute", w.id)
 	}
+	ck := j.cfg.Checkpoint
+	if ck.Active() && (w.ckptSave == nil || w.ckptRestore == nil) {
+		return fmt.Errorf("engine: worker %d: Config.Checkpoint is set but setup registered no Checkpoint closures", w.id)
+	}
 	// All vertices start active (paper Fig. 4 line 3).
 	w.active = make([]bool, w.LocalCount())
 	for i := range w.active {
@@ -411,6 +476,18 @@ func (w *Worker) runSupersteps(setup func(w *Worker), maxSteps int) error {
 	// NextFrame re-points it at each incoming frame body, so the
 	// steady-state decode path performs no allocation.
 	var sub ser.Buffer
+
+	if ck.Active() && ck.Restore > 0 {
+		done, rerr := w.restoreCheckpoint(ck, m)
+		if rerr != nil {
+			return fmt.Errorf("engine: worker %d: restore checkpoint %d: %w", w.id, ck.Restore, rerr)
+		}
+		if done {
+			// the restored superstep was the job's last: its termination
+			// reduce, re-crossed above, said stop
+			return nil
+		}
+	}
 
 	for {
 		w.superstep++
@@ -441,6 +518,16 @@ func (w *Worker) runSupersteps(setup func(w *Worker), maxSteps int) error {
 		}
 		if w.obsOn {
 			w.obsSmp.ComputeNS = time.Since(stepStart).Nanoseconds()
+		}
+
+		// Checkpoint cut: all workers sit between compute and the first
+		// exchange round of the same superstep (the previous barrier
+		// crossing aligned them), so the snapshot plus the superstep's
+		// teed incoming frames form a globally consistent cut. The probe
+		// fires here either way — the deterministic fault-injection point.
+		ck.FireProbe(w.id, w.superstep)
+		if ck.ShouldSave(w.superstep) {
+			w.ckptRec = w.snapshotCut()
 		}
 
 		// Exchange rounds (paper Fig. 4 lines 6-14). Every superstep has
@@ -513,6 +600,22 @@ func (w *Worker) runSupersteps(setup func(w *Worker), maxSteps int) error {
 		}
 		if w.obsOn {
 			w.obsSmp.Rounds = round
+		}
+
+		// Publish the checkpoint before the termination reduce: crossing
+		// that barrier is every worker's proof that all peers' records
+		// for this superstep are durable, so LatestComplete can trust any
+		// superstep the job moved past.
+		if w.ckptRec != nil {
+			w.ckptRec.Rounds = round
+			buf := ser.NewBuffer(4096)
+			w.ckptRec.Encode(buf)
+			perr := ck.Store.Put(ck.Job, w.superstep, w.id, buf.Bytes())
+			w.ckptRec = nil
+			if perr != nil {
+				return fmt.Errorf("engine: worker %d: checkpoint superstep %d: %w", w.id, w.superstep, perr)
+			}
+			ck.AfterSave(w.superstep)
 		}
 
 		// Global termination check: one reduce carries every worker's

@@ -23,7 +23,7 @@ func TestMain(m *testing.M) {
 	os.Exit(m.Run())
 }
 
-func distributedManager(t *testing.T, procs int, hook func(jobID string, pids []int)) (*jobs.Manager, *catalog.Catalog) {
+func distributedManager(t *testing.T, procs int, hook func(jobID string, pids []int), extra ...jobs.Option) (*jobs.Manager, *catalog.Catalog) {
 	t.Helper()
 	cat := catalog.New(4, 0)
 	t.Cleanup(cat.Close)
@@ -34,6 +34,7 @@ func distributedManager(t *testing.T, procs int, hook func(jobID string, pids []
 	if hook != nil {
 		opts = append(opts, jobs.WithSpawnHook(hook))
 	}
+	opts = append(opts, extra...)
 	mgr := jobs.NewManager(cat, 2, opts...)
 	t.Cleanup(mgr.Close)
 	return mgr, cat
@@ -84,10 +85,76 @@ func TestManagerDistributedJobCompletes(t *testing.T) {
 	}
 }
 
-// Killing a graphworker mid-job must fail the job cleanly: the barrier
-// abort propagates over the control connection and graphd reports
-// state=failed with the transport error joined in.
-func TestManagerKilledWorkerProcFailsJob(t *testing.T) {
+// Killing a graphworker mid-job no longer fails the job when recovery
+// is enabled: the manager's coordinator respawns the party from the
+// last checkpoint and the job lands in state=done with results
+// identical to an undisturbed run.
+func TestManagerKilledWorkerProcRecovers(t *testing.T) {
+	var mu sync.Mutex
+	pidsByJob := map[string][]int{}
+	mgr, _ := distributedManager(t, 4, func(jobID string, pids []int) {
+		mu.Lock()
+		pidsByJob[jobID] = pids
+		mu.Unlock()
+	}, jobs.WithRecovery(2, 1))
+
+	req := jobs.Request{
+		Algorithm: "pagerank", Dataset: "rmat",
+		Params: algorithms.Params{Iterations: 400}, MaxSupersteps: 200000,
+	}
+	clean, err := mgr.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := awaitTerminal(t, mgr, clean.ID, time.Minute); s.State != jobs.StateDone {
+		t.Fatalf("baseline: state=%s err=%q", s.State, s.Error)
+	}
+	want, err := mgr.Result(clean.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := mgr.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// wait for the spawn, then kill one worker process mid-superstep
+	deadline := time.Now().Add(30 * time.Second)
+	var pids []int
+	for {
+		mu.Lock()
+		pids = pidsByJob[snap.ID]
+		mu.Unlock()
+		if len(pids) > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(pids) == 0 {
+		t.Fatal("spawn hook never fired")
+	}
+	time.Sleep(300 * time.Millisecond)
+	if err := syscall.Kill(pids[2], syscall.SIGKILL); err != nil {
+		t.Skipf("worker already gone: %v", err)
+	}
+	final := awaitTerminal(t, mgr, snap.ID, time.Minute)
+	if final.State != jobs.StateDone {
+		t.Fatalf("state=%s (err=%q), want done via recovery", final.State, final.Error)
+	}
+	got, err := mgr.Result(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Ranks {
+		if got.Ranks[i] != want.Ranks[i] {
+			t.Fatalf("vertex %d: recovered rank %v differs from clean %v", i, got.Ranks[i], want.Ranks[i])
+		}
+	}
+}
+
+// With recovery off (the default), the same kill still fails the job
+// with the transport error joined in — the seed's fail-fast contract.
+func TestManagerKilledWorkerProcFailsJobByDefault(t *testing.T) {
 	var mu sync.Mutex
 	pidsByJob := map[string][]int{}
 	mgr, _ := distributedManager(t, 4, func(jobID string, pids []int) {
@@ -102,7 +169,6 @@ func TestManagerKilledWorkerProcFailsJob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// wait for the spawn, then kill one worker process mid-superstep
 	deadline := time.Now().Add(30 * time.Second)
 	var pids []int
 	for {

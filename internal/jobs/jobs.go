@@ -33,11 +33,16 @@ import (
 type State string
 
 const (
-	StatePending   State = "pending"
-	StateRunning   State = "running"
-	StateDone      State = "done"
-	StateFailed    State = "failed"
-	StateCancelled State = "cancelled"
+	StatePending State = "pending"
+	StateRunning State = "running"
+	// StateRecovering marks a distributed job whose worker party died
+	// mid-run and is being respawned from the latest complete
+	// checkpoint. Non-terminal: the job returns to running once the new
+	// party spawns, and to done/failed when it finishes for good.
+	StateRecovering State = "recovering"
+	StateDone       State = "done"
+	StateFailed     State = "failed"
+	StateCancelled  State = "cancelled"
 )
 
 // Terminal reports whether a job in this state will never run again.
@@ -117,15 +122,16 @@ func (j *job) snapshot() Snapshot {
 
 // Stats summarizes manager activity.
 type Stats struct {
-	Workers   int   `json:"workers"`
-	Queued    int   `json:"queued"`
-	Pending   int   `json:"pending"`
-	Running   int   `json:"running"`
-	Done      int   `json:"done"`
-	Failed    int   `json:"failed"`
-	Cancelled int   `json:"cancelled"`
-	Submitted int64 `json:"submitted"`
-	Evicted   int64 `json:"evicted"`
+	Workers    int   `json:"workers"`
+	Queued     int   `json:"queued"`
+	Pending    int   `json:"pending"`
+	Running    int   `json:"running"`
+	Recovering int   `json:"recovering"`
+	Done       int   `json:"done"`
+	Failed     int   `json:"failed"`
+	Cancelled  int   `json:"cancelled"`
+	Submitted  int64 `json:"submitted"`
+	Evicted    int64 `json:"evicted"`
 }
 
 // Manager owns the worker pool and the job table. Safe for concurrent
@@ -138,6 +144,11 @@ type Manager struct {
 	queueCap      int
 	workerProcs   int    // > 0: run jobs across graphworker subprocesses
 	workerBin     string // graphworker executable for the subprocess path
+	joinTimeout   time.Duration
+	resultTimeout time.Duration
+	wallTimeout   time.Duration
+	maxRecoveries int // > 0: checkpoint distributed jobs and recover from worker death
+	ckptInterval  int
 	spawnHook     func(jobID string, pids []int)
 	log           *slog.Logger
 	met           *managerMetrics
@@ -178,6 +189,37 @@ func WithWorkerProcs(n int, bin string) Option {
 	return func(m *Manager) { m.workerProcs, m.workerBin = n, bin }
 }
 
+// WithJoinTimeout bounds how long a distributed job's worker processes
+// may take to assemble on the hub (0 = the coordinator's 30s default).
+func WithJoinTimeout(d time.Duration) Option {
+	return func(m *Manager) { m.joinTimeout = d }
+}
+
+// WithResultTimeout bounds how long a distributed job's coordinator
+// waits for result blobs to settle after every worker process exited
+// (0 = the coordinator's 30s default).
+func WithResultTimeout(d time.Duration) Option {
+	return func(m *Manager) { m.resultTimeout = d }
+}
+
+// WithWallTimeout bounds each distributed attempt's total wall clock;
+// exceeding it aborts the attempt (and, with recovery enabled, triggers
+// a recovery cycle). This is the only detector for a *stalled* worker.
+// 0 disables the watchdog.
+func WithWallTimeout(d time.Duration) Option {
+	return func(m *Manager) { m.wallTimeout = d }
+}
+
+// WithRecovery makes distributed jobs survive worker death: every
+// worker checkpoints its state each ckptInterval supersteps (<= 0
+// defaults to 1) into a per-job store, and when a worker process dies
+// mid-run the manager respawns the full party up to maxRecoveries
+// times, restoring from the latest complete checkpoint. 0 preserves the
+// historical fail-fast behavior.
+func WithRecovery(maxRecoveries, ckptInterval int) Option {
+	return func(m *Manager) { m.maxRecoveries, m.ckptInterval = maxRecoveries, ckptInterval }
+}
+
 // WithSpawnHook installs a callback invoked with each distributed job's
 // subprocess pids (diagnostics; tests use it to kill a worker).
 func WithSpawnHook(f func(jobID string, pids []int)) Option {
@@ -216,6 +258,10 @@ func WithMetrics(reg *obs.Registry) Option {
 				"Supersteps executed by successful jobs."),
 			netBytes: reg.Counter("graphd_job_net_bytes_total",
 				"Cross-worker bytes moved by successful jobs."),
+			recoveries: reg.Counter("graphd_ckpt_recoveries_total",
+				"Checkpoint recovery cycles: a joined worker party was lost and respawned from the latest complete checkpoint."),
+			retries: reg.Counter("graphd_job_retries_total",
+				"Respawn retries for failures before the worker party assembled (spawn or join errors)."),
 		}
 	}
 }
@@ -229,6 +275,21 @@ type managerMetrics struct {
 	cancelled  *obs.Counter
 	supersteps *obs.Counter
 	netBytes   *obs.Counter
+	recoveries *obs.Counter
+	retries    *obs.Counter
+}
+
+// recovery records one respawn cycle: a lost party that had joined is a
+// checkpoint recovery, one that never assembled is a spawn/join retry.
+func (mm *managerMetrics) recovery(joined bool) {
+	if mm == nil {
+		return
+	}
+	if joined {
+		mm.recoveries.Inc()
+	} else {
+		mm.retries.Inc()
+	}
 }
 
 // observe records one terminal job.
@@ -478,12 +539,37 @@ func (m *Manager) executeDistributed(j *job, view *catalog.View, maxSteps int) (
 		Params:        j.req.Params,
 		MaxSupersteps: maxSteps,
 		Cancel:        j.cancel,
+		JoinTimeout:   m.joinTimeout,
+		ResultTimeout: m.resultTimeout,
+		WallTimeout:   m.wallTimeout,
 		Trace:         j.trace,
 		Logger:        m.log.With("job", j.id, "dataset", j.req.Dataset),
 	}
-	if m.spawnHook != nil {
-		id := j.id
-		spec.Spawned = func(pids []int) { m.spawnHook(id, pids) }
+	if m.maxRecoveries > 0 {
+		// Checkpoints live under the job's temp dir next to the snapshot:
+		// they share the job's lifetime and vanish with it.
+		spec.CkptDir = filepath.Join(dir, "ckpt")
+		spec.CkptInterval = m.ckptInterval
+		spec.CkptJob = j.id
+		spec.MaxRecoveries = m.maxRecoveries
+		spec.OnRecovery = func(attempt, restoreStep int, joined bool) {
+			m.met.recovery(joined)
+			m.mu.Lock()
+			if j.state == StateRunning {
+				j.state = StateRecovering
+			}
+			m.mu.Unlock()
+		}
+	}
+	spec.Spawned = func(pids []int) {
+		m.mu.Lock()
+		if j.state == StateRecovering {
+			j.state = StateRunning
+		}
+		m.mu.Unlock()
+		if m.spawnHook != nil {
+			m.spawnHook(j.id, pids)
+		}
 	}
 	return workerproc.Run(spec)
 }
@@ -590,7 +676,7 @@ func (m *Manager) Cancel(id string) error {
 		j.finished = time.Now()
 		m.retireLocked(j)
 		return nil
-	case StateRunning:
+	case StateRunning, StateRecovering:
 		if !j.cancelled {
 			j.cancelled = true
 			close(j.cancel)
@@ -639,7 +725,7 @@ func (m *Manager) ListPage(state State, offset, limit int) (out []Snapshot, tota
 // every state).
 func ParseState(s string) (State, error) {
 	switch State(s) {
-	case "", StatePending, StateRunning, StateDone, StateFailed, StateCancelled:
+	case "", StatePending, StateRunning, StateRecovering, StateDone, StateFailed, StateCancelled:
 		return State(s), nil
 	}
 	return "", fmt.Errorf("jobs: unknown state %q", s)
@@ -657,6 +743,8 @@ func (m *Manager) Stats() Stats {
 			st.Pending++
 		case StateRunning:
 			st.Running++
+		case StateRecovering:
+			st.Recovering++
 		case StateDone:
 			st.Done++
 		case StateFailed:

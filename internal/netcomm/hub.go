@@ -2,6 +2,7 @@ package netcomm
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -12,6 +13,13 @@ import (
 
 	"repro/internal/comm"
 )
+
+// ErrWorkerLost marks a job failure caused by a worker process dropping
+// its hub connection before delivering a result — the one failure class
+// a coordinator with checkpoints can recover from by respawning the
+// party. Wrapped into the hub's synthesized transport errors; test with
+// errors.Is.
+var ErrWorkerLost = errors.New("netcomm: worker connection lost")
 
 // Hub is the coordinator side of the socket fabric: it accepts one
 // connection per worker process, routes data frames between them, runs
@@ -132,7 +140,7 @@ func (h *Hub) serveConn(conn net.Conn) {
 				err = io.ErrUnexpectedEOF
 			}
 			h.errs = append(h.errs,
-				fmt.Errorf("netcomm: workers %d-%d: connection lost: %v", hc.lo, hc.hi, err))
+				fmt.Errorf("%w: workers %d-%d: %v", ErrWorkerLost, hc.lo, hc.hi, err))
 			h.log.Warn("worker connection lost",
 				"workers", fmt.Sprintf("%d-%d", hc.lo, hc.hi), "err", err)
 		}
@@ -188,7 +196,7 @@ func (h *Hub) pump(hc *hubConn) error {
 				h.mu.Lock()
 				if !h.aborted {
 					h.errs = append(h.errs,
-						fmt.Errorf("netcomm: workers %d-%d: connection lost: %v", target.lo, target.hi, err))
+						fmt.Errorf("%w: workers %d-%d: %v", ErrWorkerLost, target.lo, target.hi, err))
 				}
 				h.abortLocked(fmt.Sprintf("workers %d-%d: frame delivery failed", target.lo, target.hi))
 				h.mu.Unlock()

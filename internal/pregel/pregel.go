@@ -22,7 +22,14 @@
 //
 // The engine shares the partition, serialization, and simulated
 // transport with the channel engine, so runtimes and byte counts are
-// directly comparable.
+// directly comparable. It also shares the channel engine's
+// fault-tolerance seam: Config.Checkpoint cuts a ckpt.Record per worker
+// at the barrier-aligned point after compute and before the superstep's
+// message round(s) — the round structure (one round, or two when
+// responses or aggregation are in play) is recorded so a restore
+// replays exactly the rounds the superstep ran, and the record is
+// persisted before the termination AllReduce so completeness is
+// all-or-nothing across the party.
 package pregel
 
 import (
@@ -31,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/barrier"
+	"repro/internal/ckpt"
 	"repro/internal/comm"
 	"repro/internal/frag"
 	"repro/internal/graph"
@@ -68,6 +76,11 @@ type Config[M, R, A any] struct {
 	// fixed round count (1, or 2 with reqresp/aggregator) and leave the
 	// per-channel breakdown nil. Nil disables all collection.
 	Observer obs.Observer
+	// Checkpoint, if non-nil with a store, snapshots every worker's
+	// state at the barrier-aligned cut every Interval supersteps and, on
+	// Restore > 0, resumes from the saved superstep. The algorithm must
+	// register Save/Restore closures via Worker.Checkpoint.
+	Checkpoint *ckpt.Hook
 
 	// MsgCodec encodes the global message type.
 	MsgCodec ser.Codec[M]
@@ -120,6 +133,12 @@ type Worker[M, R, A any] struct {
 	// Compute is invoked for every active local vertex each superstep
 	// with the combined/collected messages from the previous superstep.
 	Compute func(li int, msgs []M)
+
+	// checkpoint closures (Worker.Checkpoint) and the record being
+	// assembled while the cut superstep's exchange rounds run.
+	ckptSave    func(buf *ser.Buffer)
+	ckptRestore func(buf *ser.Buffer)
+	ckptRec     *ckpt.Record
 
 	// outgoing message staging. Destinations are staged pre-resolved as
 	// their dense local index on the owning worker (also the wire
@@ -233,6 +252,15 @@ func (w *Worker[M, R, A]) ActivateLocal(li int) {
 
 // RequestStop terminates the job after this superstep.
 func (w *Worker[M, R, A]) RequestStop() { w.halt = true }
+
+// Checkpoint registers the algorithm's state closures: save appends the
+// per-worker vertex state (local order) to the buffer, restore reads the
+// same encoding back into the already-allocated state. Both run at the
+// barrier-aligned cut point (after compute, before the exchange rounds).
+// Required when Config.Checkpoint has a store; a no-op otherwise.
+func (w *Worker[M, R, A]) Checkpoint(save, restore func(buf *ser.Buffer)) {
+	w.ckptSave, w.ckptRestore = save, restore
+}
 
 // Send sends m to vertex dst, delivered next superstep. Transitional
 // id-based entry point: per-edge loops should iterate Frag().Neighbors

@@ -86,6 +86,10 @@ func (w *Worker[M, R, A]) runSupersteps(setup func(*Worker[M, R, A]), maxSteps i
 	if w.Compute == nil {
 		return fmt.Errorf("pregel: worker %d: setup did not install Compute", w.id)
 	}
+	ck := cfg.Checkpoint
+	if ck.Active() && (w.ckptSave == nil || w.ckptRestore == nil) {
+		return fmt.Errorf("pregel: worker %d: Config.Checkpoint is set but setup registered no Checkpoint closures", w.id)
+	}
 	w.active = make([]bool, n)
 	for i := range w.active {
 		w.active[i] = true
@@ -97,6 +101,16 @@ func (w *Worker[M, R, A]) runSupersteps(setup func(*Worker[M, R, A]), maxSteps i
 
 	twoRounds := cfg.Responder != nil || cfg.AggCombine != nil
 	w.obsOn = cfg.Observer != nil
+
+	if ck.Active() && ck.Restore > 0 {
+		done, rerr := w.restoreCheckpoint(ck, m, twoRounds)
+		if rerr != nil {
+			return fmt.Errorf("pregel: worker %d: restore checkpoint %d: %w", w.id, ck.Restore, rerr)
+		}
+		if done {
+			return nil
+		}
+	}
 
 	for {
 		w.superstep++
@@ -127,6 +141,10 @@ func (w *Worker[M, R, A]) runSupersteps(setup func(*Worker[M, R, A]), maxSteps i
 		if w.obsOn {
 			w.obsSmp.ComputeNS = time.Since(stepStart).Nanoseconds()
 		}
+		ck.FireProbe(w.id, w.superstep)
+		if ck.ShouldSave(w.superstep) {
+			w.ckptRec = w.snapshotCut(twoRounds)
+		}
 
 		// round 1: two barrier crossings — the post-flush wait proves all
 		// sends are published, the post-deliver wait proves all inputs
@@ -138,6 +156,20 @@ func (w *Worker[M, R, A]) runSupersteps(setup func(*Worker[M, R, A]), maxSteps i
 			if err := w.runRound(w.serializeRound2, w.deserializeRound2); err != nil {
 				return err
 			}
+		}
+
+		// The record is durable before the termination reduce below:
+		// crossing the reduce is the proof that every worker's cut for
+		// this superstep reached the store, making it complete.
+		if w.ckptRec != nil {
+			rec := w.ckptRec
+			w.ckptRec = nil
+			buf := ser.NewBuffer(4096)
+			rec.Encode(buf)
+			if err := ck.Store.Put(ck.Job, w.superstep, w.id, buf.Bytes()); err != nil {
+				return fmt.Errorf("pregel: worker %d: checkpoint superstep %d: %w", w.id, w.superstep, err)
+			}
+			ck.AfterSave(w.superstep)
 		}
 
 		// termination check: one reduce carries every worker's active
@@ -227,6 +259,9 @@ func (w *Worker[M, R, A]) deserializeFrom(src int, decode func(int, *ser.Buffer)
 		}
 	}()
 	in := w.ep.In(src)
+	if w.ckptRec != nil {
+		w.ckptRec.Frames = append(w.ckptRec.Frames, append([]byte(nil), in.Unread()...))
+	}
 	if w.obsOn {
 		w.obsSmp.BytesRecv += int64(in.Remaining())
 		w.obsSmp.FramesRecv++

@@ -48,6 +48,11 @@ func (b *Buffer) Remaining() int { return len(b.data) - b.pos }
 // Bytes returns the underlying byte slice (written portion).
 func (b *Buffer) Bytes() []byte { return b.data }
 
+// Unread returns the not-yet-consumed portion of the buffer without
+// advancing the cursor. The slice aliases the buffer's storage; callers
+// that retain it (e.g. the checkpoint frame tee) must copy.
+func (b *Buffer) Unread() []byte { return b.data[b.pos:] }
+
 // Reset discards contents and rewinds the cursor, retaining capacity.
 func (b *Buffer) Reset() {
 	b.data = b.data[:0]

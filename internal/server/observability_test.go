@@ -7,9 +7,11 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
+	"repro/internal/algorithms"
 	"repro/internal/catalog"
 	"repro/internal/jobs"
 	"repro/internal/obs"
@@ -156,4 +158,89 @@ func TestMetricsAndTraceEndToEnd(t *testing.T) {
 
 	// unknown job: trace is a 404
 	getJSON(t, inprocURL+"/v1/jobs/j-999999/trace", http.StatusNotFound, nil)
+
+	// recovery instruments are always exported, even before any fault
+	for _, want := range []string{"graphd_ckpt_recoveries_total", "graphd_job_retries_total"} {
+		if body := getText(t, distURL+"/metrics"); !strings.Contains(body, want) {
+			t.Errorf("distributed /metrics missing %q", want)
+		}
+	}
+}
+
+// End-to-end recovery observability: a worker process killed mid-job on
+// a recovery-enabled stack must leave the job state=done and the
+// recovery visible in /metrics as graphd_ckpt_recoveries_total.
+func TestRecoveryCountedInMetrics(t *testing.T) {
+	cat := catalog.New(4, 0)
+	t.Cleanup(cat.Close)
+	if err := cat.Register(catalog.Spec{Name: "rmat", Gen: "rmat:scale=7,ef=5,seed=21"}); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	var mu sync.Mutex
+	var pids []int
+	mgr := jobs.NewManager(cat, 2,
+		jobs.WithMetrics(reg),
+		jobs.WithWorkerProcs(4, os.Args[0]),
+		jobs.WithRecovery(2, 1),
+		jobs.WithSpawnHook(func(jobID string, p []int) {
+			mu.Lock()
+			if pids == nil {
+				pids = append([]int(nil), p...)
+			}
+			mu.Unlock()
+		}))
+	ts := httptest.NewServer(New(cat, mgr, WithRegistry(reg)).Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(mgr.Close)
+
+	snap, status := postJob(t, ts.URL, jobs.Request{
+		Algorithm: "pagerank", Dataset: "rmat",
+		Params: algorithms.Params{Iterations: 400}, MaxSupersteps: 200000,
+	})
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", status)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		mu.Lock()
+		got := len(pids)
+		mu.Unlock()
+		if got > 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	mu.Lock()
+	victims := pids
+	mu.Unlock()
+	if len(victims) == 0 {
+		t.Fatal("spawn hook never fired")
+	}
+	time.Sleep(300 * time.Millisecond)
+	if err := syscall.Kill(victims[1], syscall.SIGKILL); err != nil {
+		t.Skipf("worker already gone: %v", err)
+	}
+	final := waitDone(t, ts.URL, snap.ID)
+	if final.State != jobs.StateDone {
+		t.Fatalf("state=%s err=%q, want done via recovery", final.State, final.Error)
+	}
+	body := getText(t, ts.URL+"/metrics")
+	if !strings.Contains(body, "graphd_ckpt_recoveries_total 1") {
+		t.Fatalf("/metrics does not count the recovery:\n%s", grepLines(body, "recoveries"))
+	}
+	if !strings.Contains(body, `graphd_jobs{state="recovering"} 0`) {
+		t.Errorf("/metrics missing the recovering-state gauge:\n%s", grepLines(body, "graphd_jobs{"))
+	}
+}
+
+// grepLines returns the lines of s containing sub, for failure output.
+func grepLines(s, sub string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, sub) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
 }

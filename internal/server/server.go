@@ -475,6 +475,7 @@ func (s *Server) scrape(e *obs.Emitter) {
 	js := s.mgr.Stats()
 	e.Gauge("graphd_jobs", "Retained jobs by lifecycle state.", float64(js.Pending), "state", "pending")
 	e.Gauge("graphd_jobs", "Retained jobs by lifecycle state.", float64(js.Running), "state", "running")
+	e.Gauge("graphd_jobs", "Retained jobs by lifecycle state.", float64(js.Recovering), "state", "recovering")
 	e.Gauge("graphd_jobs", "Retained jobs by lifecycle state.", float64(js.Done), "state", "done")
 	e.Gauge("graphd_jobs", "Retained jobs by lifecycle state.", float64(js.Failed), "state", "failed")
 	e.Gauge("graphd_jobs", "Retained jobs by lifecycle state.", float64(js.Cancelled), "state", "cancelled")

@@ -2,17 +2,21 @@ package workerproc
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"log/slog"
+	"math/rand"
 	"net"
 	"os"
 	"os/exec"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/algorithms"
 	"repro/internal/barrier"
+	"repro/internal/ckpt"
 	"repro/internal/comm"
 	"repro/internal/netcomm"
 	"repro/internal/obs"
@@ -64,6 +68,49 @@ type JobSpec struct {
 	// (default 30s).
 	JoinTimeout time.Duration
 
+	// ResultTimeout bounds how long the coordinator waits for result
+	// blobs to settle after every worker process exited (default 30s).
+	ResultTimeout time.Duration
+
+	// WallTimeout, when > 0, bounds one attempt's total wall clock: if
+	// the job has not finished by then the hub aborts and stragglers are
+	// killed after a grace period. This is the only way a *stalled*
+	// worker (alive, connected, parked forever) is ever detected — a
+	// kill or a dropped connection surfaces through the hub on its own.
+	WallTimeout time.Duration
+
+	// CkptDir, when set, enables superstep checkpointing: every worker
+	// process persists its per-worker record into a ckpt.Dir store
+	// rooted here, every CkptInterval supersteps (default 1).
+	CkptDir      string
+	CkptInterval int
+	// CkptJob keys the records inside the store (default "job").
+	CkptJob string
+
+	// MaxRecoveries is how many times Run respawns the worker party
+	// after a recoverable failure — a worker process dying, dropping its
+	// hub connection, or (with WallTimeout) stalling — before giving up.
+	// Each recovered attempt restores from the latest complete
+	// checkpoint in CkptDir (or restarts from scratch when none exists).
+	// 0 preserves the historical fail-fast behavior.
+	MaxRecoveries int
+
+	// RetryBackoff is the base delay between recovery attempts,
+	// doubling per attempt with jitter, capped at 5s (default 100ms).
+	RetryBackoff time.Duration
+
+	// Fault, if set, is injected into the first attempt's workers via
+	// the -fault flag (deterministic failure for tests; recovered
+	// attempts run clean).
+	Fault *FaultSpec
+
+	// OnRecovery, if set, is called before each respawn with the
+	// 1-based attempt number, the checkpoint superstep the new party
+	// will restore from (0 = from scratch), and whether the failed
+	// attempt's party had fully joined the hub (false means the failure
+	// was at spawn/join time, not mid-run).
+	OnRecovery func(attempt, restoreStep int, joined bool)
+
 	// Spawned, if set, is called with the worker process pids once all
 	// are started (diagnostics; the failure tests use it to kill one).
 	Spawned func(pids []int)
@@ -83,10 +130,81 @@ type JobSpec struct {
 // Run executes a job across worker subprocesses and returns the merged
 // result. The returned metrics carry the hub's job-wide communication
 // stats; Supersteps is the minimum any worker process reported.
+//
+// With MaxRecoveries > 0, a recoverable failure — a worker process that
+// died or lost its hub connection without reporting an algorithm error
+// of its own — does not fail the job: Run tears the attempt down,
+// consults the checkpoint store for the latest complete superstep, and
+// respawns the full party with a -restore flag, up to MaxRecoveries
+// times with capped exponential backoff. An error a worker *reported*
+// (a real algorithm or configuration failure) is never retried, and
+// cancellation always wins.
 func Run(spec JobSpec) (*algorithms.Result, error) {
 	if spec.Part == nil {
 		return nil, fmt.Errorf("workerproc: JobSpec.Part is required")
 	}
+	if spec.CkptDir != "" {
+		if spec.CkptInterval <= 0 {
+			spec.CkptInterval = 1
+		}
+		if spec.CkptJob == "" {
+			spec.CkptJob = "job"
+		}
+	}
+	log := spec.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
+	restore := 0
+	for attempt := 0; ; attempt++ {
+		res, joined, recoverable, err := runAttempt(spec, attempt, restore, log)
+		if err == nil || !recoverable || attempt >= spec.MaxRecoveries {
+			return res, err
+		}
+		restore = 0
+		if spec.CkptDir != "" {
+			s, lerr := ckpt.NewDir(spec.CkptDir).LatestComplete(spec.CkptJob, spec.Part.NumWorkers())
+			if lerr != nil {
+				log.Warn("checkpoint scan failed, restarting from scratch", "err", lerr)
+			} else {
+				restore = s
+			}
+		}
+		log.Warn("recovering job", "attempt", attempt+1, "max", spec.MaxRecoveries,
+			"restore_superstep", restore, "joined", joined, "cause", err)
+		if spec.OnRecovery != nil {
+			spec.OnRecovery(attempt+1, restore, joined)
+		}
+		if err := sleepBackoff(spec, attempt); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// sleepBackoff waits out the capped exponential backoff before recovery
+// attempt, honoring cancellation.
+func sleepBackoff(spec JobSpec, attempt int) error {
+	base := spec.RetryBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	delay := base << uint(attempt)
+	if max := 5 * time.Second; delay > max || delay <= 0 {
+		delay = max
+	}
+	delay += time.Duration(rand.Int63n(int64(delay)/2 + 1))
+	select {
+	case <-time.After(delay):
+		return nil
+	case <-spec.Cancel: // nil channel: never fires
+		return barrier.ErrCancelled
+	}
+}
+
+// runAttempt runs one full spawn-execute-merge cycle. It reports, along
+// with the result, whether the party fully joined the hub and whether a
+// failure is recoverable — i.e. worth respawning the party over.
+func runAttempt(spec JobSpec, attempt, restore int, log *slog.Logger) (*algorithms.Result, bool, bool, error) {
 	m := spec.Part.NumWorkers()
 	procs := spec.Procs
 	if procs <= 0 {
@@ -103,9 +221,9 @@ func Run(spec JobSpec) (*algorithms.Result, error) {
 	if joinTimeout == 0 {
 		joinTimeout = 30 * time.Second
 	}
-	log := spec.Logger
-	if log == nil {
-		log = slog.New(slog.DiscardHandler)
+	resultTimeout := spec.ResultTimeout
+	if resultTimeout == 0 {
+		resultTimeout = 30 * time.Second
 	}
 
 	var addr string
@@ -115,7 +233,7 @@ func Run(spec JobSpec) (*algorithms.Result, error) {
 	case "unix":
 		dir, derr := os.MkdirTemp("", "graphw")
 		if derr != nil {
-			return nil, fmt.Errorf("workerproc: %w", derr)
+			return nil, false, false, fmt.Errorf("workerproc: %w", derr)
 		}
 		defer os.RemoveAll(dir)
 		addr = dir + "/hub.sock"
@@ -126,10 +244,10 @@ func Run(spec JobSpec) (*algorithms.Result, error) {
 			addr = ln.Addr().String()
 		}
 	default:
-		return nil, fmt.Errorf("workerproc: unknown network %q", network)
+		return nil, false, false, fmt.Errorf("workerproc: unknown network %q", network)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("workerproc: listen: %w", err)
+		return nil, false, false, fmt.Errorf("workerproc: listen: %w", err)
 	}
 	hub := netcomm.NewHub(m, spec.Cost, ln)
 	defer hub.Close()
@@ -159,6 +277,18 @@ func Run(spec JobSpec) (*algorithms.Result, error) {
 		if spec.Trace != nil {
 			args = append(args, "-trace")
 		}
+		if spec.CkptDir != "" {
+			args = append(args,
+				"-ckpt-dir", spec.CkptDir,
+				"-ckpt-job", spec.CkptJob,
+				"-ckpt-interval", strconv.Itoa(spec.CkptInterval))
+		}
+		if restore > 0 {
+			args = append(args, "-restore", strconv.Itoa(restore))
+		}
+		if spec.Fault != nil && attempt == 0 {
+			args = append(args, "-fault", spec.Fault.String())
+		}
 		cmd := exec.Command(spec.Bin, args...)
 		cmd.Env = append(os.Environ(), spec.Env...)
 		cmd.Env = append(cmd.Env, ChildEnv+"=1")
@@ -172,7 +302,9 @@ func Run(spec JobSpec) (*algorithms.Result, error) {
 				c.Process.Kill()
 				c.Wait()
 			}
-			return nil, fmt.Errorf("workerproc: spawn graphworker %d: %w", i, err)
+			// Spawn failures are often transient (fd or pid pressure):
+			// recoverable, so the retry loop gets a shot at them.
+			return nil, false, true, fmt.Errorf("workerproc: spawn graphworker %d: %w", i, err)
 		}
 		cmds[i], stderrs[i], taggers[i], pids[i] = cmd, sb, tg, cmd.Process.Pid
 	}
@@ -205,6 +337,7 @@ func Run(spec JobSpec) (*algorithms.Result, error) {
 
 	// Join watchdog: if the party never assembles, abort and kill so
 	// Wait below cannot hang on a worker parked in a barrier.
+	var joinedOK atomic.Bool
 	joined := make(chan error, 1)
 	go func() { joined <- hub.WaitJoined(joinTimeout) }()
 
@@ -224,8 +357,29 @@ func Run(spec JobSpec) (*algorithms.Result, error) {
 			for _, c := range cmds {
 				c.Process.Kill()
 			}
+		} else {
+			joinedOK.Store(true)
 		}
 	}()
+
+	// Wall-clock watchdog: a stalled worker stays joined and keeps its
+	// connection, so neither the hub nor the join watchdog ever notices
+	// it — only elapsed time can. Abort first so live workers unwind and
+	// report, then kill whatever is still parked.
+	if spec.WallTimeout > 0 {
+		wallTimer := time.AfterFunc(spec.WallTimeout, func() {
+			hub.Abort("wall-clock timeout")
+			select {
+			case <-procsDone:
+			case <-time.After(5 * time.Second):
+				for _, c := range cmds {
+					c.Process.Kill()
+				}
+			}
+		})
+		defer wallTimer.Stop()
+	}
+
 	wg.Wait()
 	close(procsDone)
 	for _, tg := range taggers {
@@ -240,7 +394,7 @@ func Run(spec JobSpec) (*algorithms.Result, error) {
 	settle := time.AfterFunc(5*time.Second, func() {
 		hub.Abort("worker processes exited without reporting")
 	})
-	blobs, hubErrs, werr := hub.WaitResults(30 * time.Second)
+	blobs, hubErrs, werr := hub.WaitResults(resultTimeout)
 	settle.Stop()
 	if werr != nil {
 		hubErrs = append(hubErrs, werr)
@@ -294,11 +448,25 @@ func Run(spec JobSpec) (*algorithms.Result, error) {
 			reported = append(reported, p.err)
 		}
 		if realErr := barrier.JoinErrors(reported); realErr == nil {
-			return nil, barrier.ErrCancelled
+			return nil, joinedOK.Load(), false, barrier.ErrCancelled
 		}
 	}
 	if err != nil {
-		return nil, err
+		// Recoverability: a failure is worth respawning over only when
+		// no worker *reported* an error of its own — every partial that
+		// arrived is either fine or pure abort fallout, so the root
+		// cause is a process that died, dropped its connection
+		// (netcomm.ErrWorkerLost) or was killed by a watchdog. An error
+		// a worker shipped in its result blob (a superstep cap, a bad
+		// restore, an algorithm failure) would just recur on retry.
+		recoverable := !cancelled && !errors.Is(err, barrier.ErrCancelled)
+		for _, p := range partials {
+			if p.err != nil && !errors.Is(p.err, barrier.ErrAborted) && !errors.Is(p.err, barrier.ErrCancelled) {
+				recoverable = false
+				break
+			}
+		}
+		return nil, joinedOK.Load(), recoverable, err
 	}
 	hubStats := hub.Stats()
 	res.Metrics = algorithms.Metrics{
@@ -326,7 +494,7 @@ func Run(spec JobSpec) (*algorithms.Result, error) {
 	res.Metrics.WorkerWall = wall
 	log.Debug("job merged", "supersteps", minSteps,
 		"net_bytes", hubStats.NetworkBytes, "rounds", hubStats.Rounds)
-	return res, nil
+	return res, true, false, nil
 }
 
 // splitRanges deals m workers into n contiguous, near-equal ranges.

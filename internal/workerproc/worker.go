@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/algorithms"
+	"repro/internal/ckpt"
 	"repro/internal/frag"
 	"repro/internal/graph"
 	"repro/internal/netcomm"
@@ -43,6 +44,11 @@ func Main(args []string, stderr io.Writer) int {
 	source := fs.Uint64("source", 0, "SSSP source vertex")
 	maxSupersteps := fs.Int("max-supersteps", 0, "superstep cap (0 = engine default)")
 	traceOn := fs.Bool("trace", false, "collect per-superstep trace samples and ship them with the partial result")
+	ckptDir := fs.String("ckpt-dir", "", "checkpoint store directory (empty = checkpointing off)")
+	ckptJob := fs.String("ckpt-job", "job", "checkpoint job key inside the store")
+	ckptInterval := fs.Int("ckpt-interval", 0, "supersteps between checkpoints (0 = never save)")
+	restore := fs.Int("restore", 0, "superstep to restore from before running (0 = fresh start)")
+	faultFlag := fs.String("fault", "", "deterministic fault injection kind:W@S (tests only)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -98,6 +104,20 @@ func Main(args []string, stderr io.Writer) int {
 		Frags:         frag.Build(g, part),
 		MaxSupersteps: *maxSupersteps,
 		Fabric:        client,
+	}
+	if *ckptDir != "" || *faultFlag != "" {
+		hook := &ckpt.Hook{Job: *ckptJob, Interval: *ckptInterval, Restore: *restore}
+		if *ckptDir != "" {
+			hook.Store = ckpt.NewDir(*ckptDir)
+		}
+		if *faultFlag != "" {
+			f, ferr := ParseFault(*faultFlag)
+			if ferr != nil {
+				return fail(ferr)
+			}
+			hook.Probe = f.probe(client)
+		}
+		opts.Checkpoint = hook
 	}
 	var tr *obs.Trace
 	if *traceOn {

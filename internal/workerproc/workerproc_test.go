@@ -7,13 +7,13 @@ import (
 	"path/filepath"
 	"strings"
 	"sync/atomic"
-	"syscall"
 	"testing"
 	"time"
 
 	"repro/internal/algorithms"
 	"repro/internal/barrier"
 	"repro/internal/graph"
+	"repro/internal/netcomm"
 	"repro/internal/partition"
 	"repro/internal/seq"
 	"repro/internal/workerproc"
@@ -166,46 +166,145 @@ func checkLabels(t *testing.T, name string, got, want []graph.VertexID) {
 	}
 }
 
-// Killing a worker process mid-superstep must fail the job with a
-// joined transport error — never hang: the hub turns the dropped
-// connection into a barrier abort that releases every other process.
-func TestKillWorkerMidJobFailsCleanly(t *testing.T) {
+// Without recovery enabled (the default), a SIGKILLed worker still
+// fails the job with a joined transport error — never hangs: the hub
+// turns the dropped connection into a barrier abort that releases every
+// other process, and the error carries netcomm.ErrWorkerLost.
+func TestKillWorkerWithoutRecoveryFailsCleanly(t *testing.T) {
 	g := graph.Undirectify(graph.RMAT(9, 6, 3, graph.RMATOptions{NoSelfLoops: true}))
 	const m = 4
 	snap, parts := writeSnapshot(t, g, m)
-	var killed atomic.Bool
-	done := make(chan struct{})
 	res, err := workerproc.Run(workerproc.JobSpec{
-		Bin:          os.Args[0],
-		SnapshotPath: snap,
-		Placement:    partition.PlacementHash,
-		Part:         parts[partition.PlacementHash],
-		Procs:        m,
-		Algorithm:    "pagerank",
-		Engine:       algorithms.EngineChannel,
-		// enough iterations that the kill lands mid-run
-		Params:        algorithms.Params{Iterations: 100000},
+		Bin:           os.Args[0],
+		SnapshotPath:  snap,
+		Placement:     partition.PlacementHash,
+		Part:          parts[partition.PlacementHash],
+		Procs:         m,
+		Algorithm:     "pagerank",
+		Engine:        algorithms.EngineChannel,
+		Params:        algorithms.Params{Iterations: 20},
 		MaxSupersteps: 200000,
 		JoinTimeout:   time.Minute,
-		Spawned: func(pids []int) {
-			go func() {
-				defer close(done)
-				time.Sleep(500 * time.Millisecond)
-				if perr := syscall.Kill(pids[1], syscall.SIGKILL); perr == nil {
-					killed.Store(true)
-				}
-			}()
-		},
+		Fault:         &workerproc.FaultSpec{Kind: "kill", Worker: 1, Superstep: 4},
 	})
-	<-done
-	if !killed.Load() {
-		t.Skip("worker exited before the kill landed")
-	}
 	if err == nil {
 		t.Fatalf("job succeeded despite killed worker (res=%v)", res != nil)
 	}
-	if !strings.Contains(err.Error(), "connection lost") && !strings.Contains(err.Error(), "exited") {
+	if !errors.Is(err, netcomm.ErrWorkerLost) && !strings.Contains(err.Error(), "exited") {
 		t.Fatalf("error does not surface the dead worker: %v", err)
+	}
+}
+
+// TestFaultMatrixRecovers is the recovery acceptance matrix: a
+// deterministic kill, drop or stall of one worker mid-job, under either
+// engine on either socket fabric, must complete anyway — the
+// coordinator respawns the party from the last complete checkpoint and
+// the final ranks are byte-identical to an in-process run of the same
+// engine.
+func TestFaultMatrixRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns many worker processes")
+	}
+	g := graph.Undirectify(graph.RMAT(8, 5, 3, graph.RMATOptions{NoSelfLoops: true}))
+	const m = 4
+	snap, parts := writeSnapshot(t, g, m)
+	part := parts[partition.PlacementHash]
+	params := algorithms.Params{Iterations: 12}
+	spec, _ := algorithms.Lookup("pagerank")
+
+	for _, eng := range []algorithms.Engine{algorithms.EngineChannel, algorithms.EnginePregel} {
+		oracle, err := spec.Run(eng, "", g,
+			algorithms.Options{Part: part, MaxSupersteps: 200000}, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range []struct{ kind, network string }{
+			{"kill", "unix"}, {"drop", "unix"}, {"stall", "unix"},
+			{"kill", "tcp"}, {"drop", "tcp"}, {"stall", "tcp"},
+		} {
+			kind, network := tc.kind, tc.network
+			t.Run(fmt.Sprintf("%s/%s/%s", eng, kind, network), func(t *testing.T) {
+				var recoveries atomic.Int32
+				js := workerproc.JobSpec{
+					Bin:           os.Args[0],
+					SnapshotPath:  snap,
+					Placement:     partition.PlacementHash,
+					Part:          part,
+					Procs:         m,
+					Algorithm:     "pagerank",
+					Engine:        eng,
+					Network:       network,
+					Params:        params,
+					MaxSupersteps: 200000,
+					JoinTimeout:   time.Minute,
+					CkptDir:       t.TempDir(),
+					CkptInterval:  2,
+					CkptJob:       "t",
+					MaxRecoveries: 2,
+					RetryBackoff:  10 * time.Millisecond,
+					Fault:         &workerproc.FaultSpec{Kind: kind, Worker: 2, Superstep: 5},
+					OnRecovery: func(attempt, restoreStep int, joined bool) {
+						recoveries.Add(1)
+						if joined && restoreStep == 0 {
+							t.Errorf("joined party recovered without any checkpoint")
+						}
+					},
+				}
+				if kind == "stall" {
+					// the only detector a parked worker has
+					js.WallTimeout = 5 * time.Second
+				}
+				res, err := workerproc.Run(js)
+				if err != nil {
+					t.Fatalf("%s/%s: job did not recover: %v", eng, kind, err)
+				}
+				if recoveries.Load() == 0 {
+					t.Fatalf("%s/%s: job succeeded without recovering (fault never fired?)", eng, kind)
+				}
+				if len(res.Ranks) != len(oracle.Ranks) {
+					t.Fatalf("rank vector length %d want %d", len(res.Ranks), len(oracle.Ranks))
+				}
+				for i := range oracle.Ranks {
+					if res.Ranks[i] != oracle.Ranks[i] {
+						t.Fatalf("%s/%s: vertex %d got %v want %v (recovered run diverged)",
+							eng, kind, i, res.Ranks[i], oracle.Ranks[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// A worker error that would recur on every attempt — here the superstep
+// cap — must fail fast even with recovery enabled: retrying cannot fix
+// a deterministic failure, and each retry would burn a full attempt.
+func TestRecoveryDoesNotRetryDeterministicErrors(t *testing.T) {
+	g := graph.Undirectify(graph.RMAT(7, 4, 9, graph.RMATOptions{NoSelfLoops: true}))
+	const m = 2
+	snap, parts := writeSnapshot(t, g, m)
+	retried := false
+	_, err := workerproc.Run(workerproc.JobSpec{
+		Bin:           os.Args[0],
+		SnapshotPath:  snap,
+		Placement:     partition.PlacementHash,
+		Part:          parts[partition.PlacementHash],
+		Procs:         m,
+		Algorithm:     "pagerank",
+		Engine:        algorithms.EngineChannel,
+		Params:        algorithms.Params{Iterations: 50},
+		MaxSupersteps: 3,
+		JoinTimeout:   time.Minute,
+		CkptDir:       t.TempDir(),
+		CkptInterval:  1,
+		MaxRecoveries: 3,
+		RetryBackoff:  10 * time.Millisecond,
+		OnRecovery:    func(int, int, bool) { retried = true },
+	})
+	if err == nil {
+		t.Fatal("expected MaxSupersteps error")
+	}
+	if retried {
+		t.Fatalf("deterministic failure was retried: %v", err)
 	}
 }
 

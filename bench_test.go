@@ -13,8 +13,10 @@ package repro
 //	BenchmarkAblation*  — design-choice ablations
 
 import (
+	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/algorithms"
 	"repro/internal/channel"
@@ -23,6 +25,7 @@ import (
 	"repro/internal/frag"
 	"repro/internal/graph"
 	"repro/internal/harness"
+	"repro/internal/netcomm"
 	"repro/internal/partition"
 	"repro/internal/pregel"
 	"repro/internal/ser"
@@ -538,4 +541,99 @@ func svSetup(g *graph.Graph, p *partition.Partition) func(w *engine.Worker) {
 			}
 		}
 	}
+}
+
+// --- Distributed exchange: hub relay vs p2p mesh data plane ---
+
+// BenchmarkDistributedExchange pins the data-plane comparison the p2p
+// transport exists for: m socket-fabric clients over loopback TCP run
+// all-to-all exchange rounds (the engines' exact per-round protocol:
+// Flush, barrier, consume, reducing crossing, release) on the hub relay
+// and on the direct mesh. hubB/op is the frame volume transiting the
+// coordinator per round — the whole exchange on the hub plane, zero
+// under p2p.
+func BenchmarkDistributedExchange(b *testing.B) {
+	for _, plane := range []string{netcomm.DataPlaneHub, netcomm.DataPlaneP2P} {
+		b.Run(plane, func(b *testing.B) { benchExchange(b, plane) })
+	}
+}
+
+func benchExchange(b *testing.B, plane string) {
+	const m = 4
+	const frame = 64 << 10
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	hub := netcomm.NewHub(m, comm.CostModel{}, ln)
+	defer hub.Close()
+	clients := make([]*netcomm.Client, m)
+	errs := make([]error, m)
+	var dial sync.WaitGroup
+	for i := 0; i < m; i++ {
+		dial.Add(1)
+		go func(i int) {
+			defer dial.Done()
+			clients[i], errs[i] = netcomm.DialConfig(netcomm.Config{
+				Network: "tcp", Addr: ln.Addr().String(),
+				Lo: i, Hi: i, M: m, DataPlane: plane,
+			})
+		}(i)
+	}
+	dial.Wait()
+	for _, err := range errs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	if err := hub.WaitJoined(time.Minute); err != nil {
+		b.Fatal(err)
+	}
+
+	payload := make([]byte, frame)
+	b.SetBytes(int64(m * (m - 1) * frame))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ep := clients[i].Endpoint(i)
+			bar := clients[i].Barrier()
+			for n := 0; n < b.N; n++ {
+				for dst := 0; dst < m; dst++ {
+					if dst != i {
+						copy(ep.Out(dst).Extend(frame), payload)
+					}
+				}
+				if err := ep.Flush(); err != nil {
+					b.Error(err)
+					return
+				}
+				if !bar.Wait() {
+					b.Error("barrier aborted")
+					return
+				}
+				for src := 0; src < m; src++ {
+					if src != i {
+						ep.In(src)
+					}
+				}
+				if _, ok := bar.AllReduce(0); !ok {
+					b.Error("reduce aborted")
+					return
+				}
+				ep.Release()
+			}
+		}(i)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(hub.DataBytes())/float64(b.N), "hubB/op")
 }

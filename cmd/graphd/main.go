@@ -65,6 +65,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/jobs"
+	"repro/internal/netcomm"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -114,6 +115,8 @@ func main() {
 	compactBatches := flag.Int("compact-batches", 0, "live datasets: compact once this many delta batches are pending (0 = default 64)")
 	workerProcs := flag.Int("worker-procs", 0, "run each job's workers as this many graphworker subprocesses over the socket fabric (0 = in-process)")
 	workerBin := flag.String("graphworker-bin", "", "graphworker executable for -worker-procs (default: sibling of graphd)")
+	dataPlane := flag.String("data-plane", "hub", "distributed jobs: data plane, hub (frames relayed by the coordinator) or p2p (direct worker mesh with credit flow control)")
+	windowBytes := flag.Int("window-bytes", 0, "distributed jobs with -data-plane p2p: per-peer receive window in bytes (0 = 4 MiB default)")
 	joinTimeout := flag.Duration("join-timeout", 0, "distributed jobs: worker join deadline (0 = 30s default)")
 	resultTimeout := flag.Duration("result-timeout", 0, "distributed jobs: result settle deadline (0 = 30s default)")
 	wallTimeout := flag.Duration("wall-timeout", 0, "distributed jobs: per-attempt wall-clock cap, the stalled-worker detector (0 = off)")
@@ -191,7 +194,12 @@ func main() {
 			fatal("graphworker binary missing (build cmd/graphworker or pass -graphworker-bin)", "err", err)
 		}
 		mgrOpts = append(mgrOpts, jobs.WithWorkerProcs(*workerProcs, bin))
-		log.Info("jobs run across graphworker processes", "procs", *workerProcs, "bin", bin)
+		if *dataPlane != netcomm.DataPlaneHub && *dataPlane != netcomm.DataPlaneP2P {
+			fatal("unknown -data-plane (want hub or p2p)", "data-plane", *dataPlane)
+		}
+		mgrOpts = append(mgrOpts, jobs.WithDataPlane(*dataPlane, *windowBytes))
+		log.Info("jobs run across graphworker processes",
+			"procs", *workerProcs, "bin", bin, "data-plane", *dataPlane)
 	}
 	if *joinTimeout > 0 {
 		mgrOpts = append(mgrOpts, jobs.WithJoinTimeout(*joinTimeout))

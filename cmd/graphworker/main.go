@@ -5,13 +5,21 @@
 // workers through the exact registry code path the in-process engines
 // use, and ships its partial result back over the control connection.
 //
+// The hub connection is always the control plane (join, barrier,
+// abort, results, cost accounting). By default it also relays the data
+// frames; with -data-plane p2p the process instead opens a data
+// listener, receives the hub's peer directory, and exchanges frames
+// directly with every other worker process under credit-based flow
+// control (-window-bytes per peer connection, default 4 MiB) — see
+// internal/netcomm.
+//
 // With -trace the worker also records a per-superstep telemetry trace
-// (compute time, barrier wait, per-channel bytes/frames, active
-// vertices) and piggybacks the samples on its partial result, so the
-// coordinator can merge a job-wide timeline with the same shape as an
-// in-process run. Diagnostics go to stderr as log/slog lines; when
-// spawned by graphd, the coordinator forwards each line tagged with
-// the process's worker range.
+// (compute time, barrier wait, flow-control send stalls, per-channel
+// bytes/frames, active vertices) and piggybacks the samples on its
+// partial result, so the coordinator can merge a job-wide timeline
+// with the same shape as an in-process run. Diagnostics go to stderr
+// as log/slog lines; when spawned by graphd, the coordinator forwards
+// each line tagged with the process's worker range.
 //
 // graphd spawns graphworkers itself when started with -worker-procs;
 // the command exists so the same protocol can cross machine boundaries:

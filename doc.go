@@ -88,4 +88,21 @@
 // oracle-identical results across processes, placements, engines and
 // variants, and killing a worker process mid-superstep fails the job
 // with a joined error rather than a hang.
+//
+// The socket fabric splits control plane from data plane. The hub
+// connection is always the control plane — join, barrier releases,
+// abort, flush reports, results — and by default also relays the data
+// frames (the star: every byte crosses the network twice). With
+// -data-plane p2p the hub instead broadcasts a directory of per-process
+// data listeners once the party has joined, each process pair dials one
+// direct connection, and frames flow point-to-point under credit-based
+// flow control: receivers grant -window-bytes of credit per connection
+// (default 4 MiB), staged frames replenish it in quarter-window
+// batches, and a sender whose credit is exhausted blocks in Flush —
+// bounding its in-flight memory at max(window, one frame) where the hub
+// plane's buffering grows with the rate mismatch. Round delivery is
+// ordered by per-flush DONE markers (the release no longer proves
+// frames arrived, since it travels a different socket). Flush reports
+// still go to the hub, so cost accounting and Stats are identical
+// across planes; the equivalence sweep and fault matrix run on both.
 package repro

@@ -78,6 +78,14 @@ type Stats struct {
 	ShrunkBuffers int64
 	// SimNetTime is the simulated network time under the cost model.
 	SimNetTime time.Duration
+	// PeerBytes, when the transport distinguishes destinations (the
+	// socket fabric), counts bytes sent per destination worker id from
+	// this process. Nil on transports that do not track it.
+	PeerBytes []int64
+	// FlowStallTime is the cumulative time senders in this process
+	// spent blocked on exhausted flow-control windows (zero on
+	// transports without backpressure).
+	FlowStallTime time.Duration
 }
 
 // ShrinkPolicy bounds the capacity the Exchanger's buffers retain

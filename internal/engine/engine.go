@@ -570,8 +570,15 @@ func (w *Worker) runSupersteps(setup func(w *Worker), maxSteps int) error {
 					}
 				}
 			}
+			var stall0 time.Duration
+			if w.obsOn {
+				stall0 = ep.Stall()
+			}
 			if err := ep.Flush(); err != nil {
 				return fmt.Errorf("engine: worker %d: %w", w.id, err)
+			}
+			if w.obsOn {
+				w.obsSmp.SendStallNS += int64(ep.Stall() - stall0)
 			}
 			if !w.timedWait() { // serialize barrier: all sends published
 				return errAborted

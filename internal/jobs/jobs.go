@@ -144,6 +144,8 @@ type Manager struct {
 	queueCap      int
 	workerProcs   int    // > 0: run jobs across graphworker subprocesses
 	workerBin     string // graphworker executable for the subprocess path
+	dataPlane     string // worker data plane: netcomm hub (default) or p2p
+	windowBytes   int    // p2p per-peer receive window
 	joinTimeout   time.Duration
 	resultTimeout time.Duration
 	wallTimeout   time.Duration
@@ -187,6 +189,14 @@ func WithMaxSupersteps(n int) Option { return func(m *Manager) { m.maxSupersteps
 // count per job.
 func WithWorkerProcs(n int, bin string) Option {
 	return func(m *Manager) { m.workerProcs, m.workerBin = n, bin }
+}
+
+// WithDataPlane selects the distributed jobs' data plane
+// (netcomm.DataPlaneHub or netcomm.DataPlaneP2P) and, for p2p, the
+// per-peer-connection receive window in bytes (0 = default). Only
+// meaningful together with WithWorkerProcs.
+func WithDataPlane(plane string, windowBytes int) Option {
+	return func(m *Manager) { m.dataPlane, m.windowBytes = plane, windowBytes }
 }
 
 // WithJoinTimeout bounds how long a distributed job's worker processes
@@ -533,6 +543,8 @@ func (m *Manager) executeDistributed(j *job, view *catalog.View, maxSteps int) (
 		Placement:     view.Placement,
 		Part:          view.Part,
 		Procs:         m.workerProcs,
+		DataPlane:     m.dataPlane,
+		WindowBytes:   m.windowBytes,
 		Algorithm:     j.spec.Name,
 		Engine:        j.eng,
 		Variant:       j.req.Variant,

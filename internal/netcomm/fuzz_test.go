@@ -1,0 +1,92 @@
+package netcomm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The peer directory crosses a process boundary: arbitrary bytes must
+// decode to an error or a directory that satisfies every invariant the
+// mesh relies on (sorted, contiguous, covering 0..m-1), never panic.
+func FuzzPeerDirectory(f *testing.F) {
+	f.Add(encodePeerDirectory(nil), 1)
+	f.Add(encodePeerDirectory([]peerInfo{
+		{lo: 0, hi: 0, network: "tcp", addr: "127.0.0.1:9"},
+	}), 1)
+	f.Add(encodePeerDirectory([]peerInfo{
+		{lo: 0, hi: 1, network: "unix", addr: "/tmp/a.sock"},
+		{lo: 2, hi: 3, network: "unix", addr: "/tmp/b.sock"},
+	}), 4)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff}, 8)
+	f.Fuzz(func(t *testing.T, data []byte, m int) {
+		if m <= 0 || m > 1<<16 {
+			m = 8
+		}
+		dir, err := decodePeerDirectory(data, m)
+		if err != nil {
+			return
+		}
+		next := 0
+		for _, p := range dir {
+			if p.lo != next || p.hi < p.lo || p.hi >= m {
+				t.Fatalf("accepted directory violates range invariants: %+v (m=%d)", dir, m)
+			}
+			next = p.hi + 1
+		}
+		if next != m {
+			t.Fatalf("accepted directory covers %d of %d workers: %+v", next, m, dir)
+		}
+		// A decoded directory must survive a round trip unchanged.
+		again, err := decodePeerDirectory(encodePeerDirectory(dir), m)
+		if err != nil {
+			t.Fatalf("re-encoded directory rejected: %v", err)
+		}
+		for i := range dir {
+			if dir[i] != again[i] {
+				t.Fatalf("directory round trip changed entry %d: %+v != %+v", i, dir[i], again[i])
+			}
+		}
+	})
+}
+
+// The listen announcement is the other worker-supplied p2p payload.
+func FuzzListenAnnouncement(f *testing.F) {
+	f.Add(encodeListen("tcp", "127.0.0.1:12345"))
+	f.Add(encodeListen("unix", "/tmp/x/data.sock"))
+	f.Add([]byte{})
+	f.Add([]byte{0x80, 0x80, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		network, addr, err := decodeListen(data)
+		if err != nil {
+			return
+		}
+		n2, a2, err := decodeListen(encodeListen(network, addr))
+		if err != nil || n2 != network || a2 != addr {
+			t.Fatalf("listen round trip changed (%q,%q) -> (%q,%q,%v)", network, addr, n2, a2, err)
+		}
+	})
+}
+
+// Every connection — hub, and now peer DATA/DONE/CREDIT streams —
+// parses frames through readHeader: arbitrary header bytes must yield
+// an error or a validated (kind, length) pair.
+func FuzzWireHeader(f *testing.F) {
+	var valid [headerLen]byte
+	valid[0] = kData
+	f.Add(valid[:])
+	valid[0] = kCredit
+	f.Add(append(valid[:], 1, 2, 3))
+	f.Add([]byte{0xff, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, _, _, n, err := readHeader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if kind < kHello || kind > kCredit {
+			t.Fatalf("accepted unknown kind %d", kind)
+		}
+		if n < 0 || n > maxPayload {
+			t.Fatalf("accepted payload length %d", n)
+		}
+	})
+}

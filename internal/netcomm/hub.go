@@ -44,6 +44,15 @@ type Hub struct {
 	arrived int
 	accum   uint64
 
+	// p2p data plane: the directory broadcast fires once, when every
+	// worker has joined and announced a listener.
+	peersSent bool
+
+	// dataBytes counts frame payload bytes relayed through the hub —
+	// the whole exchange volume on the hub plane, ~0 under p2p (where
+	// only control traffic remains on the star).
+	dataBytes int64
+
 	// round accounting (from kFlush reports)
 	flushes  int
 	roundMax int64
@@ -67,6 +76,11 @@ type hubConn struct {
 	wmu       sync.Mutex
 	lo, hi    int
 	gotResult bool
+
+	// p2p data plane: the process's announced data listener.
+	listenNet  string
+	listenAddr string
+	hasListen  bool
 }
 
 // NewHub creates a hub for an m-worker job and starts serving on ln
@@ -159,6 +173,7 @@ func (h *Hub) serveConn(conn net.Conn) {
 func (h *Hub) pump(hc *hubConn) error {
 	var scratch [16]byte
 	var frame []byte // reusable frame payload staging
+	defer func() { hubBuffered.Add(-int64(cap(frame))) }()
 	for {
 		kind, a, b, n, err := readHeader(hc.conn)
 		if err != nil {
@@ -176,6 +191,7 @@ func (h *Hub) pump(hc *hubConn) error {
 			// Stage the payload before writing so a failed forward never
 			// desynchronizes the sender's stream.
 			if cap(frame) < n {
+				hubBuffered.Add(int64(n - cap(frame)))
 				frame = make([]byte, n)
 			}
 			frame = frame[:n]
@@ -183,6 +199,7 @@ func (h *Hub) pump(hc *hubConn) error {
 				return err
 			}
 			h.mu.Lock()
+			h.dataBytes += int64(n)
 			target := h.hosts[dst]
 			h.mu.Unlock()
 			if target == nil {
@@ -232,6 +249,19 @@ func (h *Hub) pump(hc *hubConn) error {
 				return err
 			}
 			h.arrive(int(a), binary.LittleEndian.Uint64(scratch[:8]))
+		case kListen:
+			p := make([]byte, n)
+			if _, err := io.ReadFull(hc.conn, p); err != nil {
+				return err
+			}
+			lnet, laddr, err := decodeListen(p)
+			if err != nil {
+				return err
+			}
+			h.mu.Lock()
+			hc.listenNet, hc.listenAddr, hc.hasListen = lnet, laddr, true
+			h.maybeSendPeersLocked()
+			h.mu.Unlock()
 		case kAbort:
 			reason := make([]byte, n)
 			if _, err := io.ReadFull(hc.conn, reason); err != nil {
@@ -258,6 +288,53 @@ func (h *Hub) pump(hc *hubConn) error {
 			return fmt.Errorf("unexpected message kind %d", kind)
 		}
 	}
+}
+
+// maybeSendPeersLocked broadcasts the peer directory once every worker
+// has joined and every connection has announced a data listener. Every
+// process sends its kListen after its kHello on the same stream, so
+// the party's last kListen is the event that completes the directory;
+// the writes run in their own goroutine (h.mu stays cheap, and a
+// stalled worker cannot wedge the pump that triggered the broadcast).
+func (h *Hub) maybeSendPeersLocked() {
+	if h.peersSent || h.closed {
+		return
+	}
+	for _, hc := range h.hosts {
+		if hc == nil {
+			return
+		}
+	}
+	conns := make([]*hubConn, 0, len(h.conns))
+	dir := make([]peerInfo, 0, len(h.conns))
+	for hc := range h.conns {
+		if !hc.hasListen {
+			return
+		}
+		conns = append(conns, hc)
+		dir = append(dir, peerInfo{lo: hc.lo, hi: hc.hi, network: hc.listenNet, addr: hc.listenAddr})
+	}
+	sort.Slice(dir, func(i, j int) bool { return dir[i].lo < dir[j].lo })
+	h.peersSent = true
+	payload := encodePeerDirectory(dir)
+	h.log.Debug("peer directory broadcast", "processes", len(dir))
+	go func() {
+		for _, hc := range conns {
+			hc.wmu.Lock()
+			_ = writeMsg(hc.conn, kPeers, 0, 0, payload)
+			hc.wmu.Unlock()
+		}
+	}()
+}
+
+// DataBytes returns the frame payload bytes relayed through the hub so
+// far. On the hub data plane this is the job's whole exchange volume;
+// under p2p it stays at zero — the test-visible proof that data frames
+// never transit the coordinator.
+func (h *Hub) DataBytes() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dataBytes
 }
 
 // forward relays one staged frame to dst's connection.

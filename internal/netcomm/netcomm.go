@@ -4,28 +4,30 @@
 // can live in separate processes (the paper's actual deployment shape —
 // Fig. 2's shared-nothing workers exchanging binary buffers).
 //
-// Topology is a star: every worker process holds one connection to a
-// Hub (the job coordinator). The single connection multiplexes three
-// planes, all as length-prefixed messages:
+// The control plane is a star: every worker process holds one
+// connection to a Hub (the job coordinator) carrying join, the
+// message-based distributed barrier (a worker's arrival folds its
+// AllReduce contribution; the hub releases a crossing by broadcasting
+// the aggregate once all M workers arrived), abort/cancel, per-round
+// flush accounting for the cost model, and each process's opaque
+// result blob.
 //
-//   - data: one frame per (src, dst) pair per exchange round, routed by
-//     the hub to the destination's connection (empty buffers are
-//     skipped on the wire);
-//   - control: a message-based distributed barrier. A worker's arrival
-//     carries its AllReduce contribution; the hub releases a crossing
-//     by broadcasting the aggregate once all M workers arrived. Abort
-//     (worker failure, job cancellation, or a dropped connection)
-//     propagates the same way and releases every current and future
-//     crossing on every process;
-//   - results: each process ships an opaque result blob (the
-//     graphworker protocol's partial result) to the hub when its run
-//     completes.
+// The data plane — one frame per (src, dst) pair per exchange round,
+// empty buffers skipped on the wire — has two shapes, selected by
+// Config.DataPlane:
 //
-// Ordering makes delivery implicit: a worker writes its round's frames
-// before its barrier arrival, the hub forwards frames to a destination
-// before writing that destination's release (same stream, one writer
-// lock), so when a client observes the post-flush release, every frame
-// of the round is already staged — no per-frame acks.
+//   - hub (default): frames ride the same star; the hub routes each to
+//     the destination's connection. Ordering makes delivery implicit: a
+//     worker writes its round's frames before its barrier arrival, the
+//     hub forwards frames to a destination before writing that
+//     destination's release (same stream, one writer lock), so when a
+//     client observes the post-flush release, every frame of the round
+//     is already staged — no per-frame acks.
+//   - p2p: workers dial a direct full mesh negotiated through the hub's
+//     peer directory and frames flow point-to-point under credit-based
+//     per-connection flow control (see p2p.go). The hub carries only
+//     control traffic; per-round DONE markers replace the star's
+//     implicit ordering.
 package netcomm
 
 import (
@@ -34,6 +36,8 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/barrier"
 	"repro/internal/comm"
@@ -46,13 +50,20 @@ import (
 //
 // little-endian; the meaning of a and b depends on the kind.
 const (
-	kHello   = 1 // worker→hub: a,b = inclusive hosted worker range
-	kFrame   = 2 // either way: a = src worker, b = dst worker, payload = round buffer
+	kHello   = 1 // worker→hub or peer→peer: a,b = inclusive hosted worker range
+	kFrame   = 2 // worker↔hub: a = src worker, b = dst worker, payload = round buffer
 	kFlush   = 3 // worker→hub: a = src worker, payload = net,local byte counts (8+8)
 	kArrive  = 4 // worker→hub: a = folded local arrivals, payload = value sum (8)
 	kRelease = 5 // hub→worker: payload = crossing aggregate (8)
 	kAbort   = 6 // either way: payload = reason string
 	kResult  = 7 // worker→hub: a,b = worker range, payload = opaque result blob
+
+	// The p2p data plane (see p2p.go).
+	kListen = 8  // worker→hub: payload = data-plane listen endpoint (network, addr)
+	kPeers  = 9  // hub→worker: payload = peer directory of the full party
+	kData   = 10 // peer→peer: a = src worker, b = dst worker, payload = round buffer
+	kDone   = 11 // peer→peer: a = src worker; its round's frames on this conn are complete
+	kCredit = 12 // peer→peer: payload = flow-control byte grant (8)
 )
 
 const headerLen = 9
@@ -84,7 +95,7 @@ func readHeader(r io.Reader) (kind uint8, a, b uint16, n int, err error) {
 	a = binary.LittleEndian.Uint16(hdr[1:])
 	b = binary.LittleEndian.Uint16(hdr[3:])
 	n = int(binary.LittleEndian.Uint32(hdr[5:]))
-	if kind < kHello || kind > kResult {
+	if kind < kHello || kind > kCredit {
 		return 0, 0, 0, 0, fmt.Errorf("netcomm: unknown message kind %d", kind)
 	}
 	if n > maxPayload {
@@ -102,30 +113,72 @@ type Client struct {
 	conn   net.Conn
 	wmu    sync.Mutex // serializes writes from worker goroutines + reader acks
 
+	window int64 // p2p receive window per peer connection
+	mesh   *mesh // non-nil iff the data plane is p2p
+
 	bar *wireBarrier
 	eps []*clientEndpoint
 
-	smu      sync.Mutex // guards the local stats counters
-	netBytes int64
-	locBytes int64
-	rounds   int64
+	smu       sync.Mutex // guards the local stats counters
+	netBytes  int64
+	locBytes  int64
+	rounds    int64
+	peerBytes []int64 // per destination worker id
 
 	cmu    sync.Mutex
 	closed bool
 }
 
+// Config selects how a worker process joins a job.
+type Config struct {
+	// Network and Addr locate the hub ("tcp" or "unix").
+	Network, Addr string
+	// Lo, Hi is the inclusive worker range this process hosts; M is the
+	// job-wide worker count.
+	Lo, Hi, M int
+	// DataPlane selects how round frames travel: DataPlaneHub (the
+	// default for "") relays them through the coordinator, DataPlaneP2P
+	// sends them over a direct worker mesh with credit-based flow
+	// control. Every process of a job must pick the same plane.
+	DataPlane string
+	// WindowBytes is the p2p receive window granted per peer connection
+	// (zero selects DefaultWindowBytes). A sender blocks in Flush once
+	// it has this many bytes un-consumed at one receiver.
+	WindowBytes int
+	// MeshTimeout bounds the p2p mesh establishment during dial (zero
+	// selects 30s).
+	MeshTimeout time.Duration
+}
+
 // Dial connects to a hub at addr over network ("tcp" or "unix") and
 // announces this process as the host of workers lo..hi (inclusive) of
-// an m-worker job.
+// an m-worker job, with frames relayed through the hub.
 func Dial(network, addr string, lo, hi, m int) (*Client, error) {
+	return DialConfig(Config{Network: network, Addr: addr, Lo: lo, Hi: hi, M: m})
+}
+
+// DialConfig connects to a hub per cfg. With DataPlaneP2P it also
+// opens the process's data listener, announces it to the hub, and
+// blocks until the full worker mesh is established (every process of
+// the job connected to every other), so a returned client is ready to
+// exchange immediately.
+func DialConfig(cfg Config) (*Client, error) {
+	lo, hi, m := cfg.Lo, cfg.Hi, cfg.M
 	if lo < 0 || hi < lo || hi >= m {
 		return nil, fmt.Errorf("netcomm: bad worker range %d..%d of %d", lo, hi, m)
 	}
-	conn, err := net.Dial(network, addr)
+	plane := cfg.DataPlane
+	if plane == "" {
+		plane = DataPlaneHub
+	}
+	if plane != DataPlaneHub && plane != DataPlaneP2P {
+		return nil, fmt.Errorf("netcomm: unknown data plane %q", cfg.DataPlane)
+	}
+	conn, err := net.Dial(cfg.Network, cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("netcomm: dial hub: %w", err)
 	}
-	c := &Client{m: m, lo: lo, hi: hi, conn: conn}
+	c := &Client{m: m, lo: lo, hi: hi, conn: conn, peerBytes: make([]int64, m)}
 	c.bar = &wireBarrier{c: c, k: hi - lo + 1}
 	c.bar.cond = sync.NewCond(&c.bar.mu)
 	c.eps = make([]*clientEndpoint, hi-lo+1)
@@ -134,6 +187,7 @@ func Dial(network, addr string, lo, hi, m int) (*Client, error) {
 			out:     make([]*ser.Buffer, m),
 			deliver: make([]*ser.Buffer, m),
 			pending: make([]*ser.Buffer, m),
+			sent:    make([]int64, m),
 		}
 		for d := 0; d < m; d++ {
 			ep.out[d] = ser.NewBuffer(1024)
@@ -142,11 +196,37 @@ func Dial(network, addr string, lo, hi, m int) (*Client, error) {
 		}
 		c.eps[i] = ep
 	}
+	if plane == DataPlaneP2P {
+		c.window = int64(cfg.WindowBytes)
+		if c.window <= 0 {
+			c.window = DefaultWindowBytes
+		}
+		if c.mesh, err = newMesh(c, cfg.Network); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
 	if err := c.send(kHello, uint16(lo), uint16(hi), nil); err != nil {
-		conn.Close()
+		c.Close()
 		return nil, err
 	}
+	if c.mesh != nil {
+		if err := c.send(kListen, uint16(lo), uint16(hi), encodeListen(c.mesh.advNet, c.mesh.advAddr)); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
 	go c.readLoop()
+	if c.mesh != nil {
+		timeout := cfg.MeshTimeout
+		if timeout <= 0 {
+			timeout = defaultMeshTimeout
+		}
+		if err := c.mesh.await(timeout); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
@@ -156,9 +236,29 @@ func (c *Client) send(kind uint8, a, b uint16, payload []byte) error {
 	return writeMsg(c.conn, kind, a, b, payload)
 }
 
-// fail aborts the local barrier with a reason; the first reason wins.
+// fail aborts the local barrier with a reason (first reason wins) and
+// wakes every mesh waiter — a sender blocked on an exhausted credit
+// window must observe the abort promptly, not wait for credit that
+// will never come.
 func (c *Client) fail(err error) {
 	c.bar.abortLocal(err)
+	if c.mesh != nil {
+		c.mesh.wake()
+	}
+}
+
+// isClosed reports whether Close has begun (connection errors after
+// that are expected teardown, not failures).
+func (c *Client) isClosed() bool {
+	c.cmu.Lock()
+	defer c.cmu.Unlock()
+	return c.closed
+}
+
+// stopping reports whether blocked senders and delivery waits should
+// give up: the job aborted or the client is closing.
+func (c *Client) stopping() bool {
+	return c.isClosed() || c.bar.Aborted()
 }
 
 // readLoop demuxes the hub connection: frames are staged into the
@@ -198,6 +298,22 @@ func (c *Client) readLoop() {
 				return
 			}
 			c.bar.release(binary.LittleEndian.Uint64(v[:]))
+		case kPeers:
+			if c.mesh == nil {
+				c.fail(fmt.Errorf("netcomm: peer directory on a hub-plane client"))
+				return
+			}
+			p := make([]byte, n)
+			if _, err := io.ReadFull(c.conn, p); err != nil {
+				c.fail(fmt.Errorf("netcomm: truncated peer directory: %w", err))
+				return
+			}
+			dir, err := decodePeerDirectory(p, c.m)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mesh.connect(dir)
 		case kAbort:
 			reason := make([]byte, n)
 			io.ReadFull(c.conn, reason)
@@ -246,18 +362,34 @@ func (c *Client) Endpoint(id int) comm.Endpoint { return c.eps[id-c.lo] }
 func (c *Client) Barrier() barrier.Barrier { return c.bar }
 
 // Stats implements comm.Fabric: the process-local view (bytes this
-// process sent; simulated network time lives on the hub's cost model).
+// process sent, split per destination worker, plus the time its
+// senders spent blocked on flow-control windows; simulated network
+// time lives on the hub's cost model).
 func (c *Client) Stats() comm.Stats {
+	var stall time.Duration
+	for _, ep := range c.eps {
+		stall += ep.Stall()
+	}
 	c.smu.Lock()
 	defer c.smu.Unlock()
-	return comm.Stats{NetworkBytes: c.netBytes, LocalBytes: c.locBytes, Rounds: c.rounds}
+	return comm.Stats{
+		NetworkBytes:  c.netBytes,
+		LocalBytes:    c.locBytes,
+		Rounds:        c.rounds,
+		PeerBytes:     append([]int64(nil), c.peerBytes...),
+		FlowStallTime: stall,
+	}
 }
 
-// Close implements comm.Fabric.
+// Close implements comm.Fabric: the hub connection and, under p2p, the
+// whole data plane (listener, peer connections, blocked senders).
 func (c *Client) Close() error {
 	c.cmu.Lock()
 	c.closed = true
 	c.cmu.Unlock()
+	if c.mesh != nil {
+		c.mesh.close()
+	}
 	return c.conn.Close()
 }
 
@@ -270,7 +402,9 @@ type clientEndpoint struct {
 	c  *Client
 	id int
 
-	out []*ser.Buffer
+	out     []*ser.Buffer
+	sent    []int64 // per-flush per-dst byte scratch
+	stallNS atomic.Int64
 
 	mu       sync.Mutex
 	deliver  []*ser.Buffer
@@ -279,16 +413,33 @@ type clientEndpoint struct {
 	swapSeq  uint64
 }
 
+// stage copies one p2p frame from a co-hosted or remote src worker into
+// the pending buffer (the same staging the hub-plane read loop does).
+func (ep *clientEndpoint) stage(src int, payload []byte) {
+	ep.mu.Lock()
+	copy(ep.pending[src].Extend(len(payload)), payload)
+	ep.mu.Unlock()
+}
+
 // Out implements comm.Endpoint.
 func (ep *clientEndpoint) Out(dst int) *ser.Buffer { return ep.out[dst] }
 
-// Flush implements comm.Endpoint: every non-empty off-process buffer
-// becomes one frame, followed by the flush-stats marker the hub uses
-// for round accounting. The loopback buffer stays local (zero-copy, as
-// in the in-process fabric).
+// Flush implements comm.Endpoint: every non-empty off-worker buffer
+// becomes one frame — relayed through the hub, or, under p2p, staged
+// in-process for co-hosted destinations and sent directly to remote
+// ones under their credit windows (blocking here when a window is
+// exhausted). Either way the 16-byte flush-stats marker still goes to
+// the hub: round accounting and the simulated cost model live there,
+// identically on both planes. The loopback buffer stays local
+// (zero-copy, as in the in-process fabric).
 func (ep *clientEndpoint) Flush() error {
+	c := ep.c
 	var netB, locB int64
-	for dst := 0; dst < ep.c.m; dst++ {
+	var stall time.Duration
+	for i := range ep.sent {
+		ep.sent[i] = 0
+	}
+	for dst := 0; dst < c.m; dst++ {
 		b := ep.out[dst]
 		if dst == ep.id {
 			locB += int64(b.Len())
@@ -296,28 +447,54 @@ func (ep *clientEndpoint) Flush() error {
 		}
 		n := b.Len()
 		netB += int64(n)
+		ep.sent[dst] = int64(n)
 		if n > 0 {
-			if err := ep.c.send(kFrame, uint16(ep.id), uint16(dst), b.Bytes()); err != nil {
-				ep.c.fail(err)
+			var err error
+			if c.mesh != nil {
+				var s time.Duration
+				s, err = c.mesh.deliver(ep.id, dst, b.Bytes())
+				stall += s
+			} else {
+				err = c.send(kFrame, uint16(ep.id), uint16(dst), b.Bytes())
+			}
+			if err != nil {
+				if stall > 0 {
+					ep.stallNS.Add(int64(stall))
+				}
+				c.fail(err)
 				return fmt.Errorf("netcomm: send frame %d->%d: %w", ep.id, dst, err)
 			}
 		}
 		b.Reset()
 	}
+	if stall > 0 {
+		ep.stallNS.Add(int64(stall))
+	}
+	if c.mesh != nil {
+		// The round's frames precede this DONE marker on every peer
+		// stream; receivers swap their buffers in only once all M
+		// workers' markers arrived.
+		if err := c.mesh.finishRound(ep.id); err != nil {
+			c.fail(err)
+			return err
+		}
+	}
 	var stats [16]byte
 	binary.LittleEndian.PutUint64(stats[0:], uint64(netB))
 	binary.LittleEndian.PutUint64(stats[8:], uint64(locB))
-	if err := ep.c.send(kFlush, uint16(ep.id), 0, stats[:]); err != nil {
-		ep.c.fail(err)
+	if err := c.send(kFlush, uint16(ep.id), 0, stats[:]); err != nil {
+		c.fail(err)
 		return fmt.Errorf("netcomm: send flush: %w", err)
 	}
 	ep.mu.Lock()
 	ep.flushSeq++
 	ep.mu.Unlock()
-	c := ep.c
 	c.smu.Lock()
 	c.netBytes += netB
 	c.locBytes += locB
+	for dst, n := range ep.sent {
+		c.peerBytes[dst] += n
+	}
 	if ep.id == c.lo {
 		c.rounds++
 	}
@@ -325,20 +502,31 @@ func (ep *clientEndpoint) Flush() error {
 	return nil
 }
 
-// In implements comm.Endpoint.
+// In implements comm.Endpoint. On the hub plane the pre-swap frames
+// are complete by ordering (the release followed them on the same
+// stream); on p2p the release races the data connections, so the first
+// In of a round first waits for every worker's DONE marker.
 func (ep *clientEndpoint) In(src int) *ser.Buffer {
 	if src == ep.id {
 		return ep.out[ep.id]
 	}
 	ep.mu.Lock()
 	if ep.swapSeq < ep.flushSeq {
-		ep.deliver, ep.pending = ep.pending, ep.deliver
-		for i, b := range ep.pending {
-			if i != ep.id {
-				b.Reset()
-			}
+		if c := ep.c; c.mesh != nil {
+			target := ep.flushSeq
+			ep.mu.Unlock()
+			c.mesh.waitDelivered(target)
+			ep.mu.Lock()
 		}
-		ep.swapSeq = ep.flushSeq
+		if ep.swapSeq < ep.flushSeq {
+			ep.deliver, ep.pending = ep.pending, ep.deliver
+			for i, b := range ep.pending {
+				if i != ep.id {
+					b.Reset()
+				}
+			}
+			ep.swapSeq = ep.flushSeq
+		}
 	}
 	b := ep.deliver[src]
 	ep.mu.Unlock()
@@ -350,6 +538,13 @@ func (ep *clientEndpoint) In(src int) *ser.Buffer {
 // buffers are recycled by the swap.
 func (ep *clientEndpoint) Release() {
 	ep.out[ep.id].Reset()
+}
+
+// Stall implements comm.Endpoint: cumulative time this worker's Flush
+// calls spent blocked on exhausted p2p credit windows (zero on the hub
+// plane, which has no backpressure).
+func (ep *clientEndpoint) Stall() time.Duration {
+	return time.Duration(ep.stallNS.Load())
 }
 
 // wireBarrier is the client half of the distributed barrier: local

@@ -1,0 +1,659 @@
+package netcomm
+
+// The peer-to-peer data plane. The hub stays the control plane (join,
+// barrier, abort, results); with DataPlaneP2P the workers additionally
+// open a data listener each, the hub broadcasts the directory of listen
+// addresses once the full party has joined, and every process pair
+// shares one direct connection over which round frames flow
+// point-to-point — one network traversal instead of two.
+//
+// Two things the hub relay gave for free have to be rebuilt here:
+//
+//   - Delivery ordering. On the star, frames and the barrier release
+//     share one stream, so observing the release proved the round's
+//     frames were staged. On the mesh the release races the data
+//     connections, so every Flush ends with a DONE marker per peer
+//     connection and the first In of a round waits until every worker's
+//     DONE count has caught up with the local flush count.
+//   - Backpressure. The hub absorbed any rate mismatch in its own
+//     buffers and the kernel's; the mesh instead runs a credit-based
+//     window per connection direction: a receiver starts its senders
+//     with WindowBytes of credit, every staged frame replenishes credit
+//     back to the sender (batched to a quarter window to keep credit
+//     traffic negligible), and a sender whose credit is exhausted
+//     blocks in Flush until credit returns or the job aborts. A frame
+//     larger than the window is allowed to overdraw it, but only once
+//     the full window is available — so a slow receiver bounds every
+//     sender's in-flight bytes at max(WindowBytes, one frame).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ser"
+)
+
+// Data-plane selection for Config.DataPlane.
+const (
+	// DataPlaneHub relays every frame through the coordinator (the
+	// default): frames traverse the network twice but need no extra
+	// connections.
+	DataPlaneHub = "hub"
+	// DataPlaneP2P sends frames over a direct worker↔worker mesh with
+	// credit-based flow control; only control traffic touches the hub.
+	DataPlaneP2P = "p2p"
+)
+
+// ErrPeerLost marks errors caused by a peer's data connection dying
+// while it still owed this worker rounds or credit. It is always
+// fallout of the peer process itself dying or unwinding — an event the
+// hub detects independently and reports as ErrWorkerLost — so recovery
+// classification treats it like abort fallout, not like an error the
+// worker would hit again on retry. Test with errors.Is; the peer-lost
+// error strings a worker ships in its result blob are rehydrated to
+// wrap this sentinel by the coordinator.
+var ErrPeerLost = errors.New("netcomm: peer connection lost")
+
+// DefaultWindowBytes is the per-peer-connection receive window granted
+// to each sender when Config.WindowBytes is zero. A few MB keeps a
+// full-speed sender streaming across a LAN round-trip while bounding
+// the memory a straggling receiver can pin per peer.
+const DefaultWindowBytes = 4 << 20
+
+// defaultMeshTimeout bounds how long DialConfig waits for the peer
+// directory and the full mesh before giving up.
+const defaultMeshTimeout = 30 * time.Second
+
+// maxDirectoryPeers bounds the process count a peer directory may
+// declare; a directory claiming more is corrupt.
+const maxDirectoryPeers = 1 << 16
+
+// Package-wide data-plane memory gauges, exported to /metrics by
+// internal/server. hubBuffered tracks the bytes held in hub relay
+// staging buffers (control-plane-only jobs keep it near zero);
+// windowOutstanding tracks the bytes p2p senders have in flight against
+// receive windows (window occupancy summed over peer connections).
+var (
+	hubBuffered       atomic.Int64
+	windowOutstanding atomic.Int64
+)
+
+// DataPlaneStats reports the process-wide data-plane memory gauges:
+// bytes currently staged in hub relay buffers and bytes in flight
+// against p2p receive windows.
+func DataPlaneStats() (hubBufferedBytes, windowOutstandingBytes int64) {
+	return hubBuffered.Load(), windowOutstanding.Load()
+}
+
+// peerInfo is one process's entry in the peer directory: the worker
+// range it hosts and the data-plane endpoint it listens on.
+type peerInfo struct {
+	lo, hi        int
+	network, addr string
+}
+
+// encodeListen encodes a kListen payload (this process's data-plane
+// endpoint).
+func encodeListen(network, addr string) []byte {
+	b := ser.NewBuffer(64)
+	b.WriteString(network)
+	b.WriteString(addr)
+	return b.Bytes()
+}
+
+// decodeListen decodes a kListen payload.
+func decodeListen(p []byte) (network, addr string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("netcomm: corrupt listen announcement: %v", r)
+		}
+	}()
+	b := ser.FromBytes(p)
+	network = b.ReadString()
+	addr = b.ReadString()
+	if b.Remaining() != 0 {
+		return "", "", fmt.Errorf("netcomm: %d trailing bytes in listen announcement", b.Remaining())
+	}
+	return network, addr, nil
+}
+
+// encodePeerDirectory encodes a kPeers payload: the directory of every
+// process's hosted range and data-plane endpoint.
+func encodePeerDirectory(peers []peerInfo) []byte {
+	b := ser.NewBuffer(64 * len(peers))
+	b.WriteUvarint(uint64(len(peers)))
+	for _, p := range peers {
+		b.WriteUvarint(uint64(p.lo))
+		b.WriteUvarint(uint64(p.hi))
+		b.WriteString(p.network)
+		b.WriteString(p.addr)
+	}
+	return b.Bytes()
+}
+
+// decodePeerDirectory decodes and validates a kPeers payload against
+// the job's worker count m: entries must be sorted, non-overlapping,
+// and cover 0..m-1 exactly. The payload crosses a process boundary, so
+// a corrupt one must come back as an error, never a panic.
+func decodePeerDirectory(p []byte, m int) (peers []peerInfo, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			peers, err = nil, fmt.Errorf("netcomm: corrupt peer directory: %v", r)
+		}
+	}()
+	b := ser.FromBytes(p)
+	n := b.ReadUvarint()
+	if n > maxDirectoryPeers {
+		return nil, fmt.Errorf("netcomm: peer directory claims %d processes", n)
+	}
+	peers = make([]peerInfo, 0, n)
+	next := 0
+	for i := uint64(0); i < n; i++ {
+		e := peerInfo{lo: int(b.ReadUvarint()), hi: int(b.ReadUvarint())}
+		e.network = b.ReadString()
+		e.addr = b.ReadString()
+		if e.lo != next || e.hi < e.lo || e.hi >= m {
+			return nil, fmt.Errorf("netcomm: peer directory entry %d..%d out of order for %d workers", e.lo, e.hi, m)
+		}
+		next = e.hi + 1
+		peers = append(peers, e)
+	}
+	if next != m {
+		return nil, fmt.Errorf("netcomm: peer directory covers %d of %d workers", next, m)
+	}
+	if b.Remaining() != 0 {
+		return nil, fmt.Errorf("netcomm: %d trailing bytes in peer directory", b.Remaining())
+	}
+	return peers, nil
+}
+
+// mesh is a client's p2p data plane: the local listener, one peerConn
+// per remote process, and the per-worker round-completion counters the
+// endpoint swap waits on.
+type mesh struct {
+	c       *Client
+	ln      net.Listener
+	sockDir string // temp dir of the unix data socket, "" for tcp
+	advNet  string // advertised listener endpoint
+	advAddr string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	peers   []*peerConn // per worker id; nil for locally hosted ids
+	conns   []*peerConn // every established peer connection
+	expect  int         // remote processes expected; -1 until the directory arrives
+	doneSeq []uint64    // per src worker id: rounds fully staged locally
+}
+
+// newMesh opens the data-plane listener. For tcp the listener binds the
+// host the hub connection goes out on (so the advertised address is
+// reachable wherever the hub is); for unix it binds a socket in a fresh
+// temp dir.
+func newMesh(c *Client, network string) (*mesh, error) {
+	m := &mesh{c: c, expect: -1}
+	m.cond = sync.NewCond(&m.mu)
+	m.peers = make([]*peerConn, c.m)
+	m.doneSeq = make([]uint64, c.m)
+	switch network {
+	case "unix":
+		dir, err := os.MkdirTemp("", "netcomm-p2p-")
+		if err != nil {
+			return nil, fmt.Errorf("netcomm: data socket dir: %w", err)
+		}
+		ln, err := net.Listen("unix", filepath.Join(dir, "data.sock"))
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("netcomm: data listener: %w", err)
+		}
+		m.ln, m.sockDir = ln, dir
+	default:
+		host, _, err := net.SplitHostPort(c.conn.LocalAddr().String())
+		if err != nil {
+			host = "127.0.0.1"
+		}
+		ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+		if err != nil {
+			return nil, fmt.Errorf("netcomm: data listener: %w", err)
+		}
+		m.ln = ln
+	}
+	m.advNet = m.ln.Addr().Network()
+	m.advAddr = m.ln.Addr().String()
+	go m.acceptLoop()
+	return m, nil
+}
+
+// acceptLoop registers inbound peer connections (dialed by processes
+// with a lower worker range; see connect for the dialing rule).
+func (m *mesh) acceptLoop() {
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go func() {
+			kind, a, b, n, err := readHeader(conn)
+			if err != nil || kind != kHello || n != 0 {
+				conn.Close()
+				return
+			}
+			m.register(conn, int(a), int(b))
+		}()
+	}
+}
+
+// connect processes the peer directory: this process dials every peer
+// with a higher range start (the peer with the lower start accepts), so
+// each process pair ends up with exactly one shared connection.
+func (m *mesh) connect(dir []peerInfo) {
+	c := m.c
+	remote := 0
+	for _, p := range dir {
+		if p.lo != c.lo {
+			remote++
+		}
+	}
+	m.mu.Lock()
+	m.expect = remote
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	for _, p := range dir {
+		if p.lo <= c.lo {
+			continue
+		}
+		go func(p peerInfo) {
+			conn, err := net.Dial(p.network, p.addr)
+			if err != nil {
+				c.fail(fmt.Errorf("netcomm: dial peer %d-%d at %s: %w", p.lo, p.hi, p.addr, err))
+				return
+			}
+			if err := writeMsg(conn, kHello, uint16(c.lo), uint16(c.hi), nil); err != nil {
+				conn.Close()
+				c.fail(fmt.Errorf("netcomm: peer hello %d-%d: %w", p.lo, p.hi, err))
+				return
+			}
+			m.register(conn, p.lo, p.hi)
+		}(p)
+	}
+}
+
+// register installs one established peer connection and starts its read
+// loop.
+func (m *mesh) register(conn net.Conn, lo, hi int) {
+	c := m.c
+	if lo < 0 || hi < lo || hi >= c.m {
+		conn.Close()
+		c.fail(fmt.Errorf("netcomm: peer announced bad worker range %d..%d", lo, hi))
+		return
+	}
+	pc := &peerConn{conn: conn, lo: lo, hi: hi, window: c.window, avail: c.window}
+	pc.cond = sync.NewCond(&pc.mu)
+	m.mu.Lock()
+	for w := lo; w <= hi; w++ {
+		if m.peers[w] != nil {
+			m.mu.Unlock()
+			conn.Close()
+			c.fail(fmt.Errorf("netcomm: duplicate peer connection for workers %d-%d", lo, hi))
+			return
+		}
+	}
+	for w := lo; w <= hi; w++ {
+		m.peers[w] = pc
+	}
+	m.conns = append(m.conns, pc)
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	go m.readPeer(pc)
+}
+
+// await blocks until the mesh is fully established (directory received,
+// every remote process connected) or the job aborts or the timeout
+// passes.
+func (m *mesh) await(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	stop := time.AfterFunc(timeout, func() {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+	defer stop.Stop()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.expect >= 0 && len(m.conns) == m.expect {
+			return nil
+		}
+		if m.c.bar.Aborted() {
+			return fmt.Errorf("netcomm: job aborted while establishing mesh: %w", m.c.Err())
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("netcomm: p2p mesh not established within %v (%d of %d peers)",
+				timeout, len(m.conns), m.expect)
+		}
+		m.cond.Wait()
+	}
+}
+
+// readPeer demuxes one peer connection: DATA frames are staged into the
+// destination endpoint's pending buffers (granting credit back as they
+// land), DONE markers advance the per-worker round counters, CREDIT
+// grants top up this side's send window.
+//
+// A connection-level failure (EOF, reset, truncation) does NOT abort
+// the client: a peer that finished the job tears its process down while
+// slower peers are still completing, and that EOF is benign — every
+// frame and DONE marker it owed arrived before the orderly close.
+// Worker death is the control plane's call (the hub aborts the job when
+// a process drops before reporting); here the loss only poisons this
+// connection, so anything still needing it — a credit-blocked sender, a
+// Flush, a delivery wait — fails promptly while a client that is done
+// with it sails on to its result.
+func (m *mesh) readPeer(pc *peerConn) {
+	c := m.c
+	creditBatch := c.window / 4
+	if creditBatch < 1 {
+		creditBatch = 1
+	}
+	var granted int64 // credit staged but not yet sent back
+	for {
+		kind, a, b, n, err := readHeader(pc.conn)
+		if err != nil {
+			m.connLost(pc, fmt.Errorf("netcomm: peer connection to workers %d-%d lost: %w", pc.lo, pc.hi, err))
+			return
+		}
+		switch kind {
+		case kData:
+			src, dst := int(a), int(b)
+			if dst < c.lo || dst > c.hi || src < pc.lo || src > pc.hi {
+				c.fail(fmt.Errorf("netcomm: misrouted data frame %d->%d", src, dst))
+				return
+			}
+			ep := c.eps[dst-c.lo]
+			ep.mu.Lock()
+			_, err = io.ReadFull(pc.conn, ep.pending[src].Extend(n))
+			ep.mu.Unlock()
+			if err != nil {
+				m.connLost(pc, fmt.Errorf("netcomm: data frame from workers %d-%d truncated: %w", pc.lo, pc.hi, err))
+				return
+			}
+			granted += int64(n)
+			if granted >= creditBatch {
+				if err := pc.sendCredit(granted); err != nil {
+					m.connLost(pc, fmt.Errorf("netcomm: send credit to workers %d-%d: %w", pc.lo, pc.hi, err))
+					return
+				}
+				granted = 0
+			}
+		case kDone:
+			src := int(a)
+			if src < pc.lo || src > pc.hi {
+				c.fail(fmt.Errorf("netcomm: done marker for foreign worker %d", src))
+				return
+			}
+			m.bumpDone(src)
+		case kCredit:
+			if n != 8 {
+				c.fail(fmt.Errorf("netcomm: bad credit payload length %d", n))
+				return
+			}
+			var v [8]byte
+			if _, err := io.ReadFull(pc.conn, v[:]); err != nil {
+				m.connLost(pc, fmt.Errorf("netcomm: credit from workers %d-%d truncated: %w", pc.lo, pc.hi, err))
+				return
+			}
+			g := int64(binary.LittleEndian.Uint64(v[:]))
+			if g < 0 || g > maxPayload {
+				c.fail(fmt.Errorf("netcomm: bad credit grant %d", g))
+				return
+			}
+			pc.mu.Lock()
+			if !pc.closed {
+				windowOutstanding.Add(-g)
+				pc.avail += g
+				pc.cond.Broadcast()
+			}
+			pc.mu.Unlock()
+		default:
+			c.fail(fmt.Errorf("netcomm: unexpected message kind %d on peer connection", kind))
+			return
+		}
+	}
+}
+
+// connLost marks one peer connection dead and wakes the mesh: blocked
+// senders fail out of their credit wait with the cause, and delivery
+// waits re-check whether the lost connection still owed them rounds.
+func (m *mesh) connLost(pc *peerConn, err error) {
+	pc.die(err)
+	m.mu.Lock()
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// deliver routes one round frame from a local src worker to dst:
+// co-hosted destinations are staged in-process, remote ones go over the
+// peer connection under its credit window. The returned stall is the
+// time spent blocked on exhausted credit.
+func (m *mesh) deliver(src, dst int, payload []byte) (time.Duration, error) {
+	c := m.c
+	if dst >= c.lo && dst <= c.hi {
+		c.eps[dst-c.lo].stage(src, payload)
+		return 0, nil
+	}
+	m.mu.Lock()
+	pc := m.peers[dst]
+	m.mu.Unlock()
+	if pc == nil {
+		return 0, fmt.Errorf("netcomm: no mesh route to worker %d", dst)
+	}
+	return pc.sendData(m, src, dst, payload)
+}
+
+// finishRound marks one local worker's round complete: a DONE marker on
+// every peer connection (after that worker's frames, same streams), and
+// the local counter for co-hosted readers.
+func (m *mesh) finishRound(src int) error {
+	m.mu.Lock()
+	conns := append([]*peerConn(nil), m.conns...)
+	m.mu.Unlock()
+	for _, pc := range conns {
+		pc.wmu.Lock()
+		err := writeMsg(pc.conn, kDone, uint16(src), 0, nil)
+		pc.wmu.Unlock()
+		if err != nil {
+			err = fmt.Errorf("netcomm: peer connection to workers %d-%d lost: %w", pc.lo, pc.hi, err)
+			m.connLost(pc, err)
+			return fmt.Errorf("netcomm: send done to workers %d-%d: %w", pc.lo, pc.hi, err)
+		}
+	}
+	m.bumpDone(src)
+	return nil
+}
+
+// bumpDone advances one worker's completed-round counter and wakes
+// endpoint swaps waiting on it.
+func (m *mesh) bumpDone(src int) {
+	m.mu.Lock()
+	m.doneSeq[src]++
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// waitDelivered blocks until every worker's completed-round counter has
+// reached target (every round-target frame is staged locally) or the
+// job aborts — the caller's engine observes the abort at its next
+// barrier crossing, so an early return on abort is safe. A dead peer
+// connection that still owes rounds can never deliver them, so the wait
+// fails the client instead of parking until the control plane notices.
+func (m *mesh) waitDelivered(target uint64) {
+	m.mu.Lock()
+	for {
+		done := true
+		var lost error
+		for w, s := range m.doneSeq {
+			if s >= target {
+				continue
+			}
+			done = false
+			pc := m.peers[w]
+			if pc == nil {
+				continue // co-hosted: its own Flush will bump the counter
+			}
+			pc.mu.Lock()
+			if pc.closed {
+				lost = pc.err
+				if lost == nil {
+					lost = fmt.Errorf("netcomm: peer connection to workers %d-%d closed", pc.lo, pc.hi)
+				}
+			}
+			pc.mu.Unlock()
+			if lost != nil {
+				break
+			}
+		}
+		if done || m.c.stopping() {
+			m.mu.Unlock()
+			return
+		}
+		if lost != nil {
+			m.mu.Unlock()
+			m.c.fail(fmt.Errorf("netcomm: round %d undeliverable: %w", target, lost))
+			return
+		}
+		m.cond.Wait()
+	}
+}
+
+// wake unblocks every mesh waiter (credit-starved senders, delivery
+// waits, the dial-time await) so they can observe an abort or close.
+func (m *mesh) wake() {
+	m.mu.Lock()
+	conns := append([]*peerConn(nil), m.conns...)
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	for _, pc := range conns {
+		pc.mu.Lock()
+		pc.cond.Broadcast()
+		pc.mu.Unlock()
+	}
+}
+
+// close tears the data plane down: listener, every peer connection, the
+// unix socket dir, and the in-flight window gauge contribution.
+func (m *mesh) close() {
+	m.ln.Close()
+	m.mu.Lock()
+	conns := append([]*peerConn(nil), m.conns...)
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	for _, pc := range conns {
+		pc.close()
+	}
+	if m.sockDir != "" {
+		os.RemoveAll(m.sockDir)
+	}
+}
+
+// peerConn is one direct connection to a remote process, shared by all
+// co-hosted workers on both sides. Each direction has an independent
+// credit window: avail is what the remote receiver still lets us send;
+// the grants we owe the remote sender are batched in readPeer.
+type peerConn struct {
+	conn   net.Conn
+	wmu    sync.Mutex // serializes frame/done/credit writes
+	lo, hi int        // remote hosted worker range
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	window  int64
+	avail   int64 // remaining send credit; may go negative for an oversized frame
+	stallNS int64
+	closed  bool
+	err     error // why the connection died; nil for a clean local close
+}
+
+// sendData writes one data frame under the credit window, blocking
+// while the window is exhausted. A frame larger than the whole window
+// waits for the window to be fully replenished, then overdraws it. A
+// failed write means the connection is dead (the remote process died or
+// tore down): the connection is poisoned through the mesh so every
+// other user of it fails with the same peer-lost cause.
+func (pc *peerConn) sendData(m *mesh, src, dst int, payload []byte) (time.Duration, error) {
+	c := m.c
+	n := int64(len(payload))
+	var stall time.Duration
+	pc.mu.Lock()
+	if pc.avail < n && pc.avail < pc.window {
+		t0 := time.Now()
+		for pc.avail < n && pc.avail < pc.window && !c.stopping() && !pc.closed {
+			pc.cond.Wait()
+		}
+		stall = time.Since(t0)
+		pc.stallNS += int64(stall)
+	}
+	if c.stopping() || pc.closed {
+		cause := pc.err
+		pc.mu.Unlock()
+		if cause != nil {
+			return stall, fmt.Errorf("netcomm: send to workers %d-%d: %w", pc.lo, pc.hi, cause)
+		}
+		return stall, fmt.Errorf("netcomm: aborted while awaiting window credit for workers %d-%d", pc.lo, pc.hi)
+	}
+	pc.avail -= n
+	windowOutstanding.Add(n)
+	pc.mu.Unlock()
+	pc.wmu.Lock()
+	err := writeMsg(pc.conn, kData, uint16(src), uint16(dst), payload)
+	pc.wmu.Unlock()
+	if err != nil {
+		err = fmt.Errorf("netcomm: peer connection to workers %d-%d lost: %w", pc.lo, pc.hi, err)
+		m.connLost(pc, err)
+		return stall, fmt.Errorf("netcomm: send data frame %d->%d: %w", src, dst, err)
+	}
+	return stall, nil
+}
+
+// sendCredit returns staged credit to the remote sender.
+func (pc *peerConn) sendCredit(grant int64) error {
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], uint64(grant))
+	pc.wmu.Lock()
+	defer pc.wmu.Unlock()
+	return writeMsg(pc.conn, kCredit, 0, 0, p[:])
+}
+
+// stallTime reports the cumulative time senders spent blocked on this
+// connection's window.
+func (pc *peerConn) stallTime() time.Duration {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return time.Duration(pc.stallNS)
+}
+
+// close shuts the connection down cleanly (local teardown): blocked
+// senders wake and the connection's in-flight bytes return to the
+// window gauge.
+func (pc *peerConn) close() { pc.die(nil) }
+
+// die marks the connection dead with the given cause (nil for a clean
+// close), wakes blocked senders, and reconciles the window gauge. The
+// first call wins; later calls only re-close the socket.
+func (pc *peerConn) die(err error) {
+	pc.mu.Lock()
+	if !pc.closed {
+		pc.closed = true
+		pc.err = err
+		windowOutstanding.Add(pc.avail - pc.window)
+		pc.cond.Broadcast()
+	}
+	pc.mu.Unlock()
+	pc.conn.Close()
+}

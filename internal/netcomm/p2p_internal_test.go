@@ -1,0 +1,250 @@
+package netcomm
+
+// White-box tests of the credit window: they need a peer that is slow
+// at the socket level (its read loop not draining), which no real
+// Client ever is, so a hand-driven fake process stands in for the
+// receiver.
+
+import (
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// slowPeerFabric is a 2-worker job where worker 1 is a fake process
+// that joins the hub, announces a data listener, accepts worker 0's
+// mesh connection — and then never reads another byte from it.
+type slowPeerFabric struct {
+	hub     *Hub
+	c0      *Client
+	hubConn net.Conn // the fake's control connection
+	peer    net.Conn // the fake's end of the mesh connection (never read)
+}
+
+func startSlowPeerFabric(t *testing.T, windowBytes int) *slowPeerFabric {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := NewHub(2, comm.CostModel{}, ln)
+	t.Cleanup(hub.Close)
+
+	hubConn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hubConn.Close() })
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fln.Close() })
+	if err := writeMsg(hubConn, kHello, 1, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeMsg(hubConn, kListen, 1, 1, encodeListen("tcp", fln.Addr().String())); err != nil {
+		t.Fatal(err)
+	}
+	// Keep the fake's control stream drained (kPeers arrives there).
+	go io.Copy(io.Discard, hubConn)
+
+	peerCh := make(chan net.Conn, 1)
+	go func() {
+		conn, err := fln.Accept()
+		if err != nil {
+			return
+		}
+		// Consume worker 0's mesh hello, then go silent: from here on
+		// the receiver stages nothing and grants no credit.
+		if kind, _, _, _, err := readHeader(conn); err != nil || kind != kHello {
+			conn.Close()
+			return
+		}
+		peerCh <- conn
+	}()
+
+	c0, err := DialConfig(Config{
+		Network: "tcp", Addr: ln.Addr().String(),
+		Lo: 0, Hi: 0, M: 2,
+		DataPlane: DataPlaneP2P, WindowBytes: windowBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c0.Close() })
+	var peer net.Conn
+	select {
+	case peer = <-peerCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker 0 never dialed the fake peer")
+	}
+	t.Cleanup(func() { peer.Close() })
+	return &slowPeerFabric{hub: hub, c0: c0, hubConn: hubConn, peer: peer}
+}
+
+// pumpFrames flushes frameBytes-sized frames from worker 0 to worker 1
+// in a goroutine, returning the completed-flush counter and a channel
+// closed when the goroutine exits (on completion or Flush error).
+func pumpFrames(f *slowPeerFabric, rounds, frameBytes int) (*atomic.Int64, <-chan error) {
+	ep := f.c0.eps[0]
+	var flushes atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < rounds; i++ {
+			ep.Out(1).Extend(frameBytes)
+			if err := ep.Flush(); err != nil {
+				done <- err
+				close(done)
+				return
+			}
+			flushes.Add(1)
+		}
+		close(done)
+	}()
+	return &flushes, done
+}
+
+// A receiver that stops draining must stall its sender at the window:
+// completed flushes stop at window/frame, the in-flight bytes stay
+// bounded by the window, and not one data byte touches the hub.
+func TestSlowReaderBoundsSenderAtWindow(t *testing.T) {
+	const window, frame = 256 << 10, 64 << 10
+	f := startSlowPeerFabric(t, window)
+	flushes, done := pumpFrames(f, 40, frame)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for flushes.Load() < window/frame && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond) // would overshoot here if unbounded
+	if got := flushes.Load(); got != window/frame {
+		t.Fatalf("sender completed %d flushes against a silent receiver, want exactly %d (window %d / frame %d)",
+			got, window/frame, window, frame)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("sender goroutine exited early: %v", err)
+	default:
+	}
+	f.c0.mesh.mu.Lock()
+	pc := f.c0.mesh.peers[1]
+	f.c0.mesh.mu.Unlock()
+	pc.mu.Lock()
+	occupancy := pc.window - pc.avail
+	pc.mu.Unlock()
+	if occupancy <= 0 || occupancy > window {
+		t.Errorf("window occupancy %d, want in (0, %d]", occupancy, window)
+	}
+	if db := f.hub.DataBytes(); db != 0 {
+		t.Errorf("hub relayed %d data bytes under p2p", db)
+	}
+
+	// Closing the client must free the blocked sender (shutdown path).
+	f.c0.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("blocked Flush completed instead of failing after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sender goroutine still blocked in Flush after client close")
+	}
+	// The blocked time is attributed once the sender wakes.
+	if pc.stallTime() == 0 {
+		t.Error("sender recorded no stall time for its blocked Flush")
+	}
+	if f.c0.Stats().FlowStallTime == 0 {
+		t.Error("fabric stats recorded no flow-stall time")
+	}
+}
+
+// Regression: a worker blocked in Flush on an exhausted window while
+// its receiver dies mid-round must observe the abort promptly instead
+// of waiting forever for credit — no goroutine may stay stuck.
+func TestReceiverDeathWakesBlockedSender(t *testing.T) {
+	const window, frame = 128 << 10, 64 << 10
+	f := startSlowPeerFabric(t, window)
+	flushes, done := pumpFrames(f, 40, frame)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for flushes.Load() < window/frame && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := flushes.Load(); got != window/frame {
+		t.Fatalf("sender not blocked at the window: %d flushes", got)
+	}
+
+	f.peer.Close() // the receiver "dies" mid-round
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("blocked Flush completed instead of failing after receiver death")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sender goroutine stuck in Flush after receiver death")
+	}
+	if !f.c0.bar.Aborted() {
+		t.Error("barrier not aborted after receiver death")
+	}
+	if f.c0.Err() == nil {
+		t.Error("client recorded no transport error after receiver death")
+	}
+}
+
+// The hub plane has no backpressure: the same silent consumer absorbs
+// every round into its pending buffers, whose memory grows with the
+// volume sent — the contrast that motivates the p2p window.
+func TestHubPlaneSenderUnboundedMemoryGrows(t *testing.T) {
+	const rounds, frame = 40, 64 << 10 // 2.5 MB total, 10x the p2p test's window
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := NewHub(2, comm.CostModel{}, ln)
+	t.Cleanup(hub.Close)
+	c0, err := Dial("tcp", ln.Addr().String(), 0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c0.Close() })
+	c1, err := Dial("tcp", ln.Addr().String(), 1, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c1.Close() })
+	if err := hub.WaitJoined(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	ep := c0.eps[0]
+	for i := 0; i < rounds; i++ {
+		ep.Out(1).Extend(frame)
+		if err := ep.Flush(); err != nil {
+			t.Fatalf("hub-plane sender blocked at flush %d: %v", i, err)
+		}
+	}
+	// Every flush completed without the receiver consuming anything;
+	// its staged bytes grow with the rounds sent.
+	rep := c1.eps[0]
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rep.mu.Lock()
+		staged := rep.pending[0].Len()
+		rep.mu.Unlock()
+		if staged >= rounds*frame {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("receiver staged %d of %d bytes", staged, rounds*frame)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if db := hub.DataBytes(); db < rounds*frame {
+		t.Errorf("hub relayed %d bytes, want >= %d", db, rounds*frame)
+	}
+}

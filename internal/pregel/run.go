@@ -206,8 +206,15 @@ func (w *Worker[M, R, A]) runRound(serialize func(int, *ser.Buffer), decode func
 			w.obsSmp.FramesSent++
 		}
 	}
+	var stall0 time.Duration
+	if w.obsOn {
+		stall0 = w.ep.Stall()
+	}
 	if err := w.ep.Flush(); err != nil {
 		return fmt.Errorf("pregel: worker %d: %w", w.id, err)
+	}
+	if w.obsOn {
+		w.obsSmp.SendStallNS += int64(w.ep.Stall() - stall0)
 	}
 	if !w.timedWait() {
 		return errAborted

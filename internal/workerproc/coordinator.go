@@ -37,6 +37,17 @@ type JobSpec struct {
 	// Network is "unix" (default) or "tcp" (loopback).
 	Network string
 
+	// DataPlane selects how round frames travel between workers:
+	// netcomm.DataPlaneHub ("" defaults to it) relays them through the
+	// coordinator, netcomm.DataPlaneP2P has the workers dial a direct
+	// mesh with credit-based flow control. Recovery needs no special
+	// handling: each attempt spawns a fresh party that re-negotiates
+	// its mesh through the new hub.
+	DataPlane string
+	// WindowBytes is the p2p per-peer-connection receive window (0 =
+	// netcomm.DefaultWindowBytes).
+	WindowBytes int
+
 	// SnapshotPath is a binary snapshot embedding the Placement owner
 	// vector; Part must be the partition that vector describes (the
 	// coordinator needs it to merge partials and the workers rebuild the
@@ -274,6 +285,12 @@ func runAttempt(spec JobSpec, attempt, restore int, log *slog.Logger) (*algorith
 			"-source", strconv.FormatUint(uint64(spec.Params.Source), 10),
 			"-max-supersteps", strconv.Itoa(spec.MaxSupersteps),
 		)
+		if spec.DataPlane != "" {
+			args = append(args, "-data-plane", spec.DataPlane)
+		}
+		if spec.WindowBytes > 0 {
+			args = append(args, "-window-bytes", strconv.Itoa(spec.WindowBytes))
+		}
 		if spec.Trace != nil {
 			args = append(args, "-trace")
 		}
@@ -430,6 +447,12 @@ func runAttempt(spec JobSpec, attempt, restore int, log *slog.Logger) (*algorith
 		errs = append(errs, mergeErr)
 	}
 	err = barrier.JoinErrors(errs)
+	if err == nil && mergeErr != nil {
+		// JoinErrors drops abort echoes to surface root causes, but a
+		// failed merge with no root cause anywhere must still fail the
+		// job — res is nil and the partials were incomplete.
+		err = mergeErr
+	}
 	cancelled := false
 	if spec.Cancel != nil {
 		select {
@@ -459,9 +482,14 @@ func runAttempt(spec JobSpec, attempt, restore int, log *slog.Logger) (*algorith
 		// (netcomm.ErrWorkerLost) or was killed by a watchdog. An error
 		// a worker shipped in its result blob (a superstep cap, a bad
 		// restore, an algorithm failure) would just recur on retry.
+		// Peer-lost errors (netcomm.ErrPeerLost) count as fallout too:
+		// under the p2p plane a surviving worker's send can observe a
+		// dying peer's connection reset before the hub's abort reaches
+		// it, but the root cause is still the dead peer.
 		recoverable := !cancelled && !errors.Is(err, barrier.ErrCancelled)
 		for _, p := range partials {
-			if p.err != nil && !errors.Is(p.err, barrier.ErrAborted) && !errors.Is(p.err, barrier.ErrCancelled) {
+			if p.err != nil && !errors.Is(p.err, barrier.ErrAborted) &&
+				!errors.Is(p.err, barrier.ErrCancelled) && !errors.Is(p.err, netcomm.ErrPeerLost) {
 				recoverable = false
 				break
 			}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/algorithms"
 	"repro/internal/barrier"
 	"repro/internal/graph"
+	"repro/internal/netcomm"
 	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/ser"
@@ -85,6 +86,7 @@ func encodeSamples(buf *ser.Buffer, samples []obs.SuperstepSample) {
 		buf.WriteUvarint(uint64(s.Rounds))
 		buf.WriteVarint(s.ComputeNS)
 		buf.WriteVarint(s.BarrierWaitNS)
+		buf.WriteVarint(s.SendStallNS)
 		buf.WriteVarint(s.BytesSent)
 		buf.WriteVarint(s.FramesSent)
 		buf.WriteVarint(s.BytesRecv)
@@ -112,6 +114,7 @@ func decodeSamples(b *ser.Buffer, tr *obs.Trace) {
 		s.Rounds = int(b.ReadUvarint())
 		s.ComputeNS = b.ReadVarint()
 		s.BarrierWaitNS = b.ReadVarint()
+		s.SendStallNS = b.ReadVarint()
 		s.BytesSent = b.ReadVarint()
 		s.FramesSent = b.ReadVarint()
 		s.BytesRecv = b.ReadVarint()
@@ -186,11 +189,20 @@ func decodePartial(blob []byte) (p partial, err error) {
 func reportedError(msg string) error {
 	if msg == barrier.ErrAborted.Error() ||
 		strings.Contains(msg, "netcomm: job aborted") ||
+		strings.Contains(msg, "netcomm: aborted while awaiting window credit") ||
 		strings.Contains(msg, "connection to coordinator lost") {
 		return barrier.ErrAborted
 	}
 	if msg == barrier.ErrCancelled.Error() {
 		return barrier.ErrCancelled
+	}
+	if strings.Contains(msg, "netcomm: peer connection to workers") {
+		// A peer's data connection dying mid-job means the peer process
+		// itself died or unwound — the hub reports that root cause
+		// independently as ErrWorkerLost. Tag the fallout so recovery
+		// classification can tell it from an error this worker would
+		// hit again on retry.
+		return fmt.Errorf("%w: %s", netcomm.ErrPeerLost, msg)
 	}
 	return errors.New(msg)
 }
@@ -231,7 +243,10 @@ func mergePartials(part *partition.Partition, blobs []partial, tr *obs.Trace) (*
 			errs = append(errs, fmt.Errorf("workerproc: worker %d reported no result", w))
 		}
 	}
-	if err := barrier.JoinErrors(errs); err != nil || kind == 255 {
+	// len(errs) > 0 with a nil join means every error was an abort echo
+	// JoinErrors filtered out — but those workers still contributed no
+	// values, so merging anyway would return a silently truncated result.
+	if err := barrier.JoinErrors(errs); err != nil || len(errs) > 0 || kind == 255 {
 		if err == nil {
 			err = barrier.ErrAborted
 		}

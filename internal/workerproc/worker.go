@@ -33,6 +33,8 @@ func Main(args []string, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	network := fs.String("network", "unix", "hub network: unix or tcp")
 	addr := fs.String("connect", "", "hub address (socket path or host:port)")
+	dataPlane := fs.String("data-plane", netcomm.DataPlaneHub, "data plane: hub (frames relayed by the coordinator) or p2p (direct worker mesh with credit flow control)")
+	windowBytes := fs.Int("window-bytes", 0, "p2p receive window per peer connection in bytes (0 = default)")
 	snapshot := fs.String("snapshot", "", "binary graph snapshot with the job's placement embedded")
 	placement := fs.String("placement", "", "name of the owner vector inside the snapshot")
 	workersFlag := fs.String("workers", "", "hosted worker range lo-hi (inclusive) or a single id")
@@ -92,12 +94,18 @@ func Main(args []string, stderr io.Writer) int {
 		return fail(fmt.Errorf("placement %q has %d workers, job expects %d", *placement, part.NumWorkers(), *numWorkers))
 	}
 
-	client, err := netcomm.Dial(*network, *addr, lo, hi, part.NumWorkers())
+	client, err := netcomm.DialConfig(netcomm.Config{
+		Network: *network, Addr: *addr,
+		Lo: lo, Hi: hi, M: part.NumWorkers(),
+		DataPlane:   *dataPlane,
+		WindowBytes: *windowBytes,
+	})
 	if err != nil {
 		return fail(err)
 	}
 	defer client.Close()
-	log.Info("graphworker running", "engine", *engine, "vertices", g.NumVertices(), "trace", *traceOn)
+	log.Info("graphworker running", "engine", *engine, "vertices", g.NumVertices(),
+		"trace", *traceOn, "data-plane", *dataPlane)
 
 	opts := algorithms.Options{
 		Part:          part,

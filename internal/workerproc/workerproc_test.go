@@ -51,11 +51,14 @@ func writeSnapshot(t *testing.T, g *graph.Graph, m int) (string, map[string]*par
 }
 
 // runJob executes one distributed job against this test binary.
+// plane selects the data plane ("" lets the worker default to hub); a
+// deliberately small credit window makes the p2p rows cycle through
+// grant/stall/replenish even on these small test graphs.
 func runJob(t *testing.T, snap string, placement string, part *partition.Partition,
 	procs int, algorithm string, eng algorithms.Engine, variant string,
-	params algorithms.Params) (*algorithms.Result, error) {
+	params algorithms.Params, plane string) (*algorithms.Result, error) {
 	t.Helper()
-	return workerproc.Run(workerproc.JobSpec{
+	js := workerproc.JobSpec{
 		Bin:           os.Args[0],
 		SnapshotPath:  snap,
 		Placement:     placement,
@@ -67,15 +70,21 @@ func runJob(t *testing.T, snap string, placement string, part *partition.Partiti
 		Params:        params,
 		MaxSupersteps: 100000,
 		JoinTimeout:   time.Minute,
-	})
+		DataPlane:     plane,
+	}
+	if plane == netcomm.DataPlaneP2P {
+		js.WindowBytes = 64 << 10
+	}
+	return workerproc.Run(js)
 }
 
 // TestDistributedEquivalenceSweep is the acceptance sweep: every Table
 // IV–VII algorithm × both engines × every registered variant × hash and
-// greedy placements, with the workers in separate OS processes joined
-// over the socket fabric, must produce oracle-identical results. Two
-// workers share each process, so the sweep also covers co-hosted
-// workers whose frames round-trip through the hub.
+// greedy placements × both data planes, with the workers in separate OS
+// processes joined over the socket fabric, must produce oracle-identical
+// results. Two workers share each process, so the sweep also covers
+// co-hosted workers whose frames round-trip through the hub (hub plane)
+// or stage in-process (p2p plane).
 func TestDistributedEquivalenceSweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns many worker processes")
@@ -113,44 +122,57 @@ func TestDistributedEquivalenceSweep(t *testing.T) {
 		for _, eng := range spec.Engines() {
 			for _, variant := range spec.Variants(eng) {
 				for _, placement := range []string{partition.PlacementHash, partition.PlacementGreedy} {
-					name := fmt.Sprintf("%s/%s/%s/%s", spec.Name, eng, variant, placement)
-					params := algorithms.Params{Iterations: 12, Source: 1}
-					res, err := runJob(t, snaps[spec.Name], placement, parts[spec.Name][placement],
-						procs, spec.Name, eng, variant, params)
-					if err != nil {
-						t.Fatalf("%s: %v", name, err)
-					}
-					switch spec.Name {
-					case "wcc", "sv":
-						checkLabels(t, name, res.Labels, oracleWCC)
-					case "scc":
-						checkLabels(t, name, res.Labels, oracleSCC)
-					case "pointerjump":
-						checkLabels(t, name, res.Labels, oracleRoots)
-					case "sssp":
-						for i := range oracleDist {
-							if res.Dists[i] != oracleDist[i] {
-								t.Fatalf("%s: vertex %d got %d want %d", name, i, res.Dists[i], oracleDist[i])
-							}
-						}
-					case "pagerank":
-						for i := range oracleRank {
-							if d := res.Ranks[i] - oracleRank[i]; d > 1e-9 || d < -1e-9 {
-								t.Fatalf("%s: vertex %d got %v want %v", name, i, res.Ranks[i], oracleRank[i])
-							}
-						}
-					case "msf":
-						if res.MSF.Weight != oracleMSFW || len(res.MSF.Edges) != oracleMSFCnt {
-							t.Fatalf("%s: weight=%d edges=%d want %d %d",
-								name, res.MSF.Weight, len(res.MSF.Edges), oracleMSFW, oracleMSFCnt)
-						}
-					}
-					if res.Metrics.Supersteps == 0 || res.Metrics.NetBytes == 0 {
-						t.Fatalf("%s: empty metrics %+v", name, res.Metrics)
+					for _, plane := range []string{netcomm.DataPlaneHub, netcomm.DataPlaneP2P} {
+						sweepOne(t, snaps[spec.Name], placement, parts[spec.Name][placement],
+							procs, spec, eng, variant, plane,
+							oracleWCC, oracleSCC, oracleRoots, oracleDist, oracleRank,
+							oracleMSFW, oracleMSFCnt)
 					}
 				}
 			}
 		}
+	}
+}
+
+func sweepOne(t *testing.T, snap, placement string, part *partition.Partition,
+	procs int, spec *algorithms.Spec, eng algorithms.Engine, variant, plane string,
+	oracleWCC, oracleSCC, oracleRoots []graph.VertexID, oracleDist []int64,
+	oracleRank []float64, oracleMSFW int64, oracleMSFCnt int) {
+	t.Helper()
+	name := fmt.Sprintf("%s/%s/%s/%s/%s", spec.Name, eng, variant, placement, plane)
+	params := algorithms.Params{Iterations: 12, Source: 1}
+	res, err := runJob(t, snap, placement, part,
+		procs, spec.Name, eng, variant, params, plane)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	switch spec.Name {
+	case "wcc", "sv":
+		checkLabels(t, name, res.Labels, oracleWCC)
+	case "scc":
+		checkLabels(t, name, res.Labels, oracleSCC)
+	case "pointerjump":
+		checkLabels(t, name, res.Labels, oracleRoots)
+	case "sssp":
+		for i := range oracleDist {
+			if res.Dists[i] != oracleDist[i] {
+				t.Fatalf("%s: vertex %d got %d want %d", name, i, res.Dists[i], oracleDist[i])
+			}
+		}
+	case "pagerank":
+		for i := range oracleRank {
+			if d := res.Ranks[i] - oracleRank[i]; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("%s: vertex %d got %v want %v", name, i, res.Ranks[i], oracleRank[i])
+			}
+		}
+	case "msf":
+		if res.MSF.Weight != oracleMSFW || len(res.MSF.Edges) != oracleMSFCnt {
+			t.Fatalf("%s: weight=%d edges=%d want %d %d",
+				name, res.MSF.Weight, len(res.MSF.Edges), oracleMSFW, oracleMSFCnt)
+		}
+	}
+	if res.Metrics.Supersteps == 0 || res.Metrics.NetBytes == 0 {
+		t.Fatalf("%s: empty metrics %+v", name, res.Metrics)
 	}
 }
 
@@ -197,10 +219,12 @@ func TestKillWorkerWithoutRecoveryFailsCleanly(t *testing.T) {
 
 // TestFaultMatrixRecovers is the recovery acceptance matrix: a
 // deterministic kill, drop or stall of one worker mid-job, under either
-// engine on either socket fabric, must complete anyway — the
-// coordinator respawns the party from the last complete checkpoint and
-// the final ranks are byte-identical to an in-process run of the same
-// engine.
+// engine on either socket fabric on either data plane, must complete
+// anyway — the coordinator respawns the party from the last complete
+// checkpoint and the final ranks are byte-identical to an in-process
+// run of the same engine. The p2p rows also prove mesh teardown and
+// re-negotiation: each recovery attempt spawns a fresh party that must
+// re-exchange the peer directory and redial the full mesh.
 func TestFaultMatrixRecovers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns many worker processes")
@@ -218,12 +242,14 @@ func TestFaultMatrixRecovers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, tc := range []struct{ kind, network string }{
-			{"kill", "unix"}, {"drop", "unix"}, {"stall", "unix"},
-			{"kill", "tcp"}, {"drop", "tcp"}, {"stall", "tcp"},
+		for _, tc := range []struct{ kind, network, plane string }{
+			{"kill", "unix", netcomm.DataPlaneHub}, {"drop", "unix", netcomm.DataPlaneHub}, {"stall", "unix", netcomm.DataPlaneHub},
+			{"kill", "tcp", netcomm.DataPlaneHub}, {"drop", "tcp", netcomm.DataPlaneHub}, {"stall", "tcp", netcomm.DataPlaneHub},
+			{"kill", "unix", netcomm.DataPlaneP2P}, {"drop", "unix", netcomm.DataPlaneP2P}, {"stall", "unix", netcomm.DataPlaneP2P},
+			{"kill", "tcp", netcomm.DataPlaneP2P}, {"drop", "tcp", netcomm.DataPlaneP2P}, {"stall", "tcp", netcomm.DataPlaneP2P},
 		} {
-			kind, network := tc.kind, tc.network
-			t.Run(fmt.Sprintf("%s/%s/%s", eng, kind, network), func(t *testing.T) {
+			kind, network, plane := tc.kind, tc.network, tc.plane
+			t.Run(fmt.Sprintf("%s/%s/%s/%s", eng, kind, network, plane), func(t *testing.T) {
 				var recoveries atomic.Int32
 				js := workerproc.JobSpec{
 					Bin:           os.Args[0],
@@ -242,6 +268,7 @@ func TestFaultMatrixRecovers(t *testing.T) {
 					CkptJob:       "t",
 					MaxRecoveries: 2,
 					RetryBackoff:  10 * time.Millisecond,
+					DataPlane:     plane,
 					Fault:         &workerproc.FaultSpec{Kind: kind, Worker: 2, Superstep: 5},
 					OnRecovery: func(attempt, restoreStep int, joined bool) {
 						recoveries.Add(1)
@@ -249,6 +276,9 @@ func TestFaultMatrixRecovers(t *testing.T) {
 							t.Errorf("joined party recovered without any checkpoint")
 						}
 					},
+				}
+				if plane == netcomm.DataPlaneP2P {
+					js.WindowBytes = 64 << 10 // small window: recovery under credit pressure
 				}
 				if kind == "stall" {
 					// the only detector a parked worker has
@@ -347,7 +377,7 @@ func TestDistributedSuperstepCapSurfacesOnce(t *testing.T) {
 	const m = 2
 	snap, parts := writeSnapshot(t, g, m)
 	_, err := runJob(t, snap, partition.PlacementHash, parts[partition.PlacementHash],
-		m, "pagerank", algorithms.EngineChannel, "", algorithms.Params{Iterations: 50})
+		m, "pagerank", algorithms.EngineChannel, "", algorithms.Params{Iterations: 50}, "")
 	if err != nil {
 		t.Fatalf("baseline run failed: %v", err)
 	}

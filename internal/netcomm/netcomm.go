@@ -201,7 +201,11 @@ func DialConfig(cfg Config) (*Client, error) {
 		if c.window <= 0 {
 			c.window = DefaultWindowBytes
 		}
-		if c.mesh, err = newMesh(c, cfg.Network); err != nil {
+		timeout := cfg.MeshTimeout
+		if timeout <= 0 {
+			timeout = defaultMeshTimeout
+		}
+		if c.mesh, err = newMesh(c, cfg.Network, timeout); err != nil {
 			conn.Close()
 			return nil, err
 		}
@@ -218,11 +222,7 @@ func DialConfig(cfg Config) (*Client, error) {
 	}
 	go c.readLoop()
 	if c.mesh != nil {
-		timeout := cfg.MeshTimeout
-		if timeout <= 0 {
-			timeout = defaultMeshTimeout
-		}
-		if err := c.mesh.await(timeout); err != nil {
+		if err := c.mesh.await(); err != nil {
 			c.Close()
 			return nil, err
 		}

@@ -20,11 +20,14 @@ package netcomm
 //     window per connection direction: a receiver starts its senders
 //     with WindowBytes of credit, every staged frame replenishes credit
 //     back to the sender (batched to a quarter window to keep credit
-//     traffic negligible), and a sender whose credit is exhausted
-//     blocks in Flush until credit returns or the job aborts. A frame
-//     larger than the window is allowed to overdraw it, but only once
-//     the full window is available — so a slow receiver bounds every
-//     sender's in-flight bytes at max(WindowBytes, one frame).
+//     traffic negligible, with any residue returned when a DONE marker
+//     shows the sender's round went quiescent — so every round ends
+//     with the window fully replenished), and a sender whose credit is
+//     exhausted blocks in Flush until credit returns or the job
+//     aborts. A frame larger than the window is allowed to overdraw
+//     it, but only once the full window is available — so a slow
+//     receiver bounds every sender's in-flight bytes at
+//     max(WindowBytes, one frame).
 
 import (
 	"encoding/binary"
@@ -181,12 +184,15 @@ func decodePeerDirectory(p []byte, m int) (peers []peerInfo, err error) {
 type mesh struct {
 	c       *Client
 	ln      net.Listener
-	sockDir string // temp dir of the unix data socket, "" for tcp
-	advNet  string // advertised listener endpoint
+	sockDir string        // temp dir of the unix data socket, "" for tcp
+	advNet  string        // advertised listener endpoint
 	advAddr string
+	timeout time.Duration // bounds mesh establishment and each peer dial
 
 	mu      sync.Mutex
 	cond    *sync.Cond
+	dir     []peerInfo  // peer directory; nil until the hub broadcasts it
+	closed  bool        // close() ran; late connections are dropped
 	peers   []*peerConn // per worker id; nil for locally hosted ids
 	conns   []*peerConn // every established peer connection
 	expect  int         // remote processes expected; -1 until the directory arrives
@@ -197,8 +203,8 @@ type mesh struct {
 // host the hub connection goes out on (so the advertised address is
 // reachable wherever the hub is); for unix it binds a socket in a fresh
 // temp dir.
-func newMesh(c *Client, network string) (*mesh, error) {
-	m := &mesh{c: c, expect: -1}
+func newMesh(c *Client, network string, timeout time.Duration) (*mesh, error) {
+	m := &mesh{c: c, expect: -1, timeout: timeout}
 	m.cond = sync.NewCond(&m.mu)
 	m.peers = make([]*peerConn, c.m)
 	m.doneSeq = make([]uint64, c.m)
@@ -231,8 +237,9 @@ func newMesh(c *Client, network string) (*mesh, error) {
 	return m, nil
 }
 
-// acceptLoop registers inbound peer connections (dialed by processes
-// with a lower worker range; see connect for the dialing rule).
+// acceptLoop vets and registers inbound peer connections (dialed by
+// processes with a lower worker range; see connect for the dialing
+// rule).
 func (m *mesh) acceptLoop() {
 	for {
 		conn, err := m.ln.Accept()
@@ -245,9 +252,41 @@ func (m *mesh) acceptLoop() {
 				conn.Close()
 				return
 			}
-			m.register(conn, int(a), int(b))
+			m.registerInbound(conn, int(a), int(b))
 		}()
 	}
+}
+
+// registerInbound vets an inbound data connection before installing
+// it. The kHello range is self-declared, so nothing about the
+// connection is trusted yet: registration waits for the hub's peer
+// directory (any legitimate dialer holds it too — the hub broadcasts
+// it to the whole party at once), the announced range must match a
+// directory entry exactly, and the dialing rule must hold (only
+// processes with a lower range start dial us). A connection that fails
+// vetting — stray, stale, or a duplicate racing the real peer — is
+// closed and ignored rather than failing the job: the legitimate peer
+// can still register, and await() times out if the mesh never
+// completes.
+func (m *mesh) registerInbound(conn net.Conn, lo, hi int) {
+	m.mu.Lock()
+	for m.dir == nil && !m.closed {
+		m.cond.Wait()
+	}
+	dir, closed := m.dir, m.closed
+	m.mu.Unlock()
+	valid := false
+	for _, p := range dir {
+		if p.lo == lo && p.hi == hi {
+			valid = true
+			break
+		}
+	}
+	if closed || !valid || lo >= m.c.lo {
+		conn.Close()
+		return
+	}
+	m.register(conn, lo, hi, true)
 }
 
 // connect processes the peer directory: this process dials every peer
@@ -262,6 +301,7 @@ func (m *mesh) connect(dir []peerInfo) {
 		}
 	}
 	m.mu.Lock()
+	m.dir = dir
 	m.expect = remote
 	m.cond.Broadcast()
 	m.mu.Unlock()
@@ -270,7 +310,12 @@ func (m *mesh) connect(dir []peerInfo) {
 			continue
 		}
 		go func(p peerInfo) {
-			conn, err := net.Dial(p.network, p.addr)
+			// The dial carries its own deadline: the OS connect timeout
+			// to a black-holed address can run minutes past the mesh
+			// timeout, and await() giving up must not leave a dial
+			// goroutine hanging indefinitely behind it.
+			d := net.Dialer{Timeout: m.timeout}
+			conn, err := d.Dial(p.network, p.addr)
 			if err != nil {
 				c.fail(fmt.Errorf("netcomm: dial peer %d-%d at %s: %w", p.lo, p.hi, p.addr, err))
 				return
@@ -280,28 +325,36 @@ func (m *mesh) connect(dir []peerInfo) {
 				c.fail(fmt.Errorf("netcomm: peer hello %d-%d: %w", p.lo, p.hi, err))
 				return
 			}
-			m.register(conn, p.lo, p.hi)
+			m.register(conn, p.lo, p.hi, false)
 		}(p)
 	}
 }
 
-// register installs one established peer connection and starts its read
-// loop.
-func (m *mesh) register(conn net.Conn, lo, hi int) {
+// register installs one established peer connection and starts its
+// read loop. Both callers have validated lo..hi against the decoded
+// peer directory. An already-closed mesh drops the connection either
+// way — a late arrival must not spin a read loop against torn-down
+// state. An occupied slot means a duplicate: on the outbound path (we
+// dialed, once per directory entry) that is a protocol bug and fails
+// the client; on the inbound path it is a stray or stale dialer racing
+// the real peer, and only the connection is dropped.
+func (m *mesh) register(conn net.Conn, lo, hi int, inbound bool) {
 	c := m.c
-	if lo < 0 || hi < lo || hi >= c.m {
-		conn.Close()
-		c.fail(fmt.Errorf("netcomm: peer announced bad worker range %d..%d", lo, hi))
-		return
-	}
 	pc := &peerConn{conn: conn, lo: lo, hi: hi, window: c.window, avail: c.window}
 	pc.cond = sync.NewCond(&pc.mu)
 	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		conn.Close()
+		return
+	}
 	for w := lo; w <= hi; w++ {
 		if m.peers[w] != nil {
 			m.mu.Unlock()
 			conn.Close()
-			c.fail(fmt.Errorf("netcomm: duplicate peer connection for workers %d-%d", lo, hi))
+			if !inbound {
+				c.fail(fmt.Errorf("netcomm: duplicate peer connection for workers %d-%d", lo, hi))
+			}
 			return
 		}
 	}
@@ -315,9 +368,10 @@ func (m *mesh) register(conn net.Conn, lo, hi int) {
 }
 
 // await blocks until the mesh is fully established (directory received,
-// every remote process connected) or the job aborts or the timeout
-// passes.
-func (m *mesh) await(timeout time.Duration) error {
+// every remote process connected) or the job aborts or the mesh
+// timeout passes.
+func (m *mesh) await() error {
+	timeout := m.timeout
 	deadline := time.Now().Add(timeout)
 	stop := time.AfterFunc(timeout, func() {
 		m.mu.Lock()
@@ -399,6 +453,21 @@ func (m *mesh) readPeer(pc *peerConn) {
 				return
 			}
 			m.bumpDone(src)
+			// The marker ends a sender round on this connection, so
+			// nothing is guaranteed to arrive and push the batched
+			// credit over its threshold: return the residue now.
+			// Stranding it would shrink the sender's effective window
+			// across the quiescent gap — a following frame needing the
+			// full window would deadlock, since the sender blocks
+			// without sending the data whose staging is the only other
+			// credit source.
+			if granted > 0 {
+				if err := pc.sendCredit(granted); err != nil {
+					m.connLost(pc, fmt.Errorf("netcomm: send credit to workers %d-%d: %w", pc.lo, pc.hi, err))
+					return
+				}
+				granted = 0
+			}
 		case kCredit:
 			if n != 8 {
 				c.fail(fmt.Errorf("netcomm: bad credit payload length %d", n))
@@ -551,6 +620,7 @@ func (m *mesh) wake() {
 func (m *mesh) close() {
 	m.ln.Close()
 	m.mu.Lock()
+	m.closed = true
 	conns := append([]*peerConn(nil), m.conns...)
 	m.cond.Broadcast()
 	m.mu.Unlock()

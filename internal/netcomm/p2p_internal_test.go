@@ -8,6 +8,7 @@ package netcomm
 import (
 	"io"
 	"net"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -193,6 +194,121 @@ func TestReceiverDeathWakesBlockedSender(t *testing.T) {
 	}
 	if f.c0.Err() == nil {
 		t.Error("client recorded no transport error after receiver death")
+	}
+}
+
+// startP2PPair brings up a hub and two real single-worker p2p clients
+// (worker 0 and worker 1) with the given window.
+func startP2PPair(t *testing.T, windowBytes int) (*Hub, *Client, *Client) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := NewHub(2, comm.CostModel{}, ln)
+	t.Cleanup(hub.Close)
+	clients := make([]*Client, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			clients[i], errs[i] = DialConfig(Config{
+				Network: "tcp", Addr: ln.Addr().String(),
+				Lo: i, Hi: i, M: 2,
+				DataPlane: DataPlaneP2P, WindowBytes: windowBytes,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		c := clients[i]
+		t.Cleanup(func() { c.Close() })
+	}
+	return hub, clients[0], clients[1]
+}
+
+// Regression: credit batching must not strand residue across quiescent
+// rounds. A round whose bytes stay below the batch threshold (a
+// quarter window) leaves the receiver's granted counter unsent; unless
+// the round's DONE marker flushes it, the sender's effective window
+// stays shrunk across the gap, and a later full-window frame then
+// waits for credit that can never arrive — the sender is blocked, so
+// no new data ever pushes the residue over the batch threshold.
+func TestResidualCreditFlushedAtRoundEnd(t *testing.T) {
+	const window = 64 << 10
+	_, c0, _ := startP2PPair(t, window)
+	ep := c0.eps[0]
+
+	// Round 1: a frame below the credit batch leaves residue behind.
+	ep.Out(1).Extend(window / 8)
+	if err := ep.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Round 2: a full-window frame fits only a fully replenished window.
+	done := make(chan error, 1)
+	go func() {
+		ep.Out(1).Extend(window)
+		done <- ep.Flush()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Flush deadlocked: round-end residual credit never returned")
+	}
+}
+
+// Regression: a stray connection to a worker's data listener must not
+// be able to kill the job. The hello range is self-declared, so the
+// mesh vets it against the peer directory and the dialing rule and
+// drops whatever fails vetting — including a duplicate of the already
+// registered legitimate peer, which previously failed the whole client.
+func TestStrayInboundPeerConnectionIgnored(t *testing.T) {
+	_, c0, c1 := startP2PPair(t, 0)
+	for _, hello := range [][2]uint16{
+		{0, 0}, // duplicate of the legitimately registered peer
+		{1, 1}, // c1's own range: violates the lower-dials rule
+		{0, 1}, // matches no directory entry
+	} {
+		conn, err := net.Dial(c1.mesh.advNet, c1.mesh.advAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := writeMsg(conn, kHello, hello[0], hello[1], nil); err != nil {
+			t.Fatal(err)
+		}
+		// The mesh must drop the stray promptly: its read sees EOF, not
+		// a read timeout against a registered connection.
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		if _, _, _, _, err := readHeader(conn); err == nil {
+			t.Fatalf("stray hello %v: got a message instead of a dropped connection", hello)
+		} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			t.Fatalf("stray hello %v: connection registered instead of dropped", hello)
+		}
+		conn.Close()
+	}
+	// The job is unharmed: the real mesh still exchanges end-to-end.
+	const n = 100
+	ep0, ep1 := c0.eps[0], c1.eps[0]
+	ep0.Out(1).Extend(n)
+	if err := ep0.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ep1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ep1.In(0).Len(); got != n {
+		t.Fatalf("worker 1 received %d bytes from worker 0, want %d", got, n)
+	}
+	if c0.bar.Aborted() || c1.bar.Aborted() {
+		t.Fatalf("job aborted by stray connection: c0=%v c1=%v", c0.Err(), c1.Err())
 	}
 }
 

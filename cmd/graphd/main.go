@@ -15,10 +15,14 @@
 //	       [-pprof] [-log-level info]
 //
 // Observability: GET /metrics serves the daemon's counters in the
-// Prometheus text format, GET /v1/jobs/{id}/trace serves a job's
-// per-worker superstep timeline, and -pprof mounts net/http/pprof under
-// /debug/pprof/ for live CPU and heap profiles. Logs go to stderr as
-// logfmt lines (-log-level debug|info|warn|error).
+// Prometheus text format (including graphd_build_info and
+// graphd_uptime_seconds), GET /v1/jobs/{id}/trace serves a job's
+// per-worker superstep timeline, GET /v1/jobs/{id}/flows its
+// per-(src,dst) flow matrix, GET /v1/jobs/{id}/diagnosis an automatic
+// bottleneck report, GET /v1/jobs/{id}/events a live SSE stream of
+// state transitions and completed supersteps, and -pprof mounts
+// net/http/pprof under /debug/pprof/ for live CPU and heap profiles.
+// Logs go to stderr as logfmt lines (-log-level debug|info|warn|error).
 //
 // With -worker-procs N every job runs its simulated cluster as N
 // graphworker subprocesses joined over the socket fabric (Unix sockets)
@@ -102,6 +106,10 @@ func builtinDatasets(scale string) []catalog.Spec {
 		return nil
 	}
 }
+
+// version is stamped at build time via
+// -ldflags "-X main.version=v1.2.3"; it labels graphd_build_info.
+var version = "dev"
 
 func main() {
 	addr := flag.String("addr", ":8372", "listen address")
@@ -216,7 +224,7 @@ func main() {
 			"ckpt_interval", max(*ckptInterval, 1))
 	}
 	mgr := jobs.NewManager(cat, *workers, mgrOpts...)
-	srv := server.New(cat, mgr, server.WithRegistry(reg))
+	srv := server.New(cat, mgr, server.WithRegistry(reg), server.WithVersion(version))
 
 	if *preload != "" {
 		for _, name := range strings.Split(*preload, ",") {

@@ -105,4 +105,28 @@
 // frames arrived, since it travels a different socket). Flush reports
 // still go to the hub, so cost accounting and Stats are identical
 // across planes; the equivalence sweep and fault matrix run on both.
+//
+// Observability reaches below the superstep trace to the flow level.
+// Every job accumulates an obs.FlowAccum — a dense (src, dst) matrix
+// recorded lock-free at the fabrics' flush seam (in-process: the
+// exchanger's FinishSerialize; sockets: the client's Flush), plus
+// per-connection credit-window stats on the p2p plane (stall time,
+// grant latency) and per-process relay stats on the hub — served as
+// GET /v1/jobs/{id}/flows with an identical shape on every plane.
+// Worker processes ship their matrix share piggybacked on the result
+// blobs, and only a successful attempt contributes, so recovery never
+// double-counts. State transitions and completed supersteps stream as
+// Server-Sent Events from /v1/jobs/{id}/events: distributed workers
+// send each superstep sample over the hub control connection as it
+// completes, the job's trace fires a step event exactly once when the
+// last worker's sample lands (idempotent across recovery replays), and
+// per-job sequence numbers let a slow consumer detect drops.
+// obs.Diagnose correlates trace, flows and metrics into
+// /v1/jobs/{id}/diagnosis: straggler ranking by barrier-wait deficit
+// against a fleet-common time denominator (so a worker whose time
+// vanished outside the instrumented regions still stands out), with
+// cause attribution; window-bound p2p connections by stall fraction of
+// superstep time; compute imbalance against the placement's edge cut;
+// and hub relay hotspots — each finding carrying its threshold, the
+// measured value and a recommendation.
 package repro

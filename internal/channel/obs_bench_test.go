@@ -46,3 +46,29 @@ func BenchmarkTraceObserverOn(b *testing.B) {
 	tr := obs.NewTrace(microWorkers)
 	benchRunObserved(b, tr, ringSetup)
 }
+
+// Flow-matrix seam overhead: the same ring workload with the flow
+// accumulator detached (pinned — a detached seam is one nil check per
+// destination at flush time and must cost nothing next to
+// BenchmarkDirectMessageRing) and attached (lock-free atomic adds on
+// preallocated cells; still allocation-free).
+
+func benchRunFlows(b *testing.B, flows *obs.FlowAccum, setup func(w *engine.Worker)) {
+	b.Helper()
+	part := partition.MustHash(microVertices, microWorkers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Run(engine.Config{Part: part, MaxSupersteps: 100, Flows: flows}, setup); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlowStatsOff(b *testing.B) {
+	benchRunFlows(b, nil, ringSetup)
+}
+
+func BenchmarkFlowStatsOn(b *testing.B) {
+	benchRunFlows(b, obs.NewFlowAccum(microWorkers), ringSetup)
+}

@@ -23,13 +23,18 @@
 // deserialize points, not inside a Fabric implementation, so a
 // superstep trace records identical per-channel volumes whichever
 // transport carried the data. A Fabric only has to move buffers; it
-// never needs to know it is being observed.
+// never needs to know it is being observed. The one exception is the
+// per-(src,dst) flow matrix: destination fan-out only exists below the
+// engines' serialize points, so an optional obs.FlowAccum attaches to
+// the Exchanger (SetFlows) and is fed at the flush seam — one nil
+// check per destination when detached.
 package comm
 
 import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/ser"
 )
 
@@ -146,6 +151,10 @@ type Exchanger struct {
 	roundMax atomic.Int64
 	rounds   atomic.Int64
 	simNet   atomic.Int64 // nanoseconds
+
+	// flows, when attached, receives one Record per non-empty
+	// (src, dst) flush. Nil costs one branch per destination.
+	flows *obs.FlowAccum
 }
 
 // NewExchanger creates the buffer matrix for m workers with the default
@@ -173,6 +182,10 @@ func NewExchanger(m int, cost CostModel) *Exchanger {
 // called before the exchanger is used, not mid-run.
 func (e *Exchanger) SetShrinkPolicy(p ShrinkPolicy) { e.shrink = p.withDefaults() }
 
+// SetFlows attaches a flow-matrix accumulator fed at the flush seam.
+// Like SetShrinkPolicy, call before the exchanger is used, not mid-run.
+func (e *Exchanger) SetFlows(f *obs.FlowAccum) { e.flows = f }
+
 // NumWorkers returns the worker count.
 func (e *Exchanger) NumWorkers() int { return e.m }
 
@@ -199,6 +212,9 @@ func (e *Exchanger) FinishSerialize(src int) {
 			local += n
 		} else {
 			net += n
+		}
+		if e.flows != nil && n > 0 {
+			e.flows.Record(src, d, n)
 		}
 	}
 	e.netBytes.Add(net)

@@ -125,6 +125,12 @@ type Config struct {
 	// fresh. The algorithm must register Save/Restore closures via
 	// Worker.Checkpoint. Nil keeps the superstep loop checkpoint-free.
 	Checkpoint *ckpt.Hook
+	// Flows, if non-nil, attaches a per-(src,dst) flow-matrix
+	// accumulator to the in-process fabric Run creates when Fabric is
+	// nil. Callers supplying their own Fabric attach flows to it
+	// directly (comm.Exchanger.SetFlows, netcomm.Config.Flows); this
+	// field is then ignored.
+	Flows *obs.FlowAccum
 }
 
 // Metrics summarizes a finished run. RunTime is the measured wall time
@@ -318,7 +324,12 @@ func Run(cfg Config, setup func(w *Worker)) (Metrics, error) {
 	m := cfg.Part.NumWorkers()
 	fab := cfg.Fabric
 	if fab == nil {
-		fab = comm.NewInProc(m, cfg.Cost)
+		ip := comm.NewInProc(m, cfg.Cost)
+		if cfg.Flows != nil {
+			cfg.Flows.SetPlane("inproc")
+			ip.Exchanger().SetFlows(cfg.Flows)
+		}
+		fab = ip
 	}
 	if fab.NumWorkers() != m {
 		return Metrics{}, fmt.Errorf("engine: fabric has %d workers, partition has %d", fab.NumWorkers(), m)

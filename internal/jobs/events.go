@@ -1,0 +1,105 @@
+package jobs
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+const (
+	// maxJobEvents bounds how many events a job's log replays to late
+	// subscribers; a runaway job cannot turn its event history into a
+	// memory leak. Live subscribers still see everything.
+	maxJobEvents = 4096
+	// subBuffer is each subscriber's channel depth. publish never
+	// blocks: a consumer that falls this far behind loses the overflow
+	// and can detect the gap from the event sequence numbers.
+	subBuffer = 256
+)
+
+// eventLog is one job's event history plus its live fan-out. States and
+// completed supersteps are published as they happen; subscribers get the
+// retained history as a replay slice and a channel that closes once the
+// job reaches a terminal state.
+type eventLog struct {
+	mu      sync.Mutex
+	events  []obs.JobEvent
+	subs    map[int]chan obs.JobEvent
+	nextSub int
+	seq     int64
+	dropped int64 // events past the retention cap, replayable no more
+	closed  bool
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{subs: make(map[int]chan obs.JobEvent)}
+}
+
+// publish stamps the event with its per-job sequence number and time,
+// retains it (up to the cap), and fans it out without blocking.
+func (l *eventLog) publish(ev obs.JobEvent) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.seq++
+	ev.Seq = l.seq
+	ev.Time = time.Now()
+	if len(l.events) < maxJobEvents {
+		l.events = append(l.events, ev)
+	} else {
+		l.dropped++
+	}
+	for _, ch := range l.subs {
+		select {
+		case ch <- ev:
+		default: // slow consumer: drop, the seq gap tells the story
+		}
+	}
+	l.mu.Unlock()
+}
+
+// close ends the stream after the terminal event: every live channel is
+// closed and future subscribers get replay only.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	l.closed = true
+	for id, ch := range l.subs {
+		close(ch)
+		delete(l.subs, id)
+	}
+	l.mu.Unlock()
+}
+
+// subscribe returns the retained history and a live channel. The
+// channel closes when the job ends (immediately, for an already-terminal
+// job). cancel detaches early; it is safe to call after the close.
+func (l *eventLog) subscribe() (replay []obs.JobEvent, live <-chan obs.JobEvent, cancel func()) {
+	l.mu.Lock()
+	replay = append([]obs.JobEvent(nil), l.events...)
+	ch := make(chan obs.JobEvent, subBuffer)
+	if l.closed {
+		close(ch)
+		l.mu.Unlock()
+		return replay, ch, func() {}
+	}
+	id := l.nextSub
+	l.nextSub++
+	l.subs[id] = ch
+	l.mu.Unlock()
+	return replay, ch, func() {
+		l.mu.Lock()
+		if c, ok := l.subs[id]; ok {
+			delete(l.subs, id)
+			close(c)
+		}
+		l.mu.Unlock()
+	}
+}
+
+// stateEvent builds a lifecycle event for a job in state s.
+func stateEvent(s State, errMsg string) obs.JobEvent {
+	return obs.JobEvent{Type: "state", State: string(s), Error: errMsg}
+}

@@ -1,0 +1,103 @@
+package jobs
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// The event log's contract: sequence numbers are dense from 1, late
+// subscribers replay the retained history, live channels close at
+// terminal, and a post-close subscribe still gets replay plus an
+// already-closed channel.
+func TestEventLogReplayLiveAndClose(t *testing.T) {
+	l := newEventLog()
+	l.publish(stateEvent(StatePending, ""))
+	l.publish(stateEvent(StateRunning, ""))
+
+	replay, live, cancel := l.subscribe()
+	defer cancel()
+	if len(replay) != 2 || replay[0].Seq != 1 || replay[1].Seq != 2 {
+		t.Fatalf("replay %+v", replay)
+	}
+	step := obs.StepEvent{Superstep: 1, Workers: 2}
+	l.publish(obs.JobEvent{Type: "superstep", State: string(StateRunning), Step: &step})
+	got := <-live
+	if got.Seq != 3 || got.Type != "superstep" || got.Step == nil || got.Step.Superstep != 1 {
+		t.Fatalf("live event %+v", got)
+	}
+
+	l.publish(stateEvent(StateDone, ""))
+	l.close()
+	if ev, open := <-live; !open || ev.Type != "state" || ev.State != string(StateDone) {
+		t.Fatalf("terminal event %+v open=%v", ev, open)
+	}
+	if _, open := <-live; open {
+		t.Fatal("live channel not closed after terminal")
+	}
+	// publishing after close is a no-op, not a panic or a ghost event
+	l.publish(stateEvent(StateDone, ""))
+
+	replay2, live2, cancel2 := l.subscribe()
+	defer cancel2()
+	if len(replay2) != 4 {
+		t.Fatalf("post-close replay has %d events, want 4", len(replay2))
+	}
+	if _, open := <-live2; open {
+		t.Fatal("post-close subscriber's channel not closed immediately")
+	}
+}
+
+// A subscriber that never drains loses overflow instead of blocking
+// publish; the sequence numbers expose the gap.
+func TestEventLogSlowConsumerDrops(t *testing.T) {
+	l := newEventLog()
+	_, live, cancel := l.subscribe()
+	defer cancel()
+	for i := 0; i < subBuffer+50; i++ {
+		l.publish(stateEvent(StateRunning, "")) // must never block
+	}
+	n := 0
+	var last int64
+	for {
+		ev, ok := <-live
+		if !ok {
+			break
+		}
+		if ev.Seq <= last {
+			t.Fatalf("sequence not increasing: %d after %d", ev.Seq, last)
+		}
+		last = ev.Seq
+		n++
+		if n == subBuffer {
+			break
+		}
+	}
+	if n != subBuffer {
+		t.Fatalf("drained %d events, want the %d buffered", n, subBuffer)
+	}
+	// the overflow beyond the buffer was dropped for this subscriber,
+	// but the log itself retained everything
+	replay, _, cancel2 := l.subscribe()
+	defer cancel2()
+	if len(replay) != subBuffer+50 {
+		t.Fatalf("log retained %d, want %d", len(replay), subBuffer+50)
+	}
+}
+
+// cancel detaches a live subscriber without disturbing the others.
+func TestEventLogCancelDetaches(t *testing.T) {
+	l := newEventLog()
+	_, a, cancelA := l.subscribe()
+	_, b, cancelB := l.subscribe()
+	defer cancelB()
+	cancelA()
+	if _, open := <-a; open {
+		t.Fatal("cancelled channel still open")
+	}
+	cancelA() // idempotent
+	l.publish(stateEvent(StateRunning, ""))
+	if ev := <-b; ev.Seq != 1 {
+		t.Fatalf("surviving subscriber got %+v", ev)
+	}
+}

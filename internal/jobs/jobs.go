@@ -23,6 +23,7 @@ import (
 	"repro/internal/algorithms"
 	"repro/internal/barrier"
 	"repro/internal/catalog"
+	"repro/internal/comm"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/partition"
@@ -95,7 +96,9 @@ type job struct {
 	err       string
 	metrics   *algorithms.Metrics
 	result    *algorithms.Result
-	trace     *obs.Trace // superstep timeline; set once the view is acquired
+	trace     *obs.Trace     // superstep timeline; set once the view is acquired
+	flows     *obs.FlowAccum // per-(src,dst) flow matrix; set with the trace
+	events    *eventLog      // live event stream; set at submission
 
 	// cancel is closed (under the manager lock, at most once) to abort
 	// the job while it runs; the engines unwind via barrier.Abort, and
@@ -151,6 +154,7 @@ type Manager struct {
 	wallTimeout   time.Duration
 	maxRecoveries int // > 0: checkpoint distributed jobs and recover from worker death
 	ckptInterval  int
+	fault         *workerproc.FaultSpec
 	spawnHook     func(jobID string, pids []int)
 	log           *slog.Logger
 	met           *managerMetrics
@@ -230,6 +234,13 @@ func WithRecovery(maxRecoveries, ckptInterval int) Option {
 	return func(m *Manager) { m.maxRecoveries, m.ckptInterval = maxRecoveries, ckptInterval }
 }
 
+// WithFault injects a deterministic fault into the first attempt of
+// every distributed job (tests and chaos drills only; recovered
+// attempts run clean).
+func WithFault(f *workerproc.FaultSpec) Option {
+	return func(m *Manager) { m.fault = f }
+}
+
 // WithSpawnHook installs a callback invoked with each distributed job's
 // subprocess pids (diagnostics; tests use it to kill a worker).
 func WithSpawnHook(f func(jobID string, pids []int)) Option {
@@ -249,7 +260,10 @@ func WithLogger(l *slog.Logger) Option {
 
 // WithMetrics registers the manager's aggregate job counters on reg:
 // graphd_job_duration_seconds, graphd_jobs_finished_total (by state),
-// graphd_job_supersteps_total and graphd_job_net_bytes_total.
+// graphd_job_supersteps_total, graphd_job_net_bytes_total, the
+// graphd_superstep_seconds histogram, and the diagnosis summary
+// counters (graphd_diagnosis_findings_total,
+// graphd_diagnosis_unhealthy_jobs_total).
 func WithMetrics(reg *obs.Registry) Option {
 	return func(m *Manager) {
 		if reg == nil {
@@ -272,6 +286,12 @@ func WithMetrics(reg *obs.Registry) Option {
 				"Checkpoint recovery cycles: a joined worker party was lost and respawned from the latest complete checkpoint."),
 			retries: reg.Counter("graphd_job_retries_total",
 				"Respawn retries for failures before the worker party assembled (spawn or join errors)."),
+			stepSeconds: reg.Histogram("graphd_superstep_seconds",
+				"Per-superstep wall time (slowest worker's compute + wait + stall), fed live from the superstep trace.", obs.DurationBuckets),
+			findings: reg.Counter("graphd_diagnosis_findings_total",
+				"Bottleneck findings (warn or critical) across the diagnoses of finished jobs."),
+			unhealthy: reg.Counter("graphd_diagnosis_unhealthy_jobs_total",
+				"Finished jobs whose automatic diagnosis reached warn severity or worse."),
 		}
 	}
 }
@@ -284,9 +304,38 @@ type managerMetrics struct {
 	failed     *obs.Counter
 	cancelled  *obs.Counter
 	supersteps *obs.Counter
-	netBytes   *obs.Counter
-	recoveries *obs.Counter
-	retries    *obs.Counter
+	netBytes    *obs.Counter
+	recoveries  *obs.Counter
+	retries     *obs.Counter
+	stepSeconds *obs.Histogram
+	findings    *obs.Counter
+	unhealthy   *obs.Counter
+}
+
+// diagnosis folds one finished job's bottleneck report into the
+// aggregate instruments.
+func (mm *managerMetrics) diagnosis(rep *obs.Report) {
+	if mm == nil || rep == nil {
+		return
+	}
+	var n int64
+	for _, f := range rep.Findings {
+		if f.Severity != "info" {
+			n++
+		}
+	}
+	mm.findings.Add(n)
+	if !rep.Healthy {
+		mm.unhealthy.Inc()
+	}
+}
+
+// step records one completed superstep's wall time.
+func (mm *managerMetrics) step(ev obs.StepEvent) {
+	if mm == nil {
+		return
+	}
+	mm.stepSeconds.Observe(float64(ev.WallNS) / 1e9)
 }
 
 // recovery records one respawn cycle: a lost party that had joined is a
@@ -392,10 +441,12 @@ func (m *Manager) Submit(req Request) (Snapshot, error) {
 		state:     StatePending,
 		submitted: time.Now(),
 		cancel:    make(chan struct{}),
+		events:    newEventLog(),
 	}
 	m.jobs[j.id] = j
 	m.pending = append(m.pending, j)
 	m.cond.Signal()
+	j.events.publish(stateEvent(StatePending, ""))
 	return j.snapshot(), nil
 }
 
@@ -417,6 +468,7 @@ func (m *Manager) workerLoop() {
 		j.state = StateRunning
 		j.started = time.Now()
 		m.mu.Unlock()
+		j.events.publish(stateEvent(StateRunning, ""))
 		m.log.Info("job started", "job", j.id,
 			"algorithm", j.req.Algorithm, "dataset", j.req.Dataset)
 
@@ -440,7 +492,20 @@ func (m *Manager) workerLoop() {
 		m.retireLocked(j)
 		state, jerr, took := j.state, j.err, j.finished.Sub(j.started)
 		m.mu.Unlock()
+		j.events.publish(stateEvent(state, jerr))
+		j.events.close()
 		if state == StateDone {
+			// summarize the finished job's diagnosis into the aggregate
+			// instruments, and put the top finding into the log so "why
+			// was this slow" has an answer without anyone curling the
+			// diagnosis endpoint
+			if rep := diagnoseJob(j.trace, j.flows, j.metrics); rep != nil {
+				m.met.diagnosis(rep)
+				if !rep.Healthy && len(rep.Findings) > 0 {
+					m.log.Warn("job diagnosis found bottlenecks", "job", j.id,
+						"findings", len(rep.Findings), "top", rep.Findings[0].Detail)
+				}
+			}
 			m.log.Info("job finished", "job", j.id, "state", state, "took", took)
 		} else {
 			m.log.Warn("job finished", "job", j.id, "state", state,
@@ -490,11 +555,27 @@ func (m *Manager) execute(j *job) (*algorithms.Result, error) {
 	if maxSteps <= 0 {
 		maxSteps = m.maxSupersteps
 	}
-	// Every job collects a superstep trace; the collector is retained on
-	// the job record so the timeline stays queryable after the run.
+	// Every job collects a superstep trace and a flow matrix; both
+	// collectors are retained on the job record so the telemetry stays
+	// queryable after the run.
 	tr := obs.NewTrace(view.Part.NumWorkers())
+	flows := obs.NewFlowAccum(view.Part.NumWorkers())
+	// Completed supersteps go out on the job's live event stream (and
+	// into the superstep-duration histogram) the moment every worker's
+	// sample lands — in-process immediately, distributed when the
+	// workers' streamed samples reach the coordinator.
+	tr.OnStepComplete(func(ev obs.StepEvent) {
+		j.events.publish(obs.JobEvent{Type: "superstep",
+			State: string(StateRunning), Step: &ev})
+		m.met.step(ev)
+	})
+	tr.OnTruncate(func(dropped int64) {
+		m.log.Warn("superstep trace ring truncated; older samples dropped",
+			"job", j.id, "truncated_samples", dropped)
+	})
 	m.mu.Lock()
 	j.trace = tr
+	j.flows = flows
 	m.mu.Unlock()
 	var res *algorithms.Result
 	if m.workerProcs > 0 {
@@ -503,8 +584,15 @@ func (m *Manager) execute(j *job) (*algorithms.Result, error) {
 			return nil, err
 		}
 	} else {
+		// the in-process fabric is built here (instead of inside the
+		// engine) so the job's flow accumulator can attach to its
+		// exchanger; multi-phase algorithms share it across phases just
+		// like the distributed path shares one socket fabric
+		fab := comm.NewInProc(view.Part.NumWorkers(), comm.CostModel{})
+		flows.SetPlane("inproc")
+		fab.Exchanger().SetFlows(flows)
 		opts := algorithms.Options{Part: view.Part, Frags: view.Frags,
-			MaxSupersteps: maxSteps, Cancel: j.cancel, Observer: tr}
+			MaxSupersteps: maxSteps, Cancel: j.cancel, Observer: tr, Fabric: fab}
 		before := heapAllocBytes()
 		res, err = j.spec.Run(j.eng, j.req.Variant, g, opts, j.req.Params)
 		if err != nil {
@@ -555,6 +643,8 @@ func (m *Manager) executeDistributed(j *job, view *catalog.View, maxSteps int) (
 		ResultTimeout: m.resultTimeout,
 		WallTimeout:   m.wallTimeout,
 		Trace:         j.trace,
+		Flows:         j.flows,
+		Fault:         m.fault,
 		Logger:        m.log.With("job", j.id, "dataset", j.req.Dataset),
 	}
 	if m.maxRecoveries > 0 {
@@ -567,18 +657,26 @@ func (m *Manager) executeDistributed(j *job, view *catalog.View, maxSteps int) (
 		spec.OnRecovery = func(attempt, restoreStep int, joined bool) {
 			m.met.recovery(joined)
 			m.mu.Lock()
-			if j.state == StateRunning {
+			flipped := j.state == StateRunning
+			if flipped {
 				j.state = StateRecovering
 			}
 			m.mu.Unlock()
+			if flipped {
+				j.events.publish(stateEvent(StateRecovering, ""))
+			}
 		}
 	}
 	spec.Spawned = func(pids []int) {
 		m.mu.Lock()
-		if j.state == StateRecovering {
+		flipped := j.state == StateRecovering
+		if flipped {
 			j.state = StateRunning
 		}
 		m.mu.Unlock()
+		if flipped {
+			j.events.publish(stateEvent(StateRunning, ""))
+		}
 		if m.spawnHook != nil {
 			m.spawnHook(j.id, pids)
 		}
@@ -642,6 +740,79 @@ func (m *Manager) Trace(id string) (*obs.TraceSnapshot, State, error) {
 	return tr.Snapshot(), state, nil
 }
 
+// Flows returns the flow matrix collected for a job so far, along with
+// the job's current state. A running job returns the live prefix; a
+// queued job (or one that failed before its view was acquired) returns
+// an empty matrix.
+func (m *Manager) Flows(id string) (*obs.FlowMatrix, State, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, "", fmt.Errorf("jobs: unknown or expired job %q", id)
+	}
+	flows, state := j.flows, j.state
+	m.mu.Unlock()
+	if flows == nil {
+		return &obs.FlowMatrix{}, state, nil
+	}
+	return flows.Matrix(), state, nil
+}
+
+// Diagnosis runs the bottleneck diagnosis over everything the job's
+// telemetry recorded so far: the superstep trace, the flow matrix, and
+// the run metrics (present once the job is done). Valid on a running
+// job — the report then covers the live prefix.
+func (m *Manager) Diagnosis(id string) (*obs.Report, State, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, "", fmt.Errorf("jobs: unknown or expired job %q", id)
+	}
+	tr, flows, met, state := j.trace, j.flows, j.metrics, j.state
+	m.mu.Unlock()
+	return diagnoseJob(tr, flows, met), state, nil
+}
+
+// diagnoseJob snapshots a job's collectors and runs the bottleneck
+// diagnosis; any of the inputs may be nil.
+func diagnoseJob(tr *obs.Trace, flows *obs.FlowAccum, met *algorithms.Metrics) *obs.Report {
+	var rm obs.RunMetrics
+	if met != nil {
+		rm = obs.RunMetrics{
+			Supersteps: met.Supersteps,
+			NetBytes:   met.NetBytes,
+			WallNS:     int64(met.WallTime),
+			EdgeCut:    met.EdgeCut,
+		}
+	}
+	var snap *obs.TraceSnapshot
+	if tr != nil {
+		snap = tr.Snapshot()
+	}
+	var fm *obs.FlowMatrix
+	if flows != nil {
+		fm = flows.Matrix()
+	}
+	return obs.Diagnose(snap, fm, rm)
+}
+
+// Events subscribes to a job's live event stream: replay holds every
+// retained event so far, live delivers subsequent ones and closes when
+// the job reaches a terminal state (immediately for a finished job).
+// cancel detaches the subscription; callers must invoke it when done.
+func (m *Manager) Events(id string) (replay []obs.JobEvent, live <-chan obs.JobEvent, cancel func(), err error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("jobs: unknown or expired job %q", id)
+	}
+	replay, live, cancel = j.events.subscribe()
+	return replay, live, cancel, nil
+}
+
 // Result returns the result of a finished job.
 func (m *Manager) Result(id string) (*algorithms.Result, error) {
 	m.mu.Lock()
@@ -687,6 +858,8 @@ func (m *Manager) Cancel(id string) error {
 		j.state = StateCancelled
 		j.finished = time.Now()
 		m.retireLocked(j)
+		j.events.publish(stateEvent(StateCancelled, ""))
+		j.events.close()
 		return nil
 	case StateRunning, StateRecovering:
 		if !j.cancelled {

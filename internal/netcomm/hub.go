@@ -9,9 +9,11 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/obs"
 )
 
 // ErrWorkerLost marks a job failure caused by a worker process dropping
@@ -35,10 +37,15 @@ type Hub struct {
 	ln   net.Listener
 	log  *slog.Logger
 
-	mu    sync.Mutex
-	cond  *sync.Cond // signals joins, results, and state changes
-	hosts []*hubConn // per worker id: the connection hosting it
-	conns map[*hubConn]bool
+	mu       sync.Mutex
+	cond     *sync.Cond // signals joins, results, and state changes
+	hosts    []*hubConn // per worker id: the connection hosting it
+	conns    map[*hubConn]bool
+	allConns []*hubConn // every connection ever registered (relay stats outlive pump exit)
+
+	// samplesFn, when set (OnSamples, before workers join), receives
+	// each kSamples payload a worker ships mid-run.
+	samplesFn func(payload []byte)
 
 	// barrier state
 	arrived int
@@ -81,6 +88,13 @@ type hubConn struct {
 	listenNet  string
 	listenAddr string
 	hasListen  bool
+
+	// Relay telemetry (hub data plane): frames this connection sourced,
+	// and how long they spent resident in the hub from payload read to
+	// forwarded. Atomics: the pump goroutine writes, RelayStats reads.
+	relayBytes  atomic.Int64
+	relayFrames atomic.Int64
+	residencyNS atomic.Int64
 }
 
 // NewHub creates a hub for an m-worker job and starts serving on ln
@@ -137,6 +151,7 @@ func (h *Hub) serveConn(conn net.Conn) {
 		h.hosts[w] = hc
 	}
 	h.conns[hc] = true
+	h.allConns = append(h.allConns, hc)
 	h.cond.Broadcast()
 	h.mu.Unlock()
 	h.log.Debug("worker joined", "workers", fmt.Sprintf("%d-%d", hc.lo, hc.hi))
@@ -195,6 +210,7 @@ func (h *Hub) pump(hc *hubConn) error {
 				frame = make([]byte, n)
 			}
 			frame = frame[:n]
+			t0 := time.Now()
 			if _, err := io.ReadFull(hc.conn, frame); err != nil {
 				return err
 			}
@@ -205,7 +221,11 @@ func (h *Hub) pump(hc *hubConn) error {
 			if target == nil {
 				return fmt.Errorf("frame for unjoined worker %d", dst)
 			}
-			if err := h.forward(target, a, b, frame); err != nil {
+			err := h.forward(target, a, b, frame)
+			hc.relayBytes.Add(int64(n))
+			hc.relayFrames.Add(1)
+			hc.residencyNS.Add(int64(time.Since(t0)))
+			if err != nil {
 				// The destination's connection is broken — that worker's
 				// failure, not the sender's. Record it (first failure
 				// wins) and abort; keep pumping the sender so its own
@@ -270,6 +290,17 @@ func (h *Hub) pump(hc *hubConn) error {
 			h.mu.Lock()
 			h.abortLocked(fmt.Sprintf("workers %d-%d: %s", hc.lo, hc.hi, reason))
 			h.mu.Unlock()
+		case kSamples:
+			p := make([]byte, n)
+			if _, err := io.ReadFull(hc.conn, p); err != nil {
+				return err
+			}
+			h.mu.Lock()
+			fn := h.samplesFn
+			h.mu.Unlock()
+			if fn != nil {
+				fn(p)
+			}
 		case kResult:
 			blob := make([]byte, n)
 			if _, err := io.ReadFull(hc.conn, blob); err != nil {
@@ -325,6 +356,39 @@ func (h *Hub) maybeSendPeersLocked() {
 			hc.wmu.Unlock()
 		}
 	}()
+}
+
+// OnSamples installs a handler for the opaque in-flight sample batches
+// workers ship with Client.SendSamples (the live-events feed). The
+// handler runs on hub pump goroutines, so it must be safe for
+// concurrent use and quick. Call before workers connect.
+func (h *Hub) OnSamples(fn func(payload []byte)) {
+	h.mu.Lock()
+	h.samplesFn = fn
+	h.mu.Unlock()
+}
+
+// RelayStats reports, per worker process, the hub data-plane relay
+// traffic it sourced: frame volume and cumulative hub residency (read
+// to forwarded). Empty under p2p, where frames never transit the hub.
+func (h *Hub) RelayStats() []obs.RelayStat {
+	h.mu.Lock()
+	conns := append([]*hubConn(nil), h.allConns...)
+	h.mu.Unlock()
+	out := make([]obs.RelayStat, 0, len(conns))
+	for _, hc := range conns {
+		frames := hc.relayFrames.Load()
+		if frames == 0 {
+			continue
+		}
+		out = append(out, obs.RelayStat{
+			Lo: hc.lo, Hi: hc.hi + 1,
+			Bytes:       hc.relayBytes.Load(),
+			Frames:      frames,
+			ResidencyNS: hc.residencyNS.Load(),
+		})
+	}
+	return out
 }
 
 // DataBytes returns the frame payload bytes relayed through the hub so

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/barrier"
 	"repro/internal/comm"
+	"repro/internal/obs"
 	"repro/internal/ser"
 )
 
@@ -64,6 +65,9 @@ const (
 	kData   = 10 // peer→peer: a = src worker, b = dst worker, payload = round buffer
 	kDone   = 11 // peer→peer: a = src worker; its round's frames on this conn are complete
 	kCredit = 12 // peer→peer: payload = flow-control byte grant (8)
+
+	// Live telemetry (see Client.SendSamples / Hub.OnSamples).
+	kSamples = 13 // worker→hub: a,b = worker range, payload = encoded in-flight superstep samples
 )
 
 const headerLen = 9
@@ -95,7 +99,7 @@ func readHeader(r io.Reader) (kind uint8, a, b uint16, n int, err error) {
 	a = binary.LittleEndian.Uint16(hdr[1:])
 	b = binary.LittleEndian.Uint16(hdr[3:])
 	n = int(binary.LittleEndian.Uint32(hdr[5:]))
-	if kind < kHello || kind > kCredit {
+	if kind < kHello || kind > kSamples {
 		return 0, 0, 0, 0, fmt.Errorf("netcomm: unknown message kind %d", kind)
 	}
 	if n > maxPayload {
@@ -113,8 +117,9 @@ type Client struct {
 	conn   net.Conn
 	wmu    sync.Mutex // serializes writes from worker goroutines + reader acks
 
-	window int64 // p2p receive window per peer connection
-	mesh   *mesh // non-nil iff the data plane is p2p
+	window int64          // p2p receive window per peer connection
+	mesh   *mesh          // non-nil iff the data plane is p2p
+	flows  *obs.FlowAccum // optional flow matrix, fed at the flush seam
 
 	bar *wireBarrier
 	eps []*clientEndpoint
@@ -148,6 +153,10 @@ type Config struct {
 	// MeshTimeout bounds the p2p mesh establishment during dial (zero
 	// selects 30s).
 	MeshTimeout time.Duration
+	// Flows, if non-nil, receives one Record per non-empty (src, dst)
+	// flush from this process's hosted workers — the per-flow half of
+	// the job's flow matrix. Nil costs one branch per destination.
+	Flows *obs.FlowAccum
 }
 
 // Dial connects to a hub at addr over network ("tcp" or "unix") and
@@ -178,7 +187,10 @@ func DialConfig(cfg Config) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netcomm: dial hub: %w", err)
 	}
-	c := &Client{m: m, lo: lo, hi: hi, conn: conn, peerBytes: make([]int64, m)}
+	c := &Client{m: m, lo: lo, hi: hi, conn: conn, peerBytes: make([]int64, m), flows: cfg.Flows}
+	if c.flows != nil {
+		c.flows.SetPlane(plane)
+	}
 	c.bar = &wireBarrier{c: c, k: hi - lo + 1}
 	c.bar.cond = sync.NewCond(&c.bar.mu)
 	c.eps = make([]*clientEndpoint, hi-lo+1)
@@ -332,6 +344,43 @@ func (c *Client) SendResult(payload []byte) error {
 	return c.send(kResult, uint16(c.lo), uint16(c.hi), payload)
 }
 
+// SendSamples ships an opaque batch of in-flight superstep samples to
+// the hub over the control connection (the live-events feed; see
+// Hub.OnSamples). Loss-tolerant by design: the same samples travel
+// again in the final result blob, so a send racing teardown may simply
+// fail without consequence.
+func (c *Client) SendSamples(payload []byte) error {
+	return c.send(kSamples, uint16(c.lo), uint16(c.hi), payload)
+}
+
+// ConnStats reports the flow-control behaviour of this process's p2p
+// peer connections over the run so far: outbound volume, cumulative
+// credit-stall time, and credit-grant latency while a sender was
+// blocked. Nil on the hub plane, which has no such machinery.
+func (c *Client) ConnStats() []obs.ConnStat {
+	if c.mesh == nil {
+		return nil
+	}
+	c.mesh.mu.Lock()
+	conns := append([]*peerConn(nil), c.mesh.conns...)
+	c.mesh.mu.Unlock()
+	out := make([]obs.ConnStat, 0, len(conns))
+	for _, pc := range conns {
+		pc.mu.Lock()
+		out = append(out, obs.ConnStat{
+			LocalLo: c.lo, LocalHi: c.hi + 1,
+			PeerLo: pc.lo, PeerHi: pc.hi + 1,
+			Window: pc.window,
+			Bytes:  pc.sentBytes, Frames: pc.sentFrames,
+			StallNS:     pc.stallNS,
+			GrantWaitNS: pc.grantWaitNS,
+			Grants:      pc.grants,
+		})
+		pc.mu.Unlock()
+	}
+	return out
+}
+
 // Err returns the transport-level abort root cause this client
 // observed, if any (a lost coordinator connection, a misrouted frame,
 // the hub's abort reason). Workers log it next to the generic
@@ -442,12 +491,19 @@ func (ep *clientEndpoint) Flush() error {
 	for dst := 0; dst < c.m; dst++ {
 		b := ep.out[dst]
 		if dst == ep.id {
-			locB += int64(b.Len())
+			n := int64(b.Len())
+			locB += n
+			if c.flows != nil && n > 0 {
+				c.flows.Record(ep.id, dst, n)
+			}
 			continue
 		}
 		n := b.Len()
 		netB += int64(n)
 		ep.sent[dst] = int64(n)
+		if c.flows != nil && n > 0 {
+			c.flows.Record(ep.id, dst, int64(n))
+		}
 		if n > 0 {
 			var err error
 			if c.mesh != nil {

@@ -487,6 +487,16 @@ func (m *mesh) readPeer(pc *peerConn) {
 			if !pc.closed {
 				windowOutstanding.Add(-g)
 				pc.avail += g
+				pc.grants++
+				if pc.waitStart != 0 {
+					// A sender is credit-starved: this grant's arrival
+					// latency is the window-tuning signal (ROADMAP's
+					// adaptive-window item wants observed grant latency
+					// next to stall time).
+					now := time.Now().UnixNano()
+					pc.grantWaitNS += now - pc.waitStart
+					pc.waitStart = now
+				}
 				pc.cond.Broadcast()
 			}
 			pc.mu.Unlock()
@@ -648,6 +658,17 @@ type peerConn struct {
 	stallNS int64
 	closed  bool
 	err     error // why the connection died; nil for a clean local close
+
+	// Flow telemetry (see Client.ConnStats): outbound volume, credit
+	// grants observed, and — while a sender sits blocked on the window —
+	// how long the grants that could unblock it took to arrive.
+	// waitStart is the UnixNano instant the oldest still-blocked wait
+	// has been credit-starved since (0 = no sender blocked).
+	sentBytes   int64
+	sentFrames  int64
+	grants      int64
+	grantWaitNS int64
+	waitStart   int64
 }
 
 // sendData writes one data frame under the credit window, blocking
@@ -663,11 +684,15 @@ func (pc *peerConn) sendData(m *mesh, src, dst int, payload []byte) (time.Durati
 	pc.mu.Lock()
 	if pc.avail < n && pc.avail < pc.window {
 		t0 := time.Now()
+		if pc.waitStart == 0 {
+			pc.waitStart = t0.UnixNano()
+		}
 		for pc.avail < n && pc.avail < pc.window && !c.stopping() && !pc.closed {
 			pc.cond.Wait()
 		}
 		stall = time.Since(t0)
 		pc.stallNS += int64(stall)
+		pc.waitStart = 0
 	}
 	if c.stopping() || pc.closed {
 		cause := pc.err
@@ -678,6 +703,8 @@ func (pc *peerConn) sendData(m *mesh, src, dst int, payload []byte) (time.Durati
 		return stall, fmt.Errorf("netcomm: aborted while awaiting window credit for workers %d-%d", pc.lo, pc.hi)
 	}
 	pc.avail -= n
+	pc.sentBytes += n
+	pc.sentFrames++
 	windowOutstanding.Add(n)
 	pc.mu.Unlock()
 	pc.wmu.Lock()

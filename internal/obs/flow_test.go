@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// Concurrent Record calls from many goroutines must tally exactly and
+// keep the max-frame high-water mark, the contract the fabrics rely on
+// at the flush seam.
+func TestFlowAccumRecordConcurrent(t *testing.T) {
+	const workers, goroutines, per = 4, 8, 1000
+	a := NewFlowAccum(workers)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				a.Record(g%workers, (g+1)%workers, int64(1+i%7))
+			}
+		}(g)
+	}
+	wg.Wait()
+	m := a.Matrix()
+	if m.Workers != workers {
+		t.Fatalf("workers=%d", m.Workers)
+	}
+	var frames int64
+	for _, f := range m.Flows {
+		frames += f.Frames
+		if f.MaxFrame != 7 {
+			t.Errorf("flow %d->%d max_frame=%d, want 7", f.Src, f.Dst, f.MaxFrame)
+		}
+		if f.Rounds != f.Frames {
+			t.Errorf("flow %d->%d rounds=%d frames=%d", f.Src, f.Dst, f.Rounds, f.Frames)
+		}
+	}
+	if want := int64(goroutines * per); frames != want {
+		t.Fatalf("total frames=%d, want %d", frames, want)
+	}
+	// out-of-range endpoints are dropped, not a panic or a stray cell
+	a.Record(-1, 0, 10)
+	a.Record(0, workers, 10)
+	if got := a.Matrix().Flow(0, 0).Bytes; got != 0 {
+		t.Fatalf("out-of-range Record leaked into (0,0): %d bytes", got)
+	}
+}
+
+// The hot-path contract the fabrics rely on: Record never allocates.
+func TestFlowAccumRecordZeroAlloc(t *testing.T) {
+	a := NewFlowAccum(4)
+	if n := testing.AllocsPerRun(1000, func() { a.Record(0, 1, 128) }); n != 0 {
+		t.Fatalf("Record allocates %v per call", n)
+	}
+}
+
+// Merge must add cells, keep the max of maxima, adopt the shipped plane
+// once, and append the transport extras — the coordinator's per-partial
+// fold.
+func TestFlowAccumMerge(t *testing.T) {
+	a := NewFlowAccum(2)
+	part := &FlowMatrix{
+		Plane: "p2p", Workers: 2,
+		Flows:  []FlowStat{{Src: 0, Dst: 1, Bytes: 100, Frames: 2, MaxFrame: 70}},
+		Conns:  []ConnStat{{LocalLo: 0, LocalHi: 1, PeerLo: 1, PeerHi: 2, Window: 64, StallNS: 5}},
+		Relays: []RelayStat{{Lo: 0, Hi: 1, Bytes: 9, Frames: 1}},
+	}
+	a.Merge(part)
+	a.Merge(&FlowMatrix{Plane: "hub", Workers: 2,
+		Flows: []FlowStat{{Src: 0, Dst: 1, Bytes: 50, Frames: 1, MaxFrame: 50}}})
+	a.Merge(nil) // no-op
+	m := a.Matrix()
+	f := m.Flow(0, 1)
+	if f.Bytes != 150 || f.Frames != 3 || f.MaxFrame != 70 {
+		t.Fatalf("merged cell %+v", f)
+	}
+	if m.Plane != "p2p" {
+		t.Fatalf("plane=%q, want first shipped plane to stick", m.Plane)
+	}
+	if len(m.Conns) != 1 || m.Conns[0].StallNS != 5 {
+		t.Fatalf("conns %+v", m.Conns)
+	}
+	if len(m.Relays) != 1 || m.Relays[0].Bytes != 9 {
+		t.Fatalf("relays %+v", m.Relays)
+	}
+	if got := m.Flow(1, 0); got.Bytes != 0 || got.Src != 1 || got.Dst != 0 {
+		t.Fatalf("empty cell lookup %+v", got)
+	}
+}
+
+// syntheticTrace builds a trace where worker slow spends its time
+// computing while everyone else waits at barriers — the straggler
+// signature Diagnose must pick up.
+func syntheticTrace(workers, steps, slow int) *TraceSnapshot {
+	snap := &TraceSnapshot{Workers: workers}
+	for s := 1; s <= steps; s++ {
+		ts := TraceStep{Superstep: s}
+		for w := 0; w < workers; w++ {
+			sample := SuperstepSample{Worker: w, Superstep: s, ComputeNS: 1e6, BarrierWaitNS: 9e6}
+			if w == slow {
+				sample = SuperstepSample{Worker: w, Superstep: s, ComputeNS: 9e6, BarrierWaitNS: 1e6}
+			}
+			ts.Workers = append(ts.Workers, sample)
+		}
+		snap.Supersteps = append(snap.Supersteps, ts)
+	}
+	return snap
+}
+
+func TestDiagnoseNamesStragglerAndWindow(t *testing.T) {
+	trace := syntheticTrace(4, 10, 2)
+	flows := &FlowMatrix{
+		Plane: "p2p", Workers: 4,
+		Conns: []ConnStat{
+			{LocalLo: 0, LocalHi: 2, PeerLo: 2, PeerHi: 4, Window: 64 << 10,
+				Bytes: 1 << 20, Frames: 10, StallNS: 50e6, GrantWaitNS: 10e6, Grants: 40},
+			{LocalLo: 2, LocalHi: 4, PeerLo: 0, PeerHi: 2, Window: 64 << 10,
+				Bytes: 1 << 20, Frames: 10, StallNS: 1e6, Grants: 2},
+		},
+	}
+	rep := Diagnose(trace, flows, RunMetrics{Supersteps: 10, WallNS: 100e6})
+	if rep.Healthy {
+		t.Fatal("report healthy despite straggler and stalled window")
+	}
+	if got := rep.Straggler(); got != 2 {
+		t.Fatalf("straggler=%d, want 2\nfindings: %+v", got, rep.Findings)
+	}
+	var window *Finding
+	for i := range rep.Findings {
+		if rep.Findings[i].Kind == "window_bound" {
+			window = &rep.Findings[i]
+			break
+		}
+	}
+	if window == nil {
+		t.Fatalf("no window_bound finding: %+v", rep.Findings)
+	}
+	if window.Conn != "w[0-1]->w[2-3]" {
+		t.Fatalf("window_bound names %q, want the 50%%-stalled connection w[0-1]->w[2-3]", window.Conn)
+	}
+	// workers ranked straggler-first
+	if len(rep.Workers) != 4 || rep.Workers[0].Worker != 2 {
+		t.Fatalf("worker ranking %+v", rep.Workers)
+	}
+	if rep.Workers[0].Cause != "compute" {
+		t.Fatalf("cause=%q, want compute for a compute-dominated straggler", rep.Workers[0].Cause)
+	}
+	// findings ordered most severe first
+	for i := 1; i < len(rep.Findings); i++ {
+		rank := map[string]int{"critical": 0, "warn": 1, "info": 2}
+		if rank[rep.Findings[i-1].Severity] > rank[rep.Findings[i].Severity] {
+			t.Fatalf("findings out of severity order: %+v", rep.Findings)
+		}
+	}
+	if len(rep.Recommendations) == 0 {
+		t.Fatal("no recommendations for an unhealthy run")
+	}
+}
+
+func TestDiagnoseHealthyAndNilInputs(t *testing.T) {
+	// balanced run: no findings, healthy
+	snap := &TraceSnapshot{Workers: 2}
+	for s := 1; s <= 5; s++ {
+		snap.Supersteps = append(snap.Supersteps, TraceStep{Superstep: s, Workers: []SuperstepSample{
+			{Worker: 0, Superstep: s, ComputeNS: 5e6, BarrierWaitNS: 1e6},
+			{Worker: 1, Superstep: s, ComputeNS: 5e6, BarrierWaitNS: 1e6},
+		}})
+	}
+	if rep := Diagnose(snap, nil, RunMetrics{}); !rep.Healthy || len(rep.Findings) != 0 {
+		t.Fatalf("balanced run not healthy: %+v", rep.Findings)
+	}
+	// all-nil inputs: an empty healthy report, not a panic
+	if rep := Diagnose(nil, nil, RunMetrics{}); !rep.Healthy || rep.Straggler() != -1 {
+		t.Fatalf("nil-input report %+v", rep)
+	}
+	// truncated trace surfaces as a warn finding
+	snap.TruncatedSamples = 7
+	rep := Diagnose(snap, nil, RunMetrics{})
+	if rep.Healthy || len(rep.Findings) != 1 || rep.Findings[0].Kind != "trace_truncated" {
+		t.Fatalf("truncation finding missing: healthy=%v findings=%+v", rep.Healthy, rep.Findings)
+	}
+}

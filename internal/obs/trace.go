@@ -74,11 +74,21 @@ type Trace struct {
 	maxSteps  int
 	steps     []traceStep
 	truncated int64
+
+	// onStep fires exactly once per superstep, when the last worker's
+	// sample for it lands (re-shipped samples after a recovery overwrite
+	// their slots without re-firing). onTruncate fires once, on the
+	// first truncated sample. Both run outside the trace lock.
+	onStep     func(StepEvent)
+	onTruncate func(int64)
+	warned     bool
 }
 
 type traceStep struct {
 	samples []SuperstepSample
 	seen    []bool
+	count   int  // workers seen so far
+	fired   bool // completion hook already ran
 }
 
 // NewTrace creates a trace for a job with the given worker count,
@@ -90,6 +100,18 @@ func NewTrace(workers int) *Trace {
 // Workers returns the job's worker count.
 func (t *Trace) Workers() int { return t.workers }
 
+// OnStepComplete installs a hook fired exactly once per superstep, when
+// the last worker's sample for it arrives. Overwrites of already-seen
+// slots (a recovered attempt re-shipping its replayed steps) do not
+// re-fire, so consumers see each step once however many attempts the
+// job took. Set before the trace starts collecting.
+func (t *Trace) OnStepComplete(f func(StepEvent)) { t.onStep = f }
+
+// OnTruncate installs a hook fired once, on the trace's first truncated
+// sample, with the truncated count at that moment. Set before the trace
+// starts collecting.
+func (t *Trace) OnTruncate(f func(int64)) { t.onTruncate = f }
+
 // ObserveSuperstep records one sample. Samples beyond the superstep cap
 // or with out-of-range coordinates are dropped (counted as truncated).
 func (t *Trace) ObserveSuperstep(s SuperstepSample) {
@@ -97,9 +119,14 @@ func (t *Trace) ObserveSuperstep(s SuperstepSample) {
 		return
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if s.Superstep > t.maxSteps {
 		t.truncated++
+		warn, n := !t.warned && t.onTruncate != nil, t.truncated
+		t.warned = true
+		t.mu.Unlock()
+		if warn {
+			t.onTruncate(n)
+		}
 		return
 	}
 	for len(t.steps) < s.Superstep {
@@ -109,8 +136,22 @@ func (t *Trace) ObserveSuperstep(s SuperstepSample) {
 		})
 	}
 	slot := &t.steps[s.Superstep-1]
+	if !slot.seen[s.Worker] {
+		slot.seen[s.Worker] = true
+		slot.count++
+	}
 	slot.samples[s.Worker] = s
-	slot.seen[s.Worker] = true
+	var ev StepEvent
+	fire := false
+	if slot.count == t.workers && !slot.fired && t.onStep != nil {
+		slot.fired = true
+		fire = true
+		ev = stepEvent(s.Superstep, slot.samples)
+	}
+	t.mu.Unlock()
+	if fire {
+		t.onStep(ev)
+	}
 }
 
 // Samples returns every recorded sample in (superstep, worker) order —

@@ -81,6 +81,10 @@ type Config[M, R, A any] struct {
 	// Restore > 0, resumes from the saved superstep. The algorithm must
 	// register Save/Restore closures via Worker.Checkpoint.
 	Checkpoint *ckpt.Hook
+	// Flows, if non-nil, attaches a per-(src,dst) flow-matrix
+	// accumulator to the in-process fabric Run creates when Fabric is
+	// nil (callers supplying a Fabric attach flows to it directly).
+	Flows *obs.FlowAccum
 
 	// MsgCodec encodes the global message type.
 	MsgCodec ser.Codec[M]
@@ -382,7 +386,12 @@ func Run[M, R, A any](cfg Config[M, R, A], setup func(w *Worker[M, R, A])) (Metr
 	m := cfg.Part.NumWorkers()
 	fab := cfg.Fabric
 	if fab == nil {
-		fab = comm.NewInProc(m, cfg.Cost)
+		ip := comm.NewInProc(m, cfg.Cost)
+		if cfg.Flows != nil {
+			cfg.Flows.SetPlane("inproc")
+			ip.Exchanger().SetFlows(cfg.Flows)
+		}
+		fab = ip
 	}
 	if fab.NumWorkers() != m {
 		return Metrics{}, fmt.Errorf("pregel: fabric has %d workers, partition has %d", fab.NumWorkers(), m)

@@ -12,6 +12,9 @@
 //	                                 (JSON {inserts, deletes} or text edge-list body;
 //	                                 ?compact=now forces a synchronous compaction)
 //	GET    /v1/jobs/{id}/trace       per-worker superstep timeline (JSON)
+//	GET    /v1/jobs/{id}/flows       per-(src,dst) flow matrix + transport extras (JSON)
+//	GET    /v1/jobs/{id}/diagnosis   automatic bottleneck diagnosis (JSON)
+//	GET    /v1/jobs/{id}/events      live job event stream (SSE: states + supersteps)
 //	GET    /v1/algorithms            registry contents
 //	GET    /v1/healthz               liveness
 //	GET    /v1/stats                 catalog + job-manager counters
@@ -25,6 +28,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/algorithms"
 	"repro/internal/catalog"
@@ -37,10 +41,12 @@ import (
 
 // Server binds the catalog and job manager to an http.Handler.
 type Server struct {
-	cat *catalog.Catalog
-	mgr *jobs.Manager
-	reg *obs.Registry
-	mux *http.ServeMux
+	cat     *catalog.Catalog
+	mgr     *jobs.Manager
+	reg     *obs.Registry
+	mux     *http.ServeMux
+	version string
+	started time.Time
 }
 
 // Option tweaks a Server.
@@ -57,10 +63,21 @@ func WithRegistry(reg *obs.Registry) Option {
 	}
 }
 
+// WithVersion stamps the build version label on graphd_build_info
+// (default "dev").
+func WithVersion(v string) Option {
+	return func(s *Server) {
+		if v != "" {
+			s.version = v
+		}
+	}
+}
+
 // New builds a server over an existing catalog and manager (both owned
 // by the caller; the server never closes them).
 func New(cat *catalog.Catalog, mgr *jobs.Manager, opts ...Option) *Server {
-	s := &Server{cat: cat, mgr: mgr, mux: http.NewServeMux()}
+	s := &Server{cat: cat, mgr: mgr, mux: http.NewServeMux(),
+		version: "dev", started: time.Now()}
 	for _, o := range opts {
 		o(s)
 	}
@@ -73,6 +90,9 @@ func New(cat *catalog.Catalog, mgr *jobs.Manager, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.getResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.getTrace)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/flows", s.getFlows)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/diagnosis", s.getDiagnosis)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.streamEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancelJob)
 	s.mux.HandleFunc("GET /v1/datasets", s.listDatasets)
 	s.mux.HandleFunc("GET /v1/datasets/{name}", s.datasetDetail)
@@ -432,10 +452,14 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 // worker. The shape is identical whether the job ran in-process or
 // across graphworker subprocesses.
 type tracePayload struct {
-	ID               string          `json:"id"`
-	State            jobs.State      `json:"state"`
-	Workers          int             `json:"workers"`
-	TruncatedSamples int64           `json:"truncated_samples,omitempty"`
+	ID      string     `json:"id"`
+	State   jobs.State `json:"state"`
+	Workers int        `json:"workers"`
+	// TruncatedSamples counts samples the bounded ring dropped; always
+	// present so consumers cannot mistake a truncated timeline for a
+	// complete one. Warning spells it out when nonzero.
+	TruncatedSamples int64           `json:"truncated_samples"`
+	Warning          string          `json:"warning,omitempty"`
 	Supersteps       []obs.TraceStep `json:"supersteps"`
 }
 
@@ -448,6 +472,10 @@ func (s *Server) getTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	p := tracePayload{ID: id, State: state, Workers: snap.Workers,
 		TruncatedSamples: snap.TruncatedSamples, Supersteps: snap.Supersteps}
+	if snap.TruncatedSamples > 0 {
+		p.Warning = fmt.Sprintf("trace ring truncated: %d samples beyond the %d-step window were dropped; the timeline below is incomplete",
+			snap.TruncatedSamples, obs.DefaultTraceSteps)
+	}
 	if p.Supersteps == nil {
 		p.Supersteps = []obs.TraceStep{}
 	}
@@ -465,6 +493,11 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 // scrape emits the point-in-time gauges that live on the daemon's own
 // components rather than in registry instruments.
 func (s *Server) scrape(e *obs.Emitter) {
+	e.Gauge("graphd_build_info", "Build metadata; the value is always 1.", 1,
+		"version", s.version, "go_version", runtime.Version())
+	e.Gauge("graphd_uptime_seconds", "Seconds since this server was constructed.",
+		time.Since(s.started).Seconds())
+
 	cs := s.cat.Stats()
 	e.Gauge("graphd_catalog_datasets", "Registered datasets.", float64(cs.Datasets))
 	e.Gauge("graphd_catalog_loaded", "Datasets resident in memory.", float64(cs.Loaded))

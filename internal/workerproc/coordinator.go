@@ -21,6 +21,7 @@ import (
 	"repro/internal/netcomm"
 	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/ser"
 )
 
 // JobSpec describes one distributed job: which binary to spawn, where
@@ -130,7 +131,19 @@ type JobSpec struct {
 	// worker process collects its own shard and ships it piggybacked on
 	// its result blob, and the coordinator replays the shards here. The
 	// merged timeline has the same shape an in-process run produces.
+	// Workers additionally stream each sample over the control
+	// connection the moment the superstep completes, so the trace (and
+	// anything watching it via obs.Trace.OnStepComplete) advances while
+	// the job is still in flight.
 	Trace *obs.Trace
+
+	// Flows, if non-nil, receives the job's flow matrix: each worker
+	// process accumulates its own rows at the fabric seam and ships them
+	// piggybacked on its result blob; the coordinator merges them here,
+	// plus the hub's relay stats on the hub data plane. Only the
+	// successful attempt contributes — an aborted attempt's partials
+	// carry no flow section, so recovery never double-counts.
+	Flows *obs.FlowAccum
 
 	// Logger receives coordinator events and the workers' forwarded
 	// stderr lines, each tagged with the emitting worker range. Nil
@@ -263,6 +276,15 @@ func runAttempt(spec JobSpec, attempt, restore int, log *slog.Logger) (*algorith
 	hub := netcomm.NewHub(m, spec.Cost, ln)
 	defer hub.Close()
 	hub.SetLogger(log)
+	if spec.Trace != nil {
+		// live superstep feed: replay in-flight samples into the job
+		// trace as workers ship them, so step-completion hooks fire
+		// mid-run (and keep firing across recovery respawns)
+		hub.OnSamples(func(p []byte) {
+			defer func() { recover() }() // malformed live batch: drop it
+			decodeSamples(ser.FromBytes(p), spec.Trace)
+		})
+	}
 
 	start := time.Now()
 	ranges := splitRanges(m, procs)
@@ -293,6 +315,9 @@ func runAttempt(spec JobSpec, attempt, restore int, log *slog.Logger) (*algorith
 		}
 		if spec.Trace != nil {
 			args = append(args, "-trace")
+		}
+		if spec.Flows != nil {
+			args = append(args, "-flows")
 		}
 		if spec.CkptDir != "" {
 			args = append(args,
@@ -442,7 +467,7 @@ func runAttempt(spec JobSpec, attempt, restore int, log *slog.Logger) (*algorith
 		}
 	}
 
-	res, minSteps, mergeErr := mergePartials(spec.Part, partials, spec.Trace)
+	res, minSteps, mergeErr := mergePartials(spec.Part, partials, spec.Trace, spec.Flows)
 	if mergeErr != nil {
 		errs = append(errs, mergeErr)
 	}
@@ -495,6 +520,13 @@ func runAttempt(spec JobSpec, attempt, restore int, log *slog.Logger) (*algorith
 			}
 		}
 		return nil, joinedOK.Load(), recoverable, err
+	}
+	if spec.Flows != nil {
+		// hub-plane relay stats live coordinator-side; merged only on the
+		// successful attempt so recovery never double-counts
+		for _, r := range hub.RelayStats() {
+			spec.Flows.AddRelay(r)
+		}
 	}
 	hubStats := hub.Stats()
 	res.Metrics = algorithms.Metrics{

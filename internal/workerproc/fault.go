@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/netcomm"
 )
@@ -23,12 +24,21 @@ type FaultSpec struct {
 	//	        fails mid-exchange while the process lives)
 	//	stall — park the worker forever (the failure only a wall-clock
 	//	        watchdog can detect)
+	//	slow  — sleep slowDelay at the cut point of every superstep from
+	//	        S on (not a failure: a deterministic straggler for the
+	//	        diagnosis tests — every other worker accumulates barrier
+	//	        wait blaming this one)
 	Kind string
 	// Worker is the job-wide worker id that suffers the fault.
 	Worker int
 	// Superstep is the superstep whose cut point triggers it.
 	Superstep int
 }
+
+// slowDelay is how long a "slow" fault parks its worker per superstep —
+// long enough to dominate a small test job's compute time, short enough
+// to keep the suite quick.
+const slowDelay = 30 * time.Millisecond
 
 // ParseFault parses the -fault flag syntax "kind:W@S", e.g. "kill:1@3".
 func ParseFault(s string) (*FaultSpec, error) {
@@ -37,7 +47,7 @@ func ParseFault(s string) (*FaultSpec, error) {
 		return nil, fmt.Errorf("workerproc: bad fault %q (want kind:W@S)", s)
 	}
 	switch kind {
-	case "kill", "drop", "stall":
+	case "kill", "drop", "stall", "slow":
 	default:
 		return nil, fmt.Errorf("workerproc: unknown fault kind %q", kind)
 	}
@@ -65,6 +75,14 @@ func (f *FaultSpec) String() string {
 // worker process hosting workers over client's connection.
 func (f *FaultSpec) probe(client *netcomm.Client) func(worker, superstep int) {
 	return func(worker, superstep int) {
+		if f.Kind == "slow" {
+			// not a one-shot failure: the straggler stays slow for the
+			// rest of the run so the skew is visible in every sample
+			if worker == f.Worker && superstep >= f.Superstep {
+				time.Sleep(slowDelay)
+			}
+			return
+		}
 		if worker != f.Worker || superstep != f.Superstep {
 			return
 		}

@@ -39,10 +39,12 @@ const (
 // worker range, the run error (empty string = success), the superstep
 // count its workers reached, and — on success — the hosted workers'
 // slices of the result arrays followed by the hosted workers' superstep
-// trace samples (empty unless the coordinator requested tracing). Error
-// partials carry no values and no trace.
+// trace samples (empty unless the coordinator requested tracing) and
+// their share of the flow matrix. Error partials carry no values, no
+// trace and no flows — an aborted attempt contributes nothing, so
+// recovery never double-counts.
 func encodePartial(buf *ser.Buffer, part *partition.Partition, lo, hi int,
-	res *algorithms.Result, samples []obs.SuperstepSample, runErr error) {
+	res *algorithms.Result, samples []obs.SuperstepSample, flows *obs.FlowMatrix, runErr error) {
 	buf.WriteUvarint(uint64(lo))
 	buf.WriteUvarint(uint64(hi))
 	if runErr != nil {
@@ -73,6 +75,82 @@ func encodePartial(buf *ser.Buffer, part *partition.Partition, lo, hi int,
 		}
 	}
 	encodeSamples(buf, samples)
+	encodeFlows(buf, flows)
+}
+
+// encodeFlows appends the flow-matrix section: data plane, worker
+// count, non-empty cells, and the transport extras. A nil matrix
+// encodes as an empty section so partials without flow accounting stay
+// decodable.
+func encodeFlows(buf *ser.Buffer, m *obs.FlowMatrix) {
+	if m == nil {
+		m = &obs.FlowMatrix{}
+	}
+	buf.WriteString(m.Plane)
+	buf.WriteUvarint(uint64(m.Workers))
+	buf.WriteUvarint(uint64(len(m.Flows)))
+	for _, f := range m.Flows {
+		buf.WriteUvarint(uint64(f.Src))
+		buf.WriteUvarint(uint64(f.Dst))
+		buf.WriteVarint(f.Bytes)
+		buf.WriteVarint(f.Frames)
+		buf.WriteVarint(f.Rounds)
+		buf.WriteVarint(f.MaxFrame)
+	}
+	buf.WriteUvarint(uint64(len(m.Conns)))
+	for _, c := range m.Conns {
+		buf.WriteUvarint(uint64(c.LocalLo))
+		buf.WriteUvarint(uint64(c.LocalHi))
+		buf.WriteUvarint(uint64(c.PeerLo))
+		buf.WriteUvarint(uint64(c.PeerHi))
+		buf.WriteVarint(c.Window)
+		buf.WriteVarint(c.Bytes)
+		buf.WriteVarint(c.Frames)
+		buf.WriteVarint(c.StallNS)
+		buf.WriteVarint(c.GrantWaitNS)
+		buf.WriteVarint(c.Grants)
+	}
+	buf.WriteUvarint(uint64(len(m.Relays)))
+	for _, r := range m.Relays {
+		buf.WriteUvarint(uint64(r.Lo))
+		buf.WriteUvarint(uint64(r.Hi))
+		buf.WriteVarint(r.Bytes)
+		buf.WriteVarint(r.Frames)
+		buf.WriteVarint(r.ResidencyNS)
+	}
+}
+
+// decodeFlows reads the flow section written by encodeFlows and merges
+// it into acc (acc nil: the section is consumed and discarded).
+func decodeFlows(b *ser.Buffer, acc *obs.FlowAccum) {
+	m := &obs.FlowMatrix{Plane: b.ReadString(), Workers: int(b.ReadUvarint())}
+	nf := int(b.ReadUvarint())
+	for i := 0; i < nf; i++ {
+		m.Flows = append(m.Flows, obs.FlowStat{
+			Src: int(b.ReadUvarint()), Dst: int(b.ReadUvarint()),
+			Bytes: b.ReadVarint(), Frames: b.ReadVarint(),
+			Rounds: b.ReadVarint(), MaxFrame: b.ReadVarint(),
+		})
+	}
+	nc := int(b.ReadUvarint())
+	for i := 0; i < nc; i++ {
+		m.Conns = append(m.Conns, obs.ConnStat{
+			LocalLo: int(b.ReadUvarint()), LocalHi: int(b.ReadUvarint()),
+			PeerLo: int(b.ReadUvarint()), PeerHi: int(b.ReadUvarint()),
+			Window: b.ReadVarint(), Bytes: b.ReadVarint(), Frames: b.ReadVarint(),
+			StallNS: b.ReadVarint(), GrantWaitNS: b.ReadVarint(), Grants: b.ReadVarint(),
+		})
+	}
+	nr := int(b.ReadUvarint())
+	for i := 0; i < nr; i++ {
+		m.Relays = append(m.Relays, obs.RelayStat{
+			Lo: int(b.ReadUvarint()), Hi: int(b.ReadUvarint()),
+			Bytes: b.ReadVarint(), Frames: b.ReadVarint(), ResidencyNS: b.ReadVarint(),
+		})
+	}
+	if acc != nil {
+		acc.Merge(m)
+	}
 }
 
 // encodeSamples appends the superstep trace section: a sample count and
@@ -214,8 +292,9 @@ func reportedError(msg string) error {
 // a missing range is reported as an error (its workers died before
 // reporting — the transport error carries the detail). When tr is
 // non-nil, each blob's trace section is replayed into it, reassembling
-// the job-wide superstep timeline from the per-process shards.
-func mergePartials(part *partition.Partition, blobs []partial, tr *obs.Trace) (*algorithms.Result, int, error) {
+// the job-wide superstep timeline from the per-process shards; when
+// flows is non-nil, each blob's flow section is merged the same way.
+func mergePartials(part *partition.Partition, blobs []partial, tr *obs.Trace, flows *obs.FlowAccum) (*algorithms.Result, int, error) {
 	m := part.NumWorkers()
 	covered := make([]bool, m)
 	var errs []error
@@ -301,6 +380,7 @@ func mergePartials(part *partition.Partition, blobs []partial, tr *obs.Trace) (*
 				}
 			}
 			decodeSamples(b, tr)
+			decodeFlows(b, flows)
 			return nil
 		}()
 		if werr != nil {

@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/algorithms"
 	"repro/internal/ckpt"
@@ -45,7 +46,8 @@ func Main(args []string, stderr io.Writer) int {
 	iterations := fs.Int("iterations", 0, "PageRank iterations (0 = default)")
 	source := fs.Uint64("source", 0, "SSSP source vertex")
 	maxSupersteps := fs.Int("max-supersteps", 0, "superstep cap (0 = engine default)")
-	traceOn := fs.Bool("trace", false, "collect per-superstep trace samples and ship them with the partial result")
+	traceOn := fs.Bool("trace", false, "collect per-superstep trace samples, stream them live over the control connection, and ship them with the partial result")
+	flowsOn := fs.Bool("flows", false, "record the per-(src,dst) flow matrix at the fabric seam and ship it with the partial result")
 	ckptDir := fs.String("ckpt-dir", "", "checkpoint store directory (empty = checkpointing off)")
 	ckptJob := fs.String("ckpt-job", "job", "checkpoint job key inside the store")
 	ckptInterval := fs.Int("ckpt-interval", 0, "supersteps between checkpoints (0 = never save)")
@@ -94,11 +96,16 @@ func Main(args []string, stderr io.Writer) int {
 		return fail(fmt.Errorf("placement %q has %d workers, job expects %d", *placement, part.NumWorkers(), *numWorkers))
 	}
 
+	var flows *obs.FlowAccum
+	if *flowsOn {
+		flows = obs.NewFlowAccum(part.NumWorkers())
+	}
 	client, err := netcomm.DialConfig(netcomm.Config{
 		Network: *network, Addr: *addr,
 		Lo: lo, Hi: hi, M: part.NumWorkers(),
 		DataPlane:   *dataPlane,
 		WindowBytes: *windowBytes,
+		Flows:       flows,
 	})
 	if err != nil {
 		return fail(err)
@@ -130,9 +137,12 @@ func Main(args []string, stderr io.Writer) int {
 	var tr *obs.Trace
 	if *traceOn {
 		// collect only this process's shard of the timeline; the
-		// coordinator replays every shard into the job-wide trace
+		// coordinator replays every shard into the job-wide trace. Each
+		// sample is also streamed over the control connection as it
+		// happens so the coordinator's event stream sees supersteps in
+		// flight, not only at job end.
 		tr = obs.NewTrace(part.NumWorkers())
-		opts.Observer = tr
+		opts.Observer = &liveObserver{tr: tr, client: client, buf: ser.NewBuffer(256)}
 	}
 	params := algorithms.Params{Iterations: *iterations, Source: graph.VertexID(*source)}
 	res, runErr := spec.Run(eng, *variant, g, opts, params)
@@ -141,8 +151,15 @@ func Main(args []string, stderr io.Writer) int {
 	if tr != nil && runErr == nil {
 		samples = tr.Samples()
 	}
+	var flowMatrix *obs.FlowMatrix
+	if flows != nil && runErr == nil {
+		for _, c := range client.ConnStats() {
+			flows.AddConn(c)
+		}
+		flowMatrix = flows.Matrix()
+	}
 	buf := ser.NewBuffer(4096)
-	encodePartial(buf, part, lo, hi, res, samples, runErr)
+	encodePartial(buf, part, lo, hi, res, samples, flowMatrix, runErr)
 	if err := client.SendResult(buf.Bytes()); err != nil {
 		return fail(fmt.Errorf("ship result: %w", err))
 	}
@@ -153,6 +170,28 @@ func Main(args []string, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// liveObserver feeds each superstep sample into the process-local trace
+// and ships it to the coordinator over the hub control connection as it
+// completes. Shipping is best-effort and loss-tolerant: the authoritative
+// timeline still travels with the partial result, so a send error (the
+// job is unwinding anyway) is simply dropped.
+type liveObserver struct {
+	tr     *obs.Trace
+	client *netcomm.Client
+
+	mu  sync.Mutex // hosted workers observe concurrently
+	buf *ser.Buffer
+}
+
+func (o *liveObserver) ObserveSuperstep(s obs.SuperstepSample) {
+	o.tr.ObserveSuperstep(s)
+	o.mu.Lock()
+	o.buf.Reset()
+	encodeSamples(o.buf, []obs.SuperstepSample{s})
+	o.client.SendSamples(o.buf.Bytes())
+	o.mu.Unlock()
 }
 
 // parseRange parses "lo-hi" or a bare "id".

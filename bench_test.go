@@ -548,19 +548,40 @@ func svSetup(g *graph.Graph, p *partition.Partition) func(w *engine.Worker) {
 // BenchmarkDistributedExchange pins the data-plane comparison the p2p
 // transport exists for: m socket-fabric clients over loopback TCP run
 // all-to-all exchange rounds (the engines' exact per-round protocol:
-// Flush, barrier, consume, reducing crossing, release) on the hub relay
-// and on the direct mesh. hubB/op is the frame volume transiting the
-// coordinator per round — the whole exchange on the hub plane, zero
-// under p2p.
+// Flush, barrier, consume, reducing crossing, release) on the hub
+// relay, the static direct mesh and the adaptive lazy mesh. hubB/op is
+// the frame volume transiting the coordinator per round — the whole
+// exchange on the hub plane, zero under static p2p, the cold pairs'
+// share under p2p-adaptive. winB is the mesh's standing window memory
+// at the end of the run (the sum of granted receive windows): the
+// static mesh bills one DefaultWindowBytes per directed pair up front,
+// the adaptive mesh only for promoted pairs, retuned to the observed
+// round volume.
+//
+// The skew sub-cases replay the placement-aware traffic shape the lazy
+// mesh exists for — one hot pair carrying almost all the volume over a
+// background trickle, the shape a locality-aware placement produces —
+// where the adaptive plane promotes only the hot pair and keeps every
+// cold window off the books.
 func BenchmarkDistributedExchange(b *testing.B) {
-	for _, plane := range []string{netcomm.DataPlaneHub, netcomm.DataPlaneP2P} {
-		b.Run(plane, func(b *testing.B) { benchExchange(b, plane) })
+	const hotFrame, coldFrame = 64 << 10, 512
+	uniform := func(src, dst int) int { return hotFrame }
+	skew := func(src, dst int) int {
+		if src == 0 && dst == 1 {
+			return hotFrame
+		}
+		return coldFrame
+	}
+	for _, plane := range []string{netcomm.DataPlaneHub, netcomm.DataPlaneP2P, netcomm.DataPlaneP2PAdaptive} {
+		b.Run(plane, func(b *testing.B) { benchExchange(b, plane, uniform) })
+	}
+	for _, plane := range []string{netcomm.DataPlaneP2P, netcomm.DataPlaneP2PAdaptive} {
+		b.Run("skew/"+plane, func(b *testing.B) { benchExchange(b, plane, skew) })
 	}
 }
 
-func benchExchange(b *testing.B, plane string) {
+func benchExchange(b *testing.B, plane string, frameFor func(src, dst int) int) {
 	const m = 4
-	const frame = 64 << 10
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
@@ -595,8 +616,21 @@ func benchExchange(b *testing.B, plane string) {
 		b.Fatal(err)
 	}
 
-	payload := make([]byte, frame)
-	b.SetBytes(int64(m * (m - 1) * frame))
+	var maxFrame, roundTotal int
+	for src := 0; src < m; src++ {
+		for dst := 0; dst < m; dst++ {
+			if src == dst {
+				continue
+			}
+			f := frameFor(src, dst)
+			roundTotal += f
+			if f > maxFrame {
+				maxFrame = f
+			}
+		}
+	}
+	payload := make([]byte, maxFrame)
+	b.SetBytes(int64(roundTotal))
 	b.ReportAllocs()
 	b.ResetTimer()
 	var wg sync.WaitGroup
@@ -609,7 +643,8 @@ func benchExchange(b *testing.B, plane string) {
 			for n := 0; n < b.N; n++ {
 				for dst := 0; dst < m; dst++ {
 					if dst != i {
-						copy(ep.Out(dst).Extend(frame), payload)
+						frame := frameFor(i, dst)
+						copy(ep.Out(dst).Extend(frame), payload[:frame])
 					}
 				}
 				if err := ep.Flush(); err != nil {
@@ -636,4 +671,17 @@ func benchExchange(b *testing.B, plane string) {
 	wg.Wait()
 	b.StopTimer()
 	b.ReportMetric(float64(hub.DataBytes())/float64(b.N), "hubB/op")
+	if plane != netcomm.DataPlaneHub {
+		// Standing window memory: what the mesh's receive windows pin at
+		// the end of the run. Constant per directed pair on the static
+		// mesh; on the adaptive mesh, only promoted pairs contribute, at
+		// whatever size their controllers converged to.
+		var granted int64
+		for _, c := range clients {
+			for _, cs := range c.ConnStats() {
+				granted += cs.RecvWindow
+			}
+		}
+		b.ReportMetric(float64(granted), "winB")
+	}
 }

@@ -11,7 +11,11 @@
 // listener, receives the hub's peer directory, and exchanges frames
 // directly with every other worker process under credit-based flow
 // control (-window-bytes per peer connection, default 4 MiB) — see
-// internal/netcomm.
+// internal/netcomm. With -data-plane p2p-adaptive the mesh is lazy
+// (cold pairs ride the hub relay until -promote-bytes of traffic earn
+// them a direct connection) and each connection's window is retuned
+// per round within [-window-min, -window-max], starting from
+// -window-bytes.
 //
 // With -trace the worker also records a per-superstep telemetry trace
 // (compute time, barrier wait, flow-control send stalls, per-channel

@@ -105,6 +105,20 @@
 // frames arrived, since it travels a different socket). Flush reports
 // still go to the hub, so cost accounting and Stats are identical
 // across planes; the equivalence sweep and fault matrix run on both.
+// -data-plane p2p-adaptive drops the static mesh's two up-front bets:
+// each connection's window is retuned per sender round by a
+// receiver-owned AIMD-style controller (stalled or window-overflowing
+// rounds double it, consecutive mostly-idle rounds halve it toward
+// twice the observed round volume, bounded by -window-min/-window-max,
+// with resizes travelling as control frames that preserve in-flight
+// credit), and the mesh is lazy — no pair is dialed up front; cold
+// pairs relay through the hub and a pair is promoted to a direct
+// connection once -promote-bytes of relayed volume proves it hot, with
+// frames latching onto one route per worker per round so promotion
+// never splits a round. Skewed placement-aware workloads thus pay
+// window memory and connections only for their hot pairs, and a hot
+// flow grows out of a too-small initial window instead of staying
+// window-bound.
 //
 // Observability reaches below the superstep trace to the flow level.
 // Every job accumulates an obs.FlowAccum — a dense (src, dst) matrix

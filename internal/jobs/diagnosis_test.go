@@ -177,6 +177,63 @@ func TestDiagnosisFindsWindowBoundConnP2P(t *testing.T) {
 	}
 }
 
+// The same deliberately small 64 KiB window on the same message-heavy
+// graph must NOT be window-bound on the adaptive plane: the receiver's
+// controller observes the oversized rounds and grows the window out of
+// the stall, so the run self-heals where the static plane needed the
+// operator to raise -window-bytes.
+func TestDiagnosisAdaptiveWindowEscapesStall(t *testing.T) {
+	const window = 64 << 10
+	mgr, cat := distributedManager(t, 2, nil,
+		jobs.WithDataPlane(netcomm.DataPlaneP2PAdaptive, window))
+	if err := cat.Register(catalog.Spec{Name: "rmat-dense", Gen: "rmat:scale=15,ef=16,seed=7"}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := mgr.Submit(jobs.Request{
+		Algorithm: "pagerank", Dataset: "rmat-dense",
+		Params: algorithms.Params{Iterations: 60}, MaxSupersteps: 200000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := awaitTerminal(t, mgr, snap.ID, 2*time.Minute); final.State != jobs.StateDone {
+		t.Fatalf("state=%s err=%q", final.State, final.Error)
+	}
+
+	fm, _, err := mgr.Flows(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.Plane != netcomm.DataPlaneP2PAdaptive {
+		t.Fatalf("flow matrix plane=%q, want %q", fm.Plane, netcomm.DataPlaneP2PAdaptive)
+	}
+	if len(fm.Conns) == 0 {
+		t.Fatal("no connection stats: the hot pair was never promoted")
+	}
+	var grew bool
+	for _, c := range fm.Conns {
+		if c.Window == 0 {
+			continue // relay-only row
+		}
+		if c.Resizes > 0 && c.WindowPeak > window {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatalf("no connection grew out of the %d-byte window: %+v", window, fm.Conns)
+	}
+
+	rep, _, err := mgr.Diagnosis(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		if f.Kind == "window_bound" {
+			t.Fatalf("adaptive plane still window-bound: %+v\nconns: %+v", f, fm.Conns)
+		}
+	}
+}
+
 // A kill fault with recovery enabled: the live event stream must carry
 // superstep events before the crash, the recovering/running transition,
 // superstep events from the respawned party, and the terminal state —

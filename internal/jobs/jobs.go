@@ -147,8 +147,11 @@ type Manager struct {
 	queueCap      int
 	workerProcs   int    // > 0: run jobs across graphworker subprocesses
 	workerBin     string // graphworker executable for the subprocess path
-	dataPlane     string // worker data plane: netcomm hub (default) or p2p
-	windowBytes   int    // p2p per-peer receive window
+	dataPlane     string // worker data plane: netcomm hub (default), p2p or p2p-adaptive
+	windowBytes   int    // p2p per-peer receive window (initial, on the adaptive plane)
+	windowMin     int    // adaptive plane: tuner's lower window bound
+	windowMax     int    // adaptive plane: tuner's upper window bound
+	promoteBytes  int    // adaptive plane: relayed bytes before a pair goes direct
 	joinTimeout   time.Duration
 	resultTimeout time.Duration
 	wallTimeout   time.Duration
@@ -196,11 +199,22 @@ func WithWorkerProcs(n int, bin string) Option {
 }
 
 // WithDataPlane selects the distributed jobs' data plane
-// (netcomm.DataPlaneHub or netcomm.DataPlaneP2P) and, for p2p, the
-// per-peer-connection receive window in bytes (0 = default). Only
-// meaningful together with WithWorkerProcs.
+// (netcomm.DataPlaneHub, netcomm.DataPlaneP2P or
+// netcomm.DataPlaneP2PAdaptive) and, for the p2p planes, the
+// per-peer-connection receive window in bytes (0 = default; the
+// adaptive plane treats it as the initial window). Only meaningful
+// together with WithWorkerProcs.
 func WithDataPlane(plane string, windowBytes int) Option {
 	return func(m *Manager) { m.dataPlane, m.windowBytes = plane, windowBytes }
+}
+
+// WithWindowBounds bounds the adaptive plane's per-connection window
+// tuner to [min, max] bytes and sets the relayed-volume threshold at
+// which a lazy pair is promoted to a direct connection (0 keeps the
+// netcomm default for that knob). Only meaningful together with
+// WithDataPlane(netcomm.DataPlaneP2PAdaptive, ...).
+func WithWindowBounds(min, max, promote int) Option {
+	return func(m *Manager) { m.windowMin, m.windowMax, m.promoteBytes = min, max, promote }
 }
 
 // WithJoinTimeout bounds how long a distributed job's worker processes
@@ -299,11 +313,11 @@ func WithMetrics(reg *obs.Registry) Option {
 // managerMetrics are the registry instruments the manager updates as
 // jobs reach terminal states.
 type managerMetrics struct {
-	duration   *obs.Histogram
-	done       *obs.Counter
-	failed     *obs.Counter
-	cancelled  *obs.Counter
-	supersteps *obs.Counter
+	duration    *obs.Histogram
+	done        *obs.Counter
+	failed      *obs.Counter
+	cancelled   *obs.Counter
+	supersteps  *obs.Counter
 	netBytes    *obs.Counter
 	recoveries  *obs.Counter
 	retries     *obs.Counter
@@ -633,6 +647,9 @@ func (m *Manager) executeDistributed(j *job, view *catalog.View, maxSteps int) (
 		Procs:         m.workerProcs,
 		DataPlane:     m.dataPlane,
 		WindowBytes:   m.windowBytes,
+		WindowMin:     m.windowMin,
+		WindowMax:     m.windowMax,
+		PromoteBytes:  m.promoteBytes,
 		Algorithm:     j.spec.Name,
 		Engine:        j.eng,
 		Variant:       j.req.Variant,

@@ -1,0 +1,103 @@
+package netcomm
+
+// The adaptive plane's per-connection window tuner. The receiver of a
+// peer connection owns the window it grants, so it also owns the
+// controller: every completed sender round is one observation — the
+// bytes that round moved over the connection and whether the sender
+// reported blocking on exhausted credit since the last round (the
+// stall hint piggybacked on its DONE marker, which is exactly the
+// interval the sender's grant-wait clock was running). The controller
+// is deliberately a pure state machine over those two inputs so its
+// grow/shrink trajectory is unit-testable without sockets or clocks.
+//
+// The policy is AIMD-shaped but sized to the workload rather than to
+// loss: a stalled sender doubles the window (multiplicative increase —
+// a stall means the whole window was outstanding, so linear growth
+// would take round-trips proportional to the deficit), while a window
+// that sits mostly idle for several consecutive rounds halves, floored
+// at twice the observed round volume (the steady state keeps one
+// round's frames in flight while the next round serializes) and at the
+// configured minimum. Growth is clamped at the configured maximum, so
+// a receiver never grants more than WindowMax per connection no matter
+// how hard its senders push.
+
+// Default bounds for the adaptive window, applied when the
+// corresponding Config fields are zero. The minimum keeps a shrunken
+// connection from degenerating into per-frame stop-and-wait on idle
+// meshes; the maximum bounds what one saturated connection can pin.
+const (
+	DefaultWindowMin = 64 << 10
+	DefaultWindowMax = 64 << 20
+)
+
+// windowIdleRounds is how many consecutive oversized rounds (window
+// strictly above twice the round volume) the controller tolerates
+// before shrinking. One busy or stalled round resets the count, so a
+// bursty flow keeps its headroom.
+const windowIdleRounds = 3
+
+// windowController tunes one peer connection's granted window between
+// Min and Max. Not safe for concurrent use; the owning read loop is
+// the only caller.
+type windowController struct {
+	min, max int64
+	window   int64
+	idle     int
+}
+
+// newWindowController starts a controller at the initial window,
+// clamped into [min, max].
+func newWindowController(initial, min, max int64) *windowController {
+	w := &windowController{min: min, max: max, window: initial}
+	if w.window < min {
+		w.window = min
+	}
+	if w.window > max {
+		w.window = max
+	}
+	return w
+}
+
+// Observe folds one completed sender round — roundBytes moved, stalled
+// reporting whether the sender blocked on credit since the previous
+// round — and returns the window the receiver should now grant.
+func (w *windowController) Observe(roundBytes int64, stalled bool) int64 {
+	if stalled || roundBytes > w.window {
+		// The sender had the whole window in flight and wanted more:
+		// double, up to the cap. A round that moved more than the window
+		// is the same signal even without the hint — the sender overdrew
+		// the window via the oversized-frame borrow rule, and whether it
+		// also blocked depends only on how fast credit flowed back. A
+		// stall observation trumps idleness — the round volume can look
+		// small precisely because the window throttled it.
+		w.idle = 0
+		if w.window < w.max {
+			w.window *= 2
+			if w.window > w.max {
+				w.window = w.max
+			}
+		}
+		return w.window
+	}
+	if roundBytes*2 < w.window {
+		// Oversized: the window could halve and still hold two rounds'
+		// volume. The shrink below is floored at exactly 2x the round
+		// volume, and a window sitting on that floor no longer satisfies
+		// this test, so repeated idle rounds converge there and stop.
+		w.idle++
+		if w.idle >= windowIdleRounds {
+			w.idle = 0
+			next := w.window / 2
+			if floor := roundBytes * 2; next < floor {
+				next = floor
+			}
+			if next < w.min {
+				next = w.min
+			}
+			w.window = next
+		}
+	} else {
+		w.idle = 0
+	}
+	return w.window
+}

@@ -1,0 +1,149 @@
+package netcomm
+
+import "testing"
+
+// The controller is a pure state machine: simulated round volumes and
+// stall hints must produce the exact grow/shrink trajectory the policy
+// promises, with no sockets or clocks involved.
+
+func TestWindowGrowsOnStallUntilMax(t *testing.T) {
+	w := newWindowController(64<<10, 16<<10, 1<<20)
+	want := []int64{128 << 10, 256 << 10, 512 << 10, 1 << 20, 1 << 20}
+	for i, exp := range want {
+		if got := w.Observe(64<<10, true); got != exp {
+			t.Fatalf("stall %d: window=%d, want %d", i, got, exp)
+		}
+	}
+}
+
+func TestWindowGrowsOnOversizedRoundsWithoutStallHint(t *testing.T) {
+	// A round that moves more than the whole window proves the sender
+	// overdrew it (the borrow rule), so the window must grow even when
+	// credit flowed back fast enough that the sender never blocked.
+	w := newWindowController(8<<10, 4<<10, 1<<20)
+	want := []int64{16 << 10, 32 << 10, 64 << 10}
+	for i, exp := range want {
+		if got := w.Observe(64<<10, false); got != exp {
+			t.Fatalf("oversized round %d: window=%d, want %d", i, got, exp)
+		}
+	}
+	// Once the window covers the round volume the growth stops: 64 KiB
+	// rounds in a 64 KiB window are neither oversized nor idle.
+	for i := 0; i < 5; i++ {
+		if got := w.Observe(64<<10, false); got != 64<<10 {
+			t.Fatalf("covered round %d: window=%d, want steady %d", i, got, 64<<10)
+		}
+	}
+}
+
+func TestWindowShrinksAfterConsecutiveIdleRounds(t *testing.T) {
+	// 4 MiB window, 100 KiB rounds: mostly idle. Two idle rounds must
+	// not move the window; the third halves it.
+	w := newWindowController(4<<20, 16<<10, 64<<20)
+	const round = 100 << 10
+	if got := w.Observe(round, false); got != 4<<20 {
+		t.Fatalf("idle 1: window=%d, want unchanged", got)
+	}
+	if got := w.Observe(round, false); got != 4<<20 {
+		t.Fatalf("idle 2: window=%d, want unchanged", got)
+	}
+	if got := w.Observe(round, false); got != 2<<20 {
+		t.Fatalf("idle 3: window=%d, want halved to %d", got, 2<<20)
+	}
+}
+
+func TestWindowConvergesToTwiceRoundVolume(t *testing.T) {
+	// Repeated idle rounds halve the window until it lands on twice the
+	// round volume, where the idle test (bytes*2 < window) stops
+	// firing and the window holds.
+	w := newWindowController(4<<20, 16<<10, 64<<20)
+	const round = 100 << 10
+	var last int64
+	for i := 0; i < 60; i++ {
+		last = w.Observe(round, false)
+	}
+	if last != 2*round {
+		t.Fatalf("converged window=%d, want %d (2x round volume)", last, 2*round)
+	}
+	for i := 0; i < 9; i++ {
+		if got := w.Observe(round, false); got != 2*round {
+			t.Fatalf("stable round %d: window=%d, want %d", i, got, 2*round)
+		}
+	}
+}
+
+func TestWindowShrinkFlooredAtMin(t *testing.T) {
+	// Zero-volume rounds (an idle connection) decay the window all the
+	// way to the configured minimum and no further.
+	w := newWindowController(1<<20, 64<<10, 64<<20)
+	var last int64
+	for i := 0; i < 30; i++ {
+		last = w.Observe(0, false)
+	}
+	if last != 64<<10 {
+		t.Fatalf("idle decay ended at %d, want min %d", last, 64<<10)
+	}
+}
+
+func TestWindowBusyRoundResetsIdleCount(t *testing.T) {
+	// idle, idle, busy, idle, idle: never three in a row, so no shrink.
+	w := newWindowController(1<<20, 16<<10, 64<<20)
+	seq := []int64{10 << 10, 10 << 10, 512 << 10, 10 << 10, 10 << 10}
+	for i, n := range seq {
+		if got := w.Observe(n, false); got != 1<<20 {
+			t.Fatalf("round %d (%d bytes): window=%d, want unchanged", i, n, got)
+		}
+	}
+	// ...but the next idle round is the third consecutive one.
+	if got := w.Observe(10<<10, false); got != 512<<10 {
+		t.Fatalf("third consecutive idle round: window=%d, want halved", got)
+	}
+}
+
+func TestWindowStallResetsIdleCountAndRedoubles(t *testing.T) {
+	// A stall between idle rounds both grows the window and clears the
+	// idle streak: shrink needs three fresh idle rounds afterwards.
+	w := newWindowController(256<<10, 16<<10, 64<<20)
+	w.Observe(8<<10, false)
+	w.Observe(8<<10, false)
+	if got := w.Observe(8<<10, true); got != 512<<10 {
+		t.Fatalf("stall after idle streak: window=%d, want doubled", got)
+	}
+	w.Observe(8<<10, false)
+	if got := w.Observe(8<<10, false); got != 512<<10 {
+		t.Fatalf("second idle round after stall: window=%d, want unchanged", got)
+	}
+	if got := w.Observe(8<<10, false); got != 256<<10 {
+		t.Fatalf("third idle round after stall: window=%d, want halved", got)
+	}
+}
+
+func TestWindowGrowThenShrinkRecyclesHeadroom(t *testing.T) {
+	// A hot phase grows the window out of repeated stalls; when the
+	// workload cools to small rounds, the shrink path releases the
+	// headroom down to twice the cold round volume.
+	w := newWindowController(64<<10, 16<<10, 8<<20)
+	for i := 0; i < 10; i++ {
+		w.Observe(1<<20, true)
+	}
+	if w.window != 8<<20 {
+		t.Fatalf("hot phase ended at window=%d, want max %d", w.window, 8<<20)
+	}
+	const cold = 32 << 10
+	var last int64
+	for i := 0; i < 60; i++ {
+		last = w.Observe(cold, false)
+	}
+	if last != 2*cold {
+		t.Fatalf("cold phase converged to %d, want %d", last, 2*cold)
+	}
+}
+
+func TestWindowInitialClampedIntoBounds(t *testing.T) {
+	if w := newWindowController(1<<10, 64<<10, 1<<20); w.window != 64<<10 {
+		t.Fatalf("initial below min: window=%d, want %d", w.window, 64<<10)
+	}
+	if w := newWindowController(16<<20, 64<<10, 1<<20); w.window != 1<<20 {
+		t.Fatalf("initial above max: window=%d, want %d", w.window, 1<<20)
+	}
+}

@@ -82,11 +82,64 @@ func FuzzWireHeader(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if kind < kHello || kind > kCredit {
+		if kind < kHello || kind > kPromote {
 			t.Fatalf("accepted unknown kind %d", kind)
 		}
 		if n < 0 || n > maxPayload {
 			t.Fatalf("accepted payload length %d", n)
+		}
+	})
+}
+
+// A window-resize frame arrives from the remote peer mid-run and is fed
+// straight into the sender's credit arithmetic: arbitrary payloads must
+// decode to an error or a window in (0, maxPayload], never to a value
+// that would wedge or overflow the sender, and every valid window must
+// survive a round trip exactly.
+func FuzzResizeFrame(f *testing.F) {
+	f.Add(encodeResize(DefaultWindowBytes))
+	f.Add(encodeResize(DefaultWindowMin))
+	f.Add(encodeResize(1))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := decodeResize(data)
+		if err != nil {
+			return
+		}
+		if w <= 0 || w > maxPayload {
+			t.Fatalf("accepted out-of-range window %d", w)
+		}
+		again, err := decodeResize(encodeResize(w))
+		if err != nil || again != w {
+			t.Fatalf("resize round trip changed %d -> (%d, %v)", w, again, err)
+		}
+	})
+}
+
+// A promotion request crosses two trust boundaries (worker -> hub ->
+// worker): arbitrary payloads must decode to an error or a worker range
+// that satisfies the directory invariants, and valid requests must
+// round-trip exactly.
+func FuzzPromotionFrame(f *testing.F) {
+	f.Add(encodePromote(0, 0, 0))
+	f.Add(encodePromote(2, 3, DefaultPromoteBytes))
+	f.Add(encodePromote(100, 200, 1<<40))
+	f.Add([]byte{})
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lo, hi, relayed, err := decodePromote(data)
+		if err != nil {
+			return
+		}
+		if lo < 0 || hi < lo || hi >= maxDirectoryPeers || relayed < 0 {
+			t.Fatalf("accepted invalid promotion (lo=%d hi=%d relayed=%d)", lo, hi, relayed)
+		}
+		l2, h2, r2, err := decodePromote(encodePromote(lo, hi, relayed))
+		if err != nil || l2 != lo || h2 != hi || r2 != relayed {
+			t.Fatalf("promotion round trip changed (%d,%d,%d) -> (%d,%d,%d,%v)",
+				lo, hi, relayed, l2, h2, r2, err)
 		}
 	})
 }

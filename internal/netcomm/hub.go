@@ -221,7 +221,7 @@ func (h *Hub) pump(hc *hubConn) error {
 			if target == nil {
 				return fmt.Errorf("frame for unjoined worker %d", dst)
 			}
-			err := h.forward(target, a, b, frame)
+			err := h.forward(target, kFrame, a, b, frame)
 			hc.relayBytes.Add(int64(n))
 			hc.relayFrames.Add(1)
 			hc.residencyNS.Add(int64(time.Since(t0)))
@@ -230,13 +230,59 @@ func (h *Hub) pump(hc *hubConn) error {
 				// failure, not the sender's. Record it (first failure
 				// wins) and abort; keep pumping the sender so its own
 				// result still gets through.
-				h.mu.Lock()
-				if !h.aborted {
-					h.errs = append(h.errs,
-						fmt.Errorf("%w: workers %d-%d: %v", ErrWorkerLost, target.lo, target.hi, err))
-				}
-				h.abortLocked(fmt.Sprintf("workers %d-%d: frame delivery failed", target.lo, target.hi))
-				h.mu.Unlock()
+				h.targetLost(target, err)
+			}
+		case kDone:
+			// A lazy-mesh round marker for a pair still on the relay:
+			// forward to the process hosting worker range b. It follows
+			// the round's relayed frames on both the inbound stream
+			// (sender wrote frames first) and the outbound one (the
+			// frames were forwarded above before this marker was read),
+			// so the destination observes frames-then-done exactly as on
+			// a direct connection.
+			if n != 0 {
+				return fmt.Errorf("bad done marker payload length %d", n)
+			}
+			src, dst := int(a), int(b)
+			if src < hc.lo || src > hc.hi || dst >= h.m {
+				return fmt.Errorf("bad done marker route %d->%d", src, dst)
+			}
+			h.mu.Lock()
+			target := h.hosts[dst]
+			h.mu.Unlock()
+			if target == nil {
+				return fmt.Errorf("done marker for unjoined worker %d", dst)
+			}
+			if err := h.forward(target, kDone, a, b, nil); err != nil {
+				h.targetLost(target, err)
+			}
+		case kPromote:
+			// A mesh-promotion request from the higher-range side of a
+			// relayed pair, forwarded to the lower-range side (worker
+			// range start b), which owns the dial.
+			p := make([]byte, n)
+			if _, err := io.ReadFull(hc.conn, p); err != nil {
+				return err
+			}
+			plo, phi, _, err := decodePromote(p)
+			if err != nil {
+				return err
+			}
+			if plo != hc.lo || phi != hc.hi {
+				return fmt.Errorf("promotion request claims workers %d-%d from connection %d-%d", plo, phi, hc.lo, hc.hi)
+			}
+			dst := int(b)
+			if dst >= h.m {
+				return fmt.Errorf("bad promotion target %d", dst)
+			}
+			h.mu.Lock()
+			target := h.hosts[dst]
+			h.mu.Unlock()
+			if target == nil {
+				return fmt.Errorf("promotion request for unjoined worker %d", dst)
+			}
+			if err := h.forward(target, kPromote, a, b, p); err != nil {
+				h.targetLost(target, err)
 			}
 		case kFlush:
 			if n != 16 {
@@ -401,11 +447,24 @@ func (h *Hub) DataBytes() int64 {
 	return h.dataBytes
 }
 
-// forward relays one staged frame to dst's connection.
-func (h *Hub) forward(to *hubConn, a, b uint16, payload []byte) error {
+// forward relays one staged message to a worker connection.
+func (h *Hub) forward(to *hubConn, kind uint8, a, b uint16, payload []byte) error {
 	to.wmu.Lock()
 	defer to.wmu.Unlock()
-	return writeMsg(to.conn, kFrame, a, b, payload)
+	return writeMsg(to.conn, kind, a, b, payload)
+}
+
+// targetLost records a failed forward: the destination's connection is
+// broken — that worker's failure, not the sender's. First failure wins;
+// the job aborts either way.
+func (h *Hub) targetLost(target *hubConn, err error) {
+	h.mu.Lock()
+	if !h.aborted {
+		h.errs = append(h.errs,
+			fmt.Errorf("%w: workers %d-%d: %v", ErrWorkerLost, target.lo, target.hi, err))
+	}
+	h.abortLocked(fmt.Sprintf("workers %d-%d: frame delivery failed", target.lo, target.hi))
+	h.mu.Unlock()
 }
 
 // arrive counts barrier arrivals; the M-th arrival releases the

@@ -68,6 +68,12 @@ const (
 
 	// Live telemetry (see Client.SendSamples / Hub.OnSamples).
 	kSamples = 13 // worker→hub: a,b = worker range, payload = encoded in-flight superstep samples
+
+	// The adaptive p2p plane (see p2p.go). kDone additionally travels
+	// worker→hub→worker on lazy meshes (a = src worker, b = the target
+	// process's range start) for pairs still routed through the relay.
+	kResize  = 14 // peer→peer: receiver-initiated window resize, payload = new window (8)
+	kPromote = 15 // worker→hub→worker: a = requester range start, b = target range start, payload = requester range + relayed volume
 )
 
 const headerLen = 9
@@ -99,7 +105,7 @@ func readHeader(r io.Reader) (kind uint8, a, b uint16, n int, err error) {
 	a = binary.LittleEndian.Uint16(hdr[1:])
 	b = binary.LittleEndian.Uint16(hdr[3:])
 	n = int(binary.LittleEndian.Uint32(hdr[5:]))
-	if kind < kHello || kind > kSamples {
+	if kind < kHello || kind > kPromote {
 		return 0, 0, 0, 0, fmt.Errorf("netcomm: unknown message kind %d", kind)
 	}
 	if n > maxPayload {
@@ -117,9 +123,13 @@ type Client struct {
 	conn   net.Conn
 	wmu    sync.Mutex // serializes writes from worker goroutines + reader acks
 
-	window int64          // p2p receive window per peer connection
-	mesh   *mesh          // non-nil iff the data plane is p2p
-	flows  *obs.FlowAccum // optional flow matrix, fed at the flush seam
+	window       int64          // p2p initial receive window per peer connection
+	adaptive     bool           // p2p-adaptive: lazy mesh + AIMD-tuned windows
+	winMin       int64          // adaptive window lower bound
+	winMax       int64          // adaptive window upper bound
+	promoteBytes int64          // relayed volume that promotes a lazy pair to a direct conn
+	mesh         *mesh          // non-nil iff the data plane is p2p or p2p-adaptive
+	flows        *obs.FlowAccum // optional flow matrix, fed at the flush seam
 
 	bar *wireBarrier
 	eps []*clientEndpoint
@@ -144,12 +154,25 @@ type Config struct {
 	// DataPlane selects how round frames travel: DataPlaneHub (the
 	// default for "") relays them through the coordinator, DataPlaneP2P
 	// sends them over a direct worker mesh with credit-based flow
-	// control. Every process of a job must pick the same plane.
+	// control, DataPlaneP2PAdaptive additionally dials the mesh lazily
+	// and auto-tunes each window. Every process of a job must pick the
+	// same plane.
 	DataPlane string
 	// WindowBytes is the p2p receive window granted per peer connection
 	// (zero selects DefaultWindowBytes). A sender blocks in Flush once
-	// it has this many bytes un-consumed at one receiver.
+	// it has this many bytes un-consumed at one receiver. On the
+	// adaptive plane it is only the initial window, clamped into
+	// [WindowMin, WindowMax].
 	WindowBytes int
+	// WindowMin and WindowMax bound the adaptive plane's per-connection
+	// window tuning (zero selects DefaultWindowMin/DefaultWindowMax).
+	// Ignored on the other planes.
+	WindowMin, WindowMax int
+	// PromoteBytes is the cumulative hub-relayed volume toward one
+	// process at which the adaptive plane promotes the pair to a direct
+	// connection (zero selects DefaultPromoteBytes). Ignored on the
+	// other planes.
+	PromoteBytes int
 	// MeshTimeout bounds the p2p mesh establishment during dial (zero
 	// selects 30s).
 	MeshTimeout time.Duration
@@ -180,7 +203,7 @@ func DialConfig(cfg Config) (*Client, error) {
 	if plane == "" {
 		plane = DataPlaneHub
 	}
-	if plane != DataPlaneHub && plane != DataPlaneP2P {
+	if plane != DataPlaneHub && plane != DataPlaneP2P && plane != DataPlaneP2PAdaptive {
 		return nil, fmt.Errorf("netcomm: unknown data plane %q", cfg.DataPlane)
 	}
 	conn, err := net.Dial(cfg.Network, cfg.Addr)
@@ -208,10 +231,37 @@ func DialConfig(cfg Config) (*Client, error) {
 		}
 		c.eps[i] = ep
 	}
-	if plane == DataPlaneP2P {
+	if plane == DataPlaneP2P || plane == DataPlaneP2PAdaptive {
 		c.window = int64(cfg.WindowBytes)
 		if c.window <= 0 {
 			c.window = DefaultWindowBytes
+		}
+		if plane == DataPlaneP2PAdaptive {
+			c.adaptive = true
+			c.winMin = int64(cfg.WindowMin)
+			if c.winMin <= 0 {
+				c.winMin = DefaultWindowMin
+			}
+			c.winMax = int64(cfg.WindowMax)
+			if c.winMax <= 0 {
+				c.winMax = DefaultWindowMax
+			}
+			if c.winMin > c.winMax {
+				conn.Close()
+				return nil, fmt.Errorf("netcomm: window bounds inverted (min %d > max %d)", c.winMin, c.winMax)
+			}
+			c.promoteBytes = int64(cfg.PromoteBytes)
+			if c.promoteBytes <= 0 {
+				c.promoteBytes = DefaultPromoteBytes
+			}
+			// WindowBytes is only the starting point; the controller
+			// never leaves [winMin, winMax], so neither may the seed.
+			if c.window < c.winMin {
+				c.window = c.winMin
+			}
+			if c.window > c.winMax {
+				c.window = c.winMax
+			}
 		}
 		timeout := cfg.MeshTimeout
 		if timeout <= 0 {
@@ -326,6 +376,46 @@ func (c *Client) readLoop() {
 				return
 			}
 			c.mesh.connect(dir)
+		case kDone:
+			// A lazy-mesh sender's round marker, relayed by the hub for a
+			// pair without a direct connection. The hub forwards it after
+			// the round's relayed frames (same streams on both hops), so
+			// the round-counter bump below observes them staged.
+			if c.mesh == nil || !c.adaptive || n != 0 {
+				c.fail(fmt.Errorf("netcomm: unexpected relayed done marker (a=%d n=%d)", a, n))
+				return
+			}
+			src := int(a)
+			if src >= c.m || (src >= c.lo && src <= c.hi) {
+				c.fail(fmt.Errorf("netcomm: relayed done marker for worker %d", src))
+				return
+			}
+			c.mesh.bumpDone(src)
+		case kPromote:
+			// A peer with a higher range start relayed enough volume at us
+			// to warrant a direct connection; the dialing rule says the
+			// lower side dials, so that's us. Only the requester's identity
+			// is trusted from the frame — its address comes from the hub's
+			// vetted directory.
+			if c.mesh == nil || !c.adaptive {
+				c.fail(fmt.Errorf("netcomm: promotion request on a non-adaptive client"))
+				return
+			}
+			p := make([]byte, n)
+			if _, err := io.ReadFull(c.conn, p); err != nil {
+				c.fail(fmt.Errorf("netcomm: truncated promotion request: %w", err))
+				return
+			}
+			lo, hi, _, err := decodePromote(p)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			if lo != int(a) {
+				c.fail(fmt.Errorf("netcomm: promotion request range %d-%d contradicts header %d", lo, hi, a))
+				return
+			}
+			c.mesh.promoteRequested(lo, hi)
 		case kAbort:
 			reason := make([]byte, n)
 			io.ReadFull(c.conn, reason)
@@ -355,30 +445,54 @@ func (c *Client) SendSamples(payload []byte) error {
 
 // ConnStats reports the flow-control behaviour of this process's p2p
 // peer connections over the run so far: outbound volume, cumulative
-// credit-stall time, and credit-grant latency while a sender was
-// blocked. Nil on the hub plane, which has no such machinery.
+// credit-stall time, credit-grant latency while a sender was blocked,
+// and — on the adaptive plane — the window trajectory (resizes, peak,
+// granted receive window) plus the hub-relayed share of each pair's
+// traffic. Lazy pairs that never earned a direct connection appear as
+// relay-only rows (Window zero). Nil on the hub plane, which has no
+// such machinery.
 func (c *Client) ConnStats() []obs.ConnStat {
 	if c.mesh == nil {
 		return nil
 	}
-	c.mesh.mu.Lock()
-	conns := append([]*peerConn(nil), c.mesh.conns...)
-	c.mesh.mu.Unlock()
-	out := make([]obs.ConnStat, 0, len(conns))
+	m := c.mesh
+	m.mu.Lock()
+	conns := append([]*peerConn(nil), m.conns...)
+	routes := append([]*meshRoute(nil), m.routes...)
+	relayed := make(map[*peerConn][2]int64, len(routes))
+	var relayOnly []obs.ConnStat
+	for _, rt := range routes {
+		pc := m.peers[rt.p.lo]
+		switch {
+		case pc != nil:
+			relayed[pc] = [2]int64{rt.relayBytes, rt.relayFrames}
+		case rt.relayFrames > 0:
+			relayOnly = append(relayOnly, obs.ConnStat{
+				LocalLo: c.lo, LocalHi: c.hi + 1,
+				PeerLo: rt.p.lo, PeerHi: rt.p.hi + 1,
+				RelayBytes: rt.relayBytes, RelayFrames: rt.relayFrames,
+			})
+		}
+	}
+	m.mu.Unlock()
+	out := make([]obs.ConnStat, 0, len(conns)+len(relayOnly))
 	for _, pc := range conns {
+		rb := relayed[pc]
 		pc.mu.Lock()
 		out = append(out, obs.ConnStat{
 			LocalLo: c.lo, LocalHi: c.hi + 1,
 			PeerLo: pc.lo, PeerHi: pc.hi + 1,
-			Window: pc.window,
-			Bytes:  pc.sentBytes, Frames: pc.sentFrames,
+			Window: pc.window, RecvWindow: pc.recvWindow,
+			WindowPeak: pc.windowPeak, Resizes: pc.resizes,
+			Bytes: pc.sentBytes, Frames: pc.sentFrames,
+			RelayBytes: rb[0], RelayFrames: rb[1],
 			StallNS:     pc.stallNS,
 			GrantWaitNS: pc.grantWaitNS,
 			Grants:      pc.grants,
 		})
 		pc.mu.Unlock()
 	}
-	return out
+	return append(out, relayOnly...)
 }
 
 // Err returns the transport-level abort root cause this client

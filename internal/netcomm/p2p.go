@@ -53,6 +53,12 @@ const (
 	// DataPlaneP2P sends frames over a direct worker↔worker mesh with
 	// credit-based flow control; only control traffic touches the hub.
 	DataPlaneP2P = "p2p"
+	// DataPlaneP2PAdaptive is the self-sizing p2p plane: the mesh is
+	// dialed lazily (cold pairs ride the hub relay until their volume
+	// earns a promotion to a direct connection) and each connection's
+	// credit window is tuned per round between Config.WindowMin and
+	// Config.WindowMax from observed round volume and sender stalls.
+	DataPlaneP2PAdaptive = "p2p-adaptive"
 )
 
 // ErrPeerLost marks errors caused by a peer's data connection dying
@@ -71,9 +77,46 @@ var ErrPeerLost = errors.New("netcomm: peer connection lost")
 // the memory a straggling receiver can pin per peer.
 const DefaultWindowBytes = 4 << 20
 
+// DefaultPromoteBytes is the cumulative relayed volume toward one
+// process at which the adaptive plane promotes the pair from the hub
+// relay to a direct connection when Config.PromoteBytes is zero. A few
+// round trips' worth: one burst should not pay a dial, a steady flow
+// should pay it early.
+const DefaultPromoteBytes = 256 << 10
+
 // defaultMeshTimeout bounds how long DialConfig waits for the peer
 // directory and the full mesh before giving up.
 const defaultMeshTimeout = 30 * time.Second
+
+// ValidatePlaneConfig rejects data-plane flag combinations that would
+// otherwise surface as a silently defaulted window or a deadlocked
+// mesh: an unknown plane name, a non-positive window or bound, or
+// inverted bounds. graphd and graphworker both run it at startup so a
+// bad flag dies with a clear error in the process that was given it.
+func ValidatePlaneConfig(plane string, windowBytes, windowMin, windowMax, promoteBytes int) error {
+	switch plane {
+	case DataPlaneHub, DataPlaneP2P, DataPlaneP2PAdaptive:
+	default:
+		return fmt.Errorf("unknown -data-plane %q (want %s, %s or %s)",
+			plane, DataPlaneHub, DataPlaneP2P, DataPlaneP2PAdaptive)
+	}
+	if windowBytes <= 0 {
+		return fmt.Errorf("-window-bytes must be positive, got %d", windowBytes)
+	}
+	if windowMin <= 0 {
+		return fmt.Errorf("-window-min must be positive, got %d", windowMin)
+	}
+	if windowMax <= 0 {
+		return fmt.Errorf("-window-max must be positive, got %d", windowMax)
+	}
+	if windowMin > windowMax {
+		return fmt.Errorf("-window-min %d exceeds -window-max %d", windowMin, windowMax)
+	}
+	if promoteBytes <= 0 {
+		return fmt.Errorf("-promote-bytes must be positive, got %d", promoteBytes)
+	}
+	return nil
+}
 
 // maxDirectoryPeers bounds the process count a peer directory may
 // declare; a directory claiming more is corrupt.
@@ -126,6 +169,63 @@ func decodeListen(p []byte) (network, addr string, err error) {
 		return "", "", fmt.Errorf("netcomm: %d trailing bytes in listen announcement", b.Remaining())
 	}
 	return network, addr, nil
+}
+
+// encodeResize encodes a kResize payload: the window the receiver now
+// grants the remote sender.
+func encodeResize(window int64) []byte {
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], uint64(window))
+	return p[:]
+}
+
+// decodeResize decodes and validates a kResize payload. The window
+// crosses a process boundary and feeds straight into the sender's
+// credit arithmetic, so a non-positive or absurd value must come back
+// as an error, never be applied.
+func decodeResize(p []byte) (int64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("netcomm: bad resize payload length %d", len(p))
+	}
+	w := int64(binary.LittleEndian.Uint64(p))
+	if w <= 0 || w > maxPayload {
+		return 0, fmt.Errorf("netcomm: bad resize window %d", w)
+	}
+	return w, nil
+}
+
+// encodePromote encodes a kPromote payload: the requesting process's
+// hosted range and the relayed volume that triggered the request (the
+// latter is diagnostic only).
+func encodePromote(lo, hi int, relayed int64) []byte {
+	b := ser.NewBuffer(16)
+	b.WriteUvarint(uint64(lo))
+	b.WriteUvarint(uint64(hi))
+	b.WriteUvarint(uint64(relayed))
+	return b.Bytes()
+}
+
+// decodePromote decodes a kPromote payload. Only the range identifies
+// the requester — and even that is cross-checked against the peer
+// directory before any dial — so validation here is shape-level: a
+// sane range, a non-negative volume, no trailing bytes, no panic.
+func decodePromote(p []byte) (lo, hi int, relayed int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			lo, hi, relayed, err = 0, 0, 0, fmt.Errorf("netcomm: corrupt promotion request: %v", r)
+		}
+	}()
+	b := ser.FromBytes(p)
+	lo = int(b.ReadUvarint())
+	hi = int(b.ReadUvarint())
+	relayed = int64(b.ReadUvarint())
+	if lo < 0 || hi < lo || hi >= maxDirectoryPeers || relayed < 0 {
+		return 0, 0, 0, fmt.Errorf("netcomm: bad promotion request range %d-%d (%d bytes relayed)", lo, hi, relayed)
+	}
+	if b.Remaining() != 0 {
+		return 0, 0, 0, fmt.Errorf("netcomm: %d trailing bytes in promotion request", b.Remaining())
+	}
+	return lo, hi, relayed, nil
 }
 
 // encodePeerDirectory encodes a kPeers payload: the directory of every
@@ -184,8 +284,8 @@ func decodePeerDirectory(p []byte, m int) (peers []peerInfo, err error) {
 type mesh struct {
 	c       *Client
 	ln      net.Listener
-	sockDir string        // temp dir of the unix data socket, "" for tcp
-	advNet  string        // advertised listener endpoint
+	sockDir string // temp dir of the unix data socket, "" for tcp
+	advNet  string // advertised listener endpoint
 	advAddr string
 	timeout time.Duration // bounds mesh establishment and each peer dial
 
@@ -197,6 +297,39 @@ type mesh struct {
 	conns   []*peerConn // every established peer connection
 	expect  int         // remote processes expected; -1 until the directory arrives
 	doneSeq []uint64    // per src worker id: rounds fully staged locally
+
+	// Adaptive (lazy) mesh state, nil/empty on the static plane. routes
+	// holds one entry per remote process in directory order; routeIdx
+	// maps a worker id to its process's routes index (-1 for locally
+	// hosted ids). latch[local worker][route] pins the route a worker's
+	// frames took this round (latchRelay/latchDirect) so its DONE marker
+	// follows the same streams even if the pair is promoted mid-round;
+	// finishRound consumes and clears it. Each latch row is only ever
+	// touched by its own worker's Flush goroutine, but rows live under
+	// m.mu because deliver reads the peers table in the same breath.
+	routes   []*meshRoute
+	routeIdx []int
+	latch    [][]int8
+}
+
+// Latch states for mesh.latch.
+const (
+	latchNone   = int8(0)
+	latchRelay  = int8(1)
+	latchDirect = int8(2)
+)
+
+// meshRoute is the adaptive mesh's view of one remote process: whether
+// a direct connection exists yet, whether a promotion has been
+// attempted, and how much traffic the pair has pushed through the hub
+// relay while cold. All fields are guarded by mesh.mu.
+type meshRoute struct {
+	p           peerInfo
+	direct      bool // a direct connection is installed in mesh.peers
+	dialing     bool // a promotion dial was attempted (never retried)
+	promoteSent bool // kPromote asked the lower-range side to dial us
+	relayBytes  int64
+	relayFrames int64
 }
 
 // newMesh opens the data-plane listener. For tcp the listener binds the
@@ -289,19 +422,47 @@ func (m *mesh) registerInbound(conn net.Conn, lo, hi int) {
 	m.register(conn, lo, hi, true)
 }
 
-// connect processes the peer directory: this process dials every peer
-// with a higher range start (the peer with the lower start accepts), so
-// each process pair ends up with exactly one shared connection.
+// connect processes the peer directory. On the static plane this
+// process dials every peer with a higher range start (the peer with
+// the lower start accepts), so each process pair ends up with exactly
+// one shared connection. On the adaptive plane nothing is dialed:
+// routes start on the hub relay and await() is satisfied by the
+// directory alone — connections appear later, per pair, when relayed
+// volume earns a promotion.
 func (m *mesh) connect(dir []peerInfo) {
 	c := m.c
+	m.mu.Lock()
+	m.dir = dir
+	if c.adaptive {
+		m.routeIdx = make([]int, c.m)
+		for i := range m.routeIdx {
+			m.routeIdx[i] = -1
+		}
+		for _, p := range dir {
+			if p.lo == c.lo {
+				continue
+			}
+			ri := len(m.routes)
+			m.routes = append(m.routes, &meshRoute{p: p})
+			for w := p.lo; w <= p.hi; w++ {
+				m.routeIdx[w] = ri
+			}
+		}
+		m.latch = make([][]int8, c.hi-c.lo+1)
+		for i := range m.latch {
+			m.latch[i] = make([]int8, len(m.routes))
+		}
+		m.expect = 0
+		m.cond.Broadcast()
+		m.mu.Unlock()
+		return
+	}
 	remote := 0
 	for _, p := range dir {
 		if p.lo != c.lo {
 			remote++
 		}
 	}
-	m.mu.Lock()
-	m.dir = dir
 	m.expect = remote
 	m.cond.Broadcast()
 	m.mu.Unlock()
@@ -309,25 +470,67 @@ func (m *mesh) connect(dir []peerInfo) {
 		if p.lo <= c.lo {
 			continue
 		}
-		go func(p peerInfo) {
-			// The dial carries its own deadline: the OS connect timeout
-			// to a black-holed address can run minutes past the mesh
-			// timeout, and await() giving up must not leave a dial
-			// goroutine hanging indefinitely behind it.
-			d := net.Dialer{Timeout: m.timeout}
-			conn, err := d.Dial(p.network, p.addr)
-			if err != nil {
-				c.fail(fmt.Errorf("netcomm: dial peer %d-%d at %s: %w", p.lo, p.hi, p.addr, err))
-				return
-			}
-			if err := writeMsg(conn, kHello, uint16(c.lo), uint16(c.hi), nil); err != nil {
-				conn.Close()
-				c.fail(fmt.Errorf("netcomm: peer hello %d-%d: %w", p.lo, p.hi, err))
-				return
-			}
-			m.register(conn, p.lo, p.hi, false)
-		}(p)
+		go m.dialPeer(p, true)
 	}
+}
+
+// dialPeer establishes the direct connection to one higher-range peer
+// (this side is the dialer by the lower-dials rule). must selects the
+// failure policy: a mesh-establishment dial failure fails the client —
+// the static mesh cannot exist without it — while a promotion dial
+// failure only leaves the pair on the hub relay it was already using.
+func (m *mesh) dialPeer(p peerInfo, must bool) {
+	c := m.c
+	// The dial carries its own deadline: the OS connect timeout to a
+	// black-holed address can run minutes past the mesh timeout, and
+	// await() giving up must not leave a dial goroutine hanging
+	// indefinitely behind it.
+	d := net.Dialer{Timeout: m.timeout}
+	conn, err := d.Dial(p.network, p.addr)
+	if err != nil {
+		if must {
+			c.fail(fmt.Errorf("netcomm: dial peer %d-%d at %s: %w", p.lo, p.hi, p.addr, err))
+		}
+		return
+	}
+	if err := writeMsg(conn, kHello, uint16(c.lo), uint16(c.hi), nil); err != nil {
+		conn.Close()
+		if must {
+			c.fail(fmt.Errorf("netcomm: peer hello %d-%d: %w", p.lo, p.hi, err))
+		}
+		return
+	}
+	m.register(conn, p.lo, p.hi, false)
+}
+
+// promoteRequested handles a relayed kPromote: a peer with a higher
+// range start wants a direct connection and the dialing rule puts the
+// dial on this side. The requester's range is only trusted once it
+// matches the hub-vetted directory; the dial goes to the directory's
+// address for that range, never to anything frame-supplied.
+func (m *mesh) promoteRequested(lo, hi int) {
+	m.mu.Lock()
+	var p peerInfo
+	found := false
+	for _, e := range m.dir {
+		if e.lo == lo && e.hi == hi {
+			p, found = e, true
+			break
+		}
+	}
+	if !found || m.closed || lo <= m.c.lo {
+		m.mu.Unlock()
+		return
+	}
+	ri := m.routeIdx[lo]
+	rt := m.routes[ri]
+	if rt.direct || rt.dialing {
+		m.mu.Unlock()
+		return
+	}
+	rt.dialing = true
+	m.mu.Unlock()
+	go m.dialPeer(p, false)
 }
 
 // register installs one established peer connection and starts its
@@ -340,7 +543,9 @@ func (m *mesh) connect(dir []peerInfo) {
 // the real peer, and only the connection is dropped.
 func (m *mesh) register(conn net.Conn, lo, hi int, inbound bool) {
 	c := m.c
-	pc := &peerConn{conn: conn, lo: lo, hi: hi, window: c.window, avail: c.window}
+	pc := &peerConn{conn: conn, lo: lo, hi: hi,
+		window: c.window, avail: c.window,
+		recvWindow: c.window, windowPeak: c.window}
 	pc.cond = sync.NewCond(&pc.mu)
 	m.mu.Lock()
 	if m.closed {
@@ -362,14 +567,24 @@ func (m *mesh) register(conn net.Conn, lo, hi int, inbound bool) {
 		m.peers[w] = pc
 	}
 	m.conns = append(m.conns, pc)
+	if c.adaptive {
+		// The pair is promoted: delivers from the next round (or the
+		// next unlatched worker of this round) take the direct path.
+		rt := m.routes[m.routeIdx[lo]]
+		rt.direct = true
+		rt.dialing = true
+	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
 	go m.readPeer(pc)
 }
 
-// await blocks until the mesh is fully established (directory received,
-// every remote process connected) or the job aborts or the mesh
-// timeout passes.
+// await blocks until the mesh is established or the job aborts or the
+// mesh timeout passes. Static plane: directory received and every
+// remote process connected. Adaptive plane: the directory alone — the
+// hub relay is a valid route to every peer from the first round, and
+// connections accrue later via promotion (an early inbound promotion
+// racing this wait must not count against a connection total).
 func (m *mesh) await() error {
 	timeout := m.timeout
 	deadline := time.Now().Add(timeout)
@@ -382,7 +597,7 @@ func (m *mesh) await() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
-		if m.expect >= 0 && len(m.conns) == m.expect {
+		if m.expect >= 0 && (m.c.adaptive || len(m.conns) == m.expect) {
 			return nil
 		}
 		if m.c.bar.Aborted() {
@@ -417,6 +632,23 @@ func (m *mesh) readPeer(pc *peerConn) {
 		creditBatch = 1
 	}
 	var granted int64 // credit staged but not yet sent back
+	// Adaptive plane: this side owns the window it grants, so this loop
+	// also runs the controller. A sender round on this connection is
+	// one DONE per remote-hosted worker; the controller observes the
+	// bytes that accumulated across the round and whether any marker
+	// carried the sender's stall hint. (After a mid-round promotion a
+	// round's markers can split between relay and mesh, skewing one
+	// observation's byte attribution; the controller only feeds on
+	// ratios, and the split heals as soon as every worker latches
+	// direct.)
+	var ctl *windowController
+	if c.adaptive {
+		ctl = newWindowController(c.window, c.winMin, c.winMax)
+	}
+	senderWorkers := pc.hi - pc.lo + 1
+	var roundBytes int64
+	var roundDones int
+	var roundStalled bool
 	for {
 		kind, a, b, n, err := readHeader(pc.conn)
 		if err != nil {
@@ -439,6 +671,7 @@ func (m *mesh) readPeer(pc *peerConn) {
 				return
 			}
 			granted += int64(n)
+			roundBytes += int64(n)
 			if granted >= creditBatch {
 				if err := pc.sendCredit(granted); err != nil {
 					m.connLost(pc, fmt.Errorf("netcomm: send credit to workers %d-%d: %w", pc.lo, pc.hi, err))
@@ -468,6 +701,62 @@ func (m *mesh) readPeer(pc *peerConn) {
 				}
 				granted = 0
 			}
+			if ctl != nil {
+				roundStalled = roundStalled || b == 1
+				if roundDones++; roundDones >= senderWorkers {
+					next := ctl.Observe(roundBytes, roundStalled)
+					roundBytes, roundDones, roundStalled = 0, 0, false
+					pc.mu.Lock()
+					cur := pc.recvWindow
+					if next != cur && !pc.closed {
+						pc.recvWindow = next
+						pc.resizes++
+					}
+					pc.mu.Unlock()
+					if next != cur {
+						// Tell the sender before recomputing the grant
+						// batch: the resize travels the same stream as
+						// the credits, so the sender sees a consistent
+						// (window, credit) sequence.
+						if err := pc.sendResize(next); err != nil {
+							m.connLost(pc, fmt.Errorf("netcomm: send window resize to workers %d-%d: %w", pc.lo, pc.hi, err))
+							return
+						}
+						if creditBatch = next / 4; creditBatch < 1 {
+							creditBatch = 1
+						}
+					}
+				}
+			}
+		case kResize:
+			p := make([]byte, n)
+			if _, err := io.ReadFull(pc.conn, p); err != nil {
+				m.connLost(pc, fmt.Errorf("netcomm: resize from workers %d-%d truncated: %w", pc.lo, pc.hi, err))
+				return
+			}
+			next, err := decodeResize(p)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			// The remote receiver retargeted our send window. Preserve
+			// the bytes currently in flight: avail moves by the same
+			// delta as the window, so (window - avail) — what the
+			// windowOutstanding gauge and die()'s reconciliation track —
+			// is untouched. A shrink below the outstanding volume just
+			// leaves avail negative until credits catch up, the same
+			// arithmetic the oversized-frame borrow already exercises.
+			pc.mu.Lock()
+			if !pc.closed {
+				pc.avail += next - pc.window
+				pc.window = next
+				if next > pc.windowPeak {
+					pc.windowPeak = next
+				}
+				pc.resizes++
+				pc.cond.Broadcast()
+			}
+			pc.mu.Unlock()
 		case kCredit:
 			if n != 8 {
 				c.fail(fmt.Errorf("netcomm: bad credit payload length %d", n))
@@ -519,13 +808,17 @@ func (m *mesh) connLost(pc *peerConn, err error) {
 
 // deliver routes one round frame from a local src worker to dst:
 // co-hosted destinations are staged in-process, remote ones go over the
-// peer connection under its credit window. The returned stall is the
-// time spent blocked on exhausted credit.
+// peer connection under its credit window — or, on the adaptive plane,
+// through the hub relay while the pair is still cold. The returned
+// stall is the time spent blocked on exhausted credit.
 func (m *mesh) deliver(src, dst int, payload []byte) (time.Duration, error) {
 	c := m.c
 	if dst >= c.lo && dst <= c.hi {
 		c.eps[dst-c.lo].stage(src, payload)
 		return 0, nil
+	}
+	if c.adaptive {
+		return m.deliverLazy(src, dst, payload)
 	}
 	m.mu.Lock()
 	pc := m.peers[dst]
@@ -536,21 +829,123 @@ func (m *mesh) deliver(src, dst int, payload []byte) (time.Duration, error) {
 	return pc.sendData(m, src, dst, payload)
 }
 
-// finishRound marks one local worker's round complete: a DONE marker on
-// every peer connection (after that worker's frames, same streams), and
-// the local counter for co-hosted readers.
-func (m *mesh) finishRound(src int) error {
+// deliverLazy routes one frame on the adaptive plane. The first frame
+// a worker sends toward a process this round latches the route —
+// direct if a connection exists at that instant, hub relay otherwise —
+// so the worker's whole round, DONE marker included, travels one set
+// of streams even if the pair is promoted underneath it. Relay volume
+// is what earns the promotion: once a pair's cumulative relayed bytes
+// cross the threshold, the lower-range side dials (directly, or after
+// a kPromote relayed from the higher side) exactly once.
+func (m *mesh) deliverLazy(src, dst int, payload []byte) (time.Duration, error) {
+	c := m.c
 	m.mu.Lock()
-	conns := append([]*peerConn(nil), m.conns...)
+	ri := m.routeIdx[dst]
+	if ri < 0 {
+		m.mu.Unlock()
+		return 0, fmt.Errorf("netcomm: no mesh route to worker %d", dst)
+	}
+	rt := m.routes[ri]
+	li := src - c.lo
+	lt := m.latch[li][ri]
+	if lt == latchNone {
+		lt = latchRelay
+		if m.peers[dst] != nil {
+			lt = latchDirect
+		}
+		m.latch[li][ri] = lt
+	}
+	if lt == latchDirect {
+		pc := m.peers[dst]
+		m.mu.Unlock()
+		return pc.sendData(m, src, dst, payload)
+	}
 	m.mu.Unlock()
-	for _, pc := range conns {
-		pc.wmu.Lock()
-		err := writeMsg(pc.conn, kDone, uint16(src), 0, nil)
-		pc.wmu.Unlock()
-		if err != nil {
-			err = fmt.Errorf("netcomm: peer connection to workers %d-%d lost: %w", pc.lo, pc.hi, err)
-			m.connLost(pc, err)
-			return fmt.Errorf("netcomm: send done to workers %d-%d: %w", pc.lo, pc.hi, err)
+	// Relay through the hub: the same kFrame the hub plane uses, staged
+	// by the destination's hub read loop. No credit window applies —
+	// the hub absorbs the rate mismatch exactly as it does for every
+	// hub-plane job — so a cold pair costs no standing receive memory.
+	if err := c.send(kFrame, uint16(src), uint16(dst), payload); err != nil {
+		return 0, fmt.Errorf("netcomm: relay data frame %d->%d: %w", src, dst, err)
+	}
+	m.mu.Lock()
+	rt.relayBytes += int64(len(payload))
+	rt.relayFrames++
+	promote := !rt.direct && !rt.dialing && !rt.promoteSent && rt.relayBytes >= c.promoteBytes
+	var p peerInfo
+	if promote {
+		p = rt.p
+		if c.lo < rt.p.lo {
+			rt.dialing = true
+		} else {
+			rt.promoteSent = true
+		}
+		relayed := rt.relayBytes
+		m.mu.Unlock()
+		if c.lo < p.lo {
+			go m.dialPeer(p, false)
+		} else if err := c.send(kPromote, uint16(c.lo), uint16(p.lo), encodePromote(c.lo, c.hi, relayed)); err != nil {
+			return 0, fmt.Errorf("netcomm: send promotion request to workers %d-%d: %w", p.lo, p.hi, err)
+		}
+		return 0, nil
+	}
+	m.mu.Unlock()
+	return 0, nil
+}
+
+// finishRound marks one local worker's round complete. Static plane: a
+// DONE marker on every peer connection (after that worker's frames,
+// same streams) plus the local counter for co-hosted readers. Adaptive
+// plane: one DONE per remote process, each following the route the
+// worker's frames latched this round — direct markers ride the peer
+// connection, relay markers ride the hub (which forwards them to the
+// target after the frames it relayed, preserving order on both hops).
+// Direct markers carry the stall hint the receiver's window controller
+// feeds on: whether any sender blocked on this connection's credit
+// since its last marker.
+func (m *mesh) finishRound(src int) error {
+	c := m.c
+	if !c.adaptive {
+		m.mu.Lock()
+		conns := append([]*peerConn(nil), m.conns...)
+		m.mu.Unlock()
+		for _, pc := range conns {
+			if err := pc.sendDone(src); err != nil {
+				err = fmt.Errorf("netcomm: peer connection to workers %d-%d lost: %w", pc.lo, pc.hi, err)
+				m.connLost(pc, err)
+				return fmt.Errorf("netcomm: send done to workers %d-%d: %w", pc.lo, pc.hi, err)
+			}
+		}
+		m.bumpDone(src)
+		return nil
+	}
+	li := src - c.lo
+	type doneRoute struct {
+		pc    *peerConn // direct route; nil = relay via hub
+		hubLo int       // relay target process range start
+	}
+	m.mu.Lock()
+	targets := make([]doneRoute, 0, len(m.routes))
+	for ri, rt := range m.routes {
+		lt := m.latch[li][ri]
+		m.latch[li][ri] = latchNone
+		pc := m.peers[rt.p.lo]
+		if lt == latchRelay || (lt == latchNone && pc == nil) {
+			targets = append(targets, doneRoute{hubLo: rt.p.lo})
+		} else {
+			targets = append(targets, doneRoute{pc: pc})
+		}
+	}
+	m.mu.Unlock()
+	for _, t := range targets {
+		if t.pc != nil {
+			if err := t.pc.sendDone(src); err != nil {
+				err = fmt.Errorf("netcomm: peer connection to workers %d-%d lost: %w", t.pc.lo, t.pc.hi, err)
+				m.connLost(t.pc, err)
+				return fmt.Errorf("netcomm: send done to workers %d-%d: %w", t.pc.lo, t.pc.hi, err)
+			}
+		} else if err := c.send(kDone, uint16(src), uint16(t.hubLo), nil); err != nil {
+			return fmt.Errorf("netcomm: relay done to workers at %d: %w", t.hubLo, err)
 		}
 	}
 	m.bumpDone(src)
@@ -659,6 +1054,17 @@ type peerConn struct {
 	closed  bool
 	err     error // why the connection died; nil for a clean local close
 
+	// Adaptive-window state. stalledRound records that a sender blocked
+	// on this window since the last DONE marker; the next marker carries
+	// it to the receiver's controller as the grow signal. recvWindow is
+	// the window this side currently grants the remote sender (the
+	// connection's standing receive memory); windowPeak and resizes
+	// track the send window's trajectory for /flows.
+	stalledRound bool
+	recvWindow   int64
+	windowPeak   int64
+	resizes      int64
+
 	// Flow telemetry (see Client.ConnStats): outbound volume, credit
 	// grants observed, and — while a sender sits blocked on the window —
 	// how long the grants that could unblock it took to arrive.
@@ -683,6 +1089,7 @@ func (pc *peerConn) sendData(m *mesh, src, dst int, payload []byte) (time.Durati
 	var stall time.Duration
 	pc.mu.Lock()
 	if pc.avail < n && pc.avail < pc.window {
+		pc.stalledRound = true
 		t0 := time.Now()
 		if pc.waitStart == 0 {
 			pc.waitStart = t0.UnixNano()
@@ -725,6 +1132,30 @@ func (pc *peerConn) sendCredit(grant int64) error {
 	pc.wmu.Lock()
 	defer pc.wmu.Unlock()
 	return writeMsg(pc.conn, kCredit, 0, 0, p[:])
+}
+
+// sendResize retargets the remote sender's window (receiver-initiated;
+// the sender preserves its in-flight volume across the change).
+func (pc *peerConn) sendResize(window int64) error {
+	pc.wmu.Lock()
+	defer pc.wmu.Unlock()
+	return writeMsg(pc.conn, kResize, 0, 0, encodeResize(window))
+}
+
+// sendDone writes one worker's round-completion marker, carrying the
+// stall hint (b=1: a sender blocked on this window since the previous
+// marker) the adaptive receiver's controller grows the window from.
+func (pc *peerConn) sendDone(src int) error {
+	var hint uint16
+	pc.mu.Lock()
+	if pc.stalledRound {
+		hint = 1
+		pc.stalledRound = false
+	}
+	pc.mu.Unlock()
+	pc.wmu.Lock()
+	defer pc.wmu.Unlock()
+	return writeMsg(pc.conn, kDone, uint16(src), hint, nil)
 }
 
 // stallTime reports the cumulative time senders spent blocked on this

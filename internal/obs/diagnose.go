@@ -328,7 +328,7 @@ func diagnoseWindows(rep *Report, flows *FlowMatrix, wallNS int64) {
 				name, frac*100, c.Window, grantMS, c.Grants),
 		})
 		rep.Recommendations = append(rep.Recommendations, fmt.Sprintf(
-			"connection %s is window-bound: raise -window-bytes above its largest round (%d bytes moved in %d frames)",
+			"connection %s is window-bound: raise -window-bytes above its largest round (%d bytes moved in %d frames), or switch to -data-plane p2p-adaptive to let the window grow out of the stall on its own",
 			name, c.Bytes, c.Frames))
 	}
 }

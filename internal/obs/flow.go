@@ -31,21 +31,41 @@ func (f FlowStat) MeanFrame() int64 {
 	return f.Bytes / f.Frames
 }
 
-// ConnStat describes one p2p peer connection's flow-control behaviour
-// over a run: how often and for how long the sending side sat on an
-// exhausted credit window, and how long credit grants took to arrive
-// while a sender was blocked. Worker ranges identify the connection
-// ends (each graphworker process hosts a contiguous range).
+// ConnStat describes one p2p peer pair's flow-control behaviour over a
+// run: how often and for how long the sending side sat on an exhausted
+// credit window, how long credit grants took to arrive while a sender
+// was blocked, and — on the adaptive plane — the window's trajectory
+// plus the pair's hub-relayed share from before its promotion. Worker
+// ranges identify the connection ends (each graphworker process hosts
+// a contiguous range). A lazy pair that never earned a direct
+// connection reports a relay-only row: Window zero, only the relay
+// fields set.
 type ConnStat struct {
 	LocalLo int `json:"local_lo"`
 	LocalHi int `json:"local_hi"`
 	PeerLo  int `json:"peer_lo"`
 	PeerHi  int `json:"peer_hi"`
-	// Window is the connection's receive-window size in bytes.
+	// Window is the connection's current send-window size in bytes (the
+	// credit the remote receiver grants this side). Static planes never
+	// change it; the adaptive plane retunes it per round.
 	Window int64 `json:"window"`
+	// RecvWindow is the window this side grants the remote sender — the
+	// connection's standing receive-memory cost. Summed over a job's
+	// rows it is the mesh's standing window memory.
+	RecvWindow int64 `json:"recv_window,omitempty"`
+	// WindowPeak and Resizes trace the adaptive controller's activity:
+	// the largest send window the run reached and how many resize
+	// events the connection saw (in either role — granted or applied).
+	WindowPeak int64 `json:"window_peak,omitempty"`
+	Resizes    int64 `json:"resizes,omitempty"`
 	// Bytes/Frames count data frames written to this connection.
 	Bytes  int64 `json:"bytes"`
 	Frames int64 `json:"frames"`
+	// RelayBytes/RelayFrames count this pair's traffic that rode the
+	// hub relay instead (the lazy mesh's cold phase, plus any frames
+	// latched onto the relay mid-promotion).
+	RelayBytes  int64 `json:"relay_bytes,omitempty"`
+	RelayFrames int64 `json:"relay_frames,omitempty"`
 	// StallNS is cumulative time the local senders spent blocked on an
 	// exhausted window; GrantWaitNS/Grants measure how long the credits
 	// that unblocked them took to arrive.

@@ -46,8 +46,14 @@ type JobSpec struct {
 	// its mesh through the new hub.
 	DataPlane string
 	// WindowBytes is the p2p per-peer-connection receive window (0 =
-	// netcomm.DefaultWindowBytes).
-	WindowBytes int
+	// netcomm.DefaultWindowBytes). On the adaptive plane it is only the
+	// initial value; WindowMin/WindowMax bound the per-connection tuner
+	// and PromoteBytes sets the relayed-volume threshold at which a lazy
+	// pair earns a direct connection (0 = the netcomm defaults).
+	WindowBytes  int
+	WindowMin    int
+	WindowMax    int
+	PromoteBytes int
 
 	// SnapshotPath is a binary snapshot embedding the Placement owner
 	// vector; Part must be the partition that vector describes (the
@@ -312,6 +318,15 @@ func runAttempt(spec JobSpec, attempt, restore int, log *slog.Logger) (*algorith
 		}
 		if spec.WindowBytes > 0 {
 			args = append(args, "-window-bytes", strconv.Itoa(spec.WindowBytes))
+		}
+		if spec.WindowMin > 0 {
+			args = append(args, "-window-min", strconv.Itoa(spec.WindowMin))
+		}
+		if spec.WindowMax > 0 {
+			args = append(args, "-window-max", strconv.Itoa(spec.WindowMax))
+		}
+		if spec.PromoteBytes > 0 {
+			args = append(args, "-promote-bytes", strconv.Itoa(spec.PromoteBytes))
 		}
 		if spec.Trace != nil {
 			args = append(args, "-trace")

@@ -104,8 +104,13 @@ func encodeFlows(buf *ser.Buffer, m *obs.FlowMatrix) {
 		buf.WriteUvarint(uint64(c.PeerLo))
 		buf.WriteUvarint(uint64(c.PeerHi))
 		buf.WriteVarint(c.Window)
+		buf.WriteVarint(c.RecvWindow)
+		buf.WriteVarint(c.WindowPeak)
+		buf.WriteVarint(c.Resizes)
 		buf.WriteVarint(c.Bytes)
 		buf.WriteVarint(c.Frames)
+		buf.WriteVarint(c.RelayBytes)
+		buf.WriteVarint(c.RelayFrames)
 		buf.WriteVarint(c.StallNS)
 		buf.WriteVarint(c.GrantWaitNS)
 		buf.WriteVarint(c.Grants)
@@ -137,7 +142,10 @@ func decodeFlows(b *ser.Buffer, acc *obs.FlowAccum) {
 		m.Conns = append(m.Conns, obs.ConnStat{
 			LocalLo: int(b.ReadUvarint()), LocalHi: int(b.ReadUvarint()),
 			PeerLo: int(b.ReadUvarint()), PeerHi: int(b.ReadUvarint()),
-			Window: b.ReadVarint(), Bytes: b.ReadVarint(), Frames: b.ReadVarint(),
+			Window: b.ReadVarint(), RecvWindow: b.ReadVarint(),
+			WindowPeak: b.ReadVarint(), Resizes: b.ReadVarint(),
+			Bytes: b.ReadVarint(), Frames: b.ReadVarint(),
+			RelayBytes: b.ReadVarint(), RelayFrames: b.ReadVarint(),
 			StallNS: b.ReadVarint(), GrantWaitNS: b.ReadVarint(), Grants: b.ReadVarint(),
 		})
 	}

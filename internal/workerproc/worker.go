@@ -34,8 +34,11 @@ func Main(args []string, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	network := fs.String("network", "unix", "hub network: unix or tcp")
 	addr := fs.String("connect", "", "hub address (socket path or host:port)")
-	dataPlane := fs.String("data-plane", netcomm.DataPlaneHub, "data plane: hub (frames relayed by the coordinator) or p2p (direct worker mesh with credit flow control)")
-	windowBytes := fs.Int("window-bytes", 0, "p2p receive window per peer connection in bytes (0 = default)")
+	dataPlane := fs.String("data-plane", netcomm.DataPlaneHub, "data plane: hub (frames relayed by the coordinator), p2p (direct worker mesh with credit flow control) or p2p-adaptive (lazy mesh with auto-tuned windows)")
+	windowBytes := fs.Int("window-bytes", netcomm.DefaultWindowBytes, "p2p receive window per peer connection in bytes (initial value on the adaptive plane)")
+	windowMin := fs.Int("window-min", netcomm.DefaultWindowMin, "adaptive plane: smallest window the per-connection tuner may shrink to")
+	windowMax := fs.Int("window-max", netcomm.DefaultWindowMax, "adaptive plane: largest window the per-connection tuner may grow to")
+	promoteBytes := fs.Int("promote-bytes", netcomm.DefaultPromoteBytes, "adaptive plane: cumulative relayed bytes at which a cold pair is promoted to a direct connection")
 	snapshot := fs.String("snapshot", "", "binary graph snapshot with the job's placement embedded")
 	placement := fs.String("placement", "", "name of the owner vector inside the snapshot")
 	workersFlag := fs.String("workers", "", "hosted worker range lo-hi (inclusive) or a single id")
@@ -62,6 +65,9 @@ func Main(args []string, stderr io.Writer) int {
 		return 1
 	}
 
+	if err := netcomm.ValidatePlaneConfig(*dataPlane, *windowBytes, *windowMin, *windowMax, *promoteBytes); err != nil {
+		return fail(err)
+	}
 	lo, hi, err := parseRange(*workersFlag)
 	if err != nil {
 		return fail(err)
@@ -103,9 +109,12 @@ func Main(args []string, stderr io.Writer) int {
 	client, err := netcomm.DialConfig(netcomm.Config{
 		Network: *network, Addr: *addr,
 		Lo: lo, Hi: hi, M: part.NumWorkers(),
-		DataPlane:   *dataPlane,
-		WindowBytes: *windowBytes,
-		Flows:       flows,
+		DataPlane:    *dataPlane,
+		WindowBytes:  *windowBytes,
+		WindowMin:    *windowMin,
+		WindowMax:    *windowMax,
+		PromoteBytes: *promoteBytes,
+		Flows:        flows,
 	})
 	if err != nil {
 		return fail(err)

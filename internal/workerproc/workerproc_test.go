@@ -72,8 +72,16 @@ func runJob(t *testing.T, snap string, placement string, part *partition.Partiti
 		JoinTimeout:   time.Minute,
 		DataPlane:     plane,
 	}
-	if plane == netcomm.DataPlaneP2P {
+	switch plane {
+	case netcomm.DataPlaneP2P:
 		js.WindowBytes = 64 << 10
+	case netcomm.DataPlaneP2PAdaptive:
+		// Tiny initial window and promotion threshold so the sweep's
+		// modest graphs still exercise resizes and lazy-pair promotion,
+		// not just the relay path.
+		js.WindowBytes = 16 << 10
+		js.WindowMin = 8 << 10
+		js.PromoteBytes = 32 << 10
 	}
 	return workerproc.Run(js)
 }
@@ -122,7 +130,7 @@ func TestDistributedEquivalenceSweep(t *testing.T) {
 		for _, eng := range spec.Engines() {
 			for _, variant := range spec.Variants(eng) {
 				for _, placement := range []string{partition.PlacementHash, partition.PlacementGreedy} {
-					for _, plane := range []string{netcomm.DataPlaneHub, netcomm.DataPlaneP2P} {
+					for _, plane := range []string{netcomm.DataPlaneHub, netcomm.DataPlaneP2P, netcomm.DataPlaneP2PAdaptive} {
 						sweepOne(t, snaps[spec.Name], placement, parts[spec.Name][placement],
 							procs, spec, eng, variant, plane,
 							oracleWCC, oracleSCC, oracleRoots, oracleDist, oracleRank,
@@ -247,6 +255,11 @@ func TestFaultMatrixRecovers(t *testing.T) {
 			{"kill", "tcp", netcomm.DataPlaneHub}, {"drop", "tcp", netcomm.DataPlaneHub}, {"stall", "tcp", netcomm.DataPlaneHub},
 			{"kill", "unix", netcomm.DataPlaneP2P}, {"drop", "unix", netcomm.DataPlaneP2P}, {"stall", "unix", netcomm.DataPlaneP2P},
 			{"kill", "tcp", netcomm.DataPlaneP2P}, {"drop", "tcp", netcomm.DataPlaneP2P}, {"stall", "tcp", netcomm.DataPlaneP2P},
+			// The adaptive rows prove recovery re-negotiates the lazy
+			// mesh: each fresh party restarts with cold routes and must
+			// re-earn its promotions and window sizes from scratch.
+			{"kill", "unix", netcomm.DataPlaneP2PAdaptive},
+			{"kill", "tcp", netcomm.DataPlaneP2PAdaptive},
 		} {
 			kind, network, plane := tc.kind, tc.network, tc.plane
 			t.Run(fmt.Sprintf("%s/%s/%s/%s", eng, kind, network, plane), func(t *testing.T) {
@@ -277,8 +290,12 @@ func TestFaultMatrixRecovers(t *testing.T) {
 						}
 					},
 				}
-				if plane == netcomm.DataPlaneP2P {
+				switch plane {
+				case netcomm.DataPlaneP2P:
 					js.WindowBytes = 64 << 10 // small window: recovery under credit pressure
+				case netcomm.DataPlaneP2PAdaptive:
+					js.WindowBytes = 16 << 10  // tiny window + threshold: the retried
+					js.PromoteBytes = 32 << 10 // party must redo resizes and promotions
 				}
 				if kind == "stall" {
 					// the only detector a parked worker has
